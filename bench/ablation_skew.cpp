@@ -1,0 +1,111 @@
+/// Ablation (paper §4): idle experienced compares times across processors,
+/// so clock synchronization error can perturb it. The paper argues
+/// offsets on the order of the skew only matter for blocks whose idle is
+/// itself skew-sized — the interesting findings survive. We inject
+/// controlled per-PE skew into a Jacobi trace and measure how the
+/// structure and the metrics move.
+
+#include <string>
+#include <vector>
+
+#include "apps/jacobi2d.hpp"
+#include "bench_common.hpp"
+#include "metrics/duration.hpp"
+#include "metrics/idle.hpp"
+#include "order/stats.hpp"
+#include "order/stepping.hpp"
+#include "trace/skew.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace logstruct;
+
+struct Row {
+  std::int64_t skew_ns;
+  std::int32_t phases;
+  std::int64_t violations;
+  double total_idle_us;
+  double max_dd_us;
+};
+
+Row measure(const trace::Trace& t, std::int64_t skew_ns,
+            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<trace::TimeNs> delta(
+      static_cast<std::size_t>(t.num_procs()), 0);
+  for (auto& d : delta)
+    d = rng.uniform_range(-skew_ns, skew_ns);
+  trace::Trace skewed = skew_ns ? trace::apply_clock_skew(t, delta) : t;
+
+  order::LogicalStructure ls =
+      order::extract_structure(skewed, order::Options::charm());
+  order::StructureStats s = order::compute_stats(skewed, ls);
+  metrics::IdleExperienced ie = metrics::idle_experienced(skewed);
+  metrics::DifferentialDuration dd =
+      metrics::differential_duration(skewed, ls);
+  trace::TimeNs total_ie = 0;
+  for (auto v : ie.per_event) total_ie += v;
+  return Row{skew_ns, s.num_phases, s.chare_step_violations,
+             total_ie / 1000.0, dd.max_value / 1000.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_int("iterations", 3, "Jacobi iterations");
+  flags.define_int("seed", 1, "simulation + skew seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::figure_header(
+      "Ablation — clock skew sensitivity (paper Sec. 4 discussion)",
+      "skew on the order of the network latency leaves the recovered "
+      "structure intact and perturbs idle experienced by at most the skew "
+      "per affected block; large skew degrades gracefully");
+
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 8;
+  cfg.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
+  cfg.slow_chare = 5;
+  cfg.slow_iteration = 1;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  util::TablePrinter table({"skew +- (ns)", "phases", "step collisions",
+                            "idle experienced (us)",
+                            "max diff duration (us)"});
+  std::vector<Row> rows;
+  for (std::int64_t skew : {0LL, 200LL, 1000LL, 5000LL, 50000LL}) {
+    rows.push_back(measure(t, skew, seed));
+    const Row& r = rows.back();
+    table.row()
+        .add(r.skew_ns)
+        .add(static_cast<std::int64_t>(r.phases))
+        .add(r.violations)
+        .add(r.total_idle_us, 1)
+        .add(r.max_dd_us, 1);
+  }
+  table.print();
+
+  const Row& clean = rows[0];
+  const Row& small = rows[2];  // 1us ~ half the base network latency
+  bool structure_stable = small.phases == clean.phases;
+  bool metric_stable =
+      std::abs(small.max_dd_us - clean.max_dd_us) <
+      0.2 * clean.max_dd_us + 2.0;
+  bench::verdict(structure_stable,
+                 "phase structure unchanged under skew within the network "
+                 "latency");
+  bench::verdict(metric_stable,
+                 "differential-duration hotspot magnitude stable under "
+                 "small skew");
+  bench::verdict(rows.back().violations == 0,
+                 "DAG properties hold even under gross skew (no same-chare "
+                 "step collisions)");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#pragma once
+
+/// Shared helpers for the figure-reproduction harnesses. Each bench
+/// regenerates the rows/series of one paper table or figure and prints a
+/// PASS/DEVIATION verdict for the qualitative claim it carries.
+
+#include <cstdio>
+#include <string>
+
+namespace logstruct::bench {
+
+inline void figure_header(const char* id, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void verdict(bool ok, const std::string& detail) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "DEVIATION", detail.c_str());
+}
+
+}  // namespace logstruct::bench

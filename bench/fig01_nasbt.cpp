@@ -1,0 +1,47 @@
+/// Figure 1: logical structure (top) vs physical time (bottom) of a
+/// 9-process NAS BT trace. The logical view aligns the sweep pipeline
+/// stages that physical time smears out.
+
+#include "apps/nasbt.hpp"
+#include "bench_common.hpp"
+#include "order/stats.hpp"
+#include "order/stepping.hpp"
+#include "util/flags.hpp"
+#include "vis/ascii.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+  util::Flags flags;
+  flags.define_int("grid", 3, "rank grid (paper: 3x3 = 9 processes)");
+  flags.define_int("iterations", 2, "BT iterations");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::figure_header(
+      "Figure 1 — NAS BT, logical structure vs physical time",
+      "reordering by logical step aligns the alternating x/y line sweeps "
+      "that raw timestamps smear across processes");
+
+  apps::NasBtConfig cfg;
+  cfg.grid = static_cast<std::int32_t>(flags.get_int("grid"));
+  cfg.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
+  trace::Trace t = apps::run_nasbt_mpi(cfg);
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::mpi());
+
+  std::fputs(vis::render_logical_ascii(t, ls).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(vis::render_physical_ascii(t, ls).c_str(), stdout);
+
+  order::StructureStats stats = order::compute_stats(t, ls);
+  std::printf("\nevents=%d  phases=%d  global steps=%d  "
+              "events/occupied step=%.2f\n",
+              t.num_events(), stats.num_phases, stats.width,
+              stats.avg_occupancy);
+  // Fig 1's claim is qualitative; the checkable core: each sweep forms its
+  // own phase, so phases = 4 sweeps x iterations (plus possible cycle
+  // merges), and the structure is far narrower than the event count.
+  bench::verdict(stats.num_phases >= 4 * cfg.iterations / 2 &&
+                     stats.width < t.num_events(),
+                 "sweep phases recovered; logical width << event count");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Figure 18: time to calculate logical structure for a 64-chare LULESH
+/// execution at increasing iteration counts (paper: 8..512 iterations,
+/// 0.2s..9.6s — directly proportional to iterations, unaffected by the
+/// doubling of phases).
+
+#include <vector>
+
+#include "apps/lulesh.hpp"
+#include "bench_common.hpp"
+#include "order/stepping.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+  util::Flags flags;
+  flags.define_int("max-iterations", 128,
+                   "largest iteration count (paper goes to 512; use "
+                   "--max-iterations=512 for the full sweep)");
+  flags.define_string("csv", "", "write the series here");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::figure_header(
+      "Figure 18 — extraction time vs iteration count (64-chare LULESH)",
+      "computation time is directly proportional to the number of "
+      "iterations (log-log slope ~1)");
+
+  std::vector<double> xs, ys;
+  util::TablePrinter table({"iterations", "events", "phases",
+                            "extraction time (s)"});
+  util::CsvWriter csv({"iterations", "events", "phases", "seconds"});
+  for (std::int32_t iters = 8;
+       iters <= static_cast<std::int32_t>(flags.get_int("max-iterations"));
+       iters *= 2) {
+    apps::LuleshConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 4;  // 64 chares
+    cfg.num_pes = 8;
+    cfg.iterations = iters;
+    trace::Trace t = apps::run_lulesh_charm(cfg);
+    util::Stopwatch sw;
+    order::LogicalStructure ls =
+        order::extract_structure(t, order::Options::charm());
+    double secs = sw.seconds();
+    table.row()
+        .add(static_cast<std::int64_t>(iters))
+        .add(static_cast<std::int64_t>(t.num_events()))
+        .add(static_cast<std::int64_t>(ls.num_phases()))
+        .add(secs, 3);
+    csv.row()
+        .add(static_cast<std::int64_t>(iters))
+        .add(static_cast<std::int64_t>(t.num_events()))
+        .add(static_cast<std::int64_t>(ls.num_phases()))
+        .add(secs);
+    xs.push_back(iters);
+    ys.push_back(secs);
+  }
+  table.print();
+  double slope = util::loglog_slope(xs, ys);
+  std::printf("log-log slope: %.2f (paper: ~1.0, directly proportional)\n",
+              slope);
+  if (!flags.get_string("csv").empty()) csv.save(flags.get_string("csv"));
+
+  bench::verdict(slope > 0.75 && slope < 1.3,
+                 "extraction time scales ~linearly with iterations");
+  return 0;
+}

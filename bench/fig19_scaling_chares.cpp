@@ -1,0 +1,82 @@
+/// Figure 19: time to calculate logical structure for eight iterations of
+/// LULESH at increasing chare counts (paper: 64..13.8k chares, 0.2s..166s;
+/// growth is super-linear at high counts — the Sec. 3.1.4 merge dominates).
+
+#include <vector>
+
+#include "apps/lulesh.hpp"
+#include "bench_common.hpp"
+#include "order/phases.hpp"
+#include "order/stepping.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+  util::Flags flags;
+  flags.define_int("max-grid", 12,
+                   "largest grid dimension (paper reaches 24 = 13,824 "
+                   "chares; use --max-grid=24 for the full sweep)");
+  flags.define_string("csv", "", "write the series here");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::figure_header(
+      "Figure 19 — extraction time vs chare count (8-iteration LULESH)",
+      "time grows with chare count, super-linearly at the top end "
+      "(the Sec. 3.1.4 merge needs more comparisons)");
+
+  const std::vector<std::int32_t> grids{4, 6, 8, 12, 16, 24};
+  std::vector<double> xs, ys;
+  util::TablePrinter table({"chares", "events", "extraction time (s)",
+                            "s per Mevent", "Sec.3.1.4 share"});
+  util::CsvWriter csv({"chares", "events", "seconds", "leap_share"});
+  for (std::int32_t g : grids) {
+    if (g > static_cast<std::int32_t>(flags.get_int("max-grid"))) break;
+    apps::LuleshConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = g;
+    cfg.num_pes = 8;
+    cfg.iterations = 8;
+    trace::Trace t = apps::run_lulesh_charm(cfg);
+    util::Stopwatch sw;
+    order::Options opts = order::Options::charm();
+    order::PipelineTimings tm;
+    order::PhaseResult phases = order::find_phases(t, opts.partition, &tm);
+    order::LogicalStructure ls =
+        order::assign_steps(t, std::move(phases), opts);
+    double secs = sw.seconds();
+    (void)ls;
+    // The paper attributes the super-linear growth to the §3.1.4 merge
+    // ("the greater chare counts requiring more comparisons"): report the
+    // inference+leap fixpoint's share of phase finding.
+    double leap_share =
+        (tm.infer_sources + tm.leap_property + tm.chare_paths) /
+        std::max(tm.total(), 1e-12);
+    table.row()
+        .add(static_cast<std::int64_t>(g * g * g))
+        .add(static_cast<std::int64_t>(t.num_events()))
+        .add(secs, 3)
+        .add(secs * 1e6 / static_cast<double>(t.num_events()), 3)
+        .add(leap_share * 100.0, 1);
+    csv.row()
+        .add(static_cast<std::int64_t>(g * g * g))
+        .add(static_cast<std::int64_t>(t.num_events()))
+        .add(secs)
+        .add(leap_share);
+    xs.push_back(g * g * g);
+    ys.push_back(secs);
+  }
+  table.print();
+  double slope = util::loglog_slope(xs, ys);
+  std::printf("log-log slope: %.2f (paper's series: ~1.2-1.3, "
+              "super-linear)\n",
+              slope);
+  if (!flags.get_string("csv").empty()) csv.save(flags.get_string("csv"));
+
+  bench::verdict(slope > 0.9,
+                 "time grows at least linearly in chare count with a "
+                 "super-linear tendency");
+  return 0;
+}

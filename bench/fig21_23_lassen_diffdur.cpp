@@ -1,0 +1,151 @@
+/// Figures 21-23: LASSEN colored by differential duration.
+///  - Fig 21/22: a repeated pattern marks the same events of the same
+///    chares each iteration (early iterations: the wavefront sits in a
+///    small region owned by one chare).
+///  - Fig 23: many iterations later the pattern persists but spreads to
+///    different, more numerous chares as the front grows.
+///  - The 64-chare run's maximum differential duration is roughly a
+///    quarter of the 8-chare run's (the front splits into smaller pieces).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/lassen.hpp"
+#include "bench_common.hpp"
+#include "metrics/duration.hpp"
+#include "metrics/imbalance.hpp"
+#include "order/stepping.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace logstruct;
+
+struct IterationHotset {
+  std::vector<std::set<std::int32_t>> hot_per_iter;  // chare indices
+  trace::TimeNs max_dd = 0;
+  trace::TimeNs total_imb = 0;
+};
+
+IterationHotset analyze(const apps::LassenConfig& cfg) {
+  trace::Trace t = apps::run_lassen_charm(cfg);
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::charm());
+  metrics::DifferentialDuration dd = metrics::differential_duration(t, ls);
+  metrics::Imbalance imb = metrics::imbalance(t, ls);
+
+  IterationHotset out;
+  out.max_dd = dd.max_value;
+  for (auto v : imb.per_phase) out.total_imb += v;
+
+  // Application p2p phases in offset order ~ iterations; collect the
+  // chares whose differential duration exceeds half the phase max.
+  std::vector<std::pair<std::int32_t, std::int32_t>> app_phases;  // (off,id)
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p) {
+    if (ls.phases.runtime[static_cast<std::size_t>(p)]) continue;
+    if (ls.phase_height[static_cast<std::size_t>(p)] <= 1) continue;
+    app_phases.emplace_back(ls.phase_offset[static_cast<std::size_t>(p)], p);
+  }
+  std::sort(app_phases.begin(), app_phases.end());
+  for (auto [off, p] : app_phases) {
+    trace::TimeNs phase_max = 0;
+    for (trace::EventId e : ls.phases.events[static_cast<std::size_t>(p)])
+      phase_max = std::max(phase_max,
+                           dd.per_event[static_cast<std::size_t>(e)]);
+    std::set<std::int32_t> hot;
+    if (phase_max > 0) {
+      for (trace::EventId e :
+           ls.phases.events[static_cast<std::size_t>(p)]) {
+        if (dd.per_event[static_cast<std::size_t>(e)] * 2 >= phase_max)
+          hot.insert(t.chare(t.event(e).chare).index);
+      }
+    }
+    out.hot_per_iter.push_back(std::move(hot));
+  }
+  return out;
+}
+
+std::string set_str(const std::set<std::int32_t>& s) {
+  std::string out;
+  int shown = 0;
+  for (std::int32_t c : s) {
+    if (shown++ == 5) {
+      out += "...";
+      break;
+    }
+    out += std::to_string(c) + " ";
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define_int("iterations", 12, "LASSEN iterations");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::figure_header(
+      "Figures 21-23 — LASSEN differential-duration patterns, 8 vs 64 "
+      "chares",
+      "long events repeat at the same chares early on, spread to more "
+      "chares as the wavefront grows; 64-chare max differential duration "
+      "~= 1/4 of 8-chare");
+
+  apps::LassenConfig coarse;  // 4x2
+  coarse.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
+  apps::LassenConfig fine = coarse;
+  fine.chares_x = 8;
+  fine.chares_y = 8;
+
+  IterationHotset s8 = analyze(coarse);
+  IterationHotset s64 = analyze(fine);
+
+  util::TablePrinter table({"iteration", "hot chares (8)", "hot chares (64)"});
+  std::size_t iters = std::min(s8.hot_per_iter.size(),
+                               s64.hot_per_iter.size());
+  for (std::size_t i = 0; i < iters; ++i) {
+    table.row()
+        .add(static_cast<std::int64_t>(i))
+        .add(set_str(s8.hot_per_iter[i]))
+        .add(set_str(s64.hot_per_iter[i]));
+  }
+  table.print();
+
+  // Early iterations repeat the same hot chare; late iterations involve
+  // more chares than early ones (the growing front).
+  bool early_repeats =
+      iters >= 3 && !s8.hot_per_iter[1].empty() &&
+      s8.hot_per_iter[1] == s8.hot_per_iter[2];
+  std::size_t early_n = iters >= 2 ? s64.hot_per_iter[1].size() : 0;
+  std::size_t late_n = iters >= 2 ? s64.hot_per_iter[iters - 2].size() : 0;
+  double dd_ratio = s8.max_dd > 0 ? static_cast<double>(s64.max_dd) /
+                                        static_cast<double>(s8.max_dd)
+                                  : 0;
+  double imb_ratio =
+      s8.total_imb > 0 ? static_cast<double>(s64.total_imb) /
+                             static_cast<double>(s8.total_imb)
+                       : 0;
+  std::printf("\nmax differential duration: 8-chare %.1f us, 64-chare "
+              "%.1f us (ratio %.2f; paper ~0.25)\n",
+              s8.max_dd / 1000.0, s64.max_dd / 1000.0, dd_ratio);
+  std::printf("overall imbalance ratio 64/8: %.2f (paper < 0.5)\n",
+              imb_ratio);
+
+  bench::verdict(early_repeats, "early iterations mark the same chares");
+  bench::verdict(late_n > early_n,
+                 "late iterations spread the long events to more chares (" +
+                     std::to_string(early_n) + " -> " +
+                     std::to_string(late_n) + ")");
+  bench::verdict(dd_ratio < 0.5,
+                 "finer decomposition cuts the max differential duration "
+                 "(ratio " + std::to_string(dd_ratio) + ")");
+  bench::verdict(imb_ratio < 1.0,
+                 "finer decomposition reduces overall imbalance (ratio " +
+                     std::to_string(imb_ratio) +
+                     "; weaker than the paper's <0.5 — see EXPERIMENTS.md)");
+  return 0;
+}

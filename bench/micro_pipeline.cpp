@@ -1,0 +1,168 @@
+/// Google-benchmark micro suite for the pipeline building blocks
+/// (Sec. 3.3's complexity discussion): initial partitioning, the merge
+/// passes, full phase finding, step assignment, SCC, and leap
+/// computation, across trace sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/mergetree.hpp"
+#include "sim/taskdag/taskdag.hpp"
+#include "graph/leaps.hpp"
+#include "graph/scc.hpp"
+#include "order/initial.hpp"
+#include "order/merges.hpp"
+#include "order/phases.hpp"
+#include "order/stepping.hpp"
+
+namespace {
+
+using namespace logstruct;
+
+trace::Trace lulesh_trace(std::int32_t grid) {
+  apps::LuleshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = grid;
+  cfg.num_pes = 8;
+  cfg.iterations = 4;
+  return apps::run_lulesh_charm(cfg);
+}
+
+void BM_InitialPartitions(benchmark::State& state) {
+  trace::Trace t = lulesh_trace(static_cast<std::int32_t>(state.range(0)));
+  order::PartitionOptions opts;
+  for (auto _ : state) {
+    auto pg = order::build_initial_partitions(t, opts);
+    benchmark::DoNotOptimize(pg.num_partitions());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_events());
+}
+BENCHMARK(BM_InitialPartitions)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_DependencyMerge(benchmark::State& state) {
+  trace::Trace t = lulesh_trace(static_cast<std::int32_t>(state.range(0)));
+  order::PartitionOptions opts;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pg = order::build_initial_partitions(t, opts);
+    pg.cycle_merge();
+    state.ResumeTiming();
+    order::dependency_merge(pg);
+    benchmark::DoNotOptimize(pg.num_partitions());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_events());
+}
+BENCHMARK(BM_DependencyMerge)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_FindPhases(benchmark::State& state) {
+  trace::Trace t = lulesh_trace(static_cast<std::int32_t>(state.range(0)));
+  order::PartitionOptions opts;
+  for (auto _ : state) {
+    auto phases = order::find_phases(t, opts);
+    benchmark::DoNotOptimize(phases.num_phases());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_events());
+}
+BENCHMARK(BM_FindPhases)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_ExtractStructure(benchmark::State& state) {
+  trace::Trace t = lulesh_trace(static_cast<std::int32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ls = order::extract_structure(t, order::Options::charm());
+    benchmark::DoNotOptimize(ls.max_step);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_events());
+}
+BENCHMARK(BM_ExtractStructure)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_StepAssignOnly(benchmark::State& state) {
+  trace::Trace t = lulesh_trace(static_cast<std::int32_t>(state.range(0)));
+  order::Options opts = order::Options::charm();
+  auto phases = order::find_phases(t, opts.partition);
+  for (auto _ : state) {
+    auto copy = phases;
+    auto ls = order::assign_steps(t, std::move(copy), opts);
+    benchmark::DoNotOptimize(ls.max_step);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_events());
+}
+BENCHMARK(BM_StepAssignOnly)->Arg(2)->Arg(4)->Arg(6);
+
+graph::Digraph random_dag(std::int32_t n, std::int32_t degree) {
+  graph::Digraph g(n);
+  std::uint64_t x = 88172645463325252ULL;
+  auto rnd = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (std::int32_t u = 1; u < n; ++u) {
+    for (std::int32_t k = 0; k < degree; ++k) {
+      g.add_edge(static_cast<graph::NodeId>(rnd() % static_cast<std::uint64_t>(u)),
+                 u);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+void BM_Scc(benchmark::State& state) {
+  graph::Digraph g = random_dag(static_cast<std::int32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto scc = graph::strongly_connected_components(g);
+    benchmark::DoNotOptimize(scc.num_components);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Scc)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_Leaps(benchmark::State& state) {
+  graph::Digraph g = random_dag(static_cast<std::int32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto leaps = graph::compute_leaps(g);
+    benchmark::DoNotOptimize(leaps.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Leaps)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_MpiSimulation(benchmark::State& state) {
+  apps::MergeTreeConfig cfg;
+  cfg.num_ranks = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    trace::Trace t = apps::run_mergetree_mpi(cfg);
+    benchmark::DoNotOptimize(t.num_events());
+  }
+}
+BENCHMARK(BM_MpiSimulation)->Arg(64)->Arg(1024);
+
+void BM_TaskDagSimulation(benchmark::State& state) {
+  sim::taskdag::TaskGraph g = sim::taskdag::stencil_1d(
+      static_cast<std::int32_t>(state.range(0)), 16);
+  sim::taskdag::TaskDagConfig cfg;
+  for (auto _ : state) {
+    trace::Trace t = sim::taskdag::simulate(g, cfg);
+    benchmark::DoNotOptimize(t.num_events());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_TaskDagSimulation)->Arg(16)->Arg(64);
+
+void BM_JacobiSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::Jacobi2DConfig cfg;
+    cfg.chares_x = 8;
+    cfg.chares_y = 8;
+    cfg.num_pes = 8;
+    cfg.iterations = static_cast<std::int32_t>(state.range(0));
+    trace::Trace t = apps::run_jacobi2d(cfg);
+    benchmark::DoNotOptimize(t.num_events());
+  }
+}
+BENCHMARK(BM_JacobiSimulation)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+/// Section 7: "we expect our organization by data sub-domains, constraints
+/// on phases, and reordering scheme to apply to other task-based models."
+/// A generic explicit-task-DAG runtime (OmpSs/OCR-style list scheduling,
+/// no Charm++ anywhere) traced per the §7.1 guidelines feeds the same
+/// pipeline: grouping by data sub-domain recovers the iterated-stencil
+/// wavefront that the worker timelines scramble beyond recognition.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "order/stats.hpp"
+#include "order/stepping.hpp"
+#include "order/validate.hpp"
+#include "sim/taskdag/taskdag.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+  util::Flags flags;
+  flags.define_int("width", 12, "stencil sub-domains");
+  flags.define_int("steps", 8, "stencil time steps");
+  flags.define_int("workers", 4, "simulated workers");
+  if (!flags.parse(argc, argv)) return 1;
+
+  bench::figure_header(
+      "Section 7 — applicability to other task-based runtimes",
+      "a generic task-DAG runtime traced per the Sec. 7.1 guidelines "
+      "yields the same recoverable structure: sub-domain timelines show "
+      "the stencil's time-step bands, worker timelines do not");
+
+  const auto width = static_cast<std::int32_t>(flags.get_int("width"));
+  const auto steps = static_cast<std::int32_t>(flags.get_int("steps"));
+  sim::taskdag::TaskGraph g = sim::taskdag::stencil_1d(width, steps);
+  sim::taskdag::TaskDagConfig cfg;
+  cfg.num_workers = static_cast<std::int32_t>(flags.get_int("workers"));
+  trace::Trace t = sim::taskdag::simulate(g, cfg);
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::charm());
+  bool sound = order::validate_structure(t, ls).empty();
+
+  // Band statistics on SUB-DOMAIN timelines: spread of the k-th task's
+  // starting step across owners; and the same measured on WORKER
+  // timelines by wall-clock rank (what a process-centric view offers).
+  std::vector<std::int32_t> owner_lo(static_cast<std::size_t>(steps),
+                                     1 << 30);
+  std::vector<std::int32_t> owner_hi(static_cast<std::size_t>(steps), -1);
+  for (trace::ChareId c = 0; c < t.num_chares(); ++c) {
+    auto blocks = t.blocks_of_chare(c);
+    for (std::int32_t k = 0;
+         k < static_cast<std::int32_t>(blocks.size()); ++k) {
+      const auto& blk = t.block(blocks[static_cast<std::size_t>(k)]);
+      std::int32_t st =
+          ls.global_step[static_cast<std::size_t>(blk.events.front())];
+      owner_lo[static_cast<std::size_t>(k)] =
+          std::min(owner_lo[static_cast<std::size_t>(k)], st);
+      owner_hi[static_cast<std::size_t>(k)] =
+          std::max(owner_hi[static_cast<std::size_t>(k)], st);
+    }
+  }
+  bool bands_ordered = true;
+  std::int32_t worst_spread = 0;
+  for (std::int32_t k = 0; k < steps; ++k) {
+    worst_spread = std::max(
+        worst_spread, owner_hi[static_cast<std::size_t>(k)] -
+                          owner_lo[static_cast<std::size_t>(k)]);
+    if (k > 0 && owner_hi[static_cast<std::size_t>(k - 1)] >=
+                     owner_lo[static_cast<std::size_t>(k)])
+      bands_ordered = false;
+  }
+
+  // How scrambled is the schedule? Count, per worker, adjacent block
+  // pairs that belong to non-adjacent time steps (task index / width).
+  std::int64_t scrambled = 0, adjacent_pairs = 0;
+  {
+    std::vector<std::int32_t> task_step(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i)
+      task_step[i] = static_cast<std::int32_t>(i) / width;
+    // Recover each block's task id via (owner, per-owner position).
+    std::vector<std::int32_t> owner_seen(
+        static_cast<std::size_t>(width), 0);
+    std::vector<std::int32_t> block_step(
+        static_cast<std::size_t>(t.num_blocks()), 0);
+    for (trace::ChareId c = 0; c < t.num_chares(); ++c) {
+      for (trace::BlockId b : t.blocks_of_chare(c)) {
+        block_step[static_cast<std::size_t>(b)] =
+            owner_seen[static_cast<std::size_t>(c)]++;
+      }
+    }
+    for (trace::ProcId w = 0; w < t.num_procs(); ++w) {
+      auto blocks = t.blocks_of_proc(w);
+      for (std::size_t i = 1; i < blocks.size(); ++i) {
+        ++adjacent_pairs;
+        if (std::abs(block_step[static_cast<std::size_t>(blocks[i])] -
+                     block_step[static_cast<std::size_t>(blocks[i - 1])]) >
+            1)
+          ++scrambled;
+      }
+    }
+  }
+
+  util::TablePrinter table({"view", "observation"});
+  table.row().add("worker timelines").add(
+      std::to_string(scrambled) + "/" + std::to_string(adjacent_pairs) +
+      " adjacent executions jump time steps");
+  table.row().add("sub-domain timelines").add(
+      "time-step bands ordered, worst in-band spread " +
+      std::to_string(worst_spread) + " steps");
+  table.print();
+
+  bench::verdict(sound, "pipeline invariants hold on the non-Charm trace");
+  bench::verdict(bands_ordered && worst_spread <= 8,
+                 "sub-domain grouping recovers the stencil's time-step "
+                 "bands");
+  bench::verdict(scrambled > 0,
+                 "the schedule really was scrambled (" +
+                     std::to_string(scrambled) +
+                     " cross-step jumps on workers)");
+  return 0;
+}

@@ -1,0 +1,164 @@
+/// \file lassen_hotspots.cpp
+/// Reproduce the paper's §6.2 analysis on LASSEN: color the logical
+/// structure by differential duration, find the recurring long-duration
+/// events, and compare the 8-chare and 64-chare decompositions (the finer
+/// one splits the wavefront, shrinking both differential duration and
+/// imbalance).
+///
+///   ./lassen_hotspots [--iterations=10 --svg-prefix=lassen]
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "apps/lassen.hpp"
+#include "metrics/critical_path.hpp"
+#include "metrics/duration.hpp"
+#include "metrics/imbalance.hpp"
+#include "metrics/profile.hpp"
+#include "order/stepping.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "vis/svg.hpp"
+
+namespace {
+
+struct RunSummary {
+  logstruct::trace::TimeNs max_diff_dur = 0;
+  logstruct::trace::TimeNs total_imbalance = 0;  ///< summed over phases
+  /// chare index -> how many iterations it held the per-iteration maximum
+  /// differential duration.
+  std::map<std::int32_t, int> hot_chares;
+};
+
+RunSummary analyze(const logstruct::apps::LassenConfig& cfg,
+                   const std::string& svg_path) {
+  using namespace logstruct;
+  trace::Trace t = apps::run_lassen_charm(cfg);
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::charm());
+  metrics::DifferentialDuration dd = metrics::differential_duration(t, ls);
+  metrics::Imbalance imb = metrics::imbalance(t, ls);
+
+  RunSummary s;
+  s.max_diff_dur = dd.max_value;
+  for (auto v : imb.per_phase) s.total_imbalance += v;
+
+  // Per application phase, the chare with the largest differential
+  // duration — the paper's "same chare and role each iteration" pattern.
+  std::map<std::int32_t, std::pair<trace::TimeNs, std::int32_t>> per_phase;
+  for (trace::EventId e = 0; e < t.num_events(); ++e) {
+    std::int32_t ph = ls.phases.phase_of_event[static_cast<std::size_t>(e)];
+    if (ls.phases.runtime[static_cast<std::size_t>(ph)]) continue;
+    auto& best = per_phase[ph];
+    if (dd.per_event[static_cast<std::size_t>(e)] > best.first) {
+      best = {dd.per_event[static_cast<std::size_t>(e)],
+              t.chare(t.event(e).chare).index};
+    }
+  }
+  for (const auto& [ph, best] : per_phase) {
+    if (best.first > 0) ++s.hot_chares[best.second];
+  }
+
+  if (!svg_path.empty()) {
+    vis::SvgOptions opts;
+    opts.values.assign(dd.per_event.begin(), dd.per_event.end());
+    std::ofstream f(svg_path);
+    f << vis::render_logical_svg(t, ls, opts);
+    if (f) std::printf("wrote %s\n", svg_path.c_str());
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+
+  util::Flags flags;
+  flags.define_int("iterations", 10, "LASSEN iterations");
+  flags.define_string("svg-prefix", "", "write <prefix>_{8,64}.svg");
+  if (!flags.parse(argc, argv)) return 1;
+
+  apps::LassenConfig coarse;  // 4x2 = 8 chares
+  coarse.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
+  apps::LassenConfig fine = coarse;  // 8x8 = 64 chares
+  fine.chares_x = 8;
+  fine.chares_y = 8;
+
+  std::string prefix = flags.get_string("svg-prefix");
+  RunSummary s8 = analyze(coarse, prefix.empty() ? "" : prefix + "_8.svg");
+  RunSummary s64 = analyze(fine, prefix.empty() ? "" : prefix + "_64.svg");
+
+  util::TablePrinter table({"decomposition", "max diff duration (us)",
+                            "total imbalance (us)", "recurring hot chares"});
+  auto hot_str = [](const RunSummary& s) {
+    std::string out;
+    int shown = 0;
+    for (const auto& [chare, n] : s.hot_chares) {
+      if (shown++ == 6) {
+        out += "...";
+        break;
+      }
+      out += "#" + std::to_string(chare) + "x" + std::to_string(n) + " ";
+    }
+    return out;
+  };
+  table.row()
+      .add("8 chares (4x2)")
+      .add(s8.max_diff_dur / 1000.0)
+      .add(s8.total_imbalance / 1000.0)
+      .add(hot_str(s8));
+  table.row()
+      .add("64 chares (8x8)")
+      .add(s64.max_diff_dur / 1000.0)
+      .add(s64.total_imbalance / 1000.0)
+      .add(hot_str(s64));
+  table.print();
+
+  std::printf("\n64-chare / 8-chare max differential duration ratio: %.2f "
+              "(paper: ~0.25)\n",
+              static_cast<double>(s64.max_diff_dur) /
+                  static_cast<double>(s8.max_diff_dur));
+  std::printf("64-chare / 8-chare overall imbalance ratio: %.2f "
+              "(paper: < 0.5)\n",
+              static_cast<double>(s64.total_imbalance) /
+                  static_cast<double>(s8.total_imbalance));
+
+  // Extended analysis on the coarse run: where does the time go (the
+  // Projections-style profile) and through whom does the critical path
+  // run (expected: the wavefront chares).
+  {
+    trace::Trace t = apps::run_lassen_charm(coarse);
+    order::LogicalStructure ls =
+        order::extract_structure(t, order::Options::charm());
+    std::printf("\nentry profile (8-chare run):\n");
+    util::TablePrinter prof({"entry", "calls", "total (us)", "mean (us)"});
+    for (const auto& row : metrics::entry_profile(t)) {
+      prof.row()
+          .add(row.name)
+          .add(row.executions)
+          .add(row.total_ns / 1000.0)
+          .add(row.mean_ns() / 1000.0);
+    }
+    prof.print();
+
+    metrics::CriticalPath cp = metrics::critical_path(t, ls);
+    std::printf("\ncritical path: %.1f us across %zu events "
+                "(%.0f%% of the makespan); heaviest chares:",
+                cp.length_ns / 1000.0, cp.events.size(),
+                100.0 * cp.coverage);
+    std::vector<std::pair<trace::TimeNs, trace::ChareId>> shares;
+    for (trace::ChareId c = 0; c < t.num_chares(); ++c)
+      if (cp.chare_share[static_cast<std::size_t>(c)] > 0)
+        shares.emplace_back(cp.chare_share[static_cast<std::size_t>(c)], c);
+    std::sort(shares.rbegin(), shares.rend());
+    for (std::size_t i = 0; i < shares.size() && i < 4; ++i)
+      std::printf(" %s (%.0f us)",
+                  t.chare(shares[i].second).name.c_str(),
+                  shares[i].first / 1000.0);
+    std::printf("\n");
+  }
+  return 0;
+}

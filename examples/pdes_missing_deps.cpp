@@ -1,0 +1,68 @@
+/// \file pdes_missing_deps.cpp
+/// Reproduce the paper's Fig. 24: in the PDES mini-app, the call into the
+/// completion detector is not recorded, so the detector (runtime) phase
+/// cannot be ordered after the simulation phase and overlaps its global
+/// steps. Re-running with the dependency traced shows the repaired
+/// structure.
+///
+///   ./pdes_missing_deps [--chares=16 --pes=4 --windows=2]
+
+#include <cstdio>
+
+#include "apps/pdes.hpp"
+#include "order/stats.hpp"
+#include "order/stepping.hpp"
+#include "util/flags.hpp"
+#include "vis/ascii.hpp"
+
+namespace {
+
+/// Maximum overlap between any simulation (app) phase's step range and any
+/// detector (runtime) phase's step range.
+double max_app_runtime_overlap(const logstruct::trace::Trace& t,
+                               const logstruct::order::LogicalStructure& ls) {
+  double worst = 0;
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p) {
+    if (ls.phases.runtime[static_cast<std::size_t>(p)]) continue;
+    for (std::int32_t q = 0; q < ls.num_phases(); ++q) {
+      if (!ls.phases.runtime[static_cast<std::size_t>(q)]) continue;
+      worst = std::max(worst, logstruct::order::step_overlap(ls, q, p));
+    }
+  }
+  (void)t;
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+
+  util::Flags flags;
+  flags.define_int("chares", 16, "simulation chares");
+  flags.define_int("pes", 4, "processing elements");
+  flags.define_int("windows", 1, "PDES windows (1 = the paper's Fig. 24 view)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  apps::PdesConfig cfg;
+  cfg.num_chares = static_cast<std::int32_t>(flags.get_int("chares"));
+  cfg.num_pes = static_cast<std::int32_t>(flags.get_int("pes"));
+  cfg.windows = static_cast<std::int32_t>(flags.get_int("windows"));
+
+  for (bool traced : {false, true}) {
+    cfg.trace_detector_calls = traced;
+    trace::Trace t = apps::run_pdes(cfg);
+    order::LogicalStructure ls =
+        order::extract_structure(t, order::Options::charm());
+    std::printf("== detector calls %s ==\n",
+                traced ? "TRACED" : "NOT TRACED (paper's situation)");
+    std::fputs(vis::render_logical_ascii(t, ls).c_str(), stdout);
+    std::printf("max detector-phase overlap with a simulation phase: "
+                "%.0f%% of the detector phase's steps\n\n",
+                100.0 * max_app_runtime_overlap(t, ls));
+  }
+  std::puts("Without the recorded dependency nothing orders the detector");
+  std::puts("after the work that triggered it; tracing the call repairs");
+  std::puts("the sequence (paper Sec. 7.1).");
+  return 0;
+}

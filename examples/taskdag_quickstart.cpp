@@ -1,0 +1,73 @@
+/// \file taskdag_quickstart.cpp
+/// The §7 path end to end: build an explicit task graph for a non-Charm
+/// runtime, execute it on simulated workers, and recover its logical
+/// structure with the very same pipeline — sub-domain timelines instead
+/// of worker timelines.
+///
+///   ./taskdag_quickstart [--width=10 --steps=6 --workers=4
+///                         --graph=stencil|forkjoin --html=out.html]
+
+#include <cstdio>
+
+#include "order/stats.hpp"
+#include "order/stepping.hpp"
+#include "order/validate.hpp"
+#include "sim/taskdag/taskdag.hpp"
+#include "util/flags.hpp"
+#include "vis/ascii.hpp"
+#include "vis/html.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+
+  util::Flags flags;
+  flags.define_string("graph", "stencil", "stencil or forkjoin");
+  flags.define_int("width", 10, "stencil sub-domains");
+  flags.define_int("steps", 6, "stencil time steps");
+  flags.define_int("levels", 5, "fork-join levels");
+  flags.define_int("workers", 4, "simulated workers");
+  flags.define_int("seed", 1, "scheduling seed");
+  flags.define_string("html", "", "write the interactive viewer here");
+  if (!flags.parse(argc, argv)) return 1;
+
+  sim::taskdag::TaskGraph g;
+  if (flags.get_string("graph") == "forkjoin") {
+    g = sim::taskdag::fork_join(
+        static_cast<std::int32_t>(flags.get_int("levels")));
+  } else {
+    g = sim::taskdag::stencil_1d(
+        static_cast<std::int32_t>(flags.get_int("width")),
+        static_cast<std::int32_t>(flags.get_int("steps")));
+  }
+
+  sim::taskdag::TaskDagConfig cfg;
+  cfg.num_workers = static_cast<std::int32_t>(flags.get_int("workers"));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  trace::Trace t = sim::taskdag::simulate(g, cfg);
+  std::printf("executed %zu tasks over %d sub-domains on %d workers\n",
+              g.size(), t.num_chares(), t.num_procs());
+
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::charm());
+  auto problems = order::validate_structure(t, ls);
+  if (!problems.empty()) {
+    std::printf("structure problems: %s\n", problems.front().c_str());
+    return 1;
+  }
+  order::StructureStats stats = order::compute_stats(t, ls);
+  std::printf("recovered %d phases, %d global steps\n\n", stats.num_phases,
+              stats.width);
+
+  std::fputs(vis::render_physical_ascii(t, ls).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(vis::render_logical_ascii(t, ls).c_str(), stdout);
+
+  const std::string html = flags.get_string("html");
+  if (!html.empty()) {
+    vis::HtmlOptions hopts;
+    hopts.title = flags.get_string("graph") + " task graph";
+    if (vis::save_html(t, ls, html, hopts))
+      std::printf("wrote viewer: %s\n", html.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "apps/jacobi2d.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "sim/charm/chare.hpp"
+#include "sim/charm/runtime.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::apps {
+
+namespace {
+
+using sim::charm::Callback;
+using sim::charm::MsgData;
+using sim::charm::ReducerOp;
+using sim::charm::Runtime;
+using trace::EntryId;
+
+struct JacobiEntries {
+  EntryId resume;       ///< reduction-broadcast target / initial kick
+  EntryId serial_begin; ///< SDAG serial_0: send halos
+  EntryId recv_halo;    ///< halo arrival (when-entry of serial_1)
+  EntryId serial_comp;  ///< SDAG serial_1: compute + contribute
+  EntryId main_start;   ///< bootstrap on the main chare
+};
+
+class JacobiChare final : public sim::charm::Chare {
+ public:
+  JacobiChare(const Jacobi2DConfig& cfg, const JacobiEntries& e)
+      : cfg_(&cfg), e_(&e) {}
+
+  void on_message(EntryId entry, const MsgData& data) override {
+    if (entry == e_->resume) {
+      on_resume();
+    } else if (entry == e_->serial_begin) {
+      on_serial_begin();
+    } else if (entry == e_->recv_halo) {
+      on_recv_halo(data);
+    } else if (entry == e_->serial_comp) {
+      on_serial_comp();
+    } else {
+      LS_CHECK_MSG(false, "jacobi: unknown entry");
+    }
+  }
+
+ private:
+  [[nodiscard]] std::int32_t x() const { return index() % cfg_->chares_x; }
+  [[nodiscard]] std::int32_t y() const { return index() / cfg_->chares_x; }
+
+  [[nodiscard]] std::vector<std::int32_t> neighbors() const {
+    std::vector<std::int32_t> out;
+    if (x() > 0) out.push_back(index() - 1);
+    if (x() + 1 < cfg_->chares_x) out.push_back(index() + 1);
+    if (y() > 0) out.push_back(index() - cfg_->chares_x);
+    if (y() + 1 < cfg_->chares_y) out.push_back(index() + cfg_->chares_x);
+    return out;
+  }
+
+  void on_resume() {
+    ++iter_;
+    if (iter_ > cfg_->iterations) return;  // converged: fall silent
+    if (iter_ - 1 == cfg_->migrate_at_iteration) {
+      // Load-balancing step: rotate to the neighboring PE before any work
+      // (and before this iteration's contribute) so reductions stay
+      // consistent.
+      rt().migrate((pe() + 1) % rt().num_pes());
+    }
+    rt().schedule_immediate(e_->serial_begin);
+  }
+
+  void on_serial_begin() {
+    rt().compute(500);  // boundary packing
+    for (std::int32_t nb : neighbors()) {
+      MsgData halo;
+      halo.ints = {iter_};
+      rt().send(rt().array_element(array(), nb), e_->recv_halo,
+                std::move(halo), /*bytes=*/512);
+    }
+    maybe_run_compute();  // degenerate 1x1 grids have no halos to wait for
+  }
+
+  void on_recv_halo(const MsgData& data) {
+    rt().compute(200);  // unpack ghost layer
+    auto iter = static_cast<std::size_t>(data.ints.at(0));
+    if (halos_.size() <= iter) halos_.resize(iter + 1, 0);
+    ++halos_[iter];
+    maybe_run_compute();
+  }
+
+  void maybe_run_compute() {
+    auto have = halos_.size() > static_cast<std::size_t>(iter_)
+                    ? halos_[static_cast<std::size_t>(iter_)]
+                    : 0;
+    if (iter_ >= 1 && iter_ <= cfg_->iterations && !comp_scheduled_ &&
+        have == static_cast<std::int32_t>(neighbors().size())) {
+      comp_scheduled_ = true;
+      rt().schedule_immediate(e_->serial_comp);
+    }
+  }
+
+  void on_serial_comp() {
+    comp_scheduled_ = false;
+    std::int64_t work =
+        cfg_->compute_ns +
+        rt().app_rng().uniform_range(0, cfg_->compute_noise_ns);
+    if (index() == cfg_->slow_chare &&
+        (cfg_->slow_every_iteration || iter_ - 1 == cfg_->slow_iteration)) {
+      work = static_cast<std::int64_t>(static_cast<double>(work) *
+                                       cfg_->slow_factor);
+    }
+    rt().compute(work);
+    if (iter_ - 1 == cfg_->lb_at_iteration) {
+      // AtSync replaces the reduction barrier: the LBManager's resume
+      // broadcast starts the next iteration once everyone reported.
+      rt().at_sync();
+      return;
+    }
+    // Max-norm residual; value is irrelevant to the structure.
+    rt().contribute(1.0, ReducerOp::Max,
+                    Callback::broadcast(array(), e_->resume));
+  }
+
+  const Jacobi2DConfig* cfg_;
+  const JacobiEntries* e_;
+  std::int32_t iter_ = 0;  // incremented by resume; iteration 1..N
+  std::vector<std::int32_t> halos_;
+  bool comp_scheduled_ = false;
+};
+
+class JacobiMain final : public sim::charm::Chare {
+ public:
+  JacobiMain(const JacobiEntries& e, trace::ArrayId array)
+      : e_(&e), array_(array) {}
+
+  void on_message(EntryId entry, const MsgData&) override {
+    LS_CHECK(entry == e_->main_start);
+    rt().compute(1000);  // problem setup
+    rt().broadcast(array_, e_->resume);
+  }
+
+ private:
+  const JacobiEntries* e_;
+  trace::ArrayId array_;
+};
+
+}  // namespace
+
+trace::Trace run_jacobi2d(const Jacobi2DConfig& cfg) {
+  LS_CHECK(cfg.chares_x > 0 && cfg.chares_y > 0 && cfg.iterations > 0);
+  sim::charm::RuntimeConfig rc;
+  rc.num_pes = cfg.num_pes;
+  rc.seed = cfg.seed;
+  rc.trace_local_reductions = cfg.trace_local_reductions;
+  Runtime rt(rc);
+
+  JacobiEntries e;
+  e.resume = rt.register_entry("resume");
+  e.serial_begin = rt.register_entry("serial_0_sendHalos", false,
+                                     /*sdag_serial=*/0, {e.resume});
+  e.recv_halo = rt.register_entry("recvHalo");
+  e.serial_comp = rt.register_entry("serial_1_compute", false,
+                                    /*sdag_serial=*/1, {e.recv_halo});
+  e.main_start = rt.register_entry("main");
+
+  trace::ArrayId array = rt.create_array<JacobiChare>(
+      "jacobi", cfg.chares_x * cfg.chares_y, cfg.placement, cfg, e);
+  if (cfg.lb_at_iteration >= 0)
+    rt.configure_lb(array, cfg.lb_strategy, e.resume);
+  trace::ChareId main = rt.create_singleton<JacobiMain>(
+      "main", /*pe=*/0, /*runtime=*/false, e, array);
+
+  rt.start(main, e.main_start);
+  return rt.run();
+}
+
+}  // namespace logstruct::apps

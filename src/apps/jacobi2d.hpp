@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file jacobi2d.hpp
+/// Jacobi 2D heat-distribution proxy (Charm++ model).
+///
+/// The running example of the paper: a 2D chare array performs halo
+/// exchanges with its 4-neighborhood, computes, and contributes to a
+/// max-norm reduction whose broadcast starts the next iteration. Written
+/// SDAG-style: `serial_0` (send halos) runs on resume, `serial_1` (compute
+/// + contribute) is guarded by `when recvHalo()`, so the traces exercise
+/// the §2.1 absorption and serial-adjacency inference.
+
+#include <cstdint>
+
+#include "sim/charm/config.hpp"
+#include "sim/charm/loadbalancer.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::apps {
+
+struct Jacobi2DConfig {
+  std::int32_t chares_x = 8;
+  std::int32_t chares_y = 8;
+  std::int32_t num_pes = 8;
+  std::int32_t iterations = 2;
+  std::uint64_t seed = 1;
+
+  /// Base compute cost of one chare-iteration and its uniform noise.
+  std::int64_t compute_ns = 20000;
+  std::int64_t compute_noise_ns = 2000;
+
+  /// Inject one long computation (paper Figs. 14/15): chare `slow_chare`
+  /// multiplies its compute by slow_factor during iteration
+  /// `slow_iteration` (0-based; -1 disables).
+  std::int32_t slow_chare = -1;
+  std::int32_t slow_iteration = -1;
+  double slow_factor = 4.0;
+  /// Make slow_chare slow in EVERY iteration instead (a persistent
+  /// hotspot — the case measurement-based load balancing fixes).
+  bool slow_every_iteration = false;
+
+  /// Paper §5 toggle: record process-local reduction events.
+  bool trace_local_reductions = true;
+
+  /// Rotate every chare to the next PE at the start of this 0-based
+  /// iteration (-1: never). Exercises task migration: logically linked
+  /// tasks then span processors, which the chare-centric structure
+  /// handles and the process-centric view cannot.
+  std::int32_t migrate_at_iteration = -1;
+
+  /// Run an AtSync load-balancing step instead of the reduction at the end
+  /// of this 0-based iteration (-1: never). The LBManager collects every
+  /// chare's measured load, reassigns placements with lb_strategy, and its
+  /// resume broadcast starts the next iteration.
+  std::int32_t lb_at_iteration = -1;
+  sim::charm::LbStrategy lb_strategy = sim::charm::LbStrategy::Greedy;
+
+  sim::charm::Placement placement = sim::charm::Placement::Block;
+};
+
+/// Run the simulation and return its event trace.
+trace::Trace run_jacobi2d(const Jacobi2DConfig& cfg);
+
+}  // namespace logstruct::apps

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file lassen.hpp
+/// LASSEN wavefront-propagation proxy (paper §6.2, Figs. 20-23).
+///
+/// Models a wavefront expanding through a regular 2D Cartesian grid from
+/// the origin corner. Per iteration each sub-domain exchanges front data
+/// with its neighbors and the program allreduces a termination criterion.
+/// Compute cost is front-dependent: only sub-domains the front currently
+/// crosses do real work — the source of the differential-duration and
+/// imbalance signatures of Figs. 21-23.
+///
+/// The Charm++ flavor inserts the paper's short control phase: after its
+/// local work each chare invokes itself ("advance") — a pure two-step
+/// control phase between the point-to-point phase and the allreduce.
+/// It also alternates the neighbor enumeration order between iterations
+/// (the paper observes the large p2p phase's structure alternating).
+
+#include <cstdint>
+
+#include "sim/charm/config.hpp"
+#include "sim/charm/loadbalancer.hpp"
+#include "sim/mpi/program.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::apps {
+
+struct LassenConfig {
+  std::int32_t chares_x = 4;  ///< grid of sub-domains (8 = 4x2, 64 = 8x8)
+  std::int32_t chares_y = 2;
+  std::int32_t num_pes = 8;  ///< Charm++ flavor only
+  std::int32_t iterations = 12;
+  std::uint64_t seed = 1;
+
+  /// Wavefront geometry on the unit square: radius r(it) = front_r0 +
+  /// it * front_dr, centered at the origin corner.
+  double front_r0 = 0.05;
+  double front_dr = 0.08;
+
+  std::int64_t base_compute_ns = 2000;    ///< bookkeeping everywhere
+  std::int64_t front_compute_ns = 60000;  ///< work per unit of front length
+                                          ///< crossing the sub-domain
+  bool trace_local_reductions = true;     ///< Charm++ flavor only
+
+  /// Charm++ flavor: run an AtSync load-balancing step instead of the
+  /// reduction every `lb_period` iterations (0 = never). The wavefront
+  /// keeps moving, so periodic Greedy balancing tracks it.
+  std::int32_t lb_period = 0;
+  sim::charm::LbStrategy lb_strategy = sim::charm::LbStrategy::Greedy;
+  sim::charm::Placement placement = sim::charm::Placement::Block;
+};
+
+/// Front-dependent work for sub-domain (cx, cy) at 0-based iteration it:
+/// base plus front_compute_ns scaled by the approximate length of the
+/// front arc inside the sub-domain (0 when the front misses it).
+std::int64_t lassen_work_ns(const LassenConfig& cfg, std::int32_t cx,
+                            std::int32_t cy, std::int32_t it);
+
+trace::Trace run_lassen_charm(const LassenConfig& cfg);
+trace::Trace run_lassen_mpi(const LassenConfig& cfg);
+sim::mpi::Program build_lassen_mpi_program(const LassenConfig& cfg);
+
+}  // namespace logstruct::apps

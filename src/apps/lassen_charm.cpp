@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "apps/lassen.hpp"
+#include "sim/charm/chare.hpp"
+#include "sim/charm/runtime.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::apps {
+
+std::int64_t lassen_work_ns(const LassenConfig& cfg, std::int32_t cx,
+                            std::int32_t cy, std::int32_t it) {
+  // Sub-domain [x0,x1] x [y0,y1] of the unit square; front is the circle of
+  // radius r around the origin. Approximate the arc length inside the
+  // sub-domain by sampling the quarter-circle.
+  const double x0 = static_cast<double>(cx) / cfg.chares_x;
+  const double x1 = static_cast<double>(cx + 1) / cfg.chares_x;
+  const double y0 = static_cast<double>(cy) / cfg.chares_y;
+  const double y1 = static_cast<double>(cy + 1) / cfg.chares_y;
+  const double r = cfg.front_r0 + it * cfg.front_dr;
+
+  constexpr double kHalfPi = std::numbers::pi / 2.0;
+  constexpr int kSamples = 256;
+  int inside = 0;
+  for (int s = 0; s < kSamples; ++s) {
+    double theta = (s + 0.5) * (kHalfPi / kSamples);
+    double px = r * std::cos(theta);
+    double py = r * std::sin(theta);
+    if (px >= x0 && px < x1 && py >= y0 && py < y1) ++inside;
+  }
+  double arc_fraction = static_cast<double>(inside) / kSamples;
+  // Total quarter-arc length is (pi/2) r; work scales with the absolute
+  // length inside this sub-domain.
+  double arc_len = arc_fraction * kHalfPi * r;
+  return cfg.base_compute_ns +
+         static_cast<std::int64_t>(arc_len * 10.0 *
+                                   static_cast<double>(cfg.front_compute_ns));
+}
+
+namespace {
+
+using sim::charm::Callback;
+using sim::charm::MsgData;
+using sim::charm::ReducerOp;
+using sim::charm::Runtime;
+using trace::EntryId;
+
+struct LassenEntries {
+  EntryId main_start;
+  EntryId resume;      ///< allreduce broadcast: start iteration
+  EntryId recv_front;  ///< neighbor front data
+  EntryId advance;     ///< control self-invocation
+};
+
+class LassenChare final : public sim::charm::Chare {
+ public:
+  LassenChare(const LassenConfig& cfg, const LassenEntries& e)
+      : cfg_(&cfg), e_(&e) {}
+
+  void on_message(EntryId entry, const MsgData& data) override {
+    if (entry == e_->resume) {
+      on_resume();
+    } else if (entry == e_->recv_front) {
+      on_recv_front(data);
+    } else if (entry == e_->advance) {
+      on_advance();
+    } else {
+      LS_CHECK_MSG(false, "lassen: unknown entry");
+    }
+  }
+
+ private:
+  [[nodiscard]] std::int32_t x() const { return index() % cfg_->chares_x; }
+  [[nodiscard]] std::int32_t y() const { return index() / cfg_->chares_x; }
+
+  /// 4-neighborhood; order alternates between iterations (the source of
+  /// the alternating p2p-phase structure the paper observes).
+  [[nodiscard]] std::vector<std::int32_t> neighbors(bool reversed) const {
+    std::vector<std::int32_t> out;
+    if (x() > 0) out.push_back(index() - 1);
+    if (x() + 1 < cfg_->chares_x) out.push_back(index() + 1);
+    if (y() > 0) out.push_back(index() - cfg_->chares_x);
+    if (y() + 1 < cfg_->chares_y) out.push_back(index() + cfg_->chares_x);
+    if (reversed) std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  void on_resume() {
+    ++iter_;
+    if (iter_ > cfg_->iterations) return;
+    // Wavefront update for this step, then share front data.
+    rt().compute(lassen_work_ns(*cfg_, x(), y(), iter_ - 1));
+    for (std::int32_t nb : neighbors(iter_ % 2 == 0)) {
+      MsgData front;
+      front.ints = {iter_};
+      rt().send(rt().array_element(array(), nb), e_->recv_front,
+                std::move(front), /*bytes=*/256);
+    }
+    check_fronts();  // neighbors may already have delivered everything
+  }
+
+  void on_recv_front(const MsgData& data) {
+    rt().compute(300);  // fold in neighbor front segments
+    auto it = static_cast<std::size_t>(data.ints.at(0));
+    if (seen_.size() <= it) seen_.resize(it + 1, 0);
+    ++seen_[it];
+    check_fronts();
+  }
+
+  void check_fronts() {
+    auto cur = static_cast<std::size_t>(iter_);
+    if (iter_ >= 1 && iter_ <= cfg_->iterations && fired_iter_ < iter_ &&
+        seen_.size() > cur &&
+        seen_[cur] == static_cast<std::int32_t>(neighbors(false).size())) {
+      fired_iter_ = iter_;
+      if (cfg_->lb_period > 0 && iter_ % cfg_->lb_period == 0) {
+        // Periodic AtSync step in place of the reduction barrier: the
+        // LBManager's resume broadcast starts the next iteration.
+        rt().at_sync();
+        rt().send(id(), e_->advance, {}, /*bytes=*/16);
+        return;
+      }
+      // All fronts in: contribute the termination criterion, then poke
+      // ourselves with a pure control message. The contribute separates
+      // the self-send from the halo receives inside this serial block, so
+      // the self-invocation forms its own short two-step phase.
+      rt().contribute(1.0, ReducerOp::Sum,
+                      Callback::broadcast(array(), e_->resume));
+      rt().send(id(), e_->advance, {}, /*bytes=*/16);
+    }
+  }
+
+  void on_advance() {
+    rt().compute(200);  // step bookkeeping only
+  }
+
+  const LassenConfig* cfg_;
+  const LassenEntries* e_;
+  std::int32_t iter_ = 0;
+  std::int32_t fired_iter_ = 0;
+  std::vector<std::int32_t> seen_;
+};
+
+class LassenMain final : public sim::charm::Chare {
+ public:
+  LassenMain(const LassenEntries& e, trace::ArrayId array)
+      : e_(&e), array_(array) {}
+
+  void on_message(EntryId entry, const MsgData&) override {
+    LS_CHECK(entry == e_->main_start);
+    rt().compute(1000);
+    rt().broadcast(array_, e_->resume);
+  }
+
+ private:
+  const LassenEntries* e_;
+  trace::ArrayId array_;
+};
+
+}  // namespace
+
+trace::Trace run_lassen_charm(const LassenConfig& cfg) {
+  LS_CHECK(cfg.chares_x > 0 && cfg.chares_y > 0 && cfg.iterations > 0);
+  sim::charm::RuntimeConfig rc;
+  rc.num_pes = cfg.num_pes;
+  rc.seed = cfg.seed;
+  rc.trace_local_reductions = cfg.trace_local_reductions;
+  Runtime rt(rc);
+
+  LassenEntries e;
+  e.main_start = rt.register_entry("main");
+  e.resume = rt.register_entry("resume");
+  e.recv_front = rt.register_entry("recvFront");
+  e.advance = rt.register_entry("advance");
+
+  trace::ArrayId array = rt.create_array<LassenChare>(
+      "lassen", cfg.chares_x * cfg.chares_y, cfg.placement, cfg, e);
+  if (cfg.lb_period > 0) rt.configure_lb(array, cfg.lb_strategy, e.resume);
+  trace::ChareId main = rt.create_singleton<LassenMain>(
+      "main", /*pe=*/0, /*runtime=*/false, e, array);
+
+  rt.start(main, e.main_start);
+  return rt.run();
+}
+
+}  // namespace logstruct::apps

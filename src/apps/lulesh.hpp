@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file lulesh.hpp
+/// LULESH hydrodynamics proxy skeletons (paper §6.1, Figs. 16-19).
+///
+/// Communication shape reproduced from the paper's observations:
+///  - MPI:    setup phase, then per iteration {three point-to-point face
+///            phases} + allreduce (dt).
+///  - Charm++: setup phase, then per iteration {two point-to-point phases
+///            with mirrored communication patterns} + allreduce through the
+///            runtime reduction chares.
+/// Chares/ranks form a 3D grid (8 = 2^3, 64 = 4^3, 13824 = 24^3, matching
+/// the paper's chare counts); each exchanges with its up-to-6 face
+/// neighbors.
+
+#include <cstdint>
+
+#include "sim/charm/config.hpp"
+#include "sim/mpi/program.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::apps {
+
+struct LuleshConfig {
+  /// Chares (or ranks) per grid dimension; total = nx*ny*nz.
+  std::int32_t nx = 2, ny = 2, nz = 2;
+  std::int32_t num_pes = 2;  ///< Charm++ flavor only
+  std::int32_t iterations = 8;
+  std::uint64_t seed = 1;
+  std::int64_t compute_ns = 30000;
+  std::int64_t compute_noise_ns = 3000;
+  bool trace_local_reductions = true;  ///< Charm++ flavor only
+  /// MPI flavor: emit the dt allreduce as explicit reduce+broadcast tree
+  /// messages instead of one abstracted collective call (§7.1's
+  /// abstraction-level choice).
+  bool tree_collectives = false;
+  sim::charm::Placement placement = sim::charm::Placement::Block;
+};
+
+/// Charm++-model run: returns the trace.
+trace::Trace run_lulesh_charm(const LuleshConfig& cfg);
+
+/// MPI-model run (num_pes ignored; one rank per grid point).
+trace::Trace run_lulesh_mpi(const LuleshConfig& cfg);
+
+/// The MPI program itself (exposed for tests).
+sim::mpi::Program build_lulesh_mpi_program(const LuleshConfig& cfg);
+
+}  // namespace logstruct::apps

@@ -1,0 +1,238 @@
+#include <vector>
+
+#include "apps/lulesh.hpp"
+#include "sim/charm/chare.hpp"
+#include "sim/charm/runtime.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::apps {
+
+namespace {
+
+using sim::charm::Callback;
+using sim::charm::MsgData;
+using sim::charm::ReducerOp;
+using sim::charm::Runtime;
+using trace::EntryId;
+
+struct LuleshEntries {
+  EntryId main_start;
+  EntryId init;          ///< broadcast from main: send setup halos
+  EntryId recv_setup;    ///< setup halo (when-entry of serial_setup)
+  EntryId serial_setup;  ///< SDAG serial_0: finish setup, start iter 1
+  EntryId recv_face_a;   ///< phase-A face halo
+  EntryId serial_a;      ///< SDAG serial_1: compute, send phase-B halos
+  EntryId recv_face_b;   ///< phase-B face halo
+  EntryId serial_b;      ///< SDAG serial_2: compute, contribute dt
+  EntryId resume;        ///< dt broadcast: next iteration
+};
+
+class LuleshChare final : public sim::charm::Chare {
+ public:
+  LuleshChare(const LuleshConfig& cfg, const LuleshEntries& e)
+      : cfg_(&cfg), e_(&e) {}
+
+  void on_message(EntryId entry, const MsgData& data) override {
+    if (entry == e_->init) {
+      on_init();
+    } else if (entry == e_->recv_setup) {
+      on_recv_setup();
+    } else if (entry == e_->serial_setup) {
+      on_serial_setup();
+    } else if (entry == e_->recv_face_a) {
+      on_recv_face(data, face_a_, e_->serial_a);
+    } else if (entry == e_->serial_a) {
+      on_serial_a();
+    } else if (entry == e_->recv_face_b) {
+      on_recv_face(data, face_b_, e_->serial_b);
+    } else if (entry == e_->serial_b) {
+      on_serial_b();
+    } else if (entry == e_->resume) {
+      on_resume();
+    } else {
+      LS_CHECK_MSG(false, "lulesh: unknown entry");
+    }
+  }
+
+ private:
+  [[nodiscard]] std::int32_t gx() const { return index() % cfg_->nx; }
+  [[nodiscard]] std::int32_t gy() const {
+    return (index() / cfg_->nx) % cfg_->ny;
+  }
+  [[nodiscard]] std::int32_t gz() const {
+    return index() / (cfg_->nx * cfg_->ny);
+  }
+  [[nodiscard]] std::int32_t flat(std::int32_t x, std::int32_t y,
+                                  std::int32_t z) const {
+    return (z * cfg_->ny + y) * cfg_->nx + x;
+  }
+
+  /// Up-to-6 face neighbors; `mirrored` reverses the enumeration order
+  /// (the paper's two per-iteration phases have mirrored patterns).
+  [[nodiscard]] std::vector<std::int32_t> face_neighbors(bool mirrored)
+      const {
+    std::vector<std::int32_t> out;
+    auto add = [&](std::int32_t dx, std::int32_t dy, std::int32_t dz) {
+      std::int32_t x = gx() + dx, y = gy() + dy, z = gz() + dz;
+      if (x >= 0 && x < cfg_->nx && y >= 0 && y < cfg_->ny && z >= 0 &&
+          z < cfg_->nz)
+        out.push_back(flat(x, y, z));
+    };
+    if (!mirrored) {
+      add(-1, 0, 0); add(1, 0, 0);
+      add(0, -1, 0); add(0, 1, 0);
+      add(0, 0, -1); add(0, 0, 1);
+    } else {
+      add(0, 0, 1); add(0, 0, -1);
+      add(0, 1, 0); add(0, -1, 0);
+      add(1, 0, 0); add(-1, 0, 0);
+    }
+    return out;
+  }
+
+  void send_faces(EntryId entry, bool mirrored) {
+    for (std::int32_t nb : face_neighbors(mirrored)) {
+      MsgData halo;
+      halo.ints = {iter_};
+      rt().send(rt().array_element(array(), nb), entry, std::move(halo),
+                /*bytes=*/1024);
+    }
+  }
+
+  [[nodiscard]] std::int32_t degree() const {
+    return static_cast<std::int32_t>(face_neighbors(false).size());
+  }
+
+  void compute_block() {
+    rt().compute(cfg_->compute_ns +
+                 rt().app_rng().uniform_range(0, cfg_->compute_noise_ns));
+  }
+
+  void on_init() {
+    rt().compute(2000);  // mesh construction
+    send_faces(e_->recv_setup, false);
+    if (degree() == 0) rt().schedule_immediate(e_->serial_setup);
+  }
+
+  void on_recv_setup() {
+    rt().compute(300);
+    if (++setup_seen_ == degree())
+      rt().schedule_immediate(e_->serial_setup);
+  }
+
+  void on_serial_setup() {
+    rt().compute(5000);  // initial state
+    iter_ = 1;
+    send_faces(e_->recv_face_a, false);
+    check_faces(face_a_, e_->serial_a);
+  }
+
+  void on_recv_face(const MsgData& data, std::vector<std::int32_t>& seen,
+                    EntryId serial) {
+    rt().compute(300);
+    auto it = static_cast<std::size_t>(data.ints.at(0));
+    if (seen.size() <= it) seen.resize(it + 1, 0);
+    ++seen[it];
+    check_faces(seen, serial);
+  }
+
+  void check_faces(std::vector<std::int32_t>& seen, EntryId serial) {
+    if (iter_ < 1 || iter_ > cfg_->iterations) return;
+    auto it = static_cast<std::size_t>(iter_);
+    if (seen.size() <= it) seen.resize(it + 1, 0);
+    // Guard flags keep a serial from double-firing when the last halo
+    // arrived before this iteration started.
+    bool& fired = serial == e_->serial_a ? fired_a_ : fired_b_;
+    bool stage_open = serial == e_->serial_a ? stage_ == Stage::A
+                                             : stage_ == Stage::B;
+    if (!fired && stage_open && seen[it] == degree()) {
+      fired = true;
+      rt().schedule_immediate(serial);
+    }
+  }
+
+  void on_serial_a() {
+    compute_block();  // stress / hourglass partials
+    stage_ = Stage::B;
+    fired_b_ = false;
+    send_faces(e_->recv_face_b, true);
+    check_faces(face_b_, e_->serial_b);
+  }
+
+  void on_serial_b() {
+    compute_block();  // position / energy update
+    stage_ = Stage::Reduce;
+    rt().contribute(1.0e-3, ReducerOp::Min,
+                    Callback::broadcast(array(), e_->resume));
+  }
+
+  void on_resume() {
+    ++iter_;
+    if (iter_ > cfg_->iterations) return;
+    stage_ = Stage::A;
+    fired_a_ = false;
+    send_faces(e_->recv_face_a, false);
+    check_faces(face_a_, e_->serial_a);
+  }
+
+  enum class Stage { Setup, A, B, Reduce };
+
+  const LuleshConfig* cfg_;
+  const LuleshEntries* e_;
+  std::int32_t iter_ = 0;
+  std::int32_t setup_seen_ = 0;
+  std::vector<std::int32_t> face_a_, face_b_;
+  Stage stage_ = Stage::A;
+  bool fired_a_ = false, fired_b_ = false;
+};
+
+class LuleshMain final : public sim::charm::Chare {
+ public:
+  LuleshMain(const LuleshEntries& e, trace::ArrayId array)
+      : e_(&e), array_(array) {}
+
+  void on_message(EntryId entry, const MsgData&) override {
+    LS_CHECK(entry == e_->main_start);
+    rt().compute(1000);
+    rt().broadcast(array_, e_->init);
+  }
+
+ private:
+  const LuleshEntries* e_;
+  trace::ArrayId array_;
+};
+
+}  // namespace
+
+trace::Trace run_lulesh_charm(const LuleshConfig& cfg) {
+  LS_CHECK(cfg.nx > 0 && cfg.ny > 0 && cfg.nz > 0 && cfg.iterations > 0);
+  sim::charm::RuntimeConfig rc;
+  rc.num_pes = cfg.num_pes;
+  rc.seed = cfg.seed;
+  rc.trace_local_reductions = cfg.trace_local_reductions;
+  Runtime rt(rc);
+
+  LuleshEntries e;
+  e.main_start = rt.register_entry("main");
+  e.init = rt.register_entry("init");
+  e.recv_setup = rt.register_entry("recvSetup");
+  e.serial_setup = rt.register_entry("serial_0_setup", false, 0,
+                                     {e.recv_setup});
+  e.recv_face_a = rt.register_entry("recvFaceA");
+  e.serial_a = rt.register_entry("serial_1_stress", false, 1,
+                                 {e.recv_face_a});
+  e.recv_face_b = rt.register_entry("recvFaceB");
+  e.serial_b = rt.register_entry("serial_2_update", false, 2,
+                                 {e.recv_face_b});
+  e.resume = rt.register_entry("resume");
+
+  trace::ArrayId array = rt.create_array<LuleshChare>(
+      "lulesh", cfg.nx * cfg.ny * cfg.nz, cfg.placement, cfg, e);
+  trace::ChareId main = rt.create_singleton<LuleshMain>(
+      "main", /*pe=*/0, /*runtime=*/false, e, array);
+
+  rt.start(main, e.main_start);
+  return rt.run();
+}
+
+}  // namespace logstruct::apps

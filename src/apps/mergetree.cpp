@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/mergetree.hpp"
+#include "sim/mpi/mpisim.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logstruct::apps {
+
+sim::mpi::Program build_mergetree_program(const MergeTreeConfig& cfg) {
+  const std::int32_t n = cfg.num_ranks;
+  LS_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+               "merge tree needs a power-of-two rank count");
+  sim::mpi::Program prog(n);
+  util::Rng rng(cfg.seed);
+
+  // Data-dependent local pass: heavy-tailed durations so whole subtrees
+  // run late (the load imbalance the paper points out in Fig. 10).
+  std::vector<trace::TimeNs> local(static_cast<std::size_t>(n));
+  for (std::int32_t r = 0; r < n; ++r) {
+    double u = rng.uniform01();
+    double factor = 1.0 + cfg.imbalance * u * u * u;  // tail-heavy
+    local[static_cast<std::size_t>(r)] = static_cast<trace::TimeNs>(
+        static_cast<double>(cfg.base_compute_ns) * factor);
+  }
+
+  // The algorithm merges whichever partial tree arrives first (waitany
+  // style) — the source of the irregular receive order Fig. 10 shows.
+  // Precompute an estimated timeline with the simulator's base latency so
+  // each winner's receives are posted in arrival order.
+  constexpr trace::TimeNs kEstLatency = 2000;
+  std::int32_t levels = 0;
+  while ((1 << levels) < n) ++levels;
+
+  struct Incoming {
+    std::int32_t src = 0;
+    std::int32_t level = 0;
+    trace::TimeNs arrival = 0;
+  };
+  // finish[r]: when rank r ships its partial tree (losers only).
+  std::vector<trace::TimeNs> finish(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<Incoming>> inbox(static_cast<std::size_t>(n));
+
+  for (std::int32_t l = 0; l < levels; ++l) {
+    const std::int32_t stride = 1 << l;
+    for (std::int32_t r = 0; r < n; ++r) {
+      if (r % (2 * stride) != stride) continue;  // loser at level l
+      // The loser has, by now, merged everything arriving below level l.
+      trace::TimeNs t = local[static_cast<std::size_t>(r)];
+      std::vector<Incoming> mine = inbox[static_cast<std::size_t>(r)];
+      std::sort(mine.begin(), mine.end(),
+                [](const Incoming& a, const Incoming& b) {
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.src < b.src;
+                });
+      for (const Incoming& m : mine) {
+        t = std::max(t, m.arrival) +
+            cfg.merge_compute_ns * (1 + m.level);
+      }
+      finish[static_cast<std::size_t>(r)] = t;
+      inbox[static_cast<std::size_t>(r - stride)].push_back(
+          Incoming{r, l, t + kEstLatency});
+    }
+  }
+
+  // Emit the per-rank programs: local compute, then receives in estimated
+  // arrival order with a merge after each, then the losing send.
+  for (std::int32_t r = 0; r < n; ++r) {
+    prog.compute(r, local[static_cast<std::size_t>(r)]);
+    std::vector<Incoming> mine = inbox[static_cast<std::size_t>(r)];
+    std::sort(mine.begin(), mine.end(),
+              [](const Incoming& a, const Incoming& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                return a.src < b.src;
+              });
+    for (const Incoming& m : mine) {
+      prog.recv(r, m.src, /*tag=*/m.level);
+      prog.compute(r, cfg.merge_compute_ns * (1 + m.level));
+    }
+    // Losers ship their merged partial tree upward; rank 0 keeps the
+    // final tree.
+    if (r != 0) {
+      std::int32_t level = 0;
+      while (r % (1 << (level + 1)) == 0) ++level;
+      prog.send(r, r - (1 << level), /*tag=*/level,
+                /*bytes=*/2048 << level);
+    }
+  }
+  return prog;
+}
+
+trace::Trace run_mergetree_mpi(const MergeTreeConfig& cfg) {
+  sim::mpi::MpiConfig mc;
+  mc.seed = cfg.seed;
+  return sim::mpi::simulate(build_mergetree_program(cfg), mc);
+}
+
+}  // namespace logstruct::apps

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file mergetree.hpp
+/// MPI merge-tree proxy (paper Fig. 10).
+///
+/// Models the early segmented-merge-tree algorithm of Landge et al. [18]:
+/// every rank computes over its local data (data-dependent duration), then
+/// log2(n) combine rounds fold partial trees pairwise — at round l, rank r
+/// with r % 2^(l+1) == 2^l sends its tree to r - 2^l and drops out, the
+/// receiver merges. Data-dependent imbalance makes some groups start round
+/// k+1 before others finish round k, which is exactly what the paper's
+/// reordering (Fig. 10b) untangles.
+
+#include <cstdint>
+
+#include "sim/mpi/program.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::apps {
+
+struct MergeTreeConfig {
+  std::int32_t num_ranks = 1024;  ///< must be a power of two
+  std::uint64_t seed = 1;
+  std::int64_t base_compute_ns = 20000;
+  /// Local data sizes are heavy-tailed: a rank's initial compute is
+  /// base * (1 + pareto-ish draw in [0, imbalance]).
+  double imbalance = 4.0;
+  std::int64_t merge_compute_ns = 5000;
+};
+
+trace::Trace run_mergetree_mpi(const MergeTreeConfig& cfg);
+sim::mpi::Program build_mergetree_program(const MergeTreeConfig& cfg);
+
+}  // namespace logstruct::apps

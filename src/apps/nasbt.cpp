@@ -1,0 +1,72 @@
+#include "apps/nasbt.hpp"
+#include "sim/mpi/mpisim.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logstruct::apps {
+
+sim::mpi::Program build_nasbt_program(const NasBtConfig& cfg) {
+  const std::int32_t g = cfg.grid;
+  LS_CHECK(g > 1 && cfg.iterations > 0);
+  const std::int32_t n = g * g;
+  sim::mpi::Program prog(n);
+  util::Rng rng(cfg.seed);
+  std::vector<util::Rng> rank_rng;
+  for (std::int32_t r = 0; r < n; ++r)
+    rank_rng.push_back(rng.fork(static_cast<std::uint64_t>(r)));
+
+  auto work = [&](std::int32_t r) {
+    prog.compute(r, cfg.compute_ns +
+                        rank_rng[static_cast<std::size_t>(r)].uniform_range(
+                            0, cfg.compute_noise_ns));
+  };
+
+  // One directional sweep: each pipeline stage receives from the upstream
+  // neighbor, computes, forwards downstream.
+  //   dir: 0 = rows left->right, 1 = rows right->left,
+  //        2 = cols top->bottom, 3 = cols bottom->top.
+  auto sweep = [&](std::int32_t dir, std::int32_t tag) {
+    for (std::int32_t r = 0; r < n; ++r) {
+      std::int32_t x = r % g, y = r / g;
+      std::int32_t up = -1, down = -1;  // upstream / downstream rank
+      switch (dir) {
+        case 0:
+          up = x > 0 ? r - 1 : -1;
+          down = x + 1 < g ? r + 1 : -1;
+          break;
+        case 1:
+          up = x + 1 < g ? r + 1 : -1;
+          down = x > 0 ? r - 1 : -1;
+          break;
+        case 2:
+          up = y > 0 ? r - g : -1;
+          down = y + 1 < g ? r + g : -1;
+          break;
+        default:
+          up = y + 1 < g ? r + g : -1;
+          down = y > 0 ? r - g : -1;
+          break;
+      }
+      if (up >= 0) prog.recv(r, up, tag);
+      work(r);
+      if (down >= 0) prog.send(r, down, tag, /*bytes=*/512);
+    }
+  };
+
+  for (std::int32_t it = 0; it < cfg.iterations; ++it) {
+    std::int32_t tag = it * 4;
+    sweep(0, tag + 0);  // x-solve forward
+    sweep(1, tag + 1);  // x-solve backward
+    sweep(2, tag + 2);  // y-solve forward
+    sweep(3, tag + 3);  // y-solve backward
+  }
+  return prog;
+}
+
+trace::Trace run_nasbt_mpi(const NasBtConfig& cfg) {
+  sim::mpi::MpiConfig mc;
+  mc.seed = cfg.seed;
+  return sim::mpi::simulate(build_nasbt_program(cfg), mc);
+}
+
+}  // namespace logstruct::apps

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file nasbt.hpp
+/// NAS BT-like line-sweep proxy (paper Fig. 1).
+///
+/// A square grid of ranks performs, per iteration, a forward+backward
+/// sweep along rows followed by a forward+backward sweep along columns —
+/// the alternating-direction structure that gives BT traces their layered
+/// logical shape. Used to regenerate the paper's introductory
+/// logical-vs-physical comparison on 9 processes (3x3).
+
+#include <cstdint>
+
+#include "sim/mpi/program.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::apps {
+
+struct NasBtConfig {
+  std::int32_t grid = 3;  ///< grid x grid ranks (paper: 3x3 = 9 processes)
+  std::int32_t iterations = 2;
+  std::uint64_t seed = 1;
+  std::int64_t compute_ns = 15000;
+  std::int64_t compute_noise_ns = 4000;
+};
+
+trace::Trace run_nasbt_mpi(const NasBtConfig& cfg);
+sim::mpi::Program build_nasbt_program(const NasBtConfig& cfg);
+
+}  // namespace logstruct::apps

@@ -1,0 +1,248 @@
+#include <vector>
+
+#include "apps/pdes.hpp"
+#include "sim/charm/chare.hpp"
+#include "sim/charm/runtime.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logstruct::apps {
+
+namespace {
+
+using sim::charm::MsgData;
+using sim::charm::Runtime;
+using sim::charm::TraceFlags;
+using trace::EntryId;
+
+struct PdesEntries {
+  EntryId main_start;
+  EntryId start_window;  ///< broadcast: begin window w
+  EntryId recv_event;    ///< simulation event from a peer chare
+  EntryId det_local;     ///< completion call into the per-PE detector
+  EntryId det_tree;      ///< detector-to-detector combine
+};
+
+/// Deterministic event schedule: targets[w][c] lists the chares that chare
+/// c sends events to in window w; expected[w][c] is the matching receive
+/// count.
+struct EventSchedule {
+  std::vector<std::vector<std::vector<std::int32_t>>> targets;
+  std::vector<std::vector<std::int32_t>> expected;
+};
+
+EventSchedule make_schedule(const PdesConfig& cfg) {
+  util::Rng rng(cfg.seed ^ 0xFDE5FDE5ULL);
+  EventSchedule s;
+  s.targets.assign(static_cast<std::size_t>(cfg.windows + 1), {});
+  s.expected.assign(static_cast<std::size_t>(cfg.windows + 1), {});
+  for (std::int32_t w = 1; w <= cfg.windows; ++w) {
+    auto& tw = s.targets[static_cast<std::size_t>(w)];
+    auto& ew = s.expected[static_cast<std::size_t>(w)];
+    tw.assign(static_cast<std::size_t>(cfg.num_chares), {});
+    ew.assign(static_cast<std::size_t>(cfg.num_chares), 0);
+    for (std::int32_t c = 0; c < cfg.num_chares; ++c) {
+      for (std::int32_t k = 0; k < cfg.events_per_window; ++k) {
+        auto t = static_cast<std::int32_t>(
+            rng.uniform(static_cast<std::uint64_t>(cfg.num_chares - 1)));
+        if (t >= c) ++t;  // uniform over peers != c
+        tw[static_cast<std::size_t>(c)].push_back(t);
+        ++ew[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+  return s;
+}
+
+class PdesChare final : public sim::charm::Chare {
+ public:
+  PdesChare(const PdesConfig& cfg, const PdesEntries& e,
+            const EventSchedule& sched,
+            const std::vector<trace::ChareId>& detectors)
+      : cfg_(&cfg), e_(&e), sched_(&sched), detectors_(&detectors) {}
+
+  void on_message(EntryId entry, const MsgData& data) override {
+    if (entry == e_->start_window) {
+      on_start_window();
+    } else if (entry == e_->recv_event) {
+      on_recv_event(data);
+    } else {
+      LS_CHECK_MSG(false, "pdes: unknown entry");
+    }
+  }
+
+ private:
+  void on_start_window() {
+    ++window_;
+    if (window_ > cfg_->windows) return;
+    rt().compute(1000);  // window setup
+    for (std::int32_t t :
+         sched_->targets[static_cast<std::size_t>(window_)]
+                        [static_cast<std::size_t>(index())]) {
+      MsgData ev;
+      ev.ints = {window_};
+      rt().send(rt().array_element(array(), t), e_->recv_event,
+                std::move(ev), /*bytes=*/128);
+    }
+    check_done();
+  }
+
+  void on_recv_event(const MsgData& data) {
+    rt().compute(cfg_->event_compute_ns);
+    auto w = static_cast<std::size_t>(data.ints.at(0));
+    if (seen_.size() <= w) seen_.resize(w + 1, 0);
+    ++seen_[w];
+    check_done();
+  }
+
+  void check_done() {
+    auto w = static_cast<std::size_t>(window_);
+    if (window_ < 1 || window_ > cfg_->windows || reported_ >= window_)
+      return;
+    if (seen_.size() <= w) seen_.resize(w + 1, 0);
+    if (seen_[w] != sched_->expected[w][static_cast<std::size_t>(index())])
+      return;
+    reported_ = window_;
+    // Locally complete: tell the completion detector. This control
+    // dependency is the one Charm++ tracing misses (paper Fig. 24).
+    MsgData done;
+    done.ints = {window_};
+    TraceFlags flags = cfg_->trace_detector_calls
+                           ? TraceFlags::traced()
+                           : TraceFlags::untraced_send();
+    rt().send((*detectors_)[static_cast<std::size_t>(pe())], e_->det_local,
+              std::move(done), /*bytes=*/16, flags);
+  }
+
+  const PdesConfig* cfg_;
+  const PdesEntries* e_;
+  const EventSchedule* sched_;
+  const std::vector<trace::ChareId>* detectors_;
+  std::int32_t window_ = 0;
+  std::int32_t reported_ = 0;
+  std::vector<std::int32_t> seen_;
+};
+
+/// Per-PE completion detector: a runtime chare (grouped by process in the
+/// analysis, like CkReductionMgr).
+class PdesDetector final : public sim::charm::Chare {
+ public:
+  PdesDetector(const PdesConfig& cfg, const PdesEntries& e,
+               const std::vector<trace::ChareId>& detectors,
+               const std::vector<std::int32_t>& local_counts,
+               trace::ArrayId array)
+      : cfg_(&cfg),
+        e_(&e),
+        detectors_(&detectors),
+        local_counts_(&local_counts),
+        array_(array) {}
+
+  void on_message(EntryId entry, const MsgData& data) override {
+    auto w = static_cast<std::size_t>(data.ints.at(0));
+    if (local_.size() <= w) local_.resize(w + 1, 0);
+    if (tree_.size() <= w) tree_.resize(w + 1, 0);
+    rt().compute(300);
+    if (entry == e_->det_local) {
+      ++local_[w];
+    } else {
+      LS_CHECK(entry == e_->det_tree);
+      ++tree_[w];
+    }
+    maybe_complete(static_cast<std::int32_t>(w));
+  }
+
+ private:
+  void maybe_complete(std::int32_t w) {
+    auto ws = static_cast<std::size_t>(w);
+    const std::int32_t p = pe();
+    const std::int32_t n = static_cast<std::int32_t>(detectors_->size());
+    std::int32_t expected_children = 0;
+    if (2 * p + 1 < n) ++expected_children;
+    if (2 * p + 2 < n) ++expected_children;
+    if (local_[ws] != (*local_counts_)[static_cast<std::size_t>(p)] ||
+        tree_[ws] != expected_children)
+      return;
+    MsgData up;
+    up.ints = {w};
+    if (p == 0) {
+      // Window complete everywhere: release the next one. Nothing follows
+      // the final window, so its detector phase has no outgoing
+      // application dependency either — combined with the untraced call
+      // into the detector, nothing anchors it in the phase DAG (the
+      // Fig. 24 situation).
+      if (w < cfg_->windows) rt().broadcast(array_, e_->start_window);
+    } else {
+      rt().send((*detectors_)[static_cast<std::size_t>((p - 1) / 2)],
+                e_->det_tree, std::move(up), /*bytes=*/16);
+    }
+  }
+
+  const PdesConfig* cfg_;
+  const PdesEntries* e_;
+  const std::vector<trace::ChareId>* detectors_;
+  const std::vector<std::int32_t>* local_counts_;
+  trace::ArrayId array_;
+  std::vector<std::int32_t> local_, tree_;
+};
+
+class PdesMain final : public sim::charm::Chare {
+ public:
+  PdesMain(const PdesEntries& e, trace::ArrayId array)
+      : e_(&e), array_(array) {}
+
+  void on_message(EntryId entry, const MsgData&) override {
+    LS_CHECK(entry == e_->main_start);
+    rt().compute(1000);
+    rt().broadcast(array_, e_->start_window);
+  }
+
+ private:
+  const PdesEntries* e_;
+  trace::ArrayId array_;
+};
+
+}  // namespace
+
+trace::Trace run_pdes(const PdesConfig& cfg) {
+  LS_CHECK(cfg.num_chares > 1 && cfg.windows > 0);
+  // Every PE must host a chare or its completion detector would never hear
+  // anything and the detector tree would stall.
+  LS_CHECK_MSG(cfg.num_chares >= cfg.num_pes, "pdes needs chares >= pes");
+  sim::charm::RuntimeConfig rc;
+  rc.num_pes = cfg.num_pes;
+  rc.seed = cfg.seed;
+  Runtime rt(rc);
+
+  PdesEntries e;
+  e.main_start = rt.register_entry("main");
+  e.start_window = rt.register_entry("startWindow");
+  e.recv_event = rt.register_entry("recvEvent");
+  e.det_local = rt.register_entry("_completion_local", /*runtime=*/true);
+  e.det_tree = rt.register_entry("_completion_tree", /*runtime=*/true);
+
+  EventSchedule sched = make_schedule(cfg);
+
+  trace::ArrayId array = trace::kNone;
+  std::vector<trace::ChareId> detectors;
+  std::vector<std::int32_t> local_counts(
+      static_cast<std::size_t>(cfg.num_pes), 0);
+
+  array = rt.create_array<PdesChare>("pdes", cfg.num_chares, cfg.placement,
+                                     cfg, e, sched, detectors);
+  for (std::int32_t c = 0; c < cfg.num_chares; ++c)
+    ++local_counts[static_cast<std::size_t>(
+        rt.pe_of(rt.array_element(array, c)))];
+  for (trace::ProcId p = 0; p < cfg.num_pes; ++p) {
+    detectors.push_back(rt.create_singleton<PdesDetector>(
+        "CompletionDetector(" + std::to_string(p) + ")", p,
+        /*runtime=*/true, cfg, e, detectors, local_counts, array));
+  }
+
+  trace::ChareId main = rt.create_singleton<PdesMain>(
+      "main", /*pe=*/0, /*runtime=*/false, e, array);
+
+  rt.start(main, e.main_start);
+  return rt.run();
+}
+
+}  // namespace logstruct::apps

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file pdes.hpp
+/// PDES (parallel discrete-event simulation) mini-app (paper Fig. 24).
+///
+/// Per window, every chare of the simulation array processes a batch of
+/// events and exchanges them with random peers; when a chare is locally
+/// done it *calls the completion detector* — per-PE runtime chares that
+/// count completions, combine over a tree, and broadcast "window done".
+///
+/// Crucially, the call into the detector is a control dependency that the
+/// Charm++ tracing framework does not record (trace_detector_calls=false
+/// by default). The paper shows that without it the detector (gray) phase
+/// cannot be ordered after the simulation (mustard) phase and overlaps its
+/// global steps; flipping the flag demonstrates the fix.
+
+#include <cstdint>
+
+#include "sim/charm/config.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::apps {
+
+struct PdesConfig {
+  std::int32_t num_chares = 16;
+  std::int32_t num_pes = 4;
+  std::int32_t windows = 2;
+  /// Events each chare injects per window (sent to seeded-random peers).
+  std::int32_t events_per_window = 3;
+  std::uint64_t seed = 1;
+  std::int64_t event_compute_ns = 5000;
+
+  /// Record the chare -> completion-detector dependency. The paper's
+  /// traces lack it (false); true shows the repaired structure.
+  bool trace_detector_calls = false;
+  sim::charm::Placement placement = sim::charm::Placement::Block;
+};
+
+trace::Trace run_pdes(const PdesConfig& cfg);
+
+}  // namespace logstruct::apps

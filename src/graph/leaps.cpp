@@ -1,0 +1,34 @@
+#include "graph/leaps.hpp"
+
+#include <algorithm>
+
+#include "graph/topo.hpp"
+
+namespace logstruct::graph {
+
+std::vector<std::int32_t> compute_leaps(const Digraph& g) {
+  std::vector<NodeId> order = topological_order(g);
+  std::vector<std::int32_t> leap(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId u : order) {
+    for (NodeId v : g.successors(u)) {
+      leap[static_cast<std::size_t>(v)] =
+          std::max(leap[static_cast<std::size_t>(v)],
+                   leap[static_cast<std::size_t>(u)] + 1);
+    }
+  }
+  return leap;
+}
+
+std::vector<std::vector<NodeId>> group_by_leap(
+    const std::vector<std::int32_t>& leaps) {
+  std::int32_t max_leap = -1;
+  for (std::int32_t l : leaps) max_leap = std::max(max_leap, l);
+  std::vector<std::vector<NodeId>> groups(
+      static_cast<std::size_t>(max_leap + 1));
+  for (std::size_t i = 0; i < leaps.size(); ++i)
+    groups[static_cast<std::size_t>(leaps[i])].push_back(
+        static_cast<NodeId>(i));
+  return groups;
+}
+
+}  // namespace logstruct::graph

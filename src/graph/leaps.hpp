@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file leaps.hpp
+/// Leap computation for the phase DAG.
+///
+/// The paper (§3.1.4) defines a *leap* as the set of partitions at the same
+/// maximum distance from the beginning of the partition graph. Leap k of a
+/// node = length of the longest path from any source to it.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace logstruct::graph {
+
+/// Longest distance from any source node (sources get leap 0). Requires a
+/// DAG (checked).
+std::vector<std::int32_t> compute_leaps(const Digraph& g);
+
+/// Group node ids by leap: result[k] = nodes whose leap is k, ascending.
+std::vector<std::vector<NodeId>> group_by_leap(
+    const std::vector<std::int32_t>& leaps);
+
+}  // namespace logstruct::graph

@@ -1,0 +1,84 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace logstruct::graph {
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  SccResult result;
+  result.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<std::int32_t> index(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> stack;
+  std::int32_t next_index = 0;
+
+  // Explicit DFS frame: node + position within its successor list.
+  struct Frame {
+    NodeId node;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    dfs.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = next_index;
+    lowlink[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      auto succ = g.successors(frame.node);
+      if (frame.child < succ.size()) {
+        NodeId w = succ[frame.child++];
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = next_index;
+          lowlink[static_cast<std::size_t>(w)] = next_index;
+          ++next_index;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(frame.node)] =
+              std::min(lowlink[static_cast<std::size_t>(frame.node)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        NodeId v = frame.node;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          NodeId parent = dfs.back().node;
+          lowlink[static_cast<std::size_t>(parent)] =
+              std::min(lowlink[static_cast<std::size_t>(parent)],
+                       lowlink[static_cast<std::size_t>(v)]);
+        }
+        if (lowlink[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          // v is the root of an SCC; pop it off the component stack.
+          while (true) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            result.component[static_cast<std::size_t>(w)] =
+                result.num_components;
+            if (w == v) break;
+          }
+          ++result.num_components;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_dag(const Digraph& g) {
+  SccResult scc = strongly_connected_components(g);
+  return scc.num_components == g.num_nodes();
+}
+
+}  // namespace logstruct::graph

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file scc.hpp
+/// Strongly connected components (iterative Tarjan).
+///
+/// The paper's "cycle merge" collapses every SCC of the partition graph into
+/// one partition so that each pipeline pass starts and ends with a DAG.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace logstruct::graph {
+
+struct SccResult {
+  /// Component id per node; components are numbered in reverse topological
+  /// order of the condensation (i.e., component of an edge's head is <= the
+  /// tail's... specifically Tarjan emits sinks first).
+  std::vector<std::int32_t> component;
+  std::int32_t num_components = 0;
+};
+
+/// Compute SCCs. Safe for large graphs (explicit stack, no recursion).
+SccResult strongly_connected_components(const Digraph& g);
+
+/// True iff the graph has no directed cycle (every SCC is a single node).
+bool is_dag(const Digraph& g);
+
+}  // namespace logstruct::graph

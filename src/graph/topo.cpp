@@ -1,0 +1,33 @@
+#include "graph/topo.hpp"
+
+#include "util/check.hpp"
+
+namespace logstruct::graph {
+
+std::vector<NodeId> topological_order(const Digraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::int32_t> indegree(static_cast<std::size_t>(n), 0);
+  for (NodeId u = 0; u < n; ++u)
+    indegree[static_cast<std::size_t>(u)] =
+        static_cast<std::int32_t>(g.predecessors(u).size());
+
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<NodeId> frontier;
+  for (NodeId u = 0; u < n; ++u)
+    if (indegree[static_cast<std::size_t>(u)] == 0) frontier.push_back(u);
+
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    NodeId u = frontier[head++];
+    order.push_back(u);
+    for (NodeId v : g.successors(u)) {
+      if (--indegree[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
+    }
+  }
+  LS_CHECK_MSG(static_cast<NodeId>(order.size()) == n,
+               "topological_order called on a cyclic graph");
+  return order;
+}
+
+}  // namespace logstruct::graph

@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file topo.hpp
+/// Topological ordering (Kahn's algorithm) over a DAG.
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace logstruct::graph {
+
+/// Topological order of g. LS_CHECK-fails if g has a cycle — callers must
+/// cycle-merge first, which is exactly the paper's invariant.
+std::vector<NodeId> topological_order(const Digraph& g);
+
+}  // namespace logstruct::graph

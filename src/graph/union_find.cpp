@@ -1,0 +1,51 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace logstruct::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+std::int32_t UnionFind::find(std::int32_t x) {
+  LS_CHECK(x >= 0 && static_cast<std::size_t>(x) < parent_.size());
+  std::int32_t root = x;
+  while (parent_[static_cast<std::size_t>(root)] != root)
+    root = parent_[static_cast<std::size_t>(root)];
+  while (parent_[static_cast<std::size_t>(x)] != root) {
+    std::int32_t next = parent_[static_cast<std::size_t>(x)];
+    parent_[static_cast<std::size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+std::int32_t UnionFind::unite(std::int32_t a, std::int32_t b) {
+  std::int32_t ra = find(a);
+  std::int32_t rb = find(b);
+  if (ra == rb) return ra;
+  if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)])
+    std::swap(ra, rb);
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  --num_sets_;
+  return ra;
+}
+
+std::vector<std::int32_t> UnionFind::dense_labels() {
+  std::vector<std::int32_t> label(parent_.size(), -1);
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    std::int32_t root = find(static_cast<std::int32_t>(i));
+    if (label[static_cast<std::size_t>(root)] < 0)
+      label[static_cast<std::size_t>(root)] = next++;
+    label[i] = label[static_cast<std::size_t>(root)];
+  }
+  return label;
+}
+
+}  // namespace logstruct::graph

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file union_find.hpp
+/// Disjoint-set forest with path compression + union by size.
+///
+/// Used to apply a batch of scheduled partition merges (Algorithms 1-4 of
+/// the paper all produce "schedule_merge(p, q)" pairs that are applied
+/// together).
+
+#include <cstdint>
+#include <vector>
+
+namespace logstruct::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set.
+  std::int32_t find(std::int32_t x);
+
+  /// Merge the sets of a and b; returns the surviving representative.
+  std::int32_t unite(std::int32_t a, std::int32_t b);
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+  /// Number of distinct sets.
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+
+  /// Relabel representatives to dense ids [0, num_sets); returns the map
+  /// original-id -> dense set id.
+  std::vector<std::int32_t> dense_labels();
+
+ private:
+  std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace logstruct::graph

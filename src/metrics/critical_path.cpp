@@ -1,0 +1,121 @@
+#include "metrics/critical_path.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logstruct::metrics {
+
+CriticalPath critical_path(const trace::Trace& trace,
+                           const order::LogicalStructure& ls) {
+  CriticalPath out;
+  const auto n = static_cast<std::size_t>(trace.num_events());
+  if (n == 0) return out;
+
+  // Plain event-gap durations: event e costs the span from the previous
+  // event in its block (or the block begin) to e. Unlike the §4 sub-block
+  // decomposition, the leftover tail of a block is NOT reassigned to the
+  // trigger — that would double-count wall time when a path passes
+  // through the trigger and a later event of the same block. With gap
+  // durations every interval a path sums is disjoint, so coverage <= 1.
+  std::vector<trace::TimeNs> dur(n, 0);
+  std::vector<trace::TimeNs> tail(n, 0);
+  for (const trace::SerialBlock& blk : trace.blocks()) {
+    trace::TimeNs prev = blk.begin;
+    for (trace::EventId e : blk.events) {
+      dur[static_cast<std::size_t>(e)] = trace.event(e).time - prev;
+      prev = trace.event(e).time;
+    }
+    // The trailing compute after the last event is path work too (it is
+    // what a receive-only block DOES) — but it happens AFTER the event,
+    // so it only counts when the path continues along the chare (or ends
+    // here), never when it leaves through the event's outgoing message
+    // (the sender keeps computing while the message flies).
+    if (!blk.events.empty())
+      tail[static_cast<std::size_t>(blk.events.back())] = blk.end - prev;
+  }
+
+  // Longest distance ending at each event. Process in physical-time order
+  // (a valid topological order of both edge families: matching sends
+  // precede their receives, and the per-chare order within a phase only
+  // moves receives earlier — so use the happened-before edges in their
+  // PHYSICAL direction: prior event in the chare's physical order, and
+  // the matching send).
+  std::vector<trace::EventId> order(n);
+  for (std::size_t i = 0; i < n; ++i)
+    order[i] = static_cast<trace::EventId>(i);
+  std::sort(order.begin(), order.end(),
+            [&trace](trace::EventId a, trace::EventId b) {
+              if (trace.event(a).time != trace.event(b).time)
+                return trace.event(a).time < trace.event(b).time;
+              return a < b;
+            });
+
+  // dist_at: longest chain arriving at the event's own timestamp (used by
+  // outgoing message edges). dist_full = dist_at + trailing tail (used by
+  // chare-order continuation and as the final path length).
+  std::vector<trace::TimeNs> dist_at(n, 0);
+  std::vector<trace::EventId> pred(n, trace::kNone);
+  std::vector<trace::EventId> last_on_chare(
+      static_cast<std::size_t>(trace.num_chares()), trace::kNone);
+  auto dist_full = [&](trace::EventId e) {
+    return dist_at[static_cast<std::size_t>(e)] +
+           tail[static_cast<std::size_t>(e)];
+  };
+
+  trace::EventId best = order.front();
+  for (trace::EventId e : order) {
+    const trace::Event& ev = trace.event(e);
+    trace::TimeNs incoming = 0;
+    trace::EventId from = trace::kNone;
+
+    trace::EventId prev =
+        last_on_chare[static_cast<std::size_t>(ev.chare)];
+    if (prev != trace::kNone) {
+      incoming = dist_full(prev);
+      from = prev;
+    }
+    if (ev.kind == trace::EventKind::Recv && ev.partner != trace::kNone) {
+      trace::TimeNs latency = ev.time - trace.event(ev.partner).time;
+      trace::TimeNs via =
+          dist_at[static_cast<std::size_t>(ev.partner)] + latency;
+      if (via > incoming) {
+        incoming = via;
+        from = ev.partner;
+      }
+    }
+    dist_at[static_cast<std::size_t>(e)] =
+        incoming + dur[static_cast<std::size_t>(e)];
+    pred[static_cast<std::size_t>(e)] = from;
+    last_on_chare[static_cast<std::size_t>(ev.chare)] = e;
+    if (dist_full(e) > dist_full(best)) best = e;
+  }
+
+  for (trace::EventId e = best; e != trace::kNone;
+       e = pred[static_cast<std::size_t>(e)]) {
+    out.events.push_back(e);
+  }
+  std::reverse(out.events.begin(), out.events.end());
+  out.length_ns = dist_full(best);
+  out.coverage = static_cast<double>(out.length_ns) /
+                 static_cast<double>(
+                     std::max<trace::TimeNs>(trace.end_time(), 1));
+
+  out.chare_share.assign(static_cast<std::size_t>(trace.num_chares()), 0);
+  for (std::size_t i = 0; i < out.events.size(); ++i) {
+    trace::EventId e = out.events[i];
+    trace::TimeNs share = dur[static_cast<std::size_t>(e)];
+    // The tail counted toward the path only where the path kept following
+    // the chare (or ended).
+    bool left_by_message =
+        i + 1 < out.events.size() &&
+        trace.event(out.events[i + 1]).kind == trace::EventKind::Recv &&
+        trace.event(out.events[i + 1]).partner == e;
+    if (!left_by_message) share += tail[static_cast<std::size_t>(e)];
+    out.chare_share[static_cast<std::size_t>(trace.event(e).chare)] += share;
+  }
+  (void)ls;
+  return out;
+}
+
+}  // namespace logstruct::metrics

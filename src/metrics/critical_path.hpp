@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file critical_path.hpp
+/// Critical-path analysis over the recovered dependency structure.
+///
+/// A natural extension of the paper's metrics: the longest chain of
+/// physical time through the happened-before relation — sub-block compute
+/// plus message latencies — bounds how far any optimization of off-path
+/// work can go. The path is expressed in the logical structure's terms so
+/// each hop has (chare, global step) coordinates.
+
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+struct CriticalPath {
+  /// Events along the path, earliest first.
+  std::vector<trace::EventId> events;
+  /// Physical duration covered by the path (compute + latency).
+  trace::TimeNs length_ns = 0;
+  /// Fraction of the trace's end time the path explains.
+  double coverage = 0;
+  /// Per-chare share of on-path sub-block time, index = ChareId.
+  std::vector<trace::TimeNs> chare_share;
+};
+
+/// Longest chain under: (a) an event costs its sub-block duration,
+/// (b) a receive additionally costs its message latency (recv time -
+/// send time), (c) chain edges are the final per-chare order plus
+/// send->recv matching. Deterministic tie-breaking.
+CriticalPath critical_path(const trace::Trace& trace,
+                           const order::LogicalStructure& ls);
+
+}  // namespace logstruct::metrics

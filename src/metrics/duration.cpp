@@ -1,0 +1,43 @@
+#include "metrics/duration.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "metrics/subblock.hpp"
+
+namespace logstruct::metrics {
+
+DifferentialDuration differential_duration(
+    const trace::Trace& trace, const order::LogicalStructure& ls) {
+  DifferentialDuration out;
+  out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
+  std::vector<trace::TimeNs> dur = subblock_durations(trace);
+
+  // (phase, step) -> fastest sub-block duration.
+  std::unordered_map<std::int64_t, trace::TimeNs> fastest;
+  auto key = [&](trace::EventId e) {
+    return (static_cast<std::int64_t>(
+                ls.phases.phase_of_event[static_cast<std::size_t>(e)])
+            << 32) |
+           static_cast<std::uint32_t>(
+               ls.global_step[static_cast<std::size_t>(e)]);
+  };
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    auto [it, inserted] = fastest.try_emplace(
+        key(e), dur[static_cast<std::size_t>(e)]);
+    if (!inserted)
+      it->second = std::min(it->second, dur[static_cast<std::size_t>(e)]);
+  }
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    trace::TimeNs excess =
+        dur[static_cast<std::size_t>(e)] - fastest[key(e)];
+    out.per_event[static_cast<std::size_t>(e)] = excess;
+    if (excess > out.max_value) {
+      out.max_value = excess;
+      out.max_event = e;
+    }
+  }
+  return out;
+}
+
+}  // namespace logstruct::metrics

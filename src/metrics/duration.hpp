@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file duration.hpp
+/// Differential duration (paper §4, Fig. 15).
+///
+/// Computations at the same logical step of the same phase are "the same
+/// action" and should take the same time; differential duration is each
+/// sub-block's excess over the fastest sub-block at its (phase, step).
+
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+struct DifferentialDuration {
+  std::vector<trace::TimeNs> per_event;  ///< excess time at (phase, step)
+  trace::TimeNs max_value = 0;
+  trace::EventId max_event = trace::kNone;
+};
+
+DifferentialDuration differential_duration(
+    const trace::Trace& trace, const order::LogicalStructure& ls);
+
+}  // namespace logstruct::metrics

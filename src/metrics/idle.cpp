@@ -1,0 +1,54 @@
+#include "metrics/idle.hpp"
+
+#include <algorithm>
+
+namespace logstruct::metrics {
+
+IdleExperienced idle_experienced(const trace::Trace& trace) {
+  IdleExperienced out;
+  out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
+  out.per_block.assign(static_cast<std::size_t>(trace.num_blocks()), 0);
+
+  for (const trace::IdleSpan& span : trace.idles()) {
+    const trace::TimeNs length = span.end - span.begin;
+    auto blocks = trace.blocks_of_proc(span.proc);
+    // First block beginning at or after the idle's end.
+    auto it = std::lower_bound(
+        blocks.begin(), blocks.end(), span.end,
+        [&trace](trace::BlockId b, trace::TimeNs t) {
+          return trace.block(b).begin < t;
+        });
+    bool first = true;
+    for (; it != blocks.end(); ++it) {
+      const trace::SerialBlock& blk = trace.block(*it);
+      bool assign = false;
+      if (first) {
+        // The block directly after the idle always experiences it.
+        assign = true;
+        first = false;
+      } else if (blk.trigger != trace::kNone &&
+                 trace.event(blk.trigger).partner != trace::kNone) {
+        // Subsequent blocks experience the idle if their dependency
+        // started before the idle ended (they could have been running).
+        const trace::Event& send =
+            trace.event(trace.event(blk.trigger).partner);
+        if (send.time < span.end) {
+          assign = true;
+        } else {
+          break;  // dependent on an event after the idle: stop the walk
+        }
+      } else {
+        break;  // unknown dependency: stop conservatively
+      }
+      if (assign) {
+        out.per_block[static_cast<std::size_t>(*it)] += length;
+        if (!blk.events.empty())
+          out.per_event[static_cast<std::size_t>(blk.events.front())] +=
+              length;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace logstruct::metrics

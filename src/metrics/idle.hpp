@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file idle.hpp
+/// Idle experienced (paper §4, Fig. 11).
+///
+/// Recorded scheduler idle indicates inefficiency; this metric charges an
+/// idle span to the serial blocks that *experienced* it: the block that
+/// begins right after the idle, plus each subsequent block on the same
+/// processor whose triggering dependency started before the idle ended
+/// (those blocks were runnable-in-principle but starved). The walk stops
+/// at the first block that depends on an event from after the idle span.
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+struct IdleExperienced {
+  /// Nanoseconds of idle experienced, per event (assigned to the first
+  /// event of each affected block; 0 elsewhere).
+  std::vector<trace::TimeNs> per_event;
+  /// Same, aggregated per block.
+  std::vector<trace::TimeNs> per_block;
+};
+
+IdleExperienced idle_experienced(const trace::Trace& trace);
+
+}  // namespace logstruct::metrics

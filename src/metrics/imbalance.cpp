@@ -1,0 +1,56 @@
+#include "metrics/imbalance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "metrics/subblock.hpp"
+
+namespace logstruct::metrics {
+
+Imbalance imbalance(const trace::Trace& trace,
+                    const order::LogicalStructure& ls) {
+  Imbalance out;
+  const std::size_t phases =
+      static_cast<std::size_t>(ls.num_phases());
+  const std::size_t procs = static_cast<std::size_t>(trace.num_procs());
+  std::vector<trace::TimeNs> dur = subblock_durations(trace);
+
+  std::vector<std::vector<trace::TimeNs>> load(
+      phases, std::vector<trace::TimeNs>(procs, -1));
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    auto ph = static_cast<std::size_t>(
+        ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
+    auto pr = static_cast<std::size_t>(trace.event(e).proc);
+    if (load[ph][pr] < 0) load[ph][pr] = 0;
+    load[ph][pr] += dur[static_cast<std::size_t>(e)];
+  }
+
+  out.per_phase.assign(phases, 0);
+  out.per_phase_proc.assign(phases, std::vector<trace::TimeNs>(procs, -1));
+  for (std::size_t ph = 0; ph < phases; ++ph) {
+    trace::TimeNs lo = std::numeric_limits<trace::TimeNs>::max();
+    trace::TimeNs hi = std::numeric_limits<trace::TimeNs>::min();
+    for (std::size_t pr = 0; pr < procs; ++pr) {
+      if (load[ph][pr] < 0) continue;  // proc absent from the phase
+      lo = std::min(lo, load[ph][pr]);
+      hi = std::max(hi, load[ph][pr]);
+    }
+    if (hi < lo) continue;  // empty phase cannot occur, but be safe
+    out.per_phase[ph] = hi - lo;
+    for (std::size_t pr = 0; pr < procs; ++pr) {
+      if (load[ph][pr] >= 0) out.per_phase_proc[ph][pr] = load[ph][pr] - lo;
+    }
+  }
+
+  out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    auto ph = static_cast<std::size_t>(
+        ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
+    auto pr = static_cast<std::size_t>(trace.event(e).proc);
+    out.per_event[static_cast<std::size_t>(e)] =
+        std::max<trace::TimeNs>(out.per_phase_proc[ph][pr], 0);
+  }
+  return out;
+}
+
+}  // namespace logstruct::metrics

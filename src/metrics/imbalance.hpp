@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file imbalance.hpp
+/// Per-phase computation imbalance (paper §4, Fig. 14).
+///
+/// For each phase, sum sub-block durations per processor; the phase's
+/// imbalance is the gap between the most and least loaded participating
+/// processors, and each processor's *spread* is its excess over the least
+/// loaded one. The spread is mapped back onto every event of that phase
+/// and processor.
+
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+struct Imbalance {
+  /// max-min duration gap per phase.
+  std::vector<trace::TimeNs> per_phase;
+  /// spread (duration - min) per phase per processor; -1 when the
+  /// processor has no events in the phase.
+  std::vector<std::vector<trace::TimeNs>> per_phase_proc;
+  /// spread of (event's phase, event's processor), per event.
+  std::vector<trace::TimeNs> per_event;
+};
+
+Imbalance imbalance(const trace::Trace& trace,
+                    const order::LogicalStructure& ls);
+
+}  // namespace logstruct::metrics

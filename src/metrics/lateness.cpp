@@ -1,0 +1,48 @@
+#include "metrics/lateness.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+namespace logstruct::metrics {
+
+Lateness lateness(const trace::Trace& trace,
+                  const order::LogicalStructure& ls, bool same_phase_only) {
+  Lateness out;
+  out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
+
+  auto key = [&](trace::EventId e) -> std::int64_t {
+    std::int64_t step = ls.global_step[static_cast<std::size_t>(e)];
+    if (!same_phase_only) return step;
+    return (static_cast<std::int64_t>(
+                ls.phases.phase_of_event[static_cast<std::size_t>(e)])
+            << 32) |
+           static_cast<std::uint32_t>(step);
+  };
+
+  std::unordered_map<std::int64_t, trace::TimeNs> earliest;
+  std::unordered_map<std::int64_t, std::int32_t> peers;
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    auto [it, inserted] = earliest.try_emplace(key(e), trace.event(e).time);
+    if (!inserted) it->second = std::min(it->second, trace.event(e).time);
+    ++peers[key(e)];
+  }
+
+  double sum = 0;
+  std::int64_t counted = 0;
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    trace::TimeNs late = trace.event(e).time - earliest[key(e)];
+    out.per_event[static_cast<std::size_t>(e)] = late;
+    if (late > out.max_value) {
+      out.max_value = late;
+      out.max_event = e;
+    }
+    if (peers[key(e)] > 1) {
+      sum += static_cast<double>(late);
+      ++counted;
+    }
+  }
+  out.mean = counted ? sum / static_cast<double>(counted) : 0.0;
+  return out;
+}
+
+}  // namespace logstruct::metrics

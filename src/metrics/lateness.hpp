@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file lateness.hpp
+/// Traditional lateness (Isaacs et al. [13]), for comparison.
+///
+/// Lateness is the difference in completion (physical) time among
+/// operations at the same logical timestep. The paper argues it suits
+/// bulk-synchronous programs but not task-based ones: with
+/// non-deterministic scheduling there is no expectation that same-step
+/// events execute simultaneously, so lateness flags healthy asynchrony as
+/// a problem. It is provided to let users make that comparison on their
+/// own traces (and to test the claim: see bench/fig12_idle and the
+/// metrics tests).
+
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+struct Lateness {
+  /// time(e) - min{ time(e') : e' at the same global step }, per event.
+  std::vector<trace::TimeNs> per_event;
+  trace::TimeNs max_value = 0;
+  trace::EventId max_event = trace::kNone;
+  /// Mean over events with at least one same-step peer.
+  double mean = 0;
+};
+
+/// Lateness over global steps. `same_phase_only` restricts peers to the
+/// event's own phase (the variant meaningful for task-based traces).
+Lateness lateness(const trace::Trace& trace,
+                  const order::LogicalStructure& ls,
+                  bool same_phase_only = false);
+
+}  // namespace logstruct::metrics

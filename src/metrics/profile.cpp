@@ -1,0 +1,76 @@
+#include "metrics/profile.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace logstruct::metrics {
+
+std::vector<EntryProfile> entry_profile(const trace::Trace& trace) {
+  std::vector<EntryProfile> rows(trace.entries().size());
+  for (std::size_t e = 0; e < trace.entries().size(); ++e) {
+    rows[e].entry = static_cast<trace::EntryId>(e);
+    rows[e].name = trace.entries()[e].name;
+    rows[e].runtime = trace.entries()[e].runtime;
+    rows[e].min_ns = std::numeric_limits<trace::TimeNs>::max();
+  }
+  for (const trace::SerialBlock& blk : trace.blocks()) {
+    EntryProfile& row = rows[static_cast<std::size_t>(blk.entry)];
+    trace::TimeNs span = blk.end - blk.begin;
+    ++row.executions;
+    row.total_ns += span;
+    row.min_ns = std::min(row.min_ns, span);
+    row.max_ns = std::max(row.max_ns, span);
+  }
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [](const EntryProfile& r) {
+                              return r.executions == 0;
+                            }),
+             rows.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const EntryProfile& a, const EntryProfile& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.entry < b.entry;
+            });
+  return rows;
+}
+
+std::vector<ProcUtilization> utilization(const trace::Trace& trace) {
+  const double end = static_cast<double>(
+      std::max<trace::TimeNs>(trace.end_time(), 1));
+  std::vector<ProcUtilization> rows(
+      static_cast<std::size_t>(trace.num_procs()));
+  for (trace::ProcId p = 0; p < trace.num_procs(); ++p) {
+    rows[static_cast<std::size_t>(p)].proc = p;
+    trace::TimeNs busy = 0;
+    for (trace::BlockId b : trace.blocks_of_proc(p))
+      busy += trace.block(b).end - trace.block(b).begin;
+    trace::TimeNs idle = trace.total_idle(p);
+    auto& row = rows[static_cast<std::size_t>(p)];
+    row.busy = static_cast<double>(busy) / end;
+    row.idle = static_cast<double>(idle) / end;
+    row.other = std::max(0.0, 1.0 - row.busy - row.idle);
+  }
+  return rows;
+}
+
+std::vector<PhaseProfile> phase_profile(const trace::Trace& trace,
+                                        const order::LogicalStructure& ls) {
+  std::vector<PhaseProfile> rows(
+      static_cast<std::size_t>(ls.num_phases()));
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p) {
+    rows[static_cast<std::size_t>(p)].phase = p;
+    rows[static_cast<std::size_t>(p)].runtime =
+        ls.phases.runtime[static_cast<std::size_t>(p)];
+  }
+  for (const trace::SerialBlock& blk : trace.blocks()) {
+    if (blk.events.empty()) continue;
+    auto phase = static_cast<std::size_t>(
+        ls.phases.phase_of_event[static_cast<std::size_t>(
+            blk.events.front())]);
+    ++rows[phase].blocks;
+    rows[phase].total_ns += blk.end - blk.begin;
+  }
+  return rows;
+}
+
+}  // namespace logstruct::metrics

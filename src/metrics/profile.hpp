@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file profile.hpp
+/// Projections-style statistical profiles (paper §8's comparison point).
+///
+/// Charm++'s own tool aggregates per entry method — grain size, usage,
+/// counts — without logical context. This module computes those profiles
+/// (overall and per phase) so users can reproduce the "traditional" view
+/// next to the paper's event-level structural one.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+struct EntryProfile {
+  trace::EntryId entry = trace::kNone;
+  std::string name;
+  bool runtime = false;
+  std::int64_t executions = 0;
+  trace::TimeNs total_ns = 0;
+  trace::TimeNs min_ns = 0;
+  trace::TimeNs max_ns = 0;
+  [[nodiscard]] double mean_ns() const {
+    return executions ? static_cast<double>(total_ns) /
+                            static_cast<double>(executions)
+                      : 0.0;
+  }
+};
+
+/// Per-entry grain-size profile over the whole trace, sorted by total
+/// time descending. Entries with no executions are omitted.
+std::vector<EntryProfile> entry_profile(const trace::Trace& trace);
+
+/// Utilization: fraction of [0, end_time] each processor spent inside
+/// recorded serial blocks / recorded idle / neither ("other").
+struct ProcUtilization {
+  trace::ProcId proc = 0;
+  double busy = 0;
+  double idle = 0;
+  double other = 0;
+};
+std::vector<ProcUtilization> utilization(const trace::Trace& trace);
+
+/// Per-phase grain-size profile: total block time attributed to each
+/// phase (a block's span counts toward the phase holding its first
+/// event), sorted by phase id.
+struct PhaseProfile {
+  std::int32_t phase = 0;
+  bool runtime = false;
+  std::int64_t blocks = 0;
+  trace::TimeNs total_ns = 0;
+};
+std::vector<PhaseProfile> phase_profile(const trace::Trace& trace,
+                                        const order::LogicalStructure& ls);
+
+}  // namespace logstruct::metrics

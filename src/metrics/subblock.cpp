@@ -1,0 +1,26 @@
+#include "metrics/subblock.hpp"
+
+namespace logstruct::metrics {
+
+std::vector<trace::TimeNs> subblock_durations(const trace::Trace& trace) {
+  std::vector<trace::TimeNs> dur(
+      static_cast<std::size_t>(trace.num_events()), 0);
+  for (trace::BlockId b = 0; b < trace.num_blocks(); ++b) {
+    const trace::SerialBlock& blk = trace.block(b);
+    if (blk.events.empty()) continue;
+    trace::TimeNs prev = blk.begin;
+    for (trace::EventId e : blk.events) {
+      dur[static_cast<std::size_t>(e)] += trace.event(e).time - prev;
+      prev = trace.event(e).time;
+    }
+    trace::TimeNs leftover = blk.end - prev;
+    if (leftover > 0) {
+      trace::EventId owner =
+          blk.trigger != trace::kNone ? blk.trigger : blk.events.back();
+      dur[static_cast<std::size_t>(owner)] += leftover;
+    }
+  }
+  return dur;
+}
+
+}  // namespace logstruct::metrics

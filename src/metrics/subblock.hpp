@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file subblock.hpp
+/// Sub-block decomposition of serial blocks (paper §4, Fig. 13).
+///
+/// Dependency events divide each serial block into event-delimited units
+/// of computation: the sub-block of event e spans from the previous event
+/// in the block (or the block's begin) to e. Any leftover duration after
+/// the last event goes to the block-starting event when one was recorded,
+/// otherwise to the last event.
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+/// Duration of each event's sub-block (0 for events whose block assigns
+/// them nothing beyond a zero span).
+std::vector<trace::TimeNs> subblock_durations(const trace::Trace& trace);
+
+}  // namespace logstruct::metrics

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file block_units.hpp
+/// Serial-block units shared by the pipeline stages.
+///
+/// A *unit* is a serial block after SDAG absorption (§2.1): the group of
+/// executions the developer wrote as one serial. Initial partitioning
+/// splits units at app/runtime boundaries; the repair merge restores
+/// same-unit connections; step assignment orders whole units per chare.
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+struct BlockUnits {
+  /// block -> representative block (identity when absorption is off).
+  std::vector<trace::BlockId> rep;
+  /// Per representative block: its unit's events, time-sorted. Empty for
+  /// non-representative or event-less blocks.
+  std::vector<std::vector<trace::EventId>> events;
+  /// event -> representative block of its unit.
+  std::vector<trace::BlockId> unit_of_event;
+};
+
+BlockUnits compute_block_units(const trace::Trace& trace,
+                               bool sdag_absorption);
+
+}  // namespace logstruct::order

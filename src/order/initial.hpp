@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file initial.hpp
+/// Initial partition construction (paper §3.1.1).
+///
+/// Dependency events are grouped by their (SDAG-absorbed) serial block and
+/// split where dependencies cross the application/runtime boundary
+/// (paper Fig. 2). Edges: (1) remote-invocation matches, (2) intra-block
+/// happened-before between the split runs, (3) SDAG serial-adjacency
+/// inference, and — for message-passing traces — per-process physical-time
+/// order (§3.4).
+
+#include "order/options.hpp"
+#include "order/partition_graph.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+PartitionGraph build_initial_partitions(const trace::Trace& trace,
+                                        const PartitionOptions& opts);
+
+}  // namespace logstruct::order

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file io.hpp
+/// Serialization of computed logical structures (.lstruct).
+///
+/// A structure is expensive to recompute on big traces (Fig. 19); tools
+/// that render or re-analyze (the HTML viewer, metric sweeps) can archive
+/// it next to the .lstrace and reload in O(events). The format stores the
+/// per-event assignment, the phase table and DAG, and the w clock; derived
+/// orderings (per-phase event lists, chare sequences) are rebuilt against
+/// the trace at load time, which also cross-checks that trace and
+/// structure belong together.
+
+#include <iosfwd>
+#include <string>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+void write_structure(const LogicalStructure& ls, std::ostream& out);
+
+/// Parse a structure written by write_structure and re-derive the
+/// trace-dependent pieces. Throws std::runtime_error on malformed input
+/// or a trace/structure mismatch (wrong event count).
+LogicalStructure read_structure(std::istream& in, const trace::Trace& trace);
+
+bool save_structure(const LogicalStructure& ls, const std::string& path);
+LogicalStructure load_structure(const std::string& path,
+                                const trace::Trace& trace);
+
+}  // namespace logstruct::order

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file options.hpp
+/// Configuration of the logical-structure pipeline.
+///
+/// Every heuristic of the paper is individually switchable so the ablation
+/// experiments (notably Fig. 17: structure computed *without* the §3.1.4
+/// inference and merging) run through the same code path.
+
+namespace logstruct::order {
+
+struct PartitionOptions {
+  /// §3.1.1: split serial blocks where dependencies cross the
+  /// application/runtime boundary.
+  bool split_app_runtime = true;
+
+  /// §2.1: absorb `when`-triggered entry executions into their serial and
+  /// add serial-n -> serial-(n+1) happened-before edges.
+  bool sdag_inference = true;
+
+  /// §3.1.3 (Algorithm 2): restore merges broken by the app/runtime split.
+  bool repair_serial_blocks = true;
+
+  /// §3.1.3, second rule: merge partitions of neighboring serials entered
+  /// by the same multi-chare group.
+  bool neighbor_serial_merge = true;
+
+  /// §3.1.4 (Algorithm 3): order partition-initial source events per chare
+  /// by physical time and add the implied happened-before edges.
+  bool infer_source_order = true;
+
+  /// §3.1.4 (Algorithm 4): merge same-kind partitions that overlap in
+  /// chares at the same leap. When disabled, overlapping partitions are
+  /// forced into sequence with physical-time edges instead (the Fig. 17
+  /// ablation).
+  bool leap_merge = true;
+
+  /// Message-passing model: per-process physical-time order implies
+  /// happened-before (§3.4). Enable for MPI traces; Charm++ traces must
+  /// not assume it.
+  bool process_order_edges = false;
+
+  /// With process_order_edges: treat the order of RECEIVES on a process
+  /// as a control dependency too. The paper notes this Isaacs'13
+  /// assumption "is not always true, e.g., Figure 10" — its reordering
+  /// model (§3.2.1) lets receives replay earlier, so the relaxed edges
+  /// (false) only make each send depend on the receives and send that
+  /// physically preceded it.
+  bool strict_receive_order = true;
+};
+
+struct StepOptions {
+  /// §3.2.1: reorder serial blocks by idealized replay (w clock). False =
+  /// per-chare physical-time order (the Fig. 8a / Fig. 10a comparisons).
+  bool reorder = true;
+
+  /// Message-passing variant of the w clock: sends are pinned after the
+  /// receives that physically preceded them; only receives reorder.
+  bool mpi_mode = false;
+
+  /// Worker threads for step assignment. Phases are independent (§3.3:
+  /// "as each phase is handled individually, this stage could be
+  /// parallelized"); results are identical for any thread count.
+  int threads = 1;
+};
+
+struct Options {
+  PartitionOptions partition;
+  StepOptions step;
+
+  /// Charm++ trace defaults (the paper's main configuration).
+  static Options charm() { return Options{}; }
+
+  /// Charm++ without the §3.1.4 inference/merging (paper Fig. 17).
+  static Options charm_no_inference() {
+    Options o;
+    o.partition.infer_source_order = false;
+    o.partition.leap_merge = false;
+    return o;
+  }
+
+  /// Physical-time ordering of serial blocks (paper Fig. 8a).
+  static Options charm_no_reorder() {
+    Options o;
+    o.step.reorder = false;
+    return o;
+  }
+
+  /// MPI traces with reordering (paper Fig. 10b): receives are free to
+  /// replay earlier, so their physical order is not a dependency.
+  static Options mpi() {
+    Options o;
+    o.partition.split_app_runtime = false;   // no runtime chares
+    o.partition.sdag_inference = false;
+    o.partition.neighbor_serial_merge = false;
+    o.partition.process_order_edges = true;
+    o.partition.strict_receive_order = false;
+    o.step.mpi_mode = true;
+    return o;
+  }
+
+  /// MPI organization of Isaacs et al. [13] as used in the paper's
+  /// Fig. 10a / Fig. 16a / Fig. 20(a,c): strict per-process
+  /// happened-before and stepping without reordering.
+  static Options mpi_baseline13() {
+    Options o = mpi();
+    o.partition.strict_receive_order = true;
+    o.step.reorder = false;
+    return o;
+  }
+};
+
+}  // namespace logstruct::order

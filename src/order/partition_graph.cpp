@@ -1,0 +1,154 @@
+#include "order/partition_graph.hpp"
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+#include "graph/union_find.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::order {
+
+PartitionGraph::PartitionGraph(const trace::Trace& trace)
+    : trace_(&trace),
+      part_of_(static_cast<std::size_t>(trace.num_events()), -1) {}
+
+PartId PartitionGraph::add_partition(std::vector<trace::EventId> events,
+                                     bool runtime) {
+  LS_CHECK(!finalized_);
+  LS_CHECK_MSG(!events.empty(), "empty partition");
+  PartId id = static_cast<PartId>(events_.size());
+  for (trace::EventId e : events) {
+    LS_CHECK_MSG(part_of_[static_cast<std::size_t>(e)] == -1,
+                 "event assigned to two partitions");
+    part_of_[static_cast<std::size_t>(e)] = id;
+  }
+  events_.push_back(std::move(events));
+  runtime_.push_back(runtime);
+  return id;
+}
+
+void PartitionGraph::add_edge(PartId from, PartId to) {
+  if (from == to) return;
+  pending_edges_.emplace_back(from, to);
+}
+
+void PartitionGraph::finalize() {
+  LS_CHECK(!finalized_);
+  finalized_ = true;
+  for (trace::EventId e = 0; e < trace_->num_events(); ++e) {
+    LS_CHECK_MSG(part_of_[static_cast<std::size_t>(e)] != -1,
+                 "event not covered by any initial partition");
+  }
+  dag_.reset(num_partitions());
+  for (auto [u, v] : pending_edges_) dag_.add_edge(u, v);
+  pending_edges_.clear();
+  dag_.finalize();
+
+  chares_.assign(events_.size(), {});
+  for (std::int32_t p = 0; p < num_partitions(); ++p) {
+    auto& cs = chares_[static_cast<std::size_t>(p)];
+    for (trace::EventId e : events_[static_cast<std::size_t>(p)])
+      cs.push_back(trace_->event(e).chare);
+    std::sort(cs.begin(), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  }
+}
+
+trace::EventId PartitionGraph::first_event_of_chare(PartId p,
+                                                    trace::ChareId c) const {
+  for (trace::EventId e : events_[static_cast<std::size_t>(p)]) {
+    if (trace_->event(e).chare == c) return e;
+  }
+  return trace::kNone;
+}
+
+void PartitionGraph::add_edges_bulk(
+    std::span<const std::pair<PartId, PartId>> edges) {
+  LS_CHECK(finalized_);
+  if (edges.empty()) return;
+  // The digraph deduplicates on finalize; rebuild it wholesale.
+  graph::Digraph next(num_partitions());
+  for (auto [u, v] : dag_.edges()) next.add_edge(u, v);
+  for (auto [u, v] : edges) {
+    if (u != v) next.add_edge(u, v);
+  }
+  next.finalize();
+  dag_ = std::move(next);
+}
+
+bool PartitionGraph::apply_merges(
+    std::span<const std::pair<PartId, PartId>> pairs) {
+  LS_CHECK(finalized_);
+  if (pairs.empty()) return false;
+  graph::UnionFind uf(static_cast<std::size_t>(num_partitions()));
+  for (auto [p, q] : pairs) uf.unite(p, q);
+  if (uf.num_sets() == static_cast<std::size_t>(num_partitions()))
+    return false;
+  auto label = uf.dense_labels();
+  rebuild(label, static_cast<std::int32_t>(uf.num_sets()));
+  return true;
+}
+
+bool PartitionGraph::cycle_merge() {
+  LS_CHECK(finalized_);
+  graph::SccResult scc = graph::strongly_connected_components(dag_);
+  if (scc.num_components == num_partitions()) return false;
+  rebuild(scc.component, scc.num_components);
+  return true;
+}
+
+void PartitionGraph::rebuild(const std::vector<std::int32_t>& label,
+                             std::int32_t num_new) {
+  merges_ += num_partitions() - num_new;
+
+  std::vector<std::vector<trace::EventId>> new_events(
+      static_cast<std::size_t>(num_new));
+  std::vector<bool> new_runtime(static_cast<std::size_t>(num_new), false);
+
+  // Reserve, then merge event lists keeping time order (merge of sorted
+  // runs via stable sort on (time, id) — lists are small relative to total).
+  for (std::int32_t p = 0; p < num_partitions(); ++p) {
+    auto nl = static_cast<std::size_t>(label[static_cast<std::size_t>(p)]);
+    auto& src = events_[static_cast<std::size_t>(p)];
+    new_events[nl].insert(new_events[nl].end(), src.begin(), src.end());
+    if (runtime_[static_cast<std::size_t>(p)]) new_runtime[nl] = true;
+  }
+  const trace::Trace& tr = *trace_;
+  for (auto& list : new_events) {
+    std::sort(list.begin(), list.end(),
+              [&tr](trace::EventId a, trace::EventId b) {
+                if (tr.event(a).time != tr.event(b).time)
+                  return tr.event(a).time < tr.event(b).time;
+                return a < b;
+              });
+  }
+
+  graph::Digraph new_dag(num_new);
+  for (auto [u, v] : dag_.edges()) {
+    std::int32_t nu = label[static_cast<std::size_t>(u)];
+    std::int32_t nv = label[static_cast<std::size_t>(v)];
+    if (nu != nv) new_dag.add_edge(nu, nv);
+  }
+  new_dag.finalize();
+
+  std::vector<std::vector<trace::ChareId>> new_chares(
+      static_cast<std::size_t>(num_new));
+  for (std::int32_t p = 0; p < num_new; ++p) {
+    auto& cs = new_chares[static_cast<std::size_t>(p)];
+    for (trace::EventId e : new_events[static_cast<std::size_t>(p)])
+      cs.push_back(tr.event(e).chare);
+    std::sort(cs.begin(), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  }
+
+  events_ = std::move(new_events);
+  runtime_ = std::move(new_runtime);
+  chares_ = std::move(new_chares);
+  dag_ = std::move(new_dag);
+  for (trace::EventId e = 0; e < tr.num_events(); ++e) {
+    part_of_[static_cast<std::size_t>(e)] =
+        label[static_cast<std::size_t>(part_of_[static_cast<std::size_t>(e)])];
+  }
+}
+
+}  // namespace logstruct::order

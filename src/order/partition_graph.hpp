@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file partition_graph.hpp
+/// The partition graph G_P(V, E) the phase-finding stage operates on.
+///
+/// Vertices are partitions (sets of dependency events); directed edges are
+/// happened-before relations. All of the paper's merge passes reduce to:
+/// schedule a batch of pair merges, apply them (union-find + rebuild), and
+/// collapse any strongly connected components ("cycle merge") so the graph
+/// is a DAG again.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+using PartId = std::int32_t;
+
+class PartitionGraph {
+ public:
+  explicit PartitionGraph(const trace::Trace& trace);
+
+  /// Construction: add a partition owning `events` (must be time-sorted).
+  PartId add_partition(std::vector<trace::EventId> events, bool runtime);
+
+  /// Construction: record a happened-before edge (self-edges ignored).
+  void add_edge(PartId from, PartId to);
+
+  /// Must be called after the last add_partition/add_edge and before any
+  /// query or merge.
+  void finalize();
+
+  // --- queries ------------------------------------------------------------
+  [[nodiscard]] std::int32_t num_partitions() const {
+    return static_cast<std::int32_t>(events_.size());
+  }
+  [[nodiscard]] std::span<const trace::EventId> events(PartId p) const {
+    return events_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] bool runtime(PartId p) const {
+    return runtime_[static_cast<std::size_t>(p)];
+  }
+  /// Sorted unique chares with events in p.
+  [[nodiscard]] std::span<const trace::ChareId> chares(PartId p) const {
+    return chares_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] PartId part_of(trace::EventId e) const {
+    return part_of_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] const graph::Digraph& dag() const { return dag_; }
+  [[nodiscard]] const trace::Trace& trace() const { return *trace_; }
+
+  /// First event of chare c inside partition p (kNone if c has none).
+  /// "Initial source" queries of §3.1.4 build on this.
+  [[nodiscard]] trace::EventId first_event_of_chare(PartId p,
+                                                    trace::ChareId c) const;
+
+  // --- mutation -----------------------------------------------------------
+  /// Apply a batch of scheduled merges; invalidates partition ids.
+  /// Returns true if anything merged.
+  bool apply_merges(std::span<const std::pair<PartId, PartId>> pairs);
+
+  /// Merge every SCC into a single partition. Returns true if anything
+  /// merged. Afterwards dag() is acyclic.
+  bool cycle_merge();
+
+  /// Add happened-before edges after construction (deduplicated lazily).
+  void add_edges_bulk(std::span<const std::pair<PartId, PartId>> edges);
+
+  /// Total merges applied so far (for pipeline statistics).
+  [[nodiscard]] std::int64_t merges_applied() const { return merges_; }
+
+ private:
+  void rebuild(const std::vector<std::int32_t>& label,
+               std::int32_t num_new);
+
+  const trace::Trace* trace_;
+  std::vector<std::vector<trace::EventId>> events_;
+  std::vector<bool> runtime_;
+  std::vector<std::vector<trace::ChareId>> chares_;
+  std::vector<PartId> part_of_;
+  graph::Digraph dag_;
+  std::vector<std::pair<PartId, PartId>> pending_edges_;
+  bool finalized_ = false;
+  std::int64_t merges_ = 0;
+};
+
+}  // namespace logstruct::order

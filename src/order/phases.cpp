@@ -1,0 +1,97 @@
+#include "order/phases.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/leaps.hpp"
+#include "order/infer.hpp"
+#include "order/initial.hpp"
+#include "order/merges.hpp"
+#include "order/partition_graph.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace logstruct::order {
+
+PhaseResult find_phases(const trace::Trace& trace,
+                        const PartitionOptions& opts,
+                        PipelineTimings* timings) {
+  PipelineTimings local;
+  PipelineTimings& tm = timings ? *timings : local;
+  util::Stopwatch sw;
+  auto lap = [&sw](double& slot) {
+    slot += sw.seconds();
+    sw.reset();
+  };
+
+  PartitionGraph pg = build_initial_partitions(trace, opts);
+  PhaseResult out;
+  out.initial_partitions = pg.num_partitions();
+
+  // Every pass below keeps the invariant: the partition graph is a DAG on
+  // entry and exit (cycle merges run inside each pass).
+  pg.cycle_merge();                       // raw edges may already cycle
+  lap(tm.initial);
+  dependency_merge(pg);                   // §3.1.2, Algorithm 1
+  lap(tm.dependency_merge);
+  if (opts.repair_serial_blocks) repair_merge(pg, opts);  // §3.1.3, Alg 2
+  lap(tm.repair);
+  if (opts.neighbor_serial_merge && opts.sdag_inference)
+    neighbor_serial_merge(pg, opts);      // §3.1.3, second rule
+  lap(tm.neighbor);
+  if (opts.infer_source_order) infer_source_order(pg);  // §3.1.4, Alg 3
+  lap(tm.infer_sources);
+  enforce_leap_property(pg, opts);        // §3.1.4, Alg 4 / property 1
+  lap(tm.leap_property);
+  enforce_chare_paths(pg);                // §3.1.4, Alg 5 / property 2
+  lap(tm.chare_paths);
+
+  LS_CHECK_MSG(check_leap_property(pg), "property 1 violated after pipeline");
+
+  // Renumber phases by (leap, first event time) for stable, readable ids.
+  auto leaps = graph::compute_leaps(pg.dag());
+  std::vector<std::int32_t> order(
+      static_cast<std::size_t>(pg.num_partitions()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    if (leaps[static_cast<std::size_t>(a)] !=
+        leaps[static_cast<std::size_t>(b)])
+      return leaps[static_cast<std::size_t>(a)] <
+             leaps[static_cast<std::size_t>(b)];
+    trace::TimeNs ta = trace.event(pg.events(a).front()).time;
+    trace::TimeNs tb = trace.event(pg.events(b).front()).time;
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  std::vector<std::int32_t> new_id(
+      static_cast<std::size_t>(pg.num_partitions()));
+  for (std::size_t i = 0; i < order.size(); ++i)
+    new_id[static_cast<std::size_t>(order[i])] =
+        static_cast<std::int32_t>(i);
+
+  out.events.resize(static_cast<std::size_t>(pg.num_partitions()));
+  out.runtime.resize(static_cast<std::size_t>(pg.num_partitions()));
+  out.leap.resize(static_cast<std::size_t>(pg.num_partitions()));
+  for (PartId p = 0; p < pg.num_partitions(); ++p) {
+    auto n = static_cast<std::size_t>(new_id[static_cast<std::size_t>(p)]);
+    out.events[n].assign(pg.events(p).begin(), pg.events(p).end());
+    out.runtime[n] = pg.runtime(p);
+    out.leap[n] = leaps[static_cast<std::size_t>(p)];
+  }
+  out.phase_of_event.assign(static_cast<std::size_t>(trace.num_events()),
+                            -1);
+  for (trace::EventId e = 0; e < trace.num_events(); ++e)
+    out.phase_of_event[static_cast<std::size_t>(e)] =
+        new_id[static_cast<std::size_t>(pg.part_of(e))];
+
+  out.dag.reset(pg.num_partitions());
+  for (auto [u, v] : pg.dag().edges())
+    out.dag.add_edge(new_id[static_cast<std::size_t>(u)],
+                     new_id[static_cast<std::size_t>(v)]);
+  out.dag.finalize();
+  out.merges = pg.merges_applied();
+  lap(tm.finalize);
+  return out;
+}
+
+}  // namespace logstruct::order

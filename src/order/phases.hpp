@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file phases.hpp
+/// Phase-finding driver (paper §3.1): runs the full partitioning pipeline
+/// and returns the phases plus the phase DAG.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "order/options.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+/// Wall-clock seconds per pipeline stage (Fig. 19's analysis: the paper
+/// attributes the super-linear tail to the §3.1.4 merge).
+struct PipelineTimings {
+  double initial = 0;
+  double dependency_merge = 0;
+  double repair = 0;
+  double neighbor = 0;
+  double infer_sources = 0;
+  double leap_property = 0;   ///< §3.1.4 merge/order fixpoint
+  double chare_paths = 0;
+  double finalize = 0;
+  [[nodiscard]] double total() const {
+    return initial + dependency_merge + repair + neighbor + infer_sources +
+           leap_property + chare_paths + finalize;
+  }
+};
+
+struct PhaseResult {
+  /// Per phase: its events, time-sorted. Phases are numbered by
+  /// (leap, earliest event) so ids read roughly in execution order.
+  std::vector<std::vector<trace::EventId>> events;
+  std::vector<bool> runtime;             ///< runtime phase flag (§3.1)
+  std::vector<std::int32_t> phase_of_event;
+  graph::Digraph dag;                    ///< happened-before between phases
+  std::vector<std::int32_t> leap;        ///< final leap per phase
+
+  // Pipeline statistics (bench/micro reporting).
+  std::int32_t initial_partitions = 0;
+  std::int64_t merges = 0;
+
+  [[nodiscard]] std::int32_t num_phases() const {
+    return static_cast<std::int32_t>(events.size());
+  }
+};
+
+/// Run the paper's §3.1 pipeline: initial partitions, dependency merge,
+/// serial-block repair, neighbor-serial merge, source-order inference,
+/// leap-property enforcement (merge or order), chare-path enforcement.
+/// Each heuristic is gated by opts.
+PhaseResult find_phases(const trace::Trace& trace,
+                        const PartitionOptions& opts,
+                        PipelineTimings* timings = nullptr);
+
+}  // namespace logstruct::order

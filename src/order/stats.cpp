@@ -1,0 +1,161 @@
+#include "order/stats.hpp"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace logstruct::order {
+
+StructureStats compute_stats(const trace::Trace& trace,
+                             const LogicalStructure& ls) {
+  StructureStats s;
+  s.num_phases = ls.num_phases();
+  for (bool rt : ls.phases.runtime) {
+    if (rt) ++s.runtime_phases;
+    else ++s.app_phases;
+  }
+  s.width = ls.max_step + 1;
+
+  double height_sum = 0;
+  for (std::int32_t h : ls.phase_height) height_sum += h;
+  s.avg_phase_height =
+      ls.num_phases() ? height_sum / ls.num_phases() : 0.0;
+
+  std::unordered_map<std::int32_t, std::int32_t> per_step;
+  for (trace::EventId e = 0; e < trace.num_events(); ++e)
+    ++per_step[ls.global_step[static_cast<std::size_t>(e)]];
+  if (!per_step.empty()) {
+    s.avg_occupancy = static_cast<double>(trace.num_events()) /
+                      static_cast<double>(per_step.size());
+  }
+
+  // Same-chare same-step collisions.
+  std::unordered_set<std::int64_t> seen;
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    std::int64_t key =
+        (static_cast<std::int64_t>(trace.event(e).chare) << 32) |
+        static_cast<std::uint32_t>(
+            ls.global_step[static_cast<std::size_t>(e)]);
+    if (!seen.insert(key).second) ++s.chare_step_violations;
+  }
+
+  s.order_conflicts = ls.order_conflicts;
+  s.initial_partitions = ls.phases.initial_partitions;
+  s.merges = ls.phases.merges;
+  return s;
+}
+
+std::vector<PhaseStat> phase_table(const trace::Trace& trace,
+                                   const LogicalStructure& ls) {
+  std::vector<PhaseStat> rows;
+  rows.reserve(static_cast<std::size_t>(ls.num_phases()));
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p) {
+    PhaseStat row;
+    row.id = p;
+    row.runtime = ls.phases.runtime[static_cast<std::size_t>(p)];
+    row.events = static_cast<std::int32_t>(
+        ls.phases.events[static_cast<std::size_t>(p)].size());
+    std::unordered_set<trace::ChareId> chares;
+    for (trace::EventId e : ls.phases.events[static_cast<std::size_t>(p)])
+      chares.insert(trace.event(e).chare);
+    row.chares = static_cast<std::int32_t>(chares.size());
+    row.leap = ls.phases.leap[static_cast<std::size_t>(p)];
+    row.offset = ls.phase_offset[static_cast<std::size_t>(p)];
+    row.height = ls.phase_height[static_cast<std::size_t>(p)];
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const PhaseStat& a,
+                                         const PhaseStat& b) {
+    if (a.offset != b.offset) return a.offset < b.offset;
+    return a.id < b.id;
+  });
+  return rows;
+}
+
+double step_overlap(const LogicalStructure& ls, std::int32_t p,
+                    std::int32_t q) {
+  std::int32_t p0 = ls.phase_offset[static_cast<std::size_t>(p)];
+  std::int32_t p1 = p0 + ls.phase_height[static_cast<std::size_t>(p)];
+  std::int32_t q0 = ls.phase_offset[static_cast<std::size_t>(q)];
+  std::int32_t q1 = q0 + ls.phase_height[static_cast<std::size_t>(q)];
+  std::int32_t lo = std::max(p0, q0);
+  std::int32_t hi = std::min(p1, q1);
+  if (hi < lo) return 0.0;
+  return static_cast<double>(hi - lo + 1) / static_cast<double>(p1 - p0 + 1);
+}
+
+double phase_compactness(const trace::Trace& trace,
+                         const LogicalStructure& ls, std::int32_t phase) {
+  std::unordered_map<trace::ChareId,
+                     std::pair<std::int32_t, std::int32_t>>
+      span;  // chare -> (min step, max step)
+  std::unordered_map<trace::ChareId, std::int32_t> count;
+  for (trace::EventId e :
+       ls.phases.events[static_cast<std::size_t>(phase)]) {
+    trace::ChareId c = trace.event(e).chare;
+    std::int32_t st = ls.global_step[static_cast<std::size_t>(e)];
+    auto it = span.find(c);
+    if (it == span.end()) {
+      span[c] = {st, st};
+    } else {
+      it->second.first = std::min(it->second.first, st);
+      it->second.second = std::max(it->second.second, st);
+    }
+    ++count[c];
+  }
+  if (span.empty()) return 1.0;
+  double total = 0;
+  for (const auto& [c, mm] : span) {
+    double width = mm.second - mm.first + 1;
+    total += static_cast<double>(count[c]) / width;
+  }
+  return total / static_cast<double>(span.size());
+}
+
+std::string phase_signature(const trace::Trace& trace,
+                            const LogicalStructure& ls) {
+  std::string sig;
+  for (const auto& row : phase_table(trace, ls)) {
+    if (row.runtime) {
+      sig += 'r';
+    } else if (row.height == 1 && row.events == 2 * row.chares &&
+               trace.collectives().empty()) {
+      sig += 't';
+    } else if (row.height == 1 && !trace.collectives().empty()) {
+      sig += 'a';
+    } else {
+      sig += 'p';
+    }
+  }
+  return sig;
+}
+
+PhasePattern detect_pattern(const std::string& signature,
+                            std::int32_t min_repeats) {
+  const std::size_t n = signature.size();
+  for (std::size_t unit_len = 1; unit_len <= n; ++unit_len) {
+    for (std::size_t lead = 0; lead + unit_len <= n; ++lead) {
+      std::size_t tail = n - lead;
+      if (tail % unit_len != 0) continue;
+      auto repeats = static_cast<std::int32_t>(tail / unit_len);
+      if (repeats < min_repeats) continue;
+      std::string_view unit(signature.data() + lead, unit_len);
+      bool ok = true;
+      for (std::size_t pos = lead; ok && pos < n; pos += unit_len)
+        ok = std::string_view(signature.data() + pos, unit_len) == unit;
+      if (ok) {
+        PhasePattern p;
+        p.lead = signature.substr(0, lead);
+        p.unit = std::string(unit);
+        p.repeats = repeats;
+        return p;
+      }
+    }
+  }
+  return PhasePattern{signature, "", 0};
+}
+
+}  // namespace logstruct::order

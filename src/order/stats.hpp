@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file stats.hpp
+/// Quantitative summaries of a logical structure.
+///
+/// The paper's evaluation is visual; these statistics give the figure
+/// harnesses checkable numbers for the same claims: structure width and
+/// occupancy (Figs. 8/10 reordering quality), the per-phase table
+/// (Figs. 16/20 phase patterns), and step-range overlap between phases
+/// (Fig. 24 missing-dependency effect).
+
+#include <cstdint>
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+struct StructureStats {
+  std::int32_t num_phases = 0;
+  std::int32_t app_phases = 0;
+  std::int32_t runtime_phases = 0;
+  std::int32_t width = 0;  ///< max global step + 1
+  double avg_phase_height = 0;
+  /// Mean events per occupied global step: higher = more parallel
+  /// structure recovered (the visual "compactness" of Figs. 8/10).
+  double avg_occupancy = 0;
+  /// Pairs of same-chare events sharing a global step; 0 iff the phase
+  /// DAG properties did their job.
+  std::int64_t chare_step_violations = 0;
+  std::int32_t order_conflicts = 0;
+  std::int32_t initial_partitions = 0;
+  std::int64_t merges = 0;
+};
+
+StructureStats compute_stats(const trace::Trace& trace,
+                             const LogicalStructure& ls);
+
+struct PhaseStat {
+  std::int32_t id = 0;
+  bool runtime = false;
+  std::int32_t events = 0;
+  std::int32_t chares = 0;
+  std::int32_t leap = 0;
+  std::int32_t offset = 0;
+  std::int32_t height = 0;
+};
+
+/// One row per phase, ordered by (offset, id).
+std::vector<PhaseStat> phase_table(const trace::Trace& trace,
+                                   const LogicalStructure& ls);
+
+/// Fraction of phase p's global-step range also covered by phase q
+/// (0 = disjoint, 1 = p fully inside q's range).
+double step_overlap(const LogicalStructure& ls, std::int32_t p,
+                    std::int32_t q);
+
+/// Mean over chares of events/(span of occupied steps) inside one phase —
+/// 1.0 means every chare's events sit on consecutive steps.
+double phase_compactness(const trace::Trace& trace,
+                         const LogicalStructure& ls, std::int32_t phase);
+
+/// One classification character per phase in offset order — the compact
+/// "phase pattern" the figure harnesses compare against the paper:
+///   'r' runtime phase; 'a' abstracted-collective phase (height 1 in a
+///   trace with collectives); 't' two-step control phase (height 1, two
+///   events per chare); 'p' everything else (point-to-point work).
+std::string phase_signature(const trace::Trace& trace,
+                            const LogicalStructure& ls);
+
+/// A detected repetition in a phase signature: `lead` + `unit` x `repeats`
+/// reconstructs the input exactly. Iterative applications expose their
+/// iteration structure this way (LULESH-Charm++: lead "p", unit "ppr").
+struct PhasePattern {
+  std::string lead;
+  std::string unit;
+  std::int32_t repeats = 0;  ///< 0 = no repetition found (unit empty)
+};
+
+/// Find the repetition with the shortest unit (ties: shortest lead) that
+/// covers the signature with at least `min_repeats` copies.
+PhasePattern detect_pattern(const std::string& signature,
+                            std::int32_t min_repeats = 2);
+
+}  // namespace logstruct::order

@@ -1,0 +1,424 @@
+#include "order/stepping.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "graph/topo.hpp"
+#include "order/block_units.hpp"
+#include "order/wclock.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::order {
+
+namespace {
+
+/// One serial-block unit inside one phase.
+struct Unit {
+  std::vector<trace::EventId> events;  // in-phase events, time order
+  trace::ChareId chare = trace::kNone;
+};
+
+/// Comparator state for ordering a chare's units (§3.2.1): w of the
+/// initial event, then invoking chare, then recursion into source units,
+/// then physical time as the total-order fallback.
+class UnitOrder {
+ public:
+  UnitOrder(const trace::Trace& trace, const BlockUnits& units,
+            const std::vector<std::int64_t>& w,
+            const std::vector<Unit>& all_units,
+            const std::unordered_map<trace::BlockId, std::int32_t>&
+                unit_index)
+      : trace_(trace),
+        units_(units),
+        w_(w),
+        all_units_(all_units),
+        unit_index_(unit_index) {}
+
+  bool less(std::int32_t a, std::int32_t b) const {
+    int c = compare(a, b, /*depth=*/8);
+    if (c != 0) return c < 0;
+    // Total-order fallback: physical time, then event id.
+    const trace::EventId ea = first(a);
+    const trace::EventId eb = first(b);
+    if (trace_.event(ea).time != trace_.event(eb).time)
+      return trace_.event(ea).time < trace_.event(eb).time;
+    return ea < eb;
+  }
+
+ private:
+  [[nodiscard]] trace::EventId first(std::int32_t u) const {
+    return all_units_[static_cast<std::size_t>(u)].events.front();
+  }
+
+  /// The unit's replay position: the maximum w over its receives — the
+  /// binding dependency that lets it start. Charm++ units have (at most)
+  /// one receive, and it is the first event, so this matches the paper's
+  /// "w of the initial event"; multi-dependency task units must sort by
+  /// their last-satisfied dependency or the sequence order can contradict
+  /// the message order.
+  [[nodiscard]] std::int64_t unit_w(std::int32_t u) const {
+    const auto& events = all_units_[static_cast<std::size_t>(u)].events;
+    std::int64_t best = w_[static_cast<std::size_t>(events.front())];
+    for (trace::EventId e : events) {
+      if (trace_.event(e).kind == trace::EventKind::Recv)
+        best = std::max(best, w_[static_cast<std::size_t>(e)]);
+    }
+    return best;
+  }
+
+  /// The chare that invoked this unit: the partner chare of its initial
+  /// receive (kNone -> -1).
+  [[nodiscard]] std::int32_t invoker_chare(std::int32_t u) const {
+    const trace::Event& ev = trace_.event(first(u));
+    if (ev.kind != trace::EventKind::Recv || ev.partner == trace::kNone)
+      return -1;
+    return trace_.event(ev.partner).chare;
+  }
+
+  /// The unit holding the matching send of this unit's initial receive
+  /// (-1 if none or not materialized in this phase).
+  [[nodiscard]] std::int32_t invoker_unit(std::int32_t u) const {
+    const trace::Event& ev = trace_.event(first(u));
+    if (ev.kind != trace::EventKind::Recv || ev.partner == trace::kNone)
+      return -1;
+    trace::BlockId b =
+        units_.unit_of_event[static_cast<std::size_t>(ev.partner)];
+    auto it = unit_index_.find(b);
+    return it == unit_index_.end() ? -1 : it->second;
+  }
+
+  int compare(std::int32_t a, std::int32_t b, int depth) const {
+    std::int64_t wa = unit_w(a);
+    std::int64_t wb = unit_w(b);
+    if (wa != wb) return wa < wb ? -1 : 1;
+    std::int32_t ia = invoker_chare(a);
+    std::int32_t ib = invoker_chare(b);
+    if (ia != ib) return ia < ib ? -1 : 1;
+    if (depth > 0) {
+      std::int32_t ua = invoker_unit(a);
+      std::int32_t ub = invoker_unit(b);
+      if (ua >= 0 && ub >= 0 && ua != ub && ua != a && ub != b)
+        return compare(ua, ub, depth - 1);
+    }
+    return 0;
+  }
+
+  const trace::Trace& trace_;
+  const BlockUnits& units_;
+  const std::vector<std::int64_t>& w_;
+  const std::vector<Unit>& all_units_;
+  const std::unordered_map<trace::BlockId, std::int32_t>& unit_index_;
+};
+
+}  // namespace
+
+LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
+                              const Options& opts) {
+  LogicalStructure out;
+  BlockUnits units =
+      compute_block_units(trace, opts.partition.sdag_inference);
+
+  if (opts.step.reorder) {
+    out.w = compute_w(trace, phases, units, opts.step);
+  } else {
+    out.w.assign(static_cast<std::size_t>(trace.num_events()), 0);
+  }
+
+  // Collective send lists per event for step dependencies.
+  std::unordered_map<trace::EventId, std::int32_t> coll_of;
+  for (std::size_t c = 0; c < trace.collectives().size(); ++c) {
+    for (trace::EventId e : trace.collectives()[c].recvs)
+      coll_of[e] = static_cast<std::int32_t>(c);
+  }
+
+  out.local_step.assign(static_cast<std::size_t>(trace.num_events()), 0);
+  out.global_step.assign(static_cast<std::size_t>(trace.num_events()), 0);
+  out.phase_offset.assign(static_cast<std::size_t>(phases.num_phases()), 0);
+  out.phase_height.assign(static_cast<std::size_t>(phases.num_phases()), 0);
+
+  // Per-chare sequences per phase; stitched globally after offsets.
+  std::vector<std::vector<std::vector<trace::EventId>>> phase_chare_seq(
+      static_cast<std::size_t>(phases.num_phases()));
+
+  std::vector<trace::EventId> seq_pred(
+      static_cast<std::size_t>(trace.num_events()), trace::kNone);
+  std::vector<std::int32_t> conflicts(
+      static_cast<std::size_t>(phases.num_phases()), 0);
+
+  // Phases are mutually independent here: every vector indexed below is
+  // written at per-phase or per-event (single owning phase) positions, so
+  // the loop parallelizes without synchronization (§3.3).
+  auto process_phase = [&](std::int32_t ph) {
+    const auto& phase_events = phases.events[static_cast<std::size_t>(ph)];
+
+    // Build units restricted to this phase.
+    std::vector<Unit> phase_units;
+    std::unordered_map<trace::BlockId, std::int32_t> unit_index;
+    for (trace::EventId e : phase_events) {
+      trace::BlockId u = units.unit_of_event[static_cast<std::size_t>(e)];
+      auto [it, inserted] = unit_index.try_emplace(
+          u, static_cast<std::int32_t>(phase_units.size()));
+      if (inserted) {
+        phase_units.emplace_back();
+        phase_units.back().chare = trace.event(e).chare;
+      }
+      phase_units[static_cast<std::size_t>(it->second)].events.push_back(e);
+    }
+
+    // Group units by chare and order them.
+    std::unordered_map<trace::ChareId, std::vector<std::int32_t>> by_chare;
+    for (std::size_t u = 0; u < phase_units.size(); ++u)
+      by_chare[phase_units[u].chare].push_back(static_cast<std::int32_t>(u));
+
+    UnitOrder order(trace, units, out.w, phase_units, unit_index);
+    auto& seqs = phase_chare_seq[static_cast<std::size_t>(ph)];
+    for (auto& [chare, list] : by_chare) {
+      if (opts.step.reorder) {
+        std::sort(list.begin(), list.end(),
+                  [&order](std::int32_t a, std::int32_t b) {
+                    return order.less(a, b);
+                  });
+      } else {
+        std::sort(list.begin(), list.end(),
+                  [&](std::int32_t a, std::int32_t b) {
+                    trace::EventId ea = phase_units[
+                        static_cast<std::size_t>(a)].events.front();
+                    trace::EventId eb = phase_units[
+                        static_cast<std::size_t>(b)].events.front();
+                    if (trace.event(ea).time != trace.event(eb).time)
+                      return trace.event(ea).time < trace.event(eb).time;
+                    return ea < eb;
+                  });
+      }
+      std::vector<trace::EventId> seq;
+      for (std::int32_t u : list) {
+        for (trace::EventId e :
+             phase_units[static_cast<std::size_t>(u)].events) {
+          if (!seq.empty())
+            seq_pred[static_cast<std::size_t>(e)] = seq.back();
+          seq.push_back(e);
+        }
+      }
+      seqs.push_back(std::move(seq));
+    }
+
+    // Local step assignment: Kahn over sequence + message dependencies.
+    std::unordered_map<trace::EventId, std::int32_t> indeg;
+    std::unordered_map<trace::EventId, std::vector<trace::EventId>> succ;
+    auto in_phase = [&](trace::EventId e) {
+      return phases.phase_of_event[static_cast<std::size_t>(e)] == ph;
+    };
+    for (trace::EventId e : phase_events) indeg[e] = 0;
+    auto add_dep = [&](trace::EventId from, trace::EventId to) {
+      succ[from].push_back(to);
+      ++indeg[to];
+    };
+    for (trace::EventId e : phase_events) {
+      if (seq_pred[static_cast<std::size_t>(e)] != trace::kNone)
+        add_dep(seq_pred[static_cast<std::size_t>(e)], e);
+      const trace::Event& ev = trace.event(e);
+      if (ev.kind == trace::EventKind::Recv) {
+        if (ev.partner != trace::kNone && in_phase(ev.partner))
+          add_dep(ev.partner, e);
+        auto coll = coll_of.find(e);
+        if (coll != coll_of.end()) {
+          for (trace::EventId s :
+               trace.collectives()[static_cast<std::size_t>(coll->second)]
+                   .sends) {
+            if (in_phase(s)) add_dep(s, e);
+          }
+        }
+      }
+    }
+
+    std::vector<trace::EventId> ready;
+    for (trace::EventId e : phase_events)
+      if (indeg[e] == 0) ready.push_back(e);
+    std::size_t done = 0;
+    std::unordered_map<trace::EventId, bool> processed;
+    auto settle = [&](trace::EventId e) {
+      if (processed[e]) return;
+      std::int32_t step = 0;
+      if (seq_pred[static_cast<std::size_t>(e)] != trace::kNone) {
+        step = std::max(
+            step,
+            out.local_step[static_cast<std::size_t>(
+                seq_pred[static_cast<std::size_t>(e)])] + 1);
+      }
+      const trace::Event& ev = trace.event(e);
+      if (ev.kind == trace::EventKind::Recv) {
+        if (ev.partner != trace::kNone && in_phase(ev.partner))
+          step = std::max(
+              step,
+              out.local_step[static_cast<std::size_t>(ev.partner)] + 1);
+        auto coll = coll_of.find(e);
+        if (coll != coll_of.end()) {
+          for (trace::EventId s :
+               trace.collectives()[static_cast<std::size_t>(coll->second)]
+                   .sends) {
+            if (in_phase(s))
+              step = std::max(
+                  step, out.local_step[static_cast<std::size_t>(s)] + 1);
+          }
+        }
+      }
+      out.local_step[static_cast<std::size_t>(e)] = step;
+      processed[e] = true;
+      ++done;
+      for (trace::EventId nxt : succ[e]) {
+        if (--indeg[nxt] == 0) ready.push_back(nxt);
+      }
+    };
+    std::size_t head = 0;
+    while (done < phase_events.size()) {
+      if (head < ready.size()) {
+        settle(ready[head++]);
+        continue;
+      }
+      // Reordering produced a cyclic constraint (possible only with
+      // pathological unit orders): break it at the earliest unprocessed
+      // event and keep draining normally.
+      trace::EventId pick = trace::kNone;
+      for (trace::EventId e : phase_events) {
+        if (!processed[e] &&
+            (pick == trace::kNone ||
+             trace.event(e).time < trace.event(pick).time))
+          pick = e;
+      }
+      LS_CHECK(pick != trace::kNone);
+      ++conflicts[static_cast<std::size_t>(ph)];
+      settle(pick);
+    }
+
+    if (conflicts[static_cast<std::size_t>(ph)] > 0) {
+      // The cycle-breaking fallback can leave constraints unmet. Relax to
+      // a fixpoint: every pass only raises steps, so it terminates, and
+      // afterwards both invariants (strictly increasing along the chare
+      // sequence, receive after send) hold again.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (trace::EventId e : phase_events) {
+          std::int32_t step = out.local_step[static_cast<std::size_t>(e)];
+          if (seq_pred[static_cast<std::size_t>(e)] != trace::kNone) {
+            step = std::max(
+                step, out.local_step[static_cast<std::size_t>(
+                          seq_pred[static_cast<std::size_t>(e)])] + 1);
+          }
+          const trace::Event& ev = trace.event(e);
+          if (ev.kind == trace::EventKind::Recv) {
+            if (ev.partner != trace::kNone && in_phase(ev.partner))
+              step = std::max(
+                  step,
+                  out.local_step[static_cast<std::size_t>(ev.partner)] + 1);
+            auto coll = coll_of.find(e);
+            if (coll != coll_of.end()) {
+              for (trace::EventId s2 :
+                   trace.collectives()[static_cast<std::size_t>(
+                       coll->second)].sends) {
+                if (in_phase(s2))
+                  step = std::max(
+                      step,
+                      out.local_step[static_cast<std::size_t>(s2)] + 1);
+              }
+            }
+          }
+          if (step != out.local_step[static_cast<std::size_t>(e)]) {
+            out.local_step[static_cast<std::size_t>(e)] = step;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    for (trace::EventId e : phase_events)
+      out.phase_height[static_cast<std::size_t>(ph)] = std::max(
+          out.phase_height[static_cast<std::size_t>(ph)],
+          out.local_step[static_cast<std::size_t>(e)]);
+  };
+
+  const int threads = std::max(1, opts.step.threads);
+  if (threads == 1 || phases.num_phases() < 2) {
+    for (std::int32_t ph = 0; ph < phases.num_phases(); ++ph)
+      process_phase(ph);
+  } else {
+    std::atomic<std::int32_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (std::int32_t ph = next.fetch_add(1);
+             ph < phases.num_phases(); ph = next.fetch_add(1)) {
+          process_phase(ph);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+  for (std::int32_t c : conflicts) out.order_conflicts += c;
+
+  // Phase offsets along the phase DAG.
+  for (graph::NodeId p : graph::topological_order(phases.dag)) {
+    std::int32_t offset = 0;
+    for (graph::NodeId pred : phases.dag.predecessors(p)) {
+      offset = std::max(
+          offset, out.phase_offset[static_cast<std::size_t>(pred)] +
+                      out.phase_height[static_cast<std::size_t>(pred)] + 1);
+    }
+    out.phase_offset[static_cast<std::size_t>(p)] = offset;
+  }
+
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    std::int32_t ph = phases.phase_of_event[static_cast<std::size_t>(e)];
+    out.global_step[static_cast<std::size_t>(e)] =
+        out.phase_offset[static_cast<std::size_t>(ph)] +
+        out.local_step[static_cast<std::size_t>(e)];
+    out.max_step = std::max(out.max_step,
+                            out.global_step[static_cast<std::size_t>(e)]);
+  }
+
+  // Global per-chare sequences: phases in offset order.
+  out.chare_sequence.assign(static_cast<std::size_t>(trace.num_chares()),
+                            {});
+  {
+    std::vector<std::int32_t> phase_order(
+        static_cast<std::size_t>(phases.num_phases()));
+    for (std::size_t i = 0; i < phase_order.size(); ++i)
+      phase_order[i] = static_cast<std::int32_t>(i);
+    std::sort(phase_order.begin(), phase_order.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                if (out.phase_offset[static_cast<std::size_t>(a)] !=
+                    out.phase_offset[static_cast<std::size_t>(b)])
+                  return out.phase_offset[static_cast<std::size_t>(a)] <
+                         out.phase_offset[static_cast<std::size_t>(b)];
+                return a < b;
+              });
+    for (std::int32_t ph : phase_order) {
+      for (const auto& seq :
+           phase_chare_seq[static_cast<std::size_t>(ph)]) {
+        if (seq.empty()) continue;
+        trace::ChareId c = trace.event(seq.front()).chare;
+        auto& global = out.chare_sequence[static_cast<std::size_t>(c)];
+        global.insert(global.end(), seq.begin(), seq.end());
+      }
+    }
+  }
+  out.pos_in_chare.assign(static_cast<std::size_t>(trace.num_events()), 0);
+  for (const auto& seq : out.chare_sequence) {
+    for (std::size_t i = 0; i < seq.size(); ++i)
+      out.pos_in_chare[static_cast<std::size_t>(seq[i])] =
+          static_cast<std::int32_t>(i);
+  }
+
+  out.phases = std::move(phases);
+  return out;
+}
+
+LogicalStructure extract_structure(const trace::Trace& trace,
+                                   const Options& opts) {
+  return assign_steps(trace, find_phases(trace, opts.partition), opts);
+}
+
+}  // namespace logstruct::order

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file stepping.hpp
+/// Step assignment (paper §3.2) and the LogicalStructure result.
+///
+/// Within each phase: serial-block units are ordered per chare (by the w
+/// replay clock when reordering, by physical time otherwise), then every
+/// event gets a local step — one past the maximum of its happened-before
+/// events (the prior event along its chare, and its matching send if it is
+/// a receive). Phase offsets from the phase DAG turn local steps into
+/// global ones.
+
+#include <cstdint>
+#include <vector>
+
+#include "order/options.hpp"
+#include "order/phases.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+/// The complete logical structure: the paper's end product.
+struct LogicalStructure {
+  PhaseResult phases;
+
+  std::vector<std::int64_t> w;             ///< replay clock (reorder mode)
+  std::vector<std::int32_t> local_step;    ///< per event, within its phase
+  std::vector<std::int32_t> global_step;   ///< per event
+  std::vector<std::int32_t> phase_offset;  ///< per phase
+  std::vector<std::int32_t> phase_height;  ///< max local step per phase
+
+  /// Per chare: its events in final logical order (phases in DAG order,
+  /// units as sorted, events in unit order).
+  std::vector<std::vector<trace::EventId>> chare_sequence;
+  std::vector<std::int32_t> pos_in_chare;  ///< per event
+
+  std::int32_t max_step = 0;
+  /// Ordering conflicts broken during stepping (cycles introduced by
+  /// aggressive reordering; 0 in practice).
+  std::int32_t order_conflicts = 0;
+
+  [[nodiscard]] std::int32_t num_phases() const {
+    return phases.num_phases();
+  }
+};
+
+/// Assign steps to already-found phases.
+LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
+                              const Options& opts);
+
+/// The full pipeline: find_phases + assign_steps.
+LogicalStructure extract_structure(const trace::Trace& trace,
+                                   const Options& opts);
+
+}  // namespace logstruct::order

@@ -1,0 +1,83 @@
+#include "order/validate.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "graph/scc.hpp"
+
+namespace logstruct::order {
+
+namespace {
+
+template <typename... Args>
+void problem(std::vector<std::string>& out, Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  out.push_back(os.str());
+}
+
+}  // namespace
+
+std::vector<std::string> validate_structure(const trace::Trace& trace,
+                                            const LogicalStructure& ls) {
+  std::vector<std::string> out;
+
+  if (ls.phases.phase_of_event.size() !=
+      static_cast<std::size_t>(trace.num_events())) {
+    problem(out, "phase_of_event has ", ls.phases.phase_of_event.size(),
+            " entries for ", trace.num_events(), " events");
+    return out;  // sizes are wrong: nothing below is safe
+  }
+
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    std::int32_t ph = ls.phases.phase_of_event[static_cast<std::size_t>(e)];
+    if (ph < 0 || ph >= ls.num_phases()) {
+      problem(out, "event ", e, " has invalid phase ", ph);
+      continue;
+    }
+    std::int32_t local = ls.local_step[static_cast<std::size_t>(e)];
+    if (local < 0 ||
+        local > ls.phase_height[static_cast<std::size_t>(ph)])
+      problem(out, "event ", e, " local step ", local,
+              " outside its phase height");
+    if (ls.global_step[static_cast<std::size_t>(e)] !=
+        ls.phase_offset[static_cast<std::size_t>(ph)] + local)
+      problem(out, "event ", e, " global step inconsistent with offset");
+  }
+
+  trace.for_each_dependency([&](trace::EventId s, trace::EventId r) {
+    if (ls.global_step[static_cast<std::size_t>(s)] >=
+        ls.global_step[static_cast<std::size_t>(r)])
+      problem(out, "recv ", r, " not strictly after its send ", s);
+  });
+
+  std::set<std::pair<trace::ChareId, std::int32_t>> seen;
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    auto key = std::make_pair(
+        trace.event(e).chare, ls.global_step[static_cast<std::size_t>(e)]);
+    if (!seen.insert(key).second)
+      problem(out, "chare ", key.first, " has two events at step ",
+              key.second);
+  }
+
+  if (!graph::is_dag(ls.phases.dag)) problem(out, "phase DAG has a cycle");
+  for (auto [u, v] : ls.phases.dag.edges()) {
+    if (ls.phase_offset[static_cast<std::size_t>(v)] <
+        ls.phase_offset[static_cast<std::size_t>(u)] +
+            ls.phase_height[static_cast<std::size_t>(u)] + 1)
+      problem(out, "phase ", v, " offset overlaps its predecessor ", u);
+  }
+
+  for (std::size_t c = 0; c < ls.chare_sequence.size(); ++c) {
+    const auto& seq = ls.chare_sequence[c];
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (ls.global_step[static_cast<std::size_t>(seq[i - 1])] >=
+          ls.global_step[static_cast<std::size_t>(seq[i])])
+        problem(out, "chare ", c, " sequence not strictly increasing at ",
+                i);
+    }
+  }
+  return out;
+}
+
+}  // namespace logstruct::order

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file validate.hpp
+/// Public validation of a computed logical structure.
+///
+/// Mirrors trace::validate: returns human-readable problems instead of
+/// aborting, so tools can sanity-check structures loaded from disk or
+/// produced by experimental option combinations. An empty result means
+/// every guarantee of the paper's phase-DAG properties holds:
+///   - every event has a phase and a step within its phase's height,
+///   - receives step strictly after their sends,
+///   - no two events of one chare share a global step,
+///   - the phase DAG is acyclic and offsets respect it,
+///   - each chare's final sequence is strictly increasing in steps.
+
+#include <string>
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+std::vector<std::string> validate_structure(const trace::Trace& trace,
+                                            const LogicalStructure& ls);
+
+}  // namespace logstruct::order

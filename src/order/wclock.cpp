@@ -1,0 +1,82 @@
+#include "order/wclock.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace logstruct::order {
+
+std::vector<std::int64_t> compute_w(const trace::Trace& trace,
+                                    const PhaseResult& phases,
+                                    const BlockUnits& units,
+                                    const StepOptions& opts) {
+  std::vector<std::int64_t> w(static_cast<std::size_t>(trace.num_events()),
+                              0);
+
+  // Collective membership: event -> collective index.
+  std::unordered_map<trace::EventId, std::int32_t> coll_of;
+  for (std::size_t c = 0; c < trace.collectives().size(); ++c) {
+    for (trace::EventId e : trace.collectives()[c].sends)
+      coll_of[e] = static_cast<std::int32_t>(c);
+    for (trace::EventId e : trace.collectives()[c].recvs)
+      coll_of[e] = static_cast<std::int32_t>(c);
+  }
+
+  for (std::int32_t ph = 0; ph < phases.num_phases(); ++ph) {
+    // Per-unit last w (Charm++ mode), per-chare max receive w (MPI mode),
+    // per-collective max send w — all scoped to this phase.
+    std::unordered_map<trace::BlockId, std::int64_t> unit_last;
+    std::unordered_map<trace::ChareId, std::int64_t> chare_recv_max;
+    std::unordered_map<std::int32_t, std::int64_t> coll_send_max;
+
+    for (trace::EventId e : phases.events[static_cast<std::size_t>(ph)]) {
+      const trace::Event& ev = trace.event(e);
+      const trace::BlockId unit =
+          units.unit_of_event[static_cast<std::size_t>(e)];
+      std::int64_t value = 0;
+
+      if (ev.kind == trace::EventKind::Send) {
+        if (opts.mpi_mode) {
+          auto it = chare_recv_max.find(ev.chare);
+          value = it == chare_recv_max.end() ? 0 : it->second + 1;
+        } else {
+          auto it = unit_last.find(unit);
+          value = it == unit_last.end() ? 0 : it->second + 1;
+        }
+        auto coll = coll_of.find(e);
+        if (coll != coll_of.end()) {
+          auto& best = coll_send_max[coll->second];
+          best = std::max(best, value);
+        }
+      } else {  // Recv
+        std::int64_t base = -1;
+        if (ev.partner != trace::kNone &&
+            phases.phase_of_event[static_cast<std::size_t>(ev.partner)] ==
+                ph) {
+          base = w[static_cast<std::size_t>(ev.partner)];
+        }
+        auto coll = coll_of.find(e);
+        if (coll != coll_of.end()) {
+          auto it = coll_send_max.find(coll->second);
+          if (it != coll_send_max.end()) base = std::max(base, it->second);
+        }
+        value = base + 1;  // base == -1 (untraced / cross-phase) -> 0
+        if (!opts.mpi_mode) {
+          auto it = unit_last.find(unit);
+          if (it != unit_last.end()) value = std::max(value, it->second + 1);
+        }
+        if (opts.mpi_mode) {
+          auto& best = chare_recv_max[ev.chare];
+          auto it = chare_recv_max.find(ev.chare);
+          best = it == chare_recv_max.end() ? value : std::max(best, value);
+        }
+      }
+
+      w[static_cast<std::size_t>(e)] = value;
+      if (!opts.mpi_mode) unit_last[unit] = value;
+    }
+  }
+  return w;
+}
+
+}  // namespace logstruct::order

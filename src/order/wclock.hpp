@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file wclock.hpp
+/// The per-phase replay clock w (paper §3.2.1).
+///
+/// w simulates an idealized forward replay of each phase: phase-initial
+/// sends get w=0, subsequent sends count up along their serial block,
+/// receives land one past their matching send, and sends following a
+/// receive count up from it. Only relative w values within one chare
+/// matter; they drive the reordering of serial blocks.
+///
+/// Message-passing mode (StepOptions::mpi_mode) pins sends after the
+/// receives that physically preceded them on the process:
+///   w_send = 1 + max { w_recv | recv -> send in process order },
+/// so receives may be replayed earlier but never migrate across a send
+/// that followed them.
+
+#include <cstdint>
+#include <vector>
+
+#include "order/block_units.hpp"
+#include "order/options.hpp"
+#include "order/phases.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+/// w per event. Events outside any phase never occur (every event is
+/// partitioned); processing is per phase in physical-time order, which is
+/// a valid topological order of the replay constraints because messages
+/// and serial blocks only run forward in time.
+std::vector<std::int64_t> compute_w(const trace::Trace& trace,
+                                    const PhaseResult& phases,
+                                    const BlockUnits& units,
+                                    const StepOptions& opts);
+
+}  // namespace logstruct::order

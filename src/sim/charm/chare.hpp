@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file chare.hpp
+/// Base class for user-defined chares.
+///
+/// Mirrors the Charm++ programming model: a chare is an object whose entry
+/// methods are invoked by messages; entry methods run uninterrupted; all
+/// interaction with the world goes through the runtime (sends, reductions,
+/// broadcasts, simulated compute time).
+
+#include "sim/charm/message.hpp"
+#include "trace/ids.hpp"
+
+namespace logstruct::sim::charm {
+
+class Runtime;
+
+class Chare {
+ public:
+  virtual ~Chare() = default;
+
+  /// Entry-method dispatch: invoked by the scheduler for every delivered
+  /// message. `entry` identifies which entry method to run.
+  virtual void on_message(trace::EntryId entry, const MsgData& data) = 0;
+
+  [[nodiscard]] trace::ChareId id() const { return id_; }
+  [[nodiscard]] trace::ArrayId array() const { return array_; }
+  /// Flat index within the owning array (-1 for singletons).
+  [[nodiscard]] std::int32_t index() const { return index_; }
+  [[nodiscard]] trace::ProcId pe() const { return pe_; }
+
+ protected:
+  /// The runtime; only valid once the chare is registered (always true
+  /// inside on_message).
+  [[nodiscard]] Runtime& rt() const { return *rt_; }
+
+ private:
+  friend class Runtime;
+  Runtime* rt_ = nullptr;
+  trace::ChareId id_ = trace::kNone;
+  trace::ArrayId array_ = trace::kNone;
+  std::int32_t index_ = -1;
+  trace::ProcId pe_ = trace::kNone;
+};
+
+}  // namespace logstruct::sim::charm

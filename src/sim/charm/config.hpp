@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file config.hpp
+/// Configuration of the Charm++-model runtime simulator.
+
+#include <cstdint>
+
+#include "trace/ids.hpp"
+
+namespace logstruct::sim::charm {
+
+/// Network / messaging cost model. All costs in nanoseconds.
+struct NetworkConfig {
+  std::int64_t base_latency_ns = 2000;  ///< cross-PE base latency
+  std::int64_t per_byte_ns = 1;         ///< cross-PE serialization cost
+  std::int64_t jitter_ns = 500;         ///< uniform [0, jitter) extra delay
+  std::int64_t local_latency_ns = 200;  ///< same-PE queue turnaround
+};
+
+struct RuntimeConfig {
+  std::int32_t num_pes = 8;
+  std::uint64_t seed = 1;
+  NetworkConfig net;
+
+  /// Fixed scheduler cost charged at the start of every entry execution.
+  std::int64_t entry_overhead_ns = 100;
+  /// Cost of issuing one remote method invocation.
+  std::int64_t send_overhead_ns = 100;
+  /// Compute cost the reduction manager charges per handled message.
+  std::int64_t reduction_cost_ns = 200;
+
+  /// Paper §5 additions: record the process-local reduction events
+  /// (contribute -> CkReductionMgr messages and the manager's local
+  /// gathering blocks). When false, only the explicit inter-processor
+  /// reduction messages appear in the trace — the pre-§5 behaviour.
+  bool trace_local_reductions = true;
+};
+
+/// How array elements map to processing elements.
+enum class Placement {
+  Block,       ///< element i on PE floor(i * P / N)-style contiguous blocks
+  RoundRobin,  ///< element i on PE i % P
+};
+
+}  // namespace logstruct::sim::charm

@@ -1,0 +1,75 @@
+#include "sim/charm/loadbalancer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sim/charm/runtime.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::sim::charm {
+
+void LbManager::on_message(trace::EntryId entry, const MsgData& data) {
+  Runtime& runtime = rt();
+  LS_CHECK(entry == runtime.entry_lb_sync_);
+  LS_CHECK(data.ints.size() == 2 && data.doubles.size() == 1);
+  const auto array = static_cast<trace::ArrayId>(data.ints[0]);
+  const auto chare = static_cast<trace::ChareId>(data.ints[1]);
+  const auto load = static_cast<trace::TimeNs>(data.doubles[0]);
+
+  auto it = runtime.lb_configs_.find(array);
+  LS_CHECK_MSG(it != runtime.lb_configs_.end(),
+               "at_sync() on an array without configure_lb()");
+  Runtime::LbConfig& cfg = it->second;
+  cfg.reports.emplace_back(chare, load);
+  runtime.compute(runtime.config().reduction_cost_ns);
+  if (static_cast<std::int32_t>(cfg.reports.size()) <
+      runtime.array_size(array))
+    return;
+
+  // Everyone synced: compute the new placement.
+  const std::int32_t pes = runtime.num_pes();
+  std::vector<std::pair<trace::ChareId, trace::ProcId>> moves;
+  switch (cfg.strategy) {
+    case LbStrategy::Rotate: {
+      for (const auto& [c, l] : cfg.reports) {
+        (void)l;
+        moves.emplace_back(c, (runtime.pe_of(c) + 1) % pes);
+      }
+      break;
+    }
+    case LbStrategy::Greedy: {
+      // Heaviest chares first onto the least-loaded PE. Deterministic
+      // tie-breaking by chare id / PE id.
+      std::vector<std::pair<trace::ChareId, trace::TimeNs>> sorted =
+          cfg.reports;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      std::vector<trace::TimeNs> pe_load(static_cast<std::size_t>(pes), 0);
+      for (const auto& [c, l] : sorted) {
+        auto lightest = static_cast<trace::ProcId>(
+            std::min_element(pe_load.begin(), pe_load.end()) -
+            pe_load.begin());
+        moves.emplace_back(c, lightest);
+        pe_load[static_cast<std::size_t>(lightest)] += l;
+      }
+      break;
+    }
+  }
+  runtime.compute(
+      runtime.config().reduction_cost_ns *
+      static_cast<trace::TimeNs>(cfg.reports.size()));  // strategy work
+  for (const auto& [c, pe] : moves) {
+    runtime.migrate_chare(c, pe, /*poke_reductions=*/false);
+    runtime.chare_load_[static_cast<std::size_t>(c)] = 0;
+  }
+  cfg.reports.clear();
+
+  // Release the array: one traced broadcast, like a reduction callback.
+  runtime.broadcast(array, cfg.resume_entry);
+}
+
+}  // namespace logstruct::sim::charm

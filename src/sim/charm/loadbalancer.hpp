@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file loadbalancer.hpp
+/// AtSync-style load balancing (Charm++'s LBManager shape).
+///
+/// Array elements call Runtime::at_sync() at a synchronization point; each
+/// call ships the chare's measured load (compute time since the last
+/// balancing step) to the LBManager runtime chare on PE 0. When every
+/// element has reported, the manager runs the configured strategy,
+/// migrates chares, and broadcasts resume messages. The whole exchange is
+/// traced, so balancing shows up as a runtime phase — and afterwards the
+/// chare timelines span processors (paper §1, challenge 2).
+
+#include <cstdint>
+
+#include "sim/charm/chare.hpp"
+#include "sim/charm/message.hpp"
+
+namespace logstruct::sim::charm {
+
+enum class LbStrategy : std::int32_t {
+  /// Rotate every chare to the next PE — deterministic, load-oblivious.
+  Rotate = 0,
+  /// Greedy: heaviest chares first onto the least-loaded PE.
+  Greedy = 1,
+};
+
+class Runtime;
+
+/// Internal runtime chare implementing the manager side; created lazily by
+/// the Runtime on the first at_sync().
+class LbManager final : public Chare {
+ public:
+  void on_message(trace::EntryId entry, const MsgData& data) override;
+
+ private:
+  std::int32_t seen_ = 0;
+};
+
+}  // namespace logstruct::sim::charm

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file message.hpp
+/// Messages, payloads, reduction callbacks.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/ids.hpp"
+
+namespace logstruct::sim::charm {
+
+/// Marshalled entry-method parameters. The proxy applications only move
+/// small scalar payloads; generic enough for all of them.
+struct MsgData {
+  std::vector<std::int64_t> ints;
+  std::vector<double> doubles;
+};
+
+/// Reduction combiners supported by the simulated CkReduction.
+enum class ReducerOp : std::int32_t { Sum = 0, Max = 1, Min = 2 };
+
+/// Where a completed reduction delivers its result.
+struct Callback {
+  enum class Kind : std::int32_t { SendToChare = 0, BroadcastArray = 1 };
+  Kind kind = Kind::SendToChare;
+  /// SendToChare: destination chare id; BroadcastArray: array id.
+  std::int32_t target = trace::kNone;
+  trace::EntryId entry = trace::kNone;
+
+  static Callback send(trace::ChareId chare, trace::EntryId entry) {
+    return Callback{Kind::SendToChare, chare, entry};
+  }
+  static Callback broadcast(trace::ArrayId array, trace::EntryId entry) {
+    return Callback{Kind::BroadcastArray, array, entry};
+  }
+};
+
+/// Tracing disposition of a message (see DESIGN.md): which parts of the
+/// delivery get recorded.
+struct TraceFlags {
+  bool send = true;   ///< record the Send event at the call site
+  bool block = true;  ///< record the receiving entry execution as a block
+  bool recv = true;   ///< record the Recv event inside that block
+
+  static constexpr TraceFlags traced() { return {true, true, true}; }
+  /// Untraced control transfer whose execution is still visible (the PDES
+  /// completion-detector case, paper Fig. 24).
+  static constexpr TraceFlags untraced_send() { return {false, true, true}; }
+  /// Fully invisible (pre-§5 local reduction events).
+  static constexpr TraceFlags invisible() { return {false, false, false}; }
+  /// Bootstrap execution: a visible block with no incoming dependency.
+  static constexpr TraceFlags bootstrap() { return {false, true, false}; }
+};
+
+/// An in-flight or queued message (internal to the scheduler).
+struct Message {
+  trace::ChareId dst = trace::kNone;
+  trace::EntryId entry = trace::kNone;
+  MsgData data;
+  trace::EventId send_event = trace::kNone;  ///< traced Send, if any
+  trace::TimeNs arrival = 0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break within equal arrivals
+  TraceFlags flags;
+};
+
+}  // namespace logstruct::sim::charm

@@ -1,0 +1,148 @@
+#include "sim/charm/reduction.hpp"
+
+#include <algorithm>
+
+#include "sim/charm/runtime.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::sim::charm {
+
+MsgData ReductionMgr::encode(trace::ArrayId array, std::int32_t seq,
+                             ReducerOp op, const Callback& cb, double value,
+                             std::int64_t weight) {
+  MsgData m;
+  m.ints = {array,
+            seq,
+            static_cast<std::int64_t>(op),
+            static_cast<std::int64_t>(cb.kind),
+            cb.target,
+            cb.entry,
+            weight};
+  m.doubles = {value};
+  return m;
+}
+
+void ReductionMgr::combine(Slot& slot, double value, ReducerOp op) {
+  if (!slot.has_value) {
+    slot.value = value;
+    slot.has_value = true;
+    slot.op = op;
+    return;
+  }
+  LS_CHECK_MSG(slot.op == op, "mixed reducer ops in one reduction");
+  switch (op) {
+    case ReducerOp::Sum:
+      slot.value += value;
+      break;
+    case ReducerOp::Max:
+      slot.value = std::max(slot.value, value);
+      break;
+    case ReducerOp::Min:
+      slot.value = std::min(slot.value, value);
+      break;
+  }
+}
+
+void ReductionMgr::on_message(trace::EntryId entry, const MsgData& data) {
+  Runtime& runtime = rt();
+
+  if (entry == runtime.entry_red_recheck_) {
+    // A chare migrated off this PE: pending reductions may now have every
+    // remaining local contribution. Re-evaluate everything.
+    runtime.compute(runtime.config().reduction_cost_ns);
+    for (auto it = slots_.begin(); it != slots_.end();) {
+      if (try_complete(it->second)) {
+        it = slots_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return;
+  }
+
+  LS_CHECK(data.ints.size() == 7 && data.doubles.size() == 1);
+  const auto array = static_cast<trace::ArrayId>(data.ints[0]);
+  const auto seq = static_cast<std::int32_t>(data.ints[1]);
+  const auto op = static_cast<ReducerOp>(data.ints[2]);
+  Callback cb;
+  cb.kind = static_cast<Callback::Kind>(data.ints[3]);
+  cb.target = static_cast<std::int32_t>(data.ints[4]);
+  cb.entry = static_cast<trace::EntryId>(data.ints[5]);
+  const std::int64_t weight = data.ints[6];
+  const double value = data.doubles[0];
+
+  Slot& slot = slots_[{array, seq}];
+  slot.array = array;
+  slot.seq = seq;
+  slot.cb = cb;
+  combine(slot, value, op);
+  slot.weight += weight;
+  if (entry == runtime.entry_red_local_) {
+    ++slot.local_seen;
+  } else {
+    LS_CHECK(entry == runtime.entry_red_tree_);
+    ++slot.child_seen;
+  }
+  runtime.compute(runtime.config().reduction_cost_ns);
+
+  if (try_complete(slot)) slots_.erase({array, seq});
+}
+
+bool ReductionMgr::try_complete(Slot& slot) {
+  Runtime& runtime = rt();
+  const trace::ArrayId array = slot.array;
+
+  // Completion test: all local contributions in, all child subtrees in.
+  auto parts = runtime.participants(array);
+  auto it = std::find(parts.begin(), parts.end(), pe());
+  if (it == parts.end()) {
+    // This PE no longer hosts any element (everyone migrated away). With
+    // anytime migration the manager may still hold contributions; forward
+    // the partial straight to the current root.
+    if (slot.local_seen + slot.child_seen == 0 || parts.empty())
+      return false;
+    runtime.send(runtime.mgr_chare(parts.front()), runtime.entry_red_tree_,
+                 encode(array, slot.seq, slot.op, slot.cb, slot.value,
+                        slot.weight),
+                 32, TraceFlags::traced());
+    return true;
+  }
+  const std::int32_t pos = static_cast<std::int32_t>(it - parts.begin());
+  const std::int32_t n = static_cast<std::int32_t>(parts.size());
+  std::int32_t expected_children = 0;
+  if (2 * pos + 1 < n) ++expected_children;
+  if (2 * pos + 2 < n) ++expected_children;
+
+  if (slot.local_seen < runtime.local_elements(array, pe()) ||
+      slot.child_seen < expected_children)
+    return false;
+  if (pos == 0) {
+    complete(array, slot);
+  } else {
+    const trace::ProcId parent =
+        parts[static_cast<std::size_t>((pos - 1) / 2)];
+    runtime.send(runtime.mgr_chare(parent), runtime.entry_red_tree_,
+                 encode(array, slot.seq, slot.op, slot.cb, slot.value,
+                        slot.weight),
+                 32, TraceFlags::traced());
+  }
+  return true;
+}
+
+void ReductionMgr::complete(trace::ArrayId array, const Slot& slot) {
+  Runtime& runtime = rt();
+  LS_CHECK_MSG(slot.weight == runtime.array_size(array),
+               "reduction completed with missing contributions");
+  MsgData result;
+  result.doubles = {slot.value};
+  switch (slot.cb.kind) {
+    case Callback::Kind::SendToChare:
+      runtime.send(slot.cb.target, slot.cb.entry, std::move(result));
+      break;
+    case Callback::Kind::BroadcastArray:
+      runtime.broadcast(slot.cb.target, slot.cb.entry, std::move(result));
+      break;
+  }
+}
+
+}  // namespace logstruct::sim::charm

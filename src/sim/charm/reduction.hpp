@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file reduction.hpp
+/// Per-PE CkReductionMgr runtime chare.
+///
+/// Reductions follow the Charm++ shape the paper instruments in §5: each
+/// array element `contribute()`s to the reduction manager on its own PE
+/// (process-local messages — the events §5 adds to tracing); once a
+/// manager has every local contribution plus its tree children's partial
+/// results, it forwards up a reduction tree of the participating PEs; the
+/// root delivers the combined value through the callback.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "sim/charm/chare.hpp"
+#include "sim/charm/message.hpp"
+
+namespace logstruct::sim::charm {
+
+class ReductionMgr final : public Chare {
+ public:
+  void on_message(trace::EntryId entry, const MsgData& data) override;
+
+  /// Wire encoding of reduction messages (RED_LOCAL / RED_TREE):
+  ///   ints   = {array, seq, op, cb.kind, cb.target, cb.entry, weight}
+  ///   doubles= {value}
+  /// `weight` is the number of original contributions folded into `value`
+  /// (used only for sanity checking).
+  static MsgData encode(trace::ArrayId array, std::int32_t seq, ReducerOp op,
+                        const Callback& cb, double value, std::int64_t weight);
+
+ private:
+  struct Slot {
+    trace::ArrayId array = trace::kNone;
+    std::int32_t seq = 0;
+    std::int32_t local_seen = 0;
+    std::int32_t child_seen = 0;
+    std::int64_t weight = 0;
+    double value = 0;
+    bool has_value = false;
+    ReducerOp op = ReducerOp::Sum;
+    Callback cb;
+  };
+
+  void combine(Slot& slot, double value, ReducerOp op);
+  void complete(trace::ArrayId array, const Slot& slot);
+  /// Re-evaluate one slot's completion condition; fires the tree message
+  /// or callback and erases the slot when satisfied. Returns true if the
+  /// slot completed. Needed both on message arrival and after a chare
+  /// migrates away (the expected local count shrinks).
+  bool try_complete(Slot& slot);
+
+  std::map<std::pair<trace::ArrayId, std::int32_t>, Slot> slots_;
+};
+
+}  // namespace logstruct::sim::charm

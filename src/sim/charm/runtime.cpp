@@ -1,0 +1,384 @@
+#include "sim/charm/runtime.hpp"
+
+#include <algorithm>
+
+#include "sim/charm/loadbalancer.hpp"
+#include "sim/charm/reduction.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::sim::charm {
+
+Runtime::Runtime(RuntimeConfig cfg)
+    : cfg_(cfg),
+      net_rng_(cfg.seed),
+      app_rng_(util::Rng(cfg.seed).fork(0x5EED)),
+      queues_(static_cast<std::size_t>(cfg.num_pes)),
+      pe_free_(static_cast<std::size_t>(cfg.num_pes), 0) {
+  LS_CHECK(cfg_.num_pes > 0);
+  entry_red_local_ = register_entry("_contribute_local", /*runtime=*/true);
+  entry_red_tree_ = register_entry("_reduction_tree", /*runtime=*/true);
+  entry_red_recheck_ = register_entry("_reduction_recheck", /*runtime=*/true);
+  for (trace::ProcId p = 0; p < cfg_.num_pes; ++p) {
+    trace::ChareId c =
+        add_singleton("CkReductionMgr(" + std::to_string(p) + ")", p,
+                      std::make_unique<ReductionMgr>(), /*runtime=*/true);
+    mgr_chares_.push_back(c);
+  }
+}
+
+Runtime::~Runtime() = default;
+
+trace::EntryId Runtime::register_entry(
+    std::string name, bool runtime, std::int32_t sdag_serial,
+    std::vector<trace::EntryId> when_entries) {
+  return tb_.add_entry(std::move(name), runtime, sdag_serial,
+                       std::move(when_entries));
+}
+
+trace::ArrayId Runtime::begin_array(const std::string& name,
+                                    std::int32_t count, Placement placement) {
+  LS_CHECK(count > 0);
+  trace::ArrayId id = tb_.add_array(name);
+  // tb_ array ids and arrays_ indices advance together.
+  LS_CHECK(static_cast<std::size_t>(id) == arrays_.size());
+  ArrayMeta meta;
+  meta.name = name;
+  meta.per_pe_count.assign(static_cast<std::size_t>(cfg_.num_pes), 0);
+  arrays_.push_back(std::move(meta));
+  // Stash placement for add_array_element via a temporary: the element adder
+  // recomputes from (index, count) so we record both here.
+  placement_ = placement;
+  pending_count_ = count;
+  return id;
+}
+
+void Runtime::add_array_element(trace::ArrayId a, std::int32_t index,
+                                std::unique_ptr<Chare> chare) {
+  ArrayMeta& meta = arrays_[static_cast<std::size_t>(a)];
+  trace::ProcId pe = place(placement_, index, pending_count_);
+  trace::ChareId id =
+      tb_.add_chare(meta.name + "[" + std::to_string(index) + "]", a, index,
+                    pe, /*runtime=*/false);
+  LS_CHECK(static_cast<std::size_t>(id) == chares_.size());
+  chare->rt_ = this;
+  chare->id_ = id;
+  chare->array_ = a;
+  chare->index_ = index;
+  chare->pe_ = pe;
+  chares_.push_back(std::move(chare));
+  contribute_seq_.push_back(0);
+  chare_load_.push_back(0);
+  meta.elements.push_back(id);
+  ++meta.per_pe_count[static_cast<std::size_t>(pe)];
+  meta.parts.clear();  // invalidate cache
+}
+
+trace::ChareId Runtime::add_singleton(const std::string& name,
+                                      trace::ProcId pe,
+                                      std::unique_ptr<Chare> chare,
+                                      bool runtime) {
+  LS_CHECK(pe >= 0 && pe < cfg_.num_pes);
+  trace::ChareId id = tb_.add_chare(name, trace::kNone, -1, pe, runtime);
+  LS_CHECK(static_cast<std::size_t>(id) == chares_.size());
+  chare->rt_ = this;
+  chare->id_ = id;
+  chare->pe_ = pe;
+  chares_.push_back(std::move(chare));
+  contribute_seq_.push_back(0);
+  chare_load_.push_back(0);
+  return id;
+}
+
+trace::ProcId Runtime::place(Placement placement, std::int32_t index,
+                             std::int32_t count) const {
+  switch (placement) {
+    case Placement::Block:
+      return static_cast<trace::ProcId>(
+          (static_cast<std::int64_t>(index) * cfg_.num_pes) / count);
+    case Placement::RoundRobin:
+      return index % cfg_.num_pes;
+  }
+  return 0;
+}
+
+trace::ChareId Runtime::array_element(trace::ArrayId a,
+                                      std::int32_t index) const {
+  const ArrayMeta& meta = arrays_[static_cast<std::size_t>(a)];
+  LS_CHECK(index >= 0 &&
+           static_cast<std::size_t>(index) < meta.elements.size());
+  return meta.elements[static_cast<std::size_t>(index)];
+}
+
+std::int32_t Runtime::array_size(trace::ArrayId a) const {
+  return static_cast<std::int32_t>(
+      arrays_[static_cast<std::size_t>(a)].elements.size());
+}
+
+trace::ProcId Runtime::pe_of(trace::ChareId c) const {
+  return chares_[static_cast<std::size_t>(c)]->pe();
+}
+
+std::int32_t Runtime::local_elements(trace::ArrayId a, trace::ProcId pe)
+    const {
+  return arrays_[static_cast<std::size_t>(a)]
+      .per_pe_count[static_cast<std::size_t>(pe)];
+}
+
+std::vector<trace::ProcId> Runtime::participants(trace::ArrayId a) const {
+  const ArrayMeta& meta = arrays_[static_cast<std::size_t>(a)];
+  if (meta.parts.empty()) {
+    for (trace::ProcId p = 0; p < cfg_.num_pes; ++p) {
+      if (meta.per_pe_count[static_cast<std::size_t>(p)] > 0)
+        meta.parts.push_back(p);
+    }
+  }
+  return meta.parts;
+}
+
+void Runtime::start(trace::ChareId chare, trace::EntryId entry, MsgData data) {
+  LS_CHECK_MSG(!ran_, "start() after run()");
+  Message msg;
+  msg.dst = chare;
+  msg.entry = entry;
+  msg.data = std::move(data);
+  msg.arrival = 0;
+  msg.seq = next_seq_++;
+  msg.flags = TraceFlags::bootstrap();
+  queues_[static_cast<std::size_t>(pe_of(chare))].push(std::move(msg));
+  ++pending_msgs_;
+}
+
+trace::TimeNs Runtime::latency(trace::ProcId from, trace::ProcId to,
+                               std::int64_t bytes) {
+  if (from == to) return cfg_.net.local_latency_ns;
+  return cfg_.net.base_latency_ns + bytes * cfg_.net.per_byte_ns +
+         static_cast<trace::TimeNs>(
+             net_rng_.uniform(static_cast<std::uint64_t>(
+                 std::max<std::int64_t>(cfg_.net.jitter_ns, 1))));
+}
+
+void Runtime::post(trace::ChareId dst, trace::EntryId entry, MsgData data,
+                   std::int64_t bytes, TraceFlags flags,
+                   trace::EventId send_event, trace::TimeNs send_time,
+                   trace::ProcId src_pe) {
+  Message msg;
+  msg.dst = dst;
+  msg.entry = entry;
+  msg.data = std::move(data);
+  msg.send_event = send_event;
+  msg.arrival = send_time + latency(src_pe, pe_of(dst), bytes);
+  msg.seq = next_seq_++;
+  msg.flags = flags;
+  queues_[static_cast<std::size_t>(pe_of(dst))].push(std::move(msg));
+  ++pending_msgs_;
+}
+
+trace::BlockId Runtime::ensure_block() {
+  LS_CHECK(exec_.active);
+  if (exec_.block == trace::kNone) {
+    exec_.block =
+        tb_.begin_block(exec_.chare, exec_.pe, exec_.entry, exec_.begin);
+  }
+  return exec_.block;
+}
+
+void Runtime::compute(trace::TimeNs ns) {
+  LS_CHECK_MSG(exec_.active, "compute() outside an entry method");
+  LS_CHECK(ns >= 0);
+  exec_.clock += ns;
+  chare_load_[static_cast<std::size_t>(exec_.chare)] += ns;
+}
+
+trace::EventId Runtime::send(trace::ChareId dst, trace::EntryId entry,
+                             MsgData data, std::int64_t bytes,
+                             TraceFlags flags) {
+  LS_CHECK_MSG(exec_.active, "send() outside an entry method");
+  trace::EventId ev = trace::kNone;
+  trace::TimeNs t_send = exec_.clock;
+  if (flags.send) {
+    ensure_block();
+    ev = tb_.add_send(exec_.block, t_send);
+  }
+  exec_.clock += cfg_.send_overhead_ns;
+  post(dst, entry, std::move(data), bytes, flags, ev, t_send, exec_.pe);
+  return ev;
+}
+
+trace::EventId Runtime::broadcast(trace::ArrayId array, trace::EntryId entry,
+                                  MsgData data, std::int64_t bytes,
+                                  TraceFlags flags) {
+  LS_CHECK_MSG(exec_.active, "broadcast() outside an entry method");
+  const ArrayMeta& meta = arrays_[static_cast<std::size_t>(array)];
+  trace::EventId ev = trace::kNone;
+  trace::TimeNs t_send = exec_.clock;
+  if (flags.send) {
+    ensure_block();
+    ev = tb_.add_send(exec_.block, t_send);
+  }
+  exec_.clock += cfg_.send_overhead_ns;
+  for (trace::ChareId dst : meta.elements) {
+    post(dst, entry, data, bytes, flags, ev, t_send, exec_.pe);
+  }
+  return ev;
+}
+
+void Runtime::schedule_immediate(trace::EntryId entry, MsgData data) {
+  LS_CHECK_MSG(exec_.active, "schedule_immediate() outside an entry method");
+  exec_.immediates.emplace_back(entry, std::move(data));
+}
+
+void Runtime::migrate_chare(trace::ChareId c, trace::ProcId new_pe,
+                            bool poke_reductions) {
+  LS_CHECK(new_pe >= 0 && new_pe < cfg_.num_pes);
+  Chare& chare = *chares_[static_cast<std::size_t>(c)];
+  trace::ProcId old_pe = chare.pe();
+  if (old_pe == new_pe) return;
+  chare.pe_ = new_pe;
+  if (chare.array() != trace::kNone) {
+    ArrayMeta& meta = arrays_[static_cast<std::size_t>(chare.array())];
+    --meta.per_pe_count[static_cast<std::size_t>(old_pe)];
+    ++meta.per_pe_count[static_cast<std::size_t>(new_pe)];
+    meta.parts.clear();  // participant set may have changed
+    // A reduction waiting for this chare's contribution on the old PE may
+    // now be complete there; let the manager re-evaluate its slots. The
+    // poke is runtime machinery, not application control flow: invisible.
+    if (poke_reductions)
+      send(mgr_chare(old_pe), entry_red_recheck_, {}, 16,
+           TraceFlags::invisible());
+  }
+}
+
+void Runtime::migrate(trace::ProcId new_pe) {
+  LS_CHECK_MSG(exec_.active, "migrate() outside an entry method");
+  migrate_chare(exec_.chare, new_pe, /*poke_reductions=*/true);
+  exec_.clock += cfg_.entry_overhead_ns;  // pack + registration cost
+}
+
+void Runtime::configure_lb(trace::ArrayId array, LbStrategy strategy,
+                           trace::EntryId resume_entry) {
+  LS_CHECK_MSG(!ran_, "configure_lb() after run()");
+  if (lb_manager_ == trace::kNone) {
+    entry_lb_sync_ = register_entry("_lb_sync", /*runtime=*/true);
+    lb_manager_ = add_singleton("LBManager", /*pe=*/0,
+                                std::make_unique<LbManager>(),
+                                /*runtime=*/true);
+  }
+  LbConfig cfg;
+  cfg.strategy = strategy;
+  cfg.resume_entry = resume_entry;
+  lb_configs_[array] = std::move(cfg);
+}
+
+void Runtime::at_sync() {
+  LS_CHECK_MSG(exec_.active, "at_sync() outside an entry method");
+  Chare& self = *chares_[static_cast<std::size_t>(exec_.chare)];
+  LS_CHECK_MSG(self.array() != trace::kNone &&
+                   lb_configs_.count(self.array()) != 0,
+               "at_sync() without configure_lb()");
+  MsgData report;
+  report.ints = {self.array(), exec_.chare};
+  report.doubles = {static_cast<double>(
+      chare_load_[static_cast<std::size_t>(exec_.chare)])};
+  send(lb_manager_, entry_lb_sync_, std::move(report), 32);
+}
+
+void Runtime::contribute(double value, ReducerOp op, Callback cb) {
+  LS_CHECK_MSG(exec_.active, "contribute() outside an entry method");
+  Chare& self = *chares_[static_cast<std::size_t>(exec_.chare)];
+  LS_CHECK_MSG(self.array() != trace::kNone,
+               "contribute() from a chare outside any array");
+  std::int32_t seq = contribute_seq_[static_cast<std::size_t>(exec_.chare)]++;
+  TraceFlags flags = cfg_.trace_local_reductions ? TraceFlags::traced()
+                                                 : TraceFlags::invisible();
+  // The contribution counts against the chare's CURRENT home (which can
+  // differ from the executing PE right after a migration, when a message
+  // addressed to the old home is still being drained there).
+  send(mgr_chare(pe_of(exec_.chare)), entry_red_local_,
+       ReductionMgr::encode(self.array(), seq, op, cb, value, /*weight=*/1),
+       32, flags);
+}
+
+void Runtime::execute(const Message& msg, trace::TimeNs start,
+                      trace::ProcId pe) {
+  exec_.active = true;
+  exec_.chare = msg.dst;
+  exec_.pe = pe;
+  exec_.entry = msg.entry;
+  exec_.begin = start;
+  exec_.clock = start;
+  exec_.block = trace::kNone;
+  exec_.want_block = msg.flags.block;
+  exec_.immediates.clear();
+
+  if (msg.flags.block) ensure_block();
+  if (msg.flags.recv) {
+    ensure_block();
+    tb_.add_recv(exec_.block, start, msg.send_event);
+  }
+  exec_.clock += cfg_.entry_overhead_ns;
+
+  chares_[static_cast<std::size_t>(msg.dst)]->on_message(msg.entry, msg.data);
+
+  if (exec_.block != trace::kNone) tb_.end_block(exec_.block, exec_.clock);
+
+  // SDAG serials scheduled by this execution run back-to-back on the same
+  // PE with no scheduler gap (that contiguity is what absorption detects).
+  std::size_t next_immediate = 0;
+  std::vector<std::pair<trace::EntryId, MsgData>> chain =
+      std::move(exec_.immediates);
+  while (next_immediate < chain.size()) {
+    auto [entry, data] = std::move(chain[next_immediate++]);
+    exec_.entry = entry;
+    exec_.begin = exec_.clock;
+    exec_.block = trace::kNone;
+    exec_.immediates.clear();
+    ensure_block();  // serial blocks are always recorded
+    exec_.clock += cfg_.entry_overhead_ns;
+    chares_[static_cast<std::size_t>(exec_.chare)]->on_message(entry, data);
+    tb_.end_block(exec_.block, exec_.clock);
+    for (auto& more : exec_.immediates) chain.push_back(std::move(more));
+  }
+
+  exec_.active = false;
+}
+
+trace::Trace Runtime::run() {
+  LS_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+
+  while (pending_msgs_ > 0) {
+    // Pick the execution that starts earliest across all PEs.
+    trace::ProcId best_pe = trace::kNone;
+    trace::TimeNs best_start = 0;
+    for (trace::ProcId p = 0; p < cfg_.num_pes; ++p) {
+      auto& q = queues_[static_cast<std::size_t>(p)];
+      if (q.empty()) continue;
+      trace::TimeNs s =
+          std::max(pe_free_[static_cast<std::size_t>(p)], q.top().arrival);
+      if (best_pe == trace::kNone || s < best_start ||
+          (s == best_start && q.top().seq <
+                                  queues_[static_cast<std::size_t>(best_pe)]
+                                      .top()
+                                      .seq)) {
+        best_pe = p;
+        best_start = s;
+      }
+    }
+    LS_CHECK(best_pe != trace::kNone);
+
+    auto& q = queues_[static_cast<std::size_t>(best_pe)];
+    Message msg = q.top();
+    q.pop();
+    --pending_msgs_;
+
+    trace::TimeNs free_at = pe_free_[static_cast<std::size_t>(best_pe)];
+    if (best_start > free_at) tb_.add_idle(best_pe, free_at, best_start);
+
+    execute(msg, best_start, best_pe);
+    pe_free_[static_cast<std::size_t>(best_pe)] = exec_.clock;
+  }
+
+  return tb_.finish(cfg_.num_pes);
+}
+
+}  // namespace logstruct::sim::charm

@@ -1,0 +1,253 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Discrete-event Charm++-model runtime.
+///
+/// Simulates: chare arrays with static placement, per-PE message queues
+/// with FIFO-by-arrival scheduling, uninterruptible entry executions,
+/// cross-PE latency + jitter, broadcasts, SDAG-style immediately-scheduled
+/// serials, and reductions through per-PE CkReductionMgr runtime chares.
+/// Every execution is recorded through trace::TraceBuilder according to the
+/// message's TraceFlags; run() returns the finished Trace.
+///
+/// Usage sketch:
+///   Runtime rt(cfg);
+///   EntryId go = rt.register_entry("go");
+///   ArrayId arr = rt.create_array<MyChare>("workers", 64, args...);
+///   rt.start(rt.array_element(arr, 0), go);
+///   trace::Trace t = rt.run();
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include <unordered_map>
+
+#include "sim/charm/chare.hpp"
+#include "sim/charm/config.hpp"
+#include "sim/charm/loadbalancer.hpp"
+#include "sim/charm/message.hpp"
+#include "trace/builder.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace logstruct::sim::charm {
+
+class ReductionMgr;
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- setup -------------------------------------------------------------
+  trace::EntryId register_entry(std::string name, bool runtime = false,
+                                std::int32_t sdag_serial = -1,
+                                std::vector<trace::EntryId> when_entries = {});
+
+  /// Create an array of N chares of type T constructed as T(args...).
+  /// T must derive from Chare.
+  template <typename T, typename... Args>
+  trace::ArrayId create_array(const std::string& name, std::int32_t count,
+                              Placement placement, Args&&... args) {
+    trace::ArrayId a = begin_array(name, count, placement);
+    for (std::int32_t i = 0; i < count; ++i) {
+      add_array_element(a, i, std::make_unique<T>(args...));
+    }
+    return a;
+  }
+
+  /// Create a single chare outside any array. `runtime` marks runtime
+  /// chares (completion detectors, managers) that the analysis groups by
+  /// process rather than by chare.
+  template <typename T, typename... Args>
+  trace::ChareId create_singleton(const std::string& name, trace::ProcId pe,
+                                  bool runtime, Args&&... args) {
+    return add_singleton(name, pe, std::make_unique<T>(args...), runtime);
+  }
+
+  [[nodiscard]] trace::ChareId array_element(trace::ArrayId a,
+                                             std::int32_t index) const;
+  [[nodiscard]] std::int32_t array_size(trace::ArrayId a) const;
+  [[nodiscard]] trace::ProcId pe_of(trace::ChareId c) const;
+  [[nodiscard]] std::int32_t num_pes() const { return cfg_.num_pes; }
+
+  /// Inject the bootstrap message that starts the program (delivered at
+  /// t=0, recorded as a block with no incoming dependency).
+  void start(trace::ChareId chare, trace::EntryId entry, MsgData data = {});
+
+  /// Run the scheduler to quiescence and return the trace.
+  trace::Trace run();
+
+  // --- services callable from inside entry methods ------------------------
+  /// Advance the executing PE's clock (simulated computation).
+  void compute(trace::TimeNs ns);
+
+  /// Remote method invocation. Returns the traced Send event id (kNone if
+  /// untraced). bytes feeds the network cost model.
+  trace::EventId send(trace::ChareId dst, trace::EntryId entry,
+                      MsgData data = {}, std::int64_t bytes = 64,
+                      TraceFlags flags = TraceFlags::traced());
+
+  /// Invoke an entry on every element of an array: ONE traced Send event
+  /// with fan-out edges to all receivers (Charm++ array broadcast).
+  trace::EventId broadcast(trace::ArrayId array, trace::EntryId entry,
+                           MsgData data = {}, std::int64_t bytes = 64,
+                           TraceFlags flags = TraceFlags::traced());
+
+  /// Schedule an SDAG serial to run on the current chare immediately after
+  /// the current entry method completes (no scheduler gap), as its own
+  /// serial block — the pattern the §2.1 absorption rule reconstructs.
+  void schedule_immediate(trace::EntryId entry, MsgData data = {});
+
+  /// Contribute to a reduction over the calling chare's array. All elements
+  /// must contribute once per reduction; completion delivers `value`
+  /// combined with `op` through `cb`. Goes through the per-PE
+  /// CkReductionMgr runtime chares (traced per cfg.trace_local_reductions).
+  void contribute(double value, ReducerOp op, Callback cb);
+
+  /// Migrate the calling chare to another PE. Takes effect for messages
+  /// posted after the call; messages already in flight still execute on
+  /// the PE they were addressed to (no forwarding, like anytime-migration
+  /// without a location manager). The old PE's reduction manager is poked
+  /// so reductions waiting on this chare's former location re-evaluate.
+  void migrate(trace::ProcId new_pe);
+
+  // --- load balancing ------------------------------------------------------
+  /// Enable AtSync balancing for an array: when every element has called
+  /// at_sync(), `strategy` reassigns chares to PEs using their measured
+  /// compute loads and every element receives `resume_entry`. Must be
+  /// called before run(). No reductions may be in flight across a sync.
+  void configure_lb(trace::ArrayId array, LbStrategy strategy,
+                    trace::EntryId resume_entry);
+
+  /// Report the calling chare's load to the balancer and park until the
+  /// balancing step broadcasts the configured resume entry.
+  void at_sync();
+
+  /// Measured compute (ns) of a chare since the last balancing step.
+  [[nodiscard]] trace::TimeNs load_of(trace::ChareId c) const {
+    return chare_load_[static_cast<std::size_t>(c)];
+  }
+
+  /// Simulation clock of the currently executing entry method.
+  [[nodiscard]] trace::TimeNs now() const { return exec_.clock; }
+
+  /// Chare currently executing (kNone outside an entry method).
+  [[nodiscard]] trace::ChareId current_chare() const { return exec_.chare; }
+
+  /// Deterministic per-app randomness (workload synthesis).
+  util::Rng& app_rng() { return app_rng_; }
+
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+
+ private:
+  friend class ReductionMgr;
+  friend class LbManager;
+
+  struct LbConfig {
+    LbStrategy strategy = LbStrategy::Rotate;
+    trace::EntryId resume_entry = trace::kNone;
+    std::vector<std::pair<trace::ChareId, trace::TimeNs>> reports;
+  };
+
+  /// Runtime-side migration (LBManager moves other chares).
+  void migrate_chare(trace::ChareId c, trace::ProcId new_pe,
+                     bool poke_reductions);
+
+  struct ArrayMeta {
+    std::string name;
+    std::vector<trace::ChareId> elements;
+    std::vector<std::int32_t> per_pe_count;      ///< elements hosted per PE
+    mutable std::vector<trace::ProcId> parts;    ///< cached participants
+  };
+
+  struct ExecState {
+    bool active = false;
+    trace::ChareId chare = trace::kNone;
+    trace::ProcId pe = trace::kNone;
+    trace::EntryId entry = trace::kNone;
+    trace::TimeNs begin = 0;
+    trace::TimeNs clock = 0;
+    trace::BlockId block = trace::kNone;  ///< lazily created
+    bool want_block = false;
+    /// SDAG serials queued by schedule_immediate during this execution.
+    std::vector<std::pair<trace::EntryId, MsgData>> immediates;
+  };
+
+  struct QueueOrder {
+    bool operator()(const Message& a, const Message& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.seq > b.seq;  // min-heap: earliest arrival, then FIFO
+    }
+  };
+
+  trace::ArrayId begin_array(const std::string& name, std::int32_t count,
+                             Placement placement);
+  void add_array_element(trace::ArrayId a, std::int32_t index,
+                         std::unique_ptr<Chare> chare);
+  trace::ChareId add_singleton(const std::string& name, trace::ProcId pe,
+                               std::unique_ptr<Chare> chare, bool runtime);
+
+  trace::ProcId place(Placement placement, std::int32_t index,
+                      std::int32_t count) const;
+
+  /// Deliver a message (compute arrival, push on the destination queue).
+  void post(trace::ChareId dst, trace::EntryId entry, MsgData data,
+            std::int64_t bytes, TraceFlags flags, trace::EventId send_event,
+            trace::TimeNs send_time, trace::ProcId src_pe);
+
+  [[nodiscard]] trace::TimeNs latency(trace::ProcId from, trace::ProcId to,
+                                      std::int64_t bytes);
+
+  /// Execute one delivered message as an entry-method execution on the
+  /// scheduler PE that dequeued it (which can differ from the chare's
+  /// current home right after a migration).
+  void execute(const Message& msg, trace::TimeNs start, trace::ProcId pe);
+
+  /// Create the block record on first traced content.
+  trace::BlockId ensure_block();
+
+  // Reduction support (used by contribute / ReductionMgr).
+  [[nodiscard]] std::int32_t local_elements(trace::ArrayId a,
+                                            trace::ProcId pe) const;
+  [[nodiscard]] std::vector<trace::ProcId> participants(trace::ArrayId a)
+      const;
+  [[nodiscard]] trace::ChareId mgr_chare(trace::ProcId pe) const {
+    return mgr_chares_[static_cast<std::size_t>(pe)];
+  }
+
+  RuntimeConfig cfg_;
+  trace::TraceBuilder tb_;
+  util::Rng net_rng_;
+  util::Rng app_rng_;
+
+  std::vector<std::unique_ptr<Chare>> chares_;  // indexed by ChareId
+  std::vector<ArrayMeta> arrays_;
+  std::vector<trace::ChareId> mgr_chares_;  // one CkReductionMgr per PE
+  trace::EntryId entry_red_local_ = trace::kNone;
+  trace::EntryId entry_red_tree_ = trace::kNone;
+  trace::EntryId entry_red_recheck_ = trace::kNone;
+
+  std::vector<std::priority_queue<Message, std::vector<Message>, QueueOrder>>
+      queues_;
+  std::vector<trace::TimeNs> pe_free_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_msgs_ = 0;
+
+  ExecState exec_;
+  std::vector<std::int32_t> contribute_seq_;  ///< per-chare reduction counter
+  std::vector<trace::TimeNs> chare_load_;     ///< compute since last LB
+  trace::ChareId lb_manager_ = trace::kNone;
+  trace::EntryId entry_lb_sync_ = trace::kNone;
+  std::unordered_map<trace::ArrayId, LbConfig> lb_configs_;
+  Placement placement_ = Placement::Block;    ///< placement of array in flight
+  std::int32_t pending_count_ = 0;            ///< size of array in flight
+  bool ran_ = false;
+};
+
+}  // namespace logstruct::sim::charm

@@ -1,0 +1,159 @@
+#include "sim/mpi/mpisim.hpp"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/builder.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logstruct::sim::mpi {
+
+namespace {
+
+struct PendingSend {
+  trace::TimeNs arrival;
+  trace::EventId event;
+};
+
+struct AllreduceGroup {
+  std::vector<trace::TimeNs> entry;   ///< per-rank entry clock
+  std::vector<bool> entered;
+  std::int32_t entered_count = 0;
+};
+
+}  // namespace
+
+trace::Trace simulate(const Program& program, const MpiConfig& cfg) {
+  const std::int32_t n = program.num_ranks();
+  util::Rng rng(cfg.seed);
+  trace::TraceBuilder tb;
+
+  trace::ArrayId procs_array = tb.add_array("ranks");
+  std::vector<trace::ChareId> rank_chare;
+  rank_chare.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t r = 0; r < n; ++r) {
+    rank_chare.push_back(tb.add_chare("rank[" + std::to_string(r) + "]",
+                                      procs_array, r, r));
+  }
+  trace::EntryId e_send = tb.add_entry("MPI_Send");
+  trace::EntryId e_recv = tb.add_entry("MPI_Recv");
+  trace::EntryId e_allreduce = tb.add_entry("MPI_Allreduce");
+
+  std::vector<std::size_t> pc(static_cast<std::size_t>(n), 0);
+  std::vector<trace::TimeNs> clock(static_cast<std::size_t>(n), 0);
+
+  // FIFO of in-flight messages per (src, dst, tag).
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
+           std::deque<PendingSend>>
+      channels;
+
+  // Allreduce instances by arrival order per rank.
+  std::vector<std::int32_t> coll_index(static_cast<std::size_t>(n), 0);
+  std::vector<AllreduceGroup> groups;
+
+  auto group_for = [&](std::int32_t k) -> AllreduceGroup& {
+    while (static_cast<std::size_t>(k) >= groups.size()) {
+      AllreduceGroup g;
+      g.entry.assign(static_cast<std::size_t>(n), 0);
+      g.entered.assign(static_cast<std::size_t>(n), false);
+      groups.push_back(std::move(g));
+    }
+    return groups[static_cast<std::size_t>(k)];
+  };
+
+  std::size_t remaining = program.total_ops();
+  bool progress = true;
+  while (remaining > 0) {
+    LS_CHECK_MSG(progress, "MPI program deadlocked (unmatched recv or "
+                           "mismatched collective counts)");
+    progress = false;
+
+    for (std::int32_t r = 0; r < n; ++r) {
+      auto ops = program.ops(r);
+      while (pc[static_cast<std::size_t>(r)] < ops.size()) {
+        const Op& op = ops[pc[static_cast<std::size_t>(r)]];
+        trace::TimeNs& t = clock[static_cast<std::size_t>(r)];
+
+        if (op.kind == Op::Kind::Compute) {
+          t += op.duration;
+        } else if (op.kind == Op::Kind::Send) {
+          trace::BlockId b = tb.begin_block(rank_chare[
+              static_cast<std::size_t>(r)], r, e_send, t);
+          trace::EventId s = tb.add_send(b, t);
+          tb.end_block(b, t + cfg.op_overhead_ns);
+          trace::TimeNs arrival =
+              t + cfg.base_latency_ns + op.bytes * cfg.per_byte_ns +
+              static_cast<trace::TimeNs>(rng.uniform(
+                  static_cast<std::uint64_t>(
+                      std::max<std::int64_t>(cfg.jitter_ns, 1))));
+          channels[{r, op.peer, op.tag}].push_back({arrival, s});
+          t += cfg.op_overhead_ns;
+        } else if (op.kind == Op::Kind::Recv) {
+          auto it = channels.find({op.peer, r, op.tag});
+          if (it == channels.end() || it->second.empty()) break;  // blocked
+          PendingSend msg = it->second.front();
+          it->second.pop_front();
+          trace::TimeNs ready = std::max(t, msg.arrival);
+          if (cfg.record_recv_wait_as_idle && ready > t)
+            tb.add_idle(r, t, ready);
+          trace::BlockId b = tb.begin_block(rank_chare[
+              static_cast<std::size_t>(r)], r, e_recv, ready);
+          tb.add_recv(b, ready, msg.event);
+          tb.end_block(b, ready + cfg.op_overhead_ns);
+          t = ready + cfg.op_overhead_ns;
+        } else {  // Allreduce
+          std::int32_t k = coll_index[static_cast<std::size_t>(r)];
+          AllreduceGroup& g = group_for(k);
+          if (!g.entered[static_cast<std::size_t>(r)]) {
+            g.entered[static_cast<std::size_t>(r)] = true;
+            g.entry[static_cast<std::size_t>(r)] = t;
+            ++g.entered_count;
+          }
+          if (g.entered_count < n) break;  // wait for the others
+
+          // Everyone arrived: complete the collective for all ranks.
+          trace::TimeNs last = 0;
+          for (trace::TimeNs e : g.entry) last = std::max(last, e);
+          trace::TimeNs done = last + cfg.collective_cost_ns;
+          trace::CollectiveId coll = tb.begin_collective();
+          for (std::int32_t q = 0; q < n; ++q) {
+            trace::TimeNs entry_q = g.entry[static_cast<std::size_t>(q)];
+            trace::BlockId b = tb.begin_block(
+                rank_chare[static_cast<std::size_t>(q)], q, e_allreduce,
+                entry_q);
+            tb.add_collective_send(coll, b, entry_q);
+            tb.add_collective_recv(coll, b, done);
+            tb.end_block(b, done);
+            clock[static_cast<std::size_t>(q)] = done;
+            ++coll_index[static_cast<std::size_t>(q)];
+            // Every other rank was necessarily parked on this allreduce;
+            // advance their program counters past it.
+            if (q != r) {
+              LS_CHECK_MSG(pc[static_cast<std::size_t>(q)] <
+                                   program.ops(q).size() &&
+                               program.ops(q)[pc[static_cast<std::size_t>(q)]]
+                                       .kind == Op::Kind::Allreduce,
+                           "collective completion out of step");
+              ++pc[static_cast<std::size_t>(q)];
+            }
+          }
+        }
+
+        ++pc[static_cast<std::size_t>(r)];
+        --remaining;
+        if (op.kind == Op::Kind::Allreduce) {
+          // The other n-1 ranks' allreduce ops completed too.
+          remaining -= static_cast<std::size_t>(n - 1);
+        }
+        progress = true;
+      }
+    }
+  }
+
+  return tb.finish(n);
+}
+
+}  // namespace logstruct::sim::mpi

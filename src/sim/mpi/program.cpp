@@ -1,0 +1,75 @@
+#include "sim/mpi/program.hpp"
+
+#include "util/check.hpp"
+
+namespace logstruct::sim::mpi {
+
+Program::Program(std::int32_t num_ranks)
+    : ops_(static_cast<std::size_t>(num_ranks)) {
+  LS_CHECK(num_ranks > 0);
+}
+
+Op& Program::push(std::int32_t rank) {
+  LS_CHECK(rank >= 0 && static_cast<std::size_t>(rank) < ops_.size());
+  ops_[static_cast<std::size_t>(rank)].emplace_back();
+  return ops_[static_cast<std::size_t>(rank)].back();
+}
+
+void Program::send(std::int32_t rank, std::int32_t dst, std::int32_t tag,
+                   std::int64_t bytes) {
+  LS_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < ops_.size());
+  LS_CHECK_MSG(dst != rank, "self-send not supported in the MPI model");
+  Op& op = push(rank);
+  op.kind = Op::Kind::Send;
+  op.peer = dst;
+  op.tag = tag;
+  op.bytes = bytes;
+}
+
+void Program::recv(std::int32_t rank, std::int32_t src, std::int32_t tag) {
+  LS_CHECK(src >= 0 && static_cast<std::size_t>(src) < ops_.size());
+  Op& op = push(rank);
+  op.kind = Op::Kind::Recv;
+  op.peer = src;
+  op.tag = tag;
+}
+
+void Program::allreduce(std::int32_t rank) {
+  Op& op = push(rank);
+  op.kind = Op::Kind::Allreduce;
+}
+
+void Program::compute(std::int32_t rank, trace::TimeNs duration) {
+  LS_CHECK(duration >= 0);
+  Op& op = push(rank);
+  op.kind = Op::Kind::Compute;
+  op.duration = duration;
+}
+
+void Program::tree_allreduce(std::int32_t tag, std::int64_t bytes) {
+  const auto n = static_cast<std::int32_t>(ops_.size());
+  // Reduce phase: each rank receives from its (binary-tree) children in
+  // ascending order, then sends to its parent. Broadcast phase mirrors it.
+  for (std::int32_t r = 0; r < n; ++r) {
+    for (std::int32_t k = 1; k <= 2; ++k) {
+      std::int32_t child = 2 * r + k;
+      if (child < n) recv(r, child, tag);
+    }
+    if (r != 0) send(r, (r - 1) / 2, tag, bytes);
+  }
+  for (std::int32_t r = 0; r < n; ++r) {
+    if (r != 0) recv(r, (r - 1) / 2, tag + 1);
+    for (std::int32_t k = 1; k <= 2; ++k) {
+      std::int32_t child = 2 * r + k;
+      if (child < n) send(r, child, tag + 1, bytes);
+    }
+  }
+}
+
+std::size_t Program::total_ops() const {
+  std::size_t n = 0;
+  for (const auto& r : ops_) n += r.size();
+  return n;
+}
+
+}  // namespace logstruct::sim::mpi

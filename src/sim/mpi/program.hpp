@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file program.hpp
+/// Per-rank operation lists for the MPI-model simulator.
+///
+/// The paper's MPI traces (LULESH, LASSEN, merge tree, NAS BT) are
+/// communication skeletons: fixed sequences of sends, receives, collectives
+/// and compute spans per rank. A Program captures exactly that; the
+/// simulator (mpisim.hpp) replays it with blocking semantics and a
+/// LogP-style cost model.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/ids.hpp"
+
+namespace logstruct::sim::mpi {
+
+struct Op {
+  enum class Kind : std::uint8_t { Send, Recv, Allreduce, Compute };
+  Kind kind = Kind::Compute;
+  std::int32_t peer = -1;        ///< Send: destination; Recv: source
+  std::int32_t tag = 0;          ///< Send/Recv matching tag
+  std::int64_t bytes = 64;       ///< Send payload size (cost model)
+  trace::TimeNs duration = 0;    ///< Compute span
+};
+
+class Program {
+ public:
+  explicit Program(std::int32_t num_ranks);
+
+  void send(std::int32_t rank, std::int32_t dst, std::int32_t tag,
+            std::int64_t bytes = 64);
+  void recv(std::int32_t rank, std::int32_t src, std::int32_t tag);
+  /// Collective: the k-th allreduce call on each rank forms one operation;
+  /// every rank must call it the same number of times.
+  void allreduce(std::int32_t rank);
+
+  /// Append, for EVERY rank, the point-to-point ops of a tree-based
+  /// allreduce (binary reduce to rank 0, then broadcast back) using tags
+  /// [tag, tag+1]. The paper abstracts collectives into single calls
+  /// (§7.1); this is the un-abstracted alternative, exposing the
+  /// runtime-internal dependencies as ordinary messages.
+  void tree_allreduce(std::int32_t tag, std::int64_t bytes = 64);
+  void compute(std::int32_t rank, trace::TimeNs duration);
+
+  [[nodiscard]] std::int32_t num_ranks() const {
+    return static_cast<std::int32_t>(ops_.size());
+  }
+  [[nodiscard]] std::span<const Op> ops(std::int32_t rank) const {
+    return ops_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::size_t total_ops() const;
+
+ private:
+  Op& push(std::int32_t rank);
+
+  std::vector<std::vector<Op>> ops_;
+};
+
+}  // namespace logstruct::sim::mpi

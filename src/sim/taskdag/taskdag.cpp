@@ -1,0 +1,218 @@
+#include "sim/taskdag/taskdag.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "trace/builder.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace logstruct::sim::taskdag {
+
+TaskId TaskGraph::add(std::int32_t owner, trace::TimeNs duration,
+                      std::vector<TaskId> deps, std::string label) {
+  auto id = static_cast<TaskId>(tasks.size());
+  for (TaskId d : deps)
+    LS_CHECK_MSG(d >= 0 && d < id, "task depends on a later task");
+  LS_CHECK(owner >= 0);
+  num_owners = std::max(num_owners, owner + 1);
+  tasks.push_back(Task{owner, duration, std::move(deps), std::move(label)});
+  return id;
+}
+
+trace::Trace simulate(const TaskGraph& graph, const TaskDagConfig& cfg) {
+  LS_CHECK(cfg.num_workers > 0);
+  util::Rng rng(cfg.seed);
+  trace::TraceBuilder tb;
+
+  trace::ArrayId array = tb.add_array("domain");
+  std::vector<trace::ChareId> owner_chare;
+  for (std::int32_t o = 0; o < graph.num_owners; ++o)
+    owner_chare.push_back(tb.add_chare("domain[" + std::to_string(o) + "]",
+                                       array, o, /*home=*/0));
+  std::map<std::string, trace::EntryId> entries;
+  auto entry_of = [&](const std::string& label) {
+    auto it = entries.find(label);
+    if (it == entries.end())
+      it = entries.emplace(label, tb.add_entry(label)).first;
+    return it->second;
+  };
+
+  const auto n = graph.tasks.size();
+  std::vector<std::vector<TaskId>> dependents(n);
+  // Scheduling-only successors: the same-owner serialization (exclusive
+  // data access). Not traced — like Charm++'s implicit per-chare
+  // serialization, it is a property of the execution model, not a
+  // recorded dependency.
+  std::vector<std::vector<TaskId>> sched_dependents(n);
+  std::vector<std::int32_t> missing(n, 0);
+  std::vector<TaskId> prev_of_owner(
+      static_cast<std::size_t>(graph.num_owners), -1);
+  for (std::size_t t = 0; t < n; ++t) {
+    missing[t] = static_cast<std::int32_t>(graph.tasks[t].deps.size());
+    for (TaskId d : graph.tasks[t].deps)
+      dependents[static_cast<std::size_t>(d)].push_back(
+          static_cast<TaskId>(t));
+    auto owner = static_cast<std::size_t>(graph.tasks[t].owner);
+    TaskId prev = prev_of_owner[owner];
+    if (prev >= 0 &&
+        std::find(graph.tasks[t].deps.begin(), graph.tasks[t].deps.end(),
+                  prev) == graph.tasks[t].deps.end()) {
+      ++missing[t];
+      sched_dependents[static_cast<std::size_t>(prev)].push_back(
+          static_cast<TaskId>(t));
+    }
+    prev_of_owner[owner] = static_cast<TaskId>(t);
+  }
+
+  // Dependency-satisfaction Send recorded in the producer's block, one
+  // per dependent: send_event[producer][k] pairs with dependents[p][k].
+  std::vector<std::vector<trace::EventId>> send_event(n);
+  std::vector<trace::TimeNs> ready_time(n, 0);
+
+  std::vector<TaskId> ready;
+  for (std::size_t t = 0; t < n; ++t)
+    if (missing[t] == 0) ready.push_back(static_cast<TaskId>(t));
+
+  std::vector<trace::TimeNs> worker_free(
+      static_cast<std::size_t>(cfg.num_workers), 0);
+  std::size_t done = 0;
+  while (done < n) {
+    LS_CHECK_MSG(!ready.empty(), "task graph deadlocked (cyclic deps?)");
+    // Pick the (ready task, worker) pair with the earliest start; break
+    // ties randomly (or FIFO) for scheduling noise.
+    auto w = static_cast<std::size_t>(
+        std::min_element(worker_free.begin(), worker_free.end()) -
+        worker_free.begin());
+    std::size_t pick = 0;
+    trace::TimeNs best_start = 0;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      trace::TimeNs start = std::max(
+          worker_free[w], ready_time[static_cast<std::size_t>(ready[i])]);
+      bool better =
+          i == 0 || start < best_start ||
+          (start == best_start && cfg.random_ready_order && rng.uniform(2));
+      if (better) {
+        pick = i;
+        best_start = start;
+      }
+    }
+    TaskId task = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    const TaskGraph::Task& info = graph.tasks[static_cast<std::size_t>(task)];
+
+    if (best_start > worker_free[w])
+      tb.add_idle(static_cast<trace::ProcId>(w), worker_free[w], best_start);
+
+    trace::BlockId b = tb.begin_block(
+        owner_chare[static_cast<std::size_t>(info.owner)],
+        static_cast<trace::ProcId>(w), entry_of(info.label), best_start);
+    // Receives: one per satisfied dependency, matched to the producer's
+    // recorded Send toward this task.
+    for (TaskId d : info.deps) {
+      const auto& deps_of_d = dependents[static_cast<std::size_t>(d)];
+      auto k = static_cast<std::size_t>(
+          std::find(deps_of_d.begin(), deps_of_d.end(), task) -
+          deps_of_d.begin());
+      tb.add_recv(b, best_start, send_event[static_cast<std::size_t>(d)][k]);
+    }
+    trace::TimeNs finish = best_start + info.duration;
+    // Dependency-satisfaction sends at task completion.
+    for (std::size_t k = 0;
+         k < dependents[static_cast<std::size_t>(task)].size(); ++k) {
+      send_event[static_cast<std::size_t>(task)].push_back(
+          tb.add_send(b, finish));
+    }
+    tb.end_block(b, finish);
+    worker_free[w] = finish;
+    ++done;
+
+    for (TaskId dep : dependents[static_cast<std::size_t>(task)]) {
+      ready_time[static_cast<std::size_t>(dep)] =
+          std::max(ready_time[static_cast<std::size_t>(dep)],
+                   finish + cfg.ready_latency_ns);
+      if (--missing[static_cast<std::size_t>(dep)] == 0)
+        ready.push_back(dep);
+    }
+    for (TaskId dep : sched_dependents[static_cast<std::size_t>(task)]) {
+      ready_time[static_cast<std::size_t>(dep)] = std::max(
+          ready_time[static_cast<std::size_t>(dep)], finish);
+      if (--missing[static_cast<std::size_t>(dep)] == 0)
+        ready.push_back(dep);
+    }
+  }
+  return tb.finish(cfg.num_workers);
+}
+
+TaskGraph stencil_1d(std::int32_t width, std::int32_t steps,
+                     trace::TimeNs base_ns, trace::TimeNs noise_ns,
+                     std::uint64_t seed) {
+  LS_CHECK(width > 0 && steps > 0);
+  util::Rng rng(seed);
+  TaskGraph g;
+  std::vector<TaskId> prev(static_cast<std::size_t>(width), -1);
+  for (std::int32_t t = 0; t < steps; ++t) {
+    std::vector<TaskId> cur(static_cast<std::size_t>(width));
+    for (std::int32_t i = 0; i < width; ++i) {
+      std::vector<TaskId> deps;
+      if (t > 0) {
+        for (std::int32_t j = std::max(0, i - 1);
+             j <= std::min(width - 1, i + 1); ++j)
+          deps.push_back(prev[static_cast<std::size_t>(j)]);
+      }
+      cur[static_cast<std::size_t>(i)] =
+          g.add(i, base_ns + rng.uniform_range(0, noise_ns),
+                std::move(deps), "stencil");
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph fork_join(std::int32_t levels, trace::TimeNs work_ns,
+                    std::uint64_t seed) {
+  LS_CHECK(levels >= 1);
+  util::Rng rng(seed);
+  TaskGraph g;
+  const std::int32_t leaves = 1 << (levels - 1);
+
+  // Owners: leaf index for leaves; internal nodes own their range midpoint
+  // so every subtree keeps one stable timeline.
+  struct Node {
+    TaskId task;
+    std::int32_t lo, hi;
+  };
+  // Fork phase: root spawns two children per level.
+  std::vector<Node> frontier{
+      {g.add(leaves / 2, work_ns, {}, "fork"), 0, leaves}};
+  for (std::int32_t l = 1; l < levels; ++l) {
+    std::vector<Node> next;
+    for (const Node& node : frontier) {
+      std::int32_t mid = (node.lo + node.hi) / 2;
+      trace::TimeNs noisy =
+          work_ns + rng.uniform_range(0, work_ns / 2);
+      next.push_back({g.add((node.lo + mid) / 2, noisy, {node.task},
+                            l + 1 == levels ? "leaf" : "fork"),
+                      node.lo, mid});
+      next.push_back({g.add((mid + node.hi) / 2, noisy, {node.task},
+                            l + 1 == levels ? "leaf" : "fork"),
+                      mid, node.hi});
+    }
+    frontier = std::move(next);
+  }
+  // Join phase back up.
+  while (frontier.size() > 1) {
+    std::vector<Node> next;
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      const Node& a = frontier[i];
+      const Node& b = frontier[i + 1];
+      next.push_back({g.add((a.lo + b.hi) / 2, work_ns,
+                            {a.task, b.task}, "join"),
+                      a.lo, b.hi});
+    }
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+}  // namespace logstruct::sim::taskdag

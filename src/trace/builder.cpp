@@ -1,0 +1,144 @@
+#include "trace/builder.hpp"
+
+#include "util/check.hpp"
+
+namespace logstruct::trace {
+
+ArrayId TraceBuilder::add_array(std::string name, bool runtime) {
+  trace_.arrays_.push_back(ArrayInfo{std::move(name), runtime});
+  return static_cast<ArrayId>(trace_.arrays_.size() - 1);
+}
+
+ChareId TraceBuilder::add_chare(std::string name, ArrayId array,
+                                std::int32_t index, ProcId home,
+                                bool runtime) {
+  ChareInfo info;
+  info.name = std::move(name);
+  info.array = array;
+  info.index = index;
+  info.home = home;
+  info.runtime = runtime;
+  trace_.chares_.push_back(std::move(info));
+  return static_cast<ChareId>(trace_.chares_.size() - 1);
+}
+
+EntryId TraceBuilder::add_entry(std::string name, bool runtime,
+                                std::int32_t sdag_serial,
+                                std::vector<EntryId> when_entries) {
+  EntryInfo info;
+  info.name = std::move(name);
+  info.runtime = runtime;
+  info.sdag_serial = sdag_serial;
+  info.when_entries = std::move(when_entries);
+  trace_.entries_.push_back(std::move(info));
+  return static_cast<EntryId>(trace_.entries_.size() - 1);
+}
+
+BlockId TraceBuilder::begin_block(ChareId chare, ProcId proc, EntryId entry,
+                                  TimeNs t) {
+  LS_CHECK(chare >= 0 &&
+           static_cast<std::size_t>(chare) < trace_.chares_.size());
+  LS_CHECK(entry >= 0 &&
+           static_cast<std::size_t>(entry) < trace_.entries_.size());
+  SerialBlock blk;
+  blk.chare = chare;
+  blk.proc = proc;
+  blk.entry = entry;
+  blk.begin = t;
+  blk.end = t;
+  trace_.blocks_.push_back(std::move(blk));
+  block_open_.push_back(true);
+  return static_cast<BlockId>(trace_.blocks_.size() - 1);
+}
+
+EventId TraceBuilder::add_event(BlockId block, EventKind kind, TimeNs t) {
+  LS_CHECK(block >= 0 &&
+           static_cast<std::size_t>(block) < trace_.blocks_.size());
+  LS_CHECK_MSG(block_open_[static_cast<std::size_t>(block)],
+               "event added to a closed serial block");
+  SerialBlock& blk = trace_.blocks_[static_cast<std::size_t>(block)];
+  Event e;
+  e.kind = kind;
+  e.time = t;
+  e.chare = blk.chare;
+  e.proc = blk.proc;
+  e.block = block;
+  trace_.events_.push_back(e);
+  EventId id = static_cast<EventId>(trace_.events_.size() - 1);
+  blk.events.push_back(id);
+  return id;
+}
+
+EventId TraceBuilder::add_recv(BlockId block, TimeNs t, EventId send) {
+  EventId id = add_event(block, EventKind::Recv, t);
+  SerialBlock& blk = trace_.blocks_[static_cast<std::size_t>(block)];
+  // The first receive awakens the block; further receives are additional
+  // satisfied dependencies (multi-dependency task models; Charm++ blocks
+  // only ever have one).
+  if (blk.trigger == kNone) blk.trigger = id;
+  if (send != kNone) {
+    LS_CHECK(send >= 0 &&
+             static_cast<std::size_t>(send) < trace_.events_.size());
+    Event& s = trace_.events_[static_cast<std::size_t>(send)];
+    LS_CHECK(s.kind == EventKind::Send);
+    trace_.events_[static_cast<std::size_t>(id)].partner = send;
+    if (s.partner == kNone) {
+      s.partner = id;  // first receiver
+    } else {
+      trace_.fanout_[send].push_back(id);  // broadcast fan-out
+    }
+  }
+  return id;
+}
+
+EventId TraceBuilder::add_send(BlockId block, TimeNs t) {
+  return add_event(block, EventKind::Send, t);
+}
+
+void TraceBuilder::end_block(BlockId block, TimeNs t) {
+  LS_CHECK(block >= 0 &&
+           static_cast<std::size_t>(block) < trace_.blocks_.size());
+  LS_CHECK(block_open_[static_cast<std::size_t>(block)]);
+  SerialBlock& blk = trace_.blocks_[static_cast<std::size_t>(block)];
+  LS_CHECK_MSG(t >= blk.begin, "block ends before it begins");
+  blk.end = t;
+  block_open_[static_cast<std::size_t>(block)] = false;
+}
+
+void TraceBuilder::add_idle(ProcId proc, TimeNs begin, TimeNs end) {
+  if (end <= begin) return;  // zero-length idles are noise
+  trace_.idles_.push_back(IdleSpan{proc, begin, end});
+}
+
+CollectiveId TraceBuilder::begin_collective() {
+  trace_.collectives_.emplace_back();
+  return static_cast<CollectiveId>(trace_.collectives_.size() - 1);
+}
+
+EventId TraceBuilder::add_collective_send(CollectiveId c, BlockId block,
+                                          TimeNs t) {
+  EventId id = add_event(block, EventKind::Send, t);
+  trace_.collectives_[static_cast<std::size_t>(c)].sends.push_back(id);
+  return id;
+}
+
+EventId TraceBuilder::add_collective_recv(CollectiveId c, BlockId block,
+                                          TimeNs t) {
+  EventId id = add_event(block, EventKind::Recv, t);
+  trace_.collectives_[static_cast<std::size_t>(c)].recvs.push_back(id);
+  return id;
+}
+
+Trace TraceBuilder::finish(std::int32_t num_procs) {
+  for (std::size_t b = 0; b < block_open_.size(); ++b) {
+    LS_CHECK_MSG(!block_open_[b], "finish() with an open serial block");
+  }
+  trace_.num_procs_ = num_procs;
+  trace_.freeze();
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  block_open_.clear();
+  return out;
+}
+
+}  // namespace logstruct::trace

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file builder.hpp
+/// Mutable construction interface for traces.
+///
+/// The simulators' tracing hooks call into a TraceBuilder; finish() freezes
+/// the result. The builder enforces the cheap structural rules at insertion
+/// time (events belong to open blocks, matched partners are send/recv pairs)
+/// and leaves global validation to trace::validate().
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::trace {
+
+class TraceBuilder {
+ public:
+  // --- static tables ----------------------------------------------------
+  ArrayId add_array(std::string name, bool runtime = false);
+
+  ChareId add_chare(std::string name, ArrayId array = kNone,
+                    std::int32_t index = -1, ProcId home = kNone,
+                    bool runtime = false);
+
+  EntryId add_entry(std::string name, bool runtime = false,
+                    std::int32_t sdag_serial = -1,
+                    std::vector<EntryId> when_entries = {});
+
+  // --- dynamic recording -------------------------------------------------
+  /// Open a serial block (entry-method execution begins).
+  BlockId begin_block(ChareId chare, ProcId proc, EntryId entry, TimeNs t);
+
+  /// Record the receive that awakened an open block. send may be kNone for
+  /// untraced dependencies. Returns the Recv event id.
+  EventId add_recv(BlockId block, TimeNs t, EventId send = kNone);
+
+  /// Record a remote-invocation send inside an open block.
+  EventId add_send(BlockId block, TimeNs t);
+
+  /// Close a serial block.
+  void end_block(BlockId block, TimeNs t);
+
+  /// Record a scheduler idle span on a processor.
+  void add_idle(ProcId proc, TimeNs begin, TimeNs end);
+
+  // --- collectives (MPI model) -------------------------------------------
+  CollectiveId begin_collective();
+  EventId add_collective_send(CollectiveId c, BlockId block, TimeNs t);
+  EventId add_collective_recv(CollectiveId c, BlockId block, TimeNs t);
+
+  /// Number of events recorded so far.
+  [[nodiscard]] std::int32_t num_events() const {
+    return static_cast<std::int32_t>(trace_.events_.size());
+  }
+
+  /// Freeze and return the trace. The builder is left empty.
+  Trace finish(std::int32_t num_procs);
+
+ private:
+  EventId add_event(BlockId block, EventKind kind, TimeNs t);
+
+  Trace trace_;
+  std::vector<bool> block_open_;
+};
+
+}  // namespace logstruct::trace

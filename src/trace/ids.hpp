@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file ids.hpp
+/// Shared integral id types of the trace model.
+///
+/// Ids are dense 32-bit indices into the owning Trace's tables. kNone marks
+/// "no value" (e.g. a receive whose matching send was not traced — the PDES
+/// completion-detector case of paper Fig. 24).
+
+#include <cstdint>
+
+namespace logstruct::trace {
+
+using TimeNs = std::int64_t;   ///< physical timestamps, nanoseconds
+using EventId = std::int32_t;
+using BlockId = std::int32_t;
+using ChareId = std::int32_t;
+using ProcId = std::int32_t;
+using EntryId = std::int32_t;
+using ArrayId = std::int32_t;
+using CollectiveId = std::int32_t;
+
+inline constexpr std::int32_t kNone = -1;
+
+}  // namespace logstruct::trace

@@ -1,0 +1,211 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace logstruct::trace {
+
+namespace {
+
+constexpr const char* kMagic = "lstrace";
+constexpr int kVersion = 1;
+
+// Names may contain spaces; they are always the last field and written
+// after a '|' sentinel.
+std::string read_name(std::istringstream& line) {
+  std::string sep;
+  line >> sep;
+  if (sep != "|") throw std::runtime_error("lstrace: expected '|' before name");
+  std::string name;
+  std::getline(line, name);
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+  return name;
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "procs " << trace.num_procs() << '\n';
+
+  for (std::size_t i = 0; i < trace.arrays().size(); ++i) {
+    const ArrayInfo& a = trace.arrays()[i];
+    out << "array " << i << ' ' << (a.runtime ? 1 : 0) << " | " << a.name
+        << '\n';
+  }
+  for (std::size_t i = 0; i < trace.chares().size(); ++i) {
+    const ChareInfo& c = trace.chares()[i];
+    out << "chare " << i << ' ' << c.array << ' ' << c.index << ' ' << c.home
+        << ' ' << (c.runtime ? 1 : 0) << " | " << c.name << '\n';
+  }
+  for (std::size_t i = 0; i < trace.entries().size(); ++i) {
+    const EntryInfo& e = trace.entries()[i];
+    out << "entry " << i << ' ' << (e.runtime ? 1 : 0) << ' ' << e.sdag_serial
+        << ' ' << e.when_entries.size();
+    for (EntryId w : e.when_entries) out << ' ' << w;
+    out << " | " << e.name << '\n';
+  }
+  for (BlockId b = 0; b < trace.num_blocks(); ++b) {
+    const SerialBlock& blk = trace.block(b);
+    out << "block " << b << ' ' << blk.chare << ' ' << blk.proc << ' '
+        << blk.entry << ' ' << blk.begin << ' ' << blk.end << '\n';
+  }
+  for (EventId e = 0; e < trace.num_events(); ++e) {
+    const Event& ev = trace.event(e);
+    out << "event " << e << ' ' << (ev.kind == EventKind::Send ? 'S' : 'R')
+        << ' ' << ev.time << ' ' << ev.block << ' ' << ev.partner << '\n';
+  }
+  for (const IdleSpan& s : trace.idles()) {
+    out << "idle " << s.proc << ' ' << s.begin << ' ' << s.end << '\n';
+  }
+  for (const Collective& coll : trace.collectives()) {
+    out << "coll " << coll.sends.size();
+    for (EventId s : coll.sends) out << ' ' << s;
+    out << ' ' << coll.recvs.size();
+    for (EventId r : coll.recvs) out << ' ' << r;
+    out << '\n';
+  }
+  out << "end\n";
+}
+
+Trace read_trace(std::istream& in) {
+  Trace trace;
+  std::string word;
+  int version = 0;
+  in >> word >> version;
+  if (word != kMagic || version != kVersion)
+    throw std::runtime_error("lstrace: bad header");
+  in.ignore();  // trailing newline
+
+  std::string line;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "procs") {
+      ls >> trace.num_procs_;
+    } else if (tag == "array") {
+      std::size_t id;
+      int runtime;
+      ls >> id >> runtime;
+      ArrayInfo a;
+      a.runtime = runtime != 0;
+      a.name = read_name(ls);
+      if (id != trace.arrays_.size())
+        throw std::runtime_error("lstrace: non-sequential array id");
+      trace.arrays_.push_back(std::move(a));
+    } else if (tag == "chare") {
+      std::size_t id;
+      ChareInfo c;
+      int runtime;
+      ls >> id >> c.array >> c.index >> c.home >> runtime;
+      c.runtime = runtime != 0;
+      c.name = read_name(ls);
+      if (id != trace.chares_.size())
+        throw std::runtime_error("lstrace: non-sequential chare id");
+      trace.chares_.push_back(std::move(c));
+    } else if (tag == "entry") {
+      std::size_t id;
+      int runtime;
+      std::size_t nwhen;
+      EntryInfo e;
+      ls >> id >> runtime >> e.sdag_serial >> nwhen;
+      e.runtime = runtime != 0;
+      e.when_entries.resize(nwhen);
+      for (auto& w : e.when_entries) ls >> w;
+      e.name = read_name(ls);
+      if (id != trace.entries_.size())
+        throw std::runtime_error("lstrace: non-sequential entry id");
+      trace.entries_.push_back(std::move(e));
+    } else if (tag == "block") {
+      std::size_t id;
+      SerialBlock b;
+      ls >> id >> b.chare >> b.proc >> b.entry >> b.begin >> b.end;
+      if (id != trace.blocks_.size())
+        throw std::runtime_error("lstrace: non-sequential block id");
+      trace.blocks_.push_back(std::move(b));
+    } else if (tag == "event") {
+      std::size_t id;
+      char kind;
+      Event e;
+      ls >> id >> kind >> e.time >> e.block >> e.partner;
+      e.kind = kind == 'S' ? EventKind::Send : EventKind::Recv;
+      if (id != trace.events_.size())
+        throw std::runtime_error("lstrace: non-sequential event id");
+      if (e.block < 0 ||
+          static_cast<std::size_t>(e.block) >= trace.blocks_.size())
+        throw std::runtime_error("lstrace: event references unknown block");
+      SerialBlock& blk = trace.blocks_[static_cast<std::size_t>(e.block)];
+      e.chare = blk.chare;
+      e.proc = blk.proc;
+      trace.events_.push_back(e);
+      blk.events.push_back(static_cast<EventId>(id));
+      if (e.kind == EventKind::Recv && blk.trigger == kNone)
+        blk.trigger = static_cast<EventId>(id);
+    } else if (tag == "idle") {
+      IdleSpan s;
+      ls >> s.proc >> s.begin >> s.end;
+      trace.idles_.push_back(s);
+    } else if (tag == "coll") {
+      Collective coll;
+      std::size_t n;
+      ls >> n;
+      coll.sends.resize(n);
+      for (auto& s : coll.sends) ls >> s;
+      ls >> n;
+      coll.recvs.resize(n);
+      for (auto& r : coll.recvs) ls >> r;
+      trace.collectives_.push_back(std::move(coll));
+    } else if (tag == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw std::runtime_error("lstrace: unknown record '" + tag + "'");
+    }
+    if (!ls && !ls.eof()) throw std::runtime_error("lstrace: parse error");
+  }
+  if (!saw_end) throw std::runtime_error("lstrace: truncated file");
+
+  // Rebuild send-side matching: partners were written from the recv side.
+  for (EventId id = 0; id < static_cast<EventId>(trace.events_.size()); ++id) {
+    Event& e = trace.events_[static_cast<std::size_t>(id)];
+    if (e.kind != EventKind::Recv || e.partner == kNone) continue;
+    if (e.partner < 0 ||
+        static_cast<std::size_t>(e.partner) >= trace.events_.size())
+      throw std::runtime_error("lstrace: recv has out-of-range partner");
+    Event& s = trace.events_[static_cast<std::size_t>(e.partner)];
+    if (s.kind != EventKind::Send)
+      throw std::runtime_error("lstrace: recv partnered with a recv");
+    if (s.partner == kNone) {
+      s.partner = id;
+    } else if (s.partner != id) {
+      trace.fanout_[e.partner].push_back(id);
+    }
+  }
+  // Send partners as written are recomputed above; clear stale values for
+  // sends whose recv list was empty (they keep kNone naturally) — nothing
+  // further needed.
+
+  trace.freeze();
+  return trace;
+}
+
+bool save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_trace(trace, f);
+  return static_cast<bool>(f);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(f);
+}
+
+}  // namespace logstruct::trace

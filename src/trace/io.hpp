@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text trace serialization (.lstrace).
+///
+/// A line-oriented format in the spirit of Charm++ Projections logs: one
+/// record per line, fully self-contained, diff-friendly. Used by the
+/// trace_inspect example and to archive simulator outputs.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::trace {
+
+/// Serialize a trace; deterministic byte-for-byte for a given trace.
+void write_trace(const Trace& trace, std::ostream& out);
+
+/// Parse a trace written by write_trace. Throws std::runtime_error on
+/// malformed input.
+Trace read_trace(std::istream& in);
+
+/// Convenience file wrappers; return false / throw on I/O failure.
+bool save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);
+
+}  // namespace logstruct::trace

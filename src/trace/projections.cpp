@@ -1,0 +1,295 @@
+#include "trace/projections.hpp"
+
+#include "trace/builder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace logstruct::trace {
+
+namespace {
+
+std::string log_path(const std::string& prefix, ProcId pe) {
+  return prefix + "." + std::to_string(pe) + ".log";
+}
+
+std::string read_trailing_name(std::istringstream& line) {
+  std::string sep;
+  line >> sep;
+  if (sep != "|")
+    throw std::runtime_error("projections: expected '|' before name");
+  std::string name;
+  std::getline(line, name);
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+  return name;
+}
+
+}  // namespace
+
+bool write_projections(const Trace& trace, const std::string& prefix) {
+  if (!trace.collectives().empty()) return false;  // not representable
+
+  {
+    std::ofstream sts(prefix + ".sts");
+    if (!sts) return false;
+    sts << "PROJECTIONS-STS 1\n";
+    sts << "PES " << trace.num_procs() << '\n';
+    for (std::size_t i = 0; i < trace.arrays().size(); ++i) {
+      const ArrayInfo& a = trace.arrays()[i];
+      sts << "ARRAY " << i << ' ' << (a.runtime ? 1 : 0) << " | " << a.name
+          << '\n';
+    }
+    for (std::size_t i = 0; i < trace.chares().size(); ++i) {
+      const ChareInfo& c = trace.chares()[i];
+      sts << "CHARE " << i << ' ' << c.array << ' ' << c.index << ' '
+          << c.home << ' ' << (c.runtime ? 1 : 0) << " | " << c.name << '\n';
+    }
+    for (std::size_t i = 0; i < trace.entries().size(); ++i) {
+      const EntryInfo& e = trace.entries()[i];
+      sts << "ENTRY " << i << ' ' << (e.runtime ? 1 : 0) << ' '
+          << e.sdag_serial << ' ' << e.when_entries.size();
+      for (EntryId w : e.when_entries) sts << ' ' << w;
+      sts << " | " << e.name << '\n';
+    }
+    sts << "END\n";
+    if (!sts) return false;
+  }
+
+  for (ProcId pe = 0; pe < trace.num_procs(); ++pe) {
+    std::ofstream log(log_path(prefix, pe));
+    if (!log) return false;
+    log << "PROJECTIONS " << pe << '\n';
+
+    // Whole processing groups (BEGIN/CREATIONs/END) are emitted
+    // atomically in block-begin order — blocks never overlap on a PE —
+    // with idle spans (which live in the scheduler gaps) merged in by
+    // begin time, idle first on ties (an idle ends exactly where the
+    // next block begins).
+    struct Record {
+      TimeNs time;
+      int order;  // 0 = idle, 1 = processing group
+      std::string text;
+    };
+    std::vector<Record> records;
+    for (BlockId b : trace.blocks_of_proc(pe)) {
+      const SerialBlock& blk = trace.block(b);
+      std::ostringstream group;
+      group << "BEGIN_PROCESSING " << blk.entry << ' ' << blk.begin << ' '
+            << blk.chare << ' ';
+      if (blk.trigger == kNone) {
+        group << "0 -1";
+      } else {
+        group << "1 " << trace.event(blk.trigger).partner;
+      }
+      group << '\n';
+      for (EventId e : blk.events) {
+        const Event& ev = trace.event(e);
+        if (ev.kind != EventKind::Send) continue;
+        group << "CREATION " << e << ' ' << blk.entry << ' ' << ev.time
+              << '\n';
+      }
+      group << "END_PROCESSING " << blk.end;
+      records.push_back({blk.begin, 1, group.str()});
+    }
+    for (const IdleSpan& idle : trace.idles()) {
+      if (idle.proc != pe) continue;
+      records.push_back({idle.begin, 0,
+                         "BEGIN_IDLE " + std::to_string(idle.begin) +
+                             "\nEND_IDLE " + std::to_string(idle.end)});
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const Record& a, const Record& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.order < b.order;
+                     });
+    for (const Record& r : records) log << r.text << '\n';
+    log << "END\n";
+    if (!log) return false;
+  }
+  return true;
+}
+
+Trace read_projections(const std::string& prefix) {
+  TraceBuilder tb;
+  std::int32_t num_pes = 0;
+
+  {
+    std::ifstream sts(prefix + ".sts");
+    if (!sts)
+      throw std::runtime_error("projections: cannot open " + prefix +
+                               ".sts");
+    std::string line;
+    std::getline(sts, line);
+    if (line.rfind("PROJECTIONS-STS", 0) != 0)
+      throw std::runtime_error("projections: bad sts header");
+    bool saw_end = false;
+    while (std::getline(sts, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "PES") {
+        ls >> num_pes;
+      } else if (tag == "ARRAY") {
+        std::size_t id;
+        int runtime;
+        ls >> id >> runtime;
+        std::string name = read_trailing_name(ls);
+        if (tb.add_array(name, runtime != 0) != static_cast<ArrayId>(id))
+          throw std::runtime_error("projections: non-sequential array id");
+      } else if (tag == "CHARE") {
+        std::size_t id;
+        ArrayId array;
+        std::int32_t index;
+        ProcId home;
+        int runtime;
+        ls >> id >> array >> index >> home >> runtime;
+        std::string name = read_trailing_name(ls);
+        if (tb.add_chare(name, array, index, home, runtime != 0) !=
+            static_cast<ChareId>(id))
+          throw std::runtime_error("projections: non-sequential chare id");
+      } else if (tag == "ENTRY") {
+        std::size_t id;
+        int runtime;
+        std::int32_t sdag;
+        std::size_t nwhen;
+        ls >> id >> runtime >> sdag >> nwhen;
+        std::vector<EntryId> when(nwhen);
+        for (auto& w : when) ls >> w;
+        std::string name = read_trailing_name(ls);
+        if (tb.add_entry(name, runtime != 0, sdag, std::move(when)) !=
+            static_cast<EntryId>(id))
+          throw std::runtime_error("projections: non-sequential entry id");
+      } else if (tag == "END") {
+        saw_end = true;
+        break;
+      } else {
+        throw std::runtime_error("projections: unknown sts record " + tag);
+      }
+    }
+    if (!saw_end) throw std::runtime_error("projections: truncated sts");
+  }
+
+  // Pass A: create every block and its sends (keeping blocks open), and
+  // remember triggers + end times. File send ids map to fresh event ids.
+  struct PendingBlock {
+    BlockId block;
+    TimeNs end;
+    bool has_recv;
+    TimeNs begin;
+    std::int64_t src_event;  // file id of the matching creation, or -1
+  };
+  std::vector<PendingBlock> pending;
+  std::map<std::int64_t, EventId> send_of_file_id;
+
+  for (ProcId pe = 0; pe < num_pes; ++pe) {
+    std::ifstream log(log_path(prefix, pe));
+    if (!log)
+      throw std::runtime_error("projections: missing log for PE " +
+                               std::to_string(pe));
+    std::string line;
+    std::getline(log, line);
+    if (line.rfind("PROJECTIONS", 0) != 0)
+      throw std::runtime_error("projections: bad log header");
+
+    BlockId open = kNone;
+    bool saw_end = false;
+    PendingBlock current{};
+    while (std::getline(log, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "BEGIN_PROCESSING") {
+        if (open != kNone)
+          throw std::runtime_error("projections: nested BEGIN_PROCESSING");
+        EntryId entry;
+        TimeNs time;
+        ChareId chare;
+        int has_recv;
+        std::int64_t src;
+        ls >> entry >> time >> chare >> has_recv >> src;
+        open = tb.begin_block(chare, pe, entry, time);
+        current = PendingBlock{open, time, has_recv != 0, time, src};
+      } else if (tag == "CREATION") {
+        if (open == kNone)
+          throw std::runtime_error("projections: CREATION outside block");
+        std::int64_t file_id;
+        EntryId entry;
+        TimeNs time;
+        ls >> file_id >> entry >> time;
+        (void)entry;  // the destination entry is re-derived on the recv side
+        EventId ev = tb.add_send(open, time);
+        if (!send_of_file_id.emplace(file_id, ev).second)
+          throw std::runtime_error("projections: duplicate creation id");
+      } else if (tag == "END_PROCESSING") {
+        if (open == kNone)
+          throw std::runtime_error("projections: unmatched END_PROCESSING");
+        ls >> current.end;
+        pending.push_back(current);
+        open = kNone;
+      } else if (tag == "BEGIN_IDLE" || tag == "END_IDLE") {
+        // Idle pairs handled in a second scan below (they need no block
+        // context, but we must pair BEGIN with END).
+      } else if (tag == "END") {
+        saw_end = true;
+        break;
+      } else {
+        throw std::runtime_error("projections: unknown log record " + tag);
+      }
+      if (!ls && !ls.eof())
+        throw std::runtime_error("projections: parse error: " + line);
+    }
+    if (open != kNone || !saw_end)
+      throw std::runtime_error("projections: truncated log for PE " +
+                               std::to_string(pe));
+  }
+
+  // Pass B: triggers (every send now exists), then close the blocks.
+  for (const PendingBlock& pb : pending) {
+    if (!pb.has_recv) continue;
+    EventId send = kNone;
+    if (pb.src_event >= 0) {
+      auto it = send_of_file_id.find(pb.src_event);
+      if (it == send_of_file_id.end())
+        throw std::runtime_error("projections: recv references unknown "
+                                 "creation");
+      send = it->second;
+    }
+    tb.add_recv(pb.block, pb.begin, send);
+  }
+  for (const PendingBlock& pb : pending) tb.end_block(pb.block, pb.end);
+
+  // Idle spans: second scan of the logs.
+  for (ProcId pe = 0; pe < num_pes; ++pe) {
+    std::ifstream log(log_path(prefix, pe));
+    std::string line;
+    TimeNs idle_begin = -1;
+    while (std::getline(log, line)) {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "BEGIN_IDLE") {
+        ls >> idle_begin;
+      } else if (tag == "END_IDLE") {
+        TimeNs idle_end;
+        ls >> idle_end;
+        if (idle_begin < 0)
+          throw std::runtime_error("projections: unmatched END_IDLE");
+        tb.add_idle(pe, idle_begin, idle_end);
+        idle_begin = -1;
+      }
+    }
+    if (idle_begin >= 0)
+      throw std::runtime_error("projections: unmatched BEGIN_IDLE");
+  }
+
+  return tb.finish(num_pes);
+}
+
+}  // namespace logstruct::trace

@@ -1,0 +1,23 @@
+#include "trace/skew.hpp"
+
+#include "util/check.hpp"
+
+namespace logstruct::trace {
+
+Trace apply_clock_skew(const Trace& trace, std::span<const TimeNs> delta) {
+  LS_CHECK(delta.size() >= static_cast<std::size_t>(trace.num_procs()));
+  Trace out = trace;
+  for (Event& e : out.events_) e.time += delta[static_cast<std::size_t>(e.proc)];
+  for (SerialBlock& b : out.blocks_) {
+    b.begin += delta[static_cast<std::size_t>(b.proc)];
+    b.end += delta[static_cast<std::size_t>(b.proc)];
+  }
+  for (IdleSpan& s : out.idles_) {
+    s.begin += delta[static_cast<std::size_t>(s.proc)];
+    s.end += delta[static_cast<std::size_t>(s.proc)];
+  }
+  out.freeze();  // per-chare time orders can change under skew
+  return out;
+}
+
+}  // namespace logstruct::trace

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file skew.hpp
+/// Per-processor clock skew injection.
+///
+/// The paper (§4, Idle Experienced) notes that cross-processor time
+/// comparisons are vulnerable to clock synchronization error. We inject
+/// controlled skew into otherwise perfectly synchronized simulator traces to
+/// test that sensitivity.
+
+#include <span>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::trace {
+
+/// Returns a copy of trace with all timestamps on proc p shifted by
+/// delta[p] (block begins/ends, events, idle spans). delta.size() must be
+/// >= num_procs.
+Trace apply_clock_skew(const Trace& trace, std::span<const TimeNs> delta);
+
+}  // namespace logstruct::trace

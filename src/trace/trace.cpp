@@ -1,0 +1,115 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace logstruct::trace {
+
+std::span<const EventId> Trace::fanout(EventId send) const {
+  auto it = fanout_.find(send);
+  if (it == fanout_.end()) return {};
+  return it->second;
+}
+
+std::vector<EventId> Trace::receivers(EventId send) const {
+  std::vector<EventId> out;
+  const Event& e = event(send);
+  LS_CHECK(e.kind == EventKind::Send);
+  if (e.partner != kNone) out.push_back(e.partner);
+  auto extra = fanout(send);
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
+void Trace::for_each_dependency(
+    const std::function<void(EventId, EventId)>& fn) const {
+  for (EventId id = 0; id < num_events(); ++id) {
+    const Event& e = events_[static_cast<std::size_t>(id)];
+    if (e.kind != EventKind::Send) continue;
+    if (e.partner != kNone) fn(id, e.partner);
+    auto it = fanout_.find(id);
+    if (it != fanout_.end()) {
+      for (EventId r : it->second) fn(id, r);
+    }
+  }
+  for (const Collective& coll : collectives_) {
+    for (EventId s : coll.sends) {
+      for (EventId r : coll.recvs) fn(s, r);
+    }
+  }
+}
+
+bool Trace::is_runtime_event(EventId id) const {
+  const Event& e = event(id);
+  if (chares_[static_cast<std::size_t>(e.chare)].runtime) return true;
+  if (e.partner != kNone) {
+    const Event& p = event(e.partner);
+    if (chares_[static_cast<std::size_t>(p.chare)].runtime) return true;
+  }
+  if (e.kind == EventKind::Send) {
+    auto it = fanout_.find(id);
+    if (it != fanout_.end()) {
+      for (EventId r : it->second) {
+        if (chares_[static_cast<std::size_t>(event(r).chare)].runtime)
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+TimeNs Trace::total_idle(ProcId p) const {
+  TimeNs total = 0;
+  for (const IdleSpan& span : idles_) {
+    if (span.proc == p) total += span.end - span.begin;
+  }
+  return total;
+}
+
+TimeNs Trace::end_time() const {
+  TimeNs t = 0;
+  for (const SerialBlock& b : blocks_) t = std::max(t, b.end);
+  for (const IdleSpan& s : idles_) t = std::max(t, s.end);
+  return t;
+}
+
+void Trace::freeze() {
+  chare_blocks_.assign(chares_.size(), {});
+  proc_blocks_.assign(static_cast<std::size_t>(num_procs_), {});
+  chare_events_.assign(chares_.size(), {});
+
+  for (BlockId b = 0; b < num_blocks(); ++b) {
+    const SerialBlock& blk = blocks_[static_cast<std::size_t>(b)];
+    chare_blocks_[static_cast<std::size_t>(blk.chare)].push_back(b);
+    if (blk.proc >= 0 && blk.proc < num_procs_)
+      proc_blocks_[static_cast<std::size_t>(blk.proc)].push_back(b);
+  }
+  auto by_begin = [this](BlockId a, BlockId b) {
+    const SerialBlock& ba = blocks_[static_cast<std::size_t>(a)];
+    const SerialBlock& bb = blocks_[static_cast<std::size_t>(b)];
+    if (ba.begin != bb.begin) return ba.begin < bb.begin;
+    return a < b;
+  };
+  for (auto& list : chare_blocks_) std::sort(list.begin(), list.end(), by_begin);
+  for (auto& list : proc_blocks_) std::sort(list.begin(), list.end(), by_begin);
+
+  for (EventId e = 0; e < num_events(); ++e)
+    chare_events_[static_cast<std::size_t>(
+                      events_[static_cast<std::size_t>(e)].chare)]
+        .push_back(e);
+  auto by_time = [this](EventId a, EventId b) {
+    const Event& ea = events_[static_cast<std::size_t>(a)];
+    const Event& eb = events_[static_cast<std::size_t>(b)];
+    if (ea.time != eb.time) return ea.time < eb.time;
+    return a < b;
+  };
+  for (auto& list : chare_events_) std::sort(list.begin(), list.end(), by_time);
+
+  // Events inside each block must be in time order for the pipeline.
+  for (auto& blk : blocks_) {
+    std::sort(blk.events.begin(), blk.events.end(), by_time);
+  }
+}
+
+}  // namespace logstruct::trace

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file trace.hpp
+/// Immutable event trace container.
+///
+/// A Trace is produced by a TraceBuilder (fed by the simulators or the
+/// reader) and then frozen; the ordering pipeline and metrics only read it.
+
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/ids.hpp"
+
+namespace logstruct::trace {
+
+class TraceBuilder;
+class Trace;
+
+/// Declared here for friendship; see skew.hpp / io.hpp.
+Trace apply_clock_skew(const Trace& trace, std::span<const TimeNs> delta);
+Trace read_trace(std::istream& in);
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // --- table access ---------------------------------------------------
+  [[nodiscard]] std::span<const Event> events() const { return events_; }
+  [[nodiscard]] std::span<const SerialBlock> blocks() const { return blocks_; }
+  [[nodiscard]] std::span<const ChareInfo> chares() const { return chares_; }
+  [[nodiscard]] std::span<const ArrayInfo> arrays() const { return arrays_; }
+  [[nodiscard]] std::span<const EntryInfo> entries() const { return entries_; }
+  [[nodiscard]] std::span<const IdleSpan> idles() const { return idles_; }
+  [[nodiscard]] std::span<const Collective> collectives() const {
+    return collectives_;
+  }
+
+  [[nodiscard]] const Event& event(EventId id) const {
+    return events_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const SerialBlock& block(BlockId id) const {
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const ChareInfo& chare(ChareId id) const {
+    return chares_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const EntryInfo& entry(EntryId id) const {
+    return entries_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::int32_t num_procs() const { return num_procs_; }
+  [[nodiscard]] std::int32_t num_events() const {
+    return static_cast<std::int32_t>(events_.size());
+  }
+  [[nodiscard]] std::int32_t num_blocks() const {
+    return static_cast<std::int32_t>(blocks_.size());
+  }
+  [[nodiscard]] std::int32_t num_chares() const {
+    return static_cast<std::int32_t>(chares_.size());
+  }
+
+  // --- derived relations ----------------------------------------------
+  /// Additional receivers of a broadcast send (beyond Event::partner).
+  [[nodiscard]] std::span<const EventId> fanout(EventId send) const;
+
+  /// All receivers of a send: partner plus fanout. Empty if unmatched.
+  [[nodiscard]] std::vector<EventId> receivers(EventId send) const;
+
+  /// Invoke fn(send_event, recv_event) for every traced control dependency:
+  /// point-to-point matches, broadcast fan-outs, and the cross product of
+  /// each collective's sends x recvs.
+  void for_each_dependency(
+      const std::function<void(EventId, EventId)>& fn) const;
+
+  /// Blocks of a chare in begin-time order.
+  [[nodiscard]] std::span<const BlockId> blocks_of_chare(ChareId c) const {
+    return chare_blocks_[static_cast<std::size_t>(c)];
+  }
+
+  /// Blocks on a processor in begin-time order.
+  [[nodiscard]] std::span<const BlockId> blocks_of_proc(ProcId p) const {
+    return proc_blocks_[static_cast<std::size_t>(p)];
+  }
+
+  /// True iff the event touches the runtime: its own chare is a runtime
+  /// chare, or its traced partner's chare is (paper §3.1: partitions with
+  /// such dependencies are runtime partitions).
+  [[nodiscard]] bool is_runtime_event(EventId id) const;
+
+  /// True iff the chare is a runtime chare.
+  [[nodiscard]] bool is_runtime_chare(ChareId id) const {
+    return chares_[static_cast<std::size_t>(id)].runtime;
+  }
+
+  /// Events per chare in physical-time order (ties broken by id).
+  [[nodiscard]] std::span<const EventId> events_of_chare(ChareId c) const {
+    return chare_events_[static_cast<std::size_t>(c)];
+  }
+
+  /// Total recorded idle on one processor.
+  [[nodiscard]] TimeNs total_idle(ProcId p) const;
+
+  /// Latest timestamp in the trace (block ends and idle ends included).
+  [[nodiscard]] TimeNs end_time() const;
+
+ private:
+  friend class TraceBuilder;
+  friend Trace apply_clock_skew(const Trace& trace,
+                                std::span<const TimeNs> delta);
+  friend Trace read_trace(std::istream& in);
+
+  /// Build derived indices; called once by TraceBuilder::finish().
+  void freeze();
+
+  std::vector<Event> events_;
+  std::vector<SerialBlock> blocks_;
+  std::vector<ChareInfo> chares_;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<EntryInfo> entries_;
+  std::vector<IdleSpan> idles_;
+  std::vector<Collective> collectives_;
+  std::unordered_map<EventId, std::vector<EventId>> fanout_;
+  std::int32_t num_procs_ = 0;
+
+  // derived
+  std::vector<std::vector<BlockId>> chare_blocks_;
+  std::vector<std::vector<BlockId>> proc_blocks_;
+  std::vector<std::vector<EventId>> chare_events_;
+};
+
+}  // namespace logstruct::trace

@@ -1,0 +1,122 @@
+#include "trace/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace logstruct::trace {
+
+namespace {
+
+template <typename... Args>
+void problem(std::vector<std::string>& out, Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  out.push_back(os.str());
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Trace& trace) {
+  std::vector<std::string> out;
+
+  // Events: ranges, containment, partner symmetry.
+  for (EventId id = 0; id < trace.num_events(); ++id) {
+    const Event& e = trace.event(id);
+    if (e.block == kNone || e.block >= trace.num_blocks()) {
+      problem(out, "event ", id, " has invalid block ", e.block);
+      continue;
+    }
+    const SerialBlock& blk = trace.block(e.block);
+    if (e.chare != blk.chare)
+      problem(out, "event ", id, " chare differs from its block's chare");
+    if (e.proc != blk.proc)
+      problem(out, "event ", id, " proc differs from its block's proc");
+    if (e.time < blk.begin || e.time > blk.end)
+      problem(out, "event ", id, " at t=", e.time, " outside block span [",
+              blk.begin, ",", blk.end, "]");
+    if (std::find(blk.events.begin(), blk.events.end(), id) ==
+        blk.events.end())
+      problem(out, "event ", id, " missing from its block's event list");
+
+    if (e.partner != kNone) {
+      if (e.partner < 0 || e.partner >= trace.num_events()) {
+        problem(out, "event ", id, " has out-of-range partner ", e.partner);
+        continue;
+      }
+      const Event& p = trace.event(e.partner);
+      if (e.kind == p.kind)
+        problem(out, "event ", id, " partnered with same-kind event ",
+                e.partner);
+      if (e.kind == EventKind::Recv) {
+        if (p.time > e.time)
+          problem(out, "recv ", id, " occurs before its send ", e.partner);
+        auto rcvs = trace.receivers(e.partner);
+        if (std::find(rcvs.begin(), rcvs.end(), id) == rcvs.end())
+          problem(out, "recv ", id, " not among receivers of its send");
+      }
+    }
+  }
+
+  // Blocks: spans, per-proc non-overlap, triggers.
+  for (BlockId b = 0; b < trace.num_blocks(); ++b) {
+    const SerialBlock& blk = trace.block(b);
+    if (blk.end < blk.begin)
+      problem(out, "block ", b, " ends before it begins");
+    if (blk.trigger != kNone) {
+      const Event& t = trace.event(blk.trigger);
+      if (t.kind != EventKind::Recv)
+        problem(out, "block ", b, " trigger is not a recv");
+      if (t.block != b)
+        problem(out, "block ", b, " trigger belongs to another block");
+    }
+    for (std::size_t i = 1; i < blk.events.size(); ++i) {
+      if (trace.event(blk.events[i - 1]).time >
+          trace.event(blk.events[i]).time)
+        problem(out, "block ", b, " events not time-sorted");
+    }
+  }
+  for (ProcId p = 0; p < trace.num_procs(); ++p) {
+    auto list = trace.blocks_of_proc(p);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const SerialBlock& prev = trace.block(list[i - 1]);
+      const SerialBlock& cur = trace.block(list[i]);
+      if (cur.begin < prev.end)
+        problem(out, "blocks ", list[i - 1], " and ", list[i],
+                " overlap on proc ", p);
+    }
+  }
+
+  // Idle spans.
+  {
+    std::vector<IdleSpan> idles(trace.idles().begin(), trace.idles().end());
+    std::sort(idles.begin(), idles.end(), [](const IdleSpan& a,
+                                             const IdleSpan& b) {
+      if (a.proc != b.proc) return a.proc < b.proc;
+      return a.begin < b.begin;
+    });
+    for (std::size_t i = 0; i < idles.size(); ++i) {
+      if (idles[i].end <= idles[i].begin)
+        problem(out, "idle span ", i, " has non-positive length");
+      if (i > 0 && idles[i].proc == idles[i - 1].proc &&
+          idles[i].begin < idles[i - 1].end)
+        problem(out, "idle spans overlap on proc ", idles[i].proc);
+    }
+  }
+
+  // Collectives.
+  for (std::size_t c = 0; c < trace.collectives().size(); ++c) {
+    const Collective& coll = trace.collectives()[c];
+    for (EventId s : coll.sends) {
+      if (trace.event(s).kind != EventKind::Send)
+        problem(out, "collective ", c, " send member ", s, " is not a send");
+    }
+    for (EventId r : coll.recvs) {
+      if (trace.event(r).kind != EventKind::Recv)
+        problem(out, "collective ", c, " recv member ", r, " is not a recv");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace logstruct::trace

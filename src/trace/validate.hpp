@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file validate.hpp
+/// Structural validation of traces.
+///
+/// Unlike LS_CHECK (logic errors), these are *input* diagnostics: a trace
+/// read from disk or produced by a buggy tracing hook gets a list of
+/// human-readable problems instead of an abort.
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::trace {
+
+/// Returns a list of problems; empty means the trace is well-formed.
+/// Checks: event times inside their block spans, blocks time-ordered and
+/// non-overlapping per processor, partner symmetry (recv <-> send),
+/// triggers are receives owned by their block, idle spans positive and
+/// non-overlapping per processor, collective members have the right kinds.
+std::vector<std::string> validate(const Trace& trace);
+
+}  // namespace logstruct::trace

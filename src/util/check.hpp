@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight runtime checks that stay enabled in release builds.
+///
+/// The ordering pipeline relies on structural invariants (DAG-ness,
+/// partition consistency) whose violation indicates a logic error rather
+/// than bad input; those use LS_CHECK and abort with a message.  Input
+/// validation of traces uses the softer trace::validate machinery instead.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace logstruct::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "LS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace logstruct::util
+
+#define LS_CHECK(expr)                                                       \
+  do {                                                                       \
+    if (!(expr)) ::logstruct::util::check_failed(#expr, __FILE__, __LINE__,  \
+                                                 nullptr);                   \
+  } while (0)
+
+#define LS_CHECK_MSG(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) ::logstruct::util::check_failed(#expr, __FILE__, __LINE__,  \
+                                                 (msg));                     \
+  } while (0)

@@ -1,0 +1,67 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace logstruct::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+CsvWriter& CsvWriter::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::string_view value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return add(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  return add(std::string_view(std::to_string(value)));
+}
+
+std::string CsvWriter::escape(std::string_view value) {
+  bool needs_quote = value.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(value);
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << str();
+  return static_cast<bool>(f);
+}
+
+}  // namespace logstruct::util

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV emission for benchmark harnesses.
+///
+/// Benches print human-readable tables to stdout and, when given an output
+/// path, also dump machine-readable CSV so EXPERIMENTS.md numbers can be
+/// regenerated and post-processed.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logstruct::util {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// separators or quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent add() calls fill it left to right.
+  CsvWriter& row();
+
+  CsvWriter& add(std::string_view value);
+  CsvWriter& add(double value);
+  CsvWriter& add(std::int64_t value);
+  CsvWriter& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  CsvWriter& add(std::size_t value) {
+    return add(static_cast<std::int64_t>(value));
+  }
+
+  /// Serialize everything (header + rows).
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string escape(std::string_view value);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace logstruct::util

@@ -1,0 +1,115 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace logstruct::util {
+
+void Flags::define_int(const std::string& name, std::int64_t def,
+                       const std::string& help) {
+  flags_[name] = Flag{Kind::Int, std::to_string(def), std::to_string(def),
+                      help};
+}
+
+void Flags::define_bool(const std::string& name, bool def,
+                        const std::string& help) {
+  const char* v = def ? "true" : "false";
+  flags_[name] = Flag{Kind::Bool, v, v, help};
+}
+
+void Flags::define_string(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  flags_[name] = Flag{Kind::String, def, def, help};
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    auto it = flags_.find(name);
+    if (it == flags_.end() && name.rfind("no-", 0) == 0) {
+      // --no-foo for booleans.
+      auto base = flags_.find(name.substr(3));
+      if (base != flags_.end() && base->second.kind == Kind::Bool &&
+          !has_value) {
+        base->second.value = "false";
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::Bool) {
+        flag.value = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    flag.value = value;
+  }
+  return true;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  auto it = flags_.find(name);
+  LS_CHECK_MSG(it != flags_.end() && it->second.kind == Kind::Int,
+               "undeclared int flag");
+  return std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  auto it = flags_.find(name);
+  LS_CHECK_MSG(it != flags_.end() && it->second.kind == Kind::Bool,
+               "undeclared bool flag");
+  return it->second.value == "true" || it->second.value == "1";
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  auto it = flags_.find(name);
+  LS_CHECK_MSG(it != flags_.end() && it->second.kind == Kind::String,
+               "undeclared string flag");
+  return it->second.value;
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.def << ")  " << flag.help
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace logstruct::util

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file flags.hpp
+/// Tiny command-line flag parser shared by examples and figure harnesses.
+///
+/// Supports `--name=value`, `--name value`, and boolean `--name` /
+/// `--no-name`. Unrecognized flags are reported and make parse() fail, so a
+/// typo never silently runs the default experiment.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace logstruct::util {
+
+class Flags {
+ public:
+  /// Declare flags with defaults before parsing.
+  void define_int(const std::string& name, std::int64_t def,
+                  const std::string& help);
+  void define_bool(const std::string& name, bool def, const std::string& help);
+  void define_string(const std::string& name, const std::string& def,
+                     const std::string& help);
+
+  /// Parse argv; returns false (and prints usage) on error or --help.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { Int, Bool, String };
+  struct Flag {
+    Kind kind;
+    std::string value;
+    std::string def;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace logstruct::util

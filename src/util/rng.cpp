@@ -1,0 +1,5 @@
+#include "util/rng.hpp"
+
+// Header-only; this translation unit exists so the target has a concrete
+// object for the library and to keep a home for any future out-of-line
+// additions (distribution helpers, etc.).

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for simulators.
+///
+/// Every source of non-determinism in the Charm++/MPI simulators (network
+/// jitter, compute-time noise, queue tie-breaking, data-dependent work) is
+/// driven by an explicitly seeded Rng so that traces — and therefore every
+/// experiment — are bit-reproducible.
+
+#include <cstdint>
+
+namespace logstruct::util {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit generator.
+/// Not cryptographic; plenty for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return next() % bound;  // modulo bias negligible for our bounds
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent stream (e.g. one per processing element).
+  Rng fork(std::uint64_t stream) noexcept {
+    Rng child(state_ ^ (0xA24BAED4963EE407ULL * (stream + 1)));
+    child.next();
+    return child;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace logstruct::util

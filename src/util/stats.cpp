@@ -1,0 +1,53 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace logstruct::util {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+Summary summarize(std::span<const std::int64_t> values) {
+  std::vector<double> d(values.begin(), values.end());
+  return summarize(std::span<const double>(d));
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    double lx = std::log(x[i]);
+    double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  return (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+}  // namespace logstruct::util

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by metrics and bench summaries.
+
+#include <cstdint>
+#include <span>
+
+namespace logstruct::util {
+
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  std::size_t count = 0;
+};
+
+/// Descriptive summary of a sample; empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> values);
+Summary summarize(std::span<const std::int64_t> values);
+
+/// Least-squares slope of log(y) vs log(x); used by the scaling benches to
+/// report empirical complexity exponents. Points with x<=0 or y<=0 are
+/// skipped; fewer than two usable points yields 0.
+double loglog_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace logstruct::util

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock stopwatch for the extraction-time experiments (Figs. 18/19).
+
+#include <chrono>
+
+namespace logstruct::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace logstruct::util

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace logstruct::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TablePrinter& TablePrinter::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::add(std::string_view value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+TablePrinter& TablePrinter::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return add(std::string_view(buf));
+}
+
+TablePrinter& TablePrinter::add(std::int64_t value) {
+  return add(std::string_view(std::to_string(value)));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << cell;
+      if (i + 1 < width.size())
+        os << std::string(width[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < width.size(); ++i)
+    total += width[i] + (i + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace logstruct::util

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned plain-text tables for bench/ output.
+///
+/// Every figure/table harness reports the same rows or series the paper
+/// shows; TablePrinter keeps that output readable in a terminal and in the
+/// captured bench_output.txt.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logstruct::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  TablePrinter& row();
+  TablePrinter& add(std::string_view value);
+  TablePrinter& add(double value, int precision = 3);
+  TablePrinter& add(std::int64_t value);
+  TablePrinter& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  TablePrinter& add(std::size_t value) {
+    return add(static_cast<std::int64_t>(value));
+  }
+
+  /// Render with aligned columns and a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace logstruct::util

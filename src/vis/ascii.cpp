@@ -1,0 +1,189 @@
+#include "vis/ascii.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "vis/color.hpp"
+
+namespace logstruct::vis {
+
+namespace {
+
+/// Row order: application chares by (array, index, id), runtime chares at
+/// the bottom (paper's convention).
+std::vector<trace::ChareId> row_order(const trace::Trace& trace) {
+  std::vector<trace::ChareId> rows;
+  for (trace::ChareId c = 0; c < trace.num_chares(); ++c) rows.push_back(c);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](trace::ChareId a, trace::ChareId b) {
+                     const auto& ca = trace.chare(a);
+                     const auto& cb = trace.chare(b);
+                     if (ca.runtime != cb.runtime) return cb.runtime;
+                     if (ca.array != cb.array) return ca.array < cb.array;
+                     if (ca.index != cb.index) return ca.index < cb.index;
+                     return a < b;
+                   });
+  return rows;
+}
+
+std::string legend(const trace::Trace&,
+                   const order::LogicalStructure& ls) {
+  std::ostringstream os;
+  os << "phases: ";
+  std::int32_t shown = 0;
+  for (std::int32_t p = 0; p < ls.num_phases() && shown < 20; ++p, ++shown) {
+    os << categorical_glyph(p) << "=" << p
+       << (ls.phases.runtime[static_cast<std::size_t>(p)] ? "(rt)" : "")
+       << ' ';
+  }
+  if (ls.num_phases() > 20) os << "... (" << ls.num_phases() << " total)";
+  os << '\n';
+  return os.str();
+}
+
+std::string render_grid(const trace::Trace& trace,
+                        const order::LogicalStructure& ls,
+                        const AsciiOptions& opts,
+                        const std::vector<std::int32_t>& col_of_event,
+                        std::int32_t num_cols, const std::string& title) {
+  std::int32_t cols = std::min(num_cols, opts.max_cols);
+  auto squeeze = [&](std::int32_t col) {
+    if (num_cols <= opts.max_cols) return col;
+    return static_cast<std::int32_t>(
+        static_cast<std::int64_t>(col) * cols / num_cols);
+  };
+
+  std::vector<trace::ChareId> rows = row_order(trace);
+  std::vector<std::int32_t> row_of(static_cast<std::size_t>(
+                                       trace.num_chares()),
+                                   -1);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    row_of[static_cast<std::size_t>(rows[i])] = static_cast<std::int32_t>(i);
+
+  std::vector<std::string> grid(
+      rows.size(), std::string(static_cast<std::size_t>(cols), '.'));
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    std::int32_t col = squeeze(col_of_event[static_cast<std::size_t>(e)]);
+    std::int32_t row = row_of[static_cast<std::size_t>(trace.event(e).chare)];
+    char glyph = categorical_glyph(
+        ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+        glyph;
+  }
+
+  std::size_t name_w = 0;
+  for (trace::ChareId c : rows)
+    name_w = std::max(name_w, trace.chare(c).name.size());
+  name_w = std::min<std::size_t>(name_w, 22);
+
+  std::ostringstream os;
+  os << title << '\n';
+  bool printed_rt_rule = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& info = trace.chare(rows[i]);
+    if (info.runtime && !printed_rt_rule) {
+      os << std::string(name_w + 2 + static_cast<std::size_t>(cols), '-')
+         << '\n';
+      printed_rt_rule = true;
+    }
+    std::string name = info.name.substr(0, name_w);
+    os << name << std::string(name_w - name.size() + 2, ' ') << grid[i]
+       << '\n';
+  }
+  if (opts.show_legend) os << legend(trace, ls);
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_logical_ascii(const trace::Trace& trace,
+                                 const order::LogicalStructure& ls,
+                                 const AsciiOptions& opts) {
+  std::vector<std::int32_t> col(ls.global_step.begin(),
+                                ls.global_step.end());
+  return render_grid(trace, ls, opts, col, ls.max_step + 1,
+                     "logical structure (cols = global steps)");
+}
+
+std::string render_metric_ascii(const trace::Trace& trace,
+                                const order::LogicalStructure& ls,
+                                std::span<const double> values,
+                                bool logical, const AsciiOptions& opts) {
+  double vmax = 0;
+  for (double v : values) vmax = std::max(vmax, v);
+
+  std::int32_t num_cols = logical ? ls.max_step + 1 : opts.max_cols;
+  std::int32_t cols = std::min(num_cols, opts.max_cols);
+  trace::TimeNs end = std::max<trace::TimeNs>(trace.end_time(), 1);
+  auto col_of = [&](trace::EventId e) {
+    std::int32_t col =
+        logical ? ls.global_step[static_cast<std::size_t>(e)]
+                : static_cast<std::int32_t>(trace.event(e).time *
+                                            (opts.max_cols - 1) / end);
+    if (num_cols <= opts.max_cols) return col;
+    return static_cast<std::int32_t>(static_cast<std::int64_t>(col) * cols /
+                                     num_cols);
+  };
+
+  std::vector<trace::ChareId> rows = row_order(trace);
+  std::vector<std::int32_t> row_of(
+      static_cast<std::size_t>(trace.num_chares()), -1);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    row_of[static_cast<std::size_t>(rows[i])] = static_cast<std::int32_t>(i);
+
+  std::vector<std::string> grid(
+      rows.size(), std::string(static_cast<std::size_t>(cols), '.'));
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    double v = values[static_cast<std::size_t>(e)];
+    char glyph = '0';
+    if (v > 0 && vmax > 0) {
+      int bucket = 1 + static_cast<int>(v / vmax * 8.0);
+      glyph = static_cast<char>('0' + std::min(bucket, 9));
+    }
+    char& cell = grid[static_cast<std::size_t>(row_of[static_cast<
+        std::size_t>(trace.event(e).chare)])][static_cast<std::size_t>(
+        col_of(e))];
+    if (glyph > cell || cell == '.') cell = glyph == '0' ? '0' : glyph;
+  }
+
+  std::size_t name_w = 0;
+  for (trace::ChareId c : rows)
+    name_w = std::max(name_w, trace.chare(c).name.size());
+  name_w = std::min<std::size_t>(name_w, 22);
+
+  std::ostringstream os;
+  os << (logical ? "metric over logical steps" : "metric over physical time")
+     << " (0 = zero, 9 = max)\n";
+  bool rt_rule = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& info = trace.chare(rows[i]);
+    if (info.runtime && !rt_rule) {
+      os << std::string(name_w + 2 + static_cast<std::size_t>(cols), '-')
+         << '\n';
+      rt_rule = true;
+    }
+    std::string name = info.name.substr(0, name_w);
+    os << name << std::string(name_w - name.size() + 2, ' ') << grid[i]
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string render_physical_ascii(const trace::Trace& trace,
+                                  const order::LogicalStructure& ls,
+                                  const AsciiOptions& opts) {
+  trace::TimeNs end = std::max<trace::TimeNs>(trace.end_time(), 1);
+  std::int32_t cols = opts.max_cols;
+  std::vector<std::int32_t> col(static_cast<std::size_t>(trace.num_events()),
+                                0);
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    col[static_cast<std::size_t>(e)] = static_cast<std::int32_t>(
+        trace.event(e).time * (cols - 1) / end);
+  }
+  AsciiOptions local = opts;
+  return render_grid(trace, ls, local, col, cols,
+                     "physical time (cols = time bins)");
+}
+
+}  // namespace logstruct::vis

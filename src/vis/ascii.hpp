@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file ascii.hpp
+/// Terminal rendering of logical structure and physical timelines.
+///
+/// Rows are timelines — application chares first (by array and index),
+/// runtime chares grouped at the bottom as in the paper's figures. In the
+/// logical view, columns are global steps and cells show the phase glyph;
+/// in the physical view, columns are time bins.
+
+#include <span>
+#include <string>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::vis {
+
+struct AsciiOptions {
+  std::int32_t max_cols = 160;  ///< wider structures are range-compressed
+  bool show_legend = true;
+};
+
+/// Logical-structure view: chare x global-step grid colored by phase.
+std::string render_logical_ascii(const trace::Trace& trace,
+                                 const order::LogicalStructure& ls,
+                                 const AsciiOptions& opts = {});
+
+/// Physical-time view: chare x time-bin grid colored by phase.
+std::string render_physical_ascii(const trace::Trace& trace,
+                                  const order::LogicalStructure& ls,
+                                  const AsciiOptions& opts = {});
+
+/// Metric view (the paper's Figs. 12/14/15 colorings in ASCII): events
+/// drawn at their logical (or physical) position with a 1-9 intensity
+/// glyph scaled to the metric's maximum ('.' = zero/absent).
+std::string render_metric_ascii(const trace::Trace& trace,
+                                const order::LogicalStructure& ls,
+                                std::span<const double> values,
+                                bool logical = true,
+                                const AsciiOptions& opts = {});
+
+}  // namespace logstruct::vis

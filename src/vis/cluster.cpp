@@ -1,0 +1,115 @@
+#include "vis/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "vis/color.hpp"
+
+namespace logstruct::vis {
+
+namespace {
+
+/// Cluster key: a flat integer sequence describing the chare's logical
+/// behaviour at the requested granularity.
+std::vector<std::int64_t> key_of(const trace::Trace& trace,
+                                 const order::LogicalStructure& ls,
+                                 trace::ChareId c, ClusterBy by) {
+  std::vector<std::int64_t> key;
+  key.push_back(trace.chare(c).runtime ? 1 : 0);
+  const auto& seq = ls.chare_sequence[static_cast<std::size_t>(c)];
+  if (by == ClusterBy::ExactSteps) {
+    for (trace::EventId e : seq) {
+      key.push_back(ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
+      key.push_back(ls.local_step[static_cast<std::size_t>(e)]);
+      key.push_back(trace.event(e).kind == trace::EventKind::Recv);
+    }
+    return key;
+  }
+  // StepEnvelope: per touched phase (in sequence order): phase id, event
+  // count, first and last local steps.
+  std::int32_t cur_phase = -1;
+  std::int64_t count = 0, first = 0, last = 0;
+  auto flush = [&] {
+    if (cur_phase < 0) return;
+    key.push_back(cur_phase);
+    key.push_back(count);
+    key.push_back(first);
+    key.push_back(last);
+  };
+  for (trace::EventId e : seq) {
+    std::int32_t ph = ls.phases.phase_of_event[static_cast<std::size_t>(e)];
+    std::int32_t st = ls.local_step[static_cast<std::size_t>(e)];
+    if (ph != cur_phase) {
+      flush();
+      cur_phase = ph;
+      count = 0;
+      first = st;
+    }
+    ++count;
+    last = st;
+  }
+  flush();
+  return key;
+}
+
+}  // namespace
+
+std::vector<ChareCluster> cluster_chares(const trace::Trace& trace,
+                                         const order::LogicalStructure& ls,
+                                         ClusterBy by) {
+  std::map<std::vector<std::int64_t>, ChareCluster> buckets;
+  for (trace::ChareId c = 0; c < trace.num_chares(); ++c) {
+    ChareCluster& cluster = buckets[key_of(trace, ls, c, by)];
+    cluster.chares.push_back(c);
+    cluster.runtime = trace.chare(c).runtime;
+  }
+  std::vector<ChareCluster> out;
+  out.reserve(buckets.size());
+  for (auto& [key, cluster] : buckets) out.push_back(std::move(cluster));
+  std::sort(out.begin(), out.end(),
+            [](const ChareCluster& a, const ChareCluster& b) {
+              if (a.runtime != b.runtime) return b.runtime;
+              return a.exemplar() < b.exemplar();
+            });
+  return out;
+}
+
+std::string render_clustered_ascii(const trace::Trace& trace,
+                                   const order::LogicalStructure& ls,
+                                   ClusterBy by, std::int32_t max_cols) {
+  auto clusters = cluster_chares(trace, ls, by);
+  std::int32_t cols = std::min(ls.max_step + 1, max_cols);
+  auto squeeze = [&](std::int32_t col) {
+    if (ls.max_step + 1 <= max_cols) return col;
+    return static_cast<std::int32_t>(static_cast<std::int64_t>(col) * cols /
+                                     (ls.max_step + 1));
+  };
+
+  std::ostringstream os;
+  os << "clustered logical structure (" << clusters.size()
+     << " classes for " << trace.num_chares() << " chares)\n";
+  bool rt_rule = false;
+  for (const ChareCluster& cluster : clusters) {
+    if (cluster.runtime && !rt_rule) {
+      os << std::string(30 + static_cast<std::size_t>(cols), '-') << '\n';
+      rt_rule = true;
+    }
+    std::string row(static_cast<std::size_t>(cols), '.');
+    for (trace::EventId e :
+         ls.chare_sequence[static_cast<std::size_t>(cluster.exemplar())]) {
+      row[static_cast<std::size_t>(squeeze(
+          ls.global_step[static_cast<std::size_t>(e)]))] =
+          categorical_glyph(
+              ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
+    }
+    std::ostringstream label;
+    label << trace.chare(cluster.exemplar()).name << " x"
+          << cluster.chares.size();
+    std::string name = label.str().substr(0, 28);
+    os << name << std::string(30 - name.size(), ' ') << row << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace logstruct::vis

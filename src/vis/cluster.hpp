@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file cluster.hpp
+/// Chare-timeline clustering (paper §9: "new visualization techniques are
+/// needed that scale to large numbers of parallel tasks").
+///
+/// Chares whose logical behaviour is identical — same phases, same event
+/// counts, same step envelope per phase — collapse into one cluster row.
+/// Regular applications compress drastically (a 2D Jacobi's 64 chares
+/// reduce to corner/edge/interior classes), letting the logical view stay
+/// readable at chare counts where one-row-per-chare cannot.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::vis {
+
+struct ChareCluster {
+  /// Member chares, ascending id. The first member is the exemplar drawn
+  /// for the whole cluster.
+  std::vector<trace::ChareId> chares;
+  bool runtime = false;
+  [[nodiscard]] trace::ChareId exemplar() const { return chares.front(); }
+};
+
+/// Cluster key granularity.
+enum class ClusterBy {
+  /// (phase, #events, first step, last step) per phase the chare touches.
+  StepEnvelope,
+  /// Exact per-event (phase, local step) sequences — only bit-identical
+  /// timelines merge.
+  ExactSteps,
+};
+
+/// Partition all chares into clusters; clusters are ordered like the
+/// timeline views (application first, runtime last, then by exemplar).
+std::vector<ChareCluster> cluster_chares(
+    const trace::Trace& trace, const order::LogicalStructure& ls,
+    ClusterBy by = ClusterBy::StepEnvelope);
+
+/// Logical-structure ASCII view with one row per cluster: the exemplar's
+/// timeline annotated with the cluster's size.
+std::string render_clustered_ascii(const trace::Trace& trace,
+                                   const order::LogicalStructure& ls,
+                                   ClusterBy by = ClusterBy::StepEnvelope,
+                                   std::int32_t max_cols = 160);
+
+}  // namespace logstruct::vis

@@ -1,0 +1,56 @@
+#include "vis/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace logstruct::vis {
+
+std::string Rgb::hex() const {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+namespace {
+
+Rgb hsl_to_rgb(double h, double s, double l) {
+  auto f = [&](double n) {
+    double k = std::fmod(n + h / 30.0, 12.0);
+    double a = s * std::min(l, 1 - l);
+    double v = l - a * std::max(-1.0, std::min({k - 3, 9 - k, 1.0}));
+    return static_cast<std::uint8_t>(std::lround(255 * v));
+  };
+  return Rgb{f(0), f(8), f(4)};
+}
+
+}  // namespace
+
+Rgb categorical_color(std::int32_t i) {
+  // Golden-angle hue walk; alternate lightness bands to separate
+  // neighbors further.
+  double hue = std::fmod(static_cast<double>(i) * 137.50776, 360.0);
+  double light = (i % 3 == 0) ? 0.55 : (i % 3 == 1 ? 0.42 : 0.68);
+  return hsl_to_rgb(hue, 0.62, light);
+}
+
+Rgb ramp_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // white (t=0) -> orange -> dark red (t=1)
+  double r = 1.0 - 0.25 * t;
+  double g = 1.0 - 0.85 * t;
+  double b = 1.0 - 0.95 * t;
+  return Rgb{static_cast<std::uint8_t>(std::lround(255 * r)),
+             static_cast<std::uint8_t>(std::lround(255 * g)),
+             static_cast<std::uint8_t>(std::lround(255 * b))};
+}
+
+char categorical_glyph(std::int32_t i) {
+  if (i < 0) return '?';
+  if (i < 26) return static_cast<char>('A' + i);
+  if (i < 52) return static_cast<char>('a' + (i - 26));
+  if (i < 62) return static_cast<char>('0' + (i - 52));
+  return '#';
+}
+
+}  // namespace logstruct::vis

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file color.hpp
+/// Color assignment for structure views: categorical colors per phase
+/// (golden-angle hue walk) and a sequential ramp for metric values.
+
+#include <cstdint>
+#include <string>
+
+namespace logstruct::vis {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Distinct, stable color for category index i.
+Rgb categorical_color(std::int32_t i);
+
+/// Sequential white->orange->red ramp for t in [0, 1].
+Rgb ramp_color(double t);
+
+/// Single printable glyph for category i ('A'-'Z', 'a'-'z', '0'-'9', then
+/// '#').
+char categorical_glyph(std::int32_t i);
+
+}  // namespace logstruct::vis

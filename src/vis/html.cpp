@@ -1,0 +1,216 @@
+#include "vis/html.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "vis/color.hpp"
+
+namespace logstruct::vis {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<trace::ChareId> lane_order(const trace::Trace& trace) {
+  std::vector<trace::ChareId> rows;
+  for (trace::ChareId c = 0; c < trace.num_chares(); ++c) rows.push_back(c);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](trace::ChareId a, trace::ChareId b) {
+                     const auto& ca = trace.chare(a);
+                     const auto& cb = trace.chare(b);
+                     if (ca.runtime != cb.runtime) return cb.runtime;
+                     if (ca.array != cb.array) return ca.array < cb.array;
+                     if (ca.index != cb.index) return ca.index < cb.index;
+                     return a < b;
+                   });
+  return rows;
+}
+
+// The entire viewer: data is substituted for the __DATA__ marker.
+constexpr const char* kTemplate = R"HTML(<!doctype html>
+<html><head><meta charset="utf-8"><title>__TITLE__</title>
+<style>
+ body{margin:0;font:13px sans-serif;background:#fafafa}
+ #bar{padding:6px 10px;background:#222;color:#eee;display:flex;gap:14px;align-items:center}
+ #bar b{font-size:14px}
+ #bar button{background:#444;color:#eee;border:1px solid #666;padding:3px 10px;cursor:pointer}
+ #bar button.on{background:#0a6}
+ #tip{position:fixed;pointer-events:none;background:#222;color:#fff;padding:4px 8px;
+      border-radius:3px;display:none;white-space:pre;font:12px monospace;z-index:9}
+ canvas{display:block}
+</style></head><body>
+<div id="bar"><b>__TITLE__</b>
+ <button id="mode" class="on">logical steps</button>
+ <button id="color">color: phase</button>
+ <span id="info"></span>
+ <span style="margin-left:auto;opacity:.7">wheel = zoom x &nbsp; drag = pan &nbsp; hover = details</span>
+</div>
+<div id="tip"></div><canvas id="cv"></canvas>
+<script>
+const D = __DATA__;
+const cv = document.getElementById('cv'), ctx = cv.getContext('2d');
+const tip = document.getElementById('tip');
+let logical = true, byMetric = false;
+let zoom = 1, panX = 0, drag = null;
+const LANE = 16, TOP = 4, NAMEW = 170;
+function resize(){ cv.width = innerWidth; cv.height = D.lanes.length*LANE + TOP + 20; draw(); }
+function xmax(){ return logical ? D.maxStep+1 : D.endTime; }
+function ex(e){ return logical ? e[1] : e[3]; }
+function X(v){ return NAMEW + (v/xmax())*(cv.width-NAMEW-10)*zoom + panX; }
+function draw(){
+  ctx.clearRect(0,0,cv.width,cv.height);
+  ctx.fillStyle='#fff'; ctx.fillRect(0,0,cv.width,cv.height);
+  ctx.font='11px monospace';
+  for(let i=0;i<D.lanes.length;i++){
+    const y = TOP + i*LANE;
+    if(D.lanes[i][1] && (i===0 || !D.lanes[i-1][1])){
+      ctx.strokeStyle='#888'; ctx.setLineDash([5,4]);
+      ctx.beginPath(); ctx.moveTo(0,y-1); ctx.lineTo(cv.width,y-1); ctx.stroke();
+      ctx.setLineDash([]);
+    }
+    ctx.fillStyle = D.lanes[i][1] ? '#a55' : '#333';
+    ctx.fillText(D.lanes[i][0].slice(0,24), 4, y+11);
+  }
+  for(const e of D.events){
+    const x = X(ex(e)); if(x < NAMEW-14 || x > cv.width) continue;
+    const y = TOP + e[0]*LANE;
+    ctx.fillStyle = byMetric ? D.ramp[e[5]] : D.pal[e[2] % D.pal.length];
+    ctx.fillRect(x, y+1, Math.max(3, 12*zoom**.25), LANE-4);
+  }
+  document.getElementById('info').textContent =
+    D.events.length+' events, '+D.phases+' phases, '+(D.maxStep+1)+' steps';
+}
+function hit(mx,my){
+  const lane = Math.floor((my-TOP)/LANE);
+  let best=null, bd=14;
+  for(const e of D.events){
+    if(e[0]!==lane) continue;
+    const d = Math.abs(X(ex(e))-mx);
+    if(d<bd){bd=d;best=e;}
+  }
+  return best;
+}
+cv.onmousemove = ev=>{
+  if(drag){ panX += ev.clientX-drag; drag=ev.clientX; draw(); return; }
+  const e = hit(ev.clientX, ev.clientY-cv.getBoundingClientRect().top);
+  if(!e){ tip.style.display='none'; return; }
+  tip.style.display='block';
+  tip.style.left=(ev.clientX+14)+'px'; tip.style.top=(ev.clientY+8)+'px';
+  tip.textContent = D.lanes[e[0]][0]+'\nstep '+e[1]+'  phase '+e[2]+
+    '\nt = '+(e[3]/1000).toFixed(2)+' us  '+(e[4]? 'recv':'send')+
+    (D.metricName ? '\n'+D.metricName+' = '+e[6] : '');
+};
+cv.onmousedown = ev=>{ drag = ev.clientX; };
+window.onmouseup = ()=>{ drag=null; };
+cv.onwheel = ev=>{ ev.preventDefault();
+  const f = ev.deltaY<0 ? 1.2 : 1/1.2;
+  const ax = ev.clientX - NAMEW - panX;
+  zoom = Math.max(1, Math.min(2000, zoom*f));
+  panX = ev.clientX - NAMEW - ax*f*(zoom>1?1:0) - (zoom===1?0:0);
+  if(zoom===1) panX=0;
+  draw();
+};
+document.getElementById('mode').onclick = function(){
+  logical=!logical; this.textContent = logical?'logical steps':'physical time';
+  this.classList.toggle('on',logical); zoom=1; panX=0; draw();
+};
+document.getElementById('color').onclick = function(){
+  byMetric=!byMetric; this.textContent = 'color: '+(byMetric?D.metricName:'phase');
+  draw();
+};
+window.onresize = resize; resize();
+</script></body></html>
+)HTML";
+
+}  // namespace
+
+std::string render_html(const trace::Trace& trace,
+                        const order::LogicalStructure& ls,
+                        const HtmlOptions& opts) {
+  auto lanes = lane_order(trace);
+  std::vector<std::int32_t> lane_of(
+      static_cast<std::size_t>(trace.num_chares()), 0);
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    lane_of[static_cast<std::size_t>(lanes[i])] =
+        static_cast<std::int32_t>(i);
+
+  double vmax = 0;
+  for (double v : opts.metric) vmax = std::max(vmax, v);
+
+  std::ostringstream data;
+  data << "{\"lanes\":[";
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const auto& info = trace.chare(lanes[i]);
+    data << (i ? "," : "") << "[\"" << json_escape(info.name) << "\","
+         << (info.runtime ? 1 : 0) << "]";
+  }
+  data << "],\"events\":[";
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    const auto& ev = trace.event(e);
+    double metric =
+        opts.metric.empty() ? 0.0
+                            : opts.metric[static_cast<std::size_t>(e)];
+    int ramp_idx =
+        vmax > 0 ? static_cast<int>(metric / vmax * 15.0) : 0;
+    ramp_idx = std::clamp(ramp_idx, 0, 15);
+    data << (e ? "," : "") << "["
+         << lane_of[static_cast<std::size_t>(ev.chare)] << ","
+         << ls.global_step[static_cast<std::size_t>(e)] << ","
+         << ls.phases.phase_of_event[static_cast<std::size_t>(e)] << ","
+         << ev.time << ","
+         << (ev.kind == trace::EventKind::Recv ? 1 : 0) << "," << ramp_idx
+         << "," << metric << "]";
+  }
+  data << "],\"pal\":[";
+  for (int i = 0; i < 24; ++i)
+    data << (i ? "," : "") << "\"" << categorical_color(i).hex() << "\"";
+  data << "],\"ramp\":[";
+  for (int i = 0; i < 16; ++i)
+    data << (i ? "," : "") << "\"" << ramp_color(i / 15.0).hex() << "\"";
+  data << "],\"maxStep\":" << ls.max_step
+       << ",\"endTime\":" << std::max<trace::TimeNs>(trace.end_time(), 1)
+       << ",\"phases\":" << ls.num_phases() << ",\"metricName\":\""
+       << (opts.metric.empty() ? "" : json_escape(opts.metric_name))
+       << "\"}";
+
+  std::string html = kTemplate;
+  auto replace_all = [&html](const std::string& from, const std::string& to) {
+    for (std::size_t pos = 0;
+         (pos = html.find(from, pos)) != std::string::npos;
+         pos += to.size()) {
+      html.replace(pos, from.size(), to);
+    }
+  };
+  replace_all("__TITLE__", json_escape(opts.title));
+  replace_all("__DATA__", data.str());
+  return html;
+}
+
+bool save_html(const trace::Trace& trace, const order::LogicalStructure& ls,
+               const std::string& path, const HtmlOptions& opts) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render_html(trace, ls, opts);
+  return static_cast<bool>(f);
+}
+
+}  // namespace logstruct::vis

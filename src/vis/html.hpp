@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file html.hpp
+/// Self-contained interactive HTML viewer for a logical structure.
+///
+/// Produces a single .html file (no external assets) with both views the
+/// paper juxtaposes — logical steps and physical time — on a zoomable
+/// canvas: wheel zooms the x-axis, drag pans, hovering an event shows its
+/// chare, step, phase, timestamp, and (optionally) a metric value. Rows
+/// follow the paper's layout: application chares on top, runtime chares
+/// below a divider.
+
+#include <string>
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::vis {
+
+struct HtmlOptions {
+  std::string title = "logical structure";
+  /// Optional per-event metric for ramp coloring and tooltips.
+  std::vector<double> metric;
+  std::string metric_name = "metric";
+};
+
+std::string render_html(const trace::Trace& trace,
+                        const order::LogicalStructure& ls,
+                        const HtmlOptions& opts = {});
+
+/// Convenience: render and write; returns false on I/O failure.
+bool save_html(const trace::Trace& trace, const order::LogicalStructure& ls,
+               const std::string& path, const HtmlOptions& opts = {});
+
+}  // namespace logstruct::vis

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file svg.hpp
+/// SVG rendering of logical-structure and physical-time views, in the
+/// style of the paper's Ravel figures: one lane per timeline (application
+/// chares on top, runtime chares below a divider), boxes per event or
+/// serial block, colorable by phase or by a per-event metric, recorded
+/// idle drawn as thin black bars in the physical view.
+
+#include <string>
+#include <vector>
+
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::vis {
+
+struct SvgOptions {
+  double cell_w = 14;
+  double cell_h = 12;
+  double lane_gap = 3;
+  /// Optional per-event values (e.g. a metric); when non-empty, cells are
+  /// colored on the white->red ramp by value/max instead of by phase.
+  std::vector<double> values;
+};
+
+std::string render_logical_svg(const trace::Trace& trace,
+                               const order::LogicalStructure& ls,
+                               const SvgOptions& opts = {});
+
+std::string render_physical_svg(const trace::Trace& trace,
+                                const order::LogicalStructure& ls,
+                                const SvgOptions& opts = {});
+
+}  // namespace logstruct::vis

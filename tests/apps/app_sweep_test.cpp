@@ -1,0 +1,163 @@
+/// Parameterized sweeps over app configurations: every supported shape
+/// must produce a valid trace and a sound structure. These catch
+/// generator edge cases (degenerate grids, extreme placements, toggles)
+/// that the focused tests don't reach.
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lassen.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/mergetree.hpp"
+#include "apps/nasbt.hpp"
+#include "apps/pdes.hpp"
+#include "order/stepping.hpp"
+#include "order/validate.hpp"
+#include "trace/validate.hpp"
+
+namespace logstruct::apps {
+namespace {
+
+void expect_sound(const trace::Trace& t, const order::Options& opts) {
+  auto tp = trace::validate(t);
+  ASSERT_TRUE(tp.empty()) << tp.front();
+  order::LogicalStructure ls = order::extract_structure(t, opts);
+  auto sp = order::validate_structure(t, ls);
+  EXPECT_TRUE(sp.empty()) << sp.front();
+}
+
+// --- Jacobi grid shapes -----------------------------------------------------
+
+class JacobiShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(JacobiShapes, Sound) {
+  auto [cx, cy, pes] = GetParam();
+  Jacobi2DConfig cfg;
+  cfg.chares_x = cx;
+  cfg.chares_y = cy;
+  cfg.num_pes = pes;
+  cfg.iterations = 2;
+  expect_sound(run_jacobi2d(cfg), order::Options::charm());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JacobiShapes,
+    ::testing::Values(std::tuple{1, 1, 1},    // degenerate single chare
+                      std::tuple{8, 1, 2},    // 1D strip
+                      std::tuple{1, 8, 4},    // transposed strip
+                      std::tuple{3, 5, 7},    // ragged, odd PE count
+                      std::tuple{2, 2, 8}));  // more PEs than... chares<pes
+                                              // hosts empty PEs
+
+TEST(JacobiShapes, RoundRobinPlacement) {
+  Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  cfg.placement = sim::charm::Placement::RoundRobin;
+  expect_sound(run_jacobi2d(cfg), order::Options::charm());
+}
+
+// --- LULESH grids -------------------------------------------------------------
+
+class LuleshShapes : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(LuleshShapes, CharmSound) {
+  auto [n, pes] = GetParam();
+  LuleshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = n;
+  cfg.num_pes = pes;
+  cfg.iterations = 2;
+  expect_sound(run_lulesh_charm(cfg), order::Options::charm());
+}
+
+TEST_P(LuleshShapes, MpiSound) {
+  auto [n, pes] = GetParam();
+  (void)pes;
+  LuleshConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = n;
+  cfg.iterations = 2;
+  expect_sound(run_lulesh_mpi(cfg), order::Options::mpi_baseline13());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LuleshShapes,
+                         ::testing::Values(std::tuple{1, 1},
+                                           std::tuple{2, 3},
+                                           std::tuple{3, 8}));
+
+TEST(LuleshShapes, TreeCollectivesSound) {
+  LuleshConfig cfg;
+  cfg.iterations = 2;
+  cfg.tree_collectives = true;
+  expect_sound(run_lulesh_mpi(cfg), order::Options::mpi_baseline13());
+}
+
+// --- LASSEN fronts --------------------------------------------------------------
+
+class LassenFronts
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LassenFronts, Sound) {
+  auto [r0, dr] = GetParam();
+  LassenConfig cfg;
+  cfg.iterations = 4;
+  cfg.front_r0 = r0;
+  cfg.front_dr = dr;
+  expect_sound(run_lassen_charm(cfg), order::Options::charm());
+  expect_sound(run_lassen_mpi(cfg), order::Options::mpi_baseline13());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fronts, LassenFronts,
+                         ::testing::Values(std::tuple{0.0, 0.0},  // no front
+                                           std::tuple{0.5, 0.3},
+                                           std::tuple{2.0, 0.0}));  // outside
+
+// --- PDES shapes ------------------------------------------------------------------
+
+class PdesShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(PdesShapes, SoundBothTracingModes) {
+  auto [chares, pes, windows] = GetParam();
+  PdesConfig cfg;
+  cfg.num_chares = chares;
+  cfg.num_pes = pes;
+  cfg.windows = windows;
+  for (bool traced : {false, true}) {
+    cfg.trace_detector_calls = traced;
+    expect_sound(run_pdes(cfg), order::Options::charm());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PdesShapes,
+                         ::testing::Values(std::tuple{2, 1, 1},
+                                           std::tuple{16, 4, 3},
+                                           std::tuple{9, 3, 2}));
+
+// --- merge tree / BT sizes ------------------------------------------------------------
+
+TEST(MergeTreeShapes, TwoRanks) {
+  MergeTreeConfig cfg;
+  cfg.num_ranks = 2;
+  expect_sound(run_mergetree_mpi(cfg), order::Options::mpi());
+}
+
+TEST(MergeTreeShapes, NoImbalance) {
+  MergeTreeConfig cfg;
+  cfg.num_ranks = 16;
+  cfg.imbalance = 0.0;
+  expect_sound(run_mergetree_mpi(cfg), order::Options::mpi_baseline13());
+}
+
+TEST(NasBtShapes, LargerGrid) {
+  NasBtConfig cfg;
+  cfg.grid = 5;
+  cfg.iterations = 3;
+  expect_sound(run_nasbt_mpi(cfg), order::Options::mpi());
+}
+
+}  // namespace
+}  // namespace logstruct::apps

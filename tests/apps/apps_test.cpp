@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lassen.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/mergetree.hpp"
+#include "apps/nasbt.hpp"
+#include "apps/pdes.hpp"
+#include "trace/validate.hpp"
+
+namespace logstruct::apps {
+namespace {
+
+using trace::EventKind;
+using trace::Trace;
+
+// --- Jacobi 2D -----------------------------------------------------------
+
+TEST(Jacobi2D, SmallRunIsValid) {
+  Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  Trace t = run_jacobi2d(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_GT(t.num_events(), 0);
+}
+
+TEST(Jacobi2D, AllCharesComputeEveryIteration) {
+  Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 3;
+  Trace t = run_jacobi2d(cfg);
+  // Each of the 16 chares runs serial_1 three times.
+  std::vector<int> count(static_cast<std::size_t>(t.num_chares()), 0);
+  for (const auto& b : t.blocks()) {
+    if (t.entry(b.entry).name == "serial_1_compute")
+      ++count[static_cast<std::size_t>(b.chare)];
+  }
+  int computing = 0;
+  for (int c : count)
+    if (c > 0) {
+      EXPECT_EQ(c, 3);
+      ++computing;
+    }
+  EXPECT_EQ(computing, 16);
+}
+
+TEST(Jacobi2D, HaloCountsMatchGridDegree) {
+  Jacobi2DConfig cfg;
+  cfg.chares_x = 3;
+  cfg.chares_y = 3;
+  cfg.num_pes = 2;
+  cfg.iterations = 1;
+  Trace t = run_jacobi2d(cfg);
+  // recvHalo receives per chare: corner 2, edge 3, center 4.
+  std::vector<int> halos(static_cast<std::size_t>(t.num_chares()), 0);
+  for (const auto& b : t.blocks()) {
+    if (t.entry(b.entry).name == "recvHalo" ||
+        (t.entry(b.entry).name == "serial_1_compute" && b.trigger != -1)) {
+      // absorbed or not, count recv-halo triggers below instead
+    }
+  }
+  for (const auto& e : t.events()) {
+    if (e.kind == EventKind::Recv &&
+        t.entry(t.block(e.block).entry).name == "recvHalo")
+      ++halos[static_cast<std::size_t>(e.chare)];
+  }
+  std::multiset<int> degrees;
+  for (trace::ChareId c = 0; c < t.num_chares(); ++c)
+    if (!t.chare(c).runtime && t.chare(c).array == 0)
+      degrees.insert(halos[static_cast<std::size_t>(c)]);
+  EXPECT_EQ(degrees.count(2), 4u);  // corners
+  EXPECT_EQ(degrees.count(3), 4u);  // edges
+  EXPECT_EQ(degrees.count(4), 1u);  // center
+}
+
+TEST(Jacobi2D, SlowChareExtendsThatIteration) {
+  Jacobi2DConfig base;
+  base.chares_x = 4;
+  base.chares_y = 4;
+  base.num_pes = 4;
+  base.iterations = 2;
+  Trace fast = run_jacobi2d(base);
+  Jacobi2DConfig slow_cfg = base;
+  slow_cfg.slow_chare = 5;
+  slow_cfg.slow_iteration = 0;
+  slow_cfg.slow_factor = 10.0;
+  Trace slow = run_jacobi2d(slow_cfg);
+  EXPECT_GT(slow.end_time(), fast.end_time());
+}
+
+TEST(Jacobi2D, Section5ToggleChangesOnlyTracing) {
+  Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  Trace with = run_jacobi2d(cfg);
+  cfg.trace_local_reductions = false;
+  Trace without = run_jacobi2d(cfg);
+  EXPECT_GT(with.num_events(), without.num_events());
+  EXPECT_EQ(with.end_time(), without.end_time());
+  EXPECT_TRUE(trace::validate(without).empty());
+}
+
+// --- LULESH --------------------------------------------------------------
+
+TEST(LuleshCharm, SmallRunIsValid) {
+  LuleshConfig cfg;  // 2x2x2 chares, 2 PEs, 8 iterations
+  cfg.iterations = 3;
+  Trace t = run_lulesh_charm(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(LuleshCharm, TwoSerialPhasesPerIteration) {
+  LuleshConfig cfg;
+  cfg.iterations = 4;
+  Trace t = run_lulesh_charm(cfg);
+  int serial_a = 0, serial_b = 0, setup = 0;
+  for (const auto& b : t.blocks()) {
+    const auto& name = t.entry(b.entry).name;
+    if (name == "serial_1_stress") ++serial_a;
+    if (name == "serial_2_update") ++serial_b;
+    if (name == "serial_0_setup") ++setup;
+  }
+  EXPECT_EQ(setup, 8);            // once per chare
+  EXPECT_EQ(serial_a, 8 * 4);     // chares x iterations
+  EXPECT_EQ(serial_b, 8 * 4);
+}
+
+TEST(LuleshMpi, SmallRunIsValid) {
+  LuleshConfig cfg;
+  cfg.iterations = 3;
+  Trace t = run_lulesh_mpi(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_EQ(t.num_procs(), 8);
+  // One allreduce per iteration.
+  EXPECT_EQ(t.collectives().size(), 3u);
+}
+
+TEST(LuleshMpi, ProgramShape) {
+  LuleshConfig cfg;
+  cfg.iterations = 2;
+  auto prog = build_lulesh_mpi_program(cfg);
+  EXPECT_EQ(prog.num_ranks(), 8);
+  // Corner rank in a 2x2x2 grid has 3 face neighbors. Per rank: setup
+  // (compute + 3 sends + 3 recvs) + per iteration 3 phases x (compute + 3
+  // sends + 3 recvs) + allreduce.
+  EXPECT_EQ(prog.ops(0).size(), 7u + 2u * (3u * 7u + 1u));
+}
+
+// --- LASSEN ---------------------------------------------------------------
+
+TEST(LassenCharm, SmallRunIsValid) {
+  LassenConfig cfg;  // 4x2 chares on 8 PEs
+  cfg.iterations = 4;
+  Trace t = run_lassen_charm(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(LassenCharm, SelfInvocationEachIteration) {
+  LassenConfig cfg;
+  cfg.iterations = 4;
+  Trace t = run_lassen_charm(cfg);
+  int advances = 0;
+  for (const auto& b : t.blocks())
+    if (t.entry(b.entry).name == "advance") ++advances;
+  EXPECT_EQ(advances, 8 * 4);  // every chare, every iteration
+}
+
+TEST(LassenCharm, FrontWorkGrowsThenCoversMoreChares) {
+  LassenConfig cfg;
+  cfg.chares_x = 8;
+  cfg.chares_y = 8;
+  // Early iteration: the front touches few chares; later: more.
+  int early = 0, late = 0;
+  for (std::int32_t cx = 0; cx < 8; ++cx) {
+    for (std::int32_t cy = 0; cy < 8; ++cy) {
+      if (lassen_work_ns(cfg, cx, cy, 0) > cfg.base_compute_ns) ++early;
+      if (lassen_work_ns(cfg, cx, cy, 8) > cfg.base_compute_ns) ++late;
+    }
+  }
+  EXPECT_GT(early, 0);
+  EXPECT_GT(late, early);
+}
+
+TEST(LassenCharm, FinerDecompositionShrinksMaxWork) {
+  LassenConfig coarse;
+  coarse.chares_x = 4;
+  coarse.chares_y = 2;
+  LassenConfig fine = coarse;
+  fine.chares_x = 8;
+  fine.chares_y = 8;
+  std::int64_t max_coarse = 0, max_fine = 0;
+  for (std::int32_t it = 0; it < 12; ++it) {
+    for (std::int32_t cx = 0; cx < coarse.chares_x; ++cx)
+      for (std::int32_t cy = 0; cy < coarse.chares_y; ++cy)
+        max_coarse = std::max(max_coarse, lassen_work_ns(coarse, cx, cy, it));
+    for (std::int32_t cx = 0; cx < fine.chares_x; ++cx)
+      for (std::int32_t cy = 0; cy < fine.chares_y; ++cy)
+        max_fine = std::max(max_fine, lassen_work_ns(fine, cx, cy, it));
+  }
+  // Splitting the wavefront into smaller pieces: the paper reports the
+  // 64-chare run showing roughly a quarter of the 8-chare differential
+  // duration.
+  EXPECT_LT(max_fine, max_coarse);
+}
+
+TEST(LassenMpi, SmallRunIsValid) {
+  LassenConfig cfg;
+  cfg.iterations = 4;
+  Trace t = run_lassen_mpi(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_EQ(t.collectives().size(), 4u);
+}
+
+// --- PDES ------------------------------------------------------------------
+
+TEST(Pdes, SmallRunIsValid) {
+  PdesConfig cfg;
+  Trace t = run_pdes(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Pdes, DetectorCallsUntracedByDefault) {
+  PdesConfig cfg;
+  Trace t = run_pdes(cfg);
+  // Detector chares exist and execute blocks, but their _completion_local
+  // triggers have no recorded partner.
+  int untraced_recvs = 0;
+  for (const auto& e : t.events()) {
+    if (e.kind == EventKind::Recv && e.partner == trace::kNone &&
+        t.chare(e.chare).runtime)
+      ++untraced_recvs;
+  }
+  EXPECT_EQ(untraced_recvs, cfg.num_chares * cfg.windows);
+}
+
+TEST(Pdes, TracedDetectorCallsHavePartners) {
+  PdesConfig cfg;
+  cfg.trace_detector_calls = true;
+  Trace t = run_pdes(cfg);
+  for (const auto& e : t.events()) {
+    if (e.kind == EventKind::Recv && t.chare(e.chare).runtime &&
+        t.entry(t.block(e.block).entry).name == "_completion_local") {
+      EXPECT_NE(e.partner, trace::kNone);
+    }
+  }
+}
+
+TEST(Pdes, EventCountsBalance) {
+  PdesConfig cfg;
+  cfg.windows = 3;
+  cfg.events_per_window = 5;
+  Trace t = run_pdes(cfg);
+  int sim_events = 0;
+  for (const auto& e : t.events()) {
+    if (e.kind == EventKind::Recv &&
+        t.entry(t.block(e.block).entry).name == "recvEvent")
+      ++sim_events;
+  }
+  EXPECT_EQ(sim_events, cfg.num_chares * cfg.windows * cfg.events_per_window);
+}
+
+// --- merge tree -------------------------------------------------------------
+
+TEST(MergeTree, SmallRunIsValid) {
+  MergeTreeConfig cfg;
+  cfg.num_ranks = 16;
+  Trace t = run_mergetree_mpi(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  // 15 messages fold 16 ranks into one.
+  int sends = 0;
+  for (const auto& e : t.events())
+    if (e.kind == EventKind::Send) ++sends;
+  EXPECT_EQ(sends, 15);
+}
+
+TEST(MergeTreeDeathTest, RejectsNonPowerOfTwo) {
+  MergeTreeConfig cfg;
+  cfg.num_ranks = 12;
+  EXPECT_DEATH(run_mergetree_mpi(cfg), "power-of-two");
+}
+
+TEST(MergeTree, ImbalanceSpreadsStartTimes) {
+  MergeTreeConfig cfg;
+  cfg.num_ranks = 64;
+  cfg.imbalance = 6.0;
+  Trace t = run_mergetree_mpi(cfg);
+  // Level-0 sends should span a wide time range.
+  trace::TimeNs lo = t.end_time(), hi = 0;
+  for (const auto& e : t.events()) {
+    if (e.kind == EventKind::Send) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+  }
+  EXPECT_GT(hi - lo, cfg.base_compute_ns);
+}
+
+// --- NAS BT ------------------------------------------------------------------
+
+TEST(NasBt, SmallRunIsValid) {
+  NasBtConfig cfg;
+  Trace t = run_nasbt_mpi(cfg);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+  EXPECT_EQ(t.num_procs(), 9);
+}
+
+TEST(NasBt, SweepMessageCount) {
+  NasBtConfig cfg;
+  cfg.grid = 3;
+  cfg.iterations = 2;
+  Trace t = run_nasbt_mpi(cfg);
+  // Per sweep: 2 messages per line x 3 lines = 6; 4 sweeps x 2 iterations.
+  int sends = 0;
+  for (const auto& e : t.events())
+    if (e.kind == EventKind::Send) ++sends;
+  EXPECT_EQ(sends, 6 * 4 * 2);
+}
+
+}  // namespace
+}  // namespace logstruct::apps

@@ -1,0 +1,102 @@
+/// Every proxy app's trace must survive the .lstrace round trip with its
+/// logical structure intact — the guarantee a user relies on when
+/// archiving traces for later analysis.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lassen.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/mergetree.hpp"
+#include "apps/nasbt.hpp"
+#include "apps/pdes.hpp"
+#include "order/stepping.hpp"
+#include "trace/io.hpp"
+#include "trace/validate.hpp"
+
+namespace logstruct {
+namespace {
+
+void expect_roundtrip(const trace::Trace& t, const order::Options& opts) {
+  std::ostringstream os;
+  trace::write_trace(t, os);
+  std::istringstream is(os.str());
+  trace::Trace back = trace::read_trace(is);
+
+  ASSERT_TRUE(trace::validate(back).empty());
+  ASSERT_EQ(back.num_events(), t.num_events());
+  ASSERT_EQ(back.num_blocks(), t.num_blocks());
+  ASSERT_EQ(back.idles().size(), t.idles().size());
+  ASSERT_EQ(back.collectives().size(), t.collectives().size());
+
+  order::LogicalStructure a = order::extract_structure(t, opts);
+  order::LogicalStructure b = order::extract_structure(back, opts);
+  EXPECT_EQ(a.global_step, b.global_step);
+  EXPECT_EQ(a.phases.phase_of_event, b.phases.phase_of_event);
+  EXPECT_EQ(a.w, b.w);
+}
+
+TEST(AppRoundTrip, Jacobi) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  expect_roundtrip(apps::run_jacobi2d(cfg), order::Options::charm());
+}
+
+TEST(AppRoundTrip, JacobiWithMigration) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 3;
+  cfg.migrate_at_iteration = 1;
+  expect_roundtrip(apps::run_jacobi2d(cfg), order::Options::charm());
+}
+
+TEST(AppRoundTrip, LuleshCharm) {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 2;
+  expect_roundtrip(apps::run_lulesh_charm(cfg), order::Options::charm());
+}
+
+TEST(AppRoundTrip, LuleshMpi) {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 2;
+  expect_roundtrip(apps::run_lulesh_mpi(cfg), order::Options::mpi());
+}
+
+TEST(AppRoundTrip, LassenCharm) {
+  apps::LassenConfig cfg;
+  cfg.iterations = 3;
+  expect_roundtrip(apps::run_lassen_charm(cfg), order::Options::charm());
+}
+
+TEST(AppRoundTrip, LassenMpi) {
+  apps::LassenConfig cfg;
+  cfg.iterations = 3;
+  expect_roundtrip(apps::run_lassen_mpi(cfg),
+                   order::Options::mpi_baseline13());
+}
+
+TEST(AppRoundTrip, Pdes) {
+  apps::PdesConfig cfg;
+  expect_roundtrip(apps::run_pdes(cfg), order::Options::charm());
+}
+
+TEST(AppRoundTrip, MergeTree) {
+  apps::MergeTreeConfig cfg;
+  cfg.num_ranks = 32;
+  expect_roundtrip(apps::run_mergetree_mpi(cfg), order::Options::mpi());
+}
+
+TEST(AppRoundTrip, NasBt) {
+  apps::NasBtConfig cfg;
+  expect_roundtrip(apps::run_nasbt_mpi(cfg), order::Options::mpi());
+}
+
+}  // namespace
+}  // namespace logstruct

@@ -1,0 +1,75 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logstruct::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g(0);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, AddAndQueryEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, SelfLoopsIgnored) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Digraph, DuplicatesRemovedByFinalize) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.successors(0).size(), 1u);
+  EXPECT_EQ(g.predecessors(1).size(), 1u);
+}
+
+TEST(Digraph, PredecessorsMirrorSuccessors) {
+  Digraph g(4);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.finalize();
+  EXPECT_EQ(g.predecessors(3).size(), 3u);
+  EXPECT_EQ(g.successors(3).size(), 0u);
+}
+
+TEST(Digraph, EdgesEnumeration) {
+  Digraph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(0, 1);
+  g.finalize();
+  auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(edges[1], (std::pair<NodeId, NodeId>{2, 0}));
+}
+
+TEST(Digraph, ResetClears) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.reset(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace logstruct::graph

@@ -1,0 +1,67 @@
+#include "graph/leaps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logstruct::graph {
+namespace {
+
+TEST(Leaps, ChainHasIncreasingLeaps) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.finalize();
+  auto leaps = compute_leaps(g);
+  EXPECT_EQ(leaps, (std::vector<std::int32_t>{0, 1, 2, 3}));
+}
+
+TEST(Leaps, LongestPathWins) {
+  // 0 -> 1 -> 3 and 0 -> 3: node 3 is at leap 2, not 1.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 3);
+  g.finalize();
+  auto leaps = compute_leaps(g);
+  EXPECT_EQ(leaps[3], 2);
+}
+
+TEST(Leaps, MultipleSourcesAllAtZero) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.finalize();
+  auto leaps = compute_leaps(g);
+  EXPECT_EQ(leaps[0], 0);
+  EXPECT_EQ(leaps[1], 0);
+  EXPECT_EQ(leaps[2], 1);
+}
+
+TEST(Leaps, IsolatedNodesAtZero) {
+  Digraph g(2);
+  g.finalize();
+  auto leaps = compute_leaps(g);
+  EXPECT_EQ(leaps, (std::vector<std::int32_t>{0, 0}));
+}
+
+TEST(Leaps, GroupByLeap) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.finalize();
+  auto groups = group_by_leap(compute_leaps(g));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<NodeId>{0, 4}));
+  EXPECT_EQ(groups[1], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(groups[2], (std::vector<NodeId>{3}));
+}
+
+TEST(Leaps, GroupByLeapEmpty) {
+  auto groups = group_by_leap({});
+  EXPECT_TRUE(groups.empty());
+}
+
+}  // namespace
+}  // namespace logstruct::graph

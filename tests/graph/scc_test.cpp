@@ -1,0 +1,93 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace logstruct::graph {
+namespace {
+
+Digraph make(std::int32_t n,
+             std::initializer_list<std::pair<NodeId, NodeId>> edges) {
+  Digraph g(n);
+  for (auto [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
+  return g;
+}
+
+TEST(Scc, SingletonNodes) {
+  Digraph g = make(3, {{0, 1}, {1, 2}});
+  SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 3);
+  EXPECT_TRUE(is_dag(g));
+}
+
+TEST(Scc, SimpleCycle) {
+  Digraph g = make(3, {{0, 1}, {1, 2}, {2, 0}});
+  SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 1);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(Scc, TwoCyclesConnected) {
+  // 0<->1 -> 2<->3
+  Digraph g = make(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 2);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[2], r.component[3]);
+  EXPECT_NE(r.component[0], r.component[2]);
+}
+
+TEST(Scc, TarjanEmitsSinksFirst) {
+  // Condensation 0 -> 1; Tarjan numbers the sink component first.
+  Digraph g = make(2, {{0, 1}});
+  SccResult r = strongly_connected_components(g);
+  EXPECT_LT(r.component[1], r.component[0]);
+}
+
+TEST(Scc, DisconnectedGraph) {
+  Digraph g = make(4, {{0, 1}});
+  SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 4);
+}
+
+TEST(Scc, SelfLoopIgnoredByDigraph) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  g.finalize();
+  EXPECT_TRUE(is_dag(g));  // digraph drops self-loops
+}
+
+TEST(Scc, LongChainNoRecursionOverflow) {
+  constexpr NodeId n = 200000;
+  Digraph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(i - 1, i);
+  g.finalize();
+  SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, n);
+}
+
+TEST(Scc, LongCycleNoRecursionOverflow) {
+  constexpr NodeId n = 200000;
+  Digraph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(i - 1, i);
+  g.add_edge(n - 1, 0);
+  g.finalize();
+  SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.num_components, 1);
+}
+
+TEST(Scc, ComponentIdsAreDense) {
+  Digraph g = make(5, {{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}});
+  SccResult r = strongly_connected_components(g);
+  std::set<std::int32_t> ids(r.component.begin(), r.component.end());
+  EXPECT_EQ(static_cast<std::int32_t>(ids.size()), r.num_components);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), r.num_components - 1);
+}
+
+}  // namespace
+}  // namespace logstruct::graph

@@ -1,0 +1,49 @@
+#include "graph/topo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace logstruct::graph {
+namespace {
+
+TEST(Topo, RespectsEdges) {
+  Digraph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(1, 0);
+  g.add_edge(3, 2);
+  g.add_edge(2, 0);
+  g.finalize();
+  auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = i;
+  for (auto [u, v] : g.edges()) {
+    EXPECT_LT(pos[static_cast<std::size_t>(u)],
+              pos[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Topo, EmptyGraph) {
+  Digraph g(0);
+  EXPECT_TRUE(topological_order(g).empty());
+}
+
+TEST(Topo, NoEdges) {
+  Digraph g(3);
+  g.finalize();
+  auto order = topological_order(g);
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(TopoDeathTest, CycleAborts) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.finalize();
+  EXPECT_DEATH(topological_order(g), "cyclic");
+}
+
+}  // namespace
+}  // namespace logstruct::graph

@@ -1,0 +1,67 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace logstruct::graph {
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (std::int32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMergesSets) {
+  UnionFind uf(4);
+  uf.unite(0, 1);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFind, UniteIdempotent) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  uf.unite(1, 0);
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFind, TransitiveUnion) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+  EXPECT_EQ(uf.num_sets(), 3u);
+}
+
+TEST(UnionFind, DenseLabels) {
+  UnionFind uf(5);
+  uf.unite(0, 4);
+  uf.unite(1, 3);
+  auto labels = uf.dense_labels();
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], labels[4]);
+  EXPECT_EQ(labels[1], labels[3]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[2], labels[0]);
+  std::set<std::int32_t> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (std::int32_t l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+}
+
+TEST(UnionFind, LargeChain) {
+  constexpr std::int32_t n = 10000;
+  UnionFind uf(n);
+  for (std::int32_t i = 1; i < n; ++i) uf.unite(i - 1, i);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(n - 1));
+}
+
+}  // namespace
+}  // namespace logstruct::graph

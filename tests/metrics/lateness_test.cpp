@@ -1,0 +1,115 @@
+#include "metrics/lateness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi2d.hpp"
+#include "trace/builder.hpp"
+
+namespace logstruct::metrics {
+namespace {
+
+using order::extract_structure;
+using order::Options;
+
+TEST(Lateness, ZeroWhenSimultaneous) {
+  // Two disjoint pairs, identical timings: no lateness anywhere.
+  trace::TraceBuilder tb;
+  trace::EntryId e = tb.add_entry("go");
+  for (int i = 0; i < 2; ++i) {
+    trace::ChareId src = tb.add_chare("s" + std::to_string(i));
+    trace::ChareId dst = tb.add_chare("d" + std::to_string(i));
+    trace::BlockId bs = tb.begin_block(src, i, e, 0);
+    trace::EventId s = tb.add_send(bs, 10);
+    tb.end_block(bs, 20);
+    trace::BlockId bd = tb.begin_block(dst, i, e, 100);
+    tb.add_recv(bd, 100, s);
+    tb.end_block(bd, 110);
+  }
+  trace::Trace t = tb.finish(2);
+  auto ls = extract_structure(t, Options::charm());
+  Lateness l = lateness(t, ls);
+  EXPECT_EQ(l.max_value, 0);
+  EXPECT_EQ(l.mean, 0.0);
+}
+
+TEST(Lateness, MeasuresCompletionSkewAtSameStep) {
+  // Same shape, but the second pair runs 500ns later: its events are 500
+  // late relative to the first pair at every shared step.
+  trace::TraceBuilder tb;
+  trace::EntryId e = tb.add_entry("go");
+  std::vector<trace::EventId> recvs;
+  for (int i = 0; i < 2; ++i) {
+    trace::TimeNs d = i * 500;
+    trace::ChareId src = tb.add_chare("s" + std::to_string(i));
+    trace::ChareId dst = tb.add_chare("d" + std::to_string(i));
+    trace::BlockId bs = tb.begin_block(src, i, e, d);
+    trace::EventId s = tb.add_send(bs, 10 + d);
+    tb.end_block(bs, 20 + d);
+    trace::BlockId bd = tb.begin_block(dst, i, e, 100 + d);
+    recvs.push_back(tb.add_recv(bd, 100 + d, s));
+    tb.end_block(bd, 110 + d);
+  }
+  trace::Trace t = tb.finish(2);
+  auto ls = extract_structure(t, Options::charm());
+  // Both pairs may land in one phase or two; lateness compares by global
+  // step regardless.
+  if (ls.global_step[static_cast<std::size_t>(recvs[0])] ==
+      ls.global_step[static_cast<std::size_t>(recvs[1])]) {
+    Lateness l = lateness(t, ls);
+    EXPECT_EQ(l.per_event[static_cast<std::size_t>(recvs[0])], 0);
+    EXPECT_EQ(l.per_event[static_cast<std::size_t>(recvs[1])], 500);
+  }
+}
+
+TEST(Lateness, NonNegativeAndBoundedByTraceSpan) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  auto ls = extract_structure(t, Options::charm());
+  Lateness l = lateness(t, ls);
+  for (auto v : l.per_event) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, t.end_time());
+  }
+}
+
+TEST(Lateness, SamePhaseVariantNeverLarger) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  auto ls = extract_structure(t, Options::charm());
+  Lateness global = lateness(t, ls, /*same_phase_only=*/false);
+  Lateness phased = lateness(t, ls, /*same_phase_only=*/true);
+  // Restricting the peer group can only raise the per-group minimum the
+  // event is compared against... i.e. lateness can only shrink or stay.
+  for (trace::EventId e = 0; e < t.num_events(); ++e) {
+    EXPECT_LE(phased.per_event[static_cast<std::size_t>(e)],
+              global.per_event[static_cast<std::size_t>(e)]);
+  }
+}
+
+TEST(Lateness, FlagsAsynchronyTheOtherMetricsForgive) {
+  // The paper's argument for new metrics: in an asynchronous app, healthy
+  // runs still show substantial lateness. Jacobi with noise-free compute
+  // still has network jitter; lateness is non-zero while differential
+  // duration stays near zero.
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 8;
+  cfg.iterations = 2;
+  cfg.compute_noise_ns = 0;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  auto ls = extract_structure(t, Options::charm());
+  Lateness l = lateness(t, ls);
+  EXPECT_GT(l.max_value, 0);
+}
+
+}  // namespace
+}  // namespace logstruct::metrics

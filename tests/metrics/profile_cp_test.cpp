@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lassen.hpp"
+#include "metrics/critical_path.hpp"
+#include "metrics/profile.hpp"
+#include "order/stepping.hpp"
+#include "trace/builder.hpp"
+
+namespace logstruct::metrics {
+namespace {
+
+using order::extract_structure;
+using order::Options;
+
+trace::Trace small_jacobi() {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  return apps::run_jacobi2d(cfg);
+}
+
+// --- entry profile -----------------------------------------------------
+
+TEST(Profile, EntryTotalsMatchBlockSpans) {
+  trace::Trace t = small_jacobi();
+  auto rows = entry_profile(t);
+  trace::TimeNs total = 0;
+  std::int64_t executions = 0;
+  for (const auto& r : rows) {
+    total += r.total_ns;
+    executions += r.executions;
+    EXPECT_LE(r.min_ns, r.max_ns);
+    EXPECT_GE(r.mean_ns(), static_cast<double>(r.min_ns));
+    EXPECT_LE(r.mean_ns(), static_cast<double>(r.max_ns));
+  }
+  trace::TimeNs spans = 0;
+  for (const auto& b : t.blocks()) spans += b.end - b.begin;
+  EXPECT_EQ(total, spans);
+  EXPECT_EQ(executions, t.num_blocks());
+}
+
+TEST(Profile, SortedByTotalDescending) {
+  trace::Trace t = small_jacobi();
+  auto rows = entry_profile(t);
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_GE(rows[i - 1].total_ns, rows[i].total_ns);
+}
+
+TEST(Profile, ComputeSerialDominatesJacobi) {
+  trace::Trace t = small_jacobi();
+  auto rows = entry_profile(t);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].name, "serial_1_compute");
+}
+
+TEST(Profile, UtilizationFractionsSumBelowOne) {
+  trace::Trace t = small_jacobi();
+  for (const auto& row : utilization(t)) {
+    EXPECT_GE(row.busy, 0.0);
+    EXPECT_GE(row.idle, 0.0);
+    EXPECT_GE(row.other, 0.0);
+    EXPECT_LE(row.busy + row.idle + row.other, 1.0 + 1e-9);
+  }
+}
+
+TEST(Profile, PhaseProfileCoversAllBlocksWithEvents) {
+  trace::Trace t = small_jacobi();
+  auto ls = extract_structure(t, Options::charm());
+  auto rows = phase_profile(t, ls);
+  std::int64_t blocks = 0;
+  for (const auto& r : rows) blocks += r.blocks;
+  std::int64_t with_events = 0;
+  for (const auto& b : t.blocks())
+    if (!b.events.empty()) ++with_events;
+  EXPECT_EQ(blocks, with_events);
+}
+
+// --- critical path -------------------------------------------------------
+
+TEST(CriticalPath, SimpleChain) {
+  // a --10--> b --10--> c with compute between: path covers everything.
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId b = tb.add_chare("b");
+  trace::EntryId e = tb.add_entry("go");
+  trace::BlockId ba = tb.begin_block(a, 0, e, 0);
+  trace::EventId s1 = tb.add_send(ba, 100);  // 100ns compute
+  tb.end_block(ba, 100);
+  trace::BlockId bb = tb.begin_block(b, 1, e, 150);  // 50ns latency
+  trace::EventId r1 = tb.add_recv(bb, 150, s1);
+  tb.end_block(bb, 400);  // 250ns handler
+  trace::Trace t = tb.finish(2);
+
+  auto ls = extract_structure(t, Options::charm());
+  CriticalPath cp = critical_path(t, ls);
+  ASSERT_EQ(cp.events.size(), 2u);
+  EXPECT_EQ(cp.events[0], s1);
+  EXPECT_EQ(cp.events[1], r1);
+  // 100 (sub-block of s1) + 50 (latency) + 250 (leftover on trigger).
+  EXPECT_EQ(cp.length_ns, 400);
+  EXPECT_DOUBLE_EQ(cp.coverage, 1.0);
+}
+
+TEST(CriticalPath, PicksTheLongerBranch) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId fast = tb.add_chare("fast");
+  trace::ChareId slow = tb.add_chare("slow");
+  trace::EntryId e = tb.add_entry("go");
+  trace::BlockId ba = tb.begin_block(a, 0, e, 0);
+  trace::EventId s1 = tb.add_send(ba, 10);
+  trace::EventId s2 = tb.add_send(ba, 20);
+  tb.end_block(ba, 20);
+  trace::BlockId bf = tb.begin_block(fast, 1, e, 60);
+  tb.add_recv(bf, 60, s1);
+  tb.end_block(bf, 80);
+  trace::BlockId bs = tb.begin_block(slow, 2, e, 70);
+  trace::EventId rs = tb.add_recv(bs, 70, s2);
+  tb.end_block(bs, 900);  // long handler
+  trace::Trace t = tb.finish(3);
+
+  auto ls = extract_structure(t, Options::charm());
+  CriticalPath cp = critical_path(t, ls);
+  EXPECT_EQ(cp.events.back(), rs);
+  EXPECT_GT(cp.chare_share[static_cast<std::size_t>(slow)], 800);
+}
+
+TEST(CriticalPath, CoverageSubstantialOnRealApps) {
+  trace::Trace t = small_jacobi();
+  auto ls = extract_structure(t, Options::charm());
+  CriticalPath cp = critical_path(t, ls);
+  EXPECT_FALSE(cp.events.empty());
+  EXPECT_GT(cp.coverage, 0.5);  // bulk-ish app: the path explains most time
+  EXPECT_LE(cp.coverage, 1.0 + 1e-9);
+  // Path events are causally ordered in time.
+  for (std::size_t i = 1; i < cp.events.size(); ++i) {
+    EXPECT_LE(t.event(cp.events[i - 1]).time, t.event(cp.events[i]).time);
+  }
+}
+
+TEST(CriticalPath, LassenPathThroughWavefront) {
+  apps::LassenConfig cfg;
+  cfg.iterations = 6;
+  trace::Trace t = apps::run_lassen_charm(cfg);
+  auto ls = extract_structure(t, Options::charm());
+  CriticalPath cp = critical_path(t, ls);
+  // The heavy wavefront chares carry most of the on-path compute.
+  trace::TimeNs front_share = 0, total_share = 0;
+  for (trace::ChareId c = 0; c < t.num_chares(); ++c) {
+    total_share += cp.chare_share[static_cast<std::size_t>(c)];
+    if (!t.chare(c).runtime && t.chare(c).index >= 0 &&
+        t.chare(c).index % cfg.chares_x <= 1 &&
+        t.chare(c).index / cfg.chares_x <= 1)
+      front_share += cp.chare_share[static_cast<std::size_t>(c)];
+  }
+  EXPECT_GT(total_share, 0);
+  EXPECT_GT(static_cast<double>(front_share) /
+                static_cast<double>(total_share),
+            0.3);
+}
+
+}  // namespace
+}  // namespace logstruct::metrics

@@ -1,0 +1,77 @@
+#include "order/block_units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/builder.hpp"
+
+namespace logstruct::order {
+namespace {
+
+/// when-block [recv] immediately followed by serial_1 [send] on one chare.
+struct AbsorbTrace {
+  trace::Trace trace;
+  trace::BlockId b_when, b_serial;
+  trace::EventId recv, send;
+};
+
+AbsorbTrace make_absorb_trace() {
+  AbsorbTrace m;
+  trace::TraceBuilder tb;
+  trace::ChareId c = tb.add_chare("c");
+  trace::ChareId d = tb.add_chare("d");
+  trace::EntryId e_when = tb.add_entry("recvResult");
+  trace::EntryId e_serial = tb.add_entry("serial_1", false, 1, {e_when});
+  trace::EntryId e_plain = tb.add_entry("plain");
+
+  m.b_when = tb.begin_block(c, 0, e_when, 0);
+  m.recv = tb.add_recv(m.b_when, 0, trace::kNone);
+  tb.end_block(m.b_when, 10);
+  m.b_serial = tb.begin_block(c, 0, e_serial, 10);
+  m.send = tb.add_send(m.b_serial, 15);
+  tb.end_block(m.b_serial, 20);
+  // Match the send somewhere.
+  trace::BlockId bd = tb.begin_block(d, 1, e_plain, 100);
+  tb.add_recv(bd, 100, m.send);
+  tb.end_block(bd, 110);
+  m.trace = tb.finish(2);
+  return m;
+}
+
+TEST(BlockUnits, AbsorptionGroupsWhenIntoSerial) {
+  AbsorbTrace m = make_absorb_trace();
+  BlockUnits u = compute_block_units(m.trace, /*sdag_absorption=*/true);
+  EXPECT_EQ(u.rep[static_cast<std::size_t>(m.b_when)], m.b_serial);
+  // The serial's unit holds both events, time-ordered.
+  const auto& unit =
+      u.events[static_cast<std::size_t>(m.b_serial)];
+  ASSERT_EQ(unit.size(), 2u);
+  EXPECT_EQ(unit[0], m.recv);
+  EXPECT_EQ(unit[1], m.send);
+  EXPECT_EQ(u.unit_of_event[static_cast<std::size_t>(m.recv)], m.b_serial);
+  EXPECT_EQ(u.unit_of_event[static_cast<std::size_t>(m.send)], m.b_serial);
+  // The absorbed block's own bucket is empty.
+  EXPECT_TRUE(u.events[static_cast<std::size_t>(m.b_when)].empty());
+}
+
+TEST(BlockUnits, WithoutAbsorptionBlocksStaySeparate) {
+  AbsorbTrace m = make_absorb_trace();
+  BlockUnits u = compute_block_units(m.trace, /*sdag_absorption=*/false);
+  EXPECT_EQ(u.rep[static_cast<std::size_t>(m.b_when)], m.b_when);
+  EXPECT_EQ(u.events[static_cast<std::size_t>(m.b_when)].size(), 1u);
+  EXPECT_EQ(u.events[static_cast<std::size_t>(m.b_serial)].size(), 1u);
+  EXPECT_EQ(u.unit_of_event[static_cast<std::size_t>(m.recv)], m.b_when);
+}
+
+TEST(BlockUnits, EventlessBlocksHaveEmptyUnits) {
+  trace::TraceBuilder tb;
+  trace::ChareId c = tb.add_chare("c");
+  trace::EntryId e = tb.add_entry("go");
+  trace::BlockId b = tb.begin_block(c, 0, e, 0);
+  tb.end_block(b, 10);
+  trace::Trace t = tb.finish(1);
+  BlockUnits u = compute_block_units(t, true);
+  EXPECT_TRUE(u.events[static_cast<std::size_t>(b)].empty());
+}
+
+}  // namespace
+}  // namespace logstruct::order

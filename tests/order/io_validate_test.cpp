@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lulesh.hpp"
+#include "order/io.hpp"
+#include "order/stats.hpp"
+#include "order/validate.hpp"
+#include "order_fixtures.hpp"
+#include "trace/builder.hpp"
+
+namespace logstruct::order {
+namespace {
+
+trace::Trace small_jacobi() {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  return apps::run_jacobi2d(cfg);
+}
+
+// --- validate_structure ----------------------------------------------------
+
+TEST(ValidateStructure, CleanOnPipelineOutput) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  EXPECT_TRUE(validate_structure(t, ls).empty());
+}
+
+TEST(ValidateStructure, DetectsCorruptedStep) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  ls.local_step[0] = -5;
+  auto problems = validate_structure(t, ls);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(ValidateStructure, DetectsChareStepCollision) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  // Force two events of one chare onto the same step: find a chare with
+  // at least two events (main only has its single broadcast send).
+  trace::EventId first = trace::kNone, other = trace::kNone;
+  for (trace::ChareId c = 0; c < t.num_chares() && other == trace::kNone;
+       ++c) {
+    auto events = t.events_of_chare(c);
+    if (events.size() >= 2) {
+      first = events[0];
+      other = events[1];
+    }
+  }
+  ASSERT_NE(other, trace::kNone);
+  // Collapse both onto the first event's coordinates.
+  ls.phases.phase_of_event[static_cast<std::size_t>(other)] =
+      ls.phases.phase_of_event[static_cast<std::size_t>(first)];
+  ls.local_step[static_cast<std::size_t>(other)] =
+      ls.local_step[static_cast<std::size_t>(first)];
+  ls.global_step[static_cast<std::size_t>(other)] =
+      ls.global_step[static_cast<std::size_t>(first)];
+  auto problems = validate_structure(t, ls);
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("two events at step") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidateStructure, DetectsOffsetOverlap) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  ASSERT_GE(ls.num_phases(), 2);
+  // Squash phase offsets so successors overlap predecessors.
+  for (auto& off : ls.phase_offset) off = 0;
+  auto problems = validate_structure(t, ls);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(ValidateStructure, DetectsSizeMismatch) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  ls.phases.phase_of_event.pop_back();
+  auto problems = validate_structure(t, ls);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("entries"), std::string::npos);
+}
+
+TEST(ValidateStructure, EmptyTraceHandled) {
+  trace::TraceBuilder tb;
+  trace::Trace t = tb.finish(0);
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  EXPECT_EQ(ls.num_phases(), 0);
+  EXPECT_TRUE(validate_structure(t, ls).empty());
+  EXPECT_EQ(phase_signature(t, ls), "");
+}
+
+// --- phase_signature ---------------------------------------------------------
+
+TEST(PhaseSignature, JacobiAlternation) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  // setup + iteration-1 + {reduction + iteration}* + final reduction.
+  std::string sig = phase_signature(t, ls);
+  EXPECT_EQ(sig.front(), 'p');
+  EXPECT_EQ(sig.back(), 'r');
+  // Exactly one runtime phase per iteration.
+  EXPECT_EQ(std::count(sig.begin(), sig.end(), 'r'), 2);
+}
+
+TEST(PhasePattern, DetectsLeadAndUnit) {
+  PhasePattern p = detect_pattern("pppraprapra");
+  EXPECT_EQ(p.lead, "pp");
+  EXPECT_EQ(p.unit, "pra");
+  EXPECT_EQ(p.repeats, 3);
+}
+
+TEST(PhasePattern, PrefersShortestUnit) {
+  PhasePattern p = detect_pattern("abababab");
+  EXPECT_EQ(p.lead, "");
+  EXPECT_EQ(p.unit, "ab");
+  EXPECT_EQ(p.repeats, 4);
+}
+
+TEST(PhasePattern, SingleCharSignature) {
+  PhasePattern p = detect_pattern("rrrr");
+  EXPECT_EQ(p.unit, "r");
+  EXPECT_EQ(p.repeats, 4);
+}
+
+TEST(PhasePattern, NoRepetition) {
+  PhasePattern p = detect_pattern("abcd");
+  EXPECT_EQ(p.repeats, 0);
+  EXPECT_EQ(p.lead, "abcd");
+}
+
+TEST(PhasePattern, MinRepeatsRespected) {
+  PhasePattern p = detect_pattern("abab", 3);
+  EXPECT_EQ(p.repeats, 0);
+}
+
+TEST(PhasePattern, JacobiIterationsDetected) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 4;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  PhasePattern p = detect_pattern(phase_signature(t, ls));
+  EXPECT_EQ(p.unit, "pr");
+  EXPECT_EQ(p.repeats, 4);
+}
+
+// --- structure serialization ----------------------------------------------------
+
+TEST(StructureIo, RoundTripIsExact) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  std::ostringstream os;
+  write_structure(ls, os);
+  std::istringstream is(os.str());
+  LogicalStructure back = read_structure(is, t);
+
+  EXPECT_EQ(back.global_step, ls.global_step);
+  EXPECT_EQ(back.local_step, ls.local_step);
+  EXPECT_EQ(back.w, ls.w);
+  EXPECT_EQ(back.phases.phase_of_event, ls.phases.phase_of_event);
+  EXPECT_EQ(back.phases.runtime, ls.phases.runtime);
+  EXPECT_EQ(back.phases.leap, ls.phases.leap);
+  EXPECT_EQ(back.phase_offset, ls.phase_offset);
+  EXPECT_EQ(back.phase_height, ls.phase_height);
+  EXPECT_EQ(back.phases.events, ls.phases.events);
+  EXPECT_EQ(back.chare_sequence, ls.chare_sequence);
+  EXPECT_EQ(back.pos_in_chare, ls.pos_in_chare);
+  EXPECT_EQ(back.max_step, ls.max_step);
+  EXPECT_EQ(back.phases.dag.edges(), ls.phases.dag.edges());
+  EXPECT_TRUE(validate_structure(t, back).empty());
+}
+
+TEST(StructureIo, RoundTripMpiTrace) {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 2;
+  trace::Trace t = apps::run_lulesh_mpi(cfg);
+  LogicalStructure ls = extract_structure(t, Options::mpi_baseline13());
+  std::ostringstream os;
+  write_structure(ls, os);
+  std::istringstream is(os.str());
+  LogicalStructure back = read_structure(is, t);
+  EXPECT_EQ(back.global_step, ls.global_step);
+  EXPECT_EQ(phase_signature(t, back), phase_signature(t, ls));
+}
+
+TEST(StructureIo, WrongTraceRejected) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  std::ostringstream os;
+  write_structure(ls, os);
+
+  apps::Jacobi2DConfig other;
+  other.chares_x = 2;
+  other.chares_y = 2;
+  other.num_pes = 2;
+  other.iterations = 1;
+  trace::Trace t2 = apps::run_jacobi2d(other);
+  std::istringstream is(os.str());
+  EXPECT_THROW(read_structure(is, t2), std::runtime_error);
+}
+
+TEST(StructureIo, TruncatedRejected) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  std::ostringstream os;
+  write_structure(ls, os);
+  std::string text = os.str();
+  text.resize(text.size() / 2);
+  std::istringstream is(text);
+  EXPECT_THROW(read_structure(is, t), std::runtime_error);
+}
+
+TEST(StructureIo, FileRoundTrip) {
+  trace::Trace t = small_jacobi();
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  std::string path = ::testing::TempDir() + "/s.lstruct";
+  ASSERT_TRUE(save_structure(ls, path));
+  LogicalStructure back = load_structure(path, t);
+  EXPECT_EQ(back.global_step, ls.global_step);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace logstruct::order

@@ -1,0 +1,70 @@
+#pragma once
+
+/// Shared invariant checks and synthetic traces for ordering tests.
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.hpp"
+#include "order/stepping.hpp"
+#include "order/validate.hpp"
+#include "trace/builder.hpp"
+
+namespace logstruct::order::testing {
+
+/// Assert the invariants every logical structure must satisfy (see
+/// order::validate_structure for the list), plus conflict-free stepping.
+inline void expect_structure_invariants(const trace::Trace& trace,
+                                        const LogicalStructure& ls) {
+  std::vector<std::string> problems = validate_structure(trace, ls);
+  EXPECT_TRUE(problems.empty())
+      << problems.size() << " problems; first: " << problems.front();
+  EXPECT_EQ(ls.order_conflicts, 0);
+}
+
+/// The paper's Figure 3 trace: a ring of chares, each serial_0 invoking
+/// recvResult on its left neighbor; recvResult guards a when-serial.
+struct RingTrace {
+  trace::Trace trace;
+  int n = 4;
+};
+
+inline RingTrace make_ring_trace(int n = 4, trace::TimeNs stagger = 100) {
+  trace::TraceBuilder tb;
+  trace::ArrayId arr = tb.add_array("ring");
+  std::vector<trace::ChareId> chares;
+  for (int i = 0; i < n; ++i)
+    chares.push_back(tb.add_chare("ring[" + std::to_string(i) + "]", arr, i,
+                                  i % 2));
+  trace::EntryId e_recv = tb.add_entry("recvResult");
+  trace::EntryId e_s0 = tb.add_entry("serial_0", false, 0);
+  trace::EntryId e_s1 = tb.add_entry("serial_1", false, 1, {e_recv});
+
+  // serial_0 on every chare: a send to the left neighbor.
+  std::vector<trace::EventId> sends;
+  for (int i = 0; i < n; ++i) {
+    trace::TimeNs t = i * stagger;
+    trace::BlockId b = tb.begin_block(chares[static_cast<std::size_t>(i)],
+                                      i % 2, e_s0, t);
+    sends.push_back(tb.add_send(b, t + 10));
+    tb.end_block(b, t + 20);
+  }
+  // recvResult + immediately-following serial_1 on the left neighbor.
+  for (int i = 0; i < n; ++i) {
+    int dst = (i + n - 1) % n;
+    trace::TimeNs t = 2000 + i * stagger;
+    trace::BlockId br = tb.begin_block(chares[static_cast<std::size_t>(dst)],
+                                       dst % 2, e_recv, t);
+    tb.add_recv(br, t, sends[static_cast<std::size_t>(i)]);
+    tb.end_block(br, t + 30);
+    trace::BlockId bs = tb.begin_block(chares[static_cast<std::size_t>(dst)],
+                                       dst % 2, e_s1, t + 30);
+    tb.end_block(bs, t + 60);
+  }
+
+  RingTrace out;
+  out.trace = tb.finish(2);
+  out.n = n;
+  return out;
+}
+
+}  // namespace logstruct::order::testing

@@ -1,0 +1,158 @@
+#include "order/partition_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/builder.hpp"
+
+namespace logstruct::order {
+namespace {
+
+/// Four single-event partitions on four chares (one block each).
+struct Fixture {
+  trace::Trace trace;
+  std::vector<trace::EventId> events;
+};
+
+Fixture make_four_events() {
+  Fixture f;
+  trace::TraceBuilder tb;
+  trace::EntryId e = tb.add_entry("go");
+  for (int i = 0; i < 4; ++i) {
+    trace::ChareId c = tb.add_chare("c" + std::to_string(i));
+    trace::BlockId b = tb.begin_block(c, 0, e, i * 10);
+    f.events.push_back(tb.add_send(b, i * 10));
+    tb.end_block(b, i * 10 + 5);
+  }
+  f.trace = tb.finish(1);
+  return f;
+}
+
+TEST(PartitionGraph, BuildAndQuery) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  for (int i = 0; i < 4; ++i)
+    pg.add_partition({f.events[static_cast<std::size_t>(i)]}, i % 2 == 0);
+  pg.add_edge(0, 1);
+  pg.add_edge(1, 2);
+  pg.finalize();
+
+  EXPECT_EQ(pg.num_partitions(), 4);
+  EXPECT_TRUE(pg.runtime(0));
+  EXPECT_FALSE(pg.runtime(1));
+  EXPECT_EQ(pg.part_of(f.events[2]), 2);
+  EXPECT_TRUE(pg.dag().has_edge(0, 1));
+  ASSERT_EQ(pg.chares(0).size(), 1u);
+}
+
+TEST(PartitionGraph, ApplyMergesRelabelsEverything) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  for (int i = 0; i < 4; ++i)
+    pg.add_partition({f.events[static_cast<std::size_t>(i)]}, false);
+  pg.add_edge(0, 1);
+  pg.add_edge(2, 3);
+  pg.finalize();
+
+  std::vector<std::pair<PartId, PartId>> pairs{{0, 2}};
+  EXPECT_TRUE(pg.apply_merges(pairs));
+  EXPECT_EQ(pg.num_partitions(), 3);
+  EXPECT_EQ(pg.part_of(f.events[0]), pg.part_of(f.events[2]));
+  // Merged partition keeps both chares and both edges.
+  PartId merged = pg.part_of(f.events[0]);
+  EXPECT_EQ(pg.chares(merged).size(), 2u);
+  EXPECT_EQ(pg.events(merged).size(), 2u);
+  EXPECT_EQ(pg.dag().successors(merged).size(), 2u);
+}
+
+TEST(PartitionGraph, MergedEventsStayTimeSorted) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  for (int i = 0; i < 4; ++i)
+    pg.add_partition({f.events[static_cast<std::size_t>(i)]}, false);
+  pg.finalize();
+  std::vector<std::pair<PartId, PartId>> pairs{{3, 0}, {0, 2}};
+  pg.apply_merges(pairs);
+  PartId merged = pg.part_of(f.events[0]);
+  auto events = pg.events(merged);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(f.trace.event(events[i - 1]).time,
+              f.trace.event(events[i]).time);
+  }
+}
+
+TEST(PartitionGraph, CycleMergeCollapsesScc) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  for (int i = 0; i < 4; ++i)
+    pg.add_partition({f.events[static_cast<std::size_t>(i)]}, false);
+  pg.add_edge(0, 1);
+  pg.add_edge(1, 2);
+  pg.add_edge(2, 0);  // cycle 0-1-2
+  pg.add_edge(2, 3);
+  pg.finalize();
+
+  EXPECT_TRUE(pg.cycle_merge());
+  EXPECT_EQ(pg.num_partitions(), 2);
+  EXPECT_EQ(pg.part_of(f.events[0]), pg.part_of(f.events[1]));
+  EXPECT_EQ(pg.part_of(f.events[1]), pg.part_of(f.events[2]));
+  EXPECT_NE(pg.part_of(f.events[0]), pg.part_of(f.events[3]));
+  // Edge to 3 survives, graph is a DAG.
+  PartId merged = pg.part_of(f.events[0]);
+  EXPECT_TRUE(pg.dag().has_edge(merged, pg.part_of(f.events[3])));
+}
+
+TEST(PartitionGraph, CycleMergeNoOpOnDag) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  for (int i = 0; i < 4; ++i)
+    pg.add_partition({f.events[static_cast<std::size_t>(i)]}, false);
+  pg.add_edge(0, 1);
+  pg.finalize();
+  EXPECT_FALSE(pg.cycle_merge());
+  EXPECT_EQ(pg.num_partitions(), 4);
+}
+
+TEST(PartitionGraph, RuntimeFlagPropagatesThroughMerge) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  pg.add_partition({f.events[0]}, false);
+  pg.add_partition({f.events[1]}, true);
+  pg.add_partition({f.events[2]}, false);
+  pg.add_partition({f.events[3]}, false);
+  pg.add_edge(0, 1);
+  pg.add_edge(1, 0);  // app-runtime cycle
+  pg.finalize();
+  pg.cycle_merge();
+  EXPECT_TRUE(pg.runtime(pg.part_of(f.events[0])));
+  EXPECT_FALSE(pg.runtime(pg.part_of(f.events[2])));
+}
+
+TEST(PartitionGraph, FirstEventOfChare) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  for (int i = 0; i < 4; ++i)
+    pg.add_partition({f.events[static_cast<std::size_t>(i)]}, false);
+  pg.finalize();
+  std::vector<std::pair<PartId, PartId>> pairs{{0, 1}};
+  pg.apply_merges(pairs);
+  PartId merged = pg.part_of(f.events[0]);
+  EXPECT_EQ(pg.first_event_of_chare(merged, f.trace.event(f.events[1]).chare),
+            f.events[1]);
+  EXPECT_EQ(pg.first_event_of_chare(merged, f.trace.event(f.events[3]).chare),
+            trace::kNone);
+}
+
+TEST(PartitionGraph, MergesAppliedCounter) {
+  Fixture f = make_four_events();
+  PartitionGraph pg(f.trace);
+  for (int i = 0; i < 4; ++i)
+    pg.add_partition({f.events[static_cast<std::size_t>(i)]}, false);
+  pg.finalize();
+  EXPECT_EQ(pg.merges_applied(), 0);
+  std::vector<std::pair<PartId, PartId>> pairs{{0, 1}, {2, 3}};
+  pg.apply_merges(pairs);
+  EXPECT_EQ(pg.merges_applied(), 2);
+}
+
+}  // namespace
+}  // namespace logstruct::order

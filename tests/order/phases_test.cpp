@@ -1,0 +1,264 @@
+#include "order/phases.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "order_fixtures.hpp"
+#include "trace/builder.hpp"
+
+namespace logstruct::order {
+namespace {
+
+// --- The paper's Figure 3 walkthrough -------------------------------------
+
+TEST(Phases, RingCollapsesToOnePhase) {
+  // Each chare invokes its neighbor; the dependency merge creates a cycle
+  // in the partition graph, and the cycle merge folds it into one phase.
+  auto ring = testing::make_ring_trace(4);
+  PhaseResult phases = find_phases(ring.trace, PartitionOptions{});
+  EXPECT_EQ(phases.num_phases(), 1);
+  EXPECT_EQ(phases.events[0].size(),
+            static_cast<std::size_t>(ring.trace.num_events()));
+  EXPECT_FALSE(phases.runtime[0]);
+}
+
+TEST(Phases, RingOfAnySizeCollapses) {
+  for (int n : {2, 3, 8, 17}) {
+    auto ring = testing::make_ring_trace(n);
+    PhaseResult phases = find_phases(ring.trace, PartitionOptions{});
+    EXPECT_EQ(phases.num_phases(), 1) << "ring size " << n;
+  }
+}
+
+// --- dependency merge across one message ----------------------------------
+
+TEST(Phases, MatchingEndsShareAPhase) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId b = tb.add_chare("b");
+  trace::EntryId e = tb.add_entry("go");
+  trace::BlockId ba = tb.begin_block(a, 0, e, 0);
+  trace::EventId s = tb.add_send(ba, 10);
+  tb.end_block(ba, 20);
+  trace::BlockId bb = tb.begin_block(b, 1, e, 100);
+  tb.add_recv(bb, 100, s);
+  tb.end_block(bb, 120);
+  trace::Trace t = tb.finish(2);
+
+  PhaseResult phases = find_phases(t, PartitionOptions{});
+  EXPECT_EQ(phases.num_phases(), 1);
+}
+
+// --- application / runtime separation --------------------------------------
+
+/// One app chare sends to another app chare AND to a runtime chare from
+/// the same serial block. The app-app dependency and the app-runtime
+/// dependency must end in different phases.
+TEST(Phases, AppAndRuntimePhasesSeparate) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId b = tb.add_chare("b");
+  trace::ChareId r = tb.add_chare("mgr", trace::kNone, -1, 0, true);
+  trace::EntryId e = tb.add_entry("go");
+  trace::EntryId er = tb.add_entry("reduce", true);
+
+  trace::BlockId ba = tb.begin_block(a, 0, e, 0);
+  trace::EventId s_app = tb.add_send(ba, 10);
+  trace::EventId s_rt = tb.add_send(ba, 20);
+  tb.end_block(ba, 30);
+  trace::BlockId bb = tb.begin_block(b, 1, e, 100);
+  tb.add_recv(bb, 100, s_app);
+  tb.end_block(bb, 110);
+  trace::BlockId br = tb.begin_block(r, 0, er, 200);
+  tb.add_recv(br, 200, s_rt);
+  tb.end_block(br, 210);
+  trace::Trace t = tb.finish(2);
+
+  PhaseResult phases = find_phases(t, PartitionOptions{});
+  ASSERT_EQ(phases.num_phases(), 2);
+  std::int32_t app_phase = phases.phase_of_event[static_cast<std::size_t>(
+      s_app)];
+  std::int32_t rt_phase =
+      phases.phase_of_event[static_cast<std::size_t>(s_rt)];
+  EXPECT_NE(app_phase, rt_phase);
+  EXPECT_FALSE(phases.runtime[static_cast<std::size_t>(app_phase)]);
+  EXPECT_TRUE(phases.runtime[static_cast<std::size_t>(rt_phase)]);
+}
+
+TEST(Phases, NoSplitOptionMergesAppAndRuntime) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId r = tb.add_chare("mgr", trace::kNone, -1, 0, true);
+  trace::EntryId e = tb.add_entry("go");
+  trace::EntryId er = tb.add_entry("reduce", true);
+  trace::BlockId ba = tb.begin_block(a, 0, e, 0);
+  trace::EventId s1 = tb.add_send(ba, 10);  // to runtime
+  trace::EventId s2 = tb.add_send(ba, 20);  // dangling app send
+  tb.end_block(ba, 30);
+  trace::BlockId br = tb.begin_block(r, 0, er, 100);
+  tb.add_recv(br, 100, s1);
+  tb.end_block(br, 110);
+  trace::Trace t = tb.finish(1);
+  (void)s2;
+
+  PartitionOptions no_split;
+  no_split.split_app_runtime = false;
+  PhaseResult phases = find_phases(t, no_split);
+  // Without the boundary split the serial block stays whole.
+  EXPECT_EQ(phases.phase_of_event[static_cast<std::size_t>(s1)],
+            phases.phase_of_event[static_cast<std::size_t>(s2)]);
+}
+
+// --- leap property / inferred ordering --------------------------------------
+
+/// Two unrelated rounds of messaging between disjoint chare pairs, clearly
+/// ordered in time per chare. With no recorded dependency between rounds,
+/// source-order inference must order round 1 before round 2 per chare.
+TEST(Phases, SourceOrderInferenceSequencesRounds) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId b = tb.add_chare("b");
+  trace::EntryId e = tb.add_entry("go");
+
+  // Round 1: a -> b.
+  trace::BlockId ba1 = tb.begin_block(a, 0, e, 0);
+  trace::EventId s1 = tb.add_send(ba1, 10);
+  tb.end_block(ba1, 20);
+  trace::BlockId bb1 = tb.begin_block(b, 1, e, 100);
+  tb.add_recv(bb1, 100, s1);
+  tb.end_block(bb1, 110);
+  // Round 2: a -> b again, later, from a fresh serial block.
+  trace::BlockId ba2 = tb.begin_block(a, 0, e, 500);
+  trace::EventId s2 = tb.add_send(ba2, 510);
+  tb.end_block(ba2, 520);
+  trace::BlockId bb2 = tb.begin_block(b, 1, e, 600);
+  tb.add_recv(bb2, 600, s2);
+  tb.end_block(bb2, 610);
+  trace::Trace t = tb.finish(2);
+
+  PhaseResult phases = find_phases(t, PartitionOptions{});
+  ASSERT_EQ(phases.num_phases(), 2);
+  std::int32_t p1 = phases.phase_of_event[static_cast<std::size_t>(s1)];
+  std::int32_t p2 = phases.phase_of_event[static_cast<std::size_t>(s2)];
+  ASSERT_NE(p1, p2);
+  EXPECT_TRUE(phases.dag.has_edge(p1, p2));
+  EXPECT_LT(phases.leap[static_cast<std::size_t>(p1)],
+            phases.leap[static_cast<std::size_t>(p2)]);
+}
+
+/// Same two rounds, but with inference disabled and leap merging on: the
+/// overlapping-chare partitions at the same leap merge into one phase.
+TEST(Phases, LeapMergeCombinesUnorderableRounds) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId b = tb.add_chare("b");
+  trace::EntryId e = tb.add_entry("go");
+  trace::BlockId ba1 = tb.begin_block(a, 0, e, 0);
+  trace::EventId s1 = tb.add_send(ba1, 10);
+  tb.end_block(ba1, 20);
+  trace::BlockId bb1 = tb.begin_block(b, 1, e, 100);
+  tb.add_recv(bb1, 100, s1);
+  tb.end_block(bb1, 110);
+  trace::BlockId ba2 = tb.begin_block(a, 0, e, 500);
+  trace::EventId s2 = tb.add_send(ba2, 510);
+  tb.end_block(ba2, 520);
+  trace::BlockId bb2 = tb.begin_block(b, 1, e, 600);
+  tb.add_recv(bb2, 600, s2);
+  tb.end_block(bb2, 610);
+  trace::Trace t = tb.finish(2);
+
+  PartitionOptions opts;
+  opts.infer_source_order = false;  // no Alg 3
+  PhaseResult phases = find_phases(t, opts);
+  EXPECT_EQ(phases.num_phases(), 1);
+  EXPECT_EQ(phases.phase_of_event[static_cast<std::size_t>(s1)],
+            phases.phase_of_event[static_cast<std::size_t>(s2)]);
+}
+
+/// Fig. 17 ablation: no inference AND no leap merge. The rounds stay
+/// separate but are forced into sequence by physical-time edges.
+TEST(Phases, AblationForcesSequenceWithoutMerging) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId b = tb.add_chare("b");
+  trace::EntryId e = tb.add_entry("go");
+  trace::BlockId ba1 = tb.begin_block(a, 0, e, 0);
+  trace::EventId s1 = tb.add_send(ba1, 10);
+  tb.end_block(ba1, 20);
+  trace::BlockId bb1 = tb.begin_block(b, 1, e, 100);
+  tb.add_recv(bb1, 100, s1);
+  tb.end_block(bb1, 110);
+  trace::BlockId ba2 = tb.begin_block(a, 0, e, 500);
+  trace::EventId s2 = tb.add_send(ba2, 510);
+  tb.end_block(ba2, 520);
+  trace::BlockId bb2 = tb.begin_block(b, 1, e, 600);
+  tb.add_recv(bb2, 600, s2);
+  tb.end_block(bb2, 610);
+  trace::Trace t = tb.finish(2);
+
+  PartitionOptions opts;
+  opts.infer_source_order = false;
+  opts.leap_merge = false;
+  PhaseResult phases = find_phases(t, opts);
+  ASSERT_EQ(phases.num_phases(), 2);
+  std::int32_t p1 = phases.phase_of_event[static_cast<std::size_t>(s1)];
+  std::int32_t p2 = phases.phase_of_event[static_cast<std::size_t>(s2)];
+  EXPECT_NE(phases.leap[static_cast<std::size_t>(p1)],
+            phases.leap[static_cast<std::size_t>(p2)]);
+}
+
+// --- collectives -------------------------------------------------------------
+
+TEST(Phases, CollectiveFormsOnePhase) {
+  trace::TraceBuilder tb;
+  trace::EntryId e = tb.add_entry("MPI_Allreduce");
+  trace::CollectiveId coll = tb.begin_collective();
+  for (int r = 0; r < 4; ++r) {
+    trace::ChareId c = tb.add_chare("rank" + std::to_string(r));
+    trace::BlockId b = tb.begin_block(c, r, e, r * 10);
+    tb.add_collective_send(coll, b, r * 10);
+    tb.add_collective_recv(coll, b, 1000);
+    tb.end_block(b, 1000);
+  }
+  trace::Trace t = tb.finish(4);
+  PhaseResult phases = find_phases(t, PartitionOptions{});
+  EXPECT_EQ(phases.num_phases(), 1);
+}
+
+// --- statistics fields --------------------------------------------------------
+
+TEST(Phases, PipelineStatsPopulated) {
+  auto ring = testing::make_ring_trace(6);
+  PhaseResult phases = find_phases(ring.trace, PartitionOptions{});
+  EXPECT_GT(phases.initial_partitions, 1);
+  EXPECT_GT(phases.merges, 0);
+}
+
+TEST(Phases, PhaseIdsOrderedByLeap) {
+  trace::TraceBuilder tb;
+  trace::ChareId a = tb.add_chare("a");
+  trace::ChareId b = tb.add_chare("b");
+  trace::EntryId e = tb.add_entry("go");
+  trace::BlockId ba1 = tb.begin_block(a, 0, e, 0);
+  trace::EventId s1 = tb.add_send(ba1, 10);
+  tb.end_block(ba1, 20);
+  trace::BlockId bb1 = tb.begin_block(b, 1, e, 100);
+  tb.add_recv(bb1, 100, s1);
+  tb.end_block(bb1, 110);
+  trace::BlockId ba2 = tb.begin_block(a, 0, e, 500);
+  trace::EventId s2 = tb.add_send(ba2, 510);
+  tb.end_block(ba2, 520);
+  trace::BlockId bb2 = tb.begin_block(b, 1, e, 600);
+  tb.add_recv(bb2, 600, s2);
+  tb.end_block(bb2, 610);
+  trace::Trace t = tb.finish(2);
+
+  PhaseResult phases = find_phases(t, PartitionOptions{});
+  ASSERT_EQ(phases.num_phases(), 2);
+  EXPECT_LE(phases.leap[0], phases.leap[1]);
+  EXPECT_EQ(phases.phase_of_event[static_cast<std::size_t>(s1)], 0);
+}
+
+}  // namespace
+}  // namespace logstruct::order

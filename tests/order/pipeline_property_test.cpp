@@ -1,0 +1,177 @@
+/// End-to-end property tests: run the full pipeline over simulator traces
+/// across seeds and configurations and assert the structural invariants
+/// the paper's phase-DAG properties guarantee.
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lassen.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/mergetree.hpp"
+#include "apps/nasbt.hpp"
+#include "apps/pdes.hpp"
+#include "order/stats.hpp"
+#include "order/stepping.hpp"
+#include "order_fixtures.hpp"
+
+namespace logstruct::order {
+namespace {
+
+class JacobiSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JacobiSeeds, InvariantsHold) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 3;
+  cfg.seed = GetParam();
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  testing::expect_structure_invariants(t, ls);
+  StructureStats s = compute_stats(t, ls);
+  EXPECT_EQ(s.chare_step_violations, 0);
+  EXPECT_GT(s.app_phases, 0);
+  EXPECT_GT(s.runtime_phases, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JacobiSeeds,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+class JacobiNoReorderSeeds : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(JacobiNoReorderSeeds, InvariantsHold) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  cfg.seed = GetParam();
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  LogicalStructure ls = extract_structure(t, Options::charm_no_reorder());
+  testing::expect_structure_invariants(t, ls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JacobiNoReorderSeeds,
+                         ::testing::Values(1u, 7u, 1234u));
+
+class LuleshCharmSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LuleshCharmSeeds, InvariantsHoldAllOptionSets) {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 3;
+  cfg.seed = GetParam();
+  trace::Trace t = apps::run_lulesh_charm(cfg);
+  for (const Options& opts :
+       {Options::charm(), Options::charm_no_inference(),
+        Options::charm_no_reorder()}) {
+    LogicalStructure ls = extract_structure(t, opts);
+    testing::expect_structure_invariants(t, ls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuleshCharmSeeds,
+                         ::testing::Values(1u, 5u, 42u, 777u));
+
+class LassenGrids
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LassenGrids, InvariantsHold) {
+  apps::LassenConfig cfg;
+  cfg.chares_x = GetParam().first;
+  cfg.chares_y = GetParam().second;
+  cfg.iterations = 5;
+  trace::Trace t = apps::run_lassen_charm(cfg);
+  LogicalStructure ls = extract_structure(t, Options::charm());
+  testing::expect_structure_invariants(t, ls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, LassenGrids,
+                         ::testing::Values(std::pair{4, 2}, std::pair{8, 8},
+                                           std::pair{3, 3}));
+
+TEST(PipelineProperty, PdesWithAndWithoutDetectorTracing) {
+  for (bool traced : {false, true}) {
+    apps::PdesConfig cfg;
+    cfg.trace_detector_calls = traced;
+    trace::Trace t = apps::run_pdes(cfg);
+    LogicalStructure ls = extract_structure(t, Options::charm());
+    testing::expect_structure_invariants(t, ls);
+  }
+}
+
+class MpiAppSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpiAppSeeds, LuleshMpiInvariants) {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 2;
+  cfg.seed = GetParam();
+  trace::Trace t = apps::run_lulesh_mpi(cfg);
+  for (const Options& opts : {Options::mpi(), Options::mpi_baseline13()}) {
+    LogicalStructure ls = extract_structure(t, opts);
+    testing::expect_structure_invariants(t, ls);
+  }
+}
+
+TEST_P(MpiAppSeeds, MergeTreeInvariants) {
+  apps::MergeTreeConfig cfg;
+  cfg.num_ranks = 32;
+  cfg.seed = GetParam();
+  trace::Trace t = apps::run_mergetree_mpi(cfg);
+  for (const Options& opts : {Options::mpi(), Options::mpi_baseline13()}) {
+    LogicalStructure ls = extract_structure(t, opts);
+    testing::expect_structure_invariants(t, ls);
+  }
+}
+
+TEST_P(MpiAppSeeds, NasBtInvariants) {
+  apps::NasBtConfig cfg;
+  cfg.seed = GetParam();
+  trace::Trace t = apps::run_nasbt_mpi(cfg);
+  LogicalStructure ls = extract_structure(t, Options::mpi());
+  testing::expect_structure_invariants(t, ls);
+}
+
+TEST_P(MpiAppSeeds, LassenMpiInvariants) {
+  apps::LassenConfig cfg;
+  cfg.iterations = 3;
+  cfg.seed = GetParam();
+  trace::Trace t = apps::run_lassen_mpi(cfg);
+  LogicalStructure ls = extract_structure(t, Options::mpi());
+  testing::expect_structure_invariants(t, ls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpiAppSeeds,
+                         ::testing::Values(1u, 2u, 31u, 555u));
+
+TEST(PipelineProperty, DeterministicStructure) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  LogicalStructure a = extract_structure(t, Options::charm());
+  LogicalStructure b = extract_structure(t, Options::charm());
+  EXPECT_EQ(a.global_step, b.global_step);
+  EXPECT_EQ(a.phases.phase_of_event, b.phases.phase_of_event);
+}
+
+TEST(PipelineProperty, ReorderingNeverWidensStructure) {
+  // The idealized replay should give a structure at most as wide (in max
+  // step) as physical order for these regular apps.
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 8;
+  cfg.chares_y = 8;
+  cfg.num_pes = 8;
+  cfg.iterations = 2;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  LogicalStructure reordered = extract_structure(t, Options::charm());
+  LogicalStructure physical =
+      extract_structure(t, Options::charm_no_reorder());
+  EXPECT_LE(reordered.max_step, physical.max_step);
+}
+
+}  // namespace
+}  // namespace logstruct::order

@@ -1,0 +1,91 @@
+#include "order/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lulesh.hpp"
+#include "order/stepping.hpp"
+
+namespace logstruct::order {
+namespace {
+
+LogicalStructure jacobi_structure(trace::Trace& t) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  t = apps::run_jacobi2d(cfg);
+  return extract_structure(t, Options::charm());
+}
+
+TEST(Stats, BasicCountsConsistent) {
+  trace::Trace t;
+  LogicalStructure ls = jacobi_structure(t);
+  StructureStats s = compute_stats(t, ls);
+  EXPECT_EQ(s.num_phases, ls.num_phases());
+  EXPECT_EQ(s.app_phases + s.runtime_phases, s.num_phases);
+  EXPECT_EQ(s.width, ls.max_step + 1);
+  EXPECT_EQ(s.chare_step_violations, 0);
+  EXPECT_GT(s.avg_occupancy, 1.0);
+  EXPECT_GT(s.merges, 0);
+  EXPECT_GT(s.initial_partitions, s.num_phases);
+}
+
+TEST(Stats, PhaseTableSortedByOffset) {
+  trace::Trace t;
+  LogicalStructure ls = jacobi_structure(t);
+  auto rows = phase_table(t, ls);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(ls.num_phases()));
+  std::int64_t total_events = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    total_events += rows[i].events;
+    if (i > 0) {
+      EXPECT_GE(rows[i].offset, rows[i - 1].offset);
+    }
+    EXPECT_GE(rows[i].chares, 1);
+    EXPECT_GE(rows[i].height, 0);
+  }
+  EXPECT_EQ(total_events, t.num_events());
+}
+
+TEST(Stats, StepOverlapSelfIsFull) {
+  trace::Trace t;
+  LogicalStructure ls = jacobi_structure(t);
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p)
+    EXPECT_DOUBLE_EQ(step_overlap(ls, p, p), 1.0);
+}
+
+TEST(Stats, StepOverlapDisjointForChainedPhases) {
+  trace::Trace t;
+  LogicalStructure ls = jacobi_structure(t);
+  for (auto [u, v] : ls.phases.dag.edges()) {
+    EXPECT_DOUBLE_EQ(step_overlap(ls, u, v), 0.0);
+    EXPECT_DOUBLE_EQ(step_overlap(ls, v, u), 0.0);
+  }
+}
+
+TEST(Stats, CompactnessIsOneForTightPhases) {
+  trace::Trace t;
+  LogicalStructure ls = jacobi_structure(t);
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p) {
+    double c = phase_compactness(t, ls, p);
+    EXPECT_GT(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(Stats, AblationHasMorePhases) {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 3;
+  trace::Trace t = apps::run_lulesh_charm(cfg);
+  StructureStats full =
+      compute_stats(t, extract_structure(t, Options::charm()));
+  StructureStats ablated = compute_stats(
+      t, extract_structure(t, Options::charm_no_inference()));
+  EXPECT_GT(ablated.num_phases, full.num_phases);
+  EXPECT_GE(ablated.width, full.width);
+}
+
+}  // namespace
+}  // namespace logstruct::order

@@ -1,0 +1,344 @@
+#include "sim/charm/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/charm/chare.hpp"
+#include "trace/validate.hpp"
+
+namespace logstruct::sim::charm {
+namespace {
+
+using trace::EntryId;
+using trace::kNone;
+
+/// Ping-pong pair used across tests: chare 0 sends `rounds` pings; chare 1
+/// pongs each back.
+struct PingPongEntries {
+  EntryId start;
+  EntryId ping;
+  EntryId pong;
+};
+
+class PingPong final : public Chare {
+ public:
+  PingPong(const PingPongEntries& e, std::int32_t rounds)
+      : e_(&e), rounds_(rounds) {}
+
+  void on_message(EntryId entry, const MsgData&) override {
+    if (entry == e_->start) {
+      rt().compute(100);
+      rt().send(rt().array_element(array(), 1), e_->ping);
+    } else if (entry == e_->ping) {
+      rt().compute(50);
+      rt().send(rt().array_element(array(), 0), e_->pong);
+    } else {  // pong
+      rt().compute(50);
+      if (++seen_ < rounds_)
+        rt().send(rt().array_element(array(), 1), e_->ping);
+    }
+  }
+
+ private:
+  const PingPongEntries* e_;
+  std::int32_t rounds_;
+  std::int32_t seen_ = 0;
+};
+
+trace::Trace run_pingpong(std::int32_t rounds, std::uint64_t seed = 1) {
+  RuntimeConfig rc;
+  rc.num_pes = 2;
+  rc.seed = seed;
+  Runtime rt(rc);
+  PingPongEntries e;
+  e.start = rt.register_entry("start");
+  e.ping = rt.register_entry("ping");
+  e.pong = rt.register_entry("pong");
+  trace::ArrayId arr =
+      rt.create_array<PingPong>("pp", 2, Placement::Block, e, rounds);
+  rt.start(rt.array_element(arr, 0), e.start);
+  return rt.run();
+}
+
+TEST(CharmRuntime, PingPongTraceIsValid) {
+  trace::Trace t = run_pingpong(3);
+  auto problems = trace::validate(t);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(CharmRuntime, PingPongEventCounts) {
+  trace::Trace t = run_pingpong(3);
+  // start block: 1 send. Each round: ping recv+pong send on chare1, pong
+  // recv (+maybe ping send) on chare0. Sends: 1 + 3 + 3 - 1 (last pong not
+  // answered) = wait: chare0 sends ping on start and after pong 1,2 (not
+  // after 3): 3 pings; chare1 sends 3 pongs. Total sends 6, recvs 6.
+  int sends = 0, recvs = 0;
+  for (const auto& e : t.events()) {
+    if (e.kind == trace::EventKind::Send) ++sends;
+    else ++recvs;
+  }
+  EXPECT_EQ(sends, 6);
+  EXPECT_EQ(recvs, 6);
+  // Every recv is matched (all sends traced).
+  for (const auto& e : t.events())
+    if (e.kind == trace::EventKind::Recv) {
+      EXPECT_NE(e.partner, kNone);
+    }
+}
+
+TEST(CharmRuntime, DeterministicForSeed) {
+  trace::Trace a = run_pingpong(5, 42);
+  trace::Trace b = run_pingpong(5, 42);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (trace::EventId i = 0; i < a.num_events(); ++i) {
+    EXPECT_EQ(a.event(i).time, b.event(i).time);
+    EXPECT_EQ(a.event(i).chare, b.event(i).chare);
+  }
+}
+
+TEST(CharmRuntime, SeedChangesTimings) {
+  trace::Trace a = run_pingpong(5, 1);
+  trace::Trace b = run_pingpong(5, 2);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  bool any_diff = false;
+  for (trace::EventId i = 0; i < a.num_events(); ++i)
+    if (a.event(i).time != b.event(i).time) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CharmRuntime, BootstrapBlockHasNoTrigger) {
+  trace::Trace t = run_pingpong(1);
+  // First block (start entry) has no trigger recv.
+  bool found = false;
+  for (trace::BlockId b = 0; b < t.num_blocks(); ++b) {
+    if (t.entry(t.block(b).entry).name == "start") {
+      EXPECT_EQ(t.block(b).trigger, kNone);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CharmRuntime, ReductionMgrCharesExist) {
+  trace::Trace t = run_pingpong(1);
+  int mgrs = 0;
+  for (const auto& c : t.chares())
+    if (c.runtime) ++mgrs;
+  EXPECT_EQ(mgrs, 2);  // one CkReductionMgr per PE
+}
+
+TEST(CharmRuntime, IdleRecordedBetweenRounds) {
+  // Cross-PE latency means each chare idles while waiting; at least one
+  // idle span must be recorded.
+  trace::Trace t = run_pingpong(3);
+  EXPECT_FALSE(t.idles().empty());
+}
+
+// --- reductions ---------------------------------------------------------
+
+struct RedEntries {
+  EntryId start;
+  EntryId result;
+};
+
+class Reducer final : public Chare {
+ public:
+  Reducer(const RedEntries& e, ReducerOp op, double* out)
+      : e_(&e), op_(op), out_(out) {}
+
+  void on_message(EntryId entry, const MsgData& data) override {
+    if (entry == e_->start) {
+      rt().compute(100);
+      rt().contribute(static_cast<double>(index() + 1), op_,
+                      Callback::send(rt().array_element(array(), 0),
+                                     e_->result));
+    } else {
+      *out_ = data.doubles.at(0);
+    }
+  }
+
+ private:
+  const RedEntries* e_;
+  ReducerOp op_;
+  double* out_;
+};
+
+double run_reduction(std::int32_t n, std::int32_t pes, ReducerOp op,
+                     bool trace_local = true,
+                     trace::Trace* trace_out = nullptr) {
+  RuntimeConfig rc;
+  rc.num_pes = pes;
+  rc.trace_local_reductions = trace_local;
+  Runtime rt(rc);
+  RedEntries e;
+  e.start = rt.register_entry("start");
+  e.result = rt.register_entry("result");
+  double out = -1;
+  trace::ArrayId arr =
+      rt.create_array<Reducer>("red", n, Placement::Block, e, op, &out);
+  // Kick every element.
+  class Kick final : public Chare {
+   public:
+    Kick(trace::ArrayId a, EntryId start) : a_(a), start_(start) {}
+    void on_message(EntryId, const MsgData&) override {
+      rt().broadcast(a_, start_);
+    }
+   private:
+    trace::ArrayId a_;
+    EntryId start_;
+  };
+  EntryId kick = rt.register_entry("kick");
+  trace::ChareId main =
+      rt.create_singleton<Kick>("main", 0, false, arr, e.start);
+  rt.start(main, kick);
+  trace::Trace t = rt.run();
+  if (trace_out) *trace_out = std::move(t);
+  return out;
+}
+
+TEST(CharmReduction, SumOverOnePe) {
+  EXPECT_DOUBLE_EQ(run_reduction(4, 1, ReducerOp::Sum), 10.0);
+}
+
+TEST(CharmReduction, SumOverManyPes) {
+  EXPECT_DOUBLE_EQ(run_reduction(16, 4, ReducerOp::Sum), 136.0);
+}
+
+TEST(CharmReduction, SumMorePesThanUsed) {
+  // Array on fewer PEs than the machine has: only hosting PEs participate.
+  EXPECT_DOUBLE_EQ(run_reduction(3, 8, ReducerOp::Sum), 6.0);
+}
+
+TEST(CharmReduction, MaxAndMin) {
+  EXPECT_DOUBLE_EQ(run_reduction(8, 2, ReducerOp::Max), 8.0);
+  EXPECT_DOUBLE_EQ(run_reduction(8, 2, ReducerOp::Min), 1.0);
+}
+
+TEST(CharmReduction, Section5TracingAddsLocalEvents) {
+  trace::Trace with{}, without{};
+  run_reduction(16, 4, ReducerOp::Sum, true, &with);
+  run_reduction(16, 4, ReducerOp::Sum, false, &without);
+  EXPECT_GT(with.num_events(), without.num_events());
+  // Same physical behaviour: identical end time (tracing is free in the
+  // simulator).
+  EXPECT_EQ(with.end_time(), without.end_time());
+  EXPECT_TRUE(trace::validate(with).empty());
+  EXPECT_TRUE(trace::validate(without).empty());
+}
+
+TEST(CharmReduction, LocalReductionEventsAreRuntimeEvents) {
+  trace::Trace t{};
+  run_reduction(16, 4, ReducerOp::Sum, true, &t);
+  // Every event on a runtime chare must classify as runtime.
+  int runtime_events = 0;
+  for (trace::EventId i = 0; i < t.num_events(); ++i) {
+    if (t.chare(t.event(i).chare).runtime) {
+      EXPECT_TRUE(t.is_runtime_event(i));
+      ++runtime_events;
+    }
+  }
+  EXPECT_GT(runtime_events, 0);
+}
+
+// --- broadcast + immediates ---------------------------------------------
+
+TEST(CharmRuntime, BroadcastSingleSendManyRecvs) {
+  RuntimeConfig rc;
+  rc.num_pes = 2;
+  Runtime rt(rc);
+  EntryId go = rt.register_entry("go");
+  EntryId noop = rt.register_entry("noop");
+  class Noop final : public Chare {
+   public:
+    void on_message(EntryId, const MsgData&) override { rt().compute(10); }
+  };
+  class Caster final : public Chare {
+   public:
+    Caster(trace::ArrayId a, EntryId e) : a_(a), e_(e) {}
+    void on_message(EntryId, const MsgData&) override {
+      rt().broadcast(a_, e_);
+    }
+   private:
+    trace::ArrayId a_;
+    EntryId e_;
+  };
+  trace::ArrayId arr = rt.create_array<Noop>("n", 6, Placement::Block);
+  trace::ChareId main =
+      rt.create_singleton<Caster>("main", 0, false, arr, noop);
+  rt.start(main, go);
+  trace::Trace t = rt.run();
+
+  int sends = 0, recvs = 0;
+  trace::EventId the_send = trace::kNone;
+  for (trace::EventId i = 0; i < t.num_events(); ++i) {
+    if (t.event(i).kind == trace::EventKind::Send) {
+      ++sends;
+      the_send = i;
+    } else {
+      ++recvs;
+    }
+  }
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(recvs, 6);
+  EXPECT_EQ(t.receivers(the_send).size(), 6u);
+}
+
+TEST(CharmRuntime, ImmediateSerialContiguous) {
+  RuntimeConfig rc;
+  rc.num_pes = 1;
+  Runtime rt(rc);
+  EntryId go = rt.register_entry("go");
+  EntryId serial = rt.register_entry("serial_0", false, 0, {go});
+  class S final : public Chare {
+   public:
+    explicit S(EntryId serial) : serial_(serial) {}
+    void on_message(EntryId entry, const MsgData&) override {
+      if (entry != serial_) {
+        rt().compute(100);
+        rt().schedule_immediate(serial_);
+      } else {
+        rt().compute(50);
+      }
+    }
+   private:
+    EntryId serial_;
+  };
+  trace::ArrayId arr = rt.create_array<S>("s", 1, Placement::Block, serial);
+  rt.start(rt.array_element(arr, 0), go);
+  trace::Trace t = rt.run();
+
+  // Two blocks on the chare, back to back.
+  auto blocks = t.blocks_of_chare(t.chares().size() >= 1
+                                      ? t.num_chares() - 1
+                                      : 0);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(t.block(blocks[0]).end, t.block(blocks[1]).begin);
+  EXPECT_EQ(t.entry(t.block(blocks[1]).entry).sdag_serial, 0);
+}
+
+TEST(CharmRuntimeDeathTest, SendOutsideEntryAborts) {
+  RuntimeConfig rc;
+  rc.num_pes = 1;
+  Runtime rt(rc);
+  EntryId go = rt.register_entry("go");
+  EXPECT_DEATH(rt.send(0, go), "outside an entry method");
+}
+
+TEST(CharmRuntime, PlacementBlockAndRoundRobin) {
+  RuntimeConfig rc;
+  rc.num_pes = 4;
+  Runtime rt(rc);
+  class Noop final : public Chare {
+   public:
+    void on_message(EntryId, const MsgData&) override {}
+  };
+  trace::ArrayId blk = rt.create_array<Noop>("b", 8, Placement::Block);
+  trace::ArrayId rr = rt.create_array<Noop>("r", 8, Placement::RoundRobin);
+  EXPECT_EQ(rt.pe_of(rt.array_element(blk, 0)), 0);
+  EXPECT_EQ(rt.pe_of(rt.array_element(blk, 1)), 0);
+  EXPECT_EQ(rt.pe_of(rt.array_element(blk, 7)), 3);
+  EXPECT_EQ(rt.pe_of(rt.array_element(rr, 5)), 1);
+  EXPECT_EQ(rt.pe_of(rt.array_element(rr, 7)), 3);
+}
+
+}  // namespace
+}  // namespace logstruct::sim::charm

@@ -1,0 +1,142 @@
+#include "sim/charm/loadbalancer.hpp"
+
+#include "sim/charm/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/jacobi2d.hpp"
+#include "metrics/imbalance.hpp"
+#include "order/stats.hpp"
+#include "order/stepping.hpp"
+#include "trace/validate.hpp"
+
+namespace logstruct::sim::charm {
+namespace {
+
+apps::Jacobi2DConfig lb_config(LbStrategy strategy) {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 6;
+  cfg.lb_at_iteration = 2;
+  cfg.lb_strategy = strategy;
+  return cfg;
+}
+
+TEST(LoadBalancer, TraceValidAndRunCompletes) {
+  for (LbStrategy s : {LbStrategy::Rotate, LbStrategy::Greedy}) {
+    trace::Trace t = apps::run_jacobi2d(lb_config(s));
+    auto problems = trace::validate(t);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+    // All iterations ran despite the barrier swap.
+    int computes = 0;
+    for (const auto& b : t.blocks())
+      if (t.entry(b.entry).name == "serial_1_compute") ++computes;
+    EXPECT_EQ(computes, 16 * 6);
+  }
+}
+
+TEST(LoadBalancer, LbManagerAppearsAsRuntimeChare) {
+  trace::Trace t = apps::run_jacobi2d(lb_config(LbStrategy::Rotate));
+  bool found = false;
+  for (trace::ChareId c = 0; c < t.num_chares(); ++c) {
+    if (t.chare(c).name == "LBManager") {
+      EXPECT_TRUE(t.chare(c).runtime);
+      EXPECT_FALSE(t.blocks_of_chare(c).empty());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LoadBalancer, RotateMovesEveryChare) {
+  trace::Trace t = apps::run_jacobi2d(lb_config(LbStrategy::Rotate));
+  int moved = 0;
+  for (trace::ChareId c = 0; c < t.num_chares(); ++c) {
+    if (t.chare(c).runtime || t.chare(c).array != 0) continue;
+    std::set<trace::ProcId> procs;
+    for (trace::BlockId b : t.blocks_of_chare(c))
+      procs.insert(t.block(b).proc);
+    if (procs.size() > 1) ++moved;
+  }
+  EXPECT_EQ(moved, 16);
+}
+
+TEST(LoadBalancer, GreedyRebalancesInjectedHotspot) {
+  // Compare per-PE busy time in the tail iterations with and without LB.
+  apps::Jacobi2DConfig base;
+  base.chares_x = 4;
+  base.chares_y = 4;
+  base.num_pes = 4;
+  base.iterations = 6;
+  base.compute_noise_ns = 40000;  // strong static load variation
+  apps::Jacobi2DConfig balanced = base;
+  balanced.lb_at_iteration = 2;
+  balanced.lb_strategy = LbStrategy::Greedy;
+
+  auto tail_spread = [](const trace::Trace& t) {
+    // Busy time per PE in the second half of the run.
+    trace::TimeNs half = t.end_time() / 2;
+    std::map<trace::ProcId, trace::TimeNs> busy;
+    for (const auto& b : t.blocks())
+      if (b.begin >= half) busy[b.proc] += b.end - b.begin;
+    trace::TimeNs lo = -1, hi = 0;
+    for (auto& [p, v] : busy) {
+      if (lo < 0 || v < lo) lo = v;
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  };
+  trace::Trace t_base = apps::run_jacobi2d(base);
+  trace::Trace t_bal = apps::run_jacobi2d(balanced);
+  // The balanced run must not be worse than unbalanced by more than noise;
+  // typically it is strictly better. (Jacobi with uniform noise is nearly
+  // balanced already, so assert a weak bound plus trace validity.)
+  EXPECT_LE(tail_spread(t_bal), tail_spread(t_base) * 2);
+  EXPECT_TRUE(trace::validate(t_bal).empty());
+}
+
+TEST(LoadBalancer, StructureInvariantsHoldAfterLb) {
+  trace::Trace t = apps::run_jacobi2d(lb_config(LbStrategy::Greedy));
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::charm());
+  order::StructureStats s = order::compute_stats(t, ls);
+  EXPECT_EQ(s.chare_step_violations, 0);
+  EXPECT_EQ(s.order_conflicts, 0);
+  // The LB step shows up as (part of) a runtime phase between the
+  // app-phase iterations.
+  EXPECT_GE(s.runtime_phases, 5);  // 5 reductions + LB (may merge/split)
+}
+
+TEST(LoadBalancer, DeterministicForSeed) {
+  trace::Trace a = apps::run_jacobi2d(lb_config(LbStrategy::Greedy));
+  trace::Trace b = apps::run_jacobi2d(lb_config(LbStrategy::Greedy));
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (trace::EventId i = 0; i < a.num_events(); ++i)
+    EXPECT_EQ(a.event(i).time, b.event(i).time);
+}
+
+TEST(LoadBalancerDeathTest, AtSyncWithoutConfigureAborts) {
+  // A chare calling at_sync() without configure_lb must abort with a
+  // clear message.
+  RuntimeConfig rc;
+  rc.num_pes = 1;
+  Runtime rt(rc);
+  trace::EntryId go = rt.register_entry("go");
+  class Sync final : public Chare {
+   public:
+    void on_message(trace::EntryId, const MsgData&) override {
+      rt().at_sync();
+    }
+  };
+  trace::ArrayId arr = rt.create_array<Sync>("s", 1, Placement::Block);
+  rt.start(rt.array_element(arr, 0), go);
+  EXPECT_DEATH(rt.run(), "configure_lb");
+}
+
+}  // namespace
+}  // namespace logstruct::sim::charm

@@ -1,0 +1,216 @@
+#include "sim/mpi/mpisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "trace/validate.hpp"
+
+namespace logstruct::sim::mpi {
+namespace {
+
+TEST(MpiSim, SendRecvPair) {
+  Program p(2);
+  p.send(0, 1, 0);
+  p.recv(1, 0, 0);
+  MpiConfig cfg;
+  trace::Trace t = simulate(p, cfg);
+  EXPECT_TRUE(trace::validate(t).empty());
+  EXPECT_EQ(t.num_events(), 2);
+  EXPECT_EQ(t.num_blocks(), 2);
+
+  const auto& send = t.event(0);
+  const auto& recv = t.event(1);
+  EXPECT_EQ(send.kind, trace::EventKind::Send);
+  EXPECT_EQ(recv.kind, trace::EventKind::Recv);
+  EXPECT_EQ(recv.partner, 0);
+  EXPECT_GE(recv.time, send.time + cfg.base_latency_ns);
+}
+
+TEST(MpiSim, RecvWaitRecordedAsIdle) {
+  Program p(2);
+  p.send(0, 1, 0);
+  p.recv(1, 0, 0);  // rank 1 waits for the network latency
+  MpiConfig cfg;
+  trace::Trace t = simulate(p, cfg);
+  ASSERT_EQ(t.idles().size(), 1u);
+  EXPECT_EQ(t.idles()[0].proc, 1);
+}
+
+TEST(MpiSim, IdleRecordingCanBeDisabled) {
+  Program p(2);
+  p.send(0, 1, 0);
+  p.recv(1, 0, 0);
+  MpiConfig cfg;
+  cfg.record_recv_wait_as_idle = false;
+  trace::Trace t = simulate(p, cfg);
+  EXPECT_TRUE(t.idles().empty());
+}
+
+TEST(MpiSim, FifoMatchingPerChannel) {
+  Program p(2);
+  p.send(0, 1, 7);
+  p.send(0, 1, 7);
+  p.recv(1, 0, 7);
+  p.recv(1, 0, 7);
+  trace::Trace t = simulate(p, MpiConfig{});
+  // First recv matches first send.
+  trace::EventId first_send = 0;
+  bool checked = false;
+  for (trace::EventId i = 0; i < t.num_events(); ++i) {
+    if (t.event(i).kind == trace::EventKind::Recv && !checked) {
+      EXPECT_EQ(t.event(i).partner, first_send);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(MpiSim, TagsSeparateChannels) {
+  Program p(2);
+  p.send(0, 1, /*tag=*/1);
+  p.send(0, 1, /*tag=*/2);
+  // Rank 1 receives tag 2 first: must match the second send.
+  p.recv(1, 0, 2);
+  p.recv(1, 0, 1);
+  trace::Trace t = simulate(p, MpiConfig{});
+  EXPECT_TRUE(trace::validate(t).empty());
+  // Event order: send(tag1)=0, send(tag2)=1, then recvs.
+  std::vector<trace::EventId> recvs;
+  for (trace::EventId i = 0; i < t.num_events(); ++i)
+    if (t.event(i).kind == trace::EventKind::Recv) recvs.push_back(i);
+  ASSERT_EQ(recvs.size(), 2u);
+  EXPECT_EQ(t.event(recvs[0]).partner, 1);  // tag 2
+  EXPECT_EQ(t.event(recvs[1]).partner, 0);  // tag 1
+}
+
+TEST(MpiSim, ComputeDelaysSubsequentOps) {
+  Program p(2);
+  p.compute(0, 100000);
+  p.send(0, 1, 0);
+  p.recv(1, 0, 0);
+  trace::Trace t = simulate(p, MpiConfig{});
+  // The send block begins at >= 100000.
+  bool found = false;
+  for (trace::BlockId b = 0; b < t.num_blocks(); ++b) {
+    if (t.entry(t.block(b).entry).name == "MPI_Send") {
+      EXPECT_GE(t.block(b).begin, 100000);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MpiSim, AllreduceSynchronizesRanks) {
+  Program p(3);
+  p.compute(0, 1000);
+  p.compute(1, 50000);
+  p.compute(2, 2000);
+  for (int r = 0; r < 3; ++r) p.allreduce(r);
+  MpiConfig cfg;
+  trace::Trace t = simulate(p, cfg);
+  EXPECT_TRUE(trace::validate(t).empty());
+  ASSERT_EQ(t.collectives().size(), 1u);
+  const auto& coll = t.collectives()[0];
+  EXPECT_EQ(coll.sends.size(), 3u);
+  EXPECT_EQ(coll.recvs.size(), 3u);
+  // All ranks leave at the same time: slowest entry + collective cost.
+  for (trace::EventId r : coll.recvs)
+    EXPECT_EQ(t.event(r).time, 50000 + cfg.collective_cost_ns);
+}
+
+TEST(MpiSim, BackToBackAllreduces) {
+  Program p(2);
+  for (int k = 0; k < 3; ++k) {
+    p.allreduce(0);
+    p.allreduce(1);
+  }
+  trace::Trace t = simulate(p, MpiConfig{});
+  EXPECT_EQ(t.collectives().size(), 3u);
+  EXPECT_TRUE(trace::validate(t).empty());
+}
+
+TEST(MpiSim, OutOfOrderProgramStillMatches) {
+  // Rank 1's ops come "first" in rank order but depend on rank 0.
+  Program p(2);
+  p.recv(1, 0, 0);
+  p.send(1, 0, 1);
+  p.send(0, 1, 0);
+  p.recv(0, 1, 1);
+  trace::Trace t = simulate(p, MpiConfig{});
+  EXPECT_TRUE(trace::validate(t).empty());
+  EXPECT_EQ(t.num_events(), 4);
+}
+
+TEST(MpiSimDeathTest, DeadlockDetected) {
+  Program p(2);
+  p.recv(0, 1, 0);  // both wait forever
+  p.recv(1, 0, 0);
+  EXPECT_DEATH(simulate(p, MpiConfig{}), "deadlock");
+}
+
+TEST(MpiSim, DeterministicForSeed) {
+  Program p(4);
+  for (int r = 0; r < 4; ++r) {
+    p.send(r, (r + 1) % 4, 0);
+    p.recv(r, (r + 3) % 4, 0);
+    p.allreduce(r);
+  }
+  MpiConfig cfg;
+  cfg.seed = 99;
+  trace::Trace a = simulate(p, cfg);
+  trace::Trace b = simulate(p, cfg);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (trace::EventId i = 0; i < a.num_events(); ++i)
+    EXPECT_EQ(a.event(i).time, b.event(i).time);
+}
+
+TEST(MpiSim, TreeAllreduceMatchesAndCompletes) {
+  Program p(7);  // non-power-of-two on purpose
+  for (int r = 0; r < 7; ++r) p.compute(r, 100 * (r + 1));
+  p.tree_allreduce(/*tag=*/50);
+  trace::Trace t = simulate(p, MpiConfig{});
+  EXPECT_TRUE(trace::validate(t).empty());
+  // 6 reduce messages + 6 broadcast messages, no abstract collectives.
+  int sends = 0;
+  for (const auto& e : t.events())
+    if (e.kind == trace::EventKind::Send) ++sends;
+  EXPECT_EQ(sends, 12);
+  EXPECT_TRUE(t.collectives().empty());
+}
+
+TEST(MpiSim, TreeAllreduceSynchronizes) {
+  Program p(4);
+  p.compute(1, 90000);  // rank 1 is late
+  p.tree_allreduce(/*tag=*/7);
+  // After the allreduce every rank sends a follow-up message in a ring;
+  // those sends must all start after the slowest rank's contribution
+  // reached the root and was broadcast back.
+  for (int r = 0; r < 4; ++r) p.send(r, (r + 1) % 4, 99);
+  for (int r = 0; r < 4; ++r) p.recv(r, (r + 3) % 4, 99);
+  trace::Trace t = simulate(p, MpiConfig{});
+  EXPECT_TRUE(trace::validate(t).empty());
+  // The broadcast-side receives cannot complete before the late rank's
+  // contribution reached the root: every rank's LAST receive is after
+  // rank 1's 90000ns compute.
+  std::vector<trace::TimeNs> last_recv(4, 0);
+  for (const auto& e : t.events())
+    if (e.kind == trace::EventKind::Recv)
+      last_recv[static_cast<std::size_t>(e.chare)] =
+          std::max(last_recv[static_cast<std::size_t>(e.chare)], e.time);
+  for (trace::TimeNs v : last_recv) EXPECT_GT(v, 90000);
+}
+
+TEST(MpiSim, RanksAreAppChares) {
+  Program p(2);
+  p.send(0, 1, 0);
+  p.recv(1, 0, 0);
+  trace::Trace t = simulate(p, MpiConfig{});
+  EXPECT_EQ(t.num_chares(), 2);
+  for (const auto& c : t.chares()) EXPECT_FALSE(c.runtime);
+  EXPECT_EQ(t.num_procs(), 2);
+}
+
+}  // namespace
+}  // namespace logstruct::sim::mpi

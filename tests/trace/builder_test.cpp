@@ -1,0 +1,134 @@
+#include "trace/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace_fixtures.hpp"
+
+namespace logstruct::trace {
+namespace {
+
+TEST(Builder, MiniTraceShape) {
+  auto m = testing::make_mini_trace();
+  EXPECT_EQ(m.trace.num_events(), 6);
+  EXPECT_EQ(m.trace.num_blocks(), 4);
+  EXPECT_EQ(m.trace.num_chares(), 3);
+  EXPECT_EQ(m.trace.num_procs(), 2);
+  EXPECT_EQ(m.trace.idles().size(), 1u);
+}
+
+TEST(Builder, PartnerMatching) {
+  auto m = testing::make_mini_trace();
+  EXPECT_EQ(m.trace.event(m.s_ab).partner, m.r_ab);
+  EXPECT_EQ(m.trace.event(m.r_ab).partner, m.s_ab);
+  EXPECT_EQ(m.trace.event(m.s_ba).partner, m.r_ba);
+}
+
+TEST(Builder, TriggerIsFirstRecv) {
+  auto m = testing::make_mini_trace();
+  EXPECT_EQ(m.trace.block(m.b0).trigger, m.r_ab);
+  EXPECT_EQ(m.trace.block(m.a0).trigger, kNone);  // bootstrap block
+}
+
+TEST(Builder, BroadcastFanout) {
+  TraceBuilder tb;
+  ChareId c0 = tb.add_chare("c0");
+  ChareId c1 = tb.add_chare("c1");
+  ChareId c2 = tb.add_chare("c2");
+  EntryId e = tb.add_entry("go");
+  BlockId src = tb.begin_block(c0, 0, e, 0);
+  EventId s = tb.add_send(src, 1);
+  tb.end_block(src, 2);
+  BlockId d1 = tb.begin_block(c1, 0, e, 10);
+  EventId r1 = tb.add_recv(d1, 10, s);
+  tb.end_block(d1, 11);
+  BlockId d2 = tb.begin_block(c2, 1, e, 12);
+  EventId r2 = tb.add_recv(d2, 12, s);
+  tb.end_block(d2, 13);
+  Trace t = tb.finish(2);
+
+  EXPECT_EQ(t.event(s).partner, r1);
+  auto extra = t.fanout(s);
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra[0], r2);
+  auto all = t.receivers(s);
+  EXPECT_EQ(all, (std::vector<EventId>{r1, r2}));
+}
+
+TEST(Builder, UntracedRecvKeepsNonePartner) {
+  TraceBuilder tb;
+  ChareId c = tb.add_chare("c");
+  EntryId e = tb.add_entry("go");
+  BlockId b = tb.begin_block(c, 0, e, 0);
+  EventId r = tb.add_recv(b, 0, kNone);
+  tb.end_block(b, 5);
+  Trace t = tb.finish(1);
+  EXPECT_EQ(t.event(r).partner, kNone);
+}
+
+TEST(Builder, CollectiveMembers) {
+  TraceBuilder tb;
+  ChareId c0 = tb.add_chare("r0");
+  ChareId c1 = tb.add_chare("r1");
+  EntryId e = tb.add_entry("allreduce");
+  CollectiveId coll = tb.begin_collective();
+  BlockId b0 = tb.begin_block(c0, 0, e, 0);
+  EventId s0 = tb.add_collective_send(coll, b0, 0);
+  EventId r0 = tb.add_collective_recv(coll, b0, 5);
+  tb.end_block(b0, 5);
+  BlockId b1 = tb.begin_block(c1, 1, e, 1);
+  EventId s1 = tb.add_collective_send(coll, b1, 1);
+  EventId r1 = tb.add_collective_recv(coll, b1, 5);
+  tb.end_block(b1, 5);
+  Trace t = tb.finish(2);
+
+  ASSERT_EQ(t.collectives().size(), 1u);
+  EXPECT_EQ(t.collectives()[0].sends, (std::vector<EventId>{s0, s1}));
+  EXPECT_EQ(t.collectives()[0].recvs, (std::vector<EventId>{r0, r1}));
+
+  int deps = 0;
+  t.for_each_dependency([&](EventId, EventId) { ++deps; });
+  EXPECT_EQ(deps, 4);  // 2 sends x 2 recvs
+}
+
+TEST(BuilderDeathTest, EventInClosedBlockAborts) {
+  TraceBuilder tb;
+  ChareId c = tb.add_chare("c");
+  EntryId e = tb.add_entry("go");
+  BlockId b = tb.begin_block(c, 0, e, 0);
+  tb.end_block(b, 5);
+  EXPECT_DEATH(tb.add_send(b, 6), "closed");
+}
+
+TEST(BuilderDeathTest, FinishWithOpenBlockAborts) {
+  TraceBuilder tb;
+  ChareId c = tb.add_chare("c");
+  EntryId e = tb.add_entry("go");
+  tb.begin_block(c, 0, e, 0);
+  EXPECT_DEATH(tb.finish(1), "open serial block");
+}
+
+TEST(Builder, MultipleRecvsFirstBecomesTrigger) {
+  TraceBuilder tb;
+  ChareId c = tb.add_chare("c");
+  EntryId e = tb.add_entry("go");
+  BlockId b = tb.begin_block(c, 0, e, 0);
+  EventId r1 = tb.add_recv(b, 0, kNone);
+  EventId r2 = tb.add_recv(b, 1, kNone);
+  tb.end_block(b, 5);
+  Trace t = tb.finish(1);
+  EXPECT_EQ(t.block(b).trigger, r1);
+  EXPECT_EQ(t.block(b).events.size(), 2u);
+  (void)r2;
+}
+
+TEST(Builder, ZeroLengthIdleDropped) {
+  TraceBuilder tb;
+  tb.add_chare("c");
+  tb.add_idle(0, 5, 5);
+  tb.add_idle(0, 7, 6);
+  Trace t = tb.finish(1);
+  EXPECT_TRUE(t.idles().empty());
+}
+
+}  // namespace
+}  // namespace logstruct::trace

@@ -1,0 +1,59 @@
+#include "trace/skew.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace_fixtures.hpp"
+
+namespace logstruct::trace {
+namespace {
+
+TEST(Skew, ShiftsOnlyTargetProc) {
+  auto m = testing::make_mini_trace();
+  std::vector<TimeNs> delta{0, 1000};
+  Trace skewed = apply_clock_skew(m.trace, delta);
+
+  // Proc-0 events unchanged.
+  EXPECT_EQ(skewed.event(m.s_ab).time, m.trace.event(m.s_ab).time);
+  // Proc-1 events shifted.
+  EXPECT_EQ(skewed.event(m.r_ab).time, m.trace.event(m.r_ab).time + 1000);
+  EXPECT_EQ(skewed.block(m.b0).begin, m.trace.block(m.b0).begin + 1000);
+}
+
+TEST(Skew, ShiftsIdleSpans) {
+  auto m = testing::make_mini_trace();
+  std::vector<TimeNs> delta{500, 0};
+  Trace skewed = apply_clock_skew(m.trace, delta);
+  ASSERT_EQ(skewed.idles().size(), 1u);
+  EXPECT_EQ(skewed.idles()[0].begin, 600);
+  EXPECT_EQ(skewed.idles()[0].end, 620);
+}
+
+TEST(Skew, ZeroSkewIsIdentity) {
+  auto m = testing::make_mini_trace();
+  std::vector<TimeNs> delta{0, 0};
+  Trace skewed = apply_clock_skew(m.trace, delta);
+  for (EventId e = 0; e < m.trace.num_events(); ++e)
+    EXPECT_EQ(skewed.event(e).time, m.trace.event(e).time);
+}
+
+TEST(Skew, NegativeSkewCanReorderAcrossProcs) {
+  auto m = testing::make_mini_trace();
+  // Shift proc 1 far ahead: recv on proc 1 now appears before the send.
+  std::vector<TimeNs> delta{0, -25};
+  Trace skewed = apply_clock_skew(m.trace, delta);
+  EXPECT_LT(skewed.event(m.r_ab).time, skewed.event(m.s_ab).time);
+}
+
+TEST(Skew, StructureUnchanged) {
+  auto m = testing::make_mini_trace();
+  std::vector<TimeNs> delta{100, -100};
+  Trace skewed = apply_clock_skew(m.trace, delta);
+  EXPECT_EQ(skewed.num_events(), m.trace.num_events());
+  EXPECT_EQ(skewed.num_blocks(), m.trace.num_blocks());
+  EXPECT_EQ(skewed.event(m.r_ab).partner, m.s_ab);
+}
+
+}  // namespace
+}  // namespace logstruct::trace

@@ -1,0 +1,62 @@
+#pragma once
+
+/// Shared hand-built traces for trace-layer tests.
+
+#include "trace/builder.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::trace::testing {
+
+/// Two app chares on two procs exchanging one message each way, plus one
+/// runtime chare receiving a contribution, plus an idle span.
+///
+/// Timeline (ns):
+///   chare A (proc 0): block a0 [0,100]   : send@10 (to B), send@20 (to R)
+///   chare B (proc 1): block b0 [30,90]   : recv@30 (from A), send@40 (to A)
+///   chare A (proc 0): block a1 [120,150] : recv@120 (from B)
+///   chare R (proc 0): block r0 [160,170] : recv@160 (from A's send@20)
+///   idle proc 0: [100,120]
+struct MiniTrace {
+  Trace trace;
+  ChareId a, b, r;
+  EntryId e_main, e_work, e_reduce;
+  BlockId a0, b0, a1, r0;
+  EventId s_ab, s_ar, r_ab, s_ba, r_ba, r_ar;
+};
+
+inline MiniTrace make_mini_trace() {
+  MiniTrace m;
+  TraceBuilder tb;
+  ArrayId arr = tb.add_array("workers");
+  m.a = tb.add_chare("workers[0]", arr, 0, 0);
+  m.b = tb.add_chare("workers[1]", arr, 1, 1);
+  m.r = tb.add_chare("CkReductionMgr(0)", kNone, -1, 0, /*runtime=*/true);
+  m.e_main = tb.add_entry("main");
+  m.e_work = tb.add_entry("work");
+  m.e_reduce = tb.add_entry("reduce", /*runtime=*/true);
+
+  m.a0 = tb.begin_block(m.a, 0, m.e_main, 0);
+  m.s_ab = tb.add_send(m.a0, 10);
+  m.s_ar = tb.add_send(m.a0, 20);
+  tb.end_block(m.a0, 100);
+
+  m.b0 = tb.begin_block(m.b, 1, m.e_work, 30);
+  m.r_ab = tb.add_recv(m.b0, 30, m.s_ab);
+  m.s_ba = tb.add_send(m.b0, 40);
+  tb.end_block(m.b0, 90);
+
+  m.a1 = tb.begin_block(m.a, 0, m.e_work, 120);
+  m.r_ba = tb.add_recv(m.a1, 120, m.s_ba);
+  tb.end_block(m.a1, 150);
+
+  m.r0 = tb.begin_block(m.r, 0, m.e_reduce, 160);
+  m.r_ar = tb.add_recv(m.r0, 160, m.s_ar);
+  tb.end_block(m.r0, 170);
+
+  tb.add_idle(0, 100, 120);
+
+  m.trace = tb.finish(/*num_procs=*/2);
+  return m;
+}
+
+}  // namespace logstruct::trace::testing

@@ -1,0 +1,79 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace_fixtures.hpp"
+
+namespace logstruct::trace {
+namespace {
+
+TEST(Trace, BlocksOfChareSortedByBegin) {
+  auto m = testing::make_mini_trace();
+  auto blocks = m.trace.blocks_of_chare(m.a);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], m.a0);
+  EXPECT_EQ(blocks[1], m.a1);
+}
+
+TEST(Trace, BlocksOfProc) {
+  auto m = testing::make_mini_trace();
+  auto p0 = m.trace.blocks_of_proc(0);
+  ASSERT_EQ(p0.size(), 3u);  // a0, a1, r0
+  EXPECT_EQ(p0[0], m.a0);
+  EXPECT_EQ(p0[1], m.a1);
+  EXPECT_EQ(p0[2], m.r0);
+  EXPECT_EQ(m.trace.blocks_of_proc(1).size(), 1u);
+}
+
+TEST(Trace, EventsOfChareTimeOrdered) {
+  auto m = testing::make_mini_trace();
+  auto events = m.trace.events_of_chare(m.a);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], m.s_ab);
+  EXPECT_EQ(events[1], m.s_ar);
+  EXPECT_EQ(events[2], m.r_ba);
+}
+
+TEST(Trace, RuntimeEventClassification) {
+  auto m = testing::make_mini_trace();
+  // Send to the reduction manager touches the runtime.
+  EXPECT_TRUE(m.trace.is_runtime_event(m.s_ar));
+  EXPECT_TRUE(m.trace.is_runtime_event(m.r_ar));
+  // Pure app-app dependency does not.
+  EXPECT_FALSE(m.trace.is_runtime_event(m.s_ab));
+  EXPECT_FALSE(m.trace.is_runtime_event(m.r_ab));
+  EXPECT_FALSE(m.trace.is_runtime_event(m.r_ba));
+}
+
+TEST(Trace, ForEachDependencyEnumeratesAllMatches) {
+  auto m = testing::make_mini_trace();
+  std::vector<std::pair<EventId, EventId>> deps;
+  m.trace.for_each_dependency(
+      [&](EventId s, EventId r) { deps.emplace_back(s, r); });
+  ASSERT_EQ(deps.size(), 3u);
+  EXPECT_EQ(deps[0], (std::pair<EventId, EventId>{m.s_ab, m.r_ab}));
+  EXPECT_EQ(deps[1], (std::pair<EventId, EventId>{m.s_ar, m.r_ar}));
+  EXPECT_EQ(deps[2], (std::pair<EventId, EventId>{m.s_ba, m.r_ba}));
+}
+
+TEST(Trace, TotalIdle) {
+  auto m = testing::make_mini_trace();
+  EXPECT_EQ(m.trace.total_idle(0), 20);
+  EXPECT_EQ(m.trace.total_idle(1), 0);
+}
+
+TEST(Trace, EndTime) {
+  auto m = testing::make_mini_trace();
+  EXPECT_EQ(m.trace.end_time(), 170);
+}
+
+TEST(Trace, EmptyTraceQueries) {
+  TraceBuilder tb;
+  Trace t = tb.finish(0);
+  EXPECT_EQ(t.num_events(), 0);
+  EXPECT_EQ(t.num_blocks(), 0);
+  EXPECT_EQ(t.end_time(), 0);
+}
+
+}  // namespace
+}  // namespace logstruct::trace

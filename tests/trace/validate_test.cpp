@@ -1,0 +1,97 @@
+#include "trace/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/builder.hpp"
+#include "trace_fixtures.hpp"
+
+namespace logstruct::trace {
+namespace {
+
+TEST(Validate, MiniTraceIsClean) {
+  auto m = testing::make_mini_trace();
+  auto problems = validate(m.trace);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Validate, DetectsOverlappingBlocksOnProc) {
+  TraceBuilder tb;
+  ChareId c0 = tb.add_chare("c0");
+  ChareId c1 = tb.add_chare("c1");
+  EntryId e = tb.add_entry("go");
+  BlockId b0 = tb.begin_block(c0, 0, e, 0);
+  tb.end_block(b0, 50);
+  BlockId b1 = tb.begin_block(c1, 0, e, 25);  // overlaps b0 on proc 0
+  tb.end_block(b1, 75);
+  Trace t = tb.finish(1);
+  auto problems = validate(t);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("overlap"), std::string::npos);
+}
+
+TEST(Validate, AcceptsBackToBackBlocks) {
+  TraceBuilder tb;
+  ChareId c = tb.add_chare("c");
+  EntryId e = tb.add_entry("go");
+  BlockId b0 = tb.begin_block(c, 0, e, 0);
+  tb.end_block(b0, 50);
+  BlockId b1 = tb.begin_block(c, 0, e, 50);  // touching is fine
+  tb.end_block(b1, 60);
+  Trace t = tb.finish(1);
+  EXPECT_TRUE(validate(t).empty());
+}
+
+TEST(Validate, DetectsRecvBeforeSend) {
+  // Build a legal trace then corrupt the send time via round-trip-free
+  // construction: send at t=100, recv at t=10 with blocks arranged to allow
+  // it structurally.
+  TraceBuilder tb;
+  ChareId c0 = tb.add_chare("c0");
+  ChareId c1 = tb.add_chare("c1");
+  EntryId e = tb.add_entry("go");
+  BlockId bsend = tb.begin_block(c0, 0, e, 50);
+  EventId s = tb.add_send(bsend, 100);
+  tb.end_block(bsend, 150);
+  BlockId brecv = tb.begin_block(c1, 1, e, 10);
+  tb.add_recv(brecv, 10, s);
+  tb.end_block(brecv, 20);
+  Trace t = tb.finish(2);
+  auto problems = validate(t);
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("before its send") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, CleanBroadcast) {
+  TraceBuilder tb;
+  ChareId c0 = tb.add_chare("c0");
+  ChareId c1 = tb.add_chare("c1");
+  ChareId c2 = tb.add_chare("c2");
+  EntryId e = tb.add_entry("go");
+  BlockId src = tb.begin_block(c0, 0, e, 0);
+  EventId s = tb.add_send(src, 1);
+  tb.end_block(src, 2);
+  BlockId d1 = tb.begin_block(c1, 1, e, 10);
+  tb.add_recv(d1, 10, s);
+  tb.end_block(d1, 11);
+  BlockId d2 = tb.begin_block(c2, 2, e, 12);
+  tb.add_recv(d2, 12, s);
+  tb.end_block(d2, 13);
+  Trace t = tb.finish(3);
+  EXPECT_TRUE(validate(t).empty());
+}
+
+TEST(Validate, UntracedRecvIsClean) {
+  TraceBuilder tb;
+  ChareId c = tb.add_chare("c");
+  EntryId e = tb.add_entry("go");
+  BlockId b = tb.begin_block(c, 0, e, 0);
+  tb.add_recv(b, 0, kNone);
+  tb.end_block(b, 5);
+  Trace t = tb.finish(1);
+  EXPECT_TRUE(validate(t).empty());
+}
+
+}  // namespace
+}  // namespace logstruct::trace

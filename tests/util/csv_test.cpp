@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace logstruct::util {
+namespace {
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter w({"a", "b"});
+  EXPECT_EQ(w.str(), "a,b\n");
+}
+
+TEST(Csv, MixedTypes) {
+  CsvWriter w({"name", "count", "ratio"});
+  w.row().add("x").add(std::int64_t{3}).add(0.5);
+  EXPECT_EQ(w.str(), "name,count,ratio\nx,3,0.5\n");
+}
+
+TEST(Csv, EscapesCommasAndQuotes) {
+  CsvWriter w({"v"});
+  w.row().add("a,b");
+  w.row().add("say \"hi\"");
+  EXPECT_EQ(w.str(), "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RowCount) {
+  CsvWriter w({"v"});
+  EXPECT_EQ(w.row_count(), 0u);
+  w.row().add("1");
+  w.row().add("2");
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(Csv, SaveRoundTrip) {
+  CsvWriter w({"k", "v"});
+  w.row().add("alpha").add(std::int64_t{1});
+  std::string path = testing::TempDir() + "/csv_test.csv";
+  ASSERT_TRUE(w.save(path));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, w.str());
+  std::remove(path.c_str());
+}
+
+TEST(Csv, SaveToBadPathFails) {
+  CsvWriter w({"a"});
+  EXPECT_FALSE(w.save("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace logstruct::util

@@ -1,0 +1,96 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace logstruct::util {
+namespace {
+
+// Helper to build argv from strings.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Flags, Defaults) {
+  Flags f;
+  f.define_int("n", 8, "count");
+  f.define_bool("verbose", false, "talk");
+  f.define_string("out", "x.csv", "path");
+  Argv a({"prog"});
+  ASSERT_TRUE(f.parse(a.argc(), a.argv()));
+  EXPECT_EQ(f.get_int("n"), 8);
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get_string("out"), "x.csv");
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f;
+  f.define_int("n", 8, "count");
+  Argv a({"prog", "--n=64"});
+  ASSERT_TRUE(f.parse(a.argc(), a.argv()));
+  EXPECT_EQ(f.get_int("n"), 64);
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags f;
+  f.define_string("out", "", "path");
+  Argv a({"prog", "--out", "results.csv"});
+  ASSERT_TRUE(f.parse(a.argc(), a.argv()));
+  EXPECT_EQ(f.get_string("out"), "results.csv");
+}
+
+TEST(Flags, BoolImplicitTrue) {
+  Flags f;
+  f.define_bool("verbose", false, "talk");
+  Argv a({"prog", "--verbose"});
+  ASSERT_TRUE(f.parse(a.argc(), a.argv()));
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, NoPrefixDisablesBool) {
+  Flags f;
+  f.define_bool("reorder", true, "reorder events");
+  Argv a({"prog", "--no-reorder"});
+  ASSERT_TRUE(f.parse(a.argc(), a.argv()));
+  EXPECT_FALSE(f.get_bool("reorder"));
+}
+
+TEST(Flags, UnknownFlagFails) {
+  Flags f;
+  f.define_int("n", 1, "count");
+  Argv a({"prog", "--bogus=3"});
+  EXPECT_FALSE(f.parse(a.argc(), a.argv()));
+}
+
+TEST(Flags, PositionalArgumentFails) {
+  Flags f;
+  Argv a({"prog", "stray"});
+  EXPECT_FALSE(f.parse(a.argc(), a.argv()));
+}
+
+TEST(Flags, HelpReturnsFalse) {
+  Flags f;
+  f.define_int("n", 1, "count");
+  Argv a({"prog", "--help"});
+  EXPECT_FALSE(f.parse(a.argc(), a.argv()));
+}
+
+TEST(Flags, MissingValueFails) {
+  Flags f;
+  f.define_string("out", "", "path");
+  Argv a({"prog", "--out"});
+  EXPECT_FALSE(f.parse(a.argc(), a.argv()));
+}
+
+}  // namespace
+}  // namespace logstruct::util

@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace logstruct::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform(10), 10u);
+}
+
+TEST(Rng, UniformZeroBound) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform(0), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = r.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 2000 draws
+}
+
+TEST(Rng, UniformRangeDegenerate) {
+  Rng r(9);
+  EXPECT_EQ(r.uniform_range(5, 5), 5);
+  EXPECT_EQ(r.uniform_range(5, 4), 5);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // crude uniformity check
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng base(123);
+  Rng s0 = base.fork(0);
+  Rng s1 = base.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0.next() == s1.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng fa = a.fork(3);
+  Rng fb = b.fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+}  // namespace
+}  // namespace logstruct::util

@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace logstruct::util {
+namespace {
+
+TEST(Stats, EmptySummary) {
+  Summary s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Stats, SingleValue) {
+  std::vector<double> v{4.0};
+  Summary s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Summary s = summarize(std::span<const double>(v));
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);  // sample stddev
+}
+
+TEST(Stats, Int64Overload) {
+  std::vector<std::int64_t> v{1, 2, 3};
+  Summary s = summarize(std::span<const std::int64_t>(v));
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+TEST(Stats, LogLogSlopeLinear) {
+  // y = 3 x  ->  slope 1 on log-log.
+  std::vector<double> x{1, 2, 4, 8, 16};
+  std::vector<double> y{3, 6, 12, 24, 48};
+  EXPECT_NEAR(loglog_slope(x, y), 1.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeQuadratic) {
+  std::vector<double> x{1, 2, 4, 8};
+  std::vector<double> y{5, 20, 80, 320};
+  EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeSkipsNonPositive) {
+  std::vector<double> x{0, 1, 2, 4};
+  std::vector<double> y{9, 3, 6, 12};
+  EXPECT_NEAR(loglog_slope(x, y), 1.0, 1e-9);
+}
+
+TEST(Stats, LogLogSlopeDegenerate) {
+  std::vector<double> x{1};
+  std::vector<double> y{5};
+  EXPECT_EQ(loglog_slope(x, y), 0.0);
+}
+
+}  // namespace
+}  // namespace logstruct::util

@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logstruct::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"id", "value"});
+  t.row().add(std::int64_t{1}).add("short");
+  t.row().add(std::int64_t{100}).add("longer-value");
+  std::string s = t.str();
+  // Every line should start the second column at the same offset.
+  auto first_nl = s.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  std::string header = s.substr(0, first_nl);
+  EXPECT_NE(header.find("value"), std::string::npos);
+  // Column width fits widest cell "longer-value" without truncation.
+  EXPECT_NE(s.find("longer-value"), std::string::npos);
+}
+
+TEST(Table, SeparatorUnderHeader) {
+  TablePrinter t({"x"});
+  t.row().add("y");
+  std::string s = t.str();
+  auto lines_end = s.find('\n', s.find('\n') + 1);
+  std::string sep = s.substr(s.find('\n') + 1, lines_end - s.find('\n') - 1);
+  EXPECT_FALSE(sep.empty());
+  for (char c : sep) EXPECT_EQ(c, '-');
+}
+
+TEST(Table, DoubleFormattingPrecision) {
+  TablePrinter t({"v"});
+  t.row().add(3.14159, 2);
+  EXPECT_NE(t.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, EmptyTable) {
+  TablePrinter t({"only", "header"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("only"), std::string::npos);
+  EXPECT_NE(s.find("header"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logstruct::util
