@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_nasbt.dir/fig01_nasbt.cpp.o"
+  "CMakeFiles/fig01_nasbt.dir/fig01_nasbt.cpp.o.d"
+  "fig01_nasbt"
+  "fig01_nasbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_nasbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_jacobi_reorder.dir/fig08_jacobi_reorder.cpp.o"
+  "CMakeFiles/fig08_jacobi_reorder.dir/fig08_jacobi_reorder.cpp.o.d"
+  "fig08_jacobi_reorder"
+  "fig08_jacobi_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_jacobi_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mergetree.dir/fig10_mergetree.cpp.o"
+  "CMakeFiles/fig10_mergetree.dir/fig10_mergetree.cpp.o.d"
+  "fig10_mergetree"
+  "fig10_mergetree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mergetree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

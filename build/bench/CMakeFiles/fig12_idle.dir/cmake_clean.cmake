@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_idle.dir/fig12_idle.cpp.o"
+  "CMakeFiles/fig12_idle.dir/fig12_idle.cpp.o.d"
+  "fig12_idle"
+  "fig12_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

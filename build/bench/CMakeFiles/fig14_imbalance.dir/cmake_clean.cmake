@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_imbalance.dir/fig14_imbalance.cpp.o"
+  "CMakeFiles/fig14_imbalance.dir/fig14_imbalance.cpp.o.d"
+  "fig14_imbalance"
+  "fig14_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_diffdur.dir/fig15_diffdur.cpp.o"
+  "CMakeFiles/fig15_diffdur.dir/fig15_diffdur.cpp.o.d"
+  "fig15_diffdur"
+  "fig15_diffdur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_diffdur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

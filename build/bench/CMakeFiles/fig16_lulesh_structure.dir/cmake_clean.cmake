@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_lulesh_structure.dir/fig16_lulesh_structure.cpp.o"
+  "CMakeFiles/fig16_lulesh_structure.dir/fig16_lulesh_structure.cpp.o.d"
+  "fig16_lulesh_structure"
+  "fig16_lulesh_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_lulesh_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_lulesh_ablation.cpp" "bench/CMakeFiles/fig17_lulesh_ablation.dir/fig17_lulesh_ablation.cpp.o" "gcc" "bench/CMakeFiles/fig17_lulesh_ablation.dir/fig17_lulesh_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/logstruct_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logstruct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/logstruct_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/logstruct_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/logstruct_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_lulesh_ablation.dir/fig17_lulesh_ablation.cpp.o"
+  "CMakeFiles/fig17_lulesh_ablation.dir/fig17_lulesh_ablation.cpp.o.d"
+  "fig17_lulesh_ablation"
+  "fig17_lulesh_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_lulesh_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

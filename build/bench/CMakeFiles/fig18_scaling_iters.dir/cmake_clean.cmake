@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_scaling_iters.dir/fig18_scaling_iters.cpp.o"
+  "CMakeFiles/fig18_scaling_iters.dir/fig18_scaling_iters.cpp.o.d"
+  "fig18_scaling_iters"
+  "fig18_scaling_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_scaling_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

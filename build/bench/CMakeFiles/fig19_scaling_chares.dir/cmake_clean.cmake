@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_scaling_chares.dir/fig19_scaling_chares.cpp.o"
+  "CMakeFiles/fig19_scaling_chares.dir/fig19_scaling_chares.cpp.o.d"
+  "fig19_scaling_chares"
+  "fig19_scaling_chares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_scaling_chares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_lassen_structure.dir/fig20_lassen_structure.cpp.o"
+  "CMakeFiles/fig20_lassen_structure.dir/fig20_lassen_structure.cpp.o.d"
+  "fig20_lassen_structure"
+  "fig20_lassen_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_lassen_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_23_lassen_diffdur.dir/fig21_23_lassen_diffdur.cpp.o"
+  "CMakeFiles/fig21_23_lassen_diffdur.dir/fig21_23_lassen_diffdur.cpp.o.d"
+  "fig21_23_lassen_diffdur"
+  "fig21_23_lassen_diffdur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_23_lassen_diffdur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

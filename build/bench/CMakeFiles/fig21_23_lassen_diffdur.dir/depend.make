@@ -1,0 +1,2 @@
+# Empty dependencies file for fig21_23_lassen_diffdur.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_pdes.dir/fig24_pdes.cpp.o"
+  "CMakeFiles/fig24_pdes.dir/fig24_pdes.cpp.o.d"
+  "fig24_pdes"
+  "fig24_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_other_tbr.dir/sec7_other_tbr.cpp.o"
+  "CMakeFiles/sec7_other_tbr.dir/sec7_other_tbr.cpp.o.d"
+  "sec7_other_tbr"
+  "sec7_other_tbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_other_tbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec7_other_tbr.
+# This may be replaced when dependencies are built.

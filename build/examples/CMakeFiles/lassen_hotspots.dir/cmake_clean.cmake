@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lassen_hotspots.dir/lassen_hotspots.cpp.o"
+  "CMakeFiles/lassen_hotspots.dir/lassen_hotspots.cpp.o.d"
+  "lassen_hotspots"
+  "lassen_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lassen_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

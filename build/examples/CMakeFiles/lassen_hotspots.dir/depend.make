@@ -1,0 +1,2 @@
+# Empty dependencies file for lassen_hotspots.
+# This may be replaced when dependencies are built.

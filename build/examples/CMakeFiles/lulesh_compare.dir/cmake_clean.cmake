@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lulesh_compare.dir/lulesh_compare.cpp.o"
+  "CMakeFiles/lulesh_compare.dir/lulesh_compare.cpp.o.d"
+  "lulesh_compare"
+  "lulesh_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lulesh_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdes_missing_deps.dir/pdes_missing_deps.cpp.o"
+  "CMakeFiles/pdes_missing_deps.dir/pdes_missing_deps.cpp.o.d"
+  "pdes_missing_deps"
+  "pdes_missing_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdes_missing_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

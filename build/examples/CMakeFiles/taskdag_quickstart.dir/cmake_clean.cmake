@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskdag_quickstart.dir/taskdag_quickstart.cpp.o"
+  "CMakeFiles/taskdag_quickstart.dir/taskdag_quickstart.cpp.o.d"
+  "taskdag_quickstart"
+  "taskdag_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskdag_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--iterations=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_noreorder "/root/repo/build/examples/quickstart" "--no-reorder")
+set_tests_properties(example_quickstart_noreorder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lulesh_compare "/root/repo/build/examples/lulesh_compare" "--iterations=2")
+set_tests_properties(example_lulesh_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lassen_hotspots "/root/repo/build/examples/lassen_hotspots" "--iterations=6")
+set_tests_properties(example_lassen_hotspots PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pdes_missing_deps "/root/repo/build/examples/pdes_missing_deps")
+set_tests_properties(example_pdes_missing_deps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_inspect_roundtrip "/root/repo/build/examples/trace_inspect" "--app=lassen" "--out=/root/repo/build/examples/smoke.lstrace" "--html=/root/repo/build/examples/smoke.html" "--structure-out=/root/repo/build/examples/smoke.lstruct")
+set_tests_properties(example_trace_inspect_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_taskdag_stencil "/root/repo/build/examples/taskdag_quickstart")
+set_tests_properties(example_taskdag_stencil PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_metrics_tour "/root/repo/build/examples/metrics_tour" "--iterations=3")
+set_tests_properties(example_metrics_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_taskdag_forkjoin "/root/repo/build/examples/taskdag_quickstart" "--graph=forkjoin")
+set_tests_properties(example_taskdag_forkjoin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_inspect_load "/root/repo/build/examples/trace_inspect" "--in=/root/repo/build/examples/smoke.lstrace")
+set_tests_properties(example_trace_inspect_load PROPERTIES  DEPENDS "example_trace_inspect_roundtrip" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_inspect_structure_reload "/root/repo/build/examples/trace_inspect" "--in=/root/repo/build/examples/smoke.lstrace" "--structure-in=/root/repo/build/examples/smoke.lstruct")
+set_tests_properties(example_trace_inspect_structure_reload PROPERTIES  DEPENDS "example_trace_inspect_roundtrip" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_cluster_html "/root/repo/build/examples/quickstart" "--cluster" "--html=/root/repo/build/examples/smoke_view.html")
+set_tests_properties(example_quickstart_cluster_html PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;42;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/jacobi2d.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/jacobi2d.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/jacobi2d.cpp.o.d"
+  "/root/repo/src/apps/lassen_charm.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/lassen_charm.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/lassen_charm.cpp.o.d"
+  "/root/repo/src/apps/lassen_mpi.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/lassen_mpi.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/lassen_mpi.cpp.o.d"
+  "/root/repo/src/apps/lulesh_charm.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/lulesh_charm.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/lulesh_charm.cpp.o.d"
+  "/root/repo/src/apps/lulesh_mpi.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/lulesh_mpi.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/lulesh_mpi.cpp.o.d"
+  "/root/repo/src/apps/mergetree.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/mergetree.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/mergetree.cpp.o.d"
+  "/root/repo/src/apps/nasbt.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/nasbt.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/nasbt.cpp.o.d"
+  "/root/repo/src/apps/pdes.cpp" "src/apps/CMakeFiles/logstruct_apps.dir/pdes.cpp.o" "gcc" "src/apps/CMakeFiles/logstruct_apps.dir/pdes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/logstruct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

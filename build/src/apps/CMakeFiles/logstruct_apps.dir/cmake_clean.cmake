@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_apps.dir/jacobi2d.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/jacobi2d.cpp.o.d"
+  "CMakeFiles/logstruct_apps.dir/lassen_charm.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/lassen_charm.cpp.o.d"
+  "CMakeFiles/logstruct_apps.dir/lassen_mpi.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/lassen_mpi.cpp.o.d"
+  "CMakeFiles/logstruct_apps.dir/lulesh_charm.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/lulesh_charm.cpp.o.d"
+  "CMakeFiles/logstruct_apps.dir/lulesh_mpi.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/lulesh_mpi.cpp.o.d"
+  "CMakeFiles/logstruct_apps.dir/mergetree.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/mergetree.cpp.o.d"
+  "CMakeFiles/logstruct_apps.dir/nasbt.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/nasbt.cpp.o.d"
+  "CMakeFiles/logstruct_apps.dir/pdes.cpp.o"
+  "CMakeFiles/logstruct_apps.dir/pdes.cpp.o.d"
+  "liblogstruct_apps.a"
+  "liblogstruct_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

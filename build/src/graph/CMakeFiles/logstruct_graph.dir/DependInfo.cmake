@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/logstruct_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/logstruct_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/leaps.cpp" "src/graph/CMakeFiles/logstruct_graph.dir/leaps.cpp.o" "gcc" "src/graph/CMakeFiles/logstruct_graph.dir/leaps.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/graph/CMakeFiles/logstruct_graph.dir/scc.cpp.o" "gcc" "src/graph/CMakeFiles/logstruct_graph.dir/scc.cpp.o.d"
+  "/root/repo/src/graph/topo.cpp" "src/graph/CMakeFiles/logstruct_graph.dir/topo.cpp.o" "gcc" "src/graph/CMakeFiles/logstruct_graph.dir/topo.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/graph/CMakeFiles/logstruct_graph.dir/union_find.cpp.o" "gcc" "src/graph/CMakeFiles/logstruct_graph.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

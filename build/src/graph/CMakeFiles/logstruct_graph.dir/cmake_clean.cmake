@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_graph.dir/digraph.cpp.o"
+  "CMakeFiles/logstruct_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/logstruct_graph.dir/leaps.cpp.o"
+  "CMakeFiles/logstruct_graph.dir/leaps.cpp.o.d"
+  "CMakeFiles/logstruct_graph.dir/scc.cpp.o"
+  "CMakeFiles/logstruct_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/logstruct_graph.dir/topo.cpp.o"
+  "CMakeFiles/logstruct_graph.dir/topo.cpp.o.d"
+  "CMakeFiles/logstruct_graph.dir/union_find.cpp.o"
+  "CMakeFiles/logstruct_graph.dir/union_find.cpp.o.d"
+  "liblogstruct_graph.a"
+  "liblogstruct_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/critical_path.cpp" "src/metrics/CMakeFiles/logstruct_metrics.dir/critical_path.cpp.o" "gcc" "src/metrics/CMakeFiles/logstruct_metrics.dir/critical_path.cpp.o.d"
+  "/root/repo/src/metrics/duration.cpp" "src/metrics/CMakeFiles/logstruct_metrics.dir/duration.cpp.o" "gcc" "src/metrics/CMakeFiles/logstruct_metrics.dir/duration.cpp.o.d"
+  "/root/repo/src/metrics/idle.cpp" "src/metrics/CMakeFiles/logstruct_metrics.dir/idle.cpp.o" "gcc" "src/metrics/CMakeFiles/logstruct_metrics.dir/idle.cpp.o.d"
+  "/root/repo/src/metrics/imbalance.cpp" "src/metrics/CMakeFiles/logstruct_metrics.dir/imbalance.cpp.o" "gcc" "src/metrics/CMakeFiles/logstruct_metrics.dir/imbalance.cpp.o.d"
+  "/root/repo/src/metrics/lateness.cpp" "src/metrics/CMakeFiles/logstruct_metrics.dir/lateness.cpp.o" "gcc" "src/metrics/CMakeFiles/logstruct_metrics.dir/lateness.cpp.o.d"
+  "/root/repo/src/metrics/profile.cpp" "src/metrics/CMakeFiles/logstruct_metrics.dir/profile.cpp.o" "gcc" "src/metrics/CMakeFiles/logstruct_metrics.dir/profile.cpp.o.d"
+  "/root/repo/src/metrics/subblock.cpp" "src/metrics/CMakeFiles/logstruct_metrics.dir/subblock.cpp.o" "gcc" "src/metrics/CMakeFiles/logstruct_metrics.dir/subblock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/order/CMakeFiles/logstruct_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

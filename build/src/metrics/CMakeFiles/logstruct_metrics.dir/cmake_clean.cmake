@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_metrics.dir/critical_path.cpp.o"
+  "CMakeFiles/logstruct_metrics.dir/critical_path.cpp.o.d"
+  "CMakeFiles/logstruct_metrics.dir/duration.cpp.o"
+  "CMakeFiles/logstruct_metrics.dir/duration.cpp.o.d"
+  "CMakeFiles/logstruct_metrics.dir/idle.cpp.o"
+  "CMakeFiles/logstruct_metrics.dir/idle.cpp.o.d"
+  "CMakeFiles/logstruct_metrics.dir/imbalance.cpp.o"
+  "CMakeFiles/logstruct_metrics.dir/imbalance.cpp.o.d"
+  "CMakeFiles/logstruct_metrics.dir/lateness.cpp.o"
+  "CMakeFiles/logstruct_metrics.dir/lateness.cpp.o.d"
+  "CMakeFiles/logstruct_metrics.dir/profile.cpp.o"
+  "CMakeFiles/logstruct_metrics.dir/profile.cpp.o.d"
+  "CMakeFiles/logstruct_metrics.dir/subblock.cpp.o"
+  "CMakeFiles/logstruct_metrics.dir/subblock.cpp.o.d"
+  "liblogstruct_metrics.a"
+  "liblogstruct_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

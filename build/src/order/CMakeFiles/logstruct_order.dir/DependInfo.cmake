@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/infer.cpp" "src/order/CMakeFiles/logstruct_order.dir/infer.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/infer.cpp.o.d"
+  "/root/repo/src/order/initial.cpp" "src/order/CMakeFiles/logstruct_order.dir/initial.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/initial.cpp.o.d"
+  "/root/repo/src/order/io.cpp" "src/order/CMakeFiles/logstruct_order.dir/io.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/io.cpp.o.d"
+  "/root/repo/src/order/merges.cpp" "src/order/CMakeFiles/logstruct_order.dir/merges.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/merges.cpp.o.d"
+  "/root/repo/src/order/partition_graph.cpp" "src/order/CMakeFiles/logstruct_order.dir/partition_graph.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/partition_graph.cpp.o.d"
+  "/root/repo/src/order/phases.cpp" "src/order/CMakeFiles/logstruct_order.dir/phases.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/phases.cpp.o.d"
+  "/root/repo/src/order/stats.cpp" "src/order/CMakeFiles/logstruct_order.dir/stats.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/stats.cpp.o.d"
+  "/root/repo/src/order/stepping.cpp" "src/order/CMakeFiles/logstruct_order.dir/stepping.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/stepping.cpp.o.d"
+  "/root/repo/src/order/validate.cpp" "src/order/CMakeFiles/logstruct_order.dir/validate.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/validate.cpp.o.d"
+  "/root/repo/src/order/wclock.cpp" "src/order/CMakeFiles/logstruct_order.dir/wclock.cpp.o" "gcc" "src/order/CMakeFiles/logstruct_order.dir/wclock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_order.dir/infer.cpp.o"
+  "CMakeFiles/logstruct_order.dir/infer.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/initial.cpp.o"
+  "CMakeFiles/logstruct_order.dir/initial.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/io.cpp.o"
+  "CMakeFiles/logstruct_order.dir/io.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/merges.cpp.o"
+  "CMakeFiles/logstruct_order.dir/merges.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/partition_graph.cpp.o"
+  "CMakeFiles/logstruct_order.dir/partition_graph.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/phases.cpp.o"
+  "CMakeFiles/logstruct_order.dir/phases.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/stats.cpp.o"
+  "CMakeFiles/logstruct_order.dir/stats.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/stepping.cpp.o"
+  "CMakeFiles/logstruct_order.dir/stepping.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/validate.cpp.o"
+  "CMakeFiles/logstruct_order.dir/validate.cpp.o.d"
+  "CMakeFiles/logstruct_order.dir/wclock.cpp.o"
+  "CMakeFiles/logstruct_order.dir/wclock.cpp.o.d"
+  "liblogstruct_order.a"
+  "liblogstruct_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/charm/loadbalancer.cpp" "src/sim/CMakeFiles/logstruct_sim.dir/charm/loadbalancer.cpp.o" "gcc" "src/sim/CMakeFiles/logstruct_sim.dir/charm/loadbalancer.cpp.o.d"
+  "/root/repo/src/sim/charm/reduction.cpp" "src/sim/CMakeFiles/logstruct_sim.dir/charm/reduction.cpp.o" "gcc" "src/sim/CMakeFiles/logstruct_sim.dir/charm/reduction.cpp.o.d"
+  "/root/repo/src/sim/charm/runtime.cpp" "src/sim/CMakeFiles/logstruct_sim.dir/charm/runtime.cpp.o" "gcc" "src/sim/CMakeFiles/logstruct_sim.dir/charm/runtime.cpp.o.d"
+  "/root/repo/src/sim/mpi/mpisim.cpp" "src/sim/CMakeFiles/logstruct_sim.dir/mpi/mpisim.cpp.o" "gcc" "src/sim/CMakeFiles/logstruct_sim.dir/mpi/mpisim.cpp.o.d"
+  "/root/repo/src/sim/mpi/program.cpp" "src/sim/CMakeFiles/logstruct_sim.dir/mpi/program.cpp.o" "gcc" "src/sim/CMakeFiles/logstruct_sim.dir/mpi/program.cpp.o.d"
+  "/root/repo/src/sim/taskdag/taskdag.cpp" "src/sim/CMakeFiles/logstruct_sim.dir/taskdag/taskdag.cpp.o" "gcc" "src/sim/CMakeFiles/logstruct_sim.dir/taskdag/taskdag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

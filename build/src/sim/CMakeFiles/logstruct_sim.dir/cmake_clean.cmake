@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_sim.dir/charm/loadbalancer.cpp.o"
+  "CMakeFiles/logstruct_sim.dir/charm/loadbalancer.cpp.o.d"
+  "CMakeFiles/logstruct_sim.dir/charm/reduction.cpp.o"
+  "CMakeFiles/logstruct_sim.dir/charm/reduction.cpp.o.d"
+  "CMakeFiles/logstruct_sim.dir/charm/runtime.cpp.o"
+  "CMakeFiles/logstruct_sim.dir/charm/runtime.cpp.o.d"
+  "CMakeFiles/logstruct_sim.dir/mpi/mpisim.cpp.o"
+  "CMakeFiles/logstruct_sim.dir/mpi/mpisim.cpp.o.d"
+  "CMakeFiles/logstruct_sim.dir/mpi/program.cpp.o"
+  "CMakeFiles/logstruct_sim.dir/mpi/program.cpp.o.d"
+  "CMakeFiles/logstruct_sim.dir/taskdag/taskdag.cpp.o"
+  "CMakeFiles/logstruct_sim.dir/taskdag/taskdag.cpp.o.d"
+  "liblogstruct_sim.a"
+  "liblogstruct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/builder.cpp" "src/trace/CMakeFiles/logstruct_trace.dir/builder.cpp.o" "gcc" "src/trace/CMakeFiles/logstruct_trace.dir/builder.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/logstruct_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/logstruct_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/projections.cpp" "src/trace/CMakeFiles/logstruct_trace.dir/projections.cpp.o" "gcc" "src/trace/CMakeFiles/logstruct_trace.dir/projections.cpp.o.d"
+  "/root/repo/src/trace/sdag.cpp" "src/trace/CMakeFiles/logstruct_trace.dir/sdag.cpp.o" "gcc" "src/trace/CMakeFiles/logstruct_trace.dir/sdag.cpp.o.d"
+  "/root/repo/src/trace/skew.cpp" "src/trace/CMakeFiles/logstruct_trace.dir/skew.cpp.o" "gcc" "src/trace/CMakeFiles/logstruct_trace.dir/skew.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/logstruct_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/logstruct_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/trace/CMakeFiles/logstruct_trace.dir/validate.cpp.o" "gcc" "src/trace/CMakeFiles/logstruct_trace.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_trace.dir/builder.cpp.o"
+  "CMakeFiles/logstruct_trace.dir/builder.cpp.o.d"
+  "CMakeFiles/logstruct_trace.dir/io.cpp.o"
+  "CMakeFiles/logstruct_trace.dir/io.cpp.o.d"
+  "CMakeFiles/logstruct_trace.dir/projections.cpp.o"
+  "CMakeFiles/logstruct_trace.dir/projections.cpp.o.d"
+  "CMakeFiles/logstruct_trace.dir/sdag.cpp.o"
+  "CMakeFiles/logstruct_trace.dir/sdag.cpp.o.d"
+  "CMakeFiles/logstruct_trace.dir/skew.cpp.o"
+  "CMakeFiles/logstruct_trace.dir/skew.cpp.o.d"
+  "CMakeFiles/logstruct_trace.dir/trace.cpp.o"
+  "CMakeFiles/logstruct_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/logstruct_trace.dir/validate.cpp.o"
+  "CMakeFiles/logstruct_trace.dir/validate.cpp.o.d"
+  "liblogstruct_trace.a"
+  "liblogstruct_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_util.dir/csv.cpp.o"
+  "CMakeFiles/logstruct_util.dir/csv.cpp.o.d"
+  "CMakeFiles/logstruct_util.dir/flags.cpp.o"
+  "CMakeFiles/logstruct_util.dir/flags.cpp.o.d"
+  "CMakeFiles/logstruct_util.dir/rng.cpp.o"
+  "CMakeFiles/logstruct_util.dir/rng.cpp.o.d"
+  "CMakeFiles/logstruct_util.dir/stats.cpp.o"
+  "CMakeFiles/logstruct_util.dir/stats.cpp.o.d"
+  "CMakeFiles/logstruct_util.dir/table.cpp.o"
+  "CMakeFiles/logstruct_util.dir/table.cpp.o.d"
+  "liblogstruct_util.a"
+  "liblogstruct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vis/ascii.cpp" "src/vis/CMakeFiles/logstruct_vis.dir/ascii.cpp.o" "gcc" "src/vis/CMakeFiles/logstruct_vis.dir/ascii.cpp.o.d"
+  "/root/repo/src/vis/cluster.cpp" "src/vis/CMakeFiles/logstruct_vis.dir/cluster.cpp.o" "gcc" "src/vis/CMakeFiles/logstruct_vis.dir/cluster.cpp.o.d"
+  "/root/repo/src/vis/color.cpp" "src/vis/CMakeFiles/logstruct_vis.dir/color.cpp.o" "gcc" "src/vis/CMakeFiles/logstruct_vis.dir/color.cpp.o.d"
+  "/root/repo/src/vis/html.cpp" "src/vis/CMakeFiles/logstruct_vis.dir/html.cpp.o" "gcc" "src/vis/CMakeFiles/logstruct_vis.dir/html.cpp.o.d"
+  "/root/repo/src/vis/svg.cpp" "src/vis/CMakeFiles/logstruct_vis.dir/svg.cpp.o" "gcc" "src/vis/CMakeFiles/logstruct_vis.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/order/CMakeFiles/logstruct_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/logstruct_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstruct_vis.dir/ascii.cpp.o"
+  "CMakeFiles/logstruct_vis.dir/ascii.cpp.o.d"
+  "CMakeFiles/logstruct_vis.dir/cluster.cpp.o"
+  "CMakeFiles/logstruct_vis.dir/cluster.cpp.o.d"
+  "CMakeFiles/logstruct_vis.dir/color.cpp.o"
+  "CMakeFiles/logstruct_vis.dir/color.cpp.o.d"
+  "CMakeFiles/logstruct_vis.dir/html.cpp.o"
+  "CMakeFiles/logstruct_vis.dir/html.cpp.o.d"
+  "CMakeFiles/logstruct_vis.dir/svg.cpp.o"
+  "CMakeFiles/logstruct_vis.dir/svg.cpp.o.d"
+  "liblogstruct_vis.a"
+  "liblogstruct_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstruct_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/digraph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/digraph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/digraph_test.cpp.o.d"
+  "/root/repo/tests/graph/leaps_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/leaps_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/leaps_test.cpp.o.d"
+  "/root/repo/tests/graph/scc_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/scc_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/scc_test.cpp.o.d"
+  "/root/repo/tests/graph/topo_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/topo_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/topo_test.cpp.o.d"
+  "/root/repo/tests/graph/union_find_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/union_find_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/union_find_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/logstruct_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logstruct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/logstruct_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/logstruct_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/logstruct_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/order/block_units_test.cpp" "tests/CMakeFiles/order_test.dir/order/block_units_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/block_units_test.cpp.o.d"
+  "/root/repo/tests/order/fuzz_test.cpp" "tests/CMakeFiles/order_test.dir/order/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/fuzz_test.cpp.o.d"
+  "/root/repo/tests/order/infer_test.cpp" "tests/CMakeFiles/order_test.dir/order/infer_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/infer_test.cpp.o.d"
+  "/root/repo/tests/order/io_validate_test.cpp" "tests/CMakeFiles/order_test.dir/order/io_validate_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/io_validate_test.cpp.o.d"
+  "/root/repo/tests/order/merges_test.cpp" "tests/CMakeFiles/order_test.dir/order/merges_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/merges_test.cpp.o.d"
+  "/root/repo/tests/order/parallel_stepping_test.cpp" "tests/CMakeFiles/order_test.dir/order/parallel_stepping_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/parallel_stepping_test.cpp.o.d"
+  "/root/repo/tests/order/partition_graph_test.cpp" "tests/CMakeFiles/order_test.dir/order/partition_graph_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/partition_graph_test.cpp.o.d"
+  "/root/repo/tests/order/phases_test.cpp" "tests/CMakeFiles/order_test.dir/order/phases_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/phases_test.cpp.o.d"
+  "/root/repo/tests/order/pipeline_property_test.cpp" "tests/CMakeFiles/order_test.dir/order/pipeline_property_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/pipeline_property_test.cpp.o.d"
+  "/root/repo/tests/order/stats_test.cpp" "tests/CMakeFiles/order_test.dir/order/stats_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/stats_test.cpp.o.d"
+  "/root/repo/tests/order/stepping_test.cpp" "tests/CMakeFiles/order_test.dir/order/stepping_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/stepping_test.cpp.o.d"
+  "/root/repo/tests/order/stressor_matrix_test.cpp" "tests/CMakeFiles/order_test.dir/order/stressor_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/stressor_matrix_test.cpp.o.d"
+  "/root/repo/tests/order/wclock_test.cpp" "tests/CMakeFiles/order_test.dir/order/wclock_test.cpp.o" "gcc" "tests/CMakeFiles/order_test.dir/order/wclock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/logstruct_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/logstruct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/logstruct_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/logstruct_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/logstruct_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logstruct_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/logstruct_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logstruct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_test.dir/order/block_units_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/block_units_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/fuzz_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/fuzz_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/infer_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/infer_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/io_validate_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/io_validate_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/merges_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/merges_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/parallel_stepping_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/parallel_stepping_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/partition_graph_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/partition_graph_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/phases_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/phases_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/pipeline_property_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/pipeline_property_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/stats_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/stats_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/stepping_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/stepping_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/stressor_matrix_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/stressor_matrix_test.cpp.o.d"
+  "CMakeFiles/order_test.dir/order/wclock_test.cpp.o"
+  "CMakeFiles/order_test.dir/order/wclock_test.cpp.o.d"
+  "order_test"
+  "order_test.pdb"
+  "order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
