@@ -14,6 +14,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -21,7 +22,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 4, "LULESH iterations");
   flags.define_int("grid", 2, "ranks per dimension (2 = 8 ranks)");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Ablation — collective abstraction level (paper Sec. 7.1)",
@@ -63,5 +66,6 @@ int main(int argc, char** argv) {
                      std::to_string(widths[0]) + " -> " +
                      std::to_string(widths[1]) +
                      " steps) with runtime-internal detail");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -64,7 +65,9 @@ void print(const Row* rows, std::size_t n) {
 int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 12, "iterations for both workloads");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
   const std::int32_t iters =
       static_cast<std::int32_t>(flags.get_int("iterations"));
 
@@ -129,5 +132,6 @@ int main(int argc, char** argv) {
   bench::verdict(jac[1].violations == 0 && las[1].violations == 0,
                  "the chare-centric structure stays sound while chares "
                  "migrate");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -47,7 +48,9 @@ Run measure(const apps::Jacobi2DConfig& cfg) {
 int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 4, "Jacobi iterations");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Ablation — task migration (paper Sec. 1, challenge 2)",
@@ -92,5 +95,6 @@ int main(int argc, char** argv) {
                  "migration");
   bench::verdict(b.stats.chare_step_violations == 0,
                  "DAG properties hold across the migration");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "order/stepping.hpp"
 #include "trace/skew.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -58,7 +59,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 3, "Jacobi iterations");
   flags.define_int("seed", 1, "simulation + skew seed");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Ablation — clock skew sensitivity (paper Sec. 4 discussion)",
@@ -107,5 +110,6 @@ int main(int argc, char** argv) {
   bench::verdict(rows.back().violations == 0,
                  "DAG properties hold even under gross skew (no same-chare "
                  "step collisions)");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "vis/ascii.hpp"
 
 int main(int argc, char** argv) {
@@ -14,7 +15,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("grid", 3, "rank grid (paper: 3x3 = 9 processes)");
   flags.define_int("iterations", 2, "BT iterations");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 1 — NAS BT, logical structure vs physical time",
@@ -43,5 +46,6 @@ int main(int argc, char** argv) {
   bench::verdict(stats.num_phases >= 4 * cfg.iterations / 2 &&
                      stats.width < t.num_events(),
                  "sweep phases recovered; logical width << event count");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -51,7 +52,9 @@ int main(int argc, char** argv) {
   flags.define_int("pes", 8, "processing elements");
   flags.define_int("iterations", 2, "Jacobi iterations");
   flags.define_int("seed", 1, "simulation seed");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 8 — Jacobi 2D step assignment, recorded order vs reordered",
@@ -94,5 +97,6 @@ int main(int argc, char** argv) {
                      " steps, occupancy " +
                      std::to_string(recorded.stats.avg_occupancy) + " -> " +
                      std::to_string(reordered.stats.avg_occupancy) + ")");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -62,7 +63,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("ranks", 1024, "MPI ranks (power of two)");
   flags.define_int("seed", 1, "simulation seed");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 10 — 1,024-process MPI merge tree, stepping without vs with "
@@ -111,5 +114,6 @@ int main(int argc, char** argv) {
                      " -> " + std::to_string(mean_b) + ")");
   bench::verdict(reordered.max_step <= baseline.max_step,
                  "reordering never widens the structure");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "metrics/idle.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "vis/ascii.hpp"
 
@@ -16,7 +17,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 3, "Jacobi iterations");
   flags.define_int("seed", 1, "simulation seed");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 12 — idle experienced, 16-chare Jacobi 2D",
@@ -79,5 +82,6 @@ int main(int argc, char** argv) {
   bench::verdict(total > 0 && rt_and_after > total / 2,
                  "idle concentrates at the reductions and the phases "
                  "they gate");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "metrics/imbalance.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "vis/ascii.hpp"
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
   flags.define_int("iterations", 3, "Jacobi iterations");
   flags.define_int("slow-chare", 5, "chare with the long event");
   flags.define_int("slow-iteration", 1, "0-based iteration of the event");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 14 — per-processor imbalance, 16-chare Jacobi 2D",
@@ -90,5 +93,6 @@ int main(int argc, char** argv) {
                      marked.count(cfg.slow_chare) == 1,
                  "imbalance peaks in the slow iteration and marks both "
                  "chare timelines of the overloaded processor");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "metrics/duration.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "vis/ascii.hpp"
 
 int main(int argc, char** argv) {
@@ -15,7 +16,9 @@ int main(int argc, char** argv) {
   flags.define_int("iterations", 3, "Jacobi iterations");
   flags.define_int("slow-chare", 5, "chare with the long computation");
   flags.define_int("slow-iteration", 1, "0-based iteration of the event");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 15 — differential duration, 16-chare Jacobi 2D",
@@ -64,5 +67,6 @@ int main(int argc, char** argv) {
                      dd.max_value > expected / 2,
                  "metric pinpoints the injected slow chare at its logical "
                  "position");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

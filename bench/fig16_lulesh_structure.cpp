@@ -12,6 +12,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 
 namespace {
 
@@ -32,7 +33,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 4, "LULESH iterations");
   flags.define_int("seed", 1, "simulation seed");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 16 — LULESH logical structure, MPI vs Charm++",
@@ -69,5 +72,6 @@ int main(int argc, char** argv) {
   bench::verdict(charm_ok, "Charm++: setup + " +
                                std::to_string(cfg.iterations) +
                                " x {p p runtime-reduction}");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

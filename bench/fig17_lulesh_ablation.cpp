@@ -8,13 +8,16 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace logstruct;
   util::Flags flags;
   flags.define_int("iterations", 4, "LULESH iterations");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 17 — LULESH structure without Sec. 3.1.4 inference/merging",
@@ -57,5 +60,6 @@ int main(int argc, char** argv) {
                      std::to_string(fs.num_phases) + " -> " +
                      std::to_string(as.num_phases) +
                      ") while DAG properties still hold");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "order/stepping.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -21,7 +22,9 @@ int main(int argc, char** argv) {
                    "largest iteration count (paper goes to 512; use "
                    "--max-iterations=512 for the full sweep)");
   flags.define_string("csv", "", "write the series here");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 18 — extraction time vs iteration count (64-chare LULESH)",
@@ -65,5 +68,6 @@ int main(int argc, char** argv) {
 
   bench::verdict(slope > 0.75 && slope < 1.3,
                  "extraction time scales ~linearly with iterations");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

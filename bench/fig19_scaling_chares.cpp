@@ -10,6 +10,7 @@
 #include "order/stepping.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -21,7 +22,9 @@ int main(int argc, char** argv) {
                    "largest grid dimension (paper reaches 24 = 13,824 "
                    "chares; use --max-grid=24 for the full sweep)");
   flags.define_string("csv", "", "write the series here");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 19 — extraction time vs chare count (8-iteration LULESH)",
@@ -78,5 +81,6 @@ int main(int argc, char** argv) {
   bench::verdict(slope > 0.9,
                  "time grows at least linearly in chare count with a "
                  "super-linear tendency");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 
 namespace {
 
@@ -29,7 +30,9 @@ bool repeating(const std::string& sig, const std::string& unit,
 int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 4, "LASSEN iterations");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 20 — LASSEN phase structure, MPI vs Charm++, 8 vs 64",
@@ -83,5 +86,6 @@ int main(int argc, char** argv) {
   bench::verdict(all_ok,
                  "repeating {p2p, allreduce} everywhere; the two-step "
                  "self-invocation phase appears only in Charm++");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "metrics/imbalance.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -86,7 +87,9 @@ std::string set_str(const std::set<std::int32_t>& s) {
 int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 12, "LASSEN iterations");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figures 21-23 — LASSEN differential-duration patterns, 8 vs 64 "
@@ -147,5 +150,6 @@ int main(int argc, char** argv) {
                  "finer decomposition reduces overall imbalance (ratio " +
                      std::to_string(imb_ratio) +
                      "; weaker than the paper's <0.5 — see EXPERIMENTS.md)");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -34,7 +35,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("chares", 16, "simulation chares");
   flags.define_int("pes", 4, "processing elements");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Figure 24 — PDES completion detector, missing control dependency",
@@ -69,5 +72,6 @@ int main(int argc, char** argv) {
                  "simulation phase's steps");
   bench::verdict(traced_overlap == 0.0,
                  "recorded dependency: phases fall into sequence");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

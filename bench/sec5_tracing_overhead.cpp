@@ -12,13 +12,16 @@
 #include "order/stepping.hpp"
 #include "trace/io.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace logstruct;
   util::Flags flags;
   flags.define_int("iterations", 4, "Jacobi iterations");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Section 5 — cost and payoff of the local-reduction tracing",
@@ -70,5 +73,6 @@ int main(int argc, char** argv) {
                  "the simulator (negligible in practice per the paper)");
   bench::verdict(extra_events > 0 && extra_events <= 3 * contributes,
                  "bounded constant number of extra records per contribute");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "order/validate.hpp"
 #include "sim/taskdag/taskdag.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   flags.define_int("width", 12, "stencil sub-domains");
   flags.define_int("steps", 8, "stencil time steps");
   flags.define_int("workers", 4, "simulated workers");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   bench::figure_header(
       "Section 7 — applicability to other task-based runtimes",
@@ -119,5 +122,6 @@ int main(int argc, char** argv) {
                  "the schedule really was scrambled (" +
                      std::to_string(scrambled) +
                      " cross-step jumps on workers)");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

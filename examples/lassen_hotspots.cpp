@@ -19,6 +19,7 @@
 #include "metrics/profile.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "vis/svg.hpp"
 
@@ -79,7 +80,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 10, "LASSEN iterations");
   flags.define_string("svg-prefix", "", "write <prefix>_{8,64}.svg");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   apps::LassenConfig coarse;  // 4x2 = 8 chares
   coarse.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
@@ -160,5 +163,6 @@ int main(int argc, char** argv) {
                   shares[i].first / 1000.0);
     std::printf("\n");
   }
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

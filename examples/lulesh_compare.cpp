@@ -13,6 +13,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "vis/ascii.hpp"
 #include "vis/svg.hpp"
@@ -53,7 +54,9 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_int("iterations", 4, "LULESH iterations");
   flags.define_string("svg-prefix", "", "write <prefix>_{mpi,charm}.svg");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   apps::LuleshConfig cfg;  // 2x2x2 sub-domains
   cfg.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
@@ -74,5 +77,6 @@ int main(int argc, char** argv) {
     save_svg(prefix + "_charm.svg",
              vis::render_logical_svg(charm, charm_ls));
   }
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

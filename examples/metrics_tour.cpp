@@ -21,6 +21,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
   flags.define_int("iterations", 4, "Jacobi iterations");
   flags.define_int("seed", 1, "simulation seed");
   flags.define_int("slow-chare", 5, "persistent hotspot chare (-1 off)");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   apps::Jacobi2DConfig cfg;
   cfg.chares_x = 4;
@@ -148,5 +151,6 @@ int main(int argc, char** argv) {
         .add(row.other, 2);
   }
   util_table.print();
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

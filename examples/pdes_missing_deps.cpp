@@ -13,6 +13,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "vis/ascii.hpp"
 
 namespace {
@@ -42,7 +43,9 @@ int main(int argc, char** argv) {
   flags.define_int("chares", 16, "simulation chares");
   flags.define_int("pes", 4, "processing elements");
   flags.define_int("windows", 1, "PDES windows (1 = the paper's Fig. 24 view)");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   apps::PdesConfig cfg;
   cfg.num_chares = static_cast<std::int32_t>(flags.get_int("chares"));
@@ -64,5 +67,6 @@ int main(int argc, char** argv) {
   std::puts("Without the recorded dependency nothing orders the detector");
   std::puts("after the work that triggered it; tracing the call repairs");
   std::puts("the sequence (paper Sec. 7.1).");
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

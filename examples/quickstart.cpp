@@ -17,6 +17,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "vis/ascii.hpp"
 #include "vis/cluster.hpp"
@@ -35,7 +36,9 @@ int main(int argc, char** argv) {
   flags.define_bool("cluster", false,
                     "collapse identical chare timelines into classes");
   flags.define_string("html", "", "write the interactive viewer here");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   // 1. Simulate.
   apps::Jacobi2DConfig cfg;
@@ -106,5 +109,6 @@ int main(int argc, char** argv) {
     if (vis::save_html(t, ls, html, hopts))
       std::printf("wrote viewer: %s\n", html.c_str());
   }
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "order/validate.hpp"
 #include "sim/taskdag/taskdag.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "vis/ascii.hpp"
 #include "vis/html.hpp"
 
@@ -28,7 +29,9 @@ int main(int argc, char** argv) {
   flags.define_int("workers", 4, "simulated workers");
   flags.define_int("seed", 1, "scheduling seed");
   flags.define_string("html", "", "write the interactive viewer here");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   sim::taskdag::TaskGraph g;
   if (flags.get_string("graph") == "forkjoin") {
@@ -69,5 +72,6 @@ int main(int argc, char** argv) {
     if (vis::save_html(t, ls, html, hopts))
       std::printf("wrote viewer: %s\n", html.c_str());
   }
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "trace/io.hpp"
 #include "trace/validate.hpp"
 #include "util/flags.hpp"
+#include "util/obs_flags.hpp"
 #include "util/table.hpp"
 #include "vis/html.hpp"
 
@@ -94,7 +95,9 @@ int main(int argc, char** argv) {
                       "archive the computed structure (.lstruct) here");
   flags.define_string("structure-in", "",
                       "load an archived structure instead of recomputing");
+  util::define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
 
   trace::Trace t;
   const std::string in = flags.get_string("in");
@@ -177,5 +180,6 @@ int main(int argc, char** argv) {
     }
     std::printf("saved %s\n", out.c_str());
   }
+  util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace logstruct::metrics {
 
 CriticalPath critical_path(const trace::Trace& trace,
                            const order::LogicalStructure& ls) {
+  OBS_SPAN_ANON("metrics/critical_path");
   CriticalPath out;
   const auto n = static_cast<std::size_t>(trace.num_events());
   if (n == 0) return out;

@@ -4,11 +4,13 @@
 #include <unordered_map>
 
 #include "metrics/subblock.hpp"
+#include "obs/obs.hpp"
 
 namespace logstruct::metrics {
 
 DifferentialDuration differential_duration(
     const trace::Trace& trace, const order::LogicalStructure& ls) {
+  OBS_SPAN_ANON("metrics/differential_duration");
   DifferentialDuration out;
   out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
   std::vector<trace::TimeNs> dur = subblock_durations(trace);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace logstruct::metrics {
 
 IdleExperienced idle_experienced(const trace::Trace& trace) {
+  OBS_SPAN_ANON("metrics/idle_experienced");
   IdleExperienced out;
   out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
   out.per_block.assign(static_cast<std::size_t>(trace.num_blocks()), 0);

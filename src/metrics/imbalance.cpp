@@ -4,11 +4,13 @@
 #include <limits>
 
 #include "metrics/subblock.hpp"
+#include "obs/obs.hpp"
 
 namespace logstruct::metrics {
 
 Imbalance imbalance(const trace::Trace& trace,
                     const order::LogicalStructure& ls) {
+  OBS_SPAN_ANON("metrics/imbalance");
   Imbalance out;
   const std::size_t phases =
       static_cast<std::size_t>(ls.num_phases());

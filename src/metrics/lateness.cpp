@@ -3,10 +3,13 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace logstruct::metrics {
 
 Lateness lateness(const trace::Trace& trace,
                   const order::LogicalStructure& ls, bool same_phase_only) {
+  OBS_SPAN_ANON("metrics/lateness");
   Lateness out;
   out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace logstruct::metrics {
 
 std::vector<EntryProfile> entry_profile(const trace::Trace& trace) {
+  OBS_SPAN_ANON("metrics/entry_profile");
   std::vector<EntryProfile> rows(trace.entries().size());
   for (std::size_t e = 0; e < trace.entries().size(); ++e) {
     rows[e].entry = static_cast<trace::EntryId>(e);
@@ -35,6 +38,7 @@ std::vector<EntryProfile> entry_profile(const trace::Trace& trace) {
 }
 
 std::vector<ProcUtilization> utilization(const trace::Trace& trace) {
+  OBS_SPAN_ANON("metrics/utilization");
   const double end = static_cast<double>(
       std::max<trace::TimeNs>(trace.end_time(), 1));
   std::vector<ProcUtilization> rows(
@@ -55,6 +59,7 @@ std::vector<ProcUtilization> utilization(const trace::Trace& trace) {
 
 std::vector<PhaseProfile> phase_profile(const trace::Trace& trace,
                                         const order::LogicalStructure& ls) {
+  OBS_SPAN_ANON("metrics/phase_profile");
   std::vector<PhaseProfile> rows(
       static_cast<std::size_t>(ls.num_phases()));
   for (std::int32_t p = 0; p < ls.num_phases(); ++p) {

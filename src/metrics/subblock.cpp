@@ -1,8 +1,11 @@
 #include "metrics/subblock.hpp"
 
+#include "obs/obs.hpp"
+
 namespace logstruct::metrics {
 
 std::vector<trace::TimeNs> subblock_durations(const trace::Trace& trace) {
+  OBS_SPAN_ANON("metrics/subblock_durations");
   std::vector<trace::TimeNs> dur(
       static_cast<std::size_t>(trace.num_events()), 0);
   for (trace::BlockId b = 0; b < trace.num_blocks(); ++b) {

@@ -1,0 +1,341 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace logstruct::obs::json {
+
+// --- writer ---------------------------------------------------------------
+
+void Writer::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key() already emitted the comma for this member
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+void Writer::escaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void Writer::begin_object() {
+  comma();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+}
+
+void Writer::end_object() {
+  first_in_scope_.pop_back();
+  out_ += '}';
+}
+
+void Writer::begin_array() {
+  comma();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+}
+
+void Writer::end_array() {
+  first_in_scope_.pop_back();
+  out_ += ']';
+}
+
+void Writer::key(std::string_view k) {
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+  escaped(k);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void Writer::value(std::string_view v) {
+  comma();
+  escaped(v);
+}
+
+void Writer::value(std::int64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void Writer::value(double v) {
+  comma();
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void Writer::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void Writer::null() {
+  comma();
+  out_ += "null";
+}
+
+void Writer::raw(std::string_view json_text) {
+  comma();
+  out_.append(json_text);
+}
+
+// --- parser ---------------------------------------------------------------
+
+const Value& Value::at(const std::string& k) const {
+  static const Value kNull;
+  if (kind != Kind::Object) return kNull;
+  auto it = object.find(k);
+  return it == object.end() ? kNull : it->second;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(
+                                    static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+
+  bool fail(const std::string& msg) {
+    error = msg + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit)
+      return fail("expected '" + std::string(lit) + "'");
+    pos += lit.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"')
+      return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return fail("dangling escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // Telemetry strings are ASCII; encode the BMP point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end");
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out.kind = Value::Kind::Object;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (pos >= text.size() || text[pos] != ':')
+          return fail("expected ':'");
+        ++pos;
+        Value member;
+        if (!parse_value(member)) return false;
+        out.object.emplace(std::move(key), std::move(member));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.kind = Value::Kind::Array;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        Value item;
+        if (!parse_value(item)) return false;
+        out.array.push_back(std::move(item));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::String;
+      return parse_string(out.string);
+    }
+    if (c == 't') {
+      out.kind = Value::Kind::Bool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = Value::Kind::Bool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = Value::Kind::Null;
+      return literal("null");
+    }
+    // number
+    std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+'))
+      ++pos;
+    if (pos == start) return fail("expected value");
+    out.kind = Value::Kind::Number;
+    std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    out.number = std::strtod(num.c_str(), &end);
+    if (end == num.c_str()) return fail("bad number");
+    return true;
+  }
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string* error) {
+  Parser p{text, 0, {}};
+  out = Value{};
+  if (!p.parse_value(out)) {
+    if (error) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error) *error = "trailing garbage at offset " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace logstruct::obs::json

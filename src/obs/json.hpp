@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON support for the telemetry sidecar: a streaming writer
+/// (escaping, automatic commas) and a small recursive-descent parser used
+/// by the round-trip tests and future trajectory tooling. Deliberately
+/// tiny — no external dependency, no SAX, no allocator tricks.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logstruct::obs::json {
+
+/// Streaming writer. Call begin_object/begin_array, key/value pairs, then
+/// matching end_*; commas and escaping are handled. str() returns the
+/// document (valid once all scopes are closed).
+class Writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by a value or begin_*.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(std::int64_t v);
+  void value(std::int32_t v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  void null();
+
+  /// Splice an already-serialized JSON document in value position
+  /// (composing registry / tracer exports into one sidecar).
+  void raw(std::string_view json_text);
+
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+  [[nodiscard]] const std::string& str() const& { return out_; }
+
+ private:
+  void comma();
+  void escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;  ///< per open scope
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (tree form).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+
+  /// Object member or a shared Null sentinel when absent / not an object.
+  [[nodiscard]] const Value& at(const std::string& k) const;
+  /// True iff an object with member k.
+  [[nodiscard]] bool has(const std::string& k) const {
+    return kind == Kind::Object && object.count(k) > 0;
+  }
+  [[nodiscard]] std::int64_t as_int() const {
+    return static_cast<std::int64_t>(number);
+  }
+};
+
+/// Parse a complete document. Returns false (and sets *error when given)
+/// on malformed input.
+bool parse(std::string_view text, Value& out, std::string* error = nullptr);
+
+}  // namespace logstruct::obs::json

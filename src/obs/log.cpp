@@ -1,0 +1,180 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace logstruct::obs {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Debug:
+      return "debug";
+    case Level::Info:
+      return "info";
+    case Level::Warn:
+      return "warn";
+    case Level::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Field::format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t')
+      return true;
+  }
+  return false;
+}
+
+void append_field(std::string& line, const Field& f) {
+  line += ' ';
+  line += f.key;
+  line += '=';
+  if (!needs_quoting(f.value)) {
+    line += f.value;
+    return;
+  }
+  line += '"';
+  for (char c : f.value) {
+    if (c == '"' || c == '\\') line += '\\';
+    if (c == '\n') {
+      line += "\\n";
+      continue;
+    }
+    line += c;
+  }
+  line += '"';
+}
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct Logger::Impl {
+  struct RateState {
+    std::int64_t window_start = 0;
+    std::int32_t emitted_in_window = 0;
+    std::int64_t suppressed = 0;  ///< since last emitted line
+  };
+
+  mutable std::mutex mu;
+  Level min_level = Level::Info;
+  std::int32_t limit = 8;
+  std::int64_t window_ns = 1'000'000'000;  // one second
+  std::int64_t total_suppressed = 0;
+  std::function<void(Level, const std::string&)> sink;
+  std::function<std::int64_t()> clock = steady_ns;
+  std::map<std::string, RateState> rates;
+};
+
+Logger::Logger() : impl_(std::make_shared<Impl>()) {}
+
+Logger& Logger::global() {
+  static Logger* instance = new Logger();  // never destroyed
+  return *instance;
+}
+
+void Logger::set_min_level(Level level) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->min_level = level;
+}
+
+Level Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->min_level;
+}
+
+void Logger::set_rate_limit(std::int32_t limit, std::int64_t window_ns) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->limit = limit;
+  impl_->window_ns = window_ns;
+}
+
+void Logger::set_sink(std::function<void(Level, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->sink = std::move(sink);
+}
+
+void Logger::set_clock_for_test(std::function<std::int64_t()> clock) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->clock = std::move(clock);
+}
+
+std::int64_t Logger::total_suppressed() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->total_suppressed;
+}
+
+void Logger::log(Level level, std::string_view component,
+                 std::string_view message,
+                 std::initializer_list<Field> fields) {
+  std::function<void(Level, const std::string&)> sink;
+  std::int64_t suppressed = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (level < impl_->min_level) return;
+
+    if (impl_->limit > 0) {
+      std::string key;
+      key.reserve(component.size() + 1 + message.size());
+      key.append(component);
+      key += '\x1f';
+      key.append(message);
+      Impl::RateState& rs = impl_->rates[key];
+      const std::int64_t now = impl_->clock();
+      if (now - rs.window_start >= impl_->window_ns) {
+        rs.window_start = now;
+        rs.emitted_in_window = 0;
+      }
+      if (rs.emitted_in_window >= impl_->limit) {
+        ++rs.suppressed;
+        ++impl_->total_suppressed;
+        return;
+      }
+      ++rs.emitted_in_window;
+      suppressed = rs.suppressed;
+      rs.suppressed = 0;
+    }
+    sink = impl_->sink;
+  }
+
+  std::string line;
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line.append(component);
+  line += ": ";
+  line.append(message);
+  for (const Field& f : fields) append_field(line, f);
+  if (suppressed > 0)
+    append_field(line, Field{"suppressed", suppressed});
+
+  if (sink) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void log(Level level, std::string_view component, std::string_view message,
+         std::initializer_list<Field> fields) {
+  Logger::global().log(level, component, message, fields);
+}
+
+}  // namespace logstruct::obs

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file log.hpp
+/// Leveled, rate-limited structured logging.
+///
+/// One line per record:
+///   [level] component: message key=value key="quoted value" ...
+/// Records are rate-limited per (component, message) key: at most
+/// `limit` lines per window; the first line after a suppressed stretch
+/// carries suppressed=N. Unlike the OBS_* macros, logging is plain
+/// runtime API and stays available under LOGSTRUCT_OBS=0 — error
+/// reporting is not instrumentation.
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace logstruct::obs {
+
+enum class Level : std::uint8_t { Debug = 0, Info, Warn, Error };
+
+[[nodiscard]] const char* level_name(Level level);
+
+/// One key=value field. Values render as bare tokens when they are simple
+/// (numbers, identifier-like strings) and quoted otherwise.
+struct Field {
+  Field(std::string_view k, std::string_view v) : key(k), value(v) {}
+  Field(std::string_view k, const char* v) : key(k), value(v) {}
+  Field(std::string_view k, std::int64_t v) : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, std::int32_t v) : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, std::uint64_t v)
+      : key(k), value(std::to_string(v)) {}
+  Field(std::string_view k, double v) : key(k), value(format_double(v)) {}
+  Field(std::string_view k, bool v) : key(k), value(v ? "true" : "false") {}
+
+  static std::string format_double(double v);
+
+  std::string key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  Logger();
+
+  /// The process-wide instance (tests may construct private ones).
+  static Logger& global();
+
+  void log(Level level, std::string_view component, std::string_view message,
+           std::initializer_list<Field> fields = {});
+
+  void set_min_level(Level level);
+  [[nodiscard]] Level min_level() const;
+
+  /// At most `limit` lines per (component,message) per `window_ns`;
+  /// limit <= 0 disables rate limiting.
+  void set_rate_limit(std::int32_t limit, std::int64_t window_ns);
+
+  /// Replace the output sink (default: one line to stderr). The sink
+  /// receives the fully formatted line without trailing newline.
+  void set_sink(std::function<void(Level, const std::string&)> sink);
+
+  /// Replace the time source (monotonic ns) — tests drive the rate
+  /// limiter with a fake clock.
+  void set_clock_for_test(std::function<std::int64_t()> clock);
+
+  /// Total lines suppressed by rate limiting since construction.
+  [[nodiscard]] std::int64_t total_suppressed() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;  ///< shared so a sink swap is race-free
+};
+
+/// Log through the global logger.
+void log(Level level, std::string_view component, std::string_view message,
+         std::initializer_list<Field> fields = {});
+
+}  // namespace logstruct::obs

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "graph/leaps.hpp"
+#include "obs/obs.hpp"
 #include "order/infer.hpp"
 #include "order/initial.hpp"
 #include "order/merges.hpp"
@@ -24,29 +26,64 @@ PhaseResult find_phases(const trace::Trace& trace,
     sw.reset();
   };
 
-  PartitionGraph pg = build_initial_partitions(trace, opts);
-  PhaseResult out;
-  out.initial_partitions = pg.num_partitions();
+  OBS_SPAN(span_all, "order/find_phases");
+  span_all.attr("events", trace.num_events());
 
   // Every pass below keeps the invariant: the partition graph is a DAG on
-  // entry and exit (cycle merges run inside each pass).
-  pg.cycle_merge();                       // raw edges may already cycle
+  // entry and exit (cycle merges run inside each pass). Gated stages
+  // still emit their (near-zero) span so the telemetry sidecar always
+  // carries the full stage taxonomy.
+  PhaseResult out;
+  std::optional<PartitionGraph> pg_storage;
+  {
+    OBS_SPAN(span, "order/initial");
+    pg_storage.emplace(build_initial_partitions(trace, opts));
+    out.initial_partitions = pg_storage->num_partitions();
+    pg_storage->cycle_merge();            // raw edges may already cycle
+    span.attr("partitions", pg_storage->num_partitions());
+  }
+  PartitionGraph& pg = *pg_storage;
   lap(tm.initial);
-  dependency_merge(pg);                   // §3.1.2, Algorithm 1
+  {
+    OBS_SPAN(span, "order/dependency_merge");
+    dependency_merge(pg);                 // §3.1.2, Algorithm 1
+    span.attr("partitions", pg.num_partitions());
+  }
   lap(tm.dependency_merge);
-  if (opts.repair_serial_blocks) repair_merge(pg, opts);  // §3.1.3, Alg 2
+  {
+    OBS_SPAN(span, "order/repair");
+    if (opts.repair_serial_blocks) repair_merge(pg, opts);  // §3.1.3, Alg 2
+    span.attr("partitions", pg.num_partitions());
+  }
   lap(tm.repair);
-  if (opts.neighbor_serial_merge && opts.sdag_inference)
-    neighbor_serial_merge(pg, opts);      // §3.1.3, second rule
+  {
+    OBS_SPAN(span, "order/neighbor_serial");
+    if (opts.neighbor_serial_merge && opts.sdag_inference)
+      neighbor_serial_merge(pg, opts);    // §3.1.3, second rule
+    span.attr("partitions", pg.num_partitions());
+  }
   lap(tm.neighbor);
-  if (opts.infer_source_order) infer_source_order(pg);  // §3.1.4, Alg 3
+  {
+    OBS_SPAN(span, "order/infer_source_order");
+    if (opts.infer_source_order) infer_source_order(pg);  // §3.1.4, Alg 3
+    span.attr("partitions", pg.num_partitions());
+  }
   lap(tm.infer_sources);
-  enforce_leap_property(pg, opts);        // §3.1.4, Alg 4 / property 1
+  {
+    OBS_SPAN(span, "order/enforce_leap_property");
+    enforce_leap_property(pg, opts);      // §3.1.4, Alg 4 / property 1
+    span.attr("partitions", pg.num_partitions());
+  }
   lap(tm.leap_property);
-  enforce_chare_paths(pg);                // §3.1.4, Alg 5 / property 2
+  {
+    OBS_SPAN(span, "order/enforce_chare_paths");
+    enforce_chare_paths(pg);              // §3.1.4, Alg 5 / property 2
+    span.attr("partitions", pg.num_partitions());
+  }
   lap(tm.chare_paths);
 
   LS_CHECK_MSG(check_leap_property(pg), "property 1 violated after pipeline");
+  OBS_SPAN(span_fin, "order/finalize");
 
   // Renumber phases by (leap, first event time) for stable, readable ids.
   auto leaps = graph::compute_leaps(pg.dag());
@@ -90,6 +127,8 @@ PhaseResult find_phases(const trace::Trace& trace,
                      new_id[static_cast<std::size_t>(v)]);
   out.dag.finalize();
   out.merges = pg.merges_applied();
+  span_all.attr("phases", out.num_phases());
+  span_all.attr("merges", out.merges);
   lap(tm.finalize);
   return out;
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "graph/topo.hpp"
+#include "obs/obs.hpp"
 #include "order/block_units.hpp"
 #include "order/wclock.hpp"
 #include "util/check.hpp"
@@ -116,6 +117,9 @@ class UnitOrder {
 
 LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
                               const Options& opts) {
+  OBS_SPAN(span, "order/stepping");
+  span.attr("phases", phases.num_phases());
+  span.attr("events", trace.num_events());
   LogicalStructure out;
   BlockUnits units =
       compute_block_units(trace, opts.partition.sdag_inference);
@@ -413,11 +417,16 @@ LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
   }
 
   out.phases = std::move(phases);
+  span.attr("max_step", out.max_step);
+  span.attr("order_conflicts", out.order_conflicts);
+  OBS_COUNTER_ADD("order/stepping/order_conflicts", out.order_conflicts);
   return out;
 }
 
 LogicalStructure extract_structure(const trace::Trace& trace,
                                    const Options& opts) {
+  OBS_SPAN(span, "order/extract_structure");
+  span.attr("events", trace.num_events());
   return assign_steps(trace, find_phases(trace, opts.partition), opts);
 }
 

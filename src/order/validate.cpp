@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "graph/scc.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
 
 namespace logstruct::order {
 
@@ -20,12 +22,17 @@ void problem(std::vector<std::string>& out, Args&&... args) {
 
 std::vector<std::string> validate_structure(const trace::Trace& trace,
                                             const LogicalStructure& ls) {
+  OBS_SPAN_ANON("order/validate_structure");
   std::vector<std::string> out;
 
   if (ls.phases.phase_of_event.size() !=
       static_cast<std::size_t>(trace.num_events())) {
     problem(out, "phase_of_event has ", ls.phases.phase_of_event.size(),
             " entries for ", trace.num_events(), " events");
+    obs::log(obs::Level::Warn, "order/validate",
+             "logical structure failed validation",
+             {{"problems", static_cast<std::int64_t>(out.size())},
+              {"first", out.front()}});
     return out;  // sizes are wrong: nothing below is safe
   }
 
@@ -76,6 +83,12 @@ std::vector<std::string> validate_structure(const trace::Trace& trace,
         problem(out, "chare ", c, " sequence not strictly increasing at ",
                 i);
     }
+  }
+  if (!out.empty()) {
+    obs::log(obs::Level::Warn, "order/validate",
+             "logical structure failed validation",
+             {{"problems", static_cast<std::int64_t>(out.size())},
+              {"first", out.front()}});
   }
   return out;
 }

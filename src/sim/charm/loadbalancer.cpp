@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/charm/runtime.hpp"
 #include "util/check.hpp"
 
@@ -62,6 +63,8 @@ void LbManager::on_message(trace::EntryId entry, const MsgData& data) {
   runtime.compute(
       runtime.config().reduction_cost_ns *
       static_cast<trace::TimeNs>(cfg.reports.size()));  // strategy work
+  OBS_COUNTER_ADD("sim/charm/lb_migrations",
+                  static_cast<std::int64_t>(moves.size()));
   for (const auto& [c, pe] : moves) {
     runtime.migrate_chare(c, pe, /*poke_reductions=*/false);
     runtime.chare_load_[static_cast<std::size_t>(c)] = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "sim/charm/runtime.hpp"
 #include "util/check.hpp"
 
@@ -82,6 +83,7 @@ void ReductionMgr::on_message(trace::EntryId entry, const MsgData& data) {
   } else {
     LS_CHECK(entry == runtime.entry_red_tree_);
     ++slot.child_seen;
+    OBS_COUNTER_INC("sim/charm/reduction_tree_fanins");
   }
   runtime.compute(runtime.config().reduction_cost_ns);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "sim/charm/loadbalancer.hpp"
 #include "sim/charm/reduction.hpp"
 #include "util/check.hpp"
@@ -171,6 +172,7 @@ void Runtime::post(trace::ChareId dst, trace::EntryId entry, MsgData data,
   msg.flags = flags;
   queues_[static_cast<std::size_t>(pe_of(dst))].push(std::move(msg));
   ++pending_msgs_;
+  OBS_COUNTER_INC("sim/charm/messages_enqueued");
 }
 
 trace::BlockId Runtime::ensure_block() {
@@ -234,6 +236,7 @@ void Runtime::migrate_chare(trace::ChareId c, trace::ProcId new_pe,
   trace::ProcId old_pe = chare.pe();
   if (old_pe == new_pe) return;
   chare.pe_ = new_pe;
+  OBS_COUNTER_INC("sim/charm/migrations");
   if (chare.array() != trace::kNone) {
     ArrayMeta& meta = arrays_[static_cast<std::size_t>(chare.array())];
     --meta.per_pe_count[static_cast<std::size_t>(old_pe)];
@@ -300,6 +303,7 @@ void Runtime::contribute(double value, ReducerOp op, Callback cb) {
 
 void Runtime::execute(const Message& msg, trace::TimeNs start,
                       trace::ProcId pe) {
+  OBS_COUNTER_INC("sim/charm/messages_delivered");
   exec_.active = true;
   exec_.chare = msg.dst;
   exec_.pe = pe;
@@ -345,6 +349,7 @@ void Runtime::execute(const Message& msg, trace::TimeNs start,
 trace::Trace Runtime::run() {
   LS_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
+  OBS_SPAN(span, "sim/charm/run");
 
   while (pending_msgs_ > 0) {
     // Pick the execution that starts earliest across all PEs.
@@ -378,6 +383,8 @@ trace::Trace Runtime::run() {
     pe_free_[static_cast<std::size_t>(best_pe)] = exec_.clock;
   }
 
+  span.attr("events", tb_.num_events());
+  span.attr("pes", cfg_.num_pes);
   return tb_.finish(cfg_.num_pes);
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "trace/builder.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -28,6 +29,9 @@ struct AllreduceGroup {
 
 trace::Trace simulate(const Program& program, const MpiConfig& cfg) {
   const std::int32_t n = program.num_ranks();
+  OBS_SPAN(span, "sim/mpi/run");
+  span.attr("ranks", n);
+  span.attr("ops", static_cast<std::int64_t>(program.total_ops()));
   util::Rng rng(cfg.seed);
   trace::TraceBuilder tb;
 
@@ -91,6 +95,7 @@ trace::Trace simulate(const Program& program, const MpiConfig& cfg) {
                       std::max<std::int64_t>(cfg.jitter_ns, 1))));
           channels[{r, op.peer, op.tag}].push_back({arrival, s});
           t += cfg.op_overhead_ns;
+          OBS_COUNTER_INC("sim/mpi/messages_sent");
         } else if (op.kind == Op::Kind::Recv) {
           auto it = channels.find({op.peer, r, op.tag});
           if (it == channels.end() || it->second.empty()) break;  // blocked
@@ -104,6 +109,7 @@ trace::Trace simulate(const Program& program, const MpiConfig& cfg) {
           tb.add_recv(b, ready, msg.event);
           tb.end_block(b, ready + cfg.op_overhead_ns);
           t = ready + cfg.op_overhead_ns;
+          OBS_COUNTER_INC("sim/mpi/messages_received");
         } else {  // Allreduce
           std::int32_t k = coll_index[static_cast<std::size_t>(r)];
           AllreduceGroup& g = group_for(k);
@@ -119,6 +125,7 @@ trace::Trace simulate(const Program& program, const MpiConfig& cfg) {
           for (trace::TimeNs e : g.entry) last = std::max(last, e);
           trace::TimeNs done = last + cfg.collective_cost_ns;
           trace::CollectiveId coll = tb.begin_collective();
+          OBS_COUNTER_INC("sim/mpi/collectives");
           for (std::int32_t q = 0; q < n; ++q) {
             trace::TimeNs entry_q = g.entry[static_cast<std::size_t>(q)];
             trace::BlockId b = tb.begin_block(

@@ -1,5 +1,6 @@
 #include "trace/builder.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace logstruct::trace {
@@ -130,6 +131,13 @@ EventId TraceBuilder::add_collective_recv(CollectiveId c, BlockId block,
 }
 
 Trace TraceBuilder::finish(std::int32_t num_procs) {
+  OBS_SPAN(span, "trace/ingest");
+  span.attr("events", num_events());
+  span.attr("blocks", static_cast<std::int64_t>(trace_.blocks_.size()));
+  span.attr("chares", static_cast<std::int64_t>(trace_.chares_.size()));
+  OBS_COUNTER_ADD("trace/builder/events", num_events());
+  OBS_COUNTER_ADD("trace/builder/blocks",
+                  static_cast<std::int64_t>(trace_.blocks_.size()));
   for (std::size_t b = 0; b < block_open_.size(); ++b) {
     LS_CHECK_MSG(!block_open_[b], "finish() with an open serial block");
   }

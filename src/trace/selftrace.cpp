@@ -1,0 +1,93 @@
+#include "trace/selftrace.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/builder.hpp"
+
+namespace logstruct::trace {
+
+Trace spans_to_trace(std::span<const obs::Span> spans) {
+  TraceBuilder tb;
+  if (spans.empty()) return tb.finish(0);
+
+  const std::size_t n = spans.size();
+
+  // Nesting depth per span; a parent always has a smaller id than its
+  // children (ids are assigned at begin time).
+  std::vector<std::int32_t> depth(n, 0);
+  std::int32_t max_depth = 0;
+  std::int32_t max_thread = 0;
+  TimeNs horizon = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::Span& s = spans[i];
+    if (s.parent != obs::kNoSpan &&
+        static_cast<std::size_t>(s.parent) < i)
+      depth[i] = depth[static_cast<std::size_t>(s.parent)] + 1;
+    max_depth = std::max(max_depth, depth[i]);
+    max_thread = std::max(max_thread, s.thread);
+    horizon = std::max({horizon, s.begin_ns, s.end_ns});
+  }
+  const std::int32_t lanes = max_depth + 1;
+  const std::int32_t num_procs = (max_thread + 1) * lanes;
+
+  auto proc_of = [&](std::size_t i) {
+    return static_cast<ProcId>(spans[i].thread * lanes + depth[i]);
+  };
+  auto end_of = [&](std::size_t i) {
+    // Open spans are clamped to the snapshot horizon.
+    const obs::Span& s = spans[i];
+    return std::max(s.begin_ns, s.open ? horizon : s.end_ns);
+  };
+
+  // One chare and one entry per distinct span name.
+  ArrayId self_array = tb.add_array("self");
+  std::unordered_map<std::string, ChareId> chare_of_name;
+  std::unordered_map<std::string, EntryId> entry_of_name;
+  std::vector<ChareId> chare(n);
+  std::vector<EntryId> entry(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& name = spans[i].name;
+    auto [cit, cnew] = chare_of_name.try_emplace(name, kNone);
+    if (cnew) {
+      cit->second = tb.add_chare(
+          name, self_array,
+          static_cast<std::int32_t>(chare_of_name.size()) - 1, proc_of(i));
+      entry_of_name[name] = tb.add_entry(name);
+    }
+    chare[i] = cit->second;
+    entry[i] = entry_of_name[name];
+  }
+
+  // Blocks first (all stay open while dependency events are added).
+  std::vector<BlockId> block(n);
+  for (std::size_t i = 0; i < n; ++i)
+    block[i] = tb.begin_block(chare[i], proc_of(i), entry[i],
+                              spans[i].begin_ns);
+
+  // Parent -> child message per nesting edge. Ids increase with begin
+  // time per thread, so per-block events stay time-sorted.
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::Span& s = spans[i];
+    if (s.parent == obs::kNoSpan || static_cast<std::size_t>(s.parent) >= i)
+      continue;
+    const std::size_t p = static_cast<std::size_t>(s.parent);
+    // A child that escaped its parent's window (mismatched end calls)
+    // gets no edge rather than an invalid event placement.
+    if (s.begin_ns < spans[p].begin_ns || s.begin_ns > end_of(p)) continue;
+    EventId send = tb.add_send(block[p], s.begin_ns);
+    tb.add_recv(block[i], s.begin_ns, send);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) tb.end_block(block[i], end_of(i));
+  return tb.finish(num_procs);
+}
+
+Trace self_trace() {
+  auto spans = obs::PipelineTracer::global().snapshot();
+  return spans_to_trace(spans);
+}
+
+}  // namespace logstruct::trace

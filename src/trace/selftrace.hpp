@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file selftrace.hpp
+/// Dogfooding bridge: convert the library's own pipeline spans
+/// (obs::PipelineTracer) into a trace::Trace, so the structure-recovery
+/// pipeline and the ASCII/HTML viewers can be pointed at the tool itself.
+///
+/// Mapping:
+///  - each distinct span name becomes a chare (the "self" array);
+///  - each span becomes one serial block [begin_ns, end_ns];
+///  - a parent span sends to each child at the child's begin time
+///    (Send in the parent block, matched Recv opening the child block);
+///  - rows (procs) are thread x nesting-depth lanes so sibling blocks
+///    never overlap on one proc — the flame-graph layout.
+///
+/// Open spans are clamped to the snapshot horizon.
+
+#include <span>
+
+#include "obs/pipeline.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::trace {
+
+/// Convert recorded spans. Returns an empty trace for an empty snapshot.
+Trace spans_to_trace(std::span<const obs::Span> spans);
+
+/// Convenience: snapshot the global tracer and convert.
+Trace self_trace();
+
+}  // namespace logstruct::trace

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+
 namespace logstruct::trace {
 
 namespace {
@@ -17,6 +20,7 @@ void problem(std::vector<std::string>& out, Args&&... args) {
 }  // namespace
 
 std::vector<std::string> validate(const Trace& trace) {
+  OBS_SPAN_ANON("trace/validate");
   std::vector<std::string> out;
 
   // Events: ranges, containment, partner symmetry.
@@ -116,6 +120,11 @@ std::vector<std::string> validate(const Trace& trace) {
     }
   }
 
+  if (!out.empty()) {
+    obs::log(obs::Level::Warn, "trace/validate", "trace failed validation",
+             {{"problems", static_cast<std::int64_t>(out.size())},
+              {"first", out.front()}});
+  }
   return out;
 }
 

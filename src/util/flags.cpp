@@ -4,25 +4,42 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/log.hpp"
 #include "util/check.hpp"
 
 namespace logstruct::util {
 
+Flags::Flag& Flags::define(const std::string& name, Kind kind,
+                           std::string def, const std::string& help) {
+  LS_CHECK_MSG(index_.count(name) == 0, "flag defined twice");
+  index_.emplace(name, flags_.size());
+  flags_.push_back(Flag{name, kind, def, std::move(def), help});
+  return flags_.back();
+}
+
+const Flags::Flag* Flags::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &flags_[it->second];
+}
+
+Flags::Flag* Flags::find(const std::string& name) {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &flags_[it->second];
+}
+
 void Flags::define_int(const std::string& name, std::int64_t def,
                        const std::string& help) {
-  flags_[name] = Flag{Kind::Int, std::to_string(def), std::to_string(def),
-                      help};
+  define(name, Kind::Int, std::to_string(def), help);
 }
 
 void Flags::define_bool(const std::string& name, bool def,
                         const std::string& help) {
-  const char* v = def ? "true" : "false";
-  flags_[name] = Flag{Kind::Bool, v, v, help};
+  define(name, Kind::Bool, def ? "true" : "false", help);
 }
 
 void Flags::define_string(const std::string& name, const std::string& def,
                           const std::string& help) {
-  flags_[name] = Flag{Kind::String, def, def, help};
+  define(name, Kind::String, def, help);
 }
 
 bool Flags::parse(int argc, char** argv) {
@@ -33,8 +50,9 @@ bool Flags::parse(int argc, char** argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
-                   arg.c_str(), usage(argv[0]).c_str());
+      obs::log(obs::Level::Error, "flags", "unexpected positional argument",
+               {{"arg", arg}});
+      std::fputs(usage(argv[0]).c_str(), stderr);
       return false;
     }
     std::string body = arg.substr(2);
@@ -49,65 +67,65 @@ bool Flags::parse(int argc, char** argv) {
       name = body;
     }
 
-    auto it = flags_.find(name);
-    if (it == flags_.end() && name.rfind("no-", 0) == 0) {
+    Flag* flag = find(name);
+    if (flag == nullptr && name.rfind("no-", 0) == 0) {
       // --no-foo for booleans.
-      auto base = flags_.find(name.substr(3));
-      if (base != flags_.end() && base->second.kind == Kind::Bool &&
-          !has_value) {
-        base->second.value = "false";
+      Flag* base = find(name.substr(3));
+      if (base != nullptr && base->kind == Kind::Bool && !has_value) {
+        base->value = "false";
         continue;
       }
     }
-    if (it == flags_.end()) {
-      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
-                   usage(argv[0]).c_str());
+    if (flag == nullptr) {
+      obs::log(obs::Level::Error, "flags", "unknown flag",
+               {{"name", name}});
+      std::fputs(usage(argv[0]).c_str(), stderr);
       return false;
     }
-    Flag& flag = it->second;
     if (!has_value) {
-      if (flag.kind == Kind::Bool) {
-        flag.value = "true";
+      if (flag->kind == Kind::Bool) {
+        flag->value = "true";
         continue;
       }
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        obs::log(obs::Level::Error, "flags", "flag expects a value",
+                 {{"name", name}});
         return false;
       }
       value = argv[++i];
     }
-    flag.value = value;
+    flag->value = value;
   }
   return true;
 }
 
 std::int64_t Flags::get_int(const std::string& name) const {
-  auto it = flags_.find(name);
-  LS_CHECK_MSG(it != flags_.end() && it->second.kind == Kind::Int,
+  const Flag* flag = find(name);
+  LS_CHECK_MSG(flag != nullptr && flag->kind == Kind::Int,
                "undeclared int flag");
-  return std::strtoll(it->second.value.c_str(), nullptr, 10);
+  return std::strtoll(flag->value.c_str(), nullptr, 10);
 }
 
 bool Flags::get_bool(const std::string& name) const {
-  auto it = flags_.find(name);
-  LS_CHECK_MSG(it != flags_.end() && it->second.kind == Kind::Bool,
+  const Flag* flag = find(name);
+  LS_CHECK_MSG(flag != nullptr && flag->kind == Kind::Bool,
                "undeclared bool flag");
-  return it->second.value == "true" || it->second.value == "1";
+  return flag->value == "true" || flag->value == "1";
 }
 
 const std::string& Flags::get_string(const std::string& name) const {
-  auto it = flags_.find(name);
-  LS_CHECK_MSG(it != flags_.end() && it->second.kind == Kind::String,
+  const Flag* flag = find(name);
+  LS_CHECK_MSG(flag != nullptr && flag->kind == Kind::String,
                "undeclared string flag");
-  return it->second.value;
+  return flag->value;
 }
 
 std::string Flags::usage(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [flags]\n";
-  for (const auto& [name, flag] : flags_) {
-    os << "  --" << name << " (default: " << flag.def << ")  " << flag.help
-       << '\n';
+  for (const Flag& flag : flags_) {
+    os << "  --" << flag.name << " (default: " << flag.def << ")  "
+       << flag.help << '\n';
   }
   return os.str();
 }

@@ -5,18 +5,21 @@
 ///
 /// Supports `--name=value`, `--name value`, and boolean `--name` /
 /// `--no-name`. Unrecognized flags are reported and make parse() fail, so a
-/// typo never silently runs the default experiment.
+/// typo never silently runs the default experiment. Defining the same flag
+/// twice is a hard error (it indicates two harness components fighting over
+/// one name), and usage() lists flags in definition order so the help text
+/// follows the harness's logical grouping.
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace logstruct::util {
 
 class Flags {
  public:
-  /// Declare flags with defaults before parsing.
+  /// Declare flags with defaults before parsing. Redefining a name aborts.
   void define_int(const std::string& name, std::int64_t def,
                   const std::string& help);
   void define_bool(const std::string& name, bool def, const std::string& help);
@@ -30,17 +33,30 @@ class Flags {
   [[nodiscard]] bool get_bool(const std::string& name) const;
   [[nodiscard]] const std::string& get_string(const std::string& name) const;
 
+  /// True iff the flag is declared (any kind).
+  [[nodiscard]] bool defined(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
   [[nodiscard]] std::string usage(const std::string& program) const;
 
  private:
   enum class Kind { Int, Bool, String };
   struct Flag {
+    std::string name;
     Kind kind;
     std::string value;
     std::string def;
     std::string help;
   };
-  std::map<std::string, Flag> flags_;
+
+  Flag& define(const std::string& name, Kind kind, std::string def,
+               const std::string& help);
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+  [[nodiscard]] Flag* find(const std::string& name);
+
+  std::vector<Flag> flags_;  ///< definition order
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace logstruct::util

@@ -1,0 +1,151 @@
+#include "util/obs_flags.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+#include "util/table.hpp"
+
+namespace logstruct::util {
+
+namespace {
+
+struct StageAgg {
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+};
+
+std::map<std::string, StageAgg> aggregate_spans(
+    const std::vector<obs::Span>& spans) {
+  std::map<std::string, StageAgg> agg;
+  for (const obs::Span& s : spans) {
+    StageAgg& a = agg[s.name];
+    ++a.count;
+    a.total_ns += s.end_ns - s.begin_ns;
+  }
+  return agg;
+}
+
+}  // namespace
+
+void define_obs_flags(Flags& flags) {
+  flags.define_bool("profile", false,
+                    "print per-stage telemetry (span totals) on exit");
+  flags.define_string("obs-json", "",
+                      "write the JSON telemetry sidecar here");
+  flags.define_string("log-level", "info",
+                      "structured-log threshold: debug|info|warn|error");
+}
+
+void apply_obs_flags(const Flags& flags) {
+  const std::string& level = flags.get_string("log-level");
+  obs::Level l = obs::Level::Info;
+  if (level == "debug")
+    l = obs::Level::Debug;
+  else if (level == "info")
+    l = obs::Level::Info;
+  else if (level == "warn")
+    l = obs::Level::Warn;
+  else if (level == "error")
+    l = obs::Level::Error;
+  else
+    obs::log(obs::Level::Warn, "obs", "unknown log level, keeping info",
+             {{"requested", level}});
+  obs::Logger::global().set_min_level(l);
+}
+
+std::string obs_sidecar_json(const std::string& program) {
+  obs::PipelineTracer& tracer = obs::PipelineTracer::global();
+  std::vector<obs::Span> spans = tracer.snapshot();
+  auto agg = aggregate_spans(spans);
+
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("program");
+  w.value(program);
+  w.key("obs_compiled");
+  w.value(LOGSTRUCT_OBS != 0);
+  w.key("dropped_spans");
+  w.value(static_cast<std::int64_t>(tracer.dropped()));
+  w.key("stages");
+  w.begin_object();
+  for (const auto& [name, a] : agg) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(a.count);
+    w.key("total_ns");
+    w.value(a.total_ns);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("spans");
+  w.raw(tracer.to_json());
+  w.key("metrics");
+  w.raw(obs::Registry::global().to_json());
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool finish_obs(const Flags& flags, const std::string& program) {
+  const bool profile = flags.get_bool("profile");
+  const std::string& path = flags.get_string("obs-json");
+
+  if (profile) {
+#if LOGSTRUCT_OBS
+    std::vector<obs::Span> spans = obs::PipelineTracer::global().snapshot();
+    auto agg = aggregate_spans(spans);
+    std::vector<std::pair<std::string, StageAgg>> rows(agg.begin(),
+                                                       agg.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.total_ns > b.second.total_ns;
+    });
+    std::int64_t grand = 0;
+    for (const auto& [name, a] : rows) grand += a.total_ns;
+    std::printf("\n--- telemetry (%zu spans) ---\n", spans.size());
+    TablePrinter table({"stage", "calls", "total (ms)", "share"});
+    for (const auto& [name, a] : rows) {
+      // Shares are of the flat sum over all stage spans; nested spans
+      // count both themselves and inside their parent, so shares can
+      // exceed 100% in total — read them as relative weight.
+      char share[16];
+      std::snprintf(share, sizeof share, "%.1f%%",
+                    grand > 0 ? 100.0 * static_cast<double>(a.total_ns) /
+                                    static_cast<double>(grand)
+                              : 0.0);
+      table.row()
+          .add(name)
+          .add(a.count)
+          .add(static_cast<double>(a.total_ns) / 1e6, 3)
+          .add(share);
+    }
+    table.print();
+#else
+    std::printf("\n--- telemetry unavailable: built with LOGSTRUCT_OBS=0 "
+                "---\n");
+#endif
+  }
+
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    obs::log(obs::Level::Error, "obs", "cannot open sidecar for writing",
+             {{"path", path}});
+    return false;
+  }
+  out << obs_sidecar_json(program) << '\n';
+  if (!out.good()) {
+    obs::log(obs::Level::Error, "obs", "sidecar write failed",
+             {{"path", path}});
+    return false;
+  }
+  obs::log(obs::Level::Info, "obs", "wrote telemetry sidecar",
+           {{"path", path}});
+  return true;
+}
+
+}  // namespace logstruct::util

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file obs_flags.hpp
+/// Shared `--profile` / `--obs-json` / `--log-level` wiring for every
+/// bench and example harness.
+///
+/// Usage in a harness main():
+///   util::Flags flags;
+///   ... own defines ...
+///   util::define_obs_flags(flags);
+///   if (!flags.parse(argc, argv)) return 1;
+///   util::apply_obs_flags(flags);
+///   ... work ...
+///   util::finish_obs(flags, argv[0]);   // table and/or JSON sidecar
+///
+/// --profile      prints a per-stage span summary table to stdout.
+/// --obs-json=p   writes the machine-readable telemetry sidecar to p
+///                (docs/OBSERVABILITY.md describes the format; this is
+///                the future BENCH_*.json trajectory source).
+/// --log-level=l  debug|info|warn|error for the structured logger.
+
+#include <string>
+
+#include "util/flags.hpp"
+
+namespace logstruct::util {
+
+void define_obs_flags(Flags& flags);
+
+/// Apply parsed obs flags (log level) to the global obs singletons.
+void apply_obs_flags(const Flags& flags);
+
+/// Emit the profile table (--profile) and/or JSON sidecar (--obs-json).
+/// Returns false if the sidecar could not be written.
+bool finish_obs(const Flags& flags, const std::string& program);
+
+/// The sidecar document as a string (exposed for tests).
+[[nodiscard]] std::string obs_sidecar_json(const std::string& program);
+
+}  // namespace logstruct::util

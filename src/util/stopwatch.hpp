@@ -2,6 +2,11 @@
 
 /// \file stopwatch.hpp
 /// Wall-clock stopwatch for the extraction-time experiments (Figs. 18/19).
+///
+/// Beyond the original seconds()/reset(), the watch supports lap timing
+/// (`lap()` returns the split since the last lap/reset and restarts it)
+/// and pause()/resume() so harnesses can exclude setup — trace synthesis,
+/// I/O — from the timed region.
 
 #include <chrono>
 
@@ -11,16 +16,54 @@ class Stopwatch {
  public:
   Stopwatch() : start_(clock::now()) {}
 
-  void reset() { start_ = clock::now(); }
-
-  /// Elapsed seconds since construction or the last reset().
-  [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+  void reset() {
+    start_ = clock::now();
+    banked_ = duration::zero();
+    paused_ = false;
   }
+
+  /// Elapsed seconds since construction or the last reset()/lap(),
+  /// excluding paused stretches.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(banked_ + running()).count();
+  }
+
+  /// Return the elapsed split (like seconds()) and restart the watch; the
+  /// paused/running state is preserved across the lap boundary.
+  double lap() {
+    double out = seconds();
+    banked_ = duration::zero();
+    start_ = clock::now();
+    return out;
+  }
+
+  /// Stop accumulating time. Pausing a paused watch is a no-op.
+  void pause() {
+    if (paused_) return;
+    banked_ += clock::now() - start_;
+    paused_ = true;
+  }
+
+  /// Resume after pause(). Resuming a running watch is a no-op.
+  void resume() {
+    if (!paused_) return;
+    start_ = clock::now();
+    paused_ = false;
+  }
+
+  [[nodiscard]] bool paused() const { return paused_; }
 
  private:
   using clock = std::chrono::steady_clock;
+  using duration = clock::duration;
+
+  [[nodiscard]] duration running() const {
+    return paused_ ? duration::zero() : clock::now() - start_;
+  }
+
   clock::time_point start_;
+  duration banked_ = duration::zero();
+  bool paused_ = false;
 };
 
 }  // namespace logstruct::util

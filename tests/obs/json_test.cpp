@@ -1,0 +1,127 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace logstruct::obs::json {
+namespace {
+
+TEST(JsonWriter, ObjectWithCommasAndTypes) {
+  Writer w;
+  w.begin_object();
+  w.key("a");
+  w.value(std::int64_t{1});
+  w.key("b");
+  w.value("two");
+  w.key("c");
+  w.value(true);
+  w.key("d");
+  w.null();
+  w.key("e");
+  w.value(1.5);
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":null,\"e\":1.5}");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  Writer w;
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.begin_array();
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.begin_object();
+  w.key("k");
+  w.value(std::int64_t{3});
+  w.end_object();
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[1,[2],{\"k\":3}]");
+}
+
+TEST(JsonWriter, EscapesControlAndQuote) {
+  Writer w;
+  w.begin_object();
+  w.key("k\"ey");
+  w.value("line\nbreak\ttab\\slash");
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            "{\"k\\\"ey\":\"line\\nbreak\\ttab\\\\slash\"}");
+}
+
+TEST(JsonWriter, RawSplicesSubDocument) {
+  Writer inner;
+  inner.begin_object();
+  inner.key("x");
+  inner.value(std::int64_t{9});
+  inner.end_object();
+
+  Writer w;
+  w.begin_object();
+  w.key("sub");
+  w.raw(inner.str());
+  w.key("after");
+  w.value(std::int64_t{1});
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), "{\"sub\":{\"x\":9},\"after\":1}");
+}
+
+TEST(JsonParse, RoundTripThroughWriter) {
+  Writer w;
+  w.begin_object();
+  w.key("name");
+  w.value("order/initial \"quoted\"\n");
+  w.key("count");
+  w.value(std::int64_t{-42});
+  w.key("ok");
+  w.value(false);
+  w.key("list");
+  w.begin_array();
+  w.value(std::int64_t{1});
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.end_object();
+
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(std::move(w).str(), v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").string, "order/initial \"quoted\"\n");
+  EXPECT_EQ(v.at("count").as_int(), -42);
+  EXPECT_EQ(v.at("ok").kind, Value::Kind::Bool);
+  EXPECT_FALSE(v.at("ok").boolean);
+  ASSERT_TRUE(v.at("list").is_array());
+  ASSERT_EQ(v.at("list").array.size(), 2u);
+  EXPECT_EQ(v.at("list").array[1].as_int(), 2);
+}
+
+TEST(JsonParse, MissingKeyYieldsNullSentinel) {
+  Value v;
+  ASSERT_TRUE(parse("{\"a\":1}", v));
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("b"));
+  EXPECT_EQ(v.at("b").kind, Value::Kind::Null);
+  // Chained lookups through the sentinel stay safe.
+  EXPECT_EQ(v.at("b").at("c").kind, Value::Kind::Null);
+}
+
+TEST(JsonParse, NumbersAndUnicodeEscapes) {
+  Value v;
+  ASSERT_TRUE(parse("{\"f\":-1.25e2,\"u\":\"a\\u0041b\"}", v));
+  EXPECT_DOUBLE_EQ(v.at("f").number, -125.0);
+  EXPECT_EQ(v.at("u").string, "aAb");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  Value v;
+  std::string err;
+  EXPECT_FALSE(parse("{\"a\":}", v, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse("[1,2", v));
+  EXPECT_FALSE(parse("", v));
+  EXPECT_FALSE(parse("{} trailing", v));
+}
+
+}  // namespace
+}  // namespace logstruct::obs::json

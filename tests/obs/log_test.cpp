@@ -1,0 +1,117 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace logstruct::obs {
+namespace {
+
+struct Capture {
+  std::vector<std::string> lines;
+  std::vector<Level> levels;
+
+  void attach(Logger& logger) {
+    logger.set_sink([this](Level level, const std::string& line) {
+      levels.push_back(level);
+      lines.push_back(line);
+    });
+  }
+};
+
+TEST(Log, FormatsLevelComponentMessageAndFields) {
+  Logger logger;
+  Capture cap;
+  cap.attach(logger);
+  logger.log(Level::Warn, "order/validate", "problems found",
+             {{"problems", std::int64_t{3}},
+              {"first", "recv 7 not strictly after its send 6"},
+              {"ok", false}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_EQ(cap.levels[0], Level::Warn);
+  EXPECT_EQ(cap.lines[0],
+            "[warn] order/validate: problems found problems=3 "
+            "first=\"recv 7 not strictly after its send 6\" ok=false");
+}
+
+TEST(Log, MinLevelFiltersBelow) {
+  Logger logger;
+  Capture cap;
+  cap.attach(logger);
+  EXPECT_EQ(logger.min_level(), Level::Info);  // default
+  logger.log(Level::Debug, "c", "dropped");
+  logger.log(Level::Info, "c", "kept");
+  logger.set_min_level(Level::Error);
+  logger.log(Level::Warn, "c", "dropped too");
+  logger.log(Level::Error, "c", "kept too");
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_NE(cap.lines[0].find("kept"), std::string::npos);
+  EXPECT_NE(cap.lines[1].find("kept too"), std::string::npos);
+}
+
+TEST(Log, RateLimitSuppressesWithinWindow) {
+  Logger logger;
+  Capture cap;
+  cap.attach(logger);
+  std::int64_t now = 0;
+  logger.set_clock_for_test([&now] { return now; });
+  logger.set_rate_limit(2, 1000);  // 2 lines per 1000ns window
+
+  for (int i = 0; i < 5; ++i) logger.log(Level::Info, "c", "spam");
+  EXPECT_EQ(cap.lines.size(), 2u);
+  EXPECT_EQ(logger.total_suppressed(), 3);
+
+  // A different (component, message) key is limited independently.
+  logger.log(Level::Info, "c", "other");
+  EXPECT_EQ(cap.lines.size(), 3u);
+
+  // Next window: lines flow again and the first carries suppressed=N.
+  now = 2000;
+  logger.log(Level::Info, "c", "spam");
+  ASSERT_EQ(cap.lines.size(), 4u);
+  EXPECT_NE(cap.lines[3].find("suppressed=3"), std::string::npos);
+
+  // The annotation is a one-shot: the next line in the window is clean.
+  logger.log(Level::Info, "c", "spam");
+  ASSERT_EQ(cap.lines.size(), 5u);
+  EXPECT_EQ(cap.lines[4].find("suppressed="), std::string::npos);
+}
+
+TEST(Log, RateLimitDisabledByNonPositiveLimit) {
+  Logger logger;
+  Capture cap;
+  cap.attach(logger);
+  std::int64_t now = 0;
+  logger.set_clock_for_test([&now] { return now; });
+  logger.set_rate_limit(0, 1000);
+  for (int i = 0; i < 50; ++i) logger.log(Level::Info, "c", "m");
+  EXPECT_EQ(cap.lines.size(), 50u);
+  EXPECT_EQ(logger.total_suppressed(), 0);
+}
+
+TEST(Log, QuotesOnlyWhenNeeded) {
+  Logger logger;
+  Capture cap;
+  cap.attach(logger);
+  logger.log(Level::Info, "c", "m",
+             {{"bare", "simple_token-1.5"}, {"quoted", "has space"}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_NE(cap.lines[0].find("bare=simple_token-1.5"), std::string::npos);
+  EXPECT_NE(cap.lines[0].find("quoted=\"has space\""), std::string::npos);
+}
+
+TEST(Log, GlobalHelperRoutesThroughGlobalLogger) {
+  Capture cap;
+  cap.attach(Logger::global());
+  log(Level::Error, "test/global", "hello", {{"n", std::int64_t{1}}});
+  // Restore the default sink before asserting, so a failure message does
+  // not recurse into the capture.
+  Logger::global().set_sink({});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_NE(cap.lines[0].find("test/global"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logstruct::obs

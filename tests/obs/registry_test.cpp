@@ -1,0 +1,159 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace logstruct::obs {
+namespace {
+
+TEST(Registry, CounterFindOrCreateAndAdd) {
+  Registry reg;
+  Counter& c = reg.counter("test/a");
+  c.add(3);
+  c.inc();
+  EXPECT_EQ(c.value(), 4);
+  // Same name yields the same object.
+  EXPECT_EQ(&reg.counter("test/a"), &c);
+  EXPECT_EQ(reg.counter("test/a").value(), 4);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("test/g");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Registry, CountersAreConcurrencySafe) {
+  Registry reg;
+  Counter& c = reg.counter("test/mt");
+  constexpr int kThreads = 8;
+  constexpr int kPer = 10000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    ts.emplace_back([&c] {
+      for (int j = 0; j < kPer; ++j) c.inc();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPer);
+}
+
+TEST(Registry, HistogramBucketsAndStats) {
+  Registry reg;
+  Histogram& h = reg.histogram("test/h");
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.approx_quantile(0.5), 0);
+
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 1006);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1000);
+  // Buckets: {0}->b0, [1,2)->b1, [2,4)->b2 (two samples), 1000->b10.
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(10), 1);
+  // Median lands in bucket 2 (upper bound 3); the top quantile lands in
+  // the [512,1024) bucket.
+  EXPECT_EQ(h.approx_quantile(0.5), 3);
+  EXPECT_EQ(h.approx_quantile(1.0), 1023);
+}
+
+TEST(Registry, HistogramClampsNegativeSamples) {
+  Registry reg;
+  Histogram& h = reg.histogram("test/neg");
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.min(), -5);  // min/max keep the raw value
+}
+
+TEST(Registry, ResetZeroesButKeepsObjects) {
+  Registry reg;
+  Counter& c = reg.counter("test/r");
+  Histogram& h = reg.histogram("test/rh");
+  c.add(5);
+  h.record(7);
+  reg.reset();
+  // The cached references survive and read zero.
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), std::numeric_limits<std::int64_t>::max());
+  c.inc();
+  EXPECT_EQ(reg.counter("test/r").value(), 1);
+}
+
+TEST(Registry, SnapshotListsEverything) {
+  Registry reg;
+  reg.counter("c/one").add(1);
+  reg.gauge("g/one").set(2);
+  reg.histogram("h/one").record(3);
+  RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "c/one");
+  EXPECT_EQ(snap.counters[0].second, 1);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 2);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "h/one");
+  EXPECT_EQ(snap.histograms[0].count, 1);
+  EXPECT_EQ(snap.histograms[0].sum, 3);
+}
+
+TEST(Registry, JsonExportParsesBack) {
+  Registry reg;
+  reg.counter("c/n").add(42);
+  reg.gauge("g/n").set(-7);
+  reg.histogram("h/n").record(100);
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(reg.to_json(), doc, &err)) << err;
+  EXPECT_EQ(doc.at("counters").at("c/n").as_int(), 42);
+  EXPECT_EQ(doc.at("gauges").at("g/n").as_int(), -7);
+  EXPECT_EQ(doc.at("histograms").at("h/n").at("count").as_int(), 1);
+  EXPECT_EQ(doc.at("histograms").at("h/n").at("sum").as_int(), 100);
+}
+
+TEST(Registry, ScopedTimerRecordsIntoGlobal) {
+  // The ScopedTimer class (unlike the OBS_SCOPED_TIMER macro) is plain
+  // runtime API and works in both LOGSTRUCT_OBS configurations. It always
+  // targets the global registry.
+  Registry& reg = Registry::global();
+  const std::int64_t before = reg.histogram("test/scoped_timer").count();
+  {
+    ScopedTimer timer("test/scoped_timer");
+  }
+  EXPECT_EQ(reg.histogram("test/scoped_timer").count(), before + 1);
+}
+
+TEST(Registry, MacrosUpdateGlobal) {
+  Registry& reg = Registry::global();
+  const std::int64_t before = reg.counter("test/macro_counter").value();
+  OBS_COUNTER_ADD("test/macro_counter", 2);
+  OBS_COUNTER_INC("test/macro_counter");
+  OBS_GAUGE_SET("test/macro_gauge", 9);
+  OBS_HISTOGRAM_RECORD("test/macro_hist", 5);
+#if LOGSTRUCT_OBS
+  EXPECT_EQ(reg.counter("test/macro_counter").value(), before + 3);
+  EXPECT_EQ(reg.gauge("test/macro_gauge").value(), 9);
+  EXPECT_GE(reg.histogram("test/macro_hist").count(), 1);
+#else
+  EXPECT_EQ(reg.counter("test/macro_counter").value(), before);
+#endif
+}
+
+}  // namespace
+}  // namespace logstruct::obs

@@ -1,0 +1,71 @@
+#include "util/obs_flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/jacobi2d.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+#include "order/stepping.hpp"
+
+namespace logstruct::util {
+namespace {
+
+TEST(ObsSidecar, JsonParsesAndCarriesStages) {
+  obs::PipelineTracer::global().reset();
+
+  apps::Jacobi2DConfig cfg;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::charm());
+  (void)ls;
+
+  std::string doc = obs_sidecar_json("sidecar_test");
+  obs::json::Value v;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(doc, v, &err)) << err;
+  EXPECT_EQ(v.at("program").string, "sidecar_test");
+  ASSERT_EQ(v.at("obs_compiled").kind, obs::json::Value::Kind::Bool);
+
+#if LOGSTRUCT_OBS
+  EXPECT_TRUE(v.at("obs_compiled").boolean);
+  // One aggregate entry per pipeline stage, with a positive total.
+  const obs::json::Value& stages = v.at("stages");
+  ASSERT_TRUE(stages.is_object());
+  for (const char* stage :
+       {"order/initial", "order/infer_source_order",
+        "order/enforce_leap_property", "order/enforce_chare_paths",
+        "order/stepping", "trace/ingest"}) {
+    ASSERT_TRUE(stages.has(stage)) << stage;
+    EXPECT_EQ(stages.at(stage).at("count").as_int(), 1) << stage;
+    EXPECT_GE(stages.at(stage).at("total_ns").as_int(), 0) << stage;
+  }
+  // The raw span array and metrics registry ride along.
+  EXPECT_TRUE(v.at("spans").is_array());
+  EXPECT_TRUE(v.at("metrics").at("counters").is_object());
+#else
+  EXPECT_FALSE(v.at("obs_compiled").boolean);
+#endif
+}
+
+TEST(ObsFlags, DefineAndApply) {
+  Flags flags;
+  define_obs_flags(flags);
+  EXPECT_TRUE(flags.defined("profile"));
+  EXPECT_TRUE(flags.defined("obs-json"));
+  EXPECT_TRUE(flags.defined("log-level"));
+
+  std::string lvl = "--log-level=error";
+  std::string prog = "prog";
+  char* argv[] = {prog.data(), lvl.data()};
+  ASSERT_TRUE(flags.parse(2, argv));
+  obs::Level before = obs::Logger::global().min_level();
+  apply_obs_flags(flags);
+  EXPECT_EQ(obs::Logger::global().min_level(), obs::Level::Error);
+  obs::Logger::global().set_min_level(before);
+}
+
+}  // namespace
+}  // namespace logstruct::util

@@ -52,7 +52,9 @@ TEST_P(StressorMatrix, JacobiInvariantsHold) {
   trace::Trace t = skewed(apps::run_jacobi2d(cfg), skew_ns, seed);
   // Skew legitimately lets receives precede their sends across PEs; only
   // unskewed traces validate cleanly.
-  if (skew_ns == 0) ASSERT_TRUE(trace::validate(t).empty());
+  if (skew_ns == 0) {
+    ASSERT_TRUE(trace::validate(t).empty());
+  }
 
   for (const Options& opts :
        {Options::charm(), Options::charm_no_reorder(),
@@ -73,7 +75,9 @@ TEST_P(StressorMatrix, LassenInvariantsHold) {
   cfg.seed = seed;
   if (lb) cfg.lb_period = 2;
   trace::Trace t = skewed(apps::run_lassen_charm(cfg), skew_ns, seed);
-  if (skew_ns == 0) ASSERT_TRUE(trace::validate(t).empty());
+  if (skew_ns == 0) {
+    ASSERT_TRUE(trace::validate(t).empty());
+  }
   LogicalStructure ls = extract_structure(t, Options::charm());
   auto problems = validate_structure(t, ls);
   EXPECT_TRUE(problems.empty()) << problems.front();

@@ -92,5 +92,39 @@ TEST(Flags, MissingValueFails) {
   EXPECT_FALSE(f.parse(a.argc(), a.argv()));
 }
 
+TEST(Flags, UsageListsFlagsInDefinitionOrder) {
+  Flags f;
+  f.define_string("zeta", "", "defined first");
+  f.define_int("alpha", 1, "defined second");
+  f.define_bool("mid", false, "defined third");
+  std::string u = f.usage("prog");
+  std::size_t z = u.find("--zeta");
+  std::size_t a = u.find("--alpha");
+  std::size_t m = u.find("--mid");
+  ASSERT_NE(z, std::string::npos);
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  EXPECT_LT(z, a);
+  EXPECT_LT(a, m);
+}
+
+TEST(Flags, DefinedReflectsDeclarations) {
+  Flags f;
+  f.define_int("n", 1, "count");
+  EXPECT_TRUE(f.defined("n"));
+  EXPECT_FALSE(f.defined("m"));
+}
+
+TEST(FlagsDeathTest, DuplicateDefinitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Flags f;
+        f.define_int("n", 1, "count");
+        f.define_string("n", "", "same name, other kind");
+      },
+      "defined twice");
+}
+
 }  // namespace
 }  // namespace logstruct::util

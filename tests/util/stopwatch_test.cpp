@@ -1,0 +1,90 @@
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace logstruct::util {
+namespace {
+
+void spin_for(std::chrono::milliseconds d) {
+  std::this_thread::sleep_for(d);
+}
+
+TEST(Stopwatch, SecondsAccumulates) {
+  Stopwatch sw;
+  spin_for(std::chrono::milliseconds(5));
+  double a = sw.seconds();
+  EXPECT_GE(a, 0.004);
+  spin_for(std::chrono::milliseconds(5));
+  EXPECT_GT(sw.seconds(), a);  // keeps running; seconds() is a read
+}
+
+TEST(Stopwatch, ResetStartsOver) {
+  Stopwatch sw;
+  spin_for(std::chrono::milliseconds(5));
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.004);
+}
+
+TEST(Stopwatch, LapReturnsSplitAndRestarts) {
+  Stopwatch sw;
+  spin_for(std::chrono::milliseconds(5));
+  double first = sw.lap();
+  EXPECT_GE(first, 0.004);
+  // The lap restarted the watch: the next split only covers time since.
+  double second = sw.lap();
+  EXPECT_LT(second, first);
+}
+
+TEST(Stopwatch, PauseExcludesTime) {
+  Stopwatch sw;
+  spin_for(std::chrono::milliseconds(5));
+  sw.pause();
+  EXPECT_TRUE(sw.paused());
+  double at_pause = sw.seconds();
+  spin_for(std::chrono::milliseconds(10));
+  // Paused time does not accumulate.
+  EXPECT_DOUBLE_EQ(sw.seconds(), at_pause);
+  sw.resume();
+  EXPECT_FALSE(sw.paused());
+  spin_for(std::chrono::milliseconds(5));
+  double total = sw.seconds();
+  EXPECT_GE(total, at_pause + 0.004);
+  EXPECT_LT(total, at_pause + 0.1);  // the paused 10ms stayed excluded
+}
+
+TEST(Stopwatch, PauseAndResumeAreIdempotent) {
+  Stopwatch sw;
+  sw.pause();
+  sw.pause();
+  double frozen = sw.seconds();
+  spin_for(std::chrono::milliseconds(2));
+  EXPECT_DOUBLE_EQ(sw.seconds(), frozen);
+  sw.resume();
+  sw.resume();
+  EXPECT_FALSE(sw.paused());
+}
+
+TEST(Stopwatch, LapPreservesPauseState) {
+  Stopwatch sw;
+  sw.pause();
+  double split = sw.lap();
+  EXPECT_GE(split, 0.0);
+  EXPECT_TRUE(sw.paused());  // still paused after the lap
+  spin_for(std::chrono::milliseconds(2));
+  EXPECT_DOUBLE_EQ(sw.seconds(), 0.0);
+}
+
+TEST(Stopwatch, ResetClearsPause) {
+  Stopwatch sw;
+  sw.pause();
+  sw.reset();
+  EXPECT_FALSE(sw.paused());
+  spin_for(std::chrono::milliseconds(2));
+  EXPECT_GT(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace logstruct::util
