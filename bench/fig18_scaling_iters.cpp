@@ -3,11 +3,13 @@
 /// 0.2s..9.6s — directly proportional to iterations, unaffected by the
 /// doubling of phases).
 
+#include <string>
 #include <vector>
 
 #include "apps/lulesh.hpp"
 #include "bench_common.hpp"
 #include "order/stepping.hpp"
+#include "pipeline_json.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
   util::TablePrinter table({"iterations", "events", "phases",
                             "extraction time (s)"});
   util::CsvWriter csv({"iterations", "events", "phases", "seconds"});
+  bench::PipelineTrajectory traj("fig18_scaling_iters");
   for (std::int32_t iters = 8;
        iters <= static_cast<std::int32_t>(flags.get_int("max-iterations"));
        iters *= 2) {
@@ -43,10 +46,10 @@ int main(int argc, char** argv) {
     cfg.num_pes = 8;
     cfg.iterations = iters;
     trace::Trace t = apps::run_lulesh_charm(cfg);
-    util::Stopwatch sw;
-    order::LogicalStructure ls =
-        order::extract_structure(t, order::Options::charm());
-    double secs = sw.seconds();
+    order::LogicalStructure ls = traj.run(
+        "lulesh64/iters=" + std::to_string(iters), t,
+        order::Options::charm());
+    double secs = traj.workloads().back().total_seconds;
     table.row()
         .add(static_cast<std::int64_t>(iters))
         .add(static_cast<std::int64_t>(t.num_events()))
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   std::printf("log-log slope: %.2f (paper: ~1.0, directly proportional)\n",
               slope);
   if (!flags.get_string("csv").empty()) csv.save(flags.get_string("csv"));
+  traj.save();  // written when BENCH_PIPELINE_JSON is set
 
   bench::verdict(slope > 0.75 && slope < 1.3,
                  "extraction time scales ~linearly with iterations");

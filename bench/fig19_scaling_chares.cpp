@@ -2,12 +2,14 @@
 /// LULESH at increasing chare counts (paper: 64..13.8k chares, 0.2s..166s;
 /// growth is super-linear at high counts — the Sec. 3.1.4 merge dominates).
 
+#include <string>
 #include <vector>
 
 #include "apps/lulesh.hpp"
 #include "bench_common.hpp"
 #include "order/phases.hpp"
 #include "order/stepping.hpp"
+#include "pipeline_json.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
   util::TablePrinter table({"chares", "events", "extraction time (s)",
                             "s per Mevent", "Sec.3.1.4 share"});
   util::CsvWriter csv({"chares", "events", "seconds", "leap_share"});
+  bench::PipelineTrajectory traj("fig19_scaling_chares");
   for (std::int32_t g : grids) {
     if (g > static_cast<std::int32_t>(flags.get_int("max-grid"))) break;
     apps::LuleshConfig cfg;
@@ -43,20 +46,25 @@ int main(int argc, char** argv) {
     cfg.num_pes = 8;
     cfg.iterations = 8;
     trace::Trace t = apps::run_lulesh_charm(cfg);
-    util::Stopwatch sw;
     order::Options opts = order::Options::charm();
-    order::PipelineTimings tm;
-    order::PhaseResult phases = order::find_phases(t, opts.partition, &tm);
-    order::LogicalStructure ls =
-        order::assign_steps(t, std::move(phases), opts);
-    double secs = sw.seconds();
+    order::LogicalStructure ls = traj.run(
+        "lulesh8it/chares=" + std::to_string(g * g * g), t, opts);
     (void)ls;
+    const bench::PipelineWorkload& w = traj.workloads().back();
+    double secs = w.total_seconds;
     // The paper attributes the super-linear growth to the §3.1.4 merge
     // ("the greater chare counts requiring more comparisons"): report the
-    // inference+leap fixpoint's share of phase finding.
-    double leap_share =
-        (tm.infer_sources + tm.leap_property + tm.chare_paths) /
-        std::max(tm.total(), 1e-12);
+    // inference+leap fixpoint's share of the partition passes.
+    double inference = 0, partition_total = 0;
+    for (const order::PassRecord& r : w.passes) {
+      if (r.name == "reorder" || r.name == "stepping") continue;
+      partition_total += r.seconds;
+      if (r.name == "infer_source_order" ||
+          r.name == "enforce_leap_property" ||
+          r.name == "enforce_chare_paths")
+        inference += r.seconds;
+    }
+    double leap_share = inference / std::max(partition_total, 1e-12);
     table.row()
         .add(static_cast<std::int64_t>(g * g * g))
         .add(static_cast<std::int64_t>(t.num_events()))
@@ -77,6 +85,7 @@ int main(int argc, char** argv) {
               "super-linear)\n",
               slope);
   if (!flags.get_string("csv").empty()) csv.save(flags.get_string("csv"));
+  traj.save();  // written when BENCH_PIPELINE_JSON is set
 
   bench::verdict(slope > 0.9,
                  "time grows at least linearly in chare count with a "

@@ -7,6 +7,7 @@
 ///  - The 64-chare run's maximum differential duration is roughly a
 ///    quarter of the 8-chare run's (the front splits into smaller pieces).
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>

@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "apps/jacobi2d.hpp"
+#include "pipeline_json.hpp"
 #include "apps/lulesh.hpp"
 #include "apps/mergetree.hpp"
 #include "sim/taskdag/taskdag.hpp"
@@ -163,6 +166,44 @@ void BM_JacobiSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiSimulation)->Arg(2)->Arg(8);
 
+/// Per-pass wall-time trajectory over the LULESH grids the BM_* suite
+/// uses (grid g => g^3 chares), written as BENCH_pipeline.json (schema
+/// logstruct-bench-pipeline/v1; override the path with the
+/// BENCH_PIPELINE_JSON environment variable).
+void emit_pipeline_trajectory() {
+  bench::PipelineTrajectory traj("micro_pipeline");
+  for (std::int32_t grid : {2, 4, 6}) {
+    trace::Trace t = lulesh_trace(grid);
+    char name[64];
+    std::snprintf(name, sizeof(name), "lulesh/chares=%d",
+                  grid * grid * grid);
+    (void)traj.run(name, t, order::Options::charm());
+  }
+  {
+    apps::Jacobi2DConfig cfg;
+    cfg.chares_x = 8;
+    cfg.chares_y = 8;
+    cfg.num_pes = 8;
+    cfg.iterations = 8;
+    trace::Trace t = apps::run_jacobi2d(cfg);
+    (void)traj.run("jacobi2d/8x8", t, order::Options::charm());
+  }
+  {
+    apps::MergeTreeConfig cfg;
+    cfg.num_ranks = 64;
+    trace::Trace t = apps::run_mergetree_mpi(cfg);
+    (void)traj.run("mergetree/ranks=64", t, order::Options::mpi());
+  }
+  traj.save(/*path=*/{}, /*fallback=*/"BENCH_pipeline.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_pipeline_trajectory();
+  return 0;
+}

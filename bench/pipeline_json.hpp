@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file pipeline_json.hpp
+/// BENCH_pipeline.json emitter: runs the extraction pipeline through the
+/// pass manager, captures the per-pass wall time the PassManager already
+/// records, and writes one perf-trajectory document per harness run.
+/// Schema (`logstruct-bench-pipeline/v1`) is documented in
+/// docs/OBSERVABILITY.md; the committed BENCH_pipeline.json at the repo
+/// root concatenates the `runs` arrays of historical runs so future PRs
+/// can diff per-pass timings against this one.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "order/context.hpp"
+#include "order/phases.hpp"
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace logstruct::bench {
+
+struct PipelineWorkload {
+  std::string name;
+  std::int64_t events = 0;
+  std::int32_t phases = 0;
+  double total_seconds = 0;
+  std::vector<order::PassRecord> passes;
+};
+
+class PipelineTrajectory {
+ public:
+  explicit PipelineTrajectory(std::string program, std::string label = {})
+      : program_(std::move(program)), label_(std::move(label)) {}
+
+  /// Run the full pipeline (partition passes + stepping passes over one
+  /// shared context) on t, recording wall time per pass.
+  order::LogicalStructure run(const std::string& name,
+                              const trace::Trace& t,
+                              const order::Options& opts) {
+    order::OrderContext ctx(t, opts);
+    std::vector<order::PassRecord> records;
+    util::Stopwatch sw;
+    order::run_partition_pipeline(ctx, nullptr, &records);
+    order::run_stepping_pipeline(ctx, &records);
+    PipelineWorkload w;
+    w.name = name;
+    w.events = t.num_events();
+    w.total_seconds = sw.seconds();
+    w.phases = ctx.structure.num_phases();
+    w.passes = std::move(records);
+    workloads_.push_back(std::move(w));
+    return std::move(ctx.structure);
+  }
+
+  [[nodiscard]] const std::vector<PipelineWorkload>& workloads() const {
+    return workloads_;
+  }
+
+  /// Write the document. Resolution order: explicit `path`, then the
+  /// BENCH_PIPELINE_JSON environment variable, then `fallback` (pass ""
+  /// to make emission opt-in for a harness). Best-effort like the obs
+  /// sidecar: failure warns on stderr, never changes the exit code.
+  void save(const std::string& path = {},
+            const std::string& fallback = {}) const {
+    std::string target = path;
+    if (target.empty()) {
+      if (const char* env = std::getenv("BENCH_PIPELINE_JSON"))
+        target = env;
+    }
+    if (target.empty()) target = fallback;
+    if (target.empty()) return;
+
+    std::FILE* f = std::fopen(target.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "[warn] pipeline trajectory: cannot write %s\n",
+                   target.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v1\",\n");
+    std::fprintf(f, "  \"runs\": [\n    {\n");
+    std::fprintf(f, "      \"program\": \"%s\",\n", program_.c_str());
+    if (!label_.empty())
+      std::fprintf(f, "      \"label\": \"%s\",\n", label_.c_str());
+    std::fprintf(f, "      \"workloads\": [\n");
+    for (std::size_t i = 0; i < workloads_.size(); ++i) {
+      const PipelineWorkload& w = workloads_[i];
+      std::fprintf(f,
+                   "        {\"name\": \"%s\", \"events\": %lld, "
+                   "\"phases\": %d, \"total_seconds\": %.6f,\n",
+                   w.name.c_str(), static_cast<long long>(w.events),
+                   w.phases, w.total_seconds);
+      std::fprintf(f, "         \"passes\": [\n");
+      for (std::size_t p = 0; p < w.passes.size(); ++p) {
+        const order::PassRecord& r = w.passes[p];
+        std::fprintf(f,
+                     "           {\"pass\": \"%s\", \"seconds\": %.6f, "
+                     "\"ran\": %s}%s\n",
+                     r.name.c_str(), r.seconds, r.ran ? "true" : "false",
+                     p + 1 < w.passes.size() ? "," : "");
+      }
+      std::fprintf(f, "         ]}%s\n",
+                   i + 1 < workloads_.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("pipeline trajectory written to %s\n", target.c_str());
+  }
+
+ private:
+  std::string program_;
+  std::string label_;
+  std::vector<PipelineWorkload> workloads_;
+};
+
+}  // namespace logstruct::bench

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/depview.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -65,6 +66,11 @@ CriticalPath critical_path(const trace::Trace& trace,
            tail[static_cast<std::size_t>(e)];
   };
 
+  // All dependency edges come from the frozen table's reverse view:
+  // matches and fan-out copies (what ev.partner used to give) plus every
+  // send of a collective, so the path no longer breaks at reductions.
+  IncomingDeps deps(trace);
+
   trace::EventId best = order.front();
   for (trace::EventId e : order) {
     const trace::Event& ev = trace.event(e);
@@ -77,13 +83,12 @@ CriticalPath critical_path(const trace::Trace& trace,
       incoming = dist_full(prev);
       from = prev;
     }
-    if (ev.kind == trace::EventKind::Recv && ev.partner != trace::kNone) {
-      trace::TimeNs latency = ev.time - trace.event(ev.partner).time;
-      trace::TimeNs via =
-          dist_at[static_cast<std::size_t>(ev.partner)] + latency;
+    for (trace::EventId s : deps.senders(e)) {
+      trace::TimeNs latency = ev.time - trace.event(s).time;
+      trace::TimeNs via = dist_at[static_cast<std::size_t>(s)] + latency;
       if (via > incoming) {
         incoming = via;
-        from = ev.partner;
+        from = s;
       }
     }
     dist_at[static_cast<std::size_t>(e)] =
@@ -109,10 +114,13 @@ CriticalPath critical_path(const trace::Trace& trace,
     trace::TimeNs share = dur[static_cast<std::size_t>(e)];
     // The tail counted toward the path only where the path kept following
     // the chare (or ended).
-    bool left_by_message =
-        i + 1 < out.events.size() &&
-        trace.event(out.events[i + 1]).kind == trace::EventKind::Recv &&
-        trace.event(out.events[i + 1]).partner == e;
+    bool left_by_message = false;
+    if (i + 1 < out.events.size() &&
+        trace.event(out.events[i + 1]).kind == trace::EventKind::Recv) {
+      auto senders = deps.senders(out.events[i + 1]);
+      left_by_message =
+          std::find(senders.begin(), senders.end(), e) != senders.end();
+    }
     if (!left_by_message) share += tail[static_cast<std::size_t>(e)];
     out.chare_share[static_cast<std::size_t>(trace.event(e).chare)] += share;
   }

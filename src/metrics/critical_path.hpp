@@ -29,8 +29,10 @@ struct CriticalPath {
 
 /// Longest chain under: (a) an event costs its sub-block duration,
 /// (b) a receive additionally costs its message latency (recv time -
-/// send time), (c) chain edges are the final per-chare order plus
-/// send->recv matching. Deterministic tie-breaking.
+/// send time), (c) chain edges are the final per-chare order plus every
+/// row of the trace's dependency table — matches, fan-out copies, and
+/// collective closures (so the path follows reductions instead of
+/// breaking at them). Deterministic tie-breaking.
 CriticalPath critical_path(const trace::Trace& trace,
                            const order::LogicalStructure& ls);
 

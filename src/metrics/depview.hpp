@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file depview.hpp
+/// Reverse view over the trace's frozen dependency table: for each
+/// receiving event, the span of events it depends on (its matching send,
+/// fan-out origin, or every send of its collective). Built in
+/// O(events + dependencies) straight off the SoA columns — counting sort
+/// into a CSR, no per-event allocation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace logstruct::metrics {
+
+class IncomingDeps {
+ public:
+  explicit IncomingDeps(const trace::Trace& trace) {
+    const auto sends = trace.dep_sends();
+    const auto recvs = trace.dep_recvs();
+    begin_.assign(static_cast<std::size_t>(trace.num_events()) + 1, 0);
+    for (trace::EventId r : recvs)
+      ++begin_[static_cast<std::size_t>(r) + 1];
+    for (std::size_t i = 1; i < begin_.size(); ++i)
+      begin_[i] += begin_[i - 1];
+    senders_.resize(recvs.size());
+    std::vector<std::int32_t> cursor(begin_.begin(), begin_.end() - 1);
+    for (std::size_t i = 0; i < recvs.size(); ++i)
+      senders_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(recvs[i])]++)] = sends[i];
+  }
+
+  /// Events `recv` depends on; empty for sends and dependency-free events.
+  [[nodiscard]] std::span<const trace::EventId> senders(
+      trace::EventId recv) const {
+    const auto b = static_cast<std::size_t>(
+        begin_[static_cast<std::size_t>(recv)]);
+    const auto e = static_cast<std::size_t>(
+        begin_[static_cast<std::size_t>(recv) + 1]);
+    return std::span<const trace::EventId>(senders_).subspan(b, e - b);
+  }
+
+  /// The dependency that gated `recv`: the last-arriving sender
+  /// (ties broken toward the smaller event id), or kNone.
+  [[nodiscard]] trace::EventId binding_sender(const trace::Trace& trace,
+                                              trace::EventId recv) const {
+    trace::EventId best = trace::kNone;
+    for (trace::EventId s : senders(recv)) {
+      if (best == trace::kNone ||
+          trace.event(s).time > trace.event(best).time)
+        best = s;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<std::int32_t> begin_;
+  std::vector<trace::EventId> senders_;
+};
+
+}  // namespace logstruct::metrics

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/depview.hpp"
 #include "obs/obs.hpp"
 
 namespace logstruct::metrics {
@@ -11,6 +12,16 @@ IdleExperienced idle_experienced(const trace::Trace& trace) {
   IdleExperienced out;
   out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
   out.per_block.assign(static_cast<std::size_t>(trace.num_blocks()), 0);
+
+  // When a block's trigger started: the time of its gating dependency per
+  // the frozen table — matching send, fan-out origin, or the last send of
+  // its collective (previously collective triggers stopped the walk).
+  IncomingDeps deps(trace);
+  auto trigger_time = [&](const trace::SerialBlock& blk) -> trace::TimeNs {
+    if (blk.trigger == trace::kNone) return -1;
+    trace::EventId s = deps.binding_sender(trace, blk.trigger);
+    return s == trace::kNone ? -1 : trace.event(s).time;
+  };
 
   for (const trace::IdleSpan& span : trace.idles()) {
     const trace::TimeNs length = span.end - span.begin;
@@ -29,13 +40,10 @@ IdleExperienced idle_experienced(const trace::Trace& trace) {
         // The block directly after the idle always experiences it.
         assign = true;
         first = false;
-      } else if (blk.trigger != trace::kNone &&
-                 trace.event(blk.trigger).partner != trace::kNone) {
+      } else if (trace::TimeNs dep = trigger_time(blk); dep >= 0) {
         // Subsequent blocks experience the idle if their dependency
         // started before the idle ended (they could have been running).
-        const trace::Event& send =
-            trace.event(trace.event(blk.trigger).partner);
-        if (send.time < span.end) {
+        if (dep < span.end) {
           assign = true;
         } else {
           break;  // dependent on an event after the idle: stop the walk

@@ -3,6 +3,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "metrics/depview.hpp"
 #include "obs/obs.hpp"
 
 namespace logstruct::metrics {
@@ -45,6 +46,18 @@ Lateness lateness(const trace::Trace& trace,
     }
   }
   out.mean = counted ? sum / static_cast<double>(counted) : 0.0;
+
+  // Blame: charge each gated receive's lateness to the chare whose
+  // message arrived last (one reverse pass over the dependency table).
+  out.caused_by_chare.assign(static_cast<std::size_t>(trace.num_chares()),
+                             0);
+  IncomingDeps deps(trace);
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    trace::EventId s = deps.binding_sender(trace, e);
+    if (s == trace::kNone) continue;
+    out.caused_by_chare[static_cast<std::size_t>(trace.event(s).chare)] +=
+        out.per_event[static_cast<std::size_t>(e)];
+  }
   return out;
 }
 

@@ -26,6 +26,11 @@ struct Lateness {
   trace::EventId max_event = trace::kNone;
   /// Mean over events with at least one same-step peer.
   double mean = 0;
+  /// Blame view over the dependency table: each late receive's lateness
+  /// attributed to the chare whose message gated it (the last-arriving
+  /// sender among its matches / fan-out origin / collective sends).
+  /// Index = ChareId; sums to the total lateness of gated receives.
+  std::vector<trace::TimeNs> caused_by_chare;
 };
 
 /// Lateness over global steps. `same_phase_only` restricts peers to the

@@ -1,0 +1,66 @@
+#include "order/context.hpp"
+
+#include "graph/leaps.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::order {
+
+PartitionGraph& OrderContext::pg() {
+  LS_CHECK_MSG(pg_ != nullptr, "pass needs a partition graph before initial");
+  return *pg_;
+}
+
+const PartitionGraph& OrderContext::pg() const {
+  LS_CHECK_MSG(pg_ != nullptr, "pass needs a partition graph before initial");
+  return *pg_;
+}
+
+void OrderContext::set_pg(PartitionGraph&& pg) {
+  pg_storage_.emplace(std::move(pg));
+  pg_ = &*pg_storage_;
+  leaps_epoch_ = 0;
+  groups_epoch_ = 0;
+}
+
+void OrderContext::attach_pg(PartitionGraph& pg) {
+  pg_storage_.reset();
+  pg_ = &pg;
+  leaps_epoch_ = 0;
+  groups_epoch_ = 0;
+}
+
+const std::vector<std::int32_t>& OrderContext::leaps() {
+  const std::uint64_t epoch = pg().epoch();
+  if (leaps_epoch_ != epoch) {
+    leaps_ = graph::compute_leaps(pg().dag());
+    leaps_epoch_ = epoch;
+  }
+  return leaps_;
+}
+
+const std::vector<std::vector<graph::NodeId>>& OrderContext::leap_groups() {
+  const std::uint64_t epoch = pg().epoch();
+  if (groups_epoch_ != epoch) {
+    groups_ = graph::group_by_leap(leaps());
+    groups_epoch_ = epoch;
+  }
+  return groups_;
+}
+
+const BlockUnits& OrderContext::units(bool sdag_absorption) {
+  auto& slot = sdag_absorption ? units_absorbed_ : units_raw_;
+  if (!slot) slot = compute_block_units(*trace_, sdag_absorption);
+  return *slot;
+}
+
+std::vector<std::pair<PartId, PartId>>& OrderContext::scratch_pairs() {
+  scratch_pairs_.clear();
+  return scratch_pairs_;
+}
+
+std::vector<std::pair<PartId, PartId>>& OrderContext::scratch_edges() {
+  scratch_edges_.clear();
+  return scratch_edges_;
+}
+
+}  // namespace logstruct::order

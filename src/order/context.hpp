@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file context.hpp
+/// Shared state threaded through the extraction pipeline passes.
+///
+/// The OrderContext owns (or borrows) the PartitionGraph and caches the
+/// derived values passes keep re-deriving — leaps, leap groups, serial
+/// block units — keyed on the graph's structural epoch so a cache entry
+/// survives exactly as long as no pass mutates the graph. It also holds
+/// arena-style scratch buffers (cleared, never freed, between passes) and
+/// the pipeline products (PhaseResult, LogicalStructure).
+///
+/// Ownership rules:
+///  - set_pg() moves a graph into the context (the "initial" pass does
+///    this); the context owns it for the rest of the run.
+///  - attach_pg() borrows an externally owned graph — used by the legacy
+///    free-function pass wrappers; the caller keeps ownership and the
+///    graph must outlive the context.
+/// Invalidation rules:
+///  - leaps()/leap_groups() recompute iff pg().epoch() moved since the
+///    cached copy; any merge or bulk edge addition moves the epoch.
+///  - units(flavor) depends only on the immutable trace, so it is
+///    computed at most once per flavor per context.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "order/block_units.hpp"
+#include "order/options.hpp"
+#include "order/partition_graph.hpp"
+#include "order/phases.hpp"
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::order {
+
+class OrderContext {
+ public:
+  OrderContext(const trace::Trace& trace, const Options& opts)
+      : trace_(&trace), opts_(opts) {}
+
+  OrderContext(const OrderContext&) = delete;
+  OrderContext& operator=(const OrderContext&) = delete;
+
+  [[nodiscard]] const trace::Trace& trace() const { return *trace_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  // --- partition graph ------------------------------------------------
+  [[nodiscard]] bool has_pg() const { return pg_ != nullptr; }
+  [[nodiscard]] PartitionGraph& pg();
+  [[nodiscard]] const PartitionGraph& pg() const;
+
+  /// Take ownership of a freshly built graph (the "initial" pass).
+  void set_pg(PartitionGraph&& pg);
+
+  /// Borrow an externally owned graph (legacy free-function wrappers).
+  void attach_pg(PartitionGraph& pg);
+
+  // --- epoch-cached derived state --------------------------------------
+  /// Leap of every partition; recomputed only when the graph epoch moved.
+  [[nodiscard]] const std::vector<std::int32_t>& leaps();
+
+  /// Partitions grouped by leap; same invalidation as leaps().
+  [[nodiscard]] const std::vector<std::vector<graph::NodeId>>& leap_groups();
+
+  /// Serial-block units (computed once per absorption flavor; the trace
+  /// is immutable so these never invalidate).
+  [[nodiscard]] const BlockUnits& units(bool sdag_absorption);
+
+  // --- arena scratch ----------------------------------------------------
+  /// Reusable merge-pair buffer; returned cleared.
+  [[nodiscard]] std::vector<std::pair<PartId, PartId>>& scratch_pairs();
+
+  /// Reusable edge buffer; returned cleared. Distinct from
+  /// scratch_pairs() so a pass may hold both at once.
+  [[nodiscard]] std::vector<std::pair<PartId, PartId>>& scratch_edges();
+
+  // --- pipeline products ------------------------------------------------
+  PhaseResult phases;          ///< filled by the "finalize" pass
+  LogicalStructure structure;  ///< filled by the "stepping" pass
+  std::vector<std::int64_t> w;  ///< replay clock from the "reorder" pass
+
+ private:
+  const trace::Trace* trace_;
+  Options opts_;
+
+  std::optional<PartitionGraph> pg_storage_;
+  PartitionGraph* pg_ = nullptr;
+
+  std::vector<std::int32_t> leaps_;
+  std::uint64_t leaps_epoch_ = 0;
+  std::vector<std::vector<graph::NodeId>> groups_;
+  std::uint64_t groups_epoch_ = 0;
+
+  std::optional<BlockUnits> units_raw_;
+  std::optional<BlockUnits> units_absorbed_;
+
+  std::vector<std::pair<PartId, PartId>> scratch_pairs_;
+  std::vector<std::pair<PartId, PartId>> scratch_edges_;
+};
+
+}  // namespace logstruct::order

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "graph/leaps.hpp"
+#include "order/context.hpp"
 #include "util/check.hpp"
 
 namespace logstruct::order {
@@ -123,11 +124,26 @@ std::pair<PartId, PartId> order_pair(const PartitionGraph& pg, PartId p,
   return p < q ? std::pair{p, q} : std::pair{q, p};
 }
 
+bool leap_property_holds(
+    const PartitionGraph& pg,
+    const std::vector<std::vector<graph::NodeId>>& groups) {
+  for (const auto& group : groups) {
+    std::unordered_set<trace::ChareId> seen;
+    for (PartId p : group) {
+      for (trace::ChareId c : pg.chares(p)) {
+        if (!seen.insert(c).second) return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-void infer_source_order(PartitionGraph& pg) {
+void infer_source_order(OrderContext& ctx) {
+  PartitionGraph& pg = ctx.pg();
   auto per_chare = collect_initial_sources(pg);
-  std::vector<std::pair<PartId, PartId>> edges;
+  auto& edges = ctx.scratch_edges();
   for (const auto& list : per_chare) {
     for (std::size_t i = 1; i < list.size(); ++i) {
       if (list[i - 1].part != list[i].part)
@@ -138,8 +154,15 @@ void infer_source_order(PartitionGraph& pg) {
   pg.cycle_merge();
 }
 
-void enforce_leap_property(PartitionGraph& pg,
-                           const PartitionOptions& opts) {
+void infer_source_order(PartitionGraph& pg) {
+  OrderContext ctx(pg.trace(), Options{});
+  ctx.attach_pg(pg);
+  infer_source_order(ctx);
+}
+
+void enforce_leap_property(OrderContext& ctx) {
+  PartitionGraph& pg = ctx.pg();
+  const PartitionOptions& opts = ctx.options().partition;
   // Each round sweeps EVERY leap (like the paper's Algorithm 4, which
   // computes all_leaps once per pass), batching the scheduled merges and
   // inferred order edges, then applies them together and re-derives the
@@ -148,16 +171,18 @@ void enforce_leap_property(PartitionGraph& pg,
   // errors. Edges are only added between same-leap pairs, which cannot
   // close a cycle among themselves (a cycle would need a path between two
   // leaps in both directions); cycles through merged partitions are
-  // handled by the cycle merge after applying.
+  // handled by the cycle merge after applying. The leap groups come from
+  // the context cache: recomputed only when the previous round actually
+  // mutated the graph (epoch moved), and still warm for the downstream
+  // passes once the fixpoint is reached.
   const std::int64_t cap =
       16 + 4 * static_cast<std::int64_t>(pg.num_partitions());
   for (std::int64_t round = 0;; ++round) {
     LS_CHECK_MSG(round < cap, "leap-property fixpoint did not converge");
-    auto leaps = graph::compute_leaps(pg.dag());
-    auto groups = graph::group_by_leap(leaps);
+    const auto& groups = ctx.leap_groups();
 
-    std::vector<std::pair<PartId, PartId>> merges;
-    std::vector<std::pair<PartId, PartId>> edges;
+    auto& merges = ctx.scratch_pairs();
+    auto& edges = ctx.scratch_edges();
     std::unordered_map<trace::ChareId, PartId> owner;
     for (const auto& group : groups) {
       owner.clear();  // chare -> first partition of this leap that owns it
@@ -188,9 +213,19 @@ void enforce_leap_property(PartitionGraph& pg,
   }
 }
 
-void enforce_chare_paths(PartitionGraph& pg) {
-  auto leaps = graph::compute_leaps(pg.dag());
-  auto groups = graph::group_by_leap(leaps);
+void enforce_leap_property(PartitionGraph& pg,
+                           const PartitionOptions& opts) {
+  Options all;
+  all.partition = opts;
+  OrderContext ctx(pg.trace(), all);
+  ctx.attach_pg(pg);
+  enforce_leap_property(ctx);
+}
+
+void enforce_chare_paths(OrderContext& ctx) {
+  PartitionGraph& pg = ctx.pg();
+  const auto& leaps = ctx.leaps();
+  const auto& groups = ctx.leap_groups();
   const trace::Trace& trace = pg.trace();
 
   // For each chare: the nearest later leap containing it and the owning
@@ -200,7 +235,7 @@ void enforce_chare_paths(PartitionGraph& pg) {
   std::vector<PartId> next_owner(
       static_cast<std::size_t>(trace.num_chares()), -1);
 
-  std::vector<std::pair<PartId, PartId>> edges;
+  auto& edges = ctx.scratch_edges();
   for (std::int32_t k = static_cast<std::int32_t>(groups.size()) - 1; k >= 0;
        --k) {
     for (PartId p : groups[static_cast<std::size_t>(k)]) {
@@ -248,18 +283,20 @@ void enforce_chare_paths(PartitionGraph& pg) {
   pg.add_edges_bulk(edges);
 }
 
+void enforce_chare_paths(PartitionGraph& pg) {
+  OrderContext ctx(pg.trace(), Options{});
+  ctx.attach_pg(pg);
+  enforce_chare_paths(ctx);
+}
+
+bool check_leap_property(OrderContext& ctx) {
+  return leap_property_holds(ctx.pg(), ctx.leap_groups());
+}
+
 bool check_leap_property(const PartitionGraph& pg) {
   auto leaps = graph::compute_leaps(pg.dag());
   auto groups = graph::group_by_leap(leaps);
-  for (const auto& group : groups) {
-    std::unordered_set<trace::ChareId> seen;
-    for (PartId p : group) {
-      for (trace::ChareId c : pg.chares(p)) {
-        if (!seen.insert(c).second) return false;
-      }
-    }
-  }
-  return true;
+  return leap_property_holds(pg, groups);
 }
 
 bool check_chare_paths(const PartitionGraph& pg) {

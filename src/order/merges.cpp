@@ -5,12 +5,14 @@
 #include <vector>
 
 #include "order/block_units.hpp"
+#include "order/context.hpp"
 #include "trace/sdag.hpp"
 
 namespace logstruct::order {
 
-void dependency_merge(PartitionGraph& pg) {
-  std::vector<std::pair<PartId, PartId>> pairs;
+void dependency_merge(OrderContext& ctx) {
+  PartitionGraph& pg = ctx.pg();
+  auto& pairs = ctx.scratch_pairs();
   pg.trace().for_each_dependency([&](trace::EventId s, trace::EventId r) {
     PartId p = pg.part_of(s);
     PartId q = pg.part_of(r);
@@ -24,12 +26,17 @@ void dependency_merge(PartitionGraph& pg) {
   pg.cycle_merge();
 }
 
-void repair_merge(PartitionGraph& pg, const PartitionOptions& opts) {
-  (void)opts;
-  const trace::Trace& trace = pg.trace();
+void dependency_merge(PartitionGraph& pg) {
+  OrderContext ctx(pg.trace(), Options{});
+  ctx.attach_pg(pg);
+  dependency_merge(ctx);
+}
+
+void repair_merge(OrderContext& ctx) {
+  PartitionGraph& pg = ctx.pg();
   // Raw serial blocks: the repair restores merges broken by the
   // app/runtime split within one block (paper Fig. 4).
-  BlockUnits units = compute_block_units(trace, /*sdag_absorption=*/false);
+  const BlockUnits& units = ctx.units(/*sdag_absorption=*/false);
 
   // Paper Algorithm 2, literally: an event's "serial happened-before" is
   // the adjacent previous event in its block; merge their partitions when
@@ -41,7 +48,7 @@ void repair_merge(PartitionGraph& pg, const PartitionOptions& opts) {
   // plausible alternative reading of Fig. 4) would also weld, e.g., a
   // LASSEN control self-send onto the halo receives of its block and
   // erase the paper's observed two-step phases.
-  std::vector<std::pair<PartId, PartId>> pairs;
+  auto& pairs = ctx.scratch_pairs();
   for (const auto& events : units.events) {
     for (std::size_t i = 1; i < events.size(); ++i) {
       PartId q = pg.part_of(events[i - 1]);
@@ -53,11 +60,18 @@ void repair_merge(PartitionGraph& pg, const PartitionOptions& opts) {
   pg.cycle_merge();
 }
 
-void neighbor_serial_merge(PartitionGraph& pg,
-                           const PartitionOptions& opts) {
-  (void)opts;
+void repair_merge(PartitionGraph& pg, const PartitionOptions& opts) {
+  Options all;
+  all.partition = opts;
+  OrderContext ctx(pg.trace(), all);
+  ctx.attach_pg(pg);
+  repair_merge(ctx);
+}
+
+void neighbor_serial_merge(OrderContext& ctx) {
+  PartitionGraph& pg = ctx.pg();
   const trace::Trace& trace = pg.trace();
-  BlockUnits units = compute_block_units(trace, /*sdag_absorption=*/false);
+  const BlockUnits& units = ctx.units(/*sdag_absorption=*/false);
 
   // For each (partition of serial n, serial number n+1): the partitions in
   // which the group's chares continue. If one multi-chare partition flows
@@ -77,7 +91,7 @@ void neighbor_serial_merge(PartitionGraph& pg,
     flows[{p, serial}].push_back(q);
   }
 
-  std::vector<std::pair<PartId, PartId>> pairs;
+  auto& pairs = ctx.scratch_pairs();
   for (auto& [key, succs] : flows) {
     if (pg.chares(key.first).size() < 2) continue;  // not a chare group
     for (std::size_t i = 1; i < succs.size(); ++i) {
@@ -88,6 +102,15 @@ void neighbor_serial_merge(PartitionGraph& pg,
   }
   pg.apply_merges(pairs);
   pg.cycle_merge();
+}
+
+void neighbor_serial_merge(PartitionGraph& pg,
+                           const PartitionOptions& opts) {
+  Options all;
+  all.partition = opts;
+  OrderContext ctx(pg.trace(), all);
+  ctx.attach_pg(pg);
+  neighbor_serial_merge(ctx);
 }
 
 }  // namespace logstruct::order

@@ -47,6 +47,11 @@ struct PartitionOptions {
   /// (false) only make each send depend on the receives and send that
   /// physically preceded it.
   bool strict_receive_order = true;
+
+  /// Debug: run per-pass invariant checks (DAG-ness, event coverage,
+  /// properties 1-2) after every pipeline pass; O(V+E) per pass. Also
+  /// forced on by the LOGSTRUCT_CHECK_PASSES environment variable.
+  bool check_passes = false;
 };
 
 struct StepOptions {

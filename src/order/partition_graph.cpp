@@ -29,7 +29,7 @@ PartId PartitionGraph::add_partition(std::vector<trace::EventId> events,
 
 void PartitionGraph::add_edge(PartId from, PartId to) {
   if (from == to) return;
-  pending_edges_.emplace_back(from, to);
+  edges_.emplace_back(from, to);
 }
 
 void PartitionGraph::finalize() {
@@ -39,10 +39,8 @@ void PartitionGraph::finalize() {
     LS_CHECK_MSG(part_of_[static_cast<std::size_t>(e)] != -1,
                  "event not covered by any initial partition");
   }
-  dag_.reset(num_partitions());
-  for (auto [u, v] : pending_edges_) dag_.add_edge(u, v);
-  pending_edges_.clear();
-  dag_.finalize();
+  dag_dirty_ = true;
+  epoch_ = 1;
 
   chares_.assign(events_.size(), {});
   for (std::int32_t p = 0; p < num_partitions(); ++p) {
@@ -52,6 +50,17 @@ void PartitionGraph::finalize() {
     std::sort(cs.begin(), cs.end());
     cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
   }
+}
+
+void PartitionGraph::ensure_dag() const {
+  if (!dag_dirty_) return;
+  dag_.reset(num_partitions());
+  for (auto [u, v] : edges_) dag_.add_edge(u, v);
+  dag_.finalize();
+  // Compact: the adjacency is deduplicated, so shrink the flat list back
+  // to the unique edges to keep future remaps proportional to |E|.
+  edges_ = dag_.edges();
+  dag_dirty_ = false;
 }
 
 trace::EventId PartitionGraph::first_event_of_chare(PartId p,
@@ -66,14 +75,11 @@ void PartitionGraph::add_edges_bulk(
     std::span<const std::pair<PartId, PartId>> edges) {
   LS_CHECK(finalized_);
   if (edges.empty()) return;
-  // The digraph deduplicates on finalize; rebuild it wholesale.
-  graph::Digraph next(num_partitions());
-  for (auto [u, v] : dag_.edges()) next.add_edge(u, v);
   for (auto [u, v] : edges) {
-    if (u != v) next.add_edge(u, v);
+    if (u != v) edges_.emplace_back(u, v);
   }
-  next.finalize();
-  dag_ = std::move(next);
+  dag_dirty_ = true;
+  ++epoch_;
 }
 
 bool PartitionGraph::apply_merges(
@@ -85,70 +91,76 @@ bool PartitionGraph::apply_merges(
   if (uf.num_sets() == static_cast<std::size_t>(num_partitions()))
     return false;
   auto label = uf.dense_labels();
-  rebuild(label, static_cast<std::int32_t>(uf.num_sets()));
+  relabel(label, static_cast<std::int32_t>(uf.num_sets()));
   return true;
 }
 
 bool PartitionGraph::cycle_merge() {
   LS_CHECK(finalized_);
+  ensure_dag();
   graph::SccResult scc = graph::strongly_connected_components(dag_);
   if (scc.num_components == num_partitions()) return false;
-  rebuild(scc.component, scc.num_components);
+  relabel(scc.component, scc.num_components);
   return true;
 }
 
-void PartitionGraph::rebuild(const std::vector<std::int32_t>& label,
+void PartitionGraph::relabel(const std::vector<std::int32_t>& label,
                              std::int32_t num_new) {
   merges_ += num_partitions() - num_new;
+  const trace::Trace& tr = *trace_;
+  auto by_time = [&tr](trace::EventId a, trace::EventId b) {
+    if (tr.event(a).time != tr.event(b).time)
+      return tr.event(a).time < tr.event(b).time;
+    return a < b;
+  };
 
+  // The first member of each group donates its vectors; later members
+  // merge in. Member event lists are already time-sorted, so each merge
+  // is a sorted-run inplace_merge — partitions untouched by this batch
+  // cost only a vector move.
   std::vector<std::vector<trace::EventId>> new_events(
       static_cast<std::size_t>(num_new));
-  std::vector<bool> new_runtime(static_cast<std::size_t>(num_new), false);
-
-  // Reserve, then merge event lists keeping time order (merge of sorted
-  // runs via stable sort on (time, id) — lists are small relative to total).
-  for (std::int32_t p = 0; p < num_partitions(); ++p) {
-    auto nl = static_cast<std::size_t>(label[static_cast<std::size_t>(p)]);
-    auto& src = events_[static_cast<std::size_t>(p)];
-    new_events[nl].insert(new_events[nl].end(), src.begin(), src.end());
-    if (runtime_[static_cast<std::size_t>(p)]) new_runtime[nl] = true;
-  }
-  const trace::Trace& tr = *trace_;
-  for (auto& list : new_events) {
-    std::sort(list.begin(), list.end(),
-              [&tr](trace::EventId a, trace::EventId b) {
-                if (tr.event(a).time != tr.event(b).time)
-                  return tr.event(a).time < tr.event(b).time;
-                return a < b;
-              });
-  }
-
-  graph::Digraph new_dag(num_new);
-  for (auto [u, v] : dag_.edges()) {
-    std::int32_t nu = label[static_cast<std::size_t>(u)];
-    std::int32_t nv = label[static_cast<std::size_t>(v)];
-    if (nu != nv) new_dag.add_edge(nu, nv);
-  }
-  new_dag.finalize();
-
   std::vector<std::vector<trace::ChareId>> new_chares(
       static_cast<std::size_t>(num_new));
-  for (std::int32_t p = 0; p < num_new; ++p) {
-    auto& cs = new_chares[static_cast<std::size_t>(p)];
-    for (trace::EventId e : new_events[static_cast<std::size_t>(p)])
-      cs.push_back(tr.event(e).chare);
-    std::sort(cs.begin(), cs.end());
-    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  std::vector<bool> new_runtime(static_cast<std::size_t>(num_new), false);
+  for (std::int32_t p = 0; p < num_partitions(); ++p) {
+    auto nl = static_cast<std::size_t>(label[static_cast<std::size_t>(p)]);
+    auto& dst = new_events[nl];
+    auto& src = events_[static_cast<std::size_t>(p)];
+    if (dst.empty()) {
+      dst = std::move(src);
+      new_chares[nl] = std::move(chares_[static_cast<std::size_t>(p)]);
+    } else {
+      auto mid = static_cast<std::ptrdiff_t>(dst.size());
+      dst.insert(dst.end(), src.begin(), src.end());
+      std::inplace_merge(dst.begin(), dst.begin() + mid, dst.end(), by_time);
+      auto& cs = new_chares[nl];
+      auto& add = chares_[static_cast<std::size_t>(p)];
+      auto cmid = static_cast<std::ptrdiff_t>(cs.size());
+      cs.insert(cs.end(), add.begin(), add.end());
+      std::inplace_merge(cs.begin(), cs.begin() + cmid, cs.end());
+      cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+    }
+    if (runtime_[static_cast<std::size_t>(p)]) new_runtime[nl] = true;
   }
-
   events_ = std::move(new_events);
-  runtime_ = std::move(new_runtime);
   chares_ = std::move(new_chares);
-  dag_ = std::move(new_dag);
-  for (trace::EventId e = 0; e < tr.num_events(); ++e) {
-    part_of_[static_cast<std::size_t>(e)] =
-        label[static_cast<std::size_t>(part_of_[static_cast<std::size_t>(e)])];
+  runtime_ = std::move(new_runtime);
+
+  for (auto& po : part_of_)
+    po = label[static_cast<std::size_t>(po)];
+
+  // Remap the flat edge list in place, dropping collapsed self-edges;
+  // dedup is deferred to the next dag() materialization.
+  std::size_t w = 0;
+  for (auto [u, v] : edges_) {
+    std::int32_t nu = label[static_cast<std::size_t>(u)];
+    std::int32_t nv = label[static_cast<std::size_t>(v)];
+    if (nu != nv) edges_[w++] = {nu, nv};
   }
+  edges_.resize(w);
+  dag_dirty_ = true;
+  ++epoch_;
 }
 
 }  // namespace logstruct::order

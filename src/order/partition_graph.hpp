@@ -5,9 +5,21 @@
 ///
 /// Vertices are partitions (sets of dependency events); directed edges are
 /// happened-before relations. All of the paper's merge passes reduce to:
-/// schedule a batch of pair merges, apply them (union-find + rebuild), and
-/// collapse any strongly connected components ("cycle merge") so the graph
-/// is a DAG again.
+/// schedule a batch of pair merges, apply them (batched union-find, applied
+/// in place), and collapse any strongly connected components ("cycle
+/// merge") so the graph is a DAG again.
+///
+/// Merges are incremental: only the event/chare lists of partitions that
+/// actually merged are touched (sorted-run merges, no global re-sort), the
+/// edge list is kept as a flat vector that is remapped in place, and the
+/// adjacency structure (dag()) is rebuilt lazily — deferred edge
+/// compaction — only when a query needs it after a mutation dirtied it.
+/// Partition ids keep the exact historical relabeling semantics
+/// (union-find dense labels for pair merges, Tarjan component order for
+/// cycle merges), so downstream tie-breaks are bit-identical to the old
+/// full-rebuild implementation.
+///
+/// Not thread-safe: dag() lazily materializes shared mutable state.
 
 #include <cstdint>
 #include <span>
@@ -52,7 +64,12 @@ class PartitionGraph {
   [[nodiscard]] PartId part_of(trace::EventId e) const {
     return part_of_[static_cast<std::size_t>(e)];
   }
-  [[nodiscard]] const graph::Digraph& dag() const { return dag_; }
+  /// Deduplicated adjacency over the current partitions. Rebuilt lazily
+  /// after mutations; cheap to call repeatedly between them.
+  [[nodiscard]] const graph::Digraph& dag() const {
+    ensure_dag();
+    return dag_;
+  }
   [[nodiscard]] const trace::Trace& trace() const { return *trace_; }
 
   /// First event of chare c inside partition p (kNone if c has none).
@@ -75,19 +92,32 @@ class PartitionGraph {
   /// Total merges applied so far (for pipeline statistics).
   [[nodiscard]] std::int64_t merges_applied() const { return merges_; }
 
+  /// Structural version counter: bumped by every mutation that can change
+  /// partition ids, membership, or reachability. Caches of derived values
+  /// (leaps, condensations, leap groups) key on this to know when to
+  /// recompute. 0 only before finalize().
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
  private:
-  void rebuild(const std::vector<std::int32_t>& label,
-               std::int32_t num_new);
+  /// Collapse partitions in place: partition p becomes label[p]. Labels
+  /// must be dense [0, num_new) and order-preserving per the caller's
+  /// merge semantics. Touches only merged groups' event/chare lists.
+  void relabel(const std::vector<std::int32_t>& label, std::int32_t num_new);
+  void ensure_dag() const;
 
   const trace::Trace* trace_;
   std::vector<std::vector<trace::EventId>> events_;
   std::vector<bool> runtime_;
   std::vector<std::vector<trace::ChareId>> chares_;
   std::vector<PartId> part_of_;
-  graph::Digraph dag_;
-  std::vector<std::pair<PartId, PartId>> pending_edges_;
+  // Flat happened-before edge list (may contain duplicates between
+  // compactions); dag_ is materialized from it on demand.
+  mutable std::vector<std::pair<PartId, PartId>> edges_;
+  mutable graph::Digraph dag_;
+  mutable bool dag_dirty_ = true;
   bool finalized_ = false;
   std::int64_t merges_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace logstruct::order

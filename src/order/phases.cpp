@@ -2,91 +2,29 @@
 
 #include <algorithm>
 #include <numeric>
-#include <optional>
 
-#include "graph/leaps.hpp"
 #include "obs/obs.hpp"
+#include "order/context.hpp"
 #include "order/infer.hpp"
 #include "order/initial.hpp"
 #include "order/merges.hpp"
 #include "order/partition_graph.hpp"
+#include "order/pass_manager.hpp"
 #include "util/check.hpp"
-#include "util/stopwatch.hpp"
 
 namespace logstruct::order {
 
-PhaseResult find_phases(const trace::Trace& trace,
-                        const PartitionOptions& opts,
-                        PipelineTimings* timings) {
-  PipelineTimings local;
-  PipelineTimings& tm = timings ? *timings : local;
-  util::Stopwatch sw;
-  auto lap = [&sw](double& slot) {
-    slot += sw.seconds();
-    sw.reset();
-  };
+namespace {
 
-  OBS_SPAN(span_all, "order/find_phases");
-  span_all.attr("events", trace.num_events());
+/// Renumber phases by (leap, first event time) for stable, readable ids
+/// and materialize the PhaseResult into ctx.phases.
+void finalize_phases(OrderContext& ctx) {
+  PartitionGraph& pg = ctx.pg();
+  const trace::Trace& trace = ctx.trace();
+  LS_CHECK_MSG(check_leap_property(ctx), "property 1 violated after pipeline");
+  const auto& leaps = ctx.leaps();
+  PhaseResult& out = ctx.phases;
 
-  // Every pass below keeps the invariant: the partition graph is a DAG on
-  // entry and exit (cycle merges run inside each pass). Gated stages
-  // still emit their (near-zero) span so the telemetry sidecar always
-  // carries the full stage taxonomy.
-  PhaseResult out;
-  std::optional<PartitionGraph> pg_storage;
-  {
-    OBS_SPAN(span, "order/initial");
-    pg_storage.emplace(build_initial_partitions(trace, opts));
-    out.initial_partitions = pg_storage->num_partitions();
-    pg_storage->cycle_merge();            // raw edges may already cycle
-    span.attr("partitions", pg_storage->num_partitions());
-  }
-  PartitionGraph& pg = *pg_storage;
-  lap(tm.initial);
-  {
-    OBS_SPAN(span, "order/dependency_merge");
-    dependency_merge(pg);                 // §3.1.2, Algorithm 1
-    span.attr("partitions", pg.num_partitions());
-  }
-  lap(tm.dependency_merge);
-  {
-    OBS_SPAN(span, "order/repair");
-    if (opts.repair_serial_blocks) repair_merge(pg, opts);  // §3.1.3, Alg 2
-    span.attr("partitions", pg.num_partitions());
-  }
-  lap(tm.repair);
-  {
-    OBS_SPAN(span, "order/neighbor_serial");
-    if (opts.neighbor_serial_merge && opts.sdag_inference)
-      neighbor_serial_merge(pg, opts);    // §3.1.3, second rule
-    span.attr("partitions", pg.num_partitions());
-  }
-  lap(tm.neighbor);
-  {
-    OBS_SPAN(span, "order/infer_source_order");
-    if (opts.infer_source_order) infer_source_order(pg);  // §3.1.4, Alg 3
-    span.attr("partitions", pg.num_partitions());
-  }
-  lap(tm.infer_sources);
-  {
-    OBS_SPAN(span, "order/enforce_leap_property");
-    enforce_leap_property(pg, opts);      // §3.1.4, Alg 4 / property 1
-    span.attr("partitions", pg.num_partitions());
-  }
-  lap(tm.leap_property);
-  {
-    OBS_SPAN(span, "order/enforce_chare_paths");
-    enforce_chare_paths(pg);              // §3.1.4, Alg 5 / property 2
-    span.attr("partitions", pg.num_partitions());
-  }
-  lap(tm.chare_paths);
-
-  LS_CHECK_MSG(check_leap_property(pg), "property 1 violated after pipeline");
-  OBS_SPAN(span_fin, "order/finalize");
-
-  // Renumber phases by (leap, first event time) for stable, readable ids.
-  auto leaps = graph::compute_leaps(pg.dag());
   std::vector<std::int32_t> order(
       static_cast<std::size_t>(pg.num_partitions()));
   std::iota(order.begin(), order.end(), 0);
@@ -127,10 +65,90 @@ PhaseResult find_phases(const trace::Trace& trace,
                      new_id[static_cast<std::size_t>(v)]);
   out.dag.finalize();
   out.merges = pg.merges_applied();
-  span_all.attr("phases", out.num_phases());
-  span_all.attr("merges", out.merges);
-  lap(tm.finalize);
-  return out;
+}
+
+}  // namespace
+
+void register_partition_passes(PassManager& pm,
+                               const PartitionOptions& opts) {
+  // Every pass keeps the invariant: the partition graph is a DAG on entry
+  // and exit (cycle merges run inside each pass).
+  pm.add({.name = "initial",
+          .run =
+              [](OrderContext& ctx) {
+                ctx.set_pg(build_initial_partitions(
+                    ctx.trace(), ctx.options().partition));
+                ctx.phases.initial_partitions = ctx.pg().num_partitions();
+                ctx.pg().cycle_merge();  // raw edges may already cycle
+              },
+          .checks = kCheckDag | kCheckCoverage});
+  pm.add({.name = "dependency_merge",  // §3.1.2, Algorithm 1
+          .run = [](OrderContext& ctx) { dependency_merge(ctx); },
+          .checks = kCheckDag | kCheckCoverage});
+  pm.add({.name = "repair",  // §3.1.3, Algorithm 2
+          .run = [](OrderContext& ctx) { repair_merge(ctx); },
+          .enabled = opts.repair_serial_blocks,
+          .checks = kCheckDag | kCheckCoverage});
+  pm.add({.name = "neighbor_serial",  // §3.1.3, second rule
+          .run = [](OrderContext& ctx) { neighbor_serial_merge(ctx); },
+          .enabled = opts.neighbor_serial_merge && opts.sdag_inference,
+          .checks = kCheckDag | kCheckCoverage});
+  pm.add({.name = "infer_source_order",  // §3.1.4, Algorithm 3
+          .run = [](OrderContext& ctx) { infer_source_order(ctx); },
+          .enabled = opts.infer_source_order,
+          .checks = kCheckDag | kCheckCoverage});
+  pm.add({.name = "enforce_leap_property",  // §3.1.4, Alg 4 / property 1
+          .run = [](OrderContext& ctx) { enforce_leap_property(ctx); },
+          .checks = kCheckDag | kCheckCoverage | kCheckLeapProperty});
+  pm.add({.name = "enforce_chare_paths",  // §3.1.4, Alg 5 / property 2
+          .run = [](OrderContext& ctx) { enforce_chare_paths(ctx); },
+          .checks = kCheckDag | kCheckCoverage | kCheckLeapProperty |
+                    kCheckCharePaths});
+  pm.add({.name = "finalize", .run = finalize_phases});
+}
+
+void run_partition_pipeline(OrderContext& ctx, PipelineTimings* timings,
+                            std::vector<PassRecord>* records) {
+  OBS_SPAN(span_all, "order/find_phases");
+  span_all.attr("events", ctx.trace().num_events());
+
+  PassManager pm(ctx.options().partition.check_passes);
+  register_partition_passes(pm, ctx.options().partition);
+  pm.run(ctx);
+
+  span_all.attr("phases", ctx.phases.num_phases());
+  span_all.attr("merges", ctx.phases.merges);
+
+  if (timings) {
+    for (const PassRecord& r : pm.records()) {
+      if (r.name == "initial") timings->initial += r.seconds;
+      else if (r.name == "dependency_merge")
+        timings->dependency_merge += r.seconds;
+      else if (r.name == "repair") timings->repair += r.seconds;
+      else if (r.name == "neighbor_serial") timings->neighbor += r.seconds;
+      else if (r.name == "infer_source_order")
+        timings->infer_sources += r.seconds;
+      else if (r.name == "enforce_leap_property")
+        timings->leap_property += r.seconds;
+      else if (r.name == "enforce_chare_paths")
+        timings->chare_paths += r.seconds;
+      else if (r.name == "finalize") timings->finalize += r.seconds;
+    }
+  }
+  if (records)
+    records->insert(records->end(), pm.records().begin(),
+                    pm.records().end());
+}
+
+PhaseResult find_phases(const trace::Trace& trace,
+                        const PartitionOptions& opts,
+                        PipelineTimings* timings,
+                        std::vector<PassRecord>* records) {
+  Options all;
+  all.partition = opts;
+  OrderContext ctx(trace, all);
+  run_partition_pipeline(ctx, timings, records);
+  return std::move(ctx.phases);
 }
 
 }  // namespace logstruct::order

@@ -1,17 +1,22 @@
 #pragma once
 
 /// \file phases.hpp
-/// Phase-finding driver (paper §3.1): runs the full partitioning pipeline
-/// and returns the phases plus the phase DAG.
+/// Phase-finding driver (paper §3.1): registers the partition passes with
+/// the PassManager, runs them over an OrderContext, and returns the phases
+/// plus the phase DAG.
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "order/options.hpp"
+#include "order/pass.hpp"
 #include "trace/trace.hpp"
 
 namespace logstruct::order {
+
+class OrderContext;
+class PassManager;
 
 /// Wall-clock seconds per pipeline stage (Fig. 19's analysis: the paper
 /// attributes the super-linear tail to the §3.1.4 merge).
@@ -48,12 +53,26 @@ struct PhaseResult {
   }
 };
 
+/// Register the §3.1 partition passes (initial, dependency merge, repair,
+/// neighbor serial, source-order inference, leap property, chare paths,
+/// finalize) onto pm. Options gate each pass; the "finalize" pass fills
+/// ctx.phases. Cycle merges run inside each pass per the paper's
+/// discipline.
+void register_partition_passes(PassManager& pm, const PartitionOptions& opts);
+
+/// Run the partition passes over an existing context (shared with the
+/// stepping passes by extract_structure). Emits the "order/find_phases"
+/// span; optionally reports per-stage timings and raw pass records.
+void run_partition_pipeline(OrderContext& ctx, PipelineTimings* timings,
+                            std::vector<PassRecord>* records);
+
 /// Run the paper's §3.1 pipeline: initial partitions, dependency merge,
 /// serial-block repair, neighbor-serial merge, source-order inference,
 /// leap-property enforcement (merge or order), chare-path enforcement.
 /// Each heuristic is gated by opts.
 PhaseResult find_phases(const trace::Trace& trace,
                         const PartitionOptions& opts,
-                        PipelineTimings* timings = nullptr);
+                        PipelineTimings* timings = nullptr,
+                        std::vector<PassRecord>* records = nullptr);
 
 }  // namespace logstruct::order

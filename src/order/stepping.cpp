@@ -8,6 +8,8 @@
 #include "graph/topo.hpp"
 #include "obs/obs.hpp"
 #include "order/block_units.hpp"
+#include "order/context.hpp"
+#include "order/pass_manager.hpp"
 #include "order/wclock.hpp"
 #include "util/check.hpp"
 
@@ -113,22 +115,34 @@ class UnitOrder {
   const std::unordered_map<trace::BlockId, std::int32_t>& unit_index_;
 };
 
-}  // namespace
+/// "reorder" pass (§3.2.1): fill ctx.w with the idealized-replay clock,
+/// or zeros when reordering is disabled (physical-time stepping).
+void reorder_pass(OrderContext& ctx) {
+  const Options& opts = ctx.options();
+  if (opts.step.reorder) {
+    ctx.w = compute_w(ctx.trace(), ctx.phases,
+                      ctx.units(opts.partition.sdag_inference), opts.step);
+  } else {
+    ctx.w.assign(static_cast<std::size_t>(ctx.trace().num_events()), 0);
+  }
+}
 
-LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
-                              const Options& opts) {
+/// "stepping" pass (§3.2.2-§3.3): order units per chare, Kahn-assign
+/// local steps per phase, stitch global steps via phase offsets.
+void stepping_pass(OrderContext& ctx) {
+  const trace::Trace& trace = ctx.trace();
+  const Options& opts = ctx.options();
+  PhaseResult& phases = ctx.phases;
+
   OBS_SPAN(span, "order/stepping");
   span.attr("phases", phases.num_phases());
   span.attr("events", trace.num_events());
-  LogicalStructure out;
-  BlockUnits units =
-      compute_block_units(trace, opts.partition.sdag_inference);
+  LogicalStructure& out = ctx.structure;
+  const BlockUnits& units = ctx.units(opts.partition.sdag_inference);
 
-  if (opts.step.reorder) {
-    out.w = compute_w(trace, phases, units, opts.step);
-  } else {
+  out.w = std::move(ctx.w);
+  if (out.w.empty())
     out.w.assign(static_cast<std::size_t>(trace.num_events()), 0);
-  }
 
   // Collective send lists per event for step dependencies.
   std::unordered_map<trace::EventId, std::int32_t> coll_of;
@@ -420,14 +434,37 @@ LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
   span.attr("max_step", out.max_step);
   span.attr("order_conflicts", out.order_conflicts);
   OBS_COUNTER_ADD("order/stepping/order_conflicts", out.order_conflicts);
-  return out;
+}
+
+}  // namespace
+
+void run_stepping_pipeline(OrderContext& ctx,
+                           std::vector<PassRecord>* records) {
+  PassManager pm(ctx.options().partition.check_passes);
+  pm.add({.name = "reorder", .run = reorder_pass});
+  pm.add({.name = "stepping", .run = stepping_pass, .own_span = true});
+  pm.run(ctx);
+  if (records)
+    records->insert(records->end(), pm.records().begin(),
+                    pm.records().end());
+}
+
+LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
+                              const Options& opts) {
+  OrderContext ctx(trace, opts);
+  ctx.phases = std::move(phases);
+  run_stepping_pipeline(ctx);
+  return std::move(ctx.structure);
 }
 
 LogicalStructure extract_structure(const trace::Trace& trace,
                                    const Options& opts) {
   OBS_SPAN(span, "order/extract_structure");
   span.attr("events", trace.num_events());
-  return assign_steps(trace, find_phases(trace, opts.partition), opts);
+  OrderContext ctx(trace, opts);
+  run_partition_pipeline(ctx, nullptr, nullptr);
+  run_stepping_pipeline(ctx);
+  return std::move(ctx.structure);
 }
 
 }  // namespace logstruct::order

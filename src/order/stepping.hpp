@@ -44,11 +44,21 @@ struct LogicalStructure {
   }
 };
 
+class OrderContext;
+
+/// Run the §3.2 passes ("reorder" then "stepping") over ctx: consumes
+/// ctx.phases and fills ctx.structure. Shared by assign_steps and
+/// extract_structure so the stepping passes reuse the context's cached
+/// serial-block units. Appends the per-pass records when asked.
+void run_stepping_pipeline(OrderContext& ctx,
+                           std::vector<PassRecord>* records = nullptr);
+
 /// Assign steps to already-found phases.
 LogicalStructure assign_steps(const trace::Trace& trace, PhaseResult phases,
                               const Options& opts);
 
-/// The full pipeline: find_phases + assign_steps.
+/// The full pipeline: the partition passes + the stepping passes over one
+/// shared OrderContext.
 LogicalStructure extract_structure(const trace::Trace& trace,
                                    const Options& opts);
 

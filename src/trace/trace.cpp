@@ -12,32 +12,13 @@ std::span<const EventId> Trace::fanout(EventId send) const {
   return it->second;
 }
 
-std::vector<EventId> Trace::receivers(EventId send) const {
-  std::vector<EventId> out;
+std::span<const EventId> Trace::receivers(EventId send) const {
   const Event& e = event(send);
   LS_CHECK(e.kind == EventKind::Send);
-  if (e.partner != kNone) out.push_back(e.partner);
-  auto extra = fanout(send);
-  out.insert(out.end(), extra.begin(), extra.end());
-  return out;
-}
-
-void Trace::for_each_dependency(
-    const std::function<void(EventId, EventId)>& fn) const {
-  for (EventId id = 0; id < num_events(); ++id) {
-    const Event& e = events_[static_cast<std::size_t>(id)];
-    if (e.kind != EventKind::Send) continue;
-    if (e.partner != kNone) fn(id, e.partner);
-    auto it = fanout_.find(id);
-    if (it != fanout_.end()) {
-      for (EventId r : it->second) fn(id, r);
-    }
-  }
-  for (const Collective& coll : collectives_) {
-    for (EventId s : coll.sends) {
-      for (EventId r : coll.recvs) fn(s, r);
-    }
-  }
+  auto lo = static_cast<std::size_t>(dep_begin_[static_cast<std::size_t>(send)]);
+  auto hi =
+      static_cast<std::size_t>(dep_begin_[static_cast<std::size_t>(send) + 1]);
+  return std::span<const EventId>(dep_recv_).subspan(lo, hi - lo);
 }
 
 bool Trace::is_runtime_event(EventId id) const {
@@ -48,12 +29,9 @@ bool Trace::is_runtime_event(EventId id) const {
     if (chares_[static_cast<std::size_t>(p.chare)].runtime) return true;
   }
   if (e.kind == EventKind::Send) {
-    auto it = fanout_.find(id);
-    if (it != fanout_.end()) {
-      for (EventId r : it->second) {
-        if (chares_[static_cast<std::size_t>(event(r).chare)].runtime)
-          return true;
-      }
+    for (EventId r : receivers(id)) {
+      if (chares_[static_cast<std::size_t>(event(r).chare)].runtime)
+        return true;
     }
   }
   return false;
@@ -109,6 +87,38 @@ void Trace::freeze() {
   // Events inside each block must be in time order for the pipeline.
   for (auto& blk : blocks_) {
     std::sort(blk.events.begin(), blk.events.end(), by_time);
+  }
+
+  // Flat dependency table. The p2p prefix is emitted in send-id order
+  // (partner first, then fanout receivers), matching the historical
+  // for_each_dependency enumeration order exactly; dep_begin_ indexes it
+  // CSR-style so receivers() is a span lookup. Collective cross-product
+  // rows follow.
+  dep_send_.clear();
+  dep_recv_.clear();
+  dep_kind_.clear();
+  dep_begin_.assign(events_.size() + 1, 0);
+  auto push_dep = [this](EventId s, EventId r, DepKind k) {
+    dep_send_.push_back(s);
+    dep_recv_.push_back(r);
+    dep_kind_.push_back(k);
+  };
+  for (EventId id = 0; id < num_events(); ++id) {
+    dep_begin_[static_cast<std::size_t>(id)] =
+        static_cast<std::int32_t>(dep_send_.size());
+    const Event& e = events_[static_cast<std::size_t>(id)];
+    if (e.kind != EventKind::Send) continue;
+    if (e.partner != kNone) push_dep(id, e.partner, DepKind::Match);
+    auto it = fanout_.find(id);
+    if (it != fanout_.end()) {
+      for (EventId r : it->second) push_dep(id, r, DepKind::Fanout);
+    }
+  }
+  dep_begin_[events_.size()] = static_cast<std::int32_t>(dep_send_.size());
+  for (const Collective& coll : collectives_) {
+    for (EventId s : coll.sends) {
+      for (EventId r : coll.recvs) push_dep(s, r, DepKind::Collective);
+    }
   }
 }
 

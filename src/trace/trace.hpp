@@ -5,8 +5,12 @@
 ///
 /// A Trace is produced by a TraceBuilder (fed by the simulators or the
 /// reader) and then frozen; the ordering pipeline and metrics only read it.
+/// Freezing also materializes a flat, columnar dependency table (send id,
+/// recv id, kind — one row per traced control dependency) so the hottest
+/// consumers iterate plain arrays instead of chasing hash maps through a
+/// `std::function`.
 
-#include <functional>
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <unordered_map>
@@ -23,6 +27,13 @@ class Trace;
 /// Declared here for friendship; see skew.hpp / io.hpp.
 Trace apply_clock_skew(const Trace& trace, std::span<const TimeNs> delta);
 Trace read_trace(std::istream& in);
+
+/// Provenance of one row in the flat dependency table.
+enum class DepKind : std::uint8_t {
+  Match = 0,       ///< point-to-point send/recv partner match
+  Fanout = 1,      ///< additional receiver of a broadcast send
+  Collective = 2,  ///< cross-product row of a collective's sends x recvs
+};
 
 class Trace {
  public:
@@ -67,14 +78,40 @@ class Trace {
   /// Additional receivers of a broadcast send (beyond Event::partner).
   [[nodiscard]] std::span<const EventId> fanout(EventId send) const;
 
-  /// All receivers of a send: partner plus fanout. Empty if unmatched.
-  [[nodiscard]] std::vector<EventId> receivers(EventId send) const;
+  /// All receivers of a send: partner plus fanout, as a span over the
+  /// frozen dependency table (no allocation). Empty if unmatched.
+  [[nodiscard]] std::span<const EventId> receivers(EventId send) const;
+
+  // --- flat dependency table (frozen; SoA) ----------------------------
+  /// Number of rows: one per point-to-point match, broadcast fan-out
+  /// receiver, and collective sends x recvs pair.
+  [[nodiscard]] std::int64_t num_dependencies() const {
+    return static_cast<std::int64_t>(dep_send_.size());
+  }
+  /// Column of sending event ids, one per dependency row.
+  [[nodiscard]] std::span<const EventId> dep_sends() const {
+    return dep_send_;
+  }
+  /// Column of receiving event ids, aligned with dep_sends().
+  [[nodiscard]] std::span<const EventId> dep_recvs() const {
+    return dep_recv_;
+  }
+  /// Column of row provenance kinds, aligned with dep_sends().
+  [[nodiscard]] std::span<const DepKind> dep_kinds() const {
+    return dep_kind_;
+  }
 
   /// Invoke fn(send_event, recv_event) for every traced control dependency:
   /// point-to-point matches, broadcast fan-outs, and the cross product of
-  /// each collective's sends x recvs.
-  void for_each_dependency(
-      const std::function<void(EventId, EventId)>& fn) const;
+  /// each collective's sends x recvs. Rows stream from the flat table, so
+  /// the callback is statically dispatched (no std::function).
+  template <typename Fn>
+  void for_each_dependency(Fn&& fn) const {
+    const EventId* send = dep_send_.data();
+    const EventId* recv = dep_recv_.data();
+    for (std::size_t i = 0, n = dep_send_.size(); i < n; ++i)
+      fn(send[i], recv[i]);
+  }
 
   /// Blocks of a chare in begin-time order.
   [[nodiscard]] std::span<const BlockId> blocks_of_chare(ChareId c) const {
@@ -130,6 +167,15 @@ class Trace {
   std::vector<std::vector<BlockId>> chare_blocks_;
   std::vector<std::vector<BlockId>> proc_blocks_;
   std::vector<std::vector<EventId>> chare_events_;
+
+  // flat dependency table. The point-to-point prefix is grouped by send
+  // id (partner row first, then fanout rows), so dep_begin_ is a CSR
+  // index over it: receivers(s) = dep_recv_[dep_begin_[s]..dep_begin_[s+1]).
+  // Collective cross-product rows follow the p2p prefix.
+  std::vector<EventId> dep_send_;
+  std::vector<EventId> dep_recv_;
+  std::vector<DepKind> dep_kind_;
+  std::vector<std::int32_t> dep_begin_;
 };
 
 }  // namespace logstruct::trace

@@ -74,6 +74,33 @@ void divider(std::ostringstream& os, const LaneMap& lanes, double width,
      << y << "\" stroke=\"#666\" stroke-dasharray=\"4 3\"/>\n";
 }
 
+const char* arc_stroke(trace::DepKind kind) {
+  switch (kind) {
+    case trace::DepKind::Fanout: return "#3465a4";
+    case trace::DepKind::Collective: return "#e08020";
+    case trace::DepKind::Match: break;
+  }
+  return "#888";
+}
+
+/// Message arcs straight off the frozen dependency table: one line per
+/// row, send endpoint to receive endpoint, colored by row kind. The
+/// coordinate of an event is supplied by the caller (step space or time
+/// space), so both views share the loop.
+template <typename XOf, typename YOf>
+void message_arcs(std::ostringstream& os, const trace::Trace& trace,
+                  XOf&& x_of, YOf&& y_of) {
+  const auto sends = trace.dep_sends();
+  const auto recvs = trace.dep_recvs();
+  const auto kinds = trace.dep_kinds();
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    os << "<line x1=\"" << x_of(sends[i]) << "\" y1=\"" << y_of(sends[i])
+       << "\" x2=\"" << x_of(recvs[i]) << "\" y2=\"" << y_of(recvs[i])
+       << "\" stroke=\"" << arc_stroke(kinds[i])
+       << "\" stroke-width=\"0.6\" opacity=\"0.6\"/>\n";
+  }
+}
+
 }  // namespace
 
 std::string render_logical_svg(const trace::Trace& trace,
@@ -97,6 +124,20 @@ std::string render_logical_svg(const trace::Trace& trace,
     os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
        << opts.cell_w - 2 << "\" height=\"" << opts.cell_h << "\" fill=\""
        << fill_for(trace, ls, opts, e, vmax) << "\"/>\n";
+  }
+  if (opts.draw_messages) {
+    message_arcs(
+        os, trace,
+        [&](trace::EventId e) {
+          return ls.global_step[static_cast<std::size_t>(e)] * opts.cell_w +
+                 opts.cell_w / 2;
+        },
+        [&](trace::EventId e) {
+          return lanes.lane_of[static_cast<std::size_t>(
+                     trace.event(e).chare)] *
+                     lane_h +
+                 opts.cell_h / 2;
+        });
   }
   os << "</svg>\n";
   return os.str();
@@ -141,6 +182,16 @@ std::string render_physical_svg(const trace::Trace& trace,
     double y = height - 4.0 - span.proc * 1.5;
     os << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\"" << x1 - x0
        << "\" height=\"1\" fill=\"black\"/>\n";
+  }
+  if (opts.draw_messages) {
+    message_arcs(
+        os, trace, [&](trace::EventId e) { return x_of(trace.event(e).time); },
+        [&](trace::EventId e) {
+          return lanes.lane_of[static_cast<std::size_t>(
+                     trace.event(e).chare)] *
+                     lane_h +
+                 opts.cell_h / 2;
+        });
   }
   os << "</svg>\n";
   return os.str();

@@ -22,6 +22,9 @@ struct SvgOptions {
   /// Optional per-event values (e.g. a metric); when non-empty, cells are
   /// colored on the white->red ramp by value/max instead of by phase.
   std::vector<double> values;
+  /// Draw message arcs (one line per dependency-table row: matches gray,
+  /// fanout copies blue, collective closures orange).
+  bool draw_messages = false;
 };
 
 std::string render_logical_svg(const trace::Trace& trace,

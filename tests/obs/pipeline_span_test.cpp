@@ -98,6 +98,7 @@ TEST(PipelineSpans, EveryOrderStageEmitsOneBalancedSpan) {
       "order/enforce_leap_property",
       "order/enforce_chare_paths",
       "order/finalize",
+      "order/reorder",
       "order/stepping",
   };
   for (const std::string& stage : stages) {

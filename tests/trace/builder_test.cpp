@@ -51,7 +51,9 @@ TEST(Builder, BroadcastFanout) {
   ASSERT_EQ(extra.size(), 1u);
   EXPECT_EQ(extra[0], r2);
   auto all = t.receivers(s);
-  EXPECT_EQ(all, (std::vector<EventId>{r1, r2}));
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], r1);
+  EXPECT_EQ(all[1], r2);
 }
 
 TEST(Builder, UntracedRecvKeepsNonePartner) {

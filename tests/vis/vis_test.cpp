@@ -149,6 +149,31 @@ TEST(Svg, MetricColoringUsesRamp) {
   EXPECT_NE(svg.find("#ffffff"), std::string::npos);
 }
 
+TEST(Svg, MessageArcsDrawOneLinePerDependencyRow) {
+  trace::Trace t;
+  auto ls = small_jacobi(t);
+  auto count_lines = [](const std::string& svg) {
+    std::size_t lines = 0;
+    for (std::size_t pos = 0;
+         (pos = svg.find("<line", pos)) != std::string::npos; ++pos)
+      ++lines;
+    return lines;
+  };
+  // Off by default: only the lane divider.
+  std::size_t base_logical = count_lines(render_logical_svg(t, ls));
+  std::size_t base_physical = count_lines(render_physical_svg(t, ls));
+  EXPECT_LE(base_logical, 1u);
+
+  SvgOptions opts;
+  opts.draw_messages = true;
+  // Exactly one arc per dependency-table row, in both views.
+  EXPECT_EQ(count_lines(render_logical_svg(t, ls, opts)),
+            base_logical + static_cast<std::size_t>(t.num_dependencies()));
+  EXPECT_EQ(count_lines(render_physical_svg(t, ls, opts)),
+            base_physical + static_cast<std::size_t>(t.num_dependencies()));
+  EXPECT_GT(t.num_dependencies(), 0);
+}
+
 TEST(Cluster, JacobiCompressesToGeometryClasses) {
   apps::Jacobi2DConfig cfg;
   cfg.chares_x = 8;
