@@ -166,10 +166,11 @@ void BM_JacobiSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiSimulation)->Arg(2)->Arg(8);
 
-/// Per-pass wall-time trajectory over the LULESH grids the BM_* suite
-/// uses (grid g => g^3 chares), written as BENCH_pipeline.json (schema
-/// logstruct-bench-pipeline/v1; override the path with the
-/// BENCH_PIPELINE_JSON environment variable).
+/// Per-pass wall-time + allocation trajectory over the LULESH grids the
+/// BM_* suite uses (grid g => g^3 chares), written as
+/// BENCH_pipeline.json (schema logstruct-bench-pipeline/v2; override
+/// the path with the BENCH_PIPELINE_JSON environment variable).
+/// tools/bench_gate.py diffs these documents across PRs.
 void emit_pipeline_trajectory() {
   bench::PipelineTrajectory traj("micro_pipeline");
   for (std::int32_t grid : {2, 4, 6}) {

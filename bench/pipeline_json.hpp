@@ -2,12 +2,15 @@
 
 /// \file pipeline_json.hpp
 /// BENCH_pipeline.json emitter: runs the extraction pipeline through the
-/// pass manager, captures the per-pass wall time the PassManager already
-/// records, and writes one perf-trajectory document per harness run.
-/// Schema (`logstruct-bench-pipeline/v1`) is documented in
-/// docs/OBSERVABILITY.md; the committed BENCH_pipeline.json at the repo
-/// root concatenates the `runs` arrays of historical runs so future PRs
-/// can diff per-pass timings against this one.
+/// pass manager, captures the per-pass wall time and allocation bytes
+/// the PassManager already records, and writes one perf-trajectory
+/// document per harness run. Schema (`logstruct-bench-pipeline/v2`:
+/// per-pass `alloc_bytes` and a run-level `peak_rss_kb` alongside the v1
+/// fields; v1 readers that ignore unknown keys keep working) is
+/// documented in docs/OBSERVABILITY.md. The committed
+/// BENCH_pipeline.json at the repo root concatenates the `runs` arrays
+/// of historical runs so `tools/bench_gate.py` can diff per-pass
+/// timings and allocations across PRs.
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/memstats.hpp"
 #include "order/context.hpp"
 #include "order/phases.hpp"
 #include "order/stepping.hpp"
@@ -80,11 +84,15 @@ class PipelineTrajectory {
                    target.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v1\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v2\",\n");
     std::fprintf(f, "  \"runs\": [\n    {\n");
     std::fprintf(f, "      \"program\": \"%s\",\n", program_.c_str());
     if (!label_.empty())
       std::fprintf(f, "      \"label\": \"%s\",\n", label_.c_str());
+    std::fprintf(f, "      \"peak_rss_kb\": %lld,\n",
+                 static_cast<long long>(obs::peak_rss_kb()));
+    std::fprintf(f, "      \"alloc_hook\": %s,\n",
+                 obs::alloc_hook_active() ? "true" : "false");
     std::fprintf(f, "      \"workloads\": [\n");
     for (std::size_t i = 0; i < workloads_.size(); ++i) {
       const PipelineWorkload& w = workloads_[i];
@@ -98,8 +106,10 @@ class PipelineTrajectory {
         const order::PassRecord& r = w.passes[p];
         std::fprintf(f,
                      "           {\"pass\": \"%s\", \"seconds\": %.6f, "
-                     "\"ran\": %s}%s\n",
-                     r.name.c_str(), r.seconds, r.ran ? "true" : "false",
+                     "\"alloc_bytes\": %lld, \"ran\": %s}%s\n",
+                     r.name.c_str(), r.seconds,
+                     static_cast<long long>(r.alloc_bytes),
+                     r.ran ? "true" : "false",
                      p + 1 < w.passes.size() ? "," : "");
       }
       std::fprintf(f, "         ]}%s\n",

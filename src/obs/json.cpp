@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace logstruct::obs::json {
@@ -38,10 +39,20 @@ void Writer::escaped(std::string_view s) {
       case '\r':
         out_ += "\\r";
         break;
+      case '\b':
+        out_ += "\\b";
+        break;
+      case '\f':
+        out_ += "\\f";
+        break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters (and only those) need the
+          // numeric form; the unsigned cast keeps a signed char from
+          // sign-extending into a bogus code point.
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out_ += buf;
         } else {
           out_ += c;
@@ -97,6 +108,13 @@ void Writer::value(std::int64_t v) {
 
 void Writer::value(double v) {
   comma();
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf literal; "%.17g" would emit "nan"/"inf" and
+    // poison the whole document for strict parsers. null keeps it
+    // loadable and is unambiguous for telemetry consumers.
+    out_ += "null";
+    return;
+  }
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   out_ += buf;

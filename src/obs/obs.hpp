@@ -23,6 +23,7 @@
 #define LOGSTRUCT_OBS 1
 #endif
 
+#include "obs/memstats.hpp"
 #include "obs/pipeline.hpp"
 #include "obs/registry.hpp"
 
@@ -68,6 +69,12 @@
     obs_hist_.record(v);                                             \
   } while (0)
 
+/// Thread-local allocation delta over the enclosing scope; `var` names
+/// the local so the delta can be read: OBS_ALLOC_SCOPE(as);
+/// ... work ...; auto d = as.delta(). Zeros without the counting hook
+/// (obs/memstats.hpp).
+#define OBS_ALLOC_SCOPE(var) ::logstruct::obs::AllocScope var
+
 #else  // LOGSTRUCT_OBS == 0: zero-overhead build, call sites vanish.
 
 #define OBS_SPAN(var, name) \
@@ -94,5 +101,8 @@
   do {                                \
     (void)sizeof(v);                  \
   } while (0)
+#define OBS_ALLOC_SCOPE(var)           \
+  ::logstruct::obs::NoopAllocScope var; \
+  (void)var
 
 #endif  // LOGSTRUCT_OBS

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "obs/json.hpp"
+#include "obs/memstats.hpp"
 #include "obs/registry.hpp"
 
 namespace logstruct::obs {
@@ -26,6 +27,19 @@ std::int64_t steady_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// VmHWM refreshed at most once per ms per thread: a /proc read costs a
+/// few microseconds, and the high-water mark is monotonic, so a slightly
+/// stale value only under-reports within the refresh window.
+std::int64_t cached_peak_rss_kb(std::int64_t now_ns) {
+  thread_local std::int64_t last_ns = -1;
+  thread_local std::int64_t last_kb = 0;
+  if (last_ns < 0 || now_ns - last_ns > 1'000'000) {
+    last_kb = peak_rss_kb();
+    last_ns = now_ns;
+  }
+  return last_kb;
 }
 
 }  // namespace
@@ -56,6 +70,9 @@ std::int64_t PipelineTracer::now_ns() const {
 }
 
 SpanId PipelineTracer::begin(std::string_view name) {
+  // Capture before any of our own allocations so the span's delta is
+  // dominated by the instrumented stage, not by the tracer.
+  const AllocCounters allocs = thread_allocs();
   const std::int64_t t = steady_ns();
   ThreadState& ts = thread_state(this);
   std::lock_guard<std::mutex> lock(mu_);
@@ -76,6 +93,8 @@ SpanId PipelineTracer::begin(std::string_view name) {
   s.end_ns = s.begin_ns;
   s.parent = ts.open_stack.empty() ? kNoSpan : ts.open_stack.back();
   s.thread = ts.index;
+  s.alloc_bytes = allocs.bytes;  // cumulative marker; end() makes a delta
+  s.alloc_count = allocs.count;
   const SpanId id = static_cast<SpanId>(spans_.size());
   spans_.push_back(std::move(s));
   ts.open_stack.push_back(id);
@@ -84,7 +103,11 @@ SpanId PipelineTracer::begin(std::string_view name) {
 
 void PipelineTracer::end(SpanId id) {
   if (id == kNoSpan) return;
+  // Span begin/end run on the same thread (ScopedSpan is RAII), so the
+  // cumulative-counter delta is this thread's allocation inside the span.
+  const AllocCounters allocs = thread_allocs();
   const std::int64_t t = steady_ns();
+  const std::int64_t peak_kb = cached_peak_rss_kb(t);
   ThreadState& ts = thread_state(this);
   std::string name;
   std::int64_t dur = 0;
@@ -95,6 +118,9 @@ void PipelineTracer::end(SpanId id) {
     if (!s.open) return;
     s.end_ns = t - epoch_ns_;
     s.open = false;
+    s.alloc_bytes = allocs.bytes - s.alloc_bytes;
+    s.alloc_count = allocs.count - s.alloc_count;
+    s.rss_peak_kb = peak_kb;
     name = s.name;
     dur = s.end_ns - s.begin_ns;
     // Unwind the thread stack past this span (robust against a missed
@@ -156,6 +182,14 @@ std::string PipelineTracer::to_json() const {
     w.value(s.open);
     w.key("attrs");
     w.begin_object();
+    // Memory accounting rides along as synthetic attributes so sidecar
+    // consumers need no special casing (v2 sidecar schema).
+    w.key("alloc_bytes");
+    w.value(s.open ? std::int64_t{0} : s.alloc_bytes);
+    w.key("alloc_count");
+    w.value(s.open ? std::int64_t{0} : s.alloc_count);
+    w.key("rss_peak_kb");
+    w.value(s.rss_peak_kb);
     for (const SpanAttr& a : s.attrs) {
       w.key(a.key);
       w.value(a.value);

@@ -38,6 +38,12 @@ struct Span {
   std::int32_t thread = 0;    ///< dense per-tracer thread index
   bool open = true;
   std::vector<SpanAttr> attrs;
+  // Memory accounting (obs/memstats.hpp). While the span is open the
+  // alloc fields hold the thread's cumulative counters at begin; end()
+  // rewrites them as deltas. Zero when the alloc hook is not linked.
+  std::int64_t alloc_bytes = 0;  ///< bytes allocated on the span's thread
+  std::int64_t alloc_count = 0;  ///< allocation calls on the span's thread
+  std::int64_t rss_peak_kb = 0;  ///< process VmHWM at span end (0 = n/a)
 };
 
 class PipelineTracer {

@@ -1,5 +1,7 @@
 #include "order/context.hpp"
 
+#include <type_traits>
+
 #include "graph/leaps.hpp"
 #include "util/check.hpp"
 
@@ -61,6 +63,18 @@ std::vector<std::pair<PartId, PartId>>& OrderContext::scratch_pairs() {
 std::vector<std::pair<PartId, PartId>>& OrderContext::scratch_edges() {
   scratch_edges_.clear();
   return scratch_edges_;
+}
+
+std::int64_t OrderContext::arena_bytes() const {
+  auto vec_bytes = [](const auto& v) {
+    return static_cast<std::int64_t>(v.capacity() *
+                                     sizeof(typename std::decay_t<
+                                            decltype(v)>::value_type));
+  };
+  std::int64_t b = vec_bytes(scratch_pairs_) + vec_bytes(scratch_edges_) +
+                   vec_bytes(leaps_) + vec_bytes(groups_);
+  for (const auto& g : groups_) b += vec_bytes(g);
+  return b;
 }
 
 }  // namespace logstruct::order

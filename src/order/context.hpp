@@ -78,6 +78,12 @@ class OrderContext {
   /// scratch_pairs() so a pass may hold both at once.
   [[nodiscard]] std::vector<std::pair<PartId, PartId>>& scratch_edges();
 
+  /// Approximate heap footprint (capacity, not size) of the context's
+  /// arena scratch and epoch caches. Feeds the
+  /// `order/context/arena_hwm_bytes` high-water gauge the PassManager
+  /// refreshes at every pass boundary.
+  [[nodiscard]] std::int64_t arena_bytes() const;
+
   // --- pipeline products ------------------------------------------------
   PhaseResult phases;          ///< filled by the "finalize" pass
   LogicalStructure structure;  ///< filled by the "stepping" pass

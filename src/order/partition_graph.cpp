@@ -163,4 +163,18 @@ void PartitionGraph::relabel(const std::vector<std::int32_t>& label,
   ++epoch_;
 }
 
+std::int64_t PartitionGraph::memory_bytes() const {
+  std::int64_t b = edge_capacity_bytes();
+  b += static_cast<std::int64_t>(part_of_.capacity() * sizeof(PartId));
+  b += static_cast<std::int64_t>(events_.capacity() *
+                                 sizeof(std::vector<trace::EventId>));
+  for (const auto& v : events_)
+    b += static_cast<std::int64_t>(v.capacity() * sizeof(trace::EventId));
+  b += static_cast<std::int64_t>(chares_.capacity() *
+                                 sizeof(std::vector<trace::ChareId>));
+  for (const auto& v : chares_)
+    b += static_cast<std::int64_t>(v.capacity() * sizeof(trace::ChareId));
+  return b;
+}
+
 }  // namespace logstruct::order

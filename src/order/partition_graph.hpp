@@ -92,6 +92,18 @@ class PartitionGraph {
   /// Total merges applied so far (for pipeline statistics).
   [[nodiscard]] std::int64_t merges_applied() const { return merges_; }
 
+  /// Heap bytes reserved by the flat edge vector (capacity, not size):
+  /// the deferred-compaction design means capacity is the honest cost.
+  /// Feeds the `order/partition_graph/edge_capacity_bytes` gauge.
+  [[nodiscard]] std::int64_t edge_capacity_bytes() const {
+    return static_cast<std::int64_t>(edges_.capacity() *
+                                     sizeof(std::pair<PartId, PartId>));
+  }
+
+  /// Approximate total container footprint (events, chares, part_of,
+  /// edges; capacities). Feeds `order/partition_graph/footprint_bytes`.
+  [[nodiscard]] std::int64_t memory_bytes() const;
+
   /// Structural version counter: bumped by every mutation that can change
   /// partition ids, membership, or reachability. Caches of derived values
   /// (leaps, condensations, leap groups) key on this to know when to

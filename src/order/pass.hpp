@@ -54,14 +54,18 @@ struct Pass {
   bool own_span = false;
 };
 
-/// Per-pass execution record: what ran, how long it took, and the
-/// partition count afterwards (-1 before the graph exists). Drives
-/// PipelineTimings and the BENCH_pipeline.json perf trajectory.
+/// Per-pass execution record: what ran, how long it took, how much it
+/// allocated, and the partition count afterwards (-1 before the graph
+/// exists). Drives PipelineTimings and the BENCH_pipeline.json perf
+/// trajectory (schema v2 carries alloc_bytes alongside seconds).
 struct PassRecord {
   std::string name;
   double seconds = 0;
   bool ran = false;
   std::int32_t partitions = -1;
+  /// Bytes allocated on the executing thread during the pass; 0 when the
+  /// obs alloc hook is not linked (see obs/memstats.hpp).
+  std::int64_t alloc_bytes = 0;
 };
 
 }  // namespace logstruct::order

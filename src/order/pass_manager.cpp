@@ -29,6 +29,7 @@ void PassManager::run(OrderContext& ctx) {
   records_.clear();
   records_.reserve(passes_.size());
   for (const Pass& pass : passes_) {
+    obs::AllocScope allocs;  // ordinary API: zero deltas without the hook
     util::Stopwatch sw;
     [[maybe_unused]] const std::int64_t merges_before =
         ctx.has_pg() ? ctx.pg().merges_applied() : 0;
@@ -46,6 +47,7 @@ void PassManager::run(OrderContext& ctx) {
     rec.seconds = sw.seconds();
     rec.ran = pass.enabled;
     rec.partitions = ctx.has_pg() ? ctx.pg().num_partitions() : -1;
+    rec.alloc_bytes = allocs.delta().bytes;
     records_.push_back(std::move(rec));
 #if LOGSTRUCT_OBS
     if (pass.enabled) {
@@ -56,6 +58,21 @@ void PassManager::run(OrderContext& ctx) {
       if (ctx.has_pg())
         reg.counter("order/pass/" + pass.name + "/merges")
             .add(ctx.pg().merges_applied() - merges_before);
+    }
+    // High-water gauges over the pipeline's big owners, refreshed at
+    // every pass boundary (memory peaks live at stage edges, not inside).
+    auto raise = [](obs::Gauge& g, std::int64_t v) {
+      if (v > g.value()) g.set(v);
+    };
+    raise(obs::Registry::global().gauge("order/context/arena_hwm_bytes"),
+          ctx.arena_bytes());
+    if (ctx.has_pg()) {
+      raise(obs::Registry::global().gauge(
+                "order/partition_graph/edge_capacity_bytes"),
+            ctx.pg().edge_capacity_bytes());
+      raise(obs::Registry::global().gauge(
+                "order/partition_graph/footprint_bytes"),
+            ctx.pg().memory_bytes());
     }
 #endif
     if (check_ && pass.enabled) verify(pass, ctx);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace logstruct::trace {
@@ -120,6 +121,17 @@ void Trace::freeze() {
       for (EventId r : coll.recvs) push_dep(s, r, DepKind::Collective);
     }
   }
+
+  // Memory accounting for the frozen table: the dominant per-trace
+  // allocation after events themselves. A gauge (not a counter) because
+  // re-freezing a bigger trace should report the new footprint.
+  OBS_GAUGE_SET(
+      "trace/dep_table_bytes",
+      static_cast<std::int64_t>(
+          dep_send_.capacity() * sizeof(EventId) +
+          dep_recv_.capacity() * sizeof(EventId) +
+          dep_kind_.capacity() * sizeof(DepKind) +
+          dep_begin_.capacity() * sizeof(std::int32_t)));
 }
 
 }  // namespace logstruct::trace

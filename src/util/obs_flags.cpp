@@ -5,6 +5,7 @@
 #include <fstream>
 #include <map>
 
+#include "obs/export_chrome.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
@@ -17,17 +18,52 @@ namespace {
 struct StageAgg {
   std::int64_t count = 0;
   std::int64_t total_ns = 0;
+  std::int64_t self_ns = 0;  ///< total minus time inside child spans
+  std::int64_t alloc_bytes = 0;
 };
 
 std::map<std::string, StageAgg> aggregate_spans(
     const std::vector<obs::Span>& spans) {
-  std::map<std::string, StageAgg> agg;
+  // Child time per span id (span ids are indices into the snapshot), so
+  // self time = duration - time spent in directly nested spans. Summing
+  // self time never double-counts, unlike summing raw durations.
+  std::vector<std::int64_t> child_ns(spans.size(), 0);
   for (const obs::Span& s : spans) {
+    if (s.parent >= 0 &&
+        static_cast<std::size_t>(s.parent) < child_ns.size())
+      child_ns[static_cast<std::size_t>(s.parent)] +=
+          s.end_ns - s.begin_ns;
+  }
+  std::map<std::string, StageAgg> agg;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::Span& s = spans[i];
+    const std::int64_t dur = s.end_ns - s.begin_ns;
     StageAgg& a = agg[s.name];
     ++a.count;
-    a.total_ns += s.end_ns - s.begin_ns;
+    a.total_ns += dur;
+    a.self_ns += dur - child_ns[i];
+    a.alloc_bytes += s.alloc_bytes;
   }
   return agg;
+}
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    obs::log(obs::Level::Error, "obs", "cannot open output for writing",
+             {{"what", what}, {"path", path}});
+    return false;
+  }
+  out << text << '\n';
+  if (!out.good()) {
+    obs::log(obs::Level::Error, "obs", "write failed",
+             {{"what", what}, {"path", path}});
+    return false;
+  }
+  obs::log(obs::Level::Info, "obs", "wrote telemetry output",
+           {{"what", what}, {"path", path}});
+  return true;
 }
 
 }  // namespace
@@ -37,6 +73,9 @@ void define_obs_flags(Flags& flags) {
                     "print per-stage telemetry (span totals) on exit");
   flags.define_string("obs-json", "",
                       "write the JSON telemetry sidecar here");
+  flags.define_string("obs-chrome", "",
+                      "write a Chrome trace-event JSON file here "
+                      "(open in Perfetto / chrome://tracing)");
   flags.define_string("log-level", "info",
                       "structured-log threshold: debug|info|warn|error");
 }
@@ -62,15 +101,24 @@ std::string obs_sidecar_json(const std::string& program) {
   obs::PipelineTracer& tracer = obs::PipelineTracer::global();
   std::vector<obs::Span> spans = tracer.snapshot();
   auto agg = aggregate_spans(spans);
+  const obs::MemStats mem = obs::read_mem_stats();
 
   obs::json::Writer w;
   w.begin_object();
+  w.key("schema");
+  w.value("logstruct-obs-sidecar/v2");
   w.key("program");
   w.value(program);
   w.key("obs_compiled");
   w.value(LOGSTRUCT_OBS != 0);
+  w.key("alloc_hook");
+  w.value(obs::alloc_hook_active());
   w.key("dropped_spans");
   w.value(static_cast<std::int64_t>(tracer.dropped()));
+  w.key("peak_rss_kb");
+  w.value(mem.peak_rss_kb);
+  w.key("current_rss_kb");
+  w.value(mem.current_rss_kb);
   w.key("stages");
   w.begin_object();
   for (const auto& [name, a] : agg) {
@@ -80,6 +128,10 @@ std::string obs_sidecar_json(const std::string& program) {
     w.value(a.count);
     w.key("total_ns");
     w.value(a.total_ns);
+    w.key("self_ns");
+    w.value(a.self_ns);
+    w.key("alloc_bytes");
+    w.value(a.alloc_bytes);
     w.end_object();
   }
   w.end_object();
@@ -91,9 +143,17 @@ std::string obs_sidecar_json(const std::string& program) {
   return std::move(w).str();
 }
 
+std::string obs_chrome_json(const std::string& program) {
+  obs::PipelineTracer& tracer = obs::PipelineTracer::global();
+  return obs::chrome_trace_json(tracer.snapshot(),
+                                obs::Registry::global().snapshot(),
+                                program);
+}
+
 bool finish_obs(const Flags& flags, const std::string& program) {
   const bool profile = flags.get_bool("profile");
   const std::string& path = flags.get_string("obs-json");
+  const std::string& chrome_path = flags.get_string("obs-chrome");
 
   if (profile) {
 #if LOGSTRUCT_OBS
@@ -102,26 +162,29 @@ bool finish_obs(const Flags& flags, const std::string& program) {
     std::vector<std::pair<std::string, StageAgg>> rows(agg.begin(),
                                                        agg.end());
     std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-      return a.second.total_ns > b.second.total_ns;
+      return a.second.self_ns > b.second.self_ns;
     });
-    std::int64_t grand = 0;
-    for (const auto& [name, a] : rows) grand += a.total_ns;
+    // Shares are of summed *self* time (duration minus nested spans), so
+    // the column totals 100% even though spans nest.
+    std::int64_t grand_self = 0;
+    for (const auto& [name, a] : rows) grand_self += a.self_ns;
     std::printf("\n--- telemetry (%zu spans) ---\n", spans.size());
-    TablePrinter table({"stage", "calls", "total (ms)", "share"});
+    TablePrinter table({"stage", "calls", "total (ms)", "self (ms)",
+                        "share", "alloc (KB)"});
     for (const auto& [name, a] : rows) {
-      // Shares are of the flat sum over all stage spans; nested spans
-      // count both themselves and inside their parent, so shares can
-      // exceed 100% in total — read them as relative weight.
       char share[16];
       std::snprintf(share, sizeof share, "%.1f%%",
-                    grand > 0 ? 100.0 * static_cast<double>(a.total_ns) /
-                                    static_cast<double>(grand)
-                              : 0.0);
+                    grand_self > 0
+                        ? 100.0 * static_cast<double>(a.self_ns) /
+                              static_cast<double>(grand_self)
+                        : 0.0);
       table.row()
           .add(name)
           .add(a.count)
           .add(static_cast<double>(a.total_ns) / 1e6, 3)
-          .add(share);
+          .add(static_cast<double>(a.self_ns) / 1e6, 3)
+          .add(share)
+          .add(a.alloc_bytes / 1024);
     }
     table.print();
 #else
@@ -130,22 +193,13 @@ bool finish_obs(const Flags& flags, const std::string& program) {
 #endif
   }
 
-  if (path.empty()) return true;
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    obs::log(obs::Level::Error, "obs", "cannot open sidecar for writing",
-             {{"path", path}});
-    return false;
-  }
-  out << obs_sidecar_json(program) << '\n';
-  if (!out.good()) {
-    obs::log(obs::Level::Error, "obs", "sidecar write failed",
-             {{"path", path}});
-    return false;
-  }
-  obs::log(obs::Level::Info, "obs", "wrote telemetry sidecar",
-           {{"path", path}});
-  return true;
+  bool ok = true;
+  if (!chrome_path.empty())
+    ok = write_text_file(chrome_path, obs_chrome_json(program),
+                         "chrome trace") && ok;
+  if (!path.empty())
+    ok = write_text_file(path, obs_sidecar_json(program), "sidecar") && ok;
+  return ok;
 }
 
 }  // namespace logstruct::util

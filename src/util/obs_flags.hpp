@@ -13,10 +13,14 @@
 ///   ... work ...
 ///   util::finish_obs(flags, argv[0]);   // table and/or JSON sidecar
 ///
-/// --profile      prints a per-stage span summary table to stdout.
+/// --profile      prints a per-stage span summary table to stdout
+///                (total and self time; shares are of self time so the
+///                column sums to 100% despite span nesting).
 /// --obs-json=p   writes the machine-readable telemetry sidecar to p
-///                (docs/OBSERVABILITY.md describes the format; this is
-///                the future BENCH_*.json trajectory source).
+///                (schema logstruct-obs-sidecar/v2, see
+///                docs/OBSERVABILITY.md).
+/// --obs-chrome=p writes a Chrome trace-event JSON file to p, loadable
+///                in Perfetto / chrome://tracing.
 /// --log-level=l  debug|info|warn|error for the structured logger.
 
 #include <string>
@@ -30,11 +34,15 @@ void define_obs_flags(Flags& flags);
 /// Apply parsed obs flags (log level) to the global obs singletons.
 void apply_obs_flags(const Flags& flags);
 
-/// Emit the profile table (--profile) and/or JSON sidecar (--obs-json).
-/// Returns false if the sidecar could not be written.
+/// Emit the profile table (--profile), JSON sidecar (--obs-json), and/or
+/// Chrome trace (--obs-chrome). Returns false if an output could not be
+/// written.
 bool finish_obs(const Flags& flags, const std::string& program);
 
 /// The sidecar document as a string (exposed for tests).
 [[nodiscard]] std::string obs_sidecar_json(const std::string& program);
+
+/// The Chrome trace-event document as a string (exposed for tests).
+[[nodiscard]] std::string obs_chrome_json(const std::string& program);
 
 }  // namespace logstruct::util

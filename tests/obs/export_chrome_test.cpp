@@ -1,0 +1,128 @@
+#include "obs/export_chrome.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/pipeline.hpp"
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+namespace {
+
+// Build a private tracer/registry snapshot with a known shape: a parent
+// span with a nested child plus an attribute, and one counter + gauge.
+std::vector<Span> make_spans() {
+  PipelineTracer tracer;
+  SpanId outer = tracer.begin("order/extract_structure");
+  SpanId inner = tracer.begin("order/initial");
+  tracer.attr(inner, "partitions", 42);
+  tracer.end(inner);
+  tracer.end(outer);
+  SpanId open = tracer.begin("order/stepping");
+  (void)open;  // deliberately left open
+  return tracer.snapshot();
+}
+
+RegistrySnapshot make_metrics() {
+  RegistrySnapshot snap;
+  snap.counters.emplace_back("order/merges", 7);
+  snap.gauges.emplace_back("trace/dep_table_bytes", 4096);
+  return snap;
+}
+
+TEST(ChromeTrace, DocumentShapeAndRequiredEventKeys) {
+  std::string doc = chrome_trace_json(make_spans(), make_metrics(), "prog");
+
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(doc, v, &err)) << err;
+  EXPECT_EQ(v.at("displayTimeUnit").string, "ms");
+  const json::Value& events = v.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.array.empty());
+
+  // Every event carries the keys Perfetto/chrome://tracing require.
+  for (const json::Value& e : events.array) {
+    EXPECT_TRUE(e.has("name"));
+    EXPECT_TRUE(e.has("ph"));
+    EXPECT_TRUE(e.has("pid"));
+    EXPECT_TRUE(e.has("tid"));
+    const std::string& ph = e.at("ph").string;
+    if (ph == "X") {
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_TRUE(e.has("dur"));
+    } else if (ph == "B" || ph == "C") {
+      EXPECT_TRUE(e.has("ts"));
+    }
+  }
+}
+
+TEST(ChromeTrace, EmitsCompleteOpenCounterAndMetadataEvents) {
+  std::string doc = chrome_trace_json(make_spans(), make_metrics(), "prog");
+  json::Value v;
+  ASSERT_TRUE(json::parse(doc, v));
+
+  std::set<std::string> phases;
+  bool saw_process_name = false, saw_counter_value = false;
+  bool saw_span_attr = false;
+  for (const json::Value& e : v.at("traceEvents").array) {
+    const std::string& ph = e.at("ph").string;
+    phases.insert(ph);
+    if (ph == "M" && e.at("name").string == "process_name") {
+      EXPECT_EQ(e.at("args").at("name").string, "prog");
+      saw_process_name = true;
+    }
+    if (ph == "C" && e.at("name").string == "order/merges") {
+      EXPECT_EQ(e.at("args").at("value").as_int(), 7);
+      saw_counter_value = true;
+    }
+    if (ph == "X" && e.at("name").string == "order/initial") {
+      EXPECT_EQ(e.at("args").at("partitions").as_int(), 42);
+      // Memory accounting attributes ride along on every closed span.
+      EXPECT_TRUE(e.at("args").has("alloc_bytes"));
+      EXPECT_TRUE(e.at("args").has("rss_peak_kb"));
+      saw_span_attr = true;
+    }
+  }
+  // Closed spans → X, the open one → B, metrics → C, names → M.
+  EXPECT_TRUE(phases.count("X"));
+  EXPECT_TRUE(phases.count("B"));
+  EXPECT_TRUE(phases.count("C"));
+  EXPECT_TRUE(phases.count("M"));
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_counter_value);
+  EXPECT_TRUE(saw_span_attr);
+}
+
+TEST(ChromeTrace, GaugesBecomeCounterTracks) {
+  std::string doc = chrome_trace_json({}, make_metrics(), "prog");
+  json::Value v;
+  ASSERT_TRUE(json::parse(doc, v));
+  bool saw_gauge = false;
+  for (const json::Value& e : v.at("traceEvents").array) {
+    if (e.at("ph").string == "C" &&
+        e.at("name").string == "trace/dep_table_bytes") {
+      EXPECT_EQ(e.at("args").at("value").as_int(), 4096);
+      saw_gauge = true;
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST(ChromeTrace, EmptyInputsStillProduceValidDocument) {
+  std::string doc = chrome_trace_json({}, {}, "prog");
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(doc, v, &err)) << err;
+  ASSERT_TRUE(v.at("traceEvents").is_array());
+  // Only the process_name metadata event remains.
+  for (const json::Value& e : v.at("traceEvents").array)
+    EXPECT_EQ(e.at("ph").string, "M");
+}
+
+}  // namespace
+}  // namespace logstruct::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 namespace logstruct::obs::json {
@@ -65,6 +66,57 @@ TEST(JsonWriter, RawSplicesSubDocument) {
   w.value(std::int64_t{1});
   w.end_object();
   EXPECT_EQ(std::move(w).str(), "{\"sub\":{\"x\":9},\"after\":1}");
+}
+
+TEST(JsonWriter, EscapesEveryControlCharAsValidJson) {
+  std::string all;
+  for (char c = 1; c < 0x20; ++c) all.push_back(c);
+  Writer w;
+  w.begin_object();
+  w.key("ctl");
+  w.value(all);
+  w.end_object();
+  std::string doc = std::move(w).str();
+  // Nothing below 0x20 may appear raw in the output (RFC 8259).
+  for (char c : doc) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(doc, v, &err)) << err << " in " << doc;
+  EXPECT_EQ(v.at("ctl").string, all);
+}
+
+TEST(JsonWriter, BackspaceAndFormfeedUseShortEscapes) {
+  Writer w;
+  // Split literals keep \x01 from swallowing the following 'd'.
+  w.value("a\bb\fc\x01" "d\x1f");
+  std::string doc = std::move(w).str();
+  EXPECT_EQ(doc, "\"a\\bb\\fc\\u0001d\\u001f\"");
+  Value v;
+  ASSERT_TRUE(parse(doc, v));
+  EXPECT_EQ(v.string, "a\bb\fc\x01" "d\x1f");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  Writer w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(2.5);
+  w.end_array();
+  std::string doc = std::move(w).str();
+  EXPECT_EQ(doc, "[null,null,null,2.5]");
+
+  // The document must stay machine-parseable (bare nan/inf is not JSON).
+  Value v;
+  std::string err;
+  ASSERT_TRUE(parse(doc, v, &err)) << err;
+  ASSERT_EQ(v.array.size(), 4u);
+  EXPECT_EQ(v.array[0].kind, Value::Kind::Null);
+  EXPECT_EQ(v.array[1].kind, Value::Kind::Null);
+  EXPECT_EQ(v.array[2].kind, Value::Kind::Null);
+  EXPECT_DOUBLE_EQ(v.array[3].number, 2.5);
 }
 
 TEST(JsonParse, RoundTripThroughWriter) {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace logstruct::obs {
@@ -77,6 +80,50 @@ TEST(Log, RateLimitSuppressesWithinWindow) {
   logger.log(Level::Info, "c", "spam");
   ASSERT_EQ(cap.lines.size(), 5u);
   EXPECT_EQ(cap.lines[4].find("suppressed="), std::string::npos);
+}
+
+TEST(Log, RateLimitExactUnderConcurrency) {
+  Logger logger;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  logger.set_sink([&](Level, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+  std::atomic<std::int64_t> now{0};
+  logger.set_clock_for_test([&now] { return now.load(); });
+  logger.set_rate_limit(1, 1000);  // one line per key per window
+
+  constexpr int kThreads = 8;
+  constexpr int kLogsPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&logger] {
+      for (int i = 0; i < kLogsPerThread; ++i)
+        logger.log(Level::Info, "order/merge", "hammered");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Exactly one line escaped the window; every other call was counted.
+  constexpr std::int64_t kTotal = std::int64_t{kThreads} * kLogsPerThread;
+  EXPECT_EQ(lines.size(), 1u);
+  EXPECT_EQ(logger.total_suppressed(), kTotal - 1);
+
+  // The first line of the next window carries the exact suppression
+  // count as one accounting line — no drops go missing, none double.
+  now = 2000;
+  logger.log(Level::Info, "order/merge", "hammered");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("suppressed=" + std::to_string(kTotal - 1)),
+            std::string::npos);
+
+  // One-shot: a further line in the new window is clean.
+  logger.log(Level::Info, "order/merge", "hammered");
+  (void)lines;  // lines[2] was suppressed (limit 1), so size stays 2
+  EXPECT_EQ(lines.size(), 2u);
+  EXPECT_EQ(logger.total_suppressed(), kTotal);
 }
 
 TEST(Log, RateLimitDisabledByNonPositiveLimit) {

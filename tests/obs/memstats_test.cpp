@@ -1,0 +1,87 @@
+#include "obs/memstats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace logstruct::obs {
+namespace {
+
+TEST(MemStats, RssIsPositiveOnLinux) {
+  MemStats m = read_mem_stats();
+#if defined(__linux__)
+  // Any running process has resident pages, and the high-water mark can
+  // never be below the current residency. (No equality checks between
+  // consecutive reads: RSS legitimately moves between them.)
+  EXPECT_GT(m.current_rss_kb, 0);
+  EXPECT_GE(m.peak_rss_kb, m.current_rss_kb);
+  EXPECT_GT(current_rss_kb(), 0);
+#else
+  EXPECT_GE(m.current_rss_kb, 0);
+  EXPECT_GE(m.peak_rss_kb, 0);
+#endif
+}
+
+TEST(MemStats, PeakRssIsMonotonic) {
+  std::int64_t before = peak_rss_kb();
+  // Touch a few MB so the high-water mark cannot decrease even if the
+  // allocator returns pages between reads.
+  std::vector<char> ballast(8 << 20, 1);
+  EXPECT_GE(peak_rss_kb(), before);
+  EXPECT_GT(ballast[ballast.size() / 2], 0);
+}
+
+TEST(MemStats, AllocScopeMeasuresHeapAllocation) {
+  if (!alloc_hook_active()) {
+    GTEST_SKIP() << "counting operator new not linked "
+                    "(LOGSTRUCT_ALLOC_HOOK=0 or LOGSTRUCT_OBS=0)";
+  }
+  constexpr std::size_t kBytes = 1 << 20;
+  AllocScope scope;
+  auto block = std::make_unique<char[]>(kBytes);
+  block[0] = 1;
+  AllocCounters d = scope.delta();
+  // At least the block itself; gtest internals may add a little more.
+  EXPECT_GE(d.bytes, static_cast<std::int64_t>(kBytes));
+  EXPECT_GE(d.count, 1);
+}
+
+TEST(MemStats, CountersAreCumulativeAndMonotonic) {
+  if (!alloc_hook_active()) GTEST_SKIP() << "alloc hook not linked";
+  AllocCounters a = thread_allocs();
+  std::vector<int> v(1000, 7);
+  AllocCounters b = thread_allocs();
+  EXPECT_GE(b.bytes, a.bytes + static_cast<std::int64_t>(1000 * sizeof(int)));
+  EXPECT_GT(b.count, a.count);
+  EXPECT_EQ(v[999], 7);
+}
+
+TEST(MemStats, CountersAreThreadLocal) {
+  if (!alloc_hook_active()) GTEST_SKIP() << "alloc hook not linked";
+  AllocScope scope;
+  AllocCounters other{};
+  std::thread worker([&other] {
+    AllocScope inner;
+    std::vector<char> big(4 << 20, 2);
+    (void)big[0];
+    other = inner.delta();
+  });
+  worker.join();
+  // The worker saw its own 4MB; this thread's scope saw only whatever
+  // std::thread bookkeeping allocated here — far below 4MB.
+  EXPECT_GE(other.bytes, 4 << 20);
+  EXPECT_LT(scope.delta().bytes, 1 << 20);
+}
+
+TEST(MemStats, NoopScopeReturnsZeros) {
+  NoopAllocScope scope;
+  AllocCounters d = scope.delta();
+  EXPECT_EQ(d.bytes, 0);
+  EXPECT_EQ(d.count, 0);
+}
+
+}  // namespace
+}  // namespace logstruct::obs

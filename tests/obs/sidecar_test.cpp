@@ -27,11 +27,20 @@ TEST(ObsSidecar, JsonParsesAndCarriesStages) {
   std::string err;
   ASSERT_TRUE(obs::json::parse(doc, v, &err)) << err;
   EXPECT_EQ(v.at("program").string, "sidecar_test");
+  EXPECT_EQ(v.at("schema").string, "logstruct-obs-sidecar/v2");
   ASSERT_EQ(v.at("obs_compiled").kind, obs::json::Value::Kind::Bool);
+  // v2 run-level memory accounting fields always exist (0 off-Linux).
+  EXPECT_GE(v.at("peak_rss_kb").as_int(), 0);
+  EXPECT_GE(v.at("current_rss_kb").as_int(), 0);
+  ASSERT_EQ(v.at("alloc_hook").kind, obs::json::Value::Kind::Bool);
 
 #if LOGSTRUCT_OBS
   EXPECT_TRUE(v.at("obs_compiled").boolean);
-  // One aggregate entry per pipeline stage, with a positive total.
+#if defined(__linux__)
+  EXPECT_GT(v.at("peak_rss_kb").as_int(), 0);
+#endif
+  // One aggregate entry per pipeline stage, with a positive total and
+  // the v2 self-time / allocation columns.
   const obs::json::Value& stages = v.at("stages");
   ASSERT_TRUE(stages.is_object());
   for (const char* stage :
@@ -41,12 +50,61 @@ TEST(ObsSidecar, JsonParsesAndCarriesStages) {
     ASSERT_TRUE(stages.has(stage)) << stage;
     EXPECT_EQ(stages.at(stage).at("count").as_int(), 1) << stage;
     EXPECT_GE(stages.at(stage).at("total_ns").as_int(), 0) << stage;
+    EXPECT_GE(stages.at(stage).at("self_ns").as_int(), 0) << stage;
+    EXPECT_LE(stages.at(stage).at("self_ns").as_int(),
+              stages.at(stage).at("total_ns").as_int())
+        << stage;
+    ASSERT_TRUE(stages.at(stage).has("alloc_bytes")) << stage;
   }
-  // The raw span array and metrics registry ride along.
-  EXPECT_TRUE(v.at("spans").is_array());
+  // The raw span array and metrics registry ride along, and every
+  // order/* pass span carries the memory-accounting attributes.
+  ASSERT_TRUE(v.at("spans").is_array());
+  int order_spans = 0;
+  for (const obs::json::Value& s : v.at("spans").array) {
+    if (s.at("name").string.rfind("order/", 0) != 0) continue;
+    ++order_spans;
+    ASSERT_TRUE(s.at("attrs").has("alloc_bytes")) << s.at("name").string;
+    ASSERT_TRUE(s.at("attrs").has("rss_peak_kb")) << s.at("name").string;
+#if defined(__linux__)
+    EXPECT_GT(s.at("attrs").at("rss_peak_kb").as_int(), 0)
+        << s.at("name").string;
+#endif
+  }
+  EXPECT_GT(order_spans, 0);
   EXPECT_TRUE(v.at("metrics").at("counters").is_object());
 #else
   EXPECT_FALSE(v.at("obs_compiled").boolean);
+#endif
+}
+
+TEST(ObsSidecar, ChromeTraceFromPipelineRunLoads) {
+  obs::PipelineTracer::global().reset();
+
+  apps::Jacobi2DConfig cfg;
+  trace::Trace t = apps::run_jacobi2d(cfg);
+  order::LogicalStructure ls =
+      order::extract_structure(t, order::Options::charm());
+  (void)ls;
+
+  std::string doc = obs_chrome_json("sidecar_test");
+  obs::json::Value v;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(doc, v, &err)) << err;
+  EXPECT_EQ(v.at("displayTimeUnit").string, "ms");
+  ASSERT_TRUE(v.at("traceEvents").is_array());
+
+#if LOGSTRUCT_OBS
+  // A real pipeline run yields complete (ph:X) span events for the
+  // order passes; durations must be non-negative microseconds.
+  int complete = 0;
+  for (const obs::json::Value& e : v.at("traceEvents").array) {
+    if (e.at("ph").string != "X") continue;
+    ++complete;
+    EXPECT_GE(e.at("dur").number, 0.0);
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("tid"));
+  }
+  EXPECT_GT(complete, 0);
 #endif
 }
 

@@ -10,6 +10,7 @@
 
 #include "apps/jacobi2d.hpp"
 #include "apps/lulesh.hpp"
+#include "obs/memstats.hpp"
 #include "order/context.hpp"
 #include "order/pass_manager.hpp"
 #include "order/phases.hpp"
@@ -73,6 +74,12 @@ TEST(PassManager, PartitionRecordsCoverEveryRegisteredPass) {
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(records[i].name, expected[i]);
     EXPECT_TRUE(records[i].ran) << expected[i];
+    EXPECT_GE(records[i].alloc_bytes, 0) << expected[i];
+  }
+  // With the counting operator new linked, the initial partition pass
+  // builds the whole PartitionGraph and must show real allocation.
+  if (obs::alloc_hook_active()) {
+    EXPECT_GT(records[0].alloc_bytes, 0);
   }
 }
 
