@@ -4,13 +4,15 @@
 /// BENCH_pipeline.json emitter: runs the extraction pipeline through the
 /// pass manager, captures the per-pass wall time and allocation bytes
 /// the PassManager already records, and writes one perf-trajectory
-/// document per harness run. Schema (`logstruct-bench-pipeline/v2`:
-/// per-pass `alloc_bytes` and a run-level `peak_rss_kb` alongside the v1
-/// fields; v1 readers that ignore unknown keys keep working) is
-/// documented in docs/OBSERVABILITY.md. The committed
-/// BENCH_pipeline.json at the repo root concatenates the `runs` arrays
-/// of historical runs so `tools/bench_gate.py` can diff per-pass
-/// timings and allocations across PRs.
+/// document per harness run. Schema (`logstruct-bench-pipeline/v3`:
+/// per-workload and per-pass `threads` alongside the v2 fields —
+/// per-pass `alloc_bytes`, run-level `peak_rss_kb`; older readers that
+/// ignore unknown keys keep working) is documented in
+/// docs/OBSERVABILITY.md. The committed BENCH_pipeline.json at the repo
+/// root concatenates the `runs` arrays of historical runs so
+/// `tools/bench_gate.py` can diff per-pass timings and allocations
+/// across PRs — like-for-like per thread count, so a threads=8 run is
+/// never judged against a threads=1 baseline.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +33,9 @@ struct PipelineWorkload {
   std::string name;
   std::int64_t events = 0;
   std::int32_t phases = 0;
+  /// Pipeline thread budget the workload ran with (Options::threads
+  /// resolved); the gate only compares workloads with equal counts.
+  int threads = 1;
   double total_seconds = 0;
   std::vector<order::PassRecord> passes;
 };
@@ -53,6 +58,7 @@ class PipelineTrajectory {
     PipelineWorkload w;
     w.name = name;
     w.events = t.num_events();
+    w.threads = opts.effective_threads();
     w.total_seconds = sw.seconds();
     w.phases = ctx.structure.num_phases();
     w.passes = std::move(records);
@@ -84,7 +90,7 @@ class PipelineTrajectory {
                    target.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v2\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v3\",\n");
     std::fprintf(f, "  \"runs\": [\n    {\n");
     std::fprintf(f, "      \"program\": \"%s\",\n", program_.c_str());
     if (!label_.empty())
@@ -98,17 +104,19 @@ class PipelineTrajectory {
       const PipelineWorkload& w = workloads_[i];
       std::fprintf(f,
                    "        {\"name\": \"%s\", \"events\": %lld, "
-                   "\"phases\": %d, \"total_seconds\": %.6f,\n",
+                   "\"phases\": %d, \"threads\": %d, "
+                   "\"total_seconds\": %.6f,\n",
                    w.name.c_str(), static_cast<long long>(w.events),
-                   w.phases, w.total_seconds);
+                   w.phases, w.threads, w.total_seconds);
       std::fprintf(f, "         \"passes\": [\n");
       for (std::size_t p = 0; p < w.passes.size(); ++p) {
         const order::PassRecord& r = w.passes[p];
         std::fprintf(f,
                      "           {\"pass\": \"%s\", \"seconds\": %.6f, "
-                     "\"alloc_bytes\": %lld, \"ran\": %s}%s\n",
+                     "\"alloc_bytes\": %lld, \"threads\": %d, "
+                     "\"ran\": %s}%s\n",
                      r.name.c_str(), r.seconds,
-                     static_cast<long long>(r.alloc_bytes),
+                     static_cast<long long>(r.alloc_bytes), r.threads,
                      r.ran ? "true" : "false",
                      p + 1 < w.passes.size() ? "," : "");
       }

@@ -5,12 +5,14 @@
 #include "metrics/depview.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::metrics {
 
 CriticalPath critical_path(const trace::Trace& trace,
-                           const order::LogicalStructure& ls) {
+                           const order::LogicalStructure& ls, int threads) {
   OBS_SPAN_ANON("metrics/critical_path");
+  threads = util::resolve_threads(threads);
   CriticalPath out;
   const auto n = static_cast<std::size_t>(trace.num_events());
   if (n == 0) return out;
@@ -23,20 +25,27 @@ CriticalPath critical_path(const trace::Trace& trace,
   // durations every interval a path sums is disjoint, so coverage <= 1.
   std::vector<trace::TimeNs> dur(n, 0);
   std::vector<trace::TimeNs> tail(n, 0);
-  for (const trace::SerialBlock& blk : trace.blocks()) {
-    trace::TimeNs prev = blk.begin;
-    for (trace::EventId e : blk.events) {
-      dur[static_cast<std::size_t>(e)] = trace.event(e).time - prev;
-      prev = trace.event(e).time;
-    }
-    // The trailing compute after the last event is path work too (it is
-    // what a receive-only block DOES) — but it happens AFTER the event,
-    // so it only counts when the path continues along the chare (or ends
-    // here), never when it leaves through the event's outgoing message
-    // (the sender keeps computing while the message flies).
-    if (!blk.events.empty())
-      tail[static_cast<std::size_t>(blk.events.back())] = blk.end - prev;
-  }
+  // Every event belongs to exactly one block, so the per-block fills
+  // write disjoint dur/tail slots and fan out race-free.
+  util::parallel_for(
+      threads, trace.num_blocks(), [&](std::int64_t b) {
+        const trace::SerialBlock& blk =
+            trace.block(static_cast<trace::BlockId>(b));
+        trace::TimeNs prev = blk.begin;
+        for (trace::EventId e : blk.events) {
+          dur[static_cast<std::size_t>(e)] = trace.event(e).time - prev;
+          prev = trace.event(e).time;
+        }
+        // The trailing compute after the last event is path work too (it
+        // is what a receive-only block DOES) — but it happens AFTER the
+        // event, so it only counts when the path continues along the
+        // chare (or ends here), never when it leaves through the event's
+        // outgoing message (the sender keeps computing while the message
+        // flies).
+        if (!blk.events.empty())
+          tail[static_cast<std::size_t>(blk.events.back())] =
+              blk.end - prev;
+      });
 
   // Longest distance ending at each event. Process in physical-time order
   // (a valid topological order of both edge families: matching sends

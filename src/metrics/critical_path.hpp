@@ -33,7 +33,11 @@ struct CriticalPath {
 /// row of the trace's dependency table — matches, fan-out copies, and
 /// collective closures (so the path follows reductions instead of
 /// breaking at them). Deterministic tie-breaking.
+/// `threads` fans the per-block duration/tail precompute out over the
+/// shared pool (0 = util::default_parallelism()); the longest-path core
+/// is inherently sequential and unaffected. Bit-identical for any count.
 CriticalPath critical_path(const trace::Trace& trace,
-                           const order::LogicalStructure& ls);
+                           const order::LogicalStructure& ls,
+                           int threads = 0);
 
 }  // namespace logstruct::metrics

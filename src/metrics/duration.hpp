@@ -20,7 +20,11 @@ struct DifferentialDuration {
   trace::EventId max_event = trace::kNone;
 };
 
+/// `threads` fans the per-event excess pass out over the shared pool
+/// (0 = util::default_parallelism()); the max reduction runs over a
+/// fixed chunk grid, so output is bit-identical for any count.
 DifferentialDuration differential_duration(
-    const trace::Trace& trace, const order::LogicalStructure& ls);
+    const trace::Trace& trace, const order::LogicalStructure& ls,
+    int threads = 0);
 
 }  // namespace logstruct::metrics

@@ -5,12 +5,14 @@
 
 #include "metrics/subblock.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::metrics {
 
 Imbalance imbalance(const trace::Trace& trace,
-                    const order::LogicalStructure& ls) {
+                    const order::LogicalStructure& ls, int threads) {
   OBS_SPAN_ANON("metrics/imbalance");
+  threads = util::resolve_threads(threads);
   Imbalance out;
   const std::size_t phases =
       static_cast<std::size_t>(ls.num_phases());
@@ -27,9 +29,13 @@ Imbalance imbalance(const trace::Trace& trace,
     load[ph][pr] += dur[static_cast<std::size_t>(e)];
   }
 
+  // Each phase owns its per_phase / per_phase_proc slots, so the spread
+  // computation fans out over phases race-free.
   out.per_phase.assign(phases, 0);
   out.per_phase_proc.assign(phases, std::vector<trace::TimeNs>(procs, -1));
-  for (std::size_t ph = 0; ph < phases; ++ph) {
+  util::parallel_for(threads, static_cast<std::int64_t>(phases),
+                     [&](std::int64_t p) {
+    const auto ph = static_cast<std::size_t>(p);
     trace::TimeNs lo = std::numeric_limits<trace::TimeNs>::max();
     trace::TimeNs hi = std::numeric_limits<trace::TimeNs>::min();
     for (std::size_t pr = 0; pr < procs; ++pr) {
@@ -37,21 +43,23 @@ Imbalance imbalance(const trace::Trace& trace,
       lo = std::min(lo, load[ph][pr]);
       hi = std::max(hi, load[ph][pr]);
     }
-    if (hi < lo) continue;  // empty phase cannot occur, but be safe
+    if (hi < lo) return;  // empty phase cannot occur, but be safe
     out.per_phase[ph] = hi - lo;
     for (std::size_t pr = 0; pr < procs; ++pr) {
       if (load[ph][pr] >= 0) out.per_phase_proc[ph][pr] = load[ph][pr] - lo;
     }
-  }
+  });
 
+  // Pure per-event read of the finished tables — index-owned writes.
   out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
-  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+  util::parallel_for(threads, trace.num_events(), [&](std::int64_t i) {
+    const auto e = static_cast<trace::EventId>(i);
     auto ph = static_cast<std::size_t>(
         ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
     auto pr = static_cast<std::size_t>(trace.event(e).proc);
     out.per_event[static_cast<std::size_t>(e)] =
         std::max<trace::TimeNs>(out.per_phase_proc[ph][pr], 0);
-  }
+  });
   return out;
 }
 

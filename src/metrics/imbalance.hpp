@@ -26,7 +26,11 @@ struct Imbalance {
   std::vector<trace::TimeNs> per_event;
 };
 
+/// `threads` fans the per-phase spread computation and the per-event
+/// mapping out over the shared pool (0 = util::default_parallelism());
+/// each phase / event owns its output slots, so results are
+/// bit-identical for any thread count. The load scatter stays serial.
 Imbalance imbalance(const trace::Trace& trace,
-                    const order::LogicalStructure& ls);
+                    const order::LogicalStructure& ls, int threads = 0);
 
 }  // namespace logstruct::metrics

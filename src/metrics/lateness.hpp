@@ -35,8 +35,12 @@ struct Lateness {
 
 /// Lateness over global steps. `same_phase_only` restricts peers to the
 /// event's own phase (the variant meaningful for task-based traces).
+/// `threads` fans the per-event passes out over the shared pool (0 =
+/// util::default_parallelism()); reductions run over a fixed chunk grid
+/// that depends only on the trace size, so every thread count — serial
+/// included — produces bit-identical output.
 Lateness lateness(const trace::Trace& trace,
                   const order::LogicalStructure& ls,
-                  bool same_phase_only = false);
+                  bool same_phase_only = false, int threads = 0);
 
 }  // namespace logstruct::metrics

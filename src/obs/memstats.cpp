@@ -44,4 +44,9 @@ AllocCounters thread_allocs() {
 
 bool alloc_hook_active() { return detail::hook_linked(); }
 
+void credit_external_allocs(const AllocCounters& delta) {
+  detail::t_alloc_bytes += delta.bytes;
+  detail::t_alloc_count += delta.count;
+}
+
 }  // namespace logstruct::obs

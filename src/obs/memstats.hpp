@@ -46,6 +46,11 @@ struct AllocCounters {
 /// True when the counting operator-new replacement is linked in.
 [[nodiscard]] bool alloc_hook_active();
 
+/// Add allocations performed elsewhere (e.g. by pool workers on behalf of
+/// this thread) to the calling thread's counters, so an enclosing
+/// AllocScope sees fanned-out work as if it ran inline.
+void credit_external_allocs(const AllocCounters& delta);
+
 namespace detail {
 /// Written by alloc_hook.cpp's operator new. Constant-initialized PODs,
 /// safe to bump during static initialization and thread start-up.

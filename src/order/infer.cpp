@@ -8,6 +8,7 @@
 #include "graph/leaps.hpp"
 #include "order/context.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::order {
 
@@ -22,29 +23,42 @@ struct ChareSource {
 };
 
 std::vector<std::vector<ChareSource>> collect_initial_sources(
-    const PartitionGraph& pg) {
+    const PartitionGraph& pg, int threads) {
   const trace::Trace& trace = pg.trace();
-  std::vector<std::vector<ChareSource>> per_chare(
-      static_cast<std::size_t>(trace.num_chares()));
-  std::unordered_set<std::int64_t> seen;  // (partition, chare) pairs
-  for (PartId p = 0; p < pg.num_partitions(); ++p) {
-    seen.clear();
+  // Per-partition scans are independent (index-owned output slots); the
+  // scatter into per-chare lists stays serial, and the (time, part) sort
+  // is a total order — at most one source per (partition, chare) — so
+  // the result is deterministic for any thread count.
+  std::vector<std::vector<std::pair<trace::ChareId, ChareSource>>>
+      per_part(static_cast<std::size_t>(pg.num_partitions()));
+  util::parallel_for(threads, pg.num_partitions(), [&](std::int64_t pi) {
+    const auto p = static_cast<PartId>(pi);
+    std::unordered_set<std::int64_t> seen;  // chares already seen in p
     for (trace::EventId e : pg.events(p)) {
       const trace::Event& ev = trace.event(e);
       std::int64_t key = static_cast<std::int64_t>(ev.chare);
       if (!seen.insert(key).second) continue;  // not the chare's first
       if (ev.kind == trace::EventKind::Send)
-        per_chare[static_cast<std::size_t>(ev.chare)].push_back(
-            ChareSource{ev.time, p});
+        per_part[static_cast<std::size_t>(pi)].emplace_back(
+            ev.chare, ChareSource{ev.time, p});
     }
+  });
+  std::vector<std::vector<ChareSource>> per_chare(
+      static_cast<std::size_t>(trace.num_chares()));
+  for (const auto& list : per_part) {
+    for (const auto& [c, src] : list)
+      per_chare[static_cast<std::size_t>(c)].push_back(src);
   }
-  for (auto& list : per_chare) {
-    std::sort(list.begin(), list.end(),
-              [](const ChareSource& a, const ChareSource& b) {
-                if (a.time != b.time) return a.time < b.time;
-                return a.part < b.part;
-              });
-  }
+  util::parallel_for(
+      threads, static_cast<std::int64_t>(per_chare.size()),
+      [&](std::int64_t c) {
+        auto& list = per_chare[static_cast<std::size_t>(c)];
+        std::sort(list.begin(), list.end(),
+                  [](const ChareSource& a, const ChareSource& b) {
+                    if (a.time != b.time) return a.time < b.time;
+                    return a.part < b.part;
+                  });
+      });
   return per_chare;
 }
 
@@ -142,7 +156,8 @@ bool leap_property_holds(
 
 void infer_source_order(OrderContext& ctx) {
   PartitionGraph& pg = ctx.pg();
-  auto per_chare = collect_initial_sources(pg);
+  auto per_chare =
+      collect_initial_sources(pg, ctx.options().effective_threads());
   auto& edges = ctx.scratch_edges();
   for (const auto& list : per_chare) {
     for (std::size_t i = 1; i < list.size(); ++i) {

@@ -6,6 +6,7 @@
 #include "order/block_units.hpp"
 #include "trace/sdag.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::order {
 
@@ -40,7 +41,8 @@ BlockUnits compute_block_units(const trace::Trace& trace,
 }
 
 PartitionGraph build_initial_partitions(const trace::Trace& trace,
-                                        const PartitionOptions& opts) {
+                                        const PartitionOptions& opts,
+                                        int threads) {
   PartitionGraph pg(trace);
   // Partitioning works on the RAW serial blocks: SDAG absorption (§2.1)
   // contributes happened-before EDGES here (paper Fig. 3 draws the
@@ -48,6 +50,16 @@ PartitionGraph build_initial_partitions(const trace::Trace& trace,
   // merge of a when-execution into its serial only applies to the
   // ordering stage (§3.2).
   BlockUnits units = compute_block_units(trace, /*sdag_absorption=*/false);
+
+  // is_runtime_event walks the event's receiver list, making it the
+  // dominant per-event cost of this stage; precompute it in parallel
+  // (index-owned writes) and let the serial assembly below read the
+  // table, so partition ids come out identical for any thread count.
+  std::vector<char> is_rt(static_cast<std::size_t>(trace.num_events()), 0);
+  util::parallel_for(threads, trace.num_events(), [&](std::int64_t e) {
+    is_rt[static_cast<std::size_t>(e)] =
+        trace.is_runtime_event(static_cast<trace::EventId>(e)) ? 1 : 0;
+  });
 
   // Split each block into runs at application/runtime boundaries and
   // chain the runs (edge type 2).
@@ -59,18 +71,18 @@ PartitionGraph build_initial_partitions(const trace::Trace& trace,
     PartId prev = -1;
     std::size_t i = 0;
     while (i < events.size()) {
-      bool kind = trace.is_runtime_event(events[i]);
+      bool kind = is_rt[static_cast<std::size_t>(events[i])] != 0;
       std::size_t j = i + 1;
       if (opts.split_app_runtime) {
         while (j < events.size() &&
-               trace.is_runtime_event(events[j]) == kind)
+               (is_rt[static_cast<std::size_t>(events[j])] != 0) == kind)
           ++j;
       } else {
         j = events.size();
         // Without splitting, the run is "runtime" if anything in it
         // touches the runtime.
         for (std::size_t k = i; k < j && !kind; ++k)
-          kind = trace.is_runtime_event(events[k]);
+          kind = is_rt[static_cast<std::size_t>(events[k])] != 0;
       }
       PartId p = pg.add_partition(
           std::vector<trace::EventId>(events.begin() +

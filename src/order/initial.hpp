@@ -16,7 +16,11 @@
 
 namespace logstruct::order {
 
+/// `threads` fans the per-event application/runtime classification (the
+/// O(events * fanout) part) out over the shared pool; partition ids and
+/// edges are assembled serially so the result is identical for any count.
 PartitionGraph build_initial_partitions(const trace::Trace& trace,
-                                        const PartitionOptions& opts);
+                                        const PartitionOptions& opts,
+                                        int threads = 1);
 
 }  // namespace logstruct::order

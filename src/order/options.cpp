@@ -1,0 +1,11 @@
+#include "order/options.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace logstruct::order {
+
+int Options::effective_threads() const {
+  return util::resolve_threads(threads);
+}
+
+}  // namespace logstruct::order

@@ -63,15 +63,28 @@ struct StepOptions {
   /// receives that physically preceded them; only receives reorder.
   bool mpi_mode = false;
 
-  /// Worker threads for step assignment. Phases are independent (§3.3:
+  /// Worker threads for step assignment. 0 = follow Options::threads
+  /// (and through it the process default). Phases are independent (§3.3:
   /// "as each phase is handled individually, this stage could be
   /// parallelized"); results are identical for any thread count.
-  int threads = 1;
+  int threads = 0;
 };
 
 struct Options {
   PartitionOptions partition;
   StepOptions step;
+
+  /// Worker threads for the whole pipeline (initial partitioning, merge
+  /// passes, step assignment, w clock). 0 = follow the process-wide
+  /// default set by the --threads flag (util::default_parallelism()),
+  /// which itself defaults to 1 — so the library stays serial unless
+  /// somebody opts in. Results are bit-identical for any value.
+  int threads = 0;
+
+  /// Resolve the pipeline thread count to a concrete value >= 1; the
+  /// implementation is in options.cpp (needs util/thread_pool.hpp,
+  /// which this header deliberately does not pull in).
+  [[nodiscard]] int effective_threads() const;
 
   /// Charm++ trace defaults (the paper's main configuration).
   static Options charm() { return Options{}; }

@@ -39,7 +39,7 @@ void PartitionGraph::finalize() {
     LS_CHECK_MSG(part_of_[static_cast<std::size_t>(e)] != -1,
                  "event not covered by any initial partition");
   }
-  dag_dirty_ = true;
+  dag_guard_.dirty.store(true, std::memory_order_release);
   epoch_ = 1;
 
   chares_.assign(events_.size(), {});
@@ -53,14 +53,19 @@ void PartitionGraph::finalize() {
 }
 
 void PartitionGraph::ensure_dag() const {
-  if (!dag_dirty_) return;
+  // Double-checked: the acquire load pairs with the release store below,
+  // so a reader that sees `dirty == false` also sees the materialized
+  // dag_/edges_. Concurrent first readers serialize on the mutex.
+  if (!dag_guard_.dirty.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(dag_guard_.mu);
+  if (!dag_guard_.dirty.load(std::memory_order_relaxed)) return;
   dag_.reset(num_partitions());
   for (auto [u, v] : edges_) dag_.add_edge(u, v);
   dag_.finalize();
   // Compact: the adjacency is deduplicated, so shrink the flat list back
   // to the unique edges to keep future remaps proportional to |E|.
   edges_ = dag_.edges();
-  dag_dirty_ = false;
+  dag_guard_.dirty.store(false, std::memory_order_release);
 }
 
 trace::EventId PartitionGraph::first_event_of_chare(PartId p,
@@ -78,7 +83,7 @@ void PartitionGraph::add_edges_bulk(
   for (auto [u, v] : edges) {
     if (u != v) edges_.emplace_back(u, v);
   }
-  dag_dirty_ = true;
+  dag_guard_.dirty.store(true, std::memory_order_release);
   ++epoch_;
 }
 
@@ -159,7 +164,7 @@ void PartitionGraph::relabel(const std::vector<std::int32_t>& label,
     if (nu != nv) edges_[w++] = {nu, nv};
   }
   edges_.resize(w);
-  dag_dirty_ = true;
+  dag_guard_.dirty.store(true, std::memory_order_release);
   ++epoch_;
 }
 

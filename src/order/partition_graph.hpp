@@ -19,9 +19,15 @@
 /// cycle merges), so downstream tie-breaks are bit-identical to the old
 /// full-rebuild implementation.
 ///
-/// Not thread-safe: dag() lazily materializes shared mutable state.
+/// Thread-safety: concurrent const queries are safe, including dag() —
+/// its lazy materialization is guarded by a double-checked atomic flag
+/// and mutex, so any number of readers may race the first rebuild.
+/// Mutations (apply_merges, cycle_merge, add_edges_bulk) still require
+/// exclusive access, like a standard container.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -65,7 +71,9 @@ class PartitionGraph {
     return part_of_[static_cast<std::size_t>(e)];
   }
   /// Deduplicated adjacency over the current partitions. Rebuilt lazily
-  /// after mutations; cheap to call repeatedly between them.
+  /// after mutations; cheap to call repeatedly between them. Safe to
+  /// call from concurrent readers: the first caller materializes under
+  /// a lock, the rest see the published result.
   [[nodiscard]] const graph::Digraph& dag() const {
     ensure_dag();
     return dag_;
@@ -122,11 +130,26 @@ class PartitionGraph {
   std::vector<bool> runtime_;
   std::vector<std::vector<trace::ChareId>> chares_;
   std::vector<PartId> part_of_;
+  /// Guard for the lazy dag_ rebuild: double-checked atomic dirty flag
+  /// plus the mutex the winning reader materializes under. Copyable so
+  /// PartitionGraph keeps value semantics — a copy takes the flag value
+  /// and a fresh mutex.
+  struct DagGuard {
+    std::atomic<bool> dirty{true};
+    std::mutex mu;
+    DagGuard() = default;
+    DagGuard(const DagGuard& o) : dirty(o.dirty.load()) {}
+    DagGuard& operator=(const DagGuard& o) {
+      dirty.store(o.dirty.load());
+      return *this;
+    }
+  };
+
   // Flat happened-before edge list (may contain duplicates between
   // compactions); dag_ is materialized from it on demand.
   mutable std::vector<std::pair<PartId, PartId>> edges_;
   mutable graph::Digraph dag_;
-  mutable bool dag_dirty_ = true;
+  mutable DagGuard dag_guard_;
   bool finalized_ = false;
   std::int64_t merges_ = 0;
   std::uint64_t epoch_ = 0;

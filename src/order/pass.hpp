@@ -40,6 +40,19 @@ enum : unsigned {
   kCheckCharePaths = 1u << 3,
 };
 
+/// How a pass body uses worker threads. Declarative: the body performs
+/// its own fan-out (through util::parallel_for with the thread count
+/// resolved from Options), but the capability lets the PassManager
+/// record and annotate honest per-pass thread counts without inspecting
+/// pass internals.
+enum class Parallelism {
+  /// Single-threaded body; records threads = 1 regardless of Options.
+  kSerial,
+  /// Body fans independent work (phases, partitions, events) out over
+  /// the shared pool; results are bit-identical for any thread count.
+  kPhaseParallel,
+};
+
 struct Pass {
   /// Short stage name; the obs span is `order/<name>`.
   std::string name;
@@ -52,6 +65,8 @@ struct Pass {
   /// True when the body emits its own obs span (legacy span names kept
   /// by stages like stepping); the manager then skips emitting one.
   bool own_span = false;
+  /// Thread-usage capability (see Parallelism).
+  Parallelism parallelism = Parallelism::kSerial;
 };
 
 /// Per-pass execution record: what ran, how long it took, how much it
@@ -63,9 +78,13 @@ struct PassRecord {
   double seconds = 0;
   bool ran = false;
   std::int32_t partitions = -1;
-  /// Bytes allocated on the executing thread during the pass; 0 when the
-  /// obs alloc hook is not linked (see obs/memstats.hpp).
+  /// Bytes allocated during the pass — including worker-thread
+  /// allocations, which the pool credits back to the executing thread;
+  /// 0 when the obs alloc hook is not linked (see obs/memstats.hpp).
   std::int64_t alloc_bytes = 0;
+  /// Worker threads the pass was entitled to: Options::effective_threads
+  /// for kPhaseParallel passes, 1 for serial ones.
+  int threads = 1;
 };
 
 }  // namespace logstruct::order

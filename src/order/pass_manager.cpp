@@ -33,6 +33,11 @@ void PassManager::run(OrderContext& ctx) {
     util::Stopwatch sw;
     [[maybe_unused]] const std::int64_t merges_before =
         ctx.has_pg() ? ctx.pg().merges_applied() : 0;
+    // What the pass may fan out over; the body resolves the same value
+    // internally, so the record stays honest.
+    const int threads = pass.parallelism == Parallelism::kPhaseParallel
+                            ? ctx.options().effective_threads()
+                            : 1;
     if (pass.own_span) {
       if (pass.enabled) pass.run(ctx);
     } else {
@@ -41,6 +46,7 @@ void PassManager::run(OrderContext& ctx) {
       OBS_SPAN(span, "order/" + pass.name);
       if (pass.enabled) pass.run(ctx);
       if (ctx.has_pg()) span.attr("partitions", ctx.pg().num_partitions());
+      if (threads > 1) span.attr("threads", threads);
     }
     PassRecord rec;
     rec.name = pass.name;
@@ -48,6 +54,7 @@ void PassManager::run(OrderContext& ctx) {
     rec.ran = pass.enabled;
     rec.partitions = ctx.has_pg() ? ctx.pg().num_partitions() : -1;
     rec.alloc_bytes = allocs.delta().bytes;
+    rec.threads = threads;
     records_.push_back(std::move(rec));
 #if LOGSTRUCT_OBS
     if (pass.enabled) {

@@ -11,6 +11,7 @@
 #include "order/partition_graph.hpp"
 #include "order/pass_manager.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::order {
 
@@ -44,20 +45,30 @@ void finalize_phases(OrderContext& ctx) {
     new_id[static_cast<std::size_t>(order[i])] =
         static_cast<std::int32_t>(i);
 
+  // new_id is a bijection, so each iteration below owns its output slot;
+  // both fills fan out over the pipeline's thread budget.
+  const int threads = ctx.options().effective_threads();
   out.events.resize(static_cast<std::size_t>(pg.num_partitions()));
   out.runtime.resize(static_cast<std::size_t>(pg.num_partitions()));
   out.leap.resize(static_cast<std::size_t>(pg.num_partitions()));
-  for (PartId p = 0; p < pg.num_partitions(); ++p) {
+  util::parallel_for(threads, pg.num_partitions(), [&](std::int64_t p) {
     auto n = static_cast<std::size_t>(new_id[static_cast<std::size_t>(p)]);
-    out.events[n].assign(pg.events(p).begin(), pg.events(p).end());
-    out.runtime[n] = pg.runtime(p);
+    out.events[n].assign(pg.events(static_cast<PartId>(p)).begin(),
+                         pg.events(static_cast<PartId>(p)).end());
     out.leap[n] = leaps[static_cast<std::size_t>(p)];
-  }
+  });
+  // vector<bool> is bit-packed — adjacent slots share a word, so this
+  // fill must stay serial.
+  for (PartId p = 0; p < pg.num_partitions(); ++p)
+    out.runtime[static_cast<std::size_t>(
+        new_id[static_cast<std::size_t>(p)])] = pg.runtime(p);
   out.phase_of_event.assign(static_cast<std::size_t>(trace.num_events()),
                             -1);
-  for (trace::EventId e = 0; e < trace.num_events(); ++e)
+  util::parallel_for(threads, trace.num_events(), [&](std::int64_t e) {
     out.phase_of_event[static_cast<std::size_t>(e)] =
-        new_id[static_cast<std::size_t>(pg.part_of(e))];
+        new_id[static_cast<std::size_t>(
+            pg.part_of(static_cast<trace::EventId>(e)))];
+  });
 
   out.dag.reset(pg.num_partitions());
   for (auto [u, v] : pg.dag().edges())
@@ -77,11 +88,13 @@ void register_partition_passes(PassManager& pm,
           .run =
               [](OrderContext& ctx) {
                 ctx.set_pg(build_initial_partitions(
-                    ctx.trace(), ctx.options().partition));
+                    ctx.trace(), ctx.options().partition,
+                    ctx.options().effective_threads()));
                 ctx.phases.initial_partitions = ctx.pg().num_partitions();
                 ctx.pg().cycle_merge();  // raw edges may already cycle
               },
-          .checks = kCheckDag | kCheckCoverage});
+          .checks = kCheckDag | kCheckCoverage,
+          .parallelism = Parallelism::kPhaseParallel});
   pm.add({.name = "dependency_merge",  // §3.1.2, Algorithm 1
           .run = [](OrderContext& ctx) { dependency_merge(ctx); },
           .checks = kCheckDag | kCheckCoverage});
@@ -96,7 +109,8 @@ void register_partition_passes(PassManager& pm,
   pm.add({.name = "infer_source_order",  // §3.1.4, Algorithm 3
           .run = [](OrderContext& ctx) { infer_source_order(ctx); },
           .enabled = opts.infer_source_order,
-          .checks = kCheckDag | kCheckCoverage});
+          .checks = kCheckDag | kCheckCoverage,
+          .parallelism = Parallelism::kPhaseParallel});
   pm.add({.name = "enforce_leap_property",  // §3.1.4, Alg 4 / property 1
           .run = [](OrderContext& ctx) { enforce_leap_property(ctx); },
           .checks = kCheckDag | kCheckCoverage | kCheckLeapProperty});
@@ -104,7 +118,9 @@ void register_partition_passes(PassManager& pm,
           .run = [](OrderContext& ctx) { enforce_chare_paths(ctx); },
           .checks = kCheckDag | kCheckCoverage | kCheckLeapProperty |
                     kCheckCharePaths});
-  pm.add({.name = "finalize", .run = finalize_phases});
+  pm.add({.name = "finalize",
+          .run = finalize_phases,
+          .parallelism = Parallelism::kPhaseParallel});
 }
 
 void run_partition_pipeline(OrderContext& ctx, PipelineTimings* timings,

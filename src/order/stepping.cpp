@@ -1,8 +1,6 @@
 #include "order/stepping.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 #include <unordered_map>
 
 #include "graph/topo.hpp"
@@ -12,6 +10,7 @@
 #include "order/pass_manager.hpp"
 #include "order/wclock.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::order {
 
@@ -120,8 +119,11 @@ class UnitOrder {
 void reorder_pass(OrderContext& ctx) {
   const Options& opts = ctx.options();
   if (opts.step.reorder) {
+    const int threads = opts.step.threads >= 1 ? opts.step.threads
+                                               : opts.effective_threads();
     ctx.w = compute_w(ctx.trace(), ctx.phases,
-                      ctx.units(opts.partition.sdag_inference), opts.step);
+                      ctx.units(opts.partition.sdag_inference), opts.step,
+                      threads);
   } else {
     ctx.w.assign(static_cast<std::size_t>(ctx.trace().num_events()), 0);
   }
@@ -357,24 +359,14 @@ void stepping_pass(OrderContext& ctx) {
           out.local_step[static_cast<std::size_t>(e)]);
   };
 
-  const int threads = std::max(1, opts.step.threads);
-  if (threads == 1 || phases.num_phases() < 2) {
-    for (std::int32_t ph = 0; ph < phases.num_phases(); ++ph)
-      process_phase(ph);
-  } else {
-    std::atomic<std::int32_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int w = 0; w < threads; ++w) {
-      pool.emplace_back([&] {
-        for (std::int32_t ph = next.fetch_add(1);
-             ph < phases.num_phases(); ph = next.fetch_add(1)) {
-          process_phase(ph);
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
-  }
+  // step.threads >= 1 is an explicit per-stage override; 0 follows the
+  // pipeline-wide Options::threads (and through it --threads).
+  const int threads = opts.step.threads >= 1 ? opts.step.threads
+                                             : opts.effective_threads();
+  span.attr("threads", threads);
+  util::parallel_for(threads, phases.num_phases(), [&](std::int64_t ph) {
+    process_phase(static_cast<std::int32_t>(ph));
+  });
   for (std::int32_t c : conflicts) out.order_conflicts += c;
 
   // Phase offsets along the phase DAG.
@@ -441,8 +433,13 @@ void stepping_pass(OrderContext& ctx) {
 void run_stepping_pipeline(OrderContext& ctx,
                            std::vector<PassRecord>* records) {
   PassManager pm(ctx.options().partition.check_passes);
-  pm.add({.name = "reorder", .run = reorder_pass});
-  pm.add({.name = "stepping", .run = stepping_pass, .own_span = true});
+  pm.add({.name = "reorder",
+          .run = reorder_pass,
+          .parallelism = Parallelism::kPhaseParallel});
+  pm.add({.name = "stepping",
+          .run = stepping_pass,
+          .own_span = true,
+          .parallelism = Parallelism::kPhaseParallel});
   pm.run(ctx);
   if (records)
     records->insert(records->end(), pm.records().begin(),

@@ -3,13 +3,15 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::order {
 
 std::vector<std::int64_t> compute_w(const trace::Trace& trace,
                                     const PhaseResult& phases,
                                     const BlockUnits& units,
-                                    const StepOptions& opts) {
+                                    const StepOptions& opts,
+                                    int threads) {
   std::vector<std::int64_t> w(static_cast<std::size_t>(trace.num_events()),
                               0);
 
@@ -22,7 +24,10 @@ std::vector<std::int64_t> compute_w(const trace::Trace& trace,
       coll_of[e] = static_cast<std::int32_t>(c);
   }
 
-  for (std::int32_t ph = 0; ph < phases.num_phases(); ++ph) {
+  // Each iteration writes w only at this phase's events and reads w only
+  // at same-phase senders, so the fan-out is race-free and deterministic.
+  util::parallel_for(threads, phases.num_phases(), [&](std::int64_t p) {
+    const auto ph = static_cast<std::int32_t>(p);
     // Per-unit last w (Charm++ mode), per-chare max receive w (MPI mode),
     // per-collective max send w — all scoped to this phase.
     std::unordered_map<trace::BlockId, std::int64_t> unit_last;
@@ -75,7 +80,7 @@ std::vector<std::int64_t> compute_w(const trace::Trace& trace,
       w[static_cast<std::size_t>(e)] = value;
       if (!opts.mpi_mode) unit_last[unit] = value;
     }
-  }
+  });
   return w;
 }
 

@@ -29,9 +29,15 @@ namespace logstruct::order {
 /// partitioned); processing is per phase in physical-time order, which is
 /// a valid topological order of the replay constraints because messages
 /// and serial blocks only run forward in time.
+///
+/// Phases are independent (the one cross-event read, w of the matching
+/// send, is taken only when the send is in the same phase), so the phase
+/// loop fans out over `threads` workers with bit-identical results;
+/// threads <= 1 runs serially, 0 follows util::default_parallelism().
 std::vector<std::int64_t> compute_w(const trace::Trace& trace,
                                     const PhaseResult& phases,
                                     const BlockUnits& units,
-                                    const StepOptions& opts);
+                                    const StepOptions& opts,
+                                    int threads = 1);
 
 }  // namespace logstruct::order

@@ -130,7 +130,7 @@ EventId TraceBuilder::add_collective_recv(CollectiveId c, BlockId block,
   return id;
 }
 
-Trace TraceBuilder::finish(std::int32_t num_procs) {
+Trace TraceBuilder::finish(std::int32_t num_procs, int threads) {
   OBS_SPAN(span, "trace/ingest");
   span.attr("events", num_events());
   span.attr("blocks", static_cast<std::int64_t>(trace_.blocks_.size()));
@@ -142,7 +142,7 @@ Trace TraceBuilder::finish(std::int32_t num_procs) {
     LS_CHECK_MSG(!block_open_[b], "finish() with an open serial block");
   }
   trace_.num_procs_ = num_procs;
-  trace_.freeze();
+  trace_.freeze(threads);
   Trace out = std::move(trace_);
   trace_ = Trace{};
   block_open_.clear();

@@ -55,8 +55,10 @@ class TraceBuilder {
     return static_cast<std::int32_t>(trace_.events_.size());
   }
 
-  /// Freeze and return the trace. The builder is left empty.
-  Trace finish(std::int32_t num_procs);
+  /// Freeze and return the trace. The builder is left empty. `threads`
+  /// fans the freeze's index builds out over the shared pool (0 =
+  /// util::default_parallelism()); the result is identical for any value.
+  Trace finish(std::int32_t num_procs, int threads = 0);
 
  private:
   EventId add_event(BlockId block, EventKind kind, TimeNs t);

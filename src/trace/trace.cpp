@@ -4,6 +4,7 @@
 
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::trace {
 
@@ -53,7 +54,8 @@ TimeNs Trace::end_time() const {
   return t;
 }
 
-void Trace::freeze() {
+void Trace::freeze(int threads) {
+  threads = util::resolve_threads(threads);
   chare_blocks_.assign(chares_.size(), {});
   proc_blocks_.assign(static_cast<std::size_t>(num_procs_), {});
   chare_events_.assign(chares_.size(), {});
@@ -70,8 +72,20 @@ void Trace::freeze() {
     if (ba.begin != bb.begin) return ba.begin < bb.begin;
     return a < b;
   };
-  for (auto& list : chare_blocks_) std::sort(list.begin(), list.end(), by_begin);
-  for (auto& list : proc_blocks_) std::sort(list.begin(), list.end(), by_begin);
+  // Each list sorts independently (total-order comparators), so the sort
+  // sweeps fan out per list with bit-identical results.
+  util::parallel_for(
+      threads, static_cast<std::int64_t>(chare_blocks_.size()),
+      [&](std::int64_t c) {
+        auto& list = chare_blocks_[static_cast<std::size_t>(c)];
+        std::sort(list.begin(), list.end(), by_begin);
+      });
+  util::parallel_for(
+      threads, static_cast<std::int64_t>(proc_blocks_.size()),
+      [&](std::int64_t p) {
+        auto& list = proc_blocks_[static_cast<std::size_t>(p)];
+        std::sort(list.begin(), list.end(), by_begin);
+      });
 
   for (EventId e = 0; e < num_events(); ++e)
     chare_events_[static_cast<std::size_t>(
@@ -83,42 +97,82 @@ void Trace::freeze() {
     if (ea.time != eb.time) return ea.time < eb.time;
     return a < b;
   };
-  for (auto& list : chare_events_) std::sort(list.begin(), list.end(), by_time);
+  util::parallel_for(
+      threads, static_cast<std::int64_t>(chare_events_.size()),
+      [&](std::int64_t c) {
+        auto& list = chare_events_[static_cast<std::size_t>(c)];
+        std::sort(list.begin(), list.end(), by_time);
+      });
 
   // Events inside each block must be in time order for the pipeline.
-  for (auto& blk : blocks_) {
-    std::sort(blk.events.begin(), blk.events.end(), by_time);
-  }
+  util::parallel_for(threads, static_cast<std::int64_t>(blocks_.size()),
+                     [&](std::int64_t b) {
+                       auto& blk = blocks_[static_cast<std::size_t>(b)];
+                       std::sort(blk.events.begin(), blk.events.end(),
+                                 by_time);
+                     });
 
   // Flat dependency table. The p2p prefix is emitted in send-id order
   // (partner first, then fanout receivers), matching the historical
   // for_each_dependency enumeration order exactly; dep_begin_ indexes it
   // CSR-style so receivers() is a span lookup. Collective cross-product
   // rows follow.
-  dep_send_.clear();
-  dep_recv_.clear();
-  dep_kind_.clear();
+  // Two-pass build so the p2p prefix fills in parallel: count each send's
+  // rows (parallel, index-owned), prefix-sum into dep_begin_ (serial),
+  // then write every send's rows at its deterministic offset (parallel).
+  // The row order per send — partner first, then fanout receivers —
+  // matches the historical for_each_dependency enumeration exactly.
   dep_begin_.assign(events_.size() + 1, 0);
-  auto push_dep = [this](EventId s, EventId r, DepKind k) {
-    dep_send_.push_back(s);
-    dep_recv_.push_back(r);
-    dep_kind_.push_back(k);
-  };
-  for (EventId id = 0; id < num_events(); ++id) {
-    dep_begin_[static_cast<std::size_t>(id)] =
-        static_cast<std::int32_t>(dep_send_.size());
+  util::parallel_for(threads, num_events(), [&](std::int64_t id) {
     const Event& e = events_[static_cast<std::size_t>(id)];
-    if (e.kind != EventKind::Send) continue;
-    if (e.partner != kNone) push_dep(id, e.partner, DepKind::Match);
-    auto it = fanout_.find(id);
+    if (e.kind != EventKind::Send) return;
+    std::int32_t rows = e.partner != kNone ? 1 : 0;
+    auto it = fanout_.find(static_cast<EventId>(id));
+    if (it != fanout_.end())
+      rows += static_cast<std::int32_t>(it->second.size());
+    dep_begin_[static_cast<std::size_t>(id) + 1] = rows;
+  });
+  for (std::size_t i = 1; i <= events_.size(); ++i)
+    dep_begin_[i] += dep_begin_[i - 1];
+
+  std::int64_t coll_rows = 0;
+  for (const Collective& coll : collectives_)
+    coll_rows += static_cast<std::int64_t>(coll.sends.size()) *
+                 static_cast<std::int64_t>(coll.recvs.size());
+  const auto p2p_rows =
+      static_cast<std::int64_t>(dep_begin_[events_.size()]);
+  dep_send_.assign(static_cast<std::size_t>(p2p_rows + coll_rows), 0);
+  dep_recv_.assign(static_cast<std::size_t>(p2p_rows + coll_rows), 0);
+  dep_kind_.assign(static_cast<std::size_t>(p2p_rows + coll_rows),
+                   DepKind::Match);
+  util::parallel_for(threads, num_events(), [&](std::int64_t id) {
+    const Event& e = events_[static_cast<std::size_t>(id)];
+    if (e.kind != EventKind::Send) return;
+    auto at = static_cast<std::size_t>(
+        dep_begin_[static_cast<std::size_t>(id)]);
+    auto put = [&](EventId r, DepKind k) {
+      dep_send_[at] = static_cast<EventId>(id);
+      dep_recv_[at] = r;
+      dep_kind_[at] = k;
+      ++at;
+    };
+    if (e.partner != kNone) put(e.partner, DepKind::Match);
+    auto it = fanout_.find(static_cast<EventId>(id));
     if (it != fanout_.end()) {
-      for (EventId r : it->second) push_dep(id, r, DepKind::Fanout);
+      for (EventId r : it->second) put(r, DepKind::Fanout);
     }
-  }
-  dep_begin_[events_.size()] = static_cast<std::int32_t>(dep_send_.size());
+  });
+  // Collective cross-product rows follow the CSR prefix; serial, they
+  // are a small tail.
+  auto at = static_cast<std::size_t>(p2p_rows);
   for (const Collective& coll : collectives_) {
     for (EventId s : coll.sends) {
-      for (EventId r : coll.recvs) push_dep(s, r, DepKind::Collective);
+      for (EventId r : coll.recvs) {
+        dep_send_[at] = s;
+        dep_recv_[at] = r;
+        dep_kind_[at] = DepKind::Collective;
+        ++at;
+      }
     }
   }
 

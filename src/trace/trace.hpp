@@ -151,7 +151,10 @@ class Trace {
   friend Trace read_trace(std::istream& in);
 
   /// Build derived indices; called once by TraceBuilder::finish().
-  void freeze();
+  /// `threads` fans the per-list sorts and the dependency-table fill out
+  /// over the shared pool (0 = util::default_parallelism()); the frozen
+  /// trace is bit-identical for any value.
+  void freeze(int threads = 0);
 
   std::vector<Event> events_;
   std::vector<SerialBlock> blocks_;

@@ -10,6 +10,7 @@
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::util {
 
@@ -78,6 +79,10 @@ void define_obs_flags(Flags& flags) {
                       "(open in Perfetto / chrome://tracing)");
   flags.define_string("log-level", "info",
                       "structured-log threshold: debug|info|warn|error");
+  flags.define_int("threads", 1,
+                   "worker threads for the parallel pipeline stages "
+                   "(0 = all hardware threads); results are "
+                   "bit-identical for any value");
 }
 
 void apply_obs_flags(const Flags& flags) {
@@ -95,6 +100,15 @@ void apply_obs_flags(const Flags& flags) {
     obs::log(obs::Level::Warn, "obs", "unknown log level, keeping info",
              {{"requested", level}});
   obs::Logger::global().set_min_level(l);
+
+  std::int64_t threads = flags.get_int("threads");
+  if (threads < 0) {
+    obs::log(obs::Level::Warn, "obs",
+             "negative --threads, running serial",
+             {{"requested", std::to_string(threads)}});
+    threads = 1;
+  }
+  set_default_parallelism(static_cast<int>(threads));
 }
 
 std::string obs_sidecar_json(const std::string& program) {

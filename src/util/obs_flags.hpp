@@ -1,8 +1,8 @@
 #pragma once
 
 /// \file obs_flags.hpp
-/// Shared `--profile` / `--obs-json` / `--log-level` wiring for every
-/// bench and example harness.
+/// Shared `--profile` / `--obs-json` / `--log-level` / `--threads`
+/// wiring for every bench and example harness.
 ///
 /// Usage in a harness main():
 ///   util::Flags flags;
@@ -22,6 +22,12 @@
 /// --obs-chrome=p writes a Chrome trace-event JSON file to p, loadable
 ///                in Perfetto / chrome://tracing.
 /// --log-level=l  debug|info|warn|error for the structured logger.
+/// --threads=N    worker threads for every parallel pipeline stage
+///                (trace freezing, partition/merge passes, stepping,
+///                metric kernels). 0 = all hardware threads; the
+///                default 1 keeps harnesses fully serial. Results are
+///                bit-identical for any value (see
+///                docs/ARCHITECTURE.md, "Parallel execution").
 
 #include <string>
 

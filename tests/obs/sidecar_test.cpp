@@ -9,6 +9,7 @@
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
 #include "order/stepping.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::util {
 namespace {
@@ -114,15 +115,35 @@ TEST(ObsFlags, DefineAndApply) {
   EXPECT_TRUE(flags.defined("profile"));
   EXPECT_TRUE(flags.defined("obs-json"));
   EXPECT_TRUE(flags.defined("log-level"));
+  EXPECT_TRUE(flags.defined("threads"));
 
   std::string lvl = "--log-level=error";
+  std::string thr = "--threads=3";
   std::string prog = "prog";
-  char* argv[] = {prog.data(), lvl.data()};
-  ASSERT_TRUE(flags.parse(2, argv));
+  char* argv[] = {prog.data(), lvl.data(), thr.data()};
+  ASSERT_TRUE(flags.parse(3, argv));
   obs::Level before = obs::Logger::global().min_level();
+  const int prev_threads = default_parallelism();
   apply_obs_flags(flags);
   EXPECT_EQ(obs::Logger::global().min_level(), obs::Level::Error);
+  // --threads reaches every stage that defaults to the process-wide
+  // parallelism (trace freezing, Options::threads == 0 pipelines).
+  EXPECT_EQ(default_parallelism(), 3);
+  set_default_parallelism(prev_threads);
   obs::Logger::global().set_min_level(before);
+}
+
+TEST(ObsFlags, ThreadsZeroMeansHardware) {
+  Flags flags;
+  define_obs_flags(flags);
+  std::string thr = "--threads=0";
+  std::string prog = "prog";
+  char* argv[] = {prog.data(), thr.data()};
+  ASSERT_TRUE(flags.parse(2, argv));
+  const int prev = default_parallelism();
+  apply_obs_flags(flags);
+  EXPECT_EQ(default_parallelism(), ThreadPool::hardware_threads());
+  set_default_parallelism(prev);
 }
 
 }  // namespace

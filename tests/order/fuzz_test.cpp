@@ -153,5 +153,25 @@ TEST_P(FuzzSeeds, PipelineInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzSeeds,
                          ::testing::Range<std::uint64_t>(1, 65));
 
+/// Thread-count fuzzing: the same random traces, extracted with a
+/// seed-derived thread count (2..9, plus the oversubscribed 16) against a
+/// threaded trace freeze, must match the serial structure exactly. Odd
+/// shard splits, one-event partitions, and untraced dependencies all flow
+/// through here — the shapes the proxy apps never produce.
+TEST_P(FuzzSeeds, ThreadedMatchesSerial) {
+  const std::uint64_t seed = GetParam();
+  trace::Trace serial_trace = random_trace(seed);
+  LogicalStructure serial =
+      extract_structure(serial_trace, Options::charm());
+  const int threads =
+      seed % 8 == 0 ? 16 : 2 + static_cast<int>(seed % 8);
+  testing::ScopedDefaultParallelism scope(threads);
+  trace::Trace t = random_trace(seed);
+  Options opts = Options::charm();
+  opts.threads = threads;
+  LogicalStructure ls = extract_structure(t, opts);
+  testing::expect_structures_equal(serial, ls, "fuzz threaded");
+}
+
 }  // namespace
 }  // namespace logstruct::order

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "apps/jacobi2d.hpp"
 #include "apps/lassen.hpp"
@@ -19,8 +20,13 @@
 #include "apps/mergetree.hpp"
 #include "apps/nasbt.hpp"
 #include "apps/pdes.hpp"
+#include "metrics/critical_path.hpp"
+#include "metrics/duration.hpp"
+#include "metrics/imbalance.hpp"
+#include "metrics/lateness.hpp"
 #include "order/stepping.hpp"
 #include "order/validate.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::order {
 namespace {
@@ -162,6 +168,81 @@ TEST(GoldenStructure, ExtractionIsDeterministic) {
   LogicalStructure a = extract_structure(t, Options::charm());
   LogicalStructure b = extract_structure(t, Options::charm());
   EXPECT_EQ(structure_hash(t, a), structure_hash(t, b));
+}
+
+void mix_double(Fnv& f, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  f.mix(static_cast<std::int64_t>(bits));
+}
+
+/// Fingerprint of every metric kernel's full output, doubles included via
+/// their bit patterns — "identical" here means identical to the last bit,
+/// which the fixed-grid reductions guarantee across thread counts.
+std::uint64_t metrics_hash(const trace::Trace& t,
+                           const LogicalStructure& ls, int threads) {
+  Fnv f;
+  metrics::Lateness late = metrics::lateness(t, ls, false, threads);
+  for (trace::TimeNs v : late.per_event) f.mix(v);
+  f.mix(late.max_value);
+  f.mix(late.max_event);
+  mix_double(f, late.mean);
+  for (trace::TimeNs v : late.caused_by_chare) f.mix(v);
+  metrics::CriticalPath cp = metrics::critical_path(t, ls, threads);
+  for (trace::EventId e : cp.events) f.mix(e);
+  f.mix(cp.length_ns);
+  mix_double(f, cp.coverage);
+  for (trace::TimeNs v : cp.chare_share) f.mix(v);
+  metrics::DifferentialDuration dd =
+      metrics::differential_duration(t, ls, threads);
+  for (trace::TimeNs v : dd.per_event) f.mix(v);
+  f.mix(dd.max_value);
+  f.mix(dd.max_event);
+  metrics::Imbalance imb = metrics::imbalance(t, ls, threads);
+  for (trace::TimeNs v : imb.per_phase) f.mix(v);
+  for (const auto& row : imb.per_phase_proc)
+    for (trace::TimeNs v : row) f.mix(v);
+  for (trace::TimeNs v : imb.per_event) f.mix(v);
+  return f.value();
+}
+
+/// RAII process-default parallelism override, restored on scope exit so
+/// one test cannot leak its thread count into another.
+struct ScopedDefaultParallelism {
+  explicit ScopedDefaultParallelism(int n)
+      : prev(util::default_parallelism()) {
+    util::set_default_parallelism(n);
+  }
+  ~ScopedDefaultParallelism() { util::set_default_parallelism(prev); }
+  int prev;
+};
+
+/// The determinism tentpole: every golden workload, rebuilt and
+/// re-extracted at threads ∈ {1, 2, 4, 8}, must reproduce the recorded
+/// serial structure hash bit-for-bit — and so must every metric kernel's
+/// full output. The process default is overridden so the parallel trace
+/// freeze (sorts + dependency table) runs threaded too, not just the
+/// extraction passes.
+TEST(GoldenStructure, ThreadCountMatrixBitIdentical) {
+  for (const Golden& g : kGoldens) {
+    std::uint64_t baseline_metrics = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      ScopedDefaultParallelism scope(threads);
+      trace::Trace t = g.make();
+      Options opts = g.opts();
+      opts.threads = threads;
+      LogicalStructure ls = extract_structure(t, opts);
+      EXPECT_EQ(structure_hash(t, ls), g.expected)
+          << g.name << " at threads=" << threads;
+      std::uint64_t mh = metrics_hash(t, ls, threads);
+      if (threads == 1) {
+        baseline_metrics = mh;
+      } else {
+        EXPECT_EQ(mh, baseline_metrics)
+            << g.name << " metrics diverge at threads=" << threads;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -8,8 +8,43 @@
 #include "order/stepping.hpp"
 #include "order/validate.hpp"
 #include "trace/builder.hpp"
+#include "util/thread_pool.hpp"
 
 namespace logstruct::order::testing {
+
+/// RAII override of the process-wide default parallelism, restored on
+/// scope exit so a threaded test cannot leak its count into later tests
+/// (trace freezing and any Options::threads == 0 stage follow it).
+struct ScopedDefaultParallelism {
+  explicit ScopedDefaultParallelism(int n)
+      : prev(util::default_parallelism()) {
+    util::set_default_parallelism(n);
+  }
+  ~ScopedDefaultParallelism() { util::set_default_parallelism(prev); }
+  ScopedDefaultParallelism(const ScopedDefaultParallelism&) = delete;
+  ScopedDefaultParallelism& operator=(const ScopedDefaultParallelism&) =
+      delete;
+  int prev;
+};
+
+/// Field-for-field equality of two logical structures — the cross-check
+/// used by the thread-count determinism tests. EXPECT (not ASSERT) so a
+/// divergence reports every differing field at once.
+inline void expect_structures_equal(const LogicalStructure& a,
+                                    const LogicalStructure& b,
+                                    const char* label = "") {
+  EXPECT_EQ(a.global_step, b.global_step) << label;
+  EXPECT_EQ(a.max_step, b.max_step) << label;
+  EXPECT_EQ(a.order_conflicts, b.order_conflicts) << label;
+  EXPECT_EQ(a.phases.phase_of_event, b.phases.phase_of_event) << label;
+  EXPECT_EQ(a.phases.events, b.phases.events) << label;
+  EXPECT_EQ(a.phases.runtime, b.phases.runtime) << label;
+  EXPECT_EQ(a.phases.leap, b.phases.leap) << label;
+  EXPECT_EQ(a.phases.dag.edges(), b.phases.dag.edges()) << label;
+  EXPECT_EQ(a.phase_offset, b.phase_offset) << label;
+  EXPECT_EQ(a.phase_height, b.phase_height) << label;
+  EXPECT_EQ(a.chare_sequence, b.chare_sequence) << label;
+}
 
 /// Assert the invariants every logical structure must satisfy (see
 /// order::validate_structure for the list), plus conflict-free stepping.

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "trace/builder.hpp"
 
 namespace logstruct::order {
@@ -152,6 +155,39 @@ TEST(PartitionGraph, MergesAppliedCounter) {
   std::vector<std::pair<PartId, PartId>> pairs{{0, 1}, {2, 3}};
   pg.apply_merges(pairs);
   EXPECT_EQ(pg.merges_applied(), 2);
+}
+
+/// Regression for the lazy-DAG hazard: dag() used to materialize into a
+/// mutable member with no synchronization, so the FIRST dag() call racing
+/// against other readers corrupted the adjacency build. Hammer a freshly
+/// dirtied graph from many threads; under TSan this also proves the
+/// double-checked guard publishes the finished DAG correctly.
+TEST(PartitionGraph, ConcurrentDagReadersAfterDirty) {
+  Fixture f = make_four_events();
+  for (int round = 0; round < 50; ++round) {
+    PartitionGraph pg(f.trace);
+    for (int i = 0; i < 4; ++i)
+      pg.add_partition({f.events[static_cast<std::size_t>(i)]}, false);
+    pg.add_edge(0, 1);
+    pg.add_edge(1, 2);
+    pg.add_edge(2, 3);
+    pg.finalize();  // leaves the DAG dirty — readers race to build it
+
+    constexpr int kReaders = 8;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&pg, &ok] {
+        const graph::Digraph& dag = pg.dag();
+        if (dag.num_nodes() == 4 && dag.has_edge(0, 1) &&
+            dag.has_edge(1, 2) && dag.has_edge(2, 3))
+          ok.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& th : readers) th.join();
+    ASSERT_EQ(ok.load(), kReaders) << "round " << round;
+  }
 }
 
 }  // namespace

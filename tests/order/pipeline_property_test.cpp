@@ -158,6 +158,76 @@ TEST(PipelineProperty, DeterministicStructure) {
   EXPECT_EQ(a.phases.phase_of_event, b.phases.phase_of_event);
 }
 
+/// Thread-count cross-check over extreme phase shapes. Each workload is
+/// rebuilt and re-extracted at several thread counts (the process default
+/// is overridden too, so the parallel trace freeze runs threaded) and the
+/// result must equal the serial structure field for field:
+///  - many tiny phases: lassen with many short iterations — dozens of
+///    small phases, so the per-phase fan-out sees 1-2 events per task;
+///  - one giant phase: a single-chare chain — all events in one phase, so
+///    one pool task gets everything and the rest sit idle;
+///  - empty trace: zero events/phases — every parallel_for sees n == 0.
+TEST(PipelineProperty, ThreadedMatchesSerialAcrossPhaseShapes) {
+  struct Shape {
+    const char* name;
+    trace::Trace (*make)();
+    Options (*opts)();
+  };
+  const Shape shapes[] = {
+      {"many_tiny_phases",
+       [] {
+         apps::LassenConfig cfg;
+         cfg.chares_x = 3;
+         cfg.chares_y = 3;
+         cfg.iterations = 12;
+         return apps::run_lassen_charm(cfg);
+       },
+       Options::charm},
+      {"one_giant_phase",
+       [] {
+         // One chare sending to itself: a single chain with no runtime
+         // events collapses into one phase covering the whole trace.
+         trace::TraceBuilder tb;
+         trace::ChareId c = tb.add_chare("solo");
+         trace::EntryId e = tb.add_entry("step");
+         trace::EventId prev = trace::kNone;
+         for (int i = 0; i < 200; ++i) {
+           trace::TimeNs t = i * 100;
+           trace::BlockId b = tb.begin_block(c, 0, e, t);
+           if (prev != trace::kNone) tb.add_recv(b, t, prev);
+           prev = tb.add_send(b, t + 10);
+           tb.end_block(b, t + 20);
+         }
+         trace::BlockId last = tb.begin_block(c, 0, e, 200 * 100);
+         tb.add_recv(last, 200 * 100, prev);
+         tb.end_block(last, 200 * 100 + 20);
+         return tb.finish(1);
+       },
+       Options::charm},
+      {"empty_trace",
+       [] {
+         trace::TraceBuilder tb;
+         tb.add_chare("lonely");
+         return tb.finish(1);
+       },
+       Options::charm},
+  };
+  for (const Shape& shape : shapes) {
+    trace::Trace serial_trace = shape.make();
+    LogicalStructure serial =
+        extract_structure(serial_trace, shape.opts());
+    testing::expect_structure_invariants(serial_trace, serial);
+    for (int threads : {2, 3, 8}) {
+      testing::ScopedDefaultParallelism scope(threads);
+      trace::Trace t = shape.make();
+      Options opts = shape.opts();
+      opts.threads = threads;
+      LogicalStructure ls = extract_structure(t, opts);
+      testing::expect_structures_equal(serial, ls, shape.name);
+    }
+  }
+}
+
 TEST(PipelineProperty, ReorderingNeverWidensStructure) {
   // The idealized replay should give a structure at most as wide (in max
   // step) as physical order for these regular apps.

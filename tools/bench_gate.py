@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Perf/memory regression gate over BENCH_pipeline.json trajectories.
 
-Diffs two pipeline-trajectory runs (schema logstruct-bench-pipeline/v1
-or /v2, see docs/OBSERVABILITY.md) pass-by-pass and fails when a pass
-got substantially slower or hungrier:
+Diffs two pipeline-trajectory runs (schema logstruct-bench-pipeline/v1,
+/v2, or /v3, see docs/OBSERVABILITY.md) pass-by-pass and fails when a
+pass got substantially slower or hungrier:
 
     tools/bench_gate.py                       # last two runs in BENCH_pipeline.json
     tools/bench_gate.py FILE                  # last two runs in FILE
@@ -15,6 +15,11 @@ Comparison rules:
     are compared; each workload's `total_seconds` is compared as a
     pseudo-pass named `(total)`. Passes that exist on only one side are
     listed as informational rows, never failures (pipelines evolve).
+  * Comparison is like-for-like per thread count: a workload's
+    `threads` field (v3; absent means 1) is part of its identity, so a
+    `threads=8` run is never judged against a `threads=1` baseline —
+    and hardware-sized runs from machines with different core counts
+    simply show up as informational rows.
   * Wall time is compared only when the base pass took at least
     --min-seconds (default 1 ms): short passes are timer noise.
   * alloc_bytes (v2 runs only) is compared when both sides carry it and
@@ -50,10 +55,18 @@ def load_runs(path):
 
 
 def collect(run):
-    """Flatten one run into {(workload, pass): (seconds, alloc_bytes|None)}."""
+    """Flatten one run into {(workload, pass): (seconds, alloc_bytes|None)}.
+
+    The workload key embeds its thread count (v3 schema; missing means
+    1, matching v1/v2 serial-only runs), so only like-for-like thread
+    counts are ever compared.
+    """
     rows = {}
     for w in run.get("workloads", []):
         name = w.get("name", "?")
+        threads = int(w.get("threads", 1))
+        if threads != 1:
+            name = f"{name} [threads={threads}]"
         total = w.get("total_seconds")
         if total is not None:
             rows[(name, "(total)")] = (float(total), None)
@@ -190,8 +203,8 @@ def gate(base_run, fresh_run, opts):
     return 0
 
 
-def synthetic_run(scale_wall=1.0, scale_alloc=1.0):
-    return {
+def synthetic_run(scale_wall=1.0, scale_alloc=1.0, extra_threads=None):
+    run = {
         "program": "self-test",
         "workloads": [
             {
@@ -217,6 +230,29 @@ def synthetic_run(scale_wall=1.0, scale_alloc=1.0):
             }
         ],
     }
+    if extra_threads is not None:
+        # Same workload name, different thread count, deliberately 3x
+        # slower than the serial baseline: the gate must treat it as a
+        # separate (informational) row, never a regression.
+        run["workloads"].append(
+            {
+                "name": "synthetic/w1",
+                "events": 1000,
+                "phases": 4,
+                "threads": extra_threads,
+                "total_seconds": 0.030,
+                "passes": [
+                    {
+                        "pass": "initial",
+                        "seconds": 0.012,
+                        "alloc_bytes": int(8 << 20),
+                        "threads": extra_threads,
+                        "ran": True,
+                    }
+                ],
+            }
+        )
+    return run
 
 
 def self_test(opts):
@@ -239,11 +275,25 @@ def self_test(opts):
         if code == 0:
             print("self-test: FAILED — 2x alloc regression not caught")
             return 1
+        print()
+        # A threads=8 rerun of the same workload, 3x slower than the
+        # serial baseline, must NOT fail: thread counts are compared
+        # like-for-like, never cross-count.
+        code = gate(synthetic_run(), synthetic_run(extra_threads=8), opts)
+        if code != 0:
+            print(
+                "self-test: FAILED — threads=8 row was compared against "
+                "the threads=1 baseline"
+            )
+            return 1
     finally:
         if saved is not None:
             os.environ["BENCH_GATE_ALLOW_REGRESSION"] = saved
     print()
-    print("self-test: ok (identical passes, 2x wall fails, 2x alloc fails)")
+    print(
+        "self-test: ok (identical passes, 2x wall fails, 2x alloc fails, "
+        "cross-thread-count rows never compared)"
+    )
     return 0
 
 
