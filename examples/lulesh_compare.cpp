@@ -12,6 +12,7 @@
 #include "apps/lulesh.hpp"
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
+#include "trace/validate.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
 #include "util/table.hpp"
@@ -62,11 +63,13 @@ int main(int argc, char** argv) {
   cfg.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
 
   trace::Trace mpi = apps::run_lulesh_mpi(cfg);
+  if (!trace::validate_cli(flags, mpi, "lulesh/mpi")) return 2;
   order::LogicalStructure mpi_ls =
       order::extract_structure(mpi, order::Options::mpi_baseline13());
   report("LULESH / MPI (8 ranks)", mpi, mpi_ls);
 
   trace::Trace charm = apps::run_lulesh_charm(cfg);
+  if (!trace::validate_cli(flags, charm, "lulesh/charm")) return 2;
   order::LogicalStructure charm_ls =
       order::extract_structure(charm, order::Options::charm());
   report("LULESH / Charm++ (8 chares, 2 PEs)", charm, charm_ls);

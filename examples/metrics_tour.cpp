@@ -20,6 +20,7 @@
 #include "metrics/profile.hpp"
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
+#include "trace/validate.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
 #include "util/table.hpp"
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   cfg.slow_every_iteration = cfg.slow_chare >= 0;
   cfg.slow_factor = 4.0;
   trace::Trace t = apps::run_jacobi2d(cfg);
+  if (!trace::validate_cli(flags, t, "jacobi2d")) return 2;
   order::LogicalStructure ls =
       order::extract_structure(t, order::Options::charm());
 

@@ -12,6 +12,7 @@
 #include "apps/pdes.hpp"
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
+#include "trace/validate.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
 #include "vis/ascii.hpp"
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
   for (bool traced : {false, true}) {
     cfg.trace_detector_calls = traced;
     trace::Trace t = apps::run_pdes(cfg);
+    if (!trace::validate_cli(flags, t, "pdes")) return 2;
     order::LogicalStructure ls =
         order::extract_structure(t, order::Options::charm());
     std::printf("== detector calls %s ==\n",

@@ -16,6 +16,7 @@
 #include "metrics/imbalance.hpp"
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
+#include "trace/validate.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
 #include "util/table.hpp"
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   cfg.iterations = static_cast<std::int32_t>(flags.get_int("iterations"));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   trace::Trace t = apps::run_jacobi2d(cfg);
+  if (!trace::validate_cli(flags, t, "jacobi2d")) return 2;
   std::printf("simulated Jacobi 2D: %d chares on %d PEs, %d events in %d "
               "serial blocks\n\n",
               cfg.chares_x * cfg.chares_y, cfg.num_pes, t.num_events(),

@@ -13,6 +13,7 @@
 #include "order/stepping.hpp"
 #include "order/validate.hpp"
 #include "sim/taskdag/taskdag.hpp"
+#include "trace/validate.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
 #include "vis/ascii.hpp"
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   cfg.num_workers = static_cast<std::int32_t>(flags.get_int("workers"));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   trace::Trace t = sim::taskdag::simulate(g, cfg);
+  if (!trace::validate_cli(flags, t, "taskdag")) return 2;
   std::printf("executed %zu tasks over %d sub-domains on %d workers\n",
               g.size(), t.num_chares(), t.num_procs());
 

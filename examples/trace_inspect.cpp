@@ -5,8 +5,16 @@
 ///
 ///   ./trace_inspect --app=jacobi --out=/tmp/jacobi.lstrace
 ///   ./trace_inspect --in=/tmp/jacobi.lstrace
+///   ./trace_inspect --in=/tmp/damaged.lstrace --recover
+///
+/// --recover loads a damaged .lstrace in best-effort mode (see
+/// docs/ROBUSTNESS.md): garbled lines are skipped, truncation tolerated,
+/// and the salvage repaired; the recovery report is printed and the
+/// analysis runs on whatever survived.
 
 #include <cstdio>
+#include <exception>
+#include <fstream>
 
 #include "apps/jacobi2d.hpp"
 #include "apps/lassen.hpp"
@@ -86,6 +94,11 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define_string("app", "jacobi", "built-in app to trace");
   flags.define_string("in", "", "load this .lstrace instead of simulating");
+  flags.define_bool("recover", false,
+                    "tolerate a malformed --in file: skip garbled lines, "
+                    "repair the salvage, and report what was fixed");
+  flags.define_string("report-out", "",
+                      "write the recovery report (JSON) here");
   flags.define_string("out", "", "save the trace here");
   flags.define_int("seed", 1, "simulation seed");
   flags.define_bool("mpi", false, "analyze with the MPI-model options");
@@ -102,8 +115,38 @@ int main(int argc, char** argv) {
   trace::Trace t;
   const std::string in = flags.get_string("in");
   std::string app = flags.get_string("app");
-  if (!in.empty()) {
-    t = trace::load_trace(in);
+  trace::RecoveryReport report;
+  if (!in.empty() && flags.get_bool("recover")) {
+    t = trace::load_trace(in, trace::ReadOptions::recovering(), report);
+    report.export_counters();
+    if (report.empty()) {
+      std::printf("loaded %s (clean)\n", in.c_str());
+    } else {
+      std::printf("loaded %s with recovery:\n%s", in.c_str(),
+                  report.to_string().c_str());
+    }
+    const std::string rout = flags.get_string("report-out");
+    if (!rout.empty()) {
+      std::ofstream rf(rout);
+      if (rf) rf << report.to_json() << '\n';
+      if (!rf) {
+        std::fprintf(stderr, "failed to write %s\n", rout.c_str());
+        return 3;
+      }
+      std::printf("wrote recovery report: %s\n", rout.c_str());
+    }
+    if (report.fatal()) {
+      std::fprintf(stderr, "nothing salvageable in %s\n", in.c_str());
+      return 2;
+    }
+  } else if (!in.empty()) {
+    try {
+      t = trace::load_trace(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load %s: %s (try --recover)\n",
+                   in.c_str(), e.what());
+      return 2;
+    }
     std::printf("loaded %s\n", in.c_str());
   } else {
     t = generate(app, static_cast<std::uint64_t>(flags.get_int("seed")));

@@ -14,6 +14,7 @@ CriticalPath critical_path(const trace::Trace& trace,
   OBS_SPAN_ANON("metrics/critical_path");
   threads = util::resolve_threads(threads);
   CriticalPath out;
+  out.degraded_phases = ls.phases.degraded_phases;
   const auto n = static_cast<std::size_t>(trace.num_events());
   if (n == 0) return out;
 

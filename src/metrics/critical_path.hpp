@@ -25,6 +25,10 @@ struct CriticalPath {
   double coverage = 0;
   /// Per-chare share of on-path sub-block time, index = ChareId.
   std::vector<trace::TimeNs> chare_share;
+  /// Phases quarantined by trace-level recovery (PhaseResult::degraded):
+  /// a path crossing those regions rests on repaired, not observed,
+  /// dependencies. 0 for clean traces.
+  std::int32_t degraded_phases = 0;
 };
 
 /// Longest chain under: (a) an event costs its sub-block duration,

@@ -15,6 +15,7 @@ DifferentialDuration differential_duration(
   OBS_SPAN_ANON("metrics/differential_duration");
   threads = util::resolve_threads(threads);
   DifferentialDuration out;
+  out.degraded_phases = ls.phases.degraded_phases;
   out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
   std::vector<trace::TimeNs> dur = subblock_durations(trace);
 

@@ -18,6 +18,10 @@ struct DifferentialDuration {
   std::vector<trace::TimeNs> per_event;  ///< excess time at (phase, step)
   trace::TimeNs max_value = 0;
   trace::EventId max_event = trace::kNone;
+  /// Phases quarantined by trace-level recovery (PhaseResult::degraded):
+  /// excess over those regions rests on repaired, not observed,
+  /// dependencies. 0 for clean traces.
+  std::int32_t degraded_phases = 0;
 };
 
 /// `threads` fans the per-event excess pass out over the shared pool

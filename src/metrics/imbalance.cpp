@@ -14,6 +14,7 @@ Imbalance imbalance(const trace::Trace& trace,
   OBS_SPAN_ANON("metrics/imbalance");
   threads = util::resolve_threads(threads);
   Imbalance out;
+  out.degraded_phases = ls.phases.degraded_phases;
   const std::size_t phases =
       static_cast<std::size_t>(ls.num_phases());
   const std::size_t procs = static_cast<std::size_t>(trace.num_procs());

@@ -24,6 +24,10 @@ struct Imbalance {
   std::vector<std::vector<trace::TimeNs>> per_phase_proc;
   /// spread of (event's phase, event's processor), per event.
   std::vector<trace::TimeNs> per_event;
+  /// Phases quarantined by trace-level recovery (PhaseResult::degraded):
+  /// spreads over those regions rest on repaired, not observed,
+  /// dependencies. 0 for clean traces.
+  std::int32_t degraded_phases = 0;
 };
 
 /// `threads` fans the per-phase spread computation and the per-event

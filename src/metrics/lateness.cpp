@@ -31,6 +31,7 @@ Lateness lateness(const trace::Trace& trace,
   OBS_SPAN_ANON("metrics/lateness");
   threads = util::resolve_threads(threads);
   Lateness out;
+  out.degraded_phases = ls.phases.degraded_phases;
   out.per_event.assign(static_cast<std::size_t>(trace.num_events()), 0);
 
   auto key = [&](trace::EventId e) -> std::int64_t {

@@ -31,6 +31,10 @@ struct Lateness {
   /// sender among its matches / fan-out origin / collective sends).
   /// Index = ChareId; sums to the total lateness of gated receives.
   std::vector<trace::TimeNs> caused_by_chare;
+  /// Phases quarantined by trace-level recovery (PhaseResult::degraded):
+  /// values over those regions rest on repaired, not observed,
+  /// dependencies. 0 for clean traces.
+  std::int32_t degraded_phases = 0;
 };
 
 /// Lateness over global steps. `same_phase_only` restricts peers to the

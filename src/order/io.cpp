@@ -121,6 +121,22 @@ LogicalStructure read_structure(std::istream& in,
   for (auto& list : ls.phases.events)
     std::sort(list.begin(), list.end(), by_time);
 
+  // Degraded quarantine flags are a pure function of trace + membership,
+  // so they are re-derived here rather than serialized.
+  ls.phases.degraded.assign(static_cast<std::size_t>(num_phases), false);
+  ls.phases.degraded_phases = 0;
+  if (trace.num_degraded_chares() > 0) {
+    for (std::size_t ph = 0; ph < ls.phases.events.size(); ++ph) {
+      for (trace::EventId e : ls.phases.events[ph]) {
+        if (trace.is_degraded_chare(trace.event(e).chare)) {
+          ls.phases.degraded[ph] = true;
+          ++ls.phases.degraded_phases;
+          break;
+        }
+      }
+    }
+  }
+
   ls.chare_sequence.assign(static_cast<std::size_t>(trace.num_chares()),
                            {});
   for (trace::EventId e = 0; e < trace.num_events(); ++e)

@@ -81,6 +81,17 @@ struct Options {
   /// somebody opts in. Results are bit-identical for any value.
   int threads = 0;
 
+  /// Degraded-input policy. A trace repaired by fault-tolerant ingestion
+  /// (trace::repair / a recovering reader) carries degraded chares —
+  /// chares whose dependencies were altered to make the salvage
+  /// well-formed. true (default): quarantine — the pipeline runs
+  /// normally, but phases touching a degraded chare are flagged
+  /// (PhaseResult::degraded) and counted in the `order/degraded_phases`
+  /// obs counter so consumers know which regions rest on repaired data.
+  /// false: refuse — LS_CHECK-abort when handed a degraded trace, for
+  /// pipelines that must never silently analyze repaired input.
+  bool allow_degraded = true;
+
   /// Resolve the pipeline thread count to a concrete value >= 1; the
   /// implementation is in options.cpp (needs util/thread_pool.hpp,
   /// which this header deliberately does not pull in).

@@ -62,6 +62,29 @@ void finalize_phases(OrderContext& ctx) {
   for (PartId p = 0; p < pg.num_partitions(); ++p)
     out.runtime[static_cast<std::size_t>(
         new_id[static_cast<std::size_t>(p)])] = pg.runtime(p);
+
+  // Quarantine: a phase is degraded iff any of its events belongs to a
+  // chare whose dependencies trace-level recovery altered. Clean traces
+  // (no degraded chares — the overwhelmingly common case) skip the scan.
+  out.degraded.assign(static_cast<std::size_t>(pg.num_partitions()), false);
+  out.degraded_phases = 0;
+  if (trace.num_degraded_chares() > 0) {
+    for (PartId p = 0; p < pg.num_partitions(); ++p) {
+      bool bad = false;
+      for (trace::EventId e : pg.events(p)) {
+        if (trace.is_degraded_chare(trace.event(e).chare)) {
+          bad = true;
+          break;
+        }
+      }
+      if (bad) {
+        out.degraded[static_cast<std::size_t>(
+            new_id[static_cast<std::size_t>(p)])] = true;
+        ++out.degraded_phases;
+      }
+    }
+    OBS_COUNTER_ADD("order/degraded_phases", out.degraded_phases);
+  }
   out.phase_of_event.assign(static_cast<std::size_t>(trace.num_events()),
                             -1);
   util::parallel_for(threads, trace.num_events(), [&](std::int64_t e) {
@@ -127,6 +150,11 @@ void run_partition_pipeline(OrderContext& ctx, PipelineTimings* timings,
                             std::vector<PassRecord>* records) {
   OBS_SPAN(span_all, "order/find_phases");
   span_all.attr("events", ctx.trace().num_events());
+
+  LS_CHECK_MSG(ctx.options().allow_degraded ||
+                   ctx.trace().num_degraded_chares() == 0,
+               "degraded (recovery-repaired) trace refused: "
+               "Options::allow_degraded is false");
 
   PassManager pm(ctx.options().partition.check_passes);
   register_partition_passes(pm, ctx.options().partition);

@@ -44,12 +44,24 @@ struct PhaseResult {
   graph::Digraph dag;                    ///< happened-before between phases
   std::vector<std::int32_t> leap;        ///< final leap per phase
 
+  /// Quarantine flags: phase touches a chare whose dependencies were
+  /// altered by trace-level recovery (Trace::is_degraded_chare). Its
+  /// structure is a best-effort reconstruction, not ground truth; metrics
+  /// carry the count through so degraded regions stay visible. Empty
+  /// (like `runtime` is not) only before finalize runs.
+  std::vector<bool> degraded;
+  std::int32_t degraded_phases = 0;      ///< number of flagged phases
+
   // Pipeline statistics (bench/micro reporting).
   std::int32_t initial_partitions = 0;
   std::int64_t merges = 0;
 
   [[nodiscard]] std::int32_t num_phases() const {
     return static_cast<std::int32_t>(events.size());
+  }
+
+  [[nodiscard]] bool is_degraded(std::int32_t phase) const {
+    return !degraded.empty() && degraded[static_cast<std::size_t>(phase)];
   }
 };
 

@@ -111,6 +111,14 @@ void TraceBuilder::add_idle(ProcId proc, TimeNs begin, TimeNs end) {
   trace_.idles_.push_back(IdleSpan{proc, begin, end});
 }
 
+void TraceBuilder::mark_degraded(ChareId chare) {
+  if (chare < 0 || static_cast<std::size_t>(chare) >= trace_.chares_.size())
+    return;
+  if (trace_.degraded_chare_.size() < trace_.chares_.size())
+    trace_.degraded_chare_.resize(trace_.chares_.size(), 0);
+  trace_.degraded_chare_[static_cast<std::size_t>(chare)] = 1;
+}
+
 CollectiveId TraceBuilder::begin_collective() {
   trace_.collectives_.emplace_back();
   return static_cast<CollectiveId>(trace_.collectives_.size() - 1);
@@ -142,6 +150,8 @@ Trace TraceBuilder::finish(std::int32_t num_procs, int threads) {
     LS_CHECK_MSG(!block_open_[b], "finish() with an open serial block");
   }
   trace_.num_procs_ = num_procs;
+  if (!trace_.degraded_chare_.empty())
+    trace_.degraded_chare_.resize(trace_.chares_.size(), 0);
   trace_.freeze(threads);
   Trace out = std::move(trace_);
   trace_ = Trace{};

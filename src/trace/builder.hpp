@@ -45,6 +45,10 @@ class TraceBuilder {
   /// Record a scheduler idle span on a processor.
   void add_idle(ProcId proc, TimeNs begin, TimeNs end);
 
+  /// Flag a chare as degraded: a recovering reader repaired one of its
+  /// dependencies away (Trace::is_degraded_chare). No-op on invalid ids.
+  void mark_degraded(ChareId chare);
+
   // --- collectives (MPI model) -------------------------------------------
   CollectiveId begin_collective();
   EventId add_collective_send(CollectiveId c, BlockId block, TimeNs t);

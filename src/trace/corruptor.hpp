@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file corruptor.hpp
+/// Deterministic fault injection for trace files.
+///
+/// The TraceCorruptor mutates serialized trace text (an .lstrace stream or
+/// one Projections per-PE log) the way real-world failures do: dropped
+/// lines (tracing-buffer overflow), truncated tails (crash mid-run),
+/// duplicated lines (flaky flush + retry), perturbed timestamps (clock
+/// skew/garbling), and raw byte flips (disk/transfer corruption). Every
+/// mutation is driven by a SplitMix64 seed, so a (fault, seed) pair names
+/// one exact corrupted input forever — property tests and CI fuzz sweeps
+/// replay identical bytes on every machine.
+///
+/// The corruptor reports what it actually did (CorruptionSummary), which
+/// the fault-injection property tests cross-check against the
+/// RecoveryReport produced when the corrupted text is re-read in
+/// ReadOptions::recovering() mode.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace logstruct::trace {
+
+/// One class of injected fault. Matches the corruption matrix in
+/// docs/ROBUSTNESS.md and the CI fuzz smoke job.
+enum class FaultKind : std::uint8_t {
+  DropLines,          ///< remove interior lines wholesale
+  TruncateTail,       ///< cut the file mid-stream (always loses "end")
+  DuplicateLines,     ///< repeat interior lines immediately
+  PerturbTimestamps,  ///< add large deltas to numeric time fields
+  FlipBytes,          ///< flip random bits in random bytes
+};
+
+inline constexpr int kNumFaultKinds =
+    static_cast<int>(FaultKind::FlipBytes) + 1;
+
+/// Stable lower_snake_case name (CLI values, report keys).
+const char* fault_kind_name(FaultKind kind);
+
+/// Parse a fault name back; returns false on unknown names.
+bool parse_fault_kind(const std::string& name, FaultKind* out);
+
+/// What a corruption pass actually changed.
+struct CorruptionSummary {
+  FaultKind kind = FaultKind::DropLines;
+  std::uint64_t seed = 0;
+  std::int64_t lines_dropped = 0;
+  std::int64_t lines_duplicated = 0;
+  std::int64_t bytes_truncated = 0;
+  std::int64_t timestamps_perturbed = 0;
+  std::int64_t bytes_flipped = 0;
+
+  /// Total individual mutations applied.
+  [[nodiscard]] std::int64_t total() const {
+    return lines_dropped + lines_duplicated + (bytes_truncated > 0 ? 1 : 0) +
+           timestamps_perturbed + bytes_flipped;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Deterministic, seed-driven text corruptor.
+class TraceCorruptor {
+ public:
+  /// `intensity` scales how much damage one pass does, in [0, 1]; the
+  /// default injects a handful of faults into a typical golden trace.
+  explicit TraceCorruptor(std::uint64_t seed, double intensity = 0.05);
+
+  /// Apply one fault class to `text`, returning the corrupted copy.
+  /// Guaranteed to change the text whenever the input has at least
+  /// three lines (the header and footer are preserved by line-oriented
+  /// faults so the damage lands in the body, where recovery is
+  /// interesting — FlipBytes may hit anything).
+  std::string corrupt(const std::string& text, FaultKind kind,
+                      CorruptionSummary* summary = nullptr);
+
+ private:
+  std::string drop_lines(std::vector<std::string> lines,
+                         CorruptionSummary& s);
+  std::string truncate_tail(const std::string& text, CorruptionSummary& s);
+  std::string duplicate_lines(std::vector<std::string> lines,
+                              CorruptionSummary& s);
+  std::string perturb_timestamps(std::vector<std::string> lines,
+                                 CorruptionSummary& s);
+  std::string flip_bytes(std::string text, CorruptionSummary& s);
+
+  std::uint64_t seed_;
+  double intensity_;
+  std::uint64_t stream_ = 0;  ///< distinct Rng stream per corrupt() call
+};
+
+}  // namespace logstruct::trace

@@ -1,0 +1,185 @@
+#include "trace/diagnostics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+
+namespace logstruct::trace {
+
+const char* diag_code_name(DiagCode code) {
+  switch (code) {
+    case DiagCode::BadHeader: return "bad_header";
+    case DiagCode::UnknownRecord: return "unknown_record";
+    case DiagCode::ParseError: return "parse_error";
+    case DiagCode::DuplicateRecord: return "duplicate_record";
+    case DiagCode::NonSequentialId: return "non_sequential_id";
+    case DiagCode::TruncatedFile: return "truncated_file";
+    case DiagCode::MissingLog: return "missing_log";
+    case DiagCode::DanglingReference: return "dangling_reference";
+    case DiagCode::UnmatchedScope: return "unmatched_scope";
+    case DiagCode::IoError: return "io_error";
+    case DiagCode::SynthesizedBlockEnd: return "synthesized_block_end";
+    case DiagCode::DroppedDanglingPartner:
+      return "dropped_dangling_partner";
+    case DiagCode::DroppedRecord: return "dropped_record";
+    case DiagCode::ClampedTimestamp: return "clamped_timestamp";
+    case DiagCode::DeduplicatedRecord: return "deduplicated_record";
+    case DiagCode::StubbedMetadata: return "stubbed_metadata";
+  }
+  return "unknown";
+}
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << '[' << diag_code_name(code) << ']';
+  if (pe >= 0) os << " pe=" << pe;
+  if (line >= 0) os << " line=" << line;
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {
+  return os << d.to_string();
+}
+
+namespace {
+
+/// Details often quote raw input; corrupted files can put arbitrary
+/// bytes there. Keep stored details printable ASCII so reports stay
+/// valid UTF-8 JSON and safe to echo to a terminal.
+void sanitize(std::string& s) {
+  for (char& c : s) {
+    const auto b = static_cast<unsigned char>(c);
+    if (b < 0x20 || b >= 0x7f) c = '?';
+  }
+}
+
+}  // namespace
+
+void RecoveryReport::add(Diagnostic d) {
+  ++counts_[static_cast<std::size_t>(d.code)];
+  ++total_;
+  if (d.severity > worst_) worst_ = d.severity;
+  if (diags_.size() < max_stored_) {
+    sanitize(d.detail);
+    diags_.push_back(std::move(d));
+  }
+}
+
+void RecoveryReport::add(DiagCode code, Severity severity,
+                         std::string detail, ProcId pe, std::int64_t line) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.detail = std::move(detail);
+  d.pe = pe;
+  d.line = line;
+  add(std::move(d));
+}
+
+void RecoveryReport::merge(const RecoveryReport& other) {
+  for (int c = 0; c < kNumDiagCodes; ++c)
+    counts_[static_cast<std::size_t>(c)] +=
+        other.counts_[static_cast<std::size_t>(c)];
+  total_ += other.total_;
+  if (other.worst_ > worst_) worst_ = other.worst_;
+  for (const Diagnostic& d : other.diags_) {
+    if (diags_.size() >= max_stored_) break;
+    diags_.push_back(d);
+  }
+}
+
+std::int64_t RecoveryReport::repairs() const {
+  std::int64_t n = 0;
+  for (int c = static_cast<int>(kFirstRepair); c < kNumDiagCodes; ++c)
+    n += counts_[static_cast<std::size_t>(c)];
+  return n;
+}
+
+void RecoveryReport::export_counters() const {
+  obs::Registry& reg = obs::Registry::global();
+  for (int c = 0; c < kNumDiagCodes; ++c) {
+    const std::int64_t n = counts_[static_cast<std::size_t>(c)];
+    if (n == 0) continue;
+    reg.counter(std::string("trace/recovery/") +
+                diag_code_name(static_cast<DiagCode>(c)))
+        .add(n);
+  }
+  if (total_ > 0) {
+    obs::log(obs::Level::Warn, "trace/recovery",
+             "trace ingestion recovered from problems",
+             {{"diagnostics", total_},
+              {"repairs", repairs()},
+              {"worst", severity_name(worst_)}});
+  }
+}
+
+std::string RecoveryReport::to_json() const {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("total");
+  w.value(total_);
+  w.key("repairs");
+  w.value(repairs());
+  w.key("worst");
+  w.value(severity_name(worst_));
+  w.key("dropped");
+  w.value(dropped());
+  w.key("counts");
+  w.begin_object();
+  for (int c = 0; c < kNumDiagCodes; ++c) {
+    const std::int64_t n = counts_[static_cast<std::size_t>(c)];
+    if (n == 0) continue;
+    w.key(diag_code_name(static_cast<DiagCode>(c)));
+    w.value(n);
+  }
+  w.end_object();
+  w.key("diagnostics");
+  w.begin_array();
+  for (const Diagnostic& d : diags_) {
+    w.begin_object();
+    w.key("code");
+    w.value(diag_code_name(d.code));
+    w.key("severity");
+    w.value(severity_name(d.severity));
+    if (d.pe >= 0) {
+      w.key("pe");
+      w.value(static_cast<std::int64_t>(d.pe));
+    }
+    if (d.line >= 0) {
+      w.key("line");
+      w.value(d.line);
+    }
+    w.key("detail");
+    w.value(d.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream os;
+  os << "recovery report: " << total_ << " diagnostic(s), " << repairs()
+     << " repair(s), worst=" << severity_name(worst_) << '\n';
+  for (const Diagnostic& d : diags_) os << "  " << d.to_string() << '\n';
+  if (dropped() > 0)
+    os << "  ... and " << dropped() << " more (not stored)\n";
+  return os.str();
+}
+
+}  // namespace logstruct::trace

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/repair.hpp"
 #include "util/check.hpp"
 
 namespace logstruct::trace {
@@ -12,6 +13,10 @@ namespace {
 
 constexpr const char* kMagic = "lstrace";
 constexpr int kVersion = 1;
+
+/// A list-length field larger than this is garbage, not data; parsing it
+/// verbatim would let one garbled digit drive a multi-gigabyte resize.
+constexpr std::int64_t kMaxListLen = 1 << 20;
 
 // Names may contain spaces; they are always the last field and written
 // after a '|' sentinel.
@@ -23,6 +28,26 @@ std::string read_name(std::istringstream& line) {
   std::getline(line, name);
   if (!name.empty() && name.front() == ' ') name.erase(0, 1);
   return name;
+}
+
+// Tolerant variant: false instead of throwing.
+bool try_read_name(std::istringstream& line, std::string* out) {
+  std::string sep;
+  line >> sep;
+  if (sep != "|") return false;
+  std::string name;
+  std::getline(line, name);
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+  *out = std::move(name);
+  return true;
+}
+
+/// Narrow an int64 field into an int32 id slot; out-of-range values become
+/// kNone so they surface as dangling references instead of wrapping into
+/// accidentally-valid ids.
+std::int32_t narrow_id(std::int64_t v) {
+  if (v < INT32_MIN || v > INT32_MAX) return kNone;
+  return static_cast<std::int32_t>(v);
 }
 
 }  // namespace
@@ -66,6 +91,15 @@ void write_trace(const Trace& trace, std::ostream& out) {
     for (EventId s : coll.sends) out << ' ' << s;
     out << ' ' << coll.recvs.size();
     for (EventId r : coll.recvs) out << ' ' << r;
+    out << '\n';
+  }
+  // Recovery provenance survives a save/load round trip. Written only for
+  // repaired traces, so clean traces serialize byte-identically to every
+  // earlier version of the format.
+  if (trace.num_degraded_chares() > 0) {
+    out << "degraded " << trace.num_degraded_chares();
+    for (ChareId c = 0; c < trace.num_chares(); ++c)
+      if (trace.is_degraded_chare(c)) out << ' ' << c;
     out << '\n';
   }
   out << "end\n";
@@ -116,6 +150,8 @@ Trace read_trace(std::istream& in) {
       EntryInfo e;
       ls >> id >> runtime >> e.sdag_serial >> nwhen;
       e.runtime = runtime != 0;
+      if (nwhen > static_cast<std::size_t>(kMaxListLen))
+        throw std::runtime_error("lstrace: implausible when-list length");
       e.when_entries.resize(nwhen);
       for (auto& w : e.when_entries) ls >> w;
       e.name = read_name(ls);
@@ -155,12 +191,29 @@ Trace read_trace(std::istream& in) {
       Collective coll;
       std::size_t n;
       ls >> n;
+      if (n > static_cast<std::size_t>(kMaxListLen))
+        throw std::runtime_error("lstrace: implausible collective size");
       coll.sends.resize(n);
       for (auto& s : coll.sends) ls >> s;
       ls >> n;
+      if (n > static_cast<std::size_t>(kMaxListLen))
+        throw std::runtime_error("lstrace: implausible collective size");
       coll.recvs.resize(n);
       for (auto& r : coll.recvs) ls >> r;
       trace.collectives_.push_back(std::move(coll));
+    } else if (tag == "degraded") {
+      std::size_t n;
+      ls >> n;
+      if (n > trace.chares_.size())
+        throw std::runtime_error("lstrace: implausible degraded count");
+      trace.degraded_chare_.assign(trace.chares_.size(), 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        ChareId c;
+        ls >> c;
+        if (c < 0 || static_cast<std::size_t>(c) >= trace.chares_.size())
+          throw std::runtime_error("lstrace: degraded id out of range");
+        trace.degraded_chare_[static_cast<std::size_t>(c)] = 1;
+      }
     } else if (tag == "end") {
       saw_end = true;
       break;
@@ -195,11 +248,225 @@ Trace read_trace(std::istream& in) {
   return trace;
 }
 
-bool save_trace(const Trace& trace, const std::string& path) {
+namespace {
+
+/// Recovering lstrace parse: salvage whatever lines survive into a
+/// RawTrace, then repair + freeze. Never throws on malformed content.
+Trace read_trace_recovering(std::istream& in, RecoveryReport& report) {
+  RawTrace raw;
+  std::int64_t lineno = 1;
+  std::string header;
+  if (!std::getline(in, header)) {
+    report.add(DiagCode::BadHeader, Severity::Fatal, "empty stream");
+    return build_trace(std::move(raw), 0);
+  }
+  {
+    std::istringstream hs(header);
+    std::string word;
+    int version = 0;
+    hs >> word >> version;
+    if (word != kMagic || version != kVersion) {
+      report.add(DiagCode::BadHeader, Severity::Fatal,
+                 "not an lstrace stream (or unsupported version)", -1, 1);
+      return build_trace(std::move(raw), 0);
+    }
+  }
+
+  bool saw_end = false;
+  std::string line;
+  while (!saw_end && std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    auto parse_error = [&](const char* what) {
+      report.add(DiagCode::ParseError, Severity::Warning,
+                 std::string("garbled ") + what + " record skipped", -1,
+                 lineno);
+    };
+    if (tag == "procs") {
+      std::int64_t n = 0;
+      ls >> n;
+      if (ls.fail() || n < 0 || n > INT32_MAX) {
+        parse_error("procs");
+      } else {
+        raw.num_procs = static_cast<std::int32_t>(n);
+      }
+    } else if (tag == "array") {
+      RawRecord<ArrayInfo> r;
+      int runtime = 0;
+      ls >> r.id >> runtime;
+      if (ls.fail() || !try_read_name(ls, &r.info.name)) {
+        parse_error("array");
+        continue;
+      }
+      r.info.runtime = runtime != 0;
+      raw.arrays.push_back(std::move(r));
+    } else if (tag == "chare") {
+      RawRecord<ChareInfo> r;
+      std::int64_t array = 0, index = 0, home = 0;
+      int runtime = 0;
+      ls >> r.id >> array >> index >> home >> runtime;
+      if (ls.fail() || !try_read_name(ls, &r.info.name)) {
+        parse_error("chare");
+        continue;
+      }
+      r.info.array = narrow_id(array);
+      r.info.index = narrow_id(index);
+      r.info.home = narrow_id(home);
+      r.info.runtime = runtime != 0;
+      raw.chares.push_back(std::move(r));
+    } else if (tag == "entry") {
+      RawRecord<EntryInfo> r;
+      std::int64_t sdag = 0, nwhen = 0;
+      int runtime = 0;
+      ls >> r.id >> runtime >> sdag >> nwhen;
+      if (ls.fail() || nwhen < 0 || nwhen > kMaxListLen) {
+        parse_error("entry");
+        continue;
+      }
+      r.info.runtime = runtime != 0;
+      r.info.sdag_serial = narrow_id(sdag);
+      r.info.when_entries.resize(static_cast<std::size_t>(nwhen));
+      std::int64_t w = 0;
+      for (auto& we : r.info.when_entries) {
+        ls >> w;
+        we = narrow_id(w);
+      }
+      if (ls.fail() || !try_read_name(ls, &r.info.name)) {
+        parse_error("entry");
+        continue;
+      }
+      raw.entries.push_back(std::move(r));
+    } else if (tag == "block") {
+      RawBlock b;
+      std::int64_t proc = 0;
+      ls >> b.id >> b.chare >> proc >> b.entry >> b.begin >> b.end;
+      if (ls.fail()) {
+        parse_error("block");
+        continue;
+      }
+      b.proc = narrow_id(proc);
+      raw.blocks.push_back(b);
+    } else if (tag == "event") {
+      RawEvent e;
+      char kind = 0;
+      ls >> e.id >> kind >> e.time >> e.block >> e.partner;
+      if (ls.fail() || (kind != 'S' && kind != 'R')) {
+        parse_error("event");
+        continue;
+      }
+      e.kind = kind == 'S' ? EventKind::Send : EventKind::Recv;
+      raw.events.push_back(e);
+    } else if (tag == "idle") {
+      IdleSpan s;
+      std::int64_t proc = 0;
+      ls >> proc >> s.begin >> s.end;
+      if (ls.fail()) {
+        parse_error("idle");
+        continue;
+      }
+      s.proc = narrow_id(proc);
+      raw.idles.push_back(s);
+    } else if (tag == "coll") {
+      RawCollective coll;
+      std::int64_t n = 0;
+      ls >> n;
+      if (ls.fail() || n < 0 || n > kMaxListLen) {
+        parse_error("coll");
+        continue;
+      }
+      coll.sends.resize(static_cast<std::size_t>(n));
+      for (auto& s : coll.sends) ls >> s;
+      ls >> n;
+      if (ls.fail() || n < 0 || n > kMaxListLen) {
+        parse_error("coll");
+        continue;
+      }
+      coll.recvs.resize(static_cast<std::size_t>(n));
+      for (auto& r : coll.recvs) ls >> r;
+      if (ls.fail()) {
+        parse_error("coll");
+        continue;
+      }
+      raw.collectives.push_back(std::move(coll));
+    } else if (tag == "degraded") {
+      std::int64_t n = 0;
+      ls >> n;
+      if (ls.fail() || n < 0 || n > kMaxListLen) {
+        parse_error("degraded");
+        continue;
+      }
+      std::vector<std::int64_t> ids(static_cast<std::size_t>(n));
+      for (auto& c : ids) ls >> c;
+      if (ls.fail()) {
+        parse_error("degraded");
+        continue;
+      }
+      raw.degraded_chares.insert(raw.degraded_chares.end(), ids.begin(),
+                                 ids.end());
+    } else if (tag == "end") {
+      saw_end = true;
+    } else {
+      report.add(DiagCode::UnknownRecord, Severity::Warning,
+                 "unknown record '" + tag + "' skipped", -1, lineno);
+    }
+  }
+  if (!saw_end)
+    report.add(DiagCode::TruncatedFile, Severity::Warning,
+               "stream ended before the end marker", -1, lineno);
+
+  repair(raw, report);
+  return build_trace(std::move(raw), 0);
+}
+
+}  // namespace
+
+Trace read_trace(std::istream& in, const ReadOptions& options,
+                 RecoveryReport& report) {
+  if (options.recover) return read_trace_recovering(in, report);
+  return read_trace(in);
+}
+
+bool save_trace(const Trace& trace, const std::string& path,
+                RecoveryReport& report) {
   std::ofstream f(path);
-  if (!f) return false;
+  if (!f) {
+    report.add(DiagCode::IoError, Severity::Fatal,
+               "cannot open for writing: " + path);
+    return false;
+  }
   write_trace(trace, f);
-  return static_cast<bool>(f);
+  f.flush();
+  if (!f) {
+    report.add(DiagCode::IoError, Severity::Fatal,
+               "write failed: " + path);
+    return false;
+  }
+  return true;
+}
+
+Trace load_trace(const std::string& path, const ReadOptions& options,
+                 RecoveryReport& report) {
+  std::ifstream f(path);
+  if (!f) {
+    report.add(DiagCode::IoError, Severity::Fatal,
+               "cannot open trace file: " + path);
+    return build_trace(RawTrace{}, 0);
+  }
+  if (options.recover) return read_trace_recovering(f, report);
+  try {
+    return read_trace(f);
+  } catch (const std::exception& e) {
+    report.add(DiagCode::ParseError, Severity::Fatal, e.what());
+    return build_trace(RawTrace{}, 0);
+  }
+}
+
+bool save_trace(const Trace& trace, const std::string& path) {
+  RecoveryReport report;
+  return save_trace(trace, path, report);
 }
 
 Trace load_trace(const std::string& path) {

@@ -6,10 +6,19 @@
 /// A line-oriented format in the spirit of Charm++ Projections logs: one
 /// record per line, fully self-contained, diff-friendly. Used by the
 /// trace_inspect example and to archive simulator outputs.
+///
+/// Two reading modes (see docs/ROBUSTNESS.md):
+///  - strict (default): throw std::runtime_error at the first malformed
+///    record — right for archived traces that are supposed to be clean.
+///  - recovering (ReadOptions::recovering()): skip garbled lines, tolerate
+///    a truncated tail, run trace::repair() on the salvage, and return a
+///    best-effort Trace plus a RecoveryReport. Never throws on malformed
+///    content; the worst case is a Fatal report with an empty Trace.
 
 #include <iosfwd>
 #include <string>
 
+#include "trace/diagnostics.hpp"
 #include "trace/trace.hpp"
 
 namespace logstruct::trace {
@@ -18,10 +27,29 @@ namespace logstruct::trace {
 void write_trace(const Trace& trace, std::ostream& out);
 
 /// Parse a trace written by write_trace. Throws std::runtime_error on
-/// malformed input.
+/// malformed input (strict mode; equivalent to ReadOptions::strict()).
 Trace read_trace(std::istream& in);
 
-/// Convenience file wrappers; return false / throw on I/O failure.
+/// Parse with explicit options. In recover mode, problems land in
+/// `report` instead of being thrown; see the file comment. In strict
+/// mode this behaves exactly like read_trace(std::istream&) and `report`
+/// stays empty on success.
+Trace read_trace(std::istream& in, const ReadOptions& options,
+                 RecoveryReport& report);
+
+/// File wrappers. Both report failure the same way: a structured
+/// DiagCode::IoError (or reader diagnostics) in `report`, never an
+/// exception. save_trace returns false iff the file could not be written;
+/// load_trace returns an empty Trace with report.fatal() set when the
+/// file is missing or (in strict-as-recover terms) unreadable.
+bool save_trace(const Trace& trace, const std::string& path,
+                RecoveryReport& report);
+Trace load_trace(const std::string& path, const ReadOptions& options,
+                 RecoveryReport& report);
+
+/// Historical conveniences: save_trace returns false on I/O failure
+/// (dropping the diagnostics); load_trace throws std::runtime_error when
+/// the file is missing or malformed.
 bool save_trace(const Trace& trace, const std::string& path);
 Trace load_trace(const std::string& path);
 

@@ -1,6 +1,7 @@
 #include "trace/projections.hpp"
 
 #include "trace/builder.hpp"
+#include "trace/repair.hpp"
 
 #include <algorithm>
 #include <fstream>
@@ -13,6 +14,10 @@
 namespace logstruct::trace {
 
 namespace {
+
+/// A garbled PES count must not make the reader probe millions of
+/// nonexistent log files.
+constexpr std::int64_t kMaxPes = 1 << 16;
 
 std::string log_path(const std::string& prefix, ProcId pe) {
   return prefix + "." + std::to_string(pe) + ".log";
@@ -27,6 +32,22 @@ std::string read_trailing_name(std::istringstream& line) {
   std::getline(line, name);
   if (!name.empty() && name.front() == ' ') name.erase(0, 1);
   return name;
+}
+
+bool try_read_trailing_name(std::istringstream& line, std::string* out) {
+  std::string sep;
+  line >> sep;
+  if (sep != "|") return false;
+  std::string name;
+  std::getline(line, name);
+  if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+  *out = std::move(name);
+  return true;
+}
+
+std::int32_t narrow_or_none(std::int64_t v) {
+  if (v < INT32_MIN || v > INT32_MAX) return kNone;
+  return static_cast<std::int32_t>(v);
 }
 
 }  // namespace
@@ -290,6 +311,310 @@ Trace read_projections(const std::string& prefix) {
   }
 
   return tb.finish(num_pes);
+}
+
+namespace {
+
+/// Recovering Projections parse: salvage into a RawTrace (synthetic
+/// sequential block/event ids, like the strict reader's two passes), then
+/// repair + freeze. Never throws on malformed content.
+Trace read_projections_recovering(const std::string& prefix,
+                                  RecoveryReport& report) {
+  RawTrace raw;
+  std::int64_t num_pes = 0;
+
+  {
+    std::ifstream sts(prefix + ".sts");
+    if (!sts) {
+      report.add(DiagCode::IoError, Severity::Fatal,
+                 "cannot open " + prefix + ".sts");
+      return build_trace(std::move(raw), 0);
+    }
+    std::string line;
+    std::int64_t lineno = 1;
+    std::getline(sts, line);
+    if (line.rfind("PROJECTIONS-STS", 0) != 0) {
+      report.add(DiagCode::BadHeader, Severity::Fatal,
+                 "not a Projections sts file", -1, 1);
+      return build_trace(std::move(raw), 0);
+    }
+    bool saw_end = false;
+    while (!saw_end && std::getline(sts, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      auto parse_error = [&](const char* what) {
+        report.add(DiagCode::ParseError, Severity::Warning,
+                   std::string("garbled sts ") + what + " record skipped",
+                   -1, lineno);
+      };
+      if (tag == "PES") {
+        std::int64_t n = 0;
+        ls >> n;
+        if (ls.fail() || n < 0) {
+          parse_error("PES");
+        } else if (n > kMaxPes) {
+          report.add(DiagCode::ParseError, Severity::Warning,
+                     "implausible PE count clamped", -1, lineno);
+          num_pes = kMaxPes;
+        } else {
+          num_pes = n;
+        }
+      } else if (tag == "ARRAY") {
+        RawRecord<ArrayInfo> r;
+        int runtime = 0;
+        ls >> r.id >> runtime;
+        if (ls.fail() || !try_read_trailing_name(ls, &r.info.name)) {
+          parse_error("ARRAY");
+          continue;
+        }
+        r.info.runtime = runtime != 0;
+        raw.arrays.push_back(std::move(r));
+      } else if (tag == "CHARE") {
+        RawRecord<ChareInfo> r;
+        std::int64_t array = 0, index = 0, home = 0;
+        int runtime = 0;
+        ls >> r.id >> array >> index >> home >> runtime;
+        if (ls.fail() || !try_read_trailing_name(ls, &r.info.name)) {
+          parse_error("CHARE");
+          continue;
+        }
+        r.info.array = narrow_or_none(array);
+        r.info.index = narrow_or_none(index);
+        r.info.home = narrow_or_none(home);
+        r.info.runtime = runtime != 0;
+        raw.chares.push_back(std::move(r));
+      } else if (tag == "ENTRY") {
+        RawRecord<EntryInfo> r;
+        std::int64_t sdag = 0, nwhen = 0;
+        int runtime = 0;
+        ls >> r.id >> runtime >> sdag >> nwhen;
+        if (ls.fail() || nwhen < 0 || nwhen > kMaxPes) {
+          parse_error("ENTRY");
+          continue;
+        }
+        r.info.runtime = runtime != 0;
+        r.info.sdag_serial = narrow_or_none(sdag);
+        r.info.when_entries.resize(static_cast<std::size_t>(nwhen));
+        std::int64_t w = 0;
+        for (auto& we : r.info.when_entries) {
+          ls >> w;
+          we = narrow_or_none(w);
+        }
+        if (ls.fail() || !try_read_trailing_name(ls, &r.info.name)) {
+          parse_error("ENTRY");
+          continue;
+        }
+        raw.entries.push_back(std::move(r));
+      } else if (tag == "END") {
+        saw_end = true;
+      } else {
+        report.add(DiagCode::UnknownRecord, Severity::Warning,
+                   "unknown sts record '" + tag + "' skipped", -1, lineno);
+      }
+    }
+    if (!saw_end)
+      report.add(DiagCode::TruncatedFile, Severity::Warning,
+                 "sts ended before END", -1, lineno);
+  }
+  raw.num_procs = static_cast<std::int32_t>(num_pes);
+
+  // Pass A: blocks and their CREATIONs, tolerating truncated/garbled
+  // logs. Block and event ids are synthetic and gap-free; file creation
+  // ids resolve through a map in pass B.
+  struct PendingRecv {
+    std::size_t block;       // index into raw.blocks
+    TimeNs begin;
+    std::int64_t src_event;  // file id of the matching creation, or -1
+  };
+  std::vector<PendingRecv> pending;
+  std::map<std::int64_t, std::int64_t> send_of_file_id;
+
+  for (ProcId pe = 0; pe < static_cast<ProcId>(num_pes); ++pe) {
+    std::ifstream log(log_path(prefix, pe));
+    if (!log) {
+      report.add(DiagCode::MissingLog, Severity::Error,
+                 "missing log for PE " + std::to_string(pe), pe);
+      continue;
+    }
+    std::string line;
+    std::int64_t lineno = 1;
+    std::getline(log, line);
+    if (line.rfind("PROJECTIONS", 0) != 0) {
+      report.add(DiagCode::BadHeader, Severity::Error,
+                 "log for PE " + std::to_string(pe) +
+                     " has no PROJECTIONS header; file skipped",
+                 pe, 1);
+      continue;
+    }
+
+    std::ptrdiff_t open = -1;  // index into raw.blocks, -1 when closed
+    TimeNs idle_begin = -1;
+    bool saw_end = false;
+    while (!saw_end && std::getline(log, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      auto parse_error = [&](const char* what) {
+        report.add(DiagCode::ParseError, Severity::Warning,
+                   std::string("garbled ") + what + " record skipped", pe,
+                   lineno);
+      };
+      if (tag == "BEGIN_PROCESSING") {
+        std::int64_t entry = 0, chare = 0, src = 0;
+        TimeNs time = 0;
+        int has_recv = 0;
+        ls >> entry >> time >> chare >> has_recv >> src;
+        if (ls.fail()) {
+          parse_error("BEGIN_PROCESSING");
+          continue;
+        }
+        if (open >= 0) {
+          // The previous block never saw its END_PROCESSING; leave it
+          // end-less for repair() to close.
+          report.add(DiagCode::UnmatchedScope, Severity::Warning,
+                     "BEGIN_PROCESSING while a block is open", pe, lineno);
+        }
+        RawBlock b;
+        b.id = static_cast<std::int64_t>(raw.blocks.size());
+        b.chare = chare;
+        b.proc = pe;
+        b.entry = entry;
+        b.begin = time;
+        b.end = time;
+        b.has_end = false;
+        open = static_cast<std::ptrdiff_t>(raw.blocks.size());
+        raw.blocks.push_back(b);
+        if (has_recv != 0)
+          pending.push_back(
+              {static_cast<std::size_t>(open), time, src});
+      } else if (tag == "CREATION") {
+        std::int64_t file_id = 0, entry = 0;
+        TimeNs time = 0;
+        ls >> file_id >> entry >> time;
+        (void)entry;
+        if (ls.fail()) {
+          parse_error("CREATION");
+          continue;
+        }
+        if (open < 0) {
+          report.add(DiagCode::UnmatchedScope, Severity::Warning,
+                     "CREATION outside any block; dropped", pe, lineno);
+          continue;
+        }
+        const std::int64_t ev = static_cast<std::int64_t>(raw.events.size());
+        if (!send_of_file_id.emplace(file_id, ev).second) {
+          report.add(DiagCode::DuplicateRecord, Severity::Warning,
+                     "duplicate creation id " + std::to_string(file_id) +
+                         "; later copy dropped",
+                     pe, lineno);
+          continue;
+        }
+        RawEvent e;
+        e.id = ev;
+        e.kind = EventKind::Send;
+        e.time = time;
+        e.block = static_cast<std::int64_t>(open);
+        e.partner = kNone;
+        raw.events.push_back(e);
+      } else if (tag == "END_PROCESSING") {
+        if (open < 0) {
+          report.add(DiagCode::UnmatchedScope, Severity::Warning,
+                     "END_PROCESSING with no open block", pe, lineno);
+          continue;
+        }
+        TimeNs end = 0;
+        ls >> end;
+        if (ls.fail()) {
+          parse_error("END_PROCESSING");
+        } else {
+          raw.blocks[static_cast<std::size_t>(open)].end = end;
+          raw.blocks[static_cast<std::size_t>(open)].has_end = true;
+        }
+        open = -1;
+      } else if (tag == "BEGIN_IDLE") {
+        TimeNs t = 0;
+        ls >> t;
+        if (ls.fail()) {
+          parse_error("BEGIN_IDLE");
+          continue;
+        }
+        if (idle_begin >= 0)
+          report.add(DiagCode::UnmatchedScope, Severity::Warning,
+                     "BEGIN_IDLE while idle; earlier span dropped", pe,
+                     lineno);
+        idle_begin = t;
+      } else if (tag == "END_IDLE") {
+        TimeNs t = 0;
+        ls >> t;
+        if (ls.fail()) {
+          parse_error("END_IDLE");
+          continue;
+        }
+        if (idle_begin < 0) {
+          report.add(DiagCode::UnmatchedScope, Severity::Warning,
+                     "END_IDLE with no open idle span", pe, lineno);
+          continue;
+        }
+        raw.idles.push_back(IdleSpan{pe, idle_begin, t});
+        idle_begin = -1;
+      } else if (tag == "END") {
+        saw_end = true;
+      } else {
+        report.add(DiagCode::UnknownRecord, Severity::Warning,
+                   "unknown log record '" + tag + "' skipped", pe, lineno);
+      }
+    }
+    if (!saw_end)
+      report.add(DiagCode::TruncatedFile, Severity::Warning,
+                 "log for PE " + std::to_string(pe) +
+                     " ended before END (crashed run?)",
+                 pe, lineno);
+    if (idle_begin >= 0)
+      report.add(DiagCode::UnmatchedScope, Severity::Warning,
+                 "BEGIN_IDLE never closed; span dropped", pe, lineno);
+    // An end-less open block is expected after truncation; repair()
+    // synthesizes its end from its events.
+  }
+
+  // Pass B: receives, in the order the strict reader emits them.
+  for (const PendingRecv& pr : pending) {
+    std::int64_t send = kNone;
+    if (pr.src_event >= 0) {
+      auto it = send_of_file_id.find(pr.src_event);
+      if (it == send_of_file_id.end()) {
+        report.add(DiagCode::DanglingReference, Severity::Warning,
+                   "recv references creation " +
+                       std::to_string(pr.src_event) +
+                       " that never materialized; dependency dropped");
+        raw.degraded_chares.push_back(raw.blocks[pr.block].chare);
+      } else {
+        send = it->second;
+      }
+    }
+    RawEvent e;
+    e.id = static_cast<std::int64_t>(raw.events.size());
+    e.kind = EventKind::Recv;
+    e.time = pr.begin;
+    e.block = static_cast<std::int64_t>(pr.block);
+    e.partner = send;
+    raw.events.push_back(e);
+  }
+
+  repair(raw, report);
+  return build_trace(std::move(raw), 0);
+}
+
+}  // namespace
+
+Trace read_projections(const std::string& prefix,
+                       const ReadOptions& options, RecoveryReport& report) {
+  if (options.recover) return read_projections_recovering(prefix, report);
+  return read_projections(prefix);
 }
 
 }  // namespace logstruct::trace

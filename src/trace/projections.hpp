@@ -26,6 +26,7 @@
 
 #include <string>
 
+#include "trace/diagnostics.hpp"
 #include "trace/trace.hpp"
 
 namespace logstruct::trace {
@@ -37,5 +38,15 @@ bool write_projections(const Trace& trace, const std::string& prefix);
 /// Read logs written by write_projections. Throws std::runtime_error on
 /// malformed input or missing files.
 Trace read_projections(const std::string& prefix);
+
+/// Read with explicit options. In ReadOptions::recovering() mode missing
+/// PE logs, truncated tails (crashed runs), garbled lines, and dangling
+/// creation references become diagnostics in `report` instead of
+/// exceptions; the salvage goes through trace::repair(). Never throws on
+/// malformed content — an unreadable/foreign .sts yields a Fatal report
+/// and an empty Trace. Strict mode behaves exactly like
+/// read_projections(prefix). See docs/ROBUSTNESS.md.
+Trace read_projections(const std::string& prefix,
+                       const ReadOptions& options, RecoveryReport& report);
 
 }  // namespace logstruct::trace

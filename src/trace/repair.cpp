@@ -1,0 +1,637 @@
+#include "trace/repair.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::trace {
+
+namespace {
+
+/// Ids beyond (table size + slack) are garbage, not gaps: stubbing or
+/// remapping them would let one flipped digit allocate unbounded memory.
+constexpr std::int64_t kIdSlack = 4096;
+
+/// Claimed processor counts above this are treated as garbled (the freeze
+/// allocates per-PE index lists).
+constexpr std::int32_t kMaxProcs = 1 << 20;
+
+/// Timestamps are clamped into ±2^53 ns (~104 days) so downstream sums
+/// and differences can never overflow, sanitizers included.
+constexpr TimeNs kTimeCap = TimeNs{1} << 53;
+
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+TimeNs clamp_time(TimeNs t, std::int64_t* clamped) {
+  if (t > kTimeCap) {
+    ++*clamped;
+    return kTimeCap;
+  }
+  if (t < -kTimeCap) {
+    ++*clamped;
+    return -kTimeCap;
+  }
+  return t;
+}
+
+/// Sort a raw table by claimed id (file order preserved within one id),
+/// drop duplicates and out-of-cap ids, and report gaps. Returns the
+/// number of distinct valid ids; `remap` (when non-null) receives
+/// claimed id -> dense index.
+template <typename Rec>
+std::int64_t normalize_ids(
+    std::vector<Rec>& recs, const char* what, RecoveryReport& report,
+    std::unordered_map<std::int64_t, std::int32_t>* remap) {
+  const std::int64_t cap =
+      static_cast<std::int64_t>(recs.size()) + kIdSlack;
+  std::vector<Rec> kept;
+  kept.reserve(recs.size());
+  for (Rec& r : recs) {
+    if (r.id < 0 || r.id >= cap) {
+      report.add(DiagCode::DroppedRecord, Severity::Warning,
+                 cat(what, " id ", r.id, " out of plausible range"));
+      continue;
+    }
+    kept.push_back(std::move(r));
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Rec& a, const Rec& b) { return a.id < b.id; });
+  std::vector<Rec> out;
+  out.reserve(kept.size());
+  std::int64_t prev = -1;
+  for (Rec& r : kept) {
+    if (r.id == prev) {
+      report.add(DiagCode::DeduplicatedRecord, Severity::Warning,
+                 cat("duplicate ", what, " id ", r.id, " dropped"));
+      continue;
+    }
+    if (prev >= 0 && r.id != prev + 1) {
+      report.add(DiagCode::NonSequentialId, Severity::Warning,
+                 cat(what, " ids skip from ", prev, " to ", r.id,
+                     " (lines lost)"));
+    }
+    prev = r.id;
+    out.push_back(std::move(r));
+  }
+  if (remap) {
+    remap->clear();
+    remap->reserve(out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      (*remap)[out[i].id] = static_cast<std::int32_t>(i);
+  }
+  recs = std::move(out);
+  return static_cast<std::int64_t>(recs.size());
+}
+
+/// Densify a metadata table, synthesizing placeholder records for gaps so
+/// surviving references by original id stay correct. `needed` extends the
+/// table when later records reference ids past the claimed maximum.
+template <typename Info>
+std::vector<Info> densify_meta(std::vector<RawRecord<Info>>& recs,
+                               std::int64_t needed, const char* what,
+                               RecoveryReport& report) {
+  std::int64_t size = recs.empty() ? 0 : recs.back().id + 1;
+  size = std::max(size, needed);
+  std::vector<Info> out(static_cast<std::size_t>(size));
+  std::vector<char> present(static_cast<std::size_t>(size), 0);
+  for (RawRecord<Info>& r : recs) {
+    out[static_cast<std::size_t>(r.id)] = std::move(r.info);
+    present[static_cast<std::size_t>(r.id)] = 1;
+  }
+  for (std::int64_t i = 0; i < size; ++i) {
+    if (present[static_cast<std::size_t>(i)]) continue;
+    out[static_cast<std::size_t>(i)].name = cat("<recovered ", what, ' ', i,
+                                                '>');
+    report.add(DiagCode::StubbedMetadata, Severity::Warning,
+               cat(what, ' ', i, " lost; placeholder synthesized"));
+  }
+  return out;
+}
+
+}  // namespace
+
+void repair(RawTrace& raw, RecoveryReport& report) {
+  OBS_SPAN_ANON("trace/repair");
+  std::int64_t clamped = 0;
+
+  // --- metadata tables: dedup, then densify with stubs -----------------
+  normalize_ids(raw.arrays, "array", report, nullptr);
+  normalize_ids(raw.chares, "chare", report, nullptr);
+  normalize_ids(raw.entries, "entry", report, nullptr);
+  normalize_ids(raw.blocks, "block", report, nullptr);
+
+  // References may name metadata ids whose defining lines were lost; the
+  // reference proves the record existed, so extend the stub range to
+  // cover it (within the anti-balloon cap).
+  const std::int64_t chare_cap =
+      static_cast<std::int64_t>(raw.chares.size()) + kIdSlack;
+  const std::int64_t entry_cap =
+      static_cast<std::int64_t>(raw.entries.size()) + kIdSlack;
+  const std::int64_t array_cap =
+      static_cast<std::int64_t>(raw.arrays.size()) + kIdSlack;
+  std::int64_t chares_needed = 0, entries_needed = 0, arrays_needed = 0;
+  for (const RawBlock& b : raw.blocks) {
+    if (b.chare >= 0 && b.chare < chare_cap)
+      chares_needed = std::max(chares_needed, b.chare + 1);
+    if (b.entry >= 0 && b.entry < entry_cap)
+      entries_needed = std::max(entries_needed, b.entry + 1);
+  }
+  for (const RawRecord<ChareInfo>& c : raw.chares) {
+    if (c.info.array != kNone && c.info.array >= 0 &&
+        c.info.array < array_cap)
+      arrays_needed = std::max(arrays_needed,
+                               static_cast<std::int64_t>(c.info.array) + 1);
+  }
+
+  std::vector<ArrayInfo> arrays =
+      densify_meta(raw.arrays, arrays_needed, "array", report);
+  std::vector<ChareInfo> chares =
+      densify_meta(raw.chares, chares_needed, "chare", report);
+  std::vector<EntryInfo> entries =
+      densify_meta(raw.entries, entries_needed, "entry", report);
+
+  // Fix intra-metadata references on the densified tables.
+  for (ChareInfo& c : chares) {
+    if (c.array != kNone &&
+        (c.array < 0 ||
+         static_cast<std::size_t>(c.array) >= arrays.size())) {
+      report.add(DiagCode::DanglingReference, Severity::Warning,
+                 cat("chare references lost array ", c.array));
+      c.array = kNone;
+    }
+  }
+  for (EntryInfo& e : entries) {
+    auto bad = [&](EntryId w) {
+      return w < 0 || static_cast<std::size_t>(w) >= entries.size();
+    };
+    for (EntryId w : e.when_entries) {
+      if (bad(w))
+        report.add(DiagCode::DanglingReference, Severity::Warning,
+                   cat("entry when-list references lost entry ", w));
+    }
+    e.when_entries.erase(
+        std::remove_if(e.when_entries.begin(), e.when_entries.end(), bad),
+        e.when_entries.end());
+    if (e.sdag_serial < -1) e.sdag_serial = -1;
+  }
+
+  // --- processor count --------------------------------------------------
+  if (raw.num_procs < 0 || raw.num_procs > kMaxProcs) {
+    report.add(DiagCode::ParseError, Severity::Warning,
+               cat("implausible processor count ", raw.num_procs,
+                   "; recomputing from content"));
+    raw.num_procs = 0;
+  }
+
+  // --- blocks: drop unusable ones, clamp spans --------------------------
+  const std::int32_t proc_cap = std::max(raw.num_procs, kMaxProcs);
+  std::unordered_map<std::int64_t, std::int32_t> block_remap;
+  {
+    std::vector<RawBlock> kept;
+    kept.reserve(raw.blocks.size());
+    for (RawBlock& b : raw.blocks) {
+      const bool bad_chare =
+          b.chare < 0 || static_cast<std::size_t>(b.chare) >= chares.size();
+      const bool bad_entry =
+          b.entry < 0 ||
+          static_cast<std::size_t>(b.entry) >= entries.size();
+      const bool bad_proc = b.proc < 0 || b.proc >= proc_cap;
+      if (bad_chare || bad_entry || bad_proc) {
+        report.add(DiagCode::DanglingReference, Severity::Error,
+                   cat("block ", b.id, " dropped: invalid ",
+                       bad_chare ? "chare" : bad_proc ? "proc" : "entry",
+                       " reference"));
+        continue;
+      }
+      b.begin = clamp_time(b.begin, &clamped);
+      b.end = clamp_time(b.end, &clamped);
+      if (b.has_end && b.end < b.begin) {
+        report.add(DiagCode::SynthesizedBlockEnd, Severity::Warning,
+                   cat("block ", b.id, " ended before it began; end reset"));
+        b.has_end = false;
+        b.end = b.begin;
+      }
+      kept.push_back(std::move(b));
+    }
+    raw.blocks = std::move(kept);
+    block_remap.reserve(raw.blocks.size());
+    for (std::size_t i = 0; i < raw.blocks.size(); ++i)
+      block_remap[raw.blocks[i].id] = static_cast<std::int32_t>(i);
+    raw.num_procs = std::max(raw.num_procs, 0);
+    for (const RawBlock& b : raw.blocks)
+      raw.num_procs = std::max(raw.num_procs, b.proc + 1);
+  }
+
+  // --- events: dedup/densify, remap block refs, clamp times ------------
+  std::unordered_map<std::int64_t, std::int32_t> event_remap;
+  normalize_ids(raw.events, "event", report, nullptr);
+  {
+    std::vector<RawEvent> kept;
+    kept.reserve(raw.events.size());
+    for (RawEvent& e : raw.events) {
+      auto it = block_remap.find(e.block);
+      if (it == block_remap.end()) {
+        report.add(DiagCode::DanglingReference, Severity::Error,
+                   cat("event ", e.id, " dropped: its block ", e.block,
+                       " was lost"));
+        continue;
+      }
+      e.block = it->second;
+      e.time = clamp_time(e.time, &clamped);
+      kept.push_back(std::move(e));
+    }
+    raw.events = std::move(kept);
+    event_remap.reserve(raw.events.size());
+    for (std::size_t i = 0; i < raw.events.size(); ++i)
+      event_remap[raw.events[i].id] = static_cast<std::int32_t>(i);
+  }
+
+  auto mark_degraded = [&](std::int64_t chare) {
+    if (chare >= 0 && static_cast<std::size_t>(chare) < chares.size())
+      raw.degraded_chares.push_back(chare);
+  };
+
+  // Partner references live on the receive side (send-side values are
+  // rebuilt at freeze). A partner that was lost, or that is not a send,
+  // degrades to the untraced-dependency case the pipeline already
+  // handles — and quarantines the chares involved.
+  for (std::size_t i = 0; i < raw.events.size(); ++i) {
+    RawEvent& e = raw.events[i];
+    if (e.kind != EventKind::Recv) {
+      e.partner = kNone;  // rebuilt from the recv side
+      continue;
+    }
+    if (e.partner == kNone) continue;
+    auto it = event_remap.find(e.partner);
+    const std::int64_t recv_chare =
+        raw.blocks[static_cast<std::size_t>(e.block)].chare;
+    if (it == event_remap.end()) {
+      report.add(DiagCode::DroppedDanglingPartner, Severity::Warning,
+                 cat("recv ", e.id, " lost its matching send ", e.partner));
+      e.partner = kNone;
+      mark_degraded(recv_chare);
+      continue;
+    }
+    const RawEvent& s = raw.events[static_cast<std::size_t>(it->second)];
+    if (s.kind != EventKind::Send ||
+        it->second == static_cast<std::int32_t>(i)) {
+      report.add(DiagCode::DroppedDanglingPartner, Severity::Warning,
+                 cat("recv ", e.id, " partnered with a non-send; match "
+                     "dropped"));
+      e.partner = kNone;
+      mark_degraded(recv_chare);
+      continue;
+    }
+    e.partner = it->second;
+  }
+
+  // --- per-block event containment and block-end synthesis -------------
+  {
+    std::vector<std::vector<std::int32_t>> events_of_block(
+        raw.blocks.size());
+    for (std::size_t i = 0; i < raw.events.size(); ++i)
+      events_of_block[static_cast<std::size_t>(raw.events[i].block)]
+          .push_back(static_cast<std::int32_t>(i));
+    for (std::size_t b = 0; b < raw.blocks.size(); ++b) {
+      RawBlock& blk = raw.blocks[b];
+      if (!blk.has_end) {
+        TimeNs end = blk.begin;
+        for (std::int32_t ei : events_of_block[b])
+          end = std::max(end, raw.events[static_cast<std::size_t>(ei)].time);
+        blk.end = end;
+        blk.has_end = true;
+        report.add(DiagCode::SynthesizedBlockEnd, Severity::Warning,
+                   cat("block ", blk.id, " end synthesized at t=", end,
+                       " (log truncated)"));
+      }
+      for (std::int32_t ei : events_of_block[b]) {
+        RawEvent& e = raw.events[static_cast<std::size_t>(ei)];
+        const TimeNs fixed = std::clamp(e.time, blk.begin, blk.end);
+        if (fixed != e.time) {
+          report.add(DiagCode::ClampedTimestamp, Severity::Warning,
+                     cat("event ", e.id, " at t=", e.time,
+                         " clamped into its block span [", blk.begin, ",",
+                         blk.end, "]"));
+          e.time = fixed;
+        }
+      }
+    }
+  }
+
+  // --- per-proc block overlap resolution --------------------------------
+  // A perturbed begin/end line (or a synthesized end) can make two
+  // serial blocks on one PE overlap, which no real execution produces.
+  // Sweep each PE's blocks in the (begin, id) order Trace::freeze uses
+  // and push an overlapping begin up to its predecessor's end. A clamp
+  // can change the sort order, so repeat until a sweep finds nothing;
+  // every clamp strictly increases a begin bounded by the max end, so
+  // this terminates. Runs after end synthesis (which can extend spans)
+  // and re-contains events itself — the block-level diagnostic covers
+  // the events dragged along with the span.
+  {
+    std::vector<std::size_t> order(raw.blocks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    bool moved_any = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const RawBlock& ba = raw.blocks[a];
+                  const RawBlock& bb = raw.blocks[b];
+                  if (ba.proc != bb.proc) return ba.proc < bb.proc;
+                  if (ba.begin != bb.begin) return ba.begin < bb.begin;
+                  return a < b;
+                });
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        const RawBlock& prev = raw.blocks[order[i - 1]];
+        RawBlock& cur = raw.blocks[order[i]];
+        if (cur.proc != prev.proc || cur.begin >= prev.end) continue;
+        report.add(DiagCode::ClampedTimestamp, Severity::Warning,
+                   cat("block ", cur.id, " began at t=", cur.begin,
+                       " inside block ", prev.id, " on proc ", cur.proc,
+                       "; begin clamped to t=", prev.end));
+        cur.begin = prev.end;
+        if (cur.end < cur.begin) cur.end = cur.begin;
+        changed = true;
+        moved_any = true;
+      }
+    }
+    if (moved_any) {
+      for (RawEvent& e : raw.events) {
+        const RawBlock& blk = raw.blocks[static_cast<std::size_t>(e.block)];
+        e.time = std::clamp(e.time, blk.begin, blk.end);
+      }
+    }
+  }
+
+  // --- causality: a recv may not precede its send -----------------------
+  for (RawEvent& e : raw.events) {
+    if (e.kind != EventKind::Recv || e.partner == kNone) continue;
+    const RawEvent& s = raw.events[static_cast<std::size_t>(e.partner)];
+    if (s.time <= e.time) continue;
+    const RawBlock& blk = raw.blocks[static_cast<std::size_t>(e.block)];
+    if (s.time <= blk.end) {
+      report.add(DiagCode::ClampedTimestamp, Severity::Warning,
+                 cat("recv ", e.id, " at t=", e.time,
+                     " preceded its send; clamped to t=", s.time));
+      e.time = s.time;
+    } else {
+      // Clamping would push the recv outside its block; the match cannot
+      // be salvaged without breaking well-formedness.
+      report.add(DiagCode::DroppedDanglingPartner, Severity::Warning,
+                 cat("recv ", e.id, " precedes its send by more than its "
+                     "block span; match dropped"));
+      mark_degraded(blk.chare);
+      mark_degraded(raw.blocks[static_cast<std::size_t>(s.block)].chare);
+      e.partner = kNone;
+    }
+  }
+
+  // --- idle spans: range, duplicates, per-proc overlap ------------------
+  {
+    std::vector<IdleSpan> kept;
+    kept.reserve(raw.idles.size());
+    for (IdleSpan s : raw.idles) {
+      s.begin = clamp_time(s.begin, &clamped);
+      s.end = clamp_time(s.end, &clamped);
+      if (s.proc < 0 || s.proc >= proc_cap || s.end <= s.begin) {
+        report.add(DiagCode::DroppedRecord, Severity::Warning,
+                   cat("idle span on proc ", s.proc,
+                       " dropped (empty or invalid)"));
+        continue;
+      }
+      raw.num_procs = std::max(raw.num_procs, s.proc + 1);
+      kept.push_back(s);
+    }
+    // Overlap/duplicate pass over a (proc, begin) sorted view; output
+    // order stays the file order (write_trace round-trips).
+    std::vector<std::int32_t> order(kept.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+      order[i] = static_cast<std::int32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       const IdleSpan& x = kept[static_cast<std::size_t>(a)];
+                       const IdleSpan& y = kept[static_cast<std::size_t>(b)];
+                       if (x.proc != y.proc) return x.proc < y.proc;
+                       if (x.begin != y.begin) return x.begin < y.begin;
+                       return x.end < y.end;
+                     });
+    std::vector<char> drop(kept.size(), 0);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      IdleSpan& prev = kept[static_cast<std::size_t>(order[i - 1])];
+      IdleSpan& cur = kept[static_cast<std::size_t>(order[i])];
+      if (cur.proc != prev.proc) continue;
+      if (cur.begin == prev.begin && cur.end == prev.end) {
+        report.add(DiagCode::DeduplicatedRecord, Severity::Warning,
+                   cat("duplicate idle span on proc ", cur.proc,
+                       " dropped"));
+        drop[static_cast<std::size_t>(order[i])] = 1;
+        // Keep prev as the comparison anchor for the next span.
+        order[i] = order[i - 1];
+        continue;
+      }
+      if (cur.begin < prev.end) {
+        if (cur.end <= prev.end) {
+          report.add(DiagCode::DroppedRecord, Severity::Warning,
+                     cat("idle span on proc ", cur.proc,
+                         " nested inside another; dropped"));
+          drop[static_cast<std::size_t>(order[i])] = 1;
+          order[i] = order[i - 1];
+        } else {
+          report.add(DiagCode::ClampedTimestamp, Severity::Warning,
+                     cat("overlapping idle spans on proc ", cur.proc,
+                         "; begin clamped to t=", prev.end));
+          cur.begin = prev.end;
+        }
+      }
+    }
+    std::vector<IdleSpan> out;
+    out.reserve(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i)
+      if (!drop[i]) out.push_back(kept[i]);
+    raw.idles = std::move(out);
+  }
+
+  // --- collectives: remap members, enforce member kinds -----------------
+  {
+    std::vector<RawCollective> kept;
+    kept.reserve(raw.collectives.size());
+    for (RawCollective& coll : raw.collectives) {
+      RawCollective fixed;
+      auto remap_members = [&](const std::vector<std::int64_t>& in,
+                               EventKind want,
+                               std::vector<std::int64_t>& out) {
+        for (std::int64_t m : in) {
+          auto it = event_remap.find(m);
+          if (it == event_remap.end() ||
+              raw.events[static_cast<std::size_t>(it->second)].kind !=
+                  want) {
+            report.add(DiagCode::DanglingReference, Severity::Warning,
+                       cat("collective member ", m,
+                           " lost or wrong kind; dropped"));
+            continue;
+          }
+          out.push_back(it->second);
+        }
+      };
+      remap_members(coll.sends, EventKind::Send, fixed.sends);
+      remap_members(coll.recvs, EventKind::Recv, fixed.recvs);
+      if (fixed.sends.empty() && fixed.recvs.empty()) {
+        if (!coll.sends.empty() || !coll.recvs.empty())
+          report.add(DiagCode::DroppedRecord, Severity::Warning,
+                     "collective dropped: every member was lost");
+        continue;
+      }
+      kept.push_back(std::move(fixed));
+    }
+    raw.collectives = std::move(kept);
+  }
+
+  if (clamped > 0)
+    report.add(DiagCode::ClampedTimestamp, Severity::Warning,
+               cat(clamped, " timestamp(s) outside the sane range were "
+                   "clamped"));
+
+  // Stash the densified metadata back through the raw record vectors so
+  // build_trace can move it out.
+  raw.arrays.clear();
+  for (std::size_t i = 0; i < arrays.size(); ++i)
+    raw.arrays.push_back({static_cast<std::int64_t>(i),
+                          std::move(arrays[i])});
+  raw.chares.clear();
+  for (std::size_t i = 0; i < chares.size(); ++i)
+    raw.chares.push_back({static_cast<std::int64_t>(i),
+                          std::move(chares[i])});
+  raw.entries.clear();
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    raw.entries.push_back({static_cast<std::int64_t>(i),
+                           std::move(entries[i])});
+
+  // Degraded set: dedup, bound-check.
+  std::sort(raw.degraded_chares.begin(), raw.degraded_chares.end());
+  raw.degraded_chares.erase(std::unique(raw.degraded_chares.begin(),
+                                        raw.degraded_chares.end()),
+                            raw.degraded_chares.end());
+}
+
+Trace build_trace(RawTrace&& raw, int threads) {
+  Trace trace;
+  trace.num_procs_ = raw.num_procs;
+  trace.arrays_.reserve(raw.arrays.size());
+  for (auto& r : raw.arrays) trace.arrays_.push_back(std::move(r.info));
+  trace.chares_.reserve(raw.chares.size());
+  for (auto& r : raw.chares) trace.chares_.push_back(std::move(r.info));
+  trace.entries_.reserve(raw.entries.size());
+  for (auto& r : raw.entries) trace.entries_.push_back(std::move(r.info));
+
+  trace.blocks_.reserve(raw.blocks.size());
+  for (const RawBlock& b : raw.blocks) {
+    LS_CHECK_MSG(b.chare >= 0 && static_cast<std::size_t>(b.chare) <
+                                     trace.chares_.size(),
+                 "build_trace: unrepaired chare reference");
+    LS_CHECK_MSG(b.entry >= 0 && static_cast<std::size_t>(b.entry) <
+                                     trace.entries_.size(),
+                 "build_trace: unrepaired entry reference");
+    SerialBlock blk;
+    blk.chare = static_cast<ChareId>(b.chare);
+    blk.proc = b.proc;
+    blk.entry = static_cast<EntryId>(b.entry);
+    blk.begin = b.begin;
+    blk.end = b.end;
+    trace.blocks_.push_back(std::move(blk));
+  }
+
+  trace.events_.reserve(raw.events.size());
+  for (std::size_t i = 0; i < raw.events.size(); ++i) {
+    const RawEvent& re = raw.events[i];
+    LS_CHECK_MSG(re.block >= 0 && static_cast<std::size_t>(re.block) <
+                                      trace.blocks_.size(),
+                 "build_trace: unrepaired block reference");
+    SerialBlock& blk = trace.blocks_[static_cast<std::size_t>(re.block)];
+    Event e;
+    e.kind = re.kind;
+    e.time = re.time;
+    e.block = static_cast<BlockId>(re.block);
+    e.chare = blk.chare;
+    e.proc = blk.proc;
+    e.partner =
+        re.partner == kNone ? kNone : static_cast<EventId>(re.partner);
+    trace.events_.push_back(e);
+    blk.events.push_back(static_cast<EventId>(i));
+  }
+
+  // Within-block order is by time (ties keep file order); identical to
+  // the historical id-order lists for well-formed input, where id order
+  // is already time-sorted. The trigger is the first receive.
+  for (SerialBlock& blk : trace.blocks_) {
+    std::stable_sort(blk.events.begin(), blk.events.end(),
+                     [&](EventId a, EventId b) {
+                       return trace.events_[static_cast<std::size_t>(a)]
+                                  .time <
+                              trace.events_[static_cast<std::size_t>(b)]
+                                  .time;
+                     });
+    for (EventId e : blk.events) {
+      if (trace.events_[static_cast<std::size_t>(e)].kind ==
+          EventKind::Recv) {
+        blk.trigger = e;
+        break;
+      }
+    }
+  }
+
+  // Send-side matching rebuilt from the recv side, in recv id order (the
+  // same order the strict reader produces).
+  for (EventId id = 0; id < static_cast<EventId>(trace.events_.size());
+       ++id) {
+    Event& e = trace.events_[static_cast<std::size_t>(id)];
+    if (e.kind != EventKind::Recv || e.partner == kNone) continue;
+    LS_CHECK_MSG(e.partner >= 0 && static_cast<std::size_t>(e.partner) <
+                                       trace.events_.size(),
+                 "build_trace: unrepaired partner reference");
+    Event& s = trace.events_[static_cast<std::size_t>(e.partner)];
+    LS_CHECK_MSG(s.kind == EventKind::Send,
+                 "build_trace: unrepaired partner kind");
+    if (s.partner == kNone) {
+      s.partner = id;
+    } else if (s.partner != id) {
+      trace.fanout_[e.partner].push_back(id);
+    }
+  }
+
+  trace.collectives_.reserve(raw.collectives.size());
+  for (const RawCollective& coll : raw.collectives) {
+    Collective c;
+    c.sends.reserve(coll.sends.size());
+    for (std::int64_t s : coll.sends)
+      c.sends.push_back(static_cast<EventId>(s));
+    c.recvs.reserve(coll.recvs.size());
+    for (std::int64_t r : coll.recvs)
+      c.recvs.push_back(static_cast<EventId>(r));
+    trace.collectives_.push_back(std::move(c));
+  }
+
+  trace.idles_ = std::move(raw.idles);
+
+  if (!raw.degraded_chares.empty()) {
+    trace.degraded_chare_.assign(trace.chares_.size(), 0);
+    for (std::int64_t c : raw.degraded_chares) {
+      if (c >= 0 && static_cast<std::size_t>(c) < trace.chares_.size())
+        trace.degraded_chare_[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+
+  trace.freeze(threads);
+  return trace;
+}
+
+}  // namespace logstruct::trace

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file repair.hpp
+/// Salvage-to-well-formedness: the RawTrace intermediate and repair().
+///
+/// A recovering reader (io.hpp, projections.hpp in ReadOptions::recover
+/// mode) parses whatever lines survive into a RawTrace — records keep the
+/// ids the file claimed, so dropped/duplicated/reordered lines are visible
+/// as gaps and collisions. repair() then turns that salvage into data the
+/// strict pipeline can trust:
+///
+///   - duplicate ids            -> later copies dropped (first one wins)
+///   - gaps in metadata tables  -> placeholder arrays/chares/entries so
+///                                 surviving references stay valid
+///   - gaps in block/event ids  -> dense renumbering; references remapped
+///   - dangling references      -> events of lost blocks dropped; lost
+///                                 send/recv partners become kNone (the
+///                                 untraced-dependency case the pipeline
+///                                 already handles); the affected chares
+///                                 are flagged degraded
+///   - missing/invalid block end-> synthesized from the block's events
+///   - out-of-order timestamps  -> clamped into the block span / after
+///                                 the matching send
+///   - duplicate idle spans and overlapping idles -> deduplicated/clamped
+///
+/// Every fix is counted in the RecoveryReport (and, via
+/// RecoveryReport::export_counters, in the `trace/recovery/*` obs
+/// counters). For well-formed input repair() is the identity and
+/// build_trace() reproduces the strict reader's Trace bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/diagnostics.hpp"
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::trace {
+
+/// One metadata record as read, with the id the file claimed.
+template <typename Info>
+struct RawRecord {
+  std::int64_t id = -1;
+  Info info;
+};
+
+/// A serial block as read. `has_end` is false when the end marker was
+/// lost (truncated PE log).
+struct RawBlock {
+  std::int64_t id = -1;
+  std::int64_t chare = -1;
+  ProcId proc = -1;
+  std::int64_t entry = -1;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  bool has_end = true;
+};
+
+/// A dependency event as read. `block` and `partner` are file-claimed ids.
+struct RawEvent {
+  std::int64_t id = -1;
+  EventKind kind = EventKind::Send;
+  TimeNs time = 0;
+  std::int64_t block = -1;
+  std::int64_t partner = -1;
+};
+
+/// A collective as read; members are file-claimed event ids.
+struct RawCollective {
+  std::vector<std::int64_t> sends;
+  std::vector<std::int64_t> recvs;
+};
+
+/// The mutable pre-freeze representation both recovering readers fill.
+struct RawTrace {
+  std::int32_t num_procs = 0;
+  std::vector<RawRecord<ArrayInfo>> arrays;
+  std::vector<RawRecord<ChareInfo>> chares;
+  std::vector<RawRecord<EntryInfo>> entries;
+  std::vector<RawBlock> blocks;
+  std::vector<RawEvent> events;
+  std::vector<IdleSpan> idles;
+  std::vector<RawCollective> collectives;
+  /// Chares flagged degraded by the reader (repair() adds its own).
+  std::vector<std::int64_t> degraded_chares;
+};
+
+/// Repair `raw` in place until it satisfies every structural rule
+/// trace::validate() checks, recording one diagnostic per fix. Safe on
+/// arbitrary salvage; a no-op (zero fixes) on well-formed input.
+void repair(RawTrace& raw, RecoveryReport& report);
+
+/// Freeze a *repaired* RawTrace into a Trace. Precondition: repair() ran
+/// (or the raw data came from a well-formed file); violations of the
+/// structural rules here are programming errors, not input errors.
+/// `threads` fans out the freeze (0 = default parallelism).
+Trace build_trace(RawTrace&& raw, int threads = 0);
+
+}  // namespace logstruct::trace

@@ -47,6 +47,12 @@ TimeNs Trace::total_idle(ProcId p) const {
   return total;
 }
 
+std::int32_t Trace::num_degraded_chares() const {
+  std::int32_t n = 0;
+  for (std::uint8_t d : degraded_chare_) n += d != 0;
+  return n;
+}
+
 TimeNs Trace::end_time() const {
   TimeNs t = 0;
   for (const SerialBlock& b : blocks_) t = std::max(t, b.end);

@@ -23,10 +23,12 @@ namespace logstruct::trace {
 
 class TraceBuilder;
 class Trace;
+struct RawTrace;
 
-/// Declared here for friendship; see skew.hpp / io.hpp.
+/// Declared here for friendship; see skew.hpp / io.hpp / repair.hpp.
 Trace apply_clock_skew(const Trace& trace, std::span<const TimeNs> delta);
 Trace read_trace(std::istream& in);
+Trace build_trace(RawTrace&& raw, int threads);
 
 /// Provenance of one row in the flat dependency table.
 enum class DepKind : std::uint8_t {
@@ -133,6 +135,19 @@ class Trace {
     return chares_[static_cast<std::size_t>(id)].runtime;
   }
 
+  // --- recovery provenance ----------------------------------------------
+  /// True iff trace-level recovery (trace::repair / a recovering reader)
+  /// altered this chare's dependencies — dropped a partner, removed an
+  /// event or block. Downstream passes quarantine such chares instead of
+  /// trusting their structure (order::PhaseResult::degraded).
+  [[nodiscard]] bool is_degraded_chare(ChareId id) const {
+    return !degraded_chare_.empty() &&
+           degraded_chare_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  /// Number of chares flagged degraded by recovery (0 for clean traces).
+  [[nodiscard]] std::int32_t num_degraded_chares() const;
+
   /// Events per chare in physical-time order (ties broken by id).
   [[nodiscard]] std::span<const EventId> events_of_chare(ChareId c) const {
     return chare_events_[static_cast<std::size_t>(c)];
@@ -149,6 +164,7 @@ class Trace {
   friend Trace apply_clock_skew(const Trace& trace,
                                 std::span<const TimeNs> delta);
   friend Trace read_trace(std::istream& in);
+  friend Trace build_trace(RawTrace&& raw, int threads);
 
   /// Build derived indices; called once by TraceBuilder::finish().
   /// `threads` fans the per-list sorts and the dependency-table fill out
@@ -165,6 +181,10 @@ class Trace {
   std::vector<Collective> collectives_;
   std::unordered_map<EventId, std::vector<EventId>> fanout_;
   std::int32_t num_procs_ = 0;
+
+  /// Per chare, 1 iff recovery repaired its dependencies away; empty for
+  /// traces that never went through repair (the common case).
+  std::vector<std::uint8_t> degraded_chare_;
 
   // derived
   std::vector<std::vector<BlockId>> chare_blocks_;

@@ -1,10 +1,12 @@
 #include "trace/validate.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
+#include "util/flags.hpp"
 
 namespace logstruct::trace {
 
@@ -126,6 +128,22 @@ std::vector<std::string> validate(const Trace& trace) {
               {"first", out.front()}});
   }
   return out;
+}
+
+bool validate_cli(const util::Flags& flags, const Trace& trace,
+                  const std::string& label) {
+  if (!flags.defined("validate") || !flags.get_bool("validate")) return true;
+  const std::vector<std::string> problems = validate(trace);
+  if (problems.empty()) {
+    std::fprintf(stderr, "[validate] %s: ok (%d events, %d blocks)\n",
+                 label.c_str(), trace.num_events(), trace.num_blocks());
+    return true;
+  }
+  std::fprintf(stderr, "[validate] %s: %zu problem(s)\n", label.c_str(),
+               problems.size());
+  for (const std::string& p : problems)
+    std::fprintf(stderr, "[validate] %s: %s\n", label.c_str(), p.c_str());
+  return false;
 }
 
 }  // namespace logstruct::trace

@@ -12,6 +12,10 @@
 
 #include "trace/trace.hpp"
 
+namespace logstruct::util {
+class Flags;
+}
+
 namespace logstruct::trace {
 
 /// Returns a list of problems; empty means the trace is well-formed.
@@ -20,5 +24,14 @@ namespace logstruct::trace {
 /// triggers are receives owned by their block, idle spans positive and
 /// non-overlapping per processor, collective members have the right kinds.
 std::vector<std::string> validate(const Trace& trace);
+
+/// Shared harness hook for the `--validate` flag (defined by
+/// util::define_obs_flags). When the flag is off, does nothing and
+/// returns true. When on, runs validate() on `trace`, prints every
+/// problem to stderr prefixed with `label`, and returns whether the
+/// trace was clean. Harnesses call it once per ingested trace:
+///   if (!trace::validate_cli(flags, tr, "jacobi")) return 1;
+bool validate_cli(const util::Flags& flags, const Trace& trace,
+                  const std::string& label);
 
 }  // namespace logstruct::trace

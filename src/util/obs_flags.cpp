@@ -83,6 +83,9 @@ void define_obs_flags(Flags& flags) {
                    "worker threads for the parallel pipeline stages "
                    "(0 = all hardware threads); results are "
                    "bit-identical for any value");
+  flags.define_bool("validate", false,
+                    "run trace::validate() on every ingested trace and "
+                    "print any structural problems");
 }
 
 void apply_obs_flags(const Flags& flags) {
@@ -117,10 +120,25 @@ std::string obs_sidecar_json(const std::string& program) {
   auto agg = aggregate_spans(spans);
   const obs::MemStats mem = obs::read_mem_stats();
 
+  // Recovery counters (fault-tolerant ingestion + degraded-quarantine
+  // passes) are surfaced as their own top-level object so CI fuzz jobs
+  // and obs_to_table.py --check can find them without walking the full
+  // metrics dump.
+  const obs::RegistrySnapshot reg = obs::Registry::global().snapshot();
+  std::int64_t recovery_total = 0;
+  std::vector<std::pair<std::string, std::int64_t>> recovery;
+  for (const auto& [name, value] : reg.counters) {
+    if (name.rfind("trace/recovery/", 0) == 0 ||
+        name.rfind("order/degraded", 0) == 0) {
+      recovery.emplace_back(name, value);
+      recovery_total += value;
+    }
+  }
+
   obs::json::Writer w;
   w.begin_object();
   w.key("schema");
-  w.value("logstruct-obs-sidecar/v2");
+  w.value("logstruct-obs-sidecar/v3");
   w.key("program");
   w.value(program);
   w.key("obs_compiled");
@@ -148,6 +166,18 @@ std::string obs_sidecar_json(const std::string& program) {
     w.value(a.alloc_bytes);
     w.end_object();
   }
+  w.end_object();
+  w.key("recovery");
+  w.begin_object();
+  w.key("total");
+  w.value(recovery_total);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : recovery) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
   w.end_object();
   w.key("spans");
   w.raw(tracer.to_json());

@@ -17,8 +17,10 @@
 ///                (total and self time; shares are of self time so the
 ///                column sums to 100% despite span nesting).
 /// --obs-json=p   writes the machine-readable telemetry sidecar to p
-///                (schema logstruct-obs-sidecar/v2, see
-///                docs/OBSERVABILITY.md).
+///                (schema logstruct-obs-sidecar/v3, see
+///                docs/OBSERVABILITY.md; v3 adds the `recovery` object
+///                with the trace/recovery/* and order/degraded*
+///                counters).
 /// --obs-chrome=p writes a Chrome trace-event JSON file to p, loadable
 ///                in Perfetto / chrome://tracing.
 /// --log-level=l  debug|info|warn|error for the structured logger.
@@ -28,6 +30,10 @@
 ///                default 1 keeps harnesses fully serial. Results are
 ///                bit-identical for any value (see
 ///                docs/ARCHITECTURE.md, "Parallel execution").
+/// --validate     run trace::validate() on every trace a harness ingests
+///                and print structural problems (see
+///                trace::validate_cli, which harnesses call with the
+///                parsed flags).
 
 #include <string>
 

@@ -28,12 +28,17 @@ TEST(ObsSidecar, JsonParsesAndCarriesStages) {
   std::string err;
   ASSERT_TRUE(obs::json::parse(doc, v, &err)) << err;
   EXPECT_EQ(v.at("program").string, "sidecar_test");
-  EXPECT_EQ(v.at("schema").string, "logstruct-obs-sidecar/v2");
+  EXPECT_EQ(v.at("schema").string, "logstruct-obs-sidecar/v3");
   ASSERT_EQ(v.at("obs_compiled").kind, obs::json::Value::Kind::Bool);
   // v2 run-level memory accounting fields always exist (0 off-Linux).
   EXPECT_GE(v.at("peak_rss_kb").as_int(), 0);
   EXPECT_GE(v.at("current_rss_kb").as_int(), 0);
   ASSERT_EQ(v.at("alloc_hook").kind, obs::json::Value::Kind::Bool);
+  // v3 recovery accounting: present on every sidecar, zero for the
+  // clean pipeline exercised here.
+  ASSERT_TRUE(v.has("recovery"));
+  EXPECT_EQ(v.at("recovery").at("total").as_int(), 0);
+  ASSERT_TRUE(v.at("recovery").at("counters").is_object());
 
 #if LOGSTRUCT_OBS
   EXPECT_TRUE(v.at("obs_compiled").boolean);

@@ -1,0 +1,189 @@
+/// Fault-injection property tests for the whole ingestion pipeline:
+/// serialize a golden workload, damage it with the deterministic
+/// TraceCorruptor, and push the wreckage through recover → repair →
+/// extract_structure. The properties are the tentpole guarantees:
+///
+///   1. never crash, never throw, always terminate;
+///   2. the RecoveryReport accounts for every injected fault class;
+///   3. the salvaged trace validates and survives phase extraction;
+///   4. an UNcorrupted recovering read is bit-identical to the strict
+///      path — the 12 golden structure hashes, at 1 and 4 threads;
+///   5. degraded chares quarantine phases instead of aborting (and DO
+///      abort under Options::allow_degraded = false).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "golden_fixtures.hpp"
+#include "order/stepping.hpp"
+#include "trace/corruptor.hpp"
+#include "trace/diagnostics.hpp"
+#include "trace/io.hpp"
+#include "trace/repair.hpp"
+#include "trace/validate.hpp"
+
+namespace logstruct::order {
+namespace {
+
+using golden::Golden;
+using golden::kGoldens;
+using golden::ScopedDefaultParallelism;
+using golden::structure_hash;
+using trace::DiagCode;
+using trace::FaultKind;
+using trace::ReadOptions;
+using trace::RecoveryReport;
+using trace::TraceCorruptor;
+
+std::string serialize(const trace::Trace& t) {
+  std::ostringstream os;
+  trace::write_trace(t, os);
+  return os.str();
+}
+
+/// The three workloads the corruption matrix runs over: enough diversity
+/// (stencil, unstructured, speculative) to exercise every repair path
+/// while staying fast on one core.
+const Golden& workload(int i) {
+  static const Golden* const kSubset[] = {
+      &kGoldens[0],   // jacobi2d/charm
+      &kGoldens[2],   // lulesh/charm
+      &kGoldens[11],  // pdes/charm
+  };
+  return *kSubset[i];
+}
+constexpr int kNumWorkloads = 3;
+
+/// Does the report account for this fault class? Each corruptor fault
+/// has at least one diagnostic code it MUST surface as; anything else
+/// counted on top is fine.
+bool accounted(FaultKind kind, const RecoveryReport& r) {
+  switch (kind) {
+    case FaultKind::DropLines:
+    case FaultKind::FlipBytes:
+    case FaultKind::PerturbTimestamps:
+      // Damage scattered across arbitrary record types: any non-empty
+      // report accounts for it (sequential ids make drops visible, and
+      // perturbed timestamps exceed every block span).
+      return r.total() > 0;
+    case FaultKind::TruncateTail:
+      return r.count(DiagCode::TruncatedFile) >= 1;
+    case FaultKind::DuplicateLines:
+      return r.count(DiagCode::DuplicateRecord) +
+                 r.count(DiagCode::DeduplicatedRecord) >=
+             1;
+  }
+  return false;
+}
+
+TEST(FaultInjection, CorruptionMatrixNeverCrashesAndIsAccounted) {
+  for (int w = 0; w < kNumWorkloads; ++w) {
+    const Golden& g = workload(w);
+    const std::string clean = serialize(g.make());
+    for (int k = 0; k < trace::kNumFaultKinds; ++k) {
+      const auto kind = static_cast<FaultKind>(k);
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        SCOPED_TRACE(std::string(g.name) + " / " +
+                     trace::fault_kind_name(kind) + " / seed " +
+                     std::to_string(seed));
+        TraceCorruptor corruptor(seed);
+        const std::string damaged = corruptor.corrupt(clean, kind);
+        ASSERT_NE(damaged, clean);
+
+        std::istringstream in(damaged);
+        RecoveryReport report;
+        trace::Trace t =
+            trace::read_trace(in, ReadOptions::recovering(), report);
+
+        EXPECT_TRUE(accounted(kind, report)) << report.to_string();
+        EXPECT_TRUE(trace::validate(t).empty());
+        if (report.fatal() || t.num_events() == 0) continue;
+
+        // The salvage must terminate the full pipeline; degraded
+        // chares quarantine phases instead of killing extraction.
+        LogicalStructure ls = extract_structure(t, g.opts());
+        EXPECT_GE(ls.num_phases(), 0);
+        std::int32_t flagged = 0;
+        for (std::int32_t p = 0; p < ls.num_phases(); ++p)
+          if (ls.phases.is_degraded(p)) ++flagged;
+        EXPECT_EQ(flagged, ls.phases.degraded_phases);
+        if (t.num_degraded_chares() == 0) {
+          EXPECT_EQ(ls.phases.degraded_phases, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, UncorruptedRecoveryIsBitIdenticalAtOneThread) {
+  ScopedDefaultParallelism scope(1);
+  for (const Golden& g : kGoldens) {
+    SCOPED_TRACE(g.name);
+    const std::string text = serialize(g.make());
+    std::istringstream in(text);
+    RecoveryReport report;
+    trace::Trace t =
+        trace::read_trace(in, ReadOptions::recovering(), report);
+    EXPECT_TRUE(report.empty()) << report.to_string();
+    LogicalStructure ls = extract_structure(t, g.opts());
+    EXPECT_EQ(structure_hash(t, ls), g.expected);
+    EXPECT_EQ(ls.phases.degraded_phases, 0);
+  }
+}
+
+TEST(FaultInjection, UncorruptedRecoveryIsBitIdenticalAtFourThreads) {
+  ScopedDefaultParallelism scope(4);
+  for (const Golden& g : kGoldens) {
+    SCOPED_TRACE(g.name);
+    const std::string text = serialize(g.make());
+    std::istringstream in(text);
+    RecoveryReport report;
+    trace::Trace t =
+        trace::read_trace(in, ReadOptions::recovering(), report);
+    EXPECT_TRUE(report.empty()) << report.to_string();
+    LogicalStructure ls = extract_structure(t, g.opts());
+    EXPECT_EQ(structure_hash(t, ls), g.expected);
+  }
+}
+
+/// A degraded trace built through the repair path, used by the
+/// quarantine tests below.
+trace::Trace degraded_jacobi() {
+  const std::string text = serialize(golden::jacobi_small());
+  TraceCorruptor corruptor(4);
+  std::string damaged = corruptor.corrupt(text, FaultKind::DropLines);
+  std::istringstream in(damaged);
+  RecoveryReport report;
+  return trace::read_trace(in, ReadOptions::recovering(), report);
+}
+
+TEST(FaultInjection, DegradedCharesQuarantinePhases) {
+  trace::Trace t = degraded_jacobi();
+  ASSERT_GT(t.num_degraded_chares(), 0)
+      << "seed no longer severs a send/recv pair; pick another";
+  Options opts = Options::charm();
+  ASSERT_TRUE(opts.allow_degraded);
+  LogicalStructure ls = extract_structure(t, opts);
+  EXPECT_GT(ls.phases.degraded_phases, 0);
+  EXPECT_EQ(ls.phases.degraded.size(),
+            static_cast<std::size_t>(ls.num_phases()));
+  std::int32_t flagged = 0;
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p)
+    if (ls.phases.is_degraded(p)) ++flagged;
+  EXPECT_EQ(flagged, ls.phases.degraded_phases);
+}
+
+using FaultInjectionDeathTest = ::testing::Test;
+
+TEST(FaultInjectionDeathTest, StrictOrderRefusesDegradedTraces) {
+  trace::Trace t = degraded_jacobi();
+  ASSERT_GT(t.num_degraded_chares(), 0);
+  Options opts = Options::charm();
+  opts.allow_degraded = false;
+  EXPECT_DEATH(extract_structure(t, opts), "allow_degraded");
+}
+
+}  // namespace
+}  // namespace logstruct::order

@@ -1,0 +1,114 @@
+/// Unit tests for the structured-diagnostic machinery: DiagCode naming,
+/// RecoveryReport counting/capping/merging, severity escalation, and the
+/// JSON artifact shape.
+
+#include "trace/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace logstruct::trace {
+namespace {
+
+TEST(Diagnostics, CodeNamesAreStableAndDistinct) {
+  // The names feed obs counters and JSON reports; a rename is a breaking
+  // change for sidecar consumers, so pin a few down.
+  EXPECT_STREQ(diag_code_name(DiagCode::BadHeader), "bad_header");
+  EXPECT_STREQ(diag_code_name(DiagCode::TruncatedFile), "truncated_file");
+  EXPECT_STREQ(diag_code_name(DiagCode::ClampedTimestamp),
+               "clamped_timestamp");
+  EXPECT_STREQ(diag_code_name(DiagCode::StubbedMetadata),
+               "stubbed_metadata");
+  for (int a = 0; a < kNumDiagCodes; ++a)
+    for (int b = a + 1; b < kNumDiagCodes; ++b)
+      EXPECT_STRNE(diag_code_name(static_cast<DiagCode>(a)),
+                   diag_code_name(static_cast<DiagCode>(b)));
+}
+
+TEST(Diagnostics, ReportCountsAndEscalates) {
+  RecoveryReport r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.fatal());
+
+  r.add(DiagCode::ClampedTimestamp, Severity::Warning, "w");
+  r.add(DiagCode::ClampedTimestamp, Severity::Warning, "w2");
+  r.add(DiagCode::ParseError, Severity::Error, "e", /*pe=*/3, /*line=*/17);
+  EXPECT_EQ(r.total(), 3);
+  EXPECT_EQ(r.count(DiagCode::ClampedTimestamp), 2);
+  EXPECT_EQ(r.count(DiagCode::ParseError), 1);
+  EXPECT_EQ(r.count(DiagCode::BadHeader), 0);
+  EXPECT_EQ(r.worst(), Severity::Error);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.fatal());
+  EXPECT_EQ(r.repairs(), 2);  // clamps are repair codes, parse errors not
+
+  r.add(DiagCode::BadHeader, Severity::Fatal, "f");
+  EXPECT_TRUE(r.fatal());
+}
+
+TEST(Diagnostics, StoredDiagnosticsAreCappedButCountsStayExact) {
+  RecoveryReport r(/*max_stored=*/4);
+  for (int i = 0; i < 10; ++i)
+    r.add(DiagCode::DroppedRecord, Severity::Warning, "x");
+  EXPECT_EQ(r.total(), 10);
+  EXPECT_EQ(r.count(DiagCode::DroppedRecord), 10);
+  EXPECT_EQ(r.diagnostics().size(), 4u);
+  EXPECT_EQ(r.dropped(), 6);
+}
+
+TEST(Diagnostics, MergeAddsCountsAndRespectsCap) {
+  RecoveryReport a(2), b;
+  a.add(DiagCode::MissingLog, Severity::Error, "pe 1 gone", 1);
+  b.add(DiagCode::MissingLog, Severity::Error, "pe 2 gone", 2);
+  b.add(DiagCode::TruncatedFile, Severity::Warning, "tail", 2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3);
+  EXPECT_EQ(a.count(DiagCode::MissingLog), 2);
+  EXPECT_EQ(a.diagnostics().size(), 2u);  // capped at construction
+  EXPECT_EQ(a.worst(), Severity::Error);
+}
+
+TEST(Diagnostics, ToStringCarriesLocation) {
+  Diagnostic d;
+  d.code = DiagCode::ParseError;
+  d.severity = Severity::Error;
+  d.pe = 3;
+  d.line = 17;
+  d.detail = "garbled CREATION";
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("error[parse_error]"), std::string::npos) << s;
+  EXPECT_NE(s.find("pe=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("line=17"), std::string::npos) << s;
+  EXPECT_NE(s.find("garbled CREATION"), std::string::npos) << s;
+}
+
+TEST(Diagnostics, JsonIsParseableEvenWithBinaryGarbageInDetails) {
+  RecoveryReport r;
+  // Raw corrupted input quoted into a detail: bytes that are invalid
+  // UTF-8 and would break a JSON consumer must be sanitized on store.
+  std::string garbage = "line \xe8\x01\xff\"quote\\slash";
+  r.add(DiagCode::UnknownRecord, Severity::Warning, garbage, 0, 5);
+  r.add(DiagCode::TruncatedFile, Severity::Warning, "tail lost");
+
+  obs::json::Value v;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(r.to_json(), v, &err)) << err;
+  EXPECT_EQ(v.at("total").as_int(), 2);
+  EXPECT_EQ(v.at("counts").at("unknown_record").as_int(), 1);
+  EXPECT_EQ(v.at("counts").at("truncated_file").as_int(), 1);
+  EXPECT_EQ(v.at("diagnostics").array.size(), 2u);
+  EXPECT_EQ(v.at("worst").string, "warning");
+}
+
+TEST(Diagnostics, ReadOptionsFactories) {
+  EXPECT_FALSE(ReadOptions::strict().recover);
+  EXPECT_TRUE(ReadOptions::recovering().recover);
+  EXPECT_FALSE(ReadOptions{}.recover);  // strict is the default
+}
+
+}  // namespace
+}  // namespace logstruct::trace

@@ -9,6 +9,7 @@ pass got substantially slower or hungrier:
     tools/bench_gate.py FILE                  # last two runs in FILE
     tools/bench_gate.py BASE FRESH            # last run of BASE vs last run of FRESH
     tools/bench_gate.py --self-test           # verify the gate catches a 2x regression
+                                              # and diagnoses missing/empty baselines
 
 Comparison rules:
   * Only (workload, pass) pairs present in BOTH runs with `ran: true`
@@ -43,15 +44,41 @@ import argparse
 import json
 import os
 import sys
+import tempfile
+
+
+class TrajectoryError(Exception):
+    """A trajectory file is missing, unreadable, or has no runs."""
 
 
 def load_runs(path):
-    with open(path) as f:
-        doc = json.load(f)
-    runs = doc.get("runs", [])
-    if not runs:
-        sys.exit(f"error: {path} has no runs")
-    return runs
+    """Load a trajectory file's `runs`; raise TrajectoryError with a
+    actionable message (never a traceback) when the baseline is missing,
+    malformed, or empty."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        raise TrajectoryError(
+            f"{path} does not exist — record a baseline first with "
+            "./build/bench/micro_pipeline --benchmark_filter=NOTHING "
+            "(see docs/OBSERVABILITY.md)"
+        )
+    except OSError as e:
+        raise TrajectoryError(f"cannot read {path}: {e.strerror or e}")
+    except ValueError as e:
+        raise TrajectoryError(f"{path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        raise TrajectoryError(
+            f"{path} is not a pipeline trajectory (no `runs` array); "
+            "expected schema logstruct-bench-pipeline/v1..v3"
+        )
+    if not doc["runs"]:
+        raise TrajectoryError(
+            f"{path} has an empty `runs` array — the baseline was never "
+            "recorded; rerun ./build/bench/micro_pipeline"
+        )
+    return doc["runs"]
 
 
 def collect(run):
@@ -290,9 +317,45 @@ def self_test(opts):
         if saved is not None:
             os.environ["BENCH_GATE_ALLOW_REGRESSION"] = saved
     print()
+    # A missing or empty baseline must raise a structured, actionable
+    # error, never a traceback or a silent pass.
+    with tempfile.TemporaryDirectory() as d:
+        missing = os.path.join(d, "no-such-baseline.json")
+        try:
+            load_runs(missing)
+            print("self-test: FAILED — missing baseline not diagnosed")
+            return 1
+        except TrajectoryError as e:
+            if missing not in str(e):
+                print("self-test: FAILED — missing-baseline error does "
+                      "not name the file")
+                return 1
+        for label, content in (
+            ("empty", {"runs": []}),
+            ("shapeless", {"schema": "bogus"}),
+        ):
+            path = os.path.join(d, f"{label}.json")
+            with open(path, "w") as f:
+                json.dump(content, f)
+            try:
+                load_runs(path)
+                print(f"self-test: FAILED — {label} baseline not diagnosed")
+                return 1
+            except TrajectoryError:
+                pass
+        garbled = os.path.join(d, "garbled.json")
+        with open(garbled, "w") as f:
+            f.write("{ not json")
+        try:
+            load_runs(garbled)
+            print("self-test: FAILED — garbled baseline not diagnosed")
+            return 1
+        except TrajectoryError:
+            pass
     print(
         "self-test: ok (identical passes, 2x wall fails, 2x alloc fails, "
-        "cross-thread-count rows never compared)"
+        "cross-thread-count rows never compared, missing/empty/garbled "
+        "baselines diagnosed)"
     )
     return 0
 
@@ -333,20 +396,23 @@ def main():
 
     if len(opts.files) == 0:
         opts.files = ["BENCH_pipeline.json"]
-    if len(opts.files) == 1:
-        runs = load_runs(opts.files[0])
-        if len(runs) < 2:
-            print(
-                f"bench gate: {opts.files[0]} has only {len(runs)} run(s); "
-                "nothing to compare"
-            )
-            sys.exit(0)
-        base_run, fresh_run = runs[-2], runs[-1]
-    elif len(opts.files) == 2:
-        base_run = load_runs(opts.files[0])[-1]
-        fresh_run = load_runs(opts.files[1])[-1]
-    else:
-        ap.error("expected at most two trajectory files")
+    try:
+        if len(opts.files) == 1:
+            runs = load_runs(opts.files[0])
+            if len(runs) < 2:
+                print(
+                    f"bench gate: {opts.files[0]} has only {len(runs)} "
+                    "run(s); nothing to compare"
+                )
+                sys.exit(0)
+            base_run, fresh_run = runs[-2], runs[-1]
+        elif len(opts.files) == 2:
+            base_run = load_runs(opts.files[0])[-1]
+            fresh_run = load_runs(opts.files[1])[-1]
+        else:
+            ap.error("expected at most two trajectory files")
+    except TrajectoryError as e:
+        sys.exit(f"bench gate: error: {e}")
 
     sys.exit(gate(base_run, fresh_run, opts))
 

@@ -1,0 +1,216 @@
+/// \file trace_corrupt.cpp
+/// Deterministic fault-injection harness: generate a golden trace from a
+/// built-in proxy app, corrupt its serialized form with one (or every)
+/// fault class, re-ingest it in recovering mode, and drive the salvage
+/// through the full structure pipeline. This is the CLI face of the
+/// property tests in tests/order/fault_injection_test.cpp — CI runs the
+/// matrix over golden workloads and uploads the recovery reports as
+/// artifacts (see .github/workflows/ci.yml and docs/ROBUSTNESS.md).
+///
+///   ./trace_corrupt --app=jacobi --fault=drop_lines --fault-seed=7
+///   ./trace_corrupt --app=lulesh --fault=all --seeds=3 --out-report=r.json
+///
+/// Exit status: 0 when every corrupted run salvages without a fatal
+/// report and the recovery report is non-empty whenever the corruptor
+/// actually changed the text; 1 on any accounting violation.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lassen.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/pdes.hpp"
+#include "order/stepping.hpp"
+#include "trace/corruptor.hpp"
+#include "trace/diagnostics.hpp"
+#include "trace/io.hpp"
+#include "trace/validate.hpp"
+#include "util/flags.hpp"
+#include "util/obs_flags.hpp"
+
+namespace {
+
+logstruct::trace::Trace generate(const std::string& app,
+                                 std::uint64_t seed) {
+  using namespace logstruct::apps;
+  if (app == "jacobi") {
+    Jacobi2DConfig cfg;
+    cfg.seed = seed;
+    return run_jacobi2d(cfg);
+  }
+  if (app == "lulesh") {
+    LuleshConfig cfg;
+    cfg.seed = seed;
+    return run_lulesh_charm(cfg);
+  }
+  if (app == "lassen") {
+    LassenConfig cfg;
+    cfg.seed = seed;
+    return run_lassen_charm(cfg);
+  }
+  if (app == "pdes") {
+    PdesConfig cfg;
+    cfg.seed = seed;
+    return run_pdes(cfg);
+  }
+  std::fprintf(stderr,
+               "unknown app '%s' (jacobi, lulesh, lassen, pdes)\n",
+               app.c_str());
+  std::exit(1);
+}
+
+struct RunResult {
+  std::string fault;
+  std::uint64_t seed = 0;
+  logstruct::trace::CorruptionSummary corruption;
+  logstruct::trace::RecoveryReport report;
+  std::int64_t salvaged_events = 0;
+  std::int32_t phases = 0;
+  std::int32_t degraded_phases = 0;
+  bool accounted = true;
+};
+
+/// One corrupt → recover → analyze round trip.
+RunResult run_one(const std::string& clean_text,
+                  logstruct::trace::FaultKind kind, std::uint64_t seed,
+                  double intensity) {
+  using namespace logstruct;
+  RunResult r;
+  r.fault = trace::fault_kind_name(kind);
+  r.seed = seed;
+
+  trace::TraceCorruptor corruptor(seed, intensity);
+  std::string damaged = corruptor.corrupt(clean_text, kind, &r.corruption);
+
+  std::istringstream in(damaged);
+  trace::Trace t =
+      trace::read_trace(in, trace::ReadOptions::recovering(), r.report);
+  r.salvaged_events = t.num_events();
+
+  // Accounting: whenever the corruptor changed bytes, the recovering
+  // reader must have noticed *something* (the property tests pin this
+  // down per fault class; the harness keeps the cheap universal check).
+  if (damaged != clean_text && r.report.empty()) r.accounted = false;
+
+  // Graceful degradation: the salvage must survive the full pipeline.
+  if (!r.report.fatal() && t.num_events() > 0) {
+    order::LogicalStructure ls =
+        order::extract_structure(t, order::Options::charm());
+    r.phases = ls.num_phases();
+    r.degraded_phases = ls.phases.degraded_phases;
+  }
+  return r;
+}
+
+void append_json(std::ostringstream& os, const RunResult& r, bool first) {
+  if (!first) os << ",\n";
+  os << "    {\"fault\": \"" << r.fault << "\", \"seed\": " << r.seed
+     << ", \"mutations\": " << r.corruption.total()
+     << ", \"salvaged_events\": " << r.salvaged_events
+     << ", \"phases\": " << r.phases
+     << ", \"degraded_phases\": " << r.degraded_phases
+     << ", \"accounted\": " << (r.accounted ? "true" : "false")
+     << ",\n     \"report\": " << r.report.to_json() << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace logstruct;
+
+  util::Flags flags;
+  flags.define_string("app", "jacobi",
+                      "built-in app to trace (jacobi, lulesh, lassen, "
+                      "pdes)");
+  flags.define_int("seed", 1, "simulation seed");
+  flags.define_string("fault", "all",
+                      "fault class: drop_lines, truncate_tail, "
+                      "duplicate_lines, perturb_timestamps, flip_bytes, "
+                      "or 'all'");
+  flags.define_int("fault-seed", 1, "first corruption seed");
+  flags.define_int("seeds", 1, "corruption seeds per fault class");
+  flags.define_int("intensity-pct", 5,
+                   "corruption intensity, percent of the body affected");
+  flags.define_string("out-report", "",
+                      "write all recovery reports (JSON) here");
+  util::define_obs_flags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+  util::apply_obs_flags(flags);
+
+  const std::string app = flags.get_string("app");
+  trace::Trace golden =
+      generate(app, static_cast<std::uint64_t>(flags.get_int("seed")));
+  if (!trace::validate_cli(flags, golden, app)) return 2;
+  std::ostringstream serialized;
+  trace::write_trace(golden, serialized);
+  const std::string clean_text = serialized.str();
+  std::printf("golden %s: %d events, %zu bytes serialized\n", app.c_str(),
+              golden.num_events(), clean_text.size());
+
+  std::vector<trace::FaultKind> kinds;
+  const std::string fault = flags.get_string("fault");
+  if (fault == "all") {
+    for (int k = 0; k < trace::kNumFaultKinds; ++k)
+      kinds.push_back(static_cast<trace::FaultKind>(k));
+  } else {
+    trace::FaultKind kind;
+    if (!trace::parse_fault_kind(fault, &kind)) {
+      std::fprintf(stderr, "unknown fault '%s'\n", fault.c_str());
+      return 1;
+    }
+    kinds.push_back(kind);
+  }
+
+  const auto first_seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed"));
+  const auto num_seeds = static_cast<std::uint64_t>(flags.get_int("seeds"));
+  const double intensity =
+      static_cast<double>(flags.get_int("intensity-pct")) / 100.0;
+
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"logstruct-fuzz-report/v1\",\n  \"app\": \""
+       << app << "\",\n  \"runs\": [\n";
+  bool first = true;
+  int failures = 0;
+  for (trace::FaultKind kind : kinds) {
+    for (std::uint64_t s = 0; s < num_seeds; ++s) {
+      RunResult r = run_one(clean_text, kind, first_seed + s, intensity);
+      r.report.export_counters();
+      std::printf(
+          "%-18s seed=%llu  mutations=%lld  diags=%lld  salvaged=%lld "
+          "events  phases=%d (%d degraded)%s\n",
+          r.fault.c_str(), static_cast<unsigned long long>(r.seed),
+          static_cast<long long>(r.corruption.total()),
+          static_cast<long long>(r.report.total()),
+          static_cast<long long>(r.salvaged_events), r.phases,
+          r.degraded_phases, r.accounted ? "" : "  UNACCOUNTED");
+      if (!r.accounted) ++failures;
+      append_json(json, r, first);
+      first = false;
+    }
+  }
+  json << "\n  ]\n}\n";
+
+  const std::string out = flags.get_string("out-report");
+  if (!out.empty()) {
+    std::ofstream f(out);
+    if (f) f << json.str();
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", out.c_str());
+      return 3;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  util::finish_obs(flags, argv[0]);
+  if (failures) {
+    std::fprintf(stderr,
+                 "%d run(s) mutated the input without any diagnostic\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
