@@ -15,10 +15,14 @@
 #include "sim/taskdag/taskdag.hpp"
 #include "graph/leaps.hpp"
 #include "graph/scc.hpp"
+#include "metrics/efficiency.hpp"
+#include "metrics/windows.hpp"
+#include "obs/memstats.hpp"
 #include "order/initial.hpp"
 #include "order/merges.hpp"
 #include "order/phases.hpp"
 #include "order/stepping.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -107,6 +111,21 @@ void register_threaded_benchmarks() {
         ->Args({6, t});
   }
 }
+
+/// Phase-window construction + all four POP efficiency kernels over an
+/// already-extracted structure (docs/METRICS.md): the cost of the
+/// time-resolved metrics layer alone, excluding extraction.
+void BM_EfficiencySuite(benchmark::State& state) {
+  trace::Trace t = lulesh_trace(static_cast<std::int32_t>(state.range(0)));
+  auto ls = order::extract_structure(t, order::Options::charm());
+  for (auto _ : state) {
+    metrics::WindowSet ws = metrics::WindowSet::phases(t, ls.phases);
+    metrics::EfficiencySuite suite = metrics::efficiency_suite(t, ws);
+    benchmark::DoNotOptimize(suite.parallel.summary.mean);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_events());
+}
+BENCHMARK(BM_EfficiencySuite)->Arg(2)->Arg(4)->Arg(6);
 
 void BM_StepAssignOnly(benchmark::State& state) {
   trace::Trace t = lulesh_trace(static_cast<std::int32_t>(state.range(0)));
@@ -204,15 +223,31 @@ BENCHMARK(BM_JacobiSimulation)->Arg(2)->Arg(8);
 /// per thread count. The largest grid is re-run at threads=hardware
 /// (and at a fixed threads=4 oversubscription point) so the trajectory
 /// captures the parallel pipeline's scaling alongside the serial
-/// baseline.
+/// baseline. Each workload also records a `metrics/efficiency_suite`
+/// pseudo-pass — phase windows + the four POP kernels over the
+/// extracted structure — timed here because the metrics layer runs
+/// after the pass manager (docs/METRICS.md).
 void emit_pipeline_trajectory() {
   bench::PipelineTrajectory traj("micro_pipeline");
+  auto run_with_efficiency = [&traj](const std::string& name,
+                                     const trace::Trace& t,
+                                     const order::Options& opts) {
+    order::LogicalStructure ls = traj.run(name, t, opts);
+    obs::AllocScope allocs;
+    util::Stopwatch sw;
+    metrics::WindowSet ws = metrics::WindowSet::phases(t, ls.phases);
+    metrics::EfficiencySuite suite =
+        metrics::efficiency_suite(t, ws, opts.threads);
+    benchmark::DoNotOptimize(suite.parallel.summary.mean);
+    traj.add_pass("metrics/efficiency_suite", sw.seconds(),
+                  allocs.delta().bytes, opts.effective_threads());
+  };
   for (std::int32_t grid : {2, 4, 6}) {
     trace::Trace t = lulesh_trace(grid);
     char name[64];
     std::snprintf(name, sizeof(name), "lulesh/chares=%d",
                   grid * grid * grid);
-    (void)traj.run(name, t, order::Options::charm());
+    run_with_efficiency(name, t, order::Options::charm());
   }
   {
     trace::Trace t = lulesh_trace(6);
@@ -223,7 +258,7 @@ void emit_pipeline_trajectory() {
     for (int threads : counts) {
       order::Options opts = order::Options::charm();
       opts.threads = threads;
-      (void)traj.run("lulesh/chares=216", t, opts);
+      run_with_efficiency("lulesh/chares=216", t, opts);
     }
   }
   {
@@ -233,13 +268,13 @@ void emit_pipeline_trajectory() {
     cfg.num_pes = 8;
     cfg.iterations = 8;
     trace::Trace t = apps::run_jacobi2d(cfg);
-    (void)traj.run("jacobi2d/8x8", t, order::Options::charm());
+    run_with_efficiency("jacobi2d/8x8", t, order::Options::charm());
   }
   {
     apps::MergeTreeConfig cfg;
     cfg.num_ranks = 64;
     trace::Trace t = apps::run_mergetree_mpi(cfg);
-    (void)traj.run("mergetree/ranks=64", t, order::Options::mpi());
+    run_with_efficiency("mergetree/ranks=64", t, order::Options::mpi());
   }
   traj.save(/*path=*/{}, /*fallback=*/"BENCH_pipeline.json");
 }

@@ -66,6 +66,22 @@ class PipelineTrajectory {
     return std::move(ctx.structure);
   }
 
+  /// Append an extra pass record to the most recently run workload —
+  /// for stages timed by the harness itself rather than the pass
+  /// manager (e.g. the `metrics/efficiency_suite` kernels, which run
+  /// over the extracted structure). No-op before the first run().
+  void add_pass(const std::string& pass_name, double seconds,
+                std::int64_t alloc_bytes, int threads) {
+    if (workloads_.empty()) return;
+    order::PassRecord r;
+    r.name = pass_name;
+    r.seconds = seconds;
+    r.alloc_bytes = alloc_bytes;
+    r.threads = threads;
+    r.ran = true;
+    workloads_.back().passes.push_back(std::move(r));
+  }
+
   [[nodiscard]] const std::vector<PipelineWorkload>& workloads() const {
     return workloads_;
   }

@@ -2,7 +2,8 @@
 /// All of the library's metrics on one trace, side by side: the paper's
 /// three (§4: idle experienced, differential duration, imbalance), the
 /// traditional lateness it argues against, Projections-style profiles,
-/// and the critical path. Also demonstrates the iteration-structure
+/// the critical path, and the time-resolved POP efficiency suite broken
+/// down per recovered phase. Also demonstrates the iteration-structure
 /// detector on the phase signature.
 ///
 ///   ./metrics_tour [--iterations=4 --seed=1 --slow-chare=5]
@@ -14,6 +15,7 @@
 #include "apps/jacobi2d.hpp"
 #include "metrics/critical_path.hpp"
 #include "metrics/duration.hpp"
+#include "metrics/efficiency.hpp"
 #include "metrics/idle.hpp"
 #include "metrics/imbalance.hpp"
 #include "metrics/lateness.hpp"
@@ -131,6 +133,34 @@ int main(int argc, char** argv) {
                 t.chare(argmax_chare(late.per_event)).name.c_str());
   }
 
+  // Time-resolved POP efficiency per recovered phase: where does the
+  // hotspot phase lose its parallel efficiency — balance, transfer, or
+  // serialization? (docs/METRICS.md has the definitions.)
+  const metrics::WindowSet phase_windows =
+      metrics::WindowSet::phases(t, ls.phases);
+  const metrics::EfficiencySuite eff =
+      metrics::efficiency_suite(t, phase_windows);
+  std::printf("\nper-phase efficiency (POP):\n");
+  util::TablePrinter eff_table({"phase", "events", "parallel", "load bal",
+                                "comm", "serial", "transfer"});
+  for (std::int32_t w = 0; w < eff.num_windows(); ++w) {
+    const auto wz = static_cast<std::size_t>(w);
+    if (eff.loads.events[wz] == 0) continue;
+    eff_table.row()
+        .add("phase " + std::to_string(eff.windows[wz].phase))
+        .add(static_cast<std::int64_t>(eff.loads.events[wz]))
+        .add(eff.parallel.per_window[wz], 3)
+        .add(eff.balance.per_window[wz], 3)
+        .add(eff.communication.per_window[wz], 3)
+        .add(eff.sertrans.serialization[wz], 3)
+        .add(eff.sertrans.transfer[wz], 3);
+  }
+  eff_table.print();
+  std::printf("  worst load balance: %.3f in phase window %d "
+              "(mean parallel %.3f)\n",
+              eff.balance.summary.min, eff.balance.summary.min_window,
+              eff.parallel.summary.mean);
+
   // Projections-style profile and utilization for the traditional view.
   std::printf("\nentry profile:\n");
   util::TablePrinter prof({"entry", "calls", "total (us)", "mean (us)"});
@@ -153,6 +183,7 @@ int main(int argc, char** argv) {
         .add(row.other, 2);
   }
   util_table.print();
+  if (!metrics::write_efficiency_report(flags, t, ls, argv[0])) return 3;
   util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "apps/mergetree.hpp"
 #include "apps/nasbt.hpp"
 #include "apps/pdes.hpp"
+#include "metrics/efficiency.hpp"
 #include "order/io.hpp"
 #include "order/validate.hpp"
 #include "order/stats.hpp"
@@ -223,6 +224,7 @@ int main(int argc, char** argv) {
     }
     std::printf("saved %s\n", out.c_str());
   }
+  if (!metrics::write_efficiency_report(flags, t, ls, argv[0])) return 3;
   util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -48,6 +48,26 @@ StructureStats compute_stats(const trace::Trace& trace,
   return s;
 }
 
+std::vector<PhaseExtent> phase_extents(const trace::Trace& trace,
+                                       const PhaseResult& phases) {
+  std::vector<PhaseExtent> out(
+      static_cast<std::size_t>(phases.num_phases()));
+  for (std::int32_t p = 0; p < phases.num_phases(); ++p) {
+    const auto& events = phases.events[static_cast<std::size_t>(p)];
+    if (events.empty()) continue;
+    PhaseExtent& ext = out[static_cast<std::size_t>(p)];
+    ext.begin = trace.event(events.front()).time;
+    ext.end = ext.begin;
+    // Phase events are time-sorted, but scan anyway: the extent must be
+    // correct even for hand-built PhaseResults in tests.
+    for (trace::EventId e : events) {
+      ext.begin = std::min(ext.begin, trace.event(e).time);
+      ext.end = std::max(ext.end, trace.event(e).time);
+    }
+  }
+  return out;
+}
+
 std::vector<PhaseStat> phase_table(const trace::Trace& trace,
                                    const LogicalStructure& ls) {
   std::vector<PhaseStat> rows;

@@ -69,6 +69,21 @@ double phase_compactness(const trace::Trace& trace,
 std::string phase_signature(const trace::Trace& trace,
                             const LogicalStructure& ls);
 
+/// Wall-clock extent of one recovered phase: the earliest and latest
+/// event timestamps among its events. Feeds the metrics layer's
+/// phase-window slicing (metrics/windows.hpp), where a phase's extent is
+/// the denominator of its efficiency ratios.
+struct PhaseExtent {
+  trace::TimeNs begin = 0;
+  trace::TimeNs end = 0;  ///< inclusive latest event time
+  [[nodiscard]] trace::TimeNs span() const { return end - begin; }
+};
+
+/// One extent per phase, indexed by phase id. Empty phases (impossible
+/// after finalize, but tolerated) get begin == end == 0.
+std::vector<PhaseExtent> phase_extents(const trace::Trace& trace,
+                                       const PhaseResult& phases);
+
 /// A detected repetition in a phase signature: `lead` + `unit` x `repeats`
 /// reconstructs the input exactly. Iterative applications expose their
 /// iteration structure this way (LULESH-Charm++: lead "p", unit "ppr").

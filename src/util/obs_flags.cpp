@@ -86,6 +86,13 @@ void define_obs_flags(Flags& flags) {
   flags.define_bool("validate", false,
                     "run trace::validate() on every ingested trace and "
                     "print any structural problems");
+  flags.define_string("eff-json", "",
+                      "write the logstruct-effmetrics/v1 efficiency "
+                      "report here (POP metrics per time bin and per "
+                      "recovered phase; see docs/METRICS.md)");
+  flags.define_int("eff-bins", 0,
+                   "wall-clock bins for the --eff-json report "
+                   "(0 = one bin per recovered phase)");
 }
 
 void apply_obs_flags(const Flags& flags) {

@@ -34,6 +34,12 @@
 ///                and print structural problems (see
 ///                trace::validate_cli, which harnesses call with the
 ///                parsed flags).
+/// --eff-json=p   writes the time-resolved efficiency report
+///                (schema logstruct-effmetrics/v1, docs/METRICS.md) to
+///                p. Harnesses with a recovered structure call
+///                metrics::write_efficiency_report(flags, ...), which
+///                honors this flag and --eff-bins (wall-clock bin
+///                count, 0 = one bin per recovered phase).
 
 #include <string>
 

@@ -230,7 +230,8 @@ def gate(base_run, fresh_run, opts):
     return 0
 
 
-def synthetic_run(scale_wall=1.0, scale_alloc=1.0, extra_threads=None):
+def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
+                  extra_threads=None):
     run = {
         "program": "self-test",
         "workloads": [
@@ -250,6 +251,16 @@ def synthetic_run(scale_wall=1.0, scale_alloc=1.0, extra_threads=None):
                         "pass": "stepping",
                         "seconds": 0.006,
                         "alloc_bytes": int((4 << 20) * scale_alloc),
+                        "ran": True,
+                    },
+                    # Harness-timed pseudo-pass appended after the pass
+                    # manager (metrics/efficiency_suite in the real
+                    # trajectory): the gate must treat it exactly like a
+                    # manager pass.
+                    {
+                        "pass": "metrics/efficiency_suite",
+                        "seconds": 0.002 * scale_eff,
+                        "alloc_bytes": int(2 << 20),
                         "ran": True,
                     },
                     {"pass": "tiny", "seconds": 1e-05, "ran": True},
@@ -303,6 +314,16 @@ def self_test(opts):
             print("self-test: FAILED — 2x alloc regression not caught")
             return 1
         print()
+        # A 2x wall regression confined to the harness-timed
+        # metrics/efficiency_suite pseudo-pass must fail on its own.
+        code = gate(synthetic_run(), synthetic_run(scale_eff=2.0), opts)
+        if code == 0:
+            print(
+                "self-test: FAILED — 2x efficiency-suite regression "
+                "not caught"
+            )
+            return 1
+        print()
         # A threads=8 rerun of the same workload, 3x slower than the
         # serial baseline, must NOT fail: thread counts are compared
         # like-for-like, never cross-count.
@@ -354,8 +375,8 @@ def self_test(opts):
             pass
     print(
         "self-test: ok (identical passes, 2x wall fails, 2x alloc fails, "
-        "cross-thread-count rows never compared, missing/empty/garbled "
-        "baselines diagnosed)"
+        "2x efficiency-suite pseudo-pass fails, cross-thread-count rows "
+        "never compared, missing/empty/garbled baselines diagnosed)"
     )
     return 0
 
