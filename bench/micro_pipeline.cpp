@@ -19,6 +19,9 @@
 #include "metrics/windows.hpp"
 #include "obs/memstats.hpp"
 #include "order/initial.hpp"
+#include "trace/storage/block_cache.hpp"
+#include "trace/storage/blocked_trace.hpp"
+#include "trace/storage/options.hpp"
 #include "order/merges.hpp"
 #include "order/phases.hpp"
 #include "order/stepping.hpp"
@@ -111,6 +114,33 @@ void register_threaded_benchmarks() {
         ->Args({6, t});
   }
 }
+
+/// Full extraction with the trace frozen on each storage backend
+/// (range(0): 0 = mem, 1 = blocked with the default 256 MiB cache) —
+/// the steady-state read-path overhead of serving every accessor
+/// through the block cache instead of raw vectors.
+void BM_BlockedExtract(benchmark::State& state) {
+  trace::storage::StorageOptions sopts = trace::storage::default_options();
+  sopts.kind = state.range(0) != 0
+                   ? trace::storage::BackendKind::Blocked
+                   : trace::storage::BackendKind::Mem;
+  trace::storage::ScopedStorageOptions scope(sopts);
+  trace::Trace t = lulesh_trace(6);
+  trace::storage::BlockCache::global().reset_stats();
+  for (auto _ : state) {
+    auto ls = order::extract_structure(t, order::Options::charm());
+    benchmark::DoNotOptimize(ls.max_step);
+  }
+  const trace::storage::BlockCache::Stats stats =
+      trace::storage::BlockCache::global().stats();
+  const double lookups =
+      static_cast<double>(stats.hits) + static_cast<double>(stats.misses);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(stats.hits) / lookups : 0.0;
+  state.SetLabel(state.range(0) != 0 ? "storage=blocked" : "storage=mem");
+  state.SetItemsProcessed(state.iterations() * t.num_events());
+}
+BENCHMARK(BM_BlockedExtract)->Arg(0)->Arg(1);
 
 /// Phase-window construction + all four POP efficiency kernels over an
 /// already-extracted structure (docs/METRICS.md): the cost of the
@@ -275,6 +305,73 @@ void emit_pipeline_trajectory() {
     cfg.num_ranks = 64;
     trace::Trace t = apps::run_mergetree_mpi(cfg);
     run_with_efficiency("mergetree/ranks=64", t, order::Options::mpi());
+  }
+
+  // Storage-backend sweep: one large LULESH run per backend, covering
+  // the full lifecycle (simulate + freeze + column sweep + extraction)
+  // so the mem backend's resident columns and the blocked backend's
+  // bounded cache both show up in the per-workload peak_rss_kb. The
+  // gate (tools/bench_gate.py) tracks that number per workload across
+  // PRs; the blocked rows must stay materially below the mem row.
+  {
+    struct StorageCase {
+      const char* name;
+      trace::storage::BackendKind kind;
+      std::uint64_t cache_bytes;
+    };
+    const StorageCase cases[] = {
+        {"mem", trace::storage::BackendKind::Mem, 0},
+        {"blocked-256mb", trace::storage::BackendKind::Blocked,
+         256ull << 20},
+        {"blocked-8mb", trace::storage::BackendKind::Blocked, 8ull << 20},
+    };
+    for (const StorageCase& c : cases) {
+      trace::storage::StorageOptions sopts =
+          trace::storage::default_options();
+      sopts.kind = c.kind;
+      if (c.cache_bytes != 0) sopts.cache_bytes = c.cache_bytes;
+      trace::storage::ScopedStorageOptions scope(sopts);
+      trace::storage::BlockCache::global().reset_stats();
+      obs::reset_peak_rss();
+      const std::int64_t rss_start = obs::current_rss_kb();
+      obs::AllocScope allocs;
+      util::Stopwatch sw;
+
+      apps::LuleshConfig cfg;
+      cfg.nx = cfg.ny = cfg.nz = 10;
+      cfg.num_pes = 8;
+      cfg.iterations = 40;
+      trace::Trace t = apps::run_lulesh_charm(cfg);
+      benchmark::DoNotOptimize(
+          trace::storage::trace_structure_hash(t));  // full column sweep
+      order::LogicalStructure ls =
+          order::extract_structure(t, order::Options::charm());
+      benchmark::DoNotOptimize(ls.max_step);
+
+      bench::PipelineWorkload w;
+      w.name = std::string("lulesh-large/storage=") + c.name;
+      w.events = t.num_events();
+      w.phases = ls.num_phases();
+      w.threads = 1;
+      w.total_seconds = sw.seconds();
+      // Workload-attributed growth, not the process high-water mark:
+      // reset_peak_rss() above rebased VmHWM to the RSS at entry.
+      const std::int64_t grown = obs::peak_rss_kb() - rss_start;
+      w.peak_rss_kb = grown > 0 ? grown : 0;
+      w.storage = c.name;
+      const trace::storage::BlockCache::Stats stats =
+          trace::storage::BlockCache::global().stats();
+      w.cache_hits = static_cast<std::int64_t>(stats.hits);
+      w.cache_misses = static_cast<std::int64_t>(stats.misses);
+      order::PassRecord alloc_rec;
+      alloc_rec.name = "storage/lifecycle";
+      alloc_rec.seconds = w.total_seconds;
+      alloc_rec.alloc_bytes = allocs.delta().bytes;
+      alloc_rec.threads = 1;
+      alloc_rec.ran = true;
+      w.passes.push_back(std::move(alloc_rec));
+      traj.add_workload(std::move(w));
+    }
   }
   traj.save(/*path=*/{}, /*fallback=*/"BENCH_pipeline.json");
 }

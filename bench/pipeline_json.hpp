@@ -4,9 +4,11 @@
 /// BENCH_pipeline.json emitter: runs the extraction pipeline through the
 /// pass manager, captures the per-pass wall time and allocation bytes
 /// the PassManager already records, and writes one perf-trajectory
-/// document per harness run. Schema (`logstruct-bench-pipeline/v3`:
-/// per-workload and per-pass `threads` alongside the v2 fields —
-/// per-pass `alloc_bytes`, run-level `peak_rss_kb`; older readers that
+/// document per harness run. Schema (`logstruct-bench-pipeline/v4`:
+/// per-workload `peak_rss_kb` plus the storage-backend annotation
+/// (`storage`, `cache_hits`, `cache_misses`, `cache_hit_rate`) on top
+/// of v3's per-workload/per-pass `threads`, v2's per-pass
+/// `alloc_bytes`, and the run-level `peak_rss_kb`; older readers that
 /// ignore unknown keys keep working) is documented in
 /// docs/OBSERVABILITY.md. The committed BENCH_pipeline.json at the repo
 /// root concatenates the `runs` arrays of historical runs so
@@ -37,6 +39,16 @@ struct PipelineWorkload {
   /// resolved); the gate only compares workloads with equal counts.
   int threads = 1;
   double total_seconds = 0;
+  /// Peak RSS attributable to this workload, measured by the harness
+  /// between obs::reset_peak_rss() and the workload's end; 0 = not
+  /// measured (the run-level peak_rss_kb still covers the process).
+  std::int64_t peak_rss_kb = 0;
+  /// Storage-backend annotation for out-of-core workloads: backend name
+  /// ("mem"/"blocked[...]") and the block-cache counter deltas over the
+  /// workload; empty/-1 = not a storage-annotated workload.
+  std::string storage;
+  std::int64_t cache_hits = -1;
+  std::int64_t cache_misses = -1;
   std::vector<order::PassRecord> passes;
 };
 
@@ -82,6 +94,24 @@ class PipelineTrajectory {
     workloads_.back().passes.push_back(std::move(r));
   }
 
+  /// Attach the storage/memory annotation to the most recently recorded
+  /// workload (see PipelineWorkload). No-op before the first run().
+  void annotate_storage(std::int64_t peak_rss_kb, std::string storage,
+                        std::int64_t cache_hits, std::int64_t cache_misses) {
+    if (workloads_.empty()) return;
+    PipelineWorkload& w = workloads_.back();
+    w.peak_rss_kb = peak_rss_kb;
+    w.storage = std::move(storage);
+    w.cache_hits = cache_hits;
+    w.cache_misses = cache_misses;
+  }
+
+  /// Record a harness-built workload that did not go through run() —
+  /// used for storage-backend sweeps timed outside the pass manager.
+  void add_workload(PipelineWorkload w) {
+    workloads_.push_back(std::move(w));
+  }
+
   [[nodiscard]] const std::vector<PipelineWorkload>& workloads() const {
     return workloads_;
   }
@@ -106,7 +136,7 @@ class PipelineTrajectory {
                    target.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v3\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v4\",\n");
     std::fprintf(f, "  \"runs\": [\n    {\n");
     std::fprintf(f, "      \"program\": \"%s\",\n", program_.c_str());
     if (!label_.empty())
@@ -124,6 +154,21 @@ class PipelineTrajectory {
                    "\"total_seconds\": %.6f,\n",
                    w.name.c_str(), static_cast<long long>(w.events),
                    w.phases, w.threads, w.total_seconds);
+      if (w.peak_rss_kb > 0)
+        std::fprintf(f, "         \"peak_rss_kb\": %lld,\n",
+                     static_cast<long long>(w.peak_rss_kb));
+      if (!w.storage.empty()) {
+        const std::int64_t lookups = w.cache_hits + w.cache_misses;
+        std::fprintf(
+            f,
+            "         \"storage\": \"%s\", \"cache_hits\": %lld, "
+            "\"cache_misses\": %lld, \"cache_hit_rate\": %.4f,\n",
+            w.storage.c_str(), static_cast<long long>(w.cache_hits),
+            static_cast<long long>(w.cache_misses),
+            lookups > 0 ? static_cast<double>(w.cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0);
+      }
       std::fprintf(f, "         \"passes\": [\n");
       for (std::size_t p = 0; p < w.passes.size(); ++p) {
         const order::PassRecord& r = w.passes[p];

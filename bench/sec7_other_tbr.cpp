@@ -55,9 +55,10 @@ int main(int argc, char** argv) {
     auto blocks = t.blocks_of_chare(c);
     for (std::int32_t k = 0;
          k < static_cast<std::int32_t>(blocks.size()); ++k) {
-      const auto& blk = t.block(blocks[static_cast<std::size_t>(k)]);
+      const auto bev =
+          t.events_of_block(blocks[static_cast<std::size_t>(k)]);
       std::int32_t st =
-          ls.global_step[static_cast<std::size_t>(blk.events.front())];
+          ls.global_step[static_cast<std::size_t>(bev.front())];
       owner_lo[static_cast<std::size_t>(k)] =
           std::min(owner_lo[static_cast<std::size_t>(k)], st);
       owner_hi[static_cast<std::size_t>(k)] =

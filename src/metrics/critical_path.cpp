@@ -30,10 +30,12 @@ CriticalPath critical_path(const trace::Trace& trace,
   // write disjoint dur/tail slots and fan out race-free.
   util::parallel_for(
       threads, trace.num_blocks(), [&](std::int64_t b) {
-        const trace::SerialBlock& blk =
+        const trace::SerialBlock blk =
             trace.block(static_cast<trace::BlockId>(b));
+        const auto bev =
+            trace.events_of_block(static_cast<trace::BlockId>(b));
         trace::TimeNs prev = blk.begin;
-        for (trace::EventId e : blk.events) {
+        for (trace::EventId e : bev) {
           dur[static_cast<std::size_t>(e)] = trace.event(e).time - prev;
           prev = trace.event(e).time;
         }
@@ -43,9 +45,8 @@ CriticalPath critical_path(const trace::Trace& trace,
         // chare (or ends here), never when it leaves through the event's
         // outgoing message (the sender keeps computing while the message
         // flies).
-        if (!blk.events.empty())
-          tail[static_cast<std::size_t>(blk.events.back())] =
-              blk.end - prev;
+        if (!bev.empty())
+          tail[static_cast<std::size_t>(bev.back())] = blk.end - prev;
       });
 
   // Longest distance ending at each event. Process in physical-time order
@@ -59,8 +60,9 @@ CriticalPath critical_path(const trace::Trace& trace,
     order[i] = static_cast<trace::EventId>(i);
   std::sort(order.begin(), order.end(),
             [&trace](trace::EventId a, trace::EventId b) {
-              if (trace.event(a).time != trace.event(b).time)
-                return trace.event(a).time < trace.event(b).time;
+              const trace::TimeNs ta = trace.event_time(a);
+              const trace::TimeNs tb = trace.event_time(b);
+              if (ta != tb) return ta < tb;
               return a < b;
             });
 

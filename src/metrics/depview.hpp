@@ -47,10 +47,13 @@ class IncomingDeps {
   [[nodiscard]] trace::EventId binding_sender(const trace::Trace& trace,
                                               trace::EventId recv) const {
     trace::EventId best = trace::kNone;
+    trace::TimeNs best_time = 0;
     for (trace::EventId s : senders(recv)) {
-      if (best == trace::kNone ||
-          trace.event(s).time > trace.event(best).time)
+      const trace::TimeNs ts = trace.event_time(s);
+      if (best == trace::kNone || ts > best_time) {
         best = s;
+        best_time = ts;
+      }
     }
     return best;
   }

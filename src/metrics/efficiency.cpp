@@ -90,7 +90,7 @@ WindowLoads compute_window_loads(const trace::Trace& trace,
   for (std::int32_t p = 0; p < trace.num_procs(); ++p) {
     std::int64_t rank = 0;
     for (trace::BlockId b : trace.blocks_of_proc(p))
-      for (trace::EventId e : trace.block(b).events)
+      for (trace::EventId e : trace.events_of_block(b))
         proc_rank[static_cast<std::size_t>(e)] = rank++;
   }
 

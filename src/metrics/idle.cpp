@@ -20,7 +20,7 @@ IdleExperienced idle_experienced(const trace::Trace& trace) {
   auto trigger_time = [&](const trace::SerialBlock& blk) -> trace::TimeNs {
     if (blk.trigger == trace::kNone) return -1;
     trace::EventId s = deps.binding_sender(trace, blk.trigger);
-    return s == trace::kNone ? -1 : trace.event(s).time;
+    return s == trace::kNone ? -1 : trace.event_time(s);
   };
 
   for (const trace::IdleSpan& span : trace.idles()) {
@@ -53,9 +53,9 @@ IdleExperienced idle_experienced(const trace::Trace& trace) {
       }
       if (assign) {
         out.per_block[static_cast<std::size_t>(*it)] += length;
-        if (!blk.events.empty())
-          out.per_event[static_cast<std::size_t>(blk.events.front())] +=
-              length;
+        const auto bev = trace.events_of_block(*it);
+        if (!bev.empty())
+          out.per_event[static_cast<std::size_t>(bev.front())] += length;
       }
     }
   }

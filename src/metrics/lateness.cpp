@@ -46,8 +46,9 @@ Lateness lateness(const trace::Trace& trace,
   std::unordered_map<std::int64_t, trace::TimeNs> earliest;
   std::unordered_map<std::int64_t, std::int32_t> peers;
   for (trace::EventId e = 0; e < trace.num_events(); ++e) {
-    auto [it, inserted] = earliest.try_emplace(key(e), trace.event(e).time);
-    if (!inserted) it->second = std::min(it->second, trace.event(e).time);
+    const trace::TimeNs t = trace.event_time(e);
+    auto [it, inserted] = earliest.try_emplace(key(e), t);
+    if (!inserted) it->second = std::min(it->second, t);
     ++peers[key(e)];
   }
 

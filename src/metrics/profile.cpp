@@ -67,11 +67,12 @@ std::vector<PhaseProfile> phase_profile(const trace::Trace& trace,
     rows[static_cast<std::size_t>(p)].runtime =
         ls.phases.runtime[static_cast<std::size_t>(p)];
   }
-  for (const trace::SerialBlock& blk : trace.blocks()) {
-    if (blk.events.empty()) continue;
+  for (trace::BlockId b = 0; b < trace.num_blocks(); ++b) {
+    const trace::SerialBlock blk = trace.block(b);
+    const auto bev = trace.events_of_block(b);
+    if (bev.empty()) continue;
     auto phase = static_cast<std::size_t>(
-        ls.phases.phase_of_event[static_cast<std::size_t>(
-            blk.events.front())]);
+        ls.phases.phase_of_event[static_cast<std::size_t>(bev.front())]);
     ++rows[phase].blocks;
     rows[phase].total_ns += blk.end - blk.begin;
   }

@@ -9,17 +9,19 @@ std::vector<trace::TimeNs> subblock_durations(const trace::Trace& trace) {
   std::vector<trace::TimeNs> dur(
       static_cast<std::size_t>(trace.num_events()), 0);
   for (trace::BlockId b = 0; b < trace.num_blocks(); ++b) {
-    const trace::SerialBlock& blk = trace.block(b);
-    if (blk.events.empty()) continue;
+    const trace::SerialBlock blk = trace.block(b);
+    const auto bev = trace.events_of_block(b);
+    if (bev.empty()) continue;
     trace::TimeNs prev = blk.begin;
-    for (trace::EventId e : blk.events) {
-      dur[static_cast<std::size_t>(e)] += trace.event(e).time - prev;
-      prev = trace.event(e).time;
+    for (trace::EventId e : bev) {
+      const trace::TimeNs t = trace.event_time(e);
+      dur[static_cast<std::size_t>(e)] += t - prev;
+      prev = t;
     }
     trace::TimeNs leftover = blk.end - prev;
     if (leftover > 0) {
       trace::EventId owner =
-          blk.trigger != trace::kNone ? blk.trigger : blk.events.back();
+          blk.trigger != trace::kNone ? blk.trigger : bev.back();
       dur[static_cast<std::size_t>(owner)] += leftover;
     }
   }

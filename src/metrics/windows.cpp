@@ -85,7 +85,7 @@ WindowSet WindowSet::time_bins(const trace::Trace& trace,
 
   set.window_of_event_.resize(static_cast<std::size_t>(trace.num_events()));
   for (trace::EventId e = 0; e < trace.num_events(); ++e) {
-    auto w = static_cast<std::int32_t>(trace.event(e).time / width);
+    auto w = static_cast<std::int32_t>(trace.event_time(e) / width);
     set.window_of_event_[static_cast<std::size_t>(e)] =
         std::min(w, bins - 1);
   }

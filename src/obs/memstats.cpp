@@ -38,6 +38,19 @@ std::int64_t current_rss_kb() { return read_mem_stats().current_rss_kb; }
 
 std::int64_t peak_rss_kb() { return read_mem_stats().peak_rss_kb; }
 
+bool reset_peak_rss() {
+#if defined(__linux__)
+  // Writing "5" to clear_refs resets VmHWM to the current VmRSS, so a
+  // subsequent peak_rss_kb() reflects only allocations after this call.
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (!f) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
 AllocCounters thread_allocs() {
   return {detail::t_alloc_bytes, detail::t_alloc_count};
 }

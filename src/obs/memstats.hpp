@@ -34,6 +34,12 @@ struct MemStats {
 [[nodiscard]] std::int64_t current_rss_kb();
 [[nodiscard]] std::int64_t peak_rss_kb();
 
+/// Reset the kernel's peak-RSS high-water mark (VmHWM) to the current
+/// RSS via /proc/self/clear_refs, so peak_rss_kb() measures only the
+/// phase that follows. Returns false where unsupported (non-Linux, or
+/// procfs not writable); callers must then treat the peak as cumulative.
+bool reset_peak_rss();
+
 struct AllocCounters {
   std::int64_t bytes = 0;
   std::int64_t count = 0;

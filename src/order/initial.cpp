@@ -23,17 +23,17 @@ BlockUnits compute_block_units(const trace::Trace& trace,
   u.unit_of_event.assign(static_cast<std::size_t>(trace.num_events()),
                          trace::kNone);
   for (trace::BlockId b = 0; b < trace.num_blocks(); ++b) {
-    const auto& blk = trace.block(b);
+    const auto bev = trace.events_of_block(b);
     auto r = static_cast<std::size_t>(u.rep[static_cast<std::size_t>(b)]);
-    u.events[r].insert(u.events[r].end(), blk.events.begin(),
-                       blk.events.end());
-    for (trace::EventId e : blk.events)
+    u.events[r].insert(u.events[r].end(), bev.begin(), bev.end());
+    for (trace::EventId e : bev)
       u.unit_of_event[static_cast<std::size_t>(e)] =
           static_cast<trace::BlockId>(r);
   }
   auto by_time = [&trace](trace::EventId a, trace::EventId b) {
-    if (trace.event(a).time != trace.event(b).time)
-      return trace.event(a).time < trace.event(b).time;
+    const trace::TimeNs ta = trace.event_time(a);
+    const trace::TimeNs tb = trace.event_time(b);
+    if (ta != tb) return ta < tb;
     return a < b;
   };
   for (auto& list : u.events) std::sort(list.begin(), list.end(), by_time);
@@ -136,7 +136,7 @@ PartitionGraph build_initial_partitions(const trace::Trace& trace,
       trace::EventId prev = trace::kNone;
       std::vector<trace::EventId> window;  // prev send + later receives
       for (trace::BlockId b : trace.blocks_of_proc(p)) {
-        for (trace::EventId e : trace.block(b).events) {
+        for (trace::EventId e : trace.events_of_block(b)) {
           if (opts.strict_receive_order) {
             if (prev != trace::kNone)
               pg.add_edge(pg.part_of(prev), pg.part_of(e));

@@ -114,8 +114,9 @@ LogicalStructure read_structure(std::istream& in,
     ls.phases.events[ph].push_back(e);
   }
   auto by_time = [&trace](trace::EventId a, trace::EventId b) {
-    if (trace.event(a).time != trace.event(b).time)
-      return trace.event(a).time < trace.event(b).time;
+    const trace::TimeNs ta = trace.event_time(a);
+    const trace::TimeNs tb = trace.event_time(b);
+    if (ta != tb) return ta < tb;
     return a < b;
   };
   for (auto& list : ls.phases.events)

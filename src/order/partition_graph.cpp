@@ -114,8 +114,9 @@ void PartitionGraph::relabel(const std::vector<std::int32_t>& label,
   merges_ += num_partitions() - num_new;
   const trace::Trace& tr = *trace_;
   auto by_time = [&tr](trace::EventId a, trace::EventId b) {
-    if (tr.event(a).time != tr.event(b).time)
-      return tr.event(a).time < tr.event(b).time;
+    const trace::TimeNs ta = tr.event_time(a);
+    const trace::TimeNs tb = tr.event_time(b);
+    if (ta != tb) return ta < tb;
     return a < b;
   };
 

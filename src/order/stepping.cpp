@@ -44,8 +44,9 @@ class UnitOrder {
     // Total-order fallback: physical time, then event id.
     const trace::EventId ea = first(a);
     const trace::EventId eb = first(b);
-    if (trace_.event(ea).time != trace_.event(eb).time)
-      return trace_.event(ea).time < trace_.event(eb).time;
+    const trace::TimeNs ta = trace_.event_time(ea);
+    const trace::TimeNs tb = trace_.event_time(eb);
+    if (ta != tb) return ta < tb;
     return ea < eb;
   }
 
@@ -207,8 +208,9 @@ void stepping_pass(OrderContext& ctx) {
                         static_cast<std::size_t>(a)].events.front();
                     trace::EventId eb = phase_units[
                         static_cast<std::size_t>(b)].events.front();
-                    if (trace.event(ea).time != trace.event(eb).time)
-                      return trace.event(ea).time < trace.event(eb).time;
+                    const trace::TimeNs ta = trace.event_time(ea);
+                    const trace::TimeNs tb = trace.event_time(eb);
+                    if (ta != tb) return ta < tb;
                     return ea < eb;
                   });
       }
@@ -304,7 +306,7 @@ void stepping_pass(OrderContext& ctx) {
       for (trace::EventId e : phase_events) {
         if (!processed[e] &&
             (pick == trace::kNone ||
-             trace.event(e).time < trace.event(pick).time))
+             trace.event_time(e) < trace.event_time(pick)))
           pick = e;
       }
       LS_CHECK(pick != trace::kNone);

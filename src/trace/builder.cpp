@@ -65,9 +65,7 @@ EventId TraceBuilder::add_event(BlockId block, EventKind kind, TimeNs t) {
   e.proc = blk.proc;
   e.block = block;
   trace_.events_.push_back(e);
-  EventId id = static_cast<EventId>(trace_.events_.size() - 1);
-  blk.events.push_back(id);
-  return id;
+  return static_cast<EventId>(trace_.events_.size() - 1);
 }
 
 EventId TraceBuilder::add_recv(BlockId block, TimeNs t, EventId send) {
@@ -83,11 +81,9 @@ EventId TraceBuilder::add_recv(BlockId block, TimeNs t, EventId send) {
     Event& s = trace_.events_[static_cast<std::size_t>(send)];
     LS_CHECK(s.kind == EventKind::Send);
     trace_.events_[static_cast<std::size_t>(id)].partner = send;
-    if (s.partner == kNone) {
-      s.partner = id;  // first receiver
-    } else {
-      trace_.fanout_[send].push_back(id);  // broadcast fan-out
-    }
+    // First receiver becomes the send's partner; later receivers of a
+    // broadcast are recovered at freeze from their own partner fields.
+    if (s.partner == kNone) s.partner = id;
   }
   return id;
 }

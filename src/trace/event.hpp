@@ -18,6 +18,13 @@ namespace logstruct::trace {
 
 enum class EventKind : std::uint8_t { Send, Recv };
 
+/// Provenance of one row in the flat dependency table (trace.hpp).
+enum class DepKind : std::uint8_t {
+  Match = 0,       ///< point-to-point send/recv partner match
+  Fanout = 1,      ///< additional receiver of a broadcast send
+  Collective = 2,  ///< cross-product row of a collective's sends x recvs
+};
+
 /// A dependency event: an instantaneous endpoint of a control dependency.
 /// A Recv is the moment the runtime dequeues a message and begins the
 /// corresponding entry method; a Send is a remote method invocation call.
@@ -35,14 +42,15 @@ struct Event {
 };
 
 /// One uninterruptible entry-method execution ("serial block", §3.1.1).
+/// Plain data so block columns can live out of core; the block's events
+/// (in physical-time order) are served by Trace::events_of_block().
 struct SerialBlock {
   ChareId chare = kNone;
   ProcId proc = kNone;
   EntryId entry = kNone;
   TimeNs begin = 0;
   TimeNs end = 0;
-  std::vector<EventId> events;  ///< in physical-time order
-  EventId trigger = kNone;      ///< the Recv that awakened this block, if any
+  EventId trigger = kNone;  ///< the Recv that awakened this block, if any
 };
 
 /// Entry-method metadata. SDAG `serial` sections carry their parse-order

@@ -180,7 +180,6 @@ Trace read_trace(std::istream& in) {
       e.chare = blk.chare;
       e.proc = blk.proc;
       trace.events_.push_back(e);
-      blk.events.push_back(static_cast<EventId>(id));
       if (e.kind == EventKind::Recv && blk.trigger == kNone)
         blk.trigger = static_cast<EventId>(id);
     } else if (tag == "idle") {
@@ -234,11 +233,9 @@ Trace read_trace(std::istream& in) {
     Event& s = trace.events_[static_cast<std::size_t>(e.partner)];
     if (s.kind != EventKind::Send)
       throw std::runtime_error("lstrace: recv partnered with a recv");
-    if (s.partner == kNone) {
-      s.partner = id;
-    } else if (s.partner != id) {
-      trace.fanout_[e.partner].push_back(id);
-    }
+    if (s.partner == kNone) s.partner = id;
+    // Later receivers of a broadcast keep their own partner field; the
+    // freeze rebuilds the fan-out rows from the recv side.
   }
   // Send partners as written are recomputed above; clear stale values for
   // sends whose recv list was empty (they keep kNone naturally) — nothing

@@ -108,7 +108,7 @@ bool write_projections(const Trace& trace, const std::string& prefix) {
         group << "1 " << trace.event(blk.trigger).partner;
       }
       group << '\n';
-      for (EventId e : blk.events) {
+      for (EventId e : trace.events_of_block(b)) {
         const Event& ev = trace.event(e);
         if (ev.kind != EventKind::Send) continue;
         group << "CREATION " << e << ' ' << blk.entry << ' ' << ev.time

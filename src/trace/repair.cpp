@@ -566,27 +566,20 @@ Trace build_trace(RawTrace&& raw, int threads) {
     e.partner =
         re.partner == kNone ? kNone : static_cast<EventId>(re.partner);
     trace.events_.push_back(e);
-    blk.events.push_back(static_cast<EventId>(i));
   }
 
-  // Within-block order is by time (ties keep file order); identical to
-  // the historical id-order lists for well-formed input, where id order
-  // is already time-sorted. The trigger is the first receive.
-  for (SerialBlock& blk : trace.blocks_) {
-    std::stable_sort(blk.events.begin(), blk.events.end(),
-                     [&](EventId a, EventId b) {
-                       return trace.events_[static_cast<std::size_t>(a)]
-                                  .time <
-                              trace.events_[static_cast<std::size_t>(b)]
-                                  .time;
-                     });
-    for (EventId e : blk.events) {
-      if (trace.events_[static_cast<std::size_t>(e)].kind ==
-          EventKind::Recv) {
-        blk.trigger = e;
-        break;
-      }
-    }
+  // The trigger is each block's first receive in (time, id) order — the
+  // same event the historical stable-sort-by-time pass picked, found
+  // here with a single argmin scan (the freeze sorts the within-block
+  // event lists itself).
+  for (std::size_t i = 0; i < trace.events_.size(); ++i) {
+    const Event& e = trace.events_[i];
+    if (e.kind != EventKind::Recv) continue;
+    SerialBlock& blk = trace.blocks_[static_cast<std::size_t>(e.block)];
+    if (blk.trigger == kNone ||
+        e.time <
+            trace.events_[static_cast<std::size_t>(blk.trigger)].time)
+      blk.trigger = static_cast<EventId>(i);
   }
 
   // Send-side matching rebuilt from the recv side, in recv id order (the
@@ -601,11 +594,8 @@ Trace build_trace(RawTrace&& raw, int threads) {
     Event& s = trace.events_[static_cast<std::size_t>(e.partner)];
     LS_CHECK_MSG(s.kind == EventKind::Send,
                  "build_trace: unrepaired partner kind");
-    if (s.partner == kNone) {
-      s.partner = id;
-    } else if (s.partner != id) {
-      trace.fanout_[e.partner].push_back(id);
-    }
+    if (s.partner == kNone) s.partner = id;
+    // Fan-out rows are rebuilt from the recv side at freeze time.
   }
 
   trace.collectives_.reserve(raw.collectives.size());

@@ -6,17 +6,36 @@ namespace logstruct::trace {
 
 Trace apply_clock_skew(const Trace& trace, std::span<const TimeNs> delta) {
   LS_CHECK(delta.size() >= static_cast<std::size_t>(trace.num_procs()));
-  Trace out = trace;
-  for (Event& e : out.events_) e.time += delta[static_cast<std::size_t>(e.proc)];
-  for (SerialBlock& b : out.blocks_) {
+  // Materialize the shifted primary columns from the accessors (works
+  // against either backend) and re-freeze: per-chare time orders can
+  // change under skew, and the output lands on the backend currently
+  // selected by storage::default_options().
+  Trace out;
+  out.chares_ = trace.chares_;
+  out.arrays_ = trace.arrays_;
+  out.entries_ = trace.entries_;
+  out.collectives_ = trace.collectives_;
+  out.degraded_chare_ = trace.degraded_chare_;
+  out.num_procs_ = trace.num_procs_;
+
+  out.events_.reserve(static_cast<std::size_t>(trace.num_events()));
+  for (Event e : trace.events()) {
+    e.time += delta[static_cast<std::size_t>(e.proc)];
+    out.events_.push_back(e);
+  }
+  out.blocks_.reserve(static_cast<std::size_t>(trace.num_blocks()));
+  for (SerialBlock b : trace.blocks()) {
     b.begin += delta[static_cast<std::size_t>(b.proc)];
     b.end += delta[static_cast<std::size_t>(b.proc)];
+    out.blocks_.push_back(b);
   }
-  for (IdleSpan& s : out.idles_) {
+  out.idles_.reserve(trace.idles().size());
+  for (IdleSpan s : trace.idles()) {
     s.begin += delta[static_cast<std::size_t>(s.proc)];
     s.end += delta[static_cast<std::size_t>(s.proc)];
+    out.idles_.push_back(s);
   }
-  out.freeze();  // per-chare time orders can change under skew
+  out.freeze();
   return out;
 }
 

@@ -1,0 +1,112 @@
+#include "trace/storage/block_cache.hpp"
+
+#include "obs/obs.hpp"
+
+namespace logstruct::trace::storage {
+
+BlockCache& BlockCache::global() {
+  static BlockCache cache;
+  return cache;
+}
+
+std::uint64_t next_store_generation() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+CachedBlock BlockCache::get(const BlockStore& store, ColumnId col,
+                            std::uint32_t block) {
+  const Key key{store.generation(),
+                (static_cast<std::uint64_t>(col) << 32) | block};
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      OBS_COUNTER_INC("trace/storage/cache/hits");
+      return it->second.block;
+    }
+  }
+
+  // Miss: read outside the shard lock so concurrent misses on different
+  // blocks of the same shard overlap their I/O.
+  const std::uint32_t bytes = store.block_size(col, block);
+  std::shared_ptr<char[]> buf(new char[bytes]);
+  store.read_block(col, block, buf.get());
+  CachedBlock filled{std::shared_ptr<const char[]>(std::move(buf)), bytes};
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNTER_INC("trace/storage/cache/misses");
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Another thread filled it while we read; keep the cached copy.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return it->second.block;
+  }
+  shard.lru.push_front(key);
+  shard.map.emplace(key, Entry{filled, shard.lru.begin()});
+  shard.bytes += bytes;
+  evict_locked(shard, shard_budget());
+  return filled;
+}
+
+void BlockCache::evict_locked(Shard& shard, std::uint64_t budget) {
+  if (budget == 0) return;  // unbounded
+  while (shard.bytes > budget && shard.lru.size() > 1) {
+    const Key victim = shard.lru.back();
+    auto it = shard.map.find(victim);
+    shard.bytes -= it->second.block.bytes;
+    shard.map.erase(it);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNTER_INC("trace/storage/cache/evictions");
+  }
+}
+
+void BlockCache::set_budget(std::uint64_t bytes) {
+  budget_.store(bytes, std::memory_order_relaxed);
+  const std::uint64_t per_shard = shard_budget();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    evict_locked(shard, per_shard);
+  }
+}
+
+void BlockCache::purge(std::uint64_t generation) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->generation == generation) {
+        auto entry = shard.map.find(*it);
+        shard.bytes -= entry->second.block.bytes;
+        shard.map.erase(entry);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    s.resident_bytes += shard.bytes;
+  }
+  return s;
+}
+
+void BlockCache::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace logstruct::trace::storage

@@ -1,0 +1,210 @@
+#include "trace/storage/block_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "trace/storage/block_cache.hpp"
+
+namespace logstruct::trace::storage {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error("lsblk: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+void pwrite_all(int fd, const void* data, std::size_t bytes,
+                std::uint64_t offset, const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pwrite(fd, p, bytes, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path);
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+void pread_all(int fd, void* data, std::size_t bytes, std::uint64_t offset,
+               const std::string& path) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read", path);
+    }
+    if (n == 0) throw std::runtime_error("lsblk: short read '" + path + "'");
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+BlockStoreWriter::BlockStoreWriter(const std::string& path,
+                                   std::uint32_t block_bytes)
+    : path_(path), block_bytes_(block_bytes) {
+  if (block_bytes_ < 4096) block_bytes_ = 4096;
+  fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("create", path);
+  FileHeader header;
+  header.block_bytes = block_bytes_;
+  write_raw(&header, sizeof(header));
+}
+
+BlockStoreWriter::~BlockStoreWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BlockStoreWriter::write_raw(const void* data, std::size_t bytes) {
+  pwrite_all(fd_, data, bytes, file_pos_, path_);
+  file_pos_ += bytes;
+}
+
+void BlockStoreWriter::set_elem_bytes(ColumnId col, std::uint32_t elem_bytes) {
+  ColState& c = cols_[static_cast<std::uint32_t>(col)];
+  if (elem_bytes == 0 || elem_bytes > block_bytes_)
+    throw std::runtime_error("lsblk: bad element size for '" + path_ + "'");
+  c.elem_bytes = elem_bytes;
+  c.payload = block_bytes_ / elem_bytes * elem_bytes;
+}
+
+void BlockStoreWriter::append(ColumnId col, const void* data,
+                              std::size_t bytes) {
+  ColState& c = cols_[static_cast<std::uint32_t>(col)];
+  if (c.payload == 0)
+    throw std::runtime_error("lsblk: append before set_elem_bytes to '" +
+                             path_ + "'");
+  c.byte_size += bytes;
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    if (c.buffer.capacity() == 0) c.buffer.reserve(c.payload);
+    const std::size_t room = c.payload - c.buffer.size();
+    const std::size_t take = bytes < room ? bytes : room;
+    c.buffer.insert(c.buffer.end(), p, p + take);
+    p += take;
+    bytes -= take;
+    if (c.buffer.size() == c.payload) flush_block(c);
+  }
+}
+
+void BlockStoreWriter::flush_block(ColState& col) {
+  if (col.buffer.empty()) return;
+  col.block_offsets.push_back(file_pos_);
+  write_raw(col.buffer.data(), col.buffer.size());
+  col.buffer.clear();
+}
+
+void BlockStoreWriter::finish(const std::string& metadata) {
+  if (finished_) return;
+  finished_ = true;
+  for (ColState& c : cols_) flush_block(c);
+
+  std::uint64_t offsets_offsets[kNumColumns] = {};
+  for (std::uint32_t i = 0; i < kNumColumns; ++i) {
+    ColState& c = cols_[i];
+    if (c.block_offsets.empty()) continue;
+    offsets_offsets[i] = file_pos_;
+    write_raw(c.block_offsets.data(),
+              c.block_offsets.size() * sizeof(std::uint64_t));
+  }
+
+  FileHeader header;
+  header.block_bytes = block_bytes_;
+  header.directory_offset = file_pos_;
+  for (std::uint32_t i = 0; i < kNumColumns; ++i) {
+    ColumnDesc desc;
+    desc.id = i;
+    desc.elem_bytes = cols_[i].elem_bytes;
+    desc.byte_size = cols_[i].byte_size;
+    desc.offsets_offset = offsets_offsets[i];
+    write_raw(&desc, sizeof(desc));
+  }
+
+  header.meta_offset = file_pos_;
+  header.meta_bytes = metadata.size();
+  write_raw(metadata.data(), metadata.size());
+
+  pwrite_all(fd_, &header, sizeof(header), 0, path_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+// ---------------------------------------------------------------- reader
+
+BlockStore::BlockStore(const std::string& path)
+    : path_(path), generation_(next_store_generation()) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) throw_errno("open", path);
+  FileHeader header;
+  pread_all(fd_, &header, sizeof(header), 0, path_);
+  if (header.magic != kMagic)
+    throw std::runtime_error("lsblk: bad magic in '" + path + "'");
+  if (header.version != kFormatVersion)
+    throw std::runtime_error("lsblk: unsupported version in '" + path + "'");
+  if (header.num_columns != kNumColumns || header.block_bytes == 0)
+    throw std::runtime_error("lsblk: corrupt header in '" + path + "'");
+  block_bytes_ = header.block_bytes;
+
+  std::uint64_t pos = header.directory_offset;
+  for (std::uint32_t i = 0; i < kNumColumns; ++i) {
+    ColumnDesc desc;
+    pread_all(fd_, &desc, sizeof(desc), pos, path_);
+    pos += sizeof(desc);
+    if (desc.id != i)
+      throw std::runtime_error("lsblk: corrupt directory in '" + path + "'");
+    ColState& c = cols_[i];
+    c.byte_size = desc.byte_size;
+    c.elem_bytes = desc.elem_bytes;
+    if (desc.byte_size == 0) continue;
+    if (desc.elem_bytes == 0 || desc.elem_bytes > block_bytes_)
+      throw std::runtime_error("lsblk: corrupt directory in '" + path + "'");
+    c.payload = block_bytes_ / desc.elem_bytes * desc.elem_bytes;
+    const std::uint64_t blocks =
+        (desc.byte_size + c.payload - 1) / c.payload;
+    c.block_offsets.resize(blocks);
+    pread_all(fd_, c.block_offsets.data(), blocks * sizeof(std::uint64_t),
+              desc.offsets_offset, path_);
+  }
+
+  metadata_.resize(header.meta_bytes);
+  if (header.meta_bytes > 0)
+    pread_all(fd_, metadata_.data(), header.meta_bytes, header.meta_offset,
+              path_);
+}
+
+BlockStore::~BlockStore() {
+  BlockCache::global().purge(generation_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BlockStore::unlink_backing_file() { ::unlink(path_.c_str()); }
+
+std::uint32_t BlockStore::block_size(ColumnId col,
+                                     std::uint32_t block) const {
+  const ColState& c = cols_[static_cast<std::uint32_t>(col)];
+  const std::uint64_t begin = std::uint64_t{block} * c.payload;
+  const std::uint64_t left = c.byte_size - begin;
+  return left < c.payload ? static_cast<std::uint32_t>(left) : c.payload;
+}
+
+void BlockStore::read_block(ColumnId col, std::uint32_t block,
+                            void* out) const {
+  const ColState& c = cols_[static_cast<std::uint32_t>(col)];
+  pread_all(fd_, out, block_size(col, block), c.block_offsets[block], path_);
+}
+
+}  // namespace logstruct::trace::storage

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file block_store.hpp
+/// Writer and reader for the `.lsblk` container (storage/format.hpp).
+///
+/// BlockStoreWriter streams any number of columns concurrently with
+/// bounded RAM: one block_bytes buffer per column; a full buffer is
+/// appended to the file immediately and only its u64 offset is retained.
+/// finish() flushes partial blocks and writes offset tables + directory
+/// + metadata blob, then patches the header.
+///
+/// BlockStore mmap-free reads: read_block() pread()s one block into a
+/// caller buffer. Opening is cheap — header, directory, offset tables,
+/// and the metadata blob only. Each open store gets a process-unique
+/// generation id, which keys the global block cache and the thread-local
+/// cursors (storage/column.hpp), so a recycled address can never alias a
+/// dead store's cached blocks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/storage/format.hpp"
+
+namespace logstruct::trace::storage {
+
+class BlockStoreWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// I/O failure, here and in append/finish.
+  BlockStoreWriter(const std::string& path, std::uint32_t block_bytes);
+  ~BlockStoreWriter();
+
+  BlockStoreWriter(const BlockStoreWriter&) = delete;
+  BlockStoreWriter& operator=(const BlockStoreWriter&) = delete;
+
+  /// Append `bytes` of raw elements to a column. Interleaving appends to
+  /// different columns is the intended use.
+  void append(ColumnId col, const void* data, std::size_t bytes);
+
+  /// Record the element size of a column before its first append. Blocks
+  /// carry floor(block_bytes / elem_bytes) * elem_bytes payload bytes so
+  /// no element ever straddles a block boundary.
+  void set_elem_bytes(ColumnId col, std::uint32_t elem_bytes);
+
+  /// Flush partials, write tables + directory + `metadata`, patch the
+  /// header, fsync-free close. No append() after finish().
+  void finish(const std::string& metadata);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct ColState {
+    std::vector<char> buffer;
+    std::vector<std::uint64_t> block_offsets;
+    std::uint64_t byte_size = 0;
+    std::uint32_t elem_bytes = 0;
+    std::uint32_t payload = 0;  ///< bytes per full block, elem-aligned
+  };
+
+  void flush_block(ColState& col);
+  void write_raw(const void* data, std::size_t bytes);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint32_t block_bytes_ = 0;
+  std::uint64_t file_pos_ = 0;
+  bool finished_ = false;
+  ColState cols_[kNumColumns];
+};
+
+class BlockStore {
+ public:
+  /// Opens an existing container. Throws std::runtime_error on a missing
+  /// file, bad magic, or unsupported version.
+  explicit BlockStore(const std::string& path);
+  ~BlockStore();
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Unlink the backing file now; the open fd keeps the data readable.
+  /// Used for freeze-time spill stores so crashes never leak temp files.
+  void unlink_backing_file();
+
+  [[nodiscard]] std::uint32_t block_bytes() const { return block_bytes_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] const std::string& metadata() const { return metadata_; }
+
+  [[nodiscard]] std::uint64_t column_bytes(ColumnId col) const {
+    return cols_[static_cast<std::uint32_t>(col)].byte_size;
+  }
+  [[nodiscard]] std::uint32_t column_elem_bytes(ColumnId col) const {
+    return cols_[static_cast<std::uint32_t>(col)].elem_bytes;
+  }
+  /// Payload bytes per full block of this column (element-aligned).
+  [[nodiscard]] std::uint32_t column_payload(ColumnId col) const {
+    return cols_[static_cast<std::uint32_t>(col)].payload;
+  }
+
+  /// Bytes in one block: column_payload() except a column's last block.
+  [[nodiscard]] std::uint32_t block_size(ColumnId col,
+                                         std::uint32_t block) const;
+  [[nodiscard]] std::uint32_t num_blocks(ColumnId col) const {
+    return static_cast<std::uint32_t>(
+        cols_[static_cast<std::uint32_t>(col)].block_offsets.size());
+  }
+
+  /// pread one whole block into `out` (must hold block_size()). Throws
+  /// on short reads. Thread-safe (stateless pread).
+  void read_block(ColumnId col, std::uint32_t block, void* out) const;
+
+ private:
+  struct ColState {
+    std::vector<std::uint64_t> block_offsets;
+    std::uint64_t byte_size = 0;
+    std::uint32_t elem_bytes = 0;
+    std::uint32_t payload = 0;
+  };
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint32_t block_bytes_ = 0;
+  std::uint64_t generation_ = 0;
+  std::string metadata_;
+  ColState cols_[kNumColumns];
+};
+
+}  // namespace logstruct::trace::storage

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file blocked_data.hpp
+/// The blocked backend of trace::Trace: one open `.lsblk` store plus a
+/// typed BlockedColumn per on-disk column. Owned by the Trace through a
+/// shared_ptr (copying a Trace shares the immutable backend); the store
+/// is declared first so the columns it backs are torn down before it.
+
+#include <memory>
+
+#include "trace/event.hpp"
+#include "trace/storage/column.hpp"
+
+namespace logstruct::trace::storage {
+
+struct BlockedTraceData {
+  std::unique_ptr<BlockStore> store;
+
+  BlockedColumn<Event> events;
+  BlockedColumn<SerialBlock> blocks;
+  BlockedColumn<IdleSpan> idles;
+  BlockedColumn<EventId> dep_send;
+  BlockedColumn<EventId> dep_recv;
+  BlockedColumn<DepKind> dep_kind;
+  BlockedColumn<std::int32_t> dep_begin;
+  BlockedColumn<EventId> block_events;
+  BlockedColumn<std::int64_t> block_ev_begin;
+  BlockedColumn<EventId> chare_events;
+  BlockedColumn<BlockId> chare_blocks;
+  BlockedColumn<BlockId> proc_blocks;
+
+  /// Point every column at `store` (which must already be set).
+  void bind_columns() {
+    const BlockStore* s = store.get();
+    events = {s, ColumnId::Events};
+    blocks = {s, ColumnId::Blocks};
+    idles = {s, ColumnId::Idles};
+    dep_send = {s, ColumnId::DepSend};
+    dep_recv = {s, ColumnId::DepRecv};
+    dep_kind = {s, ColumnId::DepKind};
+    dep_begin = {s, ColumnId::DepBegin};
+    block_events = {s, ColumnId::BlockEvents};
+    block_ev_begin = {s, ColumnId::BlockEvBegin};
+    chare_events = {s, ColumnId::ChareEvents};
+    chare_blocks = {s, ColumnId::ChareBlocks};
+    proc_blocks = {s, ColumnId::ProcBlocks};
+  }
+};
+
+}  // namespace logstruct::trace::storage

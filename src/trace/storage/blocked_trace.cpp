@@ -1,0 +1,616 @@
+#include "trace/storage/blocked_trace.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+#include "trace/storage/extsort.hpp"
+#include "trace/storage/options.hpp"
+#include "util/check.hpp"
+
+namespace logstruct::trace::storage {
+
+namespace {
+
+// ------------------------------------------------- metadata blob codec
+
+class ByteWriter {
+ public:
+  void raw(const void* data, std::size_t bytes) {
+    out_.append(static_cast<const char*>(data), bytes);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(T));
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& blob)
+      : p_(blob.data()), end_(blob.data() + blob.size()) {}
+  void raw(void* data, std::size_t bytes) {
+    if (static_cast<std::size_t>(end_ - p_) < bytes)
+      throw std::runtime_error("lsblk: truncated trace metadata");
+    std::memcpy(data, p_, bytes);
+    p_ += bytes;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v;
+    raw(&v, 1);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v;
+    raw(&v, 4);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, 8);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = len();
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+  template <typename T>
+  std::vector<T> vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = len();
+    std::vector<T> v(n);
+    raw(v.data(), n * sizeof(T));
+    return v;
+  }
+
+ private:
+  std::uint64_t len() {
+    const std::uint64_t n = u64();
+    if (n > static_cast<std::uint64_t>(end_ - p_))
+      throw std::runtime_error("lsblk: truncated trace metadata");
+    return n;
+  }
+  const char* p_;
+  const char* end_;
+};
+
+constexpr std::uint32_t kMetaVersion = 1;
+
+// ---------------------------------------------------- column streaming
+
+template <typename T, typename View>
+void append_column(BlockStoreWriter& writer, ColumnId col, const View& view) {
+  writer.set_elem_bytes(col, sizeof(T));
+  view.for_each_chunk([&](const T* chunk, std::size_t n, std::size_t) {
+    writer.append(col, chunk, n * sizeof(T));
+  });
+}
+
+std::string make_spill_path(const StorageOptions& opts) {
+  static std::atomic<std::uint64_t> counter{0};
+  return resolve_spill_dir(opts) + "/lsblk-" + std::to_string(::getpid()) +
+         "-" + std::to_string(counter.fetch_add(1)) + ".tmp";
+}
+
+}  // namespace
+
+std::string serialize_trace_metadata(const Trace& trace) {
+  ByteWriter w;
+  w.i32(static_cast<std::int32_t>(kMetaVersion));
+  w.i32(trace.num_procs_);
+  w.i64(trace.end_time_);
+  w.vec(trace.idle_total_);
+  w.vec(trace.degraded_chare_);
+  w.u64(trace.chares_.size());
+  for (const ChareInfo& c : trace.chares_) {
+    w.str(c.name);
+    w.i32(c.array);
+    w.i32(c.index);
+    w.i32(c.home);
+    w.u8(c.runtime ? 1 : 0);
+  }
+  w.u64(trace.arrays_.size());
+  for (const ArrayInfo& a : trace.arrays_) {
+    w.str(a.name);
+    w.u8(a.runtime ? 1 : 0);
+  }
+  w.u64(trace.entries_.size());
+  for (const EntryInfo& e : trace.entries_) {
+    w.str(e.name);
+    w.u8(e.runtime ? 1 : 0);
+    w.i32(e.sdag_serial);
+    w.vec(e.when_entries);
+  }
+  w.u64(trace.collectives_.size());
+  for (const Collective& c : trace.collectives_) {
+    w.vec(c.sends);
+    w.vec(c.recvs);
+  }
+  w.vec(trace.chare_blocks_begin_);
+  w.vec(trace.proc_blocks_begin_);
+  w.vec(trace.chare_events_begin_);
+  return w.take();
+}
+
+void deserialize_trace_metadata(const std::string& blob, Trace& trace) {
+  ByteReader r(blob);
+  if (r.i32() != static_cast<std::int32_t>(kMetaVersion))
+    throw std::runtime_error("lsblk: unsupported trace metadata version");
+  trace.num_procs_ = r.i32();
+  trace.end_time_ = r.i64();
+  trace.idle_total_ = r.vec<TimeNs>();
+  trace.degraded_chare_ = r.vec<std::uint8_t>();
+  trace.chares_.resize(r.u64());
+  for (ChareInfo& c : trace.chares_) {
+    c.name = r.str();
+    c.array = r.i32();
+    c.index = r.i32();
+    c.home = r.i32();
+    c.runtime = r.u8() != 0;
+  }
+  trace.arrays_.resize(r.u64());
+  for (ArrayInfo& a : trace.arrays_) {
+    a.name = r.str();
+    a.runtime = r.u8() != 0;
+  }
+  trace.entries_.resize(r.u64());
+  for (EntryInfo& e : trace.entries_) {
+    e.name = r.str();
+    e.runtime = r.u8() != 0;
+    e.sdag_serial = r.i32();
+    e.when_entries = r.vec<EntryId>();
+  }
+  trace.collectives_.resize(r.u64());
+  for (Collective& c : trace.collectives_) {
+    c.sends = r.vec<EventId>();
+    c.recvs = r.vec<EventId>();
+  }
+  trace.chare_blocks_begin_ = r.vec<std::int64_t>();
+  trace.proc_blocks_begin_ = r.vec<std::int64_t>();
+  trace.chare_events_begin_ = r.vec<std::int64_t>();
+}
+
+void freeze_blocked(Trace& trace, int threads) {
+  OBS_SPAN(span, "trace/freeze_blocked");
+  const StorageOptions opts = default_options();
+  const std::string path = make_spill_path(opts);
+  BlockStoreWriter writer(path, opts.block_bytes);
+
+  const std::size_t num_events = trace.events_.size();
+  const std::size_t num_blocks = trace.blocks_.size();
+  const std::size_t num_chares = trace.chares_.size();
+  const std::size_t num_procs =
+      static_cast<std::size_t>(trace.num_procs_);
+  span.attr("events", static_cast<std::int64_t>(num_events));
+
+  // Run-buffer budget of each external sort; the largest transient the
+  // blocked freeze allocates beyond the construction staging itself.
+  constexpr std::size_t kRunBytes = 16u << 20;
+
+  // Primary columns stream straight out in frozen (id) order.
+  writer.set_elem_bytes(ColumnId::Events, sizeof(Event));
+  writer.append(ColumnId::Events, trace.events_.data(),
+                num_events * sizeof(Event));
+  writer.set_elem_bytes(ColumnId::Blocks, sizeof(SerialBlock));
+  writer.append(ColumnId::Blocks, trace.blocks_.data(),
+                num_blocks * sizeof(SerialBlock));
+  writer.set_elem_bytes(ColumnId::Idles, sizeof(IdleSpan));
+  writer.append(ColumnId::Idles, trace.idles_.data(),
+                trace.idles_.size() * sizeof(IdleSpan));
+
+  // Per-block event lists: sort (block, time, id), stream the ids plus
+  // the CSR begin column. Same (time, id) in-block order as the mem
+  // backend's per-segment sorts.
+  {
+    struct Rec {
+      BlockId block;
+      TimeNs time;
+      EventId id;
+    };
+    struct Less {
+      bool operator()(const Rec& a, const Rec& b) const {
+        if (a.block != b.block) return a.block < b.block;
+        if (a.time != b.time) return a.time < b.time;
+        return a.id < b.id;
+      }
+    };
+    ExternalSorter<Rec, Less> sorter(kRunBytes, threads);
+    for (std::size_t e = 0; e < num_events; ++e) {
+      const Event& ev = trace.events_[e];
+      if (ev.block != kNone)
+        sorter.push({ev.block, ev.time, static_cast<EventId>(e)});
+    }
+    writer.set_elem_bytes(ColumnId::BlockEvents, sizeof(EventId));
+    writer.set_elem_bytes(ColumnId::BlockEvBegin, sizeof(std::int64_t));
+    std::int64_t count = 0;
+    std::size_t next = 0;
+    sorter.finish([&](const Rec& rec) {
+      while (next <= static_cast<std::size_t>(rec.block)) {
+        writer.append(ColumnId::BlockEvBegin, &count, sizeof(count));
+        ++next;
+      }
+      writer.append(ColumnId::BlockEvents, &rec.id, sizeof(rec.id));
+      ++count;
+    });
+    while (next <= num_blocks) {
+      writer.append(ColumnId::BlockEvBegin, &count, sizeof(count));
+      ++next;
+    }
+  }
+
+  // Per-chare event lists: sort (chare, time, id); the small begin array
+  // stays RAM-resident on the Trace.
+  {
+    struct Rec {
+      ChareId chare;
+      TimeNs time;
+      EventId id;
+    };
+    struct Less {
+      bool operator()(const Rec& a, const Rec& b) const {
+        if (a.chare != b.chare) return a.chare < b.chare;
+        if (a.time != b.time) return a.time < b.time;
+        return a.id < b.id;
+      }
+    };
+    ExternalSorter<Rec, Less> sorter(kRunBytes, threads);
+    for (std::size_t e = 0; e < num_events; ++e) {
+      const Event& ev = trace.events_[e];
+      sorter.push({ev.chare, ev.time, static_cast<EventId>(e)});
+    }
+    writer.set_elem_bytes(ColumnId::ChareEvents, sizeof(EventId));
+    trace.chare_events_begin_.clear();
+    trace.chare_events_begin_.reserve(num_chares + 1);
+    std::int64_t count = 0;
+    std::size_t next = 0;
+    sorter.finish([&](const Rec& rec) {
+      while (next <= static_cast<std::size_t>(rec.chare)) {
+        trace.chare_events_begin_.push_back(count);
+        ++next;
+      }
+      writer.append(ColumnId::ChareEvents, &rec.id, sizeof(rec.id));
+      ++count;
+    });
+    while (next <= num_chares) {
+      trace.chare_events_begin_.push_back(count);
+      ++next;
+    }
+  }
+
+  // Per-chare and per-PE block lists: sort (group, begin, id).
+  {
+    struct Rec {
+      std::int32_t group;
+      TimeNs begin;
+      BlockId id;
+    };
+    struct Less {
+      bool operator()(const Rec& a, const Rec& b) const {
+        if (a.group != b.group) return a.group < b.group;
+        if (a.begin != b.begin) return a.begin < b.begin;
+        return a.id < b.id;
+      }
+    };
+    const auto emit_groups = [&](ColumnId col, std::size_t groups,
+                                 std::vector<std::int64_t>& begin,
+                                 ExternalSorter<Rec, Less>& sorter) {
+      writer.set_elem_bytes(col, sizeof(BlockId));
+      begin.clear();
+      begin.reserve(groups + 1);
+      std::int64_t count = 0;
+      std::size_t next = 0;
+      sorter.finish([&](const Rec& rec) {
+        while (next <= static_cast<std::size_t>(rec.group)) {
+          begin.push_back(count);
+          ++next;
+        }
+        writer.append(col, &rec.id, sizeof(rec.id));
+        ++count;
+      });
+      while (next <= groups) {
+        begin.push_back(count);
+        ++next;
+      }
+    };
+    {
+      ExternalSorter<Rec, Less> sorter(kRunBytes, threads);
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        const SerialBlock& blk = trace.blocks_[b];
+        sorter.push({blk.chare, blk.begin, static_cast<BlockId>(b)});
+      }
+      emit_groups(ColumnId::ChareBlocks, num_chares,
+                  trace.chare_blocks_begin_, sorter);
+    }
+    {
+      ExternalSorter<Rec, Less> sorter(kRunBytes, threads);
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        const SerialBlock& blk = trace.blocks_[b];
+        if (blk.proc >= 0 && blk.proc < trace.num_procs_)
+          sorter.push({blk.proc, blk.begin, static_cast<BlockId>(b)});
+      }
+      emit_groups(ColumnId::ProcBlocks, num_procs,
+                  trace.proc_blocks_begin_, sorter);
+    }
+  }
+
+  // Dependency table: every recv naming send s is one row (s, r); the
+  // (s, r) sort groups rows by send with the partner (lowest recv id)
+  // first — identical to the mem backend's scatter. The CSR begin column
+  // streams alongside; collective cross-product rows follow the prefix.
+  {
+    struct Rec {
+      EventId send;
+      EventId recv;
+    };
+    struct Less {
+      bool operator()(const Rec& a, const Rec& b) const {
+        if (a.send != b.send) return a.send < b.send;
+        return a.recv < b.recv;
+      }
+    };
+    ExternalSorter<Rec, Less> sorter(kRunBytes, threads);
+    for (std::size_t r = 0; r < num_events; ++r) {
+      const Event& e = trace.events_[r];
+      if (e.kind == EventKind::Recv && e.partner != kNone)
+        sorter.push({e.partner, static_cast<EventId>(r)});
+    }
+    writer.set_elem_bytes(ColumnId::DepSend, sizeof(EventId));
+    writer.set_elem_bytes(ColumnId::DepRecv, sizeof(EventId));
+    writer.set_elem_bytes(ColumnId::DepKind, sizeof(DepKind));
+    writer.set_elem_bytes(ColumnId::DepBegin, sizeof(std::int32_t));
+    std::int32_t count = 0;
+    std::size_t next = 0;
+    sorter.finish([&](const Rec& rec) {
+      while (next <= static_cast<std::size_t>(rec.send)) {
+        writer.append(ColumnId::DepBegin, &count, sizeof(count));
+        ++next;
+      }
+      const DepKind kind =
+          trace.events_[static_cast<std::size_t>(rec.send)].partner ==
+                  rec.recv
+              ? DepKind::Match
+              : DepKind::Fanout;
+      writer.append(ColumnId::DepSend, &rec.send, sizeof(rec.send));
+      writer.append(ColumnId::DepRecv, &rec.recv, sizeof(rec.recv));
+      writer.append(ColumnId::DepKind, &kind, sizeof(kind));
+      ++count;
+    });
+    while (next <= num_events) {
+      writer.append(ColumnId::DepBegin, &count, sizeof(count));
+      ++next;
+    }
+    for (const Collective& coll : trace.collectives_) {
+      const DepKind kind = DepKind::Collective;
+      for (EventId s : coll.sends) {
+        for (EventId r : coll.recvs) {
+          writer.append(ColumnId::DepSend, &s, sizeof(s));
+          writer.append(ColumnId::DepRecv, &r, sizeof(r));
+          writer.append(ColumnId::DepKind, &kind, sizeof(kind));
+        }
+      }
+    }
+  }
+
+  writer.finish(serialize_trace_metadata(trace));
+
+  auto data = std::make_shared<BlockedTraceData>();
+  data->store = std::make_unique<BlockStore>(path);
+  data->store->unlink_backing_file();  // spill store: fd keeps it alive
+  data->bind_columns();
+  trace.blocked_ = std::move(data);
+
+  // Release the construction staging and any mem-backend leftovers.
+  trace.events_ = {};
+  trace.blocks_ = {};
+  trace.idles_ = {};
+  trace.chare_blocks_ = {};
+  trace.proc_blocks_ = {};
+  trace.chare_events_ = {};
+  trace.block_events_ = {};
+  trace.block_ev_begin_ = {};
+  trace.dep_send_ = {};
+  trace.dep_recv_ = {};
+  trace.dep_kind_ = {};
+  trace.dep_begin_ = {};
+}
+
+Trace open_blocked_trace(const std::string& path) {
+  Trace trace;
+  auto data = std::make_shared<BlockedTraceData>();
+  data->store = std::make_unique<BlockStore>(path);
+  deserialize_trace_metadata(data->store->metadata(), trace);
+  data->bind_columns();
+  trace.blocked_ = std::move(data);
+  LS_CHECK_MSG(trace.chare_blocks_begin_.size() == trace.chares_.size() + 1,
+               "lsblk: metadata/column shape mismatch");
+  return trace;
+}
+
+void write_blocked_file(const Trace& trace, const std::string& path,
+                        std::uint32_t block_bytes) {
+  OBS_SPAN(span, "trace/write_blocked_file");
+  BlockStoreWriter writer(path, block_bytes);
+  append_column<Event>(writer, ColumnId::Events, trace.events());
+  append_column<SerialBlock>(writer, ColumnId::Blocks, trace.blocks());
+  append_column<IdleSpan>(writer, ColumnId::Idles, trace.idles());
+  append_column<EventId>(writer, ColumnId::DepSend, trace.dep_sends());
+  append_column<EventId>(writer, ColumnId::DepRecv, trace.dep_recvs());
+  append_column<DepKind>(writer, ColumnId::DepKind, trace.dep_kinds());
+
+  const auto view_i32 = [&](const BlockedColumn<std::int32_t>* col,
+                            const std::vector<std::int32_t>& mem) {
+    return trace.blocked_ ? ColumnView<std::int32_t>(col)
+                          : ColumnView<std::int32_t>(mem.data(), mem.size());
+  };
+  const auto view_i64 = [&](const BlockedColumn<std::int64_t>* col,
+                            const std::vector<std::int64_t>& mem) {
+    return trace.blocked_ ? ColumnView<std::int64_t>(col)
+                          : ColumnView<std::int64_t>(mem.data(), mem.size());
+  };
+  const auto view_id = [&](const BlockedColumn<std::int32_t>* col,
+                           const std::vector<std::int32_t>& mem) {
+    return trace.blocked_ ? ColumnView<std::int32_t>(col)
+                          : ColumnView<std::int32_t>(mem.data(), mem.size());
+  };
+  const BlockedTraceData* b = trace.blocked_.get();
+  append_column<std::int32_t>(
+      writer, ColumnId::DepBegin,
+      view_i32(b ? &b->dep_begin : nullptr, trace.dep_begin_));
+  append_column<EventId>(
+      writer, ColumnId::BlockEvents,
+      view_id(b ? &b->block_events : nullptr, trace.block_events_));
+  append_column<std::int64_t>(
+      writer, ColumnId::BlockEvBegin,
+      view_i64(b ? &b->block_ev_begin : nullptr, trace.block_ev_begin_));
+  append_column<EventId>(
+      writer, ColumnId::ChareEvents,
+      view_id(b ? &b->chare_events : nullptr, trace.chare_events_));
+  append_column<BlockId>(
+      writer, ColumnId::ChareBlocks,
+      view_id(b ? &b->chare_blocks : nullptr, trace.chare_blocks_));
+  append_column<BlockId>(
+      writer, ColumnId::ProcBlocks,
+      view_id(b ? &b->proc_blocks : nullptr, trace.proc_blocks_));
+  writer.finish(serialize_trace_metadata(trace));
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) {
+    u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+std::uint64_t trace_structure_hash(const Trace& trace) {
+  Fnv1a h;
+  h.i32(trace.num_procs());
+  h.i32(trace.num_events());
+  h.i32(trace.num_blocks());
+  h.i32(trace.num_chares());
+  h.i64(trace.num_dependencies());
+  h.i64(trace.end_time());
+
+  for (const Event& e : trace.events()) {
+    h.byte(static_cast<std::uint8_t>(e.kind));
+    h.i64(e.time);
+    h.i32(e.chare);
+    h.i32(e.proc);
+    h.i32(e.block);
+    h.i32(e.partner);
+  }
+  for (const SerialBlock& b : trace.blocks()) {
+    h.i32(b.chare);
+    h.i32(b.proc);
+    h.i32(b.entry);
+    h.i64(b.begin);
+    h.i64(b.end);
+    h.i32(b.trigger);
+  }
+  for (const IdleSpan& s : trace.idles()) {
+    h.i32(s.proc);
+    h.i64(s.begin);
+    h.i64(s.end);
+  }
+  trace.dep_sends().for_each_chunk(
+      [&](const EventId* p, std::size_t n, std::size_t) {
+        for (std::size_t i = 0; i < n; ++i) h.i32(p[i]);
+      });
+  trace.dep_recvs().for_each_chunk(
+      [&](const EventId* p, std::size_t n, std::size_t) {
+        for (std::size_t i = 0; i < n; ++i) h.i32(p[i]);
+      });
+  trace.dep_kinds().for_each_chunk(
+      [&](const DepKind* p, std::size_t n, std::size_t) {
+        for (std::size_t i = 0; i < n; ++i)
+          h.byte(static_cast<std::uint8_t>(p[i]));
+      });
+  for (BlockId b = 0; b < trace.num_blocks(); ++b) {
+    const auto span = trace.events_of_block(b);
+    h.u64(span.size());
+    for (EventId e : span) h.i32(e);
+  }
+  for (ChareId c = 0; c < trace.num_chares(); ++c) {
+    const auto events = trace.events_of_chare(c);
+    h.u64(events.size());
+    for (EventId e : events) h.i32(e);
+    const auto blocks = trace.blocks_of_chare(c);
+    h.u64(blocks.size());
+    for (BlockId b : blocks) h.i32(b);
+  }
+  for (ProcId p = 0; p < trace.num_procs(); ++p) {
+    const auto blocks = trace.blocks_of_proc(p);
+    h.u64(blocks.size());
+    for (BlockId b : blocks) h.i32(b);
+    h.i64(trace.total_idle(p));
+  }
+  for (const ChareInfo& c : trace.chares()) {
+    h.str(c.name);
+    h.i32(c.array);
+    h.i32(c.index);
+    h.i32(c.home);
+    h.byte(c.runtime ? 1 : 0);
+  }
+  for (const ArrayInfo& a : trace.arrays()) {
+    h.str(a.name);
+    h.byte(a.runtime ? 1 : 0);
+  }
+  for (const EntryInfo& e : trace.entries()) {
+    h.str(e.name);
+    h.byte(e.runtime ? 1 : 0);
+    h.i32(e.sdag_serial);
+    h.u64(e.when_entries.size());
+    for (EntryId w : e.when_entries) h.i32(w);
+  }
+  for (const Collective& c : trace.collectives()) {
+    h.u64(c.sends.size());
+    for (EventId s : c.sends) h.i32(s);
+    h.u64(c.recvs.size());
+    for (EventId r : c.recvs) h.i32(r);
+  }
+  h.i32(trace.num_degraded_chares());
+  for (ChareId c = 0; c < trace.num_chares(); ++c)
+    if (trace.is_degraded_chare(c)) h.i32(c);
+  return h.h;
+}
+
+}  // namespace logstruct::trace::storage

@@ -1,0 +1,216 @@
+#pragma once
+
+/// \file extsort.hpp
+/// Bounded-RSS external sorter for the blocked freeze path.
+///
+/// Records are pushed in arbitrary order into a fixed-size run buffer;
+/// a full buffer is sorted (parallel segment sort + pairwise merges on
+/// the shared pool) and spilled as one run to an unlinked temp file.
+/// finish() k-way-merges the runs through small per-run read buffers and
+/// emits records in globally sorted order.
+///
+/// Determinism: the comparators used by freeze are total orders (every
+/// key ends in a unique id), so the emitted order is unique regardless
+/// of thread count, run boundaries, or buffer sizes. The tie-break on
+/// run index below is belt and braces, not load-bearing.
+///
+/// A sorter whose input fits in a single run never touches the disk.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+#include <unistd.h>
+
+namespace logstruct::trace::storage {
+
+template <typename Rec, typename Less>
+class ExternalSorter {
+  static_assert(std::is_trivially_copyable_v<Rec>);
+
+ public:
+  ExternalSorter(std::size_t run_bytes, int threads, Less less = Less{})
+      : run_records_(run_bytes / sizeof(Rec) < 1024
+                         ? 1024
+                         : run_bytes / sizeof(Rec)),
+        threads_(util::resolve_threads(threads)),
+        less_(less) {
+    buf_.reserve(run_records_);
+  }
+
+  ~ExternalSorter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  void push(const Rec& rec) {
+    buf_.push_back(rec);
+    if (buf_.size() >= run_records_) spill();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return total_ + buf_.size();
+  }
+
+  /// Sort-and-emit every pushed record, ascending by the comparator.
+  /// Single use; the sorter is drained afterwards.
+  template <typename Emit>
+  void finish(Emit&& emit) {
+    if (file_ == nullptr) {  // everything fits in RAM
+      sort_buf();
+      for (const Rec& rec : buf_) emit(rec);
+      buf_.clear();
+      buf_.shrink_to_fit();
+      return;
+    }
+    spill();
+    std::fflush(file_);
+    merge_runs(emit);
+  }
+
+ private:
+  struct RunCursor {
+    std::uint64_t file_offset;   // next unread byte of this run
+    std::uint64_t remaining;     // records left on disk
+    std::vector<Rec> buffer;
+    std::size_t pos = 0;
+
+    bool refill(int fd, std::size_t buf_records) {
+      if (remaining == 0) return false;
+      const std::size_t take =
+          remaining < buf_records ? static_cast<std::size_t>(remaining)
+                                  : buf_records;
+      buffer.resize(take);
+      std::size_t bytes = take * sizeof(Rec);
+      char* p = reinterpret_cast<char*>(buffer.data());
+      std::uint64_t off = file_offset;
+      while (bytes > 0) {
+        const ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(off));
+        if (n <= 0) throw std::runtime_error("extsort: run read failed");
+        p += n;
+        bytes -= static_cast<std::size_t>(n);
+        off += static_cast<std::uint64_t>(n);
+      }
+      file_offset = off;
+      remaining -= take;
+      pos = 0;
+      return true;
+    }
+  };
+
+  void sort_buf() {
+    const std::size_t n = buf_.size();
+    const int t = threads_;
+    if (t <= 1 || n < 8192) {
+      std::sort(buf_.begin(), buf_.end(), less_);
+      return;
+    }
+    // Sort t contiguous segments in parallel, then merge pairs; both
+    // steps are order-deterministic for any thread count.
+    std::vector<std::size_t> bounds(t + 1);
+    for (int i = 0; i <= t; ++i)
+      bounds[i] = n * static_cast<std::size_t>(i) / t;
+    util::parallel_for(t, t, [&](std::int64_t i) {
+      std::sort(buf_.begin() + bounds[i], buf_.begin() + bounds[i + 1],
+                less_);
+    });
+    for (int width = 1; width < t; width *= 2) {
+      for (int i = 0; i + width <= t; i += 2 * width) {
+        const int hi = i + 2 * width < t ? i + 2 * width : t;
+        std::inplace_merge(buf_.begin() + bounds[i],
+                           buf_.begin() + bounds[i + width],
+                           buf_.begin() + bounds[hi], less_);
+      }
+    }
+  }
+
+  void spill() {
+    if (buf_.empty()) return;
+    if (file_ == nullptr) {
+      file_ = std::tmpfile();  // unlinked on creation: never leaks
+      if (file_ == nullptr)
+        throw std::runtime_error("extsort: tmpfile failed");
+    }
+    sort_buf();
+    if (std::fwrite(buf_.data(), sizeof(Rec), buf_.size(), file_) !=
+        buf_.size())
+      throw std::runtime_error("extsort: run write failed");
+    run_records_per_run_.push_back(buf_.size());
+    total_ += buf_.size();
+    buf_.clear();
+  }
+
+  template <typename Emit>
+  void merge_runs(Emit&& emit) {
+    const int fd = ::fileno(file_);
+    const std::size_t runs = run_records_per_run_.size();
+    const std::size_t buf_records_raw = run_records_ / (runs + 1);
+    const std::size_t buf_records =
+        buf_records_raw < 256 ? 256 : buf_records_raw;
+
+    std::vector<RunCursor> cursors(runs);
+    std::uint64_t offset = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+      cursors[r].file_offset = offset;
+      cursors[r].remaining = run_records_per_run_[r];
+      offset += run_records_per_run_[r] * sizeof(Rec);
+      cursors[r].refill(fd, buf_records);
+    }
+
+    // Binary min-heap of run indices, keyed by each run's head record.
+    auto heap_less = [&](std::size_t a, std::size_t b) {
+      const Rec& ra = cursors[a].buffer[cursors[a].pos];
+      const Rec& rb = cursors[b].buffer[cursors[b].pos];
+      if (less_(ra, rb)) return true;
+      if (less_(rb, ra)) return false;
+      return a < b;
+    };
+    std::vector<std::size_t> heap;
+    heap.reserve(runs);
+    auto sift_down = [&](std::size_t i) {
+      for (;;) {
+        std::size_t best = i;
+        const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+        if (l < heap.size() && heap_less(heap[l], heap[best])) best = l;
+        if (r < heap.size() && heap_less(heap[r], heap[best])) best = r;
+        if (best == i) return;
+        std::swap(heap[i], heap[best]);
+        i = best;
+      }
+    };
+    for (std::size_t r = 0; r < runs; ++r)
+      if (!cursors[r].buffer.empty()) heap.push_back(r);
+    for (std::size_t i = heap.size(); i-- > 0;) sift_down(i);
+
+    while (!heap.empty()) {
+      const std::size_t r = heap[0];
+      RunCursor& cur = cursors[r];
+      emit(cur.buffer[cur.pos]);
+      ++cur.pos;
+      if (cur.pos == cur.buffer.size() && !cur.refill(fd, buf_records)) {
+        heap[0] = heap.back();
+        heap.pop_back();
+      }
+      if (!heap.empty()) sift_down(0);
+    }
+  }
+
+  std::vector<Rec> buf_;
+  std::size_t run_records_;
+  int threads_;
+  Less less_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint64_t> run_records_per_run_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace logstruct::trace::storage

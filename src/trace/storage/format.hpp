@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file format.hpp
+/// The versioned `.lsblk` on-disk container (docs/FORMATS.md).
+///
+/// Layout: a fixed header, then data blocks appended in whatever order
+/// the writer's columns filled them (the paged layout is what lets a
+/// single streaming pass interleave appends to every column with bounded
+/// RAM), then per-column block-offset tables, the column directory, and
+/// a trace-metadata blob. The header is patched at finish() with the
+/// directory offset, so readers seek straight to it.
+///
+///   [Header]
+///   [block][block]...            raw column data, block_bytes each
+///                                (a column's last block may be short)
+///   [offset tables]              u64 file offset per block, per column
+///   [directory]                  ColumnDesc per column
+///   [metadata blob]              trace tables that stay RAM-resident
+///
+/// Every integer is little-endian; the container is written and read on
+/// the same host class (this is a working-set spill format first, an
+/// interchange format second), so no byte-swapping is performed.
+
+#include <cstdint>
+
+namespace logstruct::trace::storage {
+
+inline constexpr std::uint32_t kMagic = 0x4b4c4253u;  // "SBLK"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Stable column identifiers. Values are written to disk — append only.
+enum class ColumnId : std::uint32_t {
+  Events = 0,        ///< trace::Event, frozen id order
+  Blocks = 1,        ///< trace::SerialBlock (POD), frozen id order
+  Idles = 2,         ///< trace::IdleSpan, recorded order
+  DepSend = 3,       ///< EventId, dep-table row order
+  DepRecv = 4,       ///< EventId, aligned with DepSend
+  DepKind = 5,       ///< trace::DepKind, aligned with DepSend
+  DepBegin = 6,      ///< i32 CSR index over the p2p prefix (events+1)
+  BlockEvents = 7,   ///< EventId, grouped by block, (time, id) order
+  BlockEvBegin = 8,  ///< i64 CSR index over BlockEvents (blocks+1)
+  ChareEvents = 9,   ///< EventId, grouped by chare, (time, id) order
+  ChareBlocks = 10,  ///< BlockId, grouped by chare, (begin, id) order
+  ProcBlocks = 11,   ///< BlockId, grouped by proc, (begin, id) order
+};
+inline constexpr std::uint32_t kNumColumns = 12;
+
+struct FileHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t block_bytes = 0;
+  std::uint32_t num_columns = kNumColumns;
+  std::uint64_t directory_offset = 0;  ///< patched at finish()
+  std::uint64_t meta_offset = 0;
+  std::uint64_t meta_bytes = 0;
+};
+static_assert(sizeof(FileHeader) == 40, "on-disk header layout");
+
+/// One directory entry. The block-offset table for the column lives at
+/// `offsets_offset`: ceil(byte_size / block_bytes) u64 file positions.
+struct ColumnDesc {
+  std::uint32_t id = 0;
+  std::uint32_t elem_bytes = 0;
+  std::uint64_t byte_size = 0;
+  std::uint64_t offsets_offset = 0;
+};
+static_assert(sizeof(ColumnDesc) == 24, "on-disk directory layout");
+
+}  // namespace logstruct::trace::storage

@@ -1,0 +1,59 @@
+#include "trace/storage/options.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "trace/storage/block_cache.hpp"
+
+namespace logstruct::trace::storage {
+
+namespace {
+
+std::mutex g_mutex;
+
+StorageOptions read_env_options() {
+  StorageOptions opts;
+  if (const char* kind = std::getenv("LOGSTRUCT_STORAGE")) {
+    if (std::string(kind) == "blocked") opts.kind = BackendKind::Blocked;
+  }
+  if (const char* mb = std::getenv("LOGSTRUCT_CACHE_MB")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(mb, &end, 10);
+    if (end != mb && v >= 0)
+      opts.cache_bytes = static_cast<std::uint64_t>(v) << 20;
+  }
+  if (const char* dir = std::getenv("LOGSTRUCT_STORAGE_DIR")) opts.dir = dir;
+  return opts;
+}
+
+StorageOptions& stored_options() {
+  static StorageOptions opts = [] {
+    StorageOptions o = read_env_options();
+    BlockCache::global().set_budget(o.cache_bytes);
+    return o;
+  }();
+  return opts;
+}
+
+}  // namespace
+
+StorageOptions default_options() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return stored_options();
+}
+
+void set_default_options(const StorageOptions& opts) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  stored_options() = opts;
+  BlockCache::global().set_budget(opts.cache_bytes);
+}
+
+std::string resolve_spill_dir(const StorageOptions& opts) {
+  if (!opts.dir.empty()) return opts.dir;
+  if (const char* tmp = std::getenv("TMPDIR")) {
+    if (*tmp) return tmp;
+  }
+  return "/tmp";
+}
+
+}  // namespace logstruct::trace::storage

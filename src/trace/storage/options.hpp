@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file options.hpp
+/// Process-wide storage-backend selection for trace::Trace.
+///
+/// Every Trace freezes against the options in effect at freeze time:
+/// `mem` keeps the frozen columns in std::vector (the historical layout,
+/// zero overhead); `blocked` streams them into an unlinked `.lsblk`
+/// container (storage/format.hpp) and serves reads through the global
+/// block cache. Defaults come from the environment —
+///   LOGSTRUCT_STORAGE      mem|blocked
+///   LOGSTRUCT_CACHE_MB     block-cache byte budget in MiB (0 = unbounded)
+///   LOGSTRUCT_STORAGE_DIR  directory for spill files (default $TMPDIR)
+/// — so the full test suite can run blocked without touching harness
+/// code; the shared `--storage` / `--cache-mb` flags (util/obs_flags.hpp)
+/// override the environment when passed explicitly.
+
+#include <cstdint>
+#include <string>
+
+namespace logstruct::trace::storage {
+
+enum class BackendKind : std::uint8_t { Mem = 0, Blocked = 1 };
+
+struct StorageOptions {
+  BackendKind kind = BackendKind::Mem;
+  /// Block-cache byte budget shared by every open store (0 = unbounded).
+  std::uint64_t cache_bytes = 256ull << 20;
+  /// Fixed block size of newly written .lsblk containers.
+  std::uint32_t block_bytes = 256u << 10;
+  /// Directory for freeze-time spill files; empty = $TMPDIR or /tmp.
+  std::string dir;
+};
+
+/// The process defaults. First call reads the LOGSTRUCT_STORAGE* /
+/// LOGSTRUCT_CACHE_MB environment; later calls return the stored value
+/// (as overridden by set_default_options). Thread-safe.
+[[nodiscard]] StorageOptions default_options();
+
+/// Replace the process defaults (applies the cache budget immediately).
+void set_default_options(const StorageOptions& opts);
+
+/// Spill directory with the empty-string fallback resolved.
+[[nodiscard]] std::string resolve_spill_dir(const StorageOptions& opts);
+
+/// RAII override of the process defaults, for tests that pin a backend
+/// or cache budget without leaking it into later tests.
+class ScopedStorageOptions {
+ public:
+  explicit ScopedStorageOptions(const StorageOptions& opts)
+      : saved_(default_options()) {
+    set_default_options(opts);
+  }
+  ~ScopedStorageOptions() { set_default_options(saved_); }
+  ScopedStorageOptions(const ScopedStorageOptions&) = delete;
+  ScopedStorageOptions& operator=(const ScopedStorageOptions&) = delete;
+
+ private:
+  StorageOptions saved_;
+};
+
+}  // namespace logstruct::trace::storage

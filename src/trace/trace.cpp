@@ -8,26 +8,76 @@
 
 namespace logstruct::trace {
 
-std::span<const EventId> Trace::fanout(EventId send) const {
-  auto it = fanout_.find(send);
-  if (it == fanout_.end()) return {};
-  return it->second;
+// Blocked arms of the inline accessors in trace.hpp. Kept out of line
+// (and never inlined) so the mem fast paths compile down to a predicted
+// branch plus a direct vector load at every call site.
+#if defined(__GNUC__) || defined(__clang__)
+#define LS_NOINLINE __attribute__((noinline))
+#else
+#define LS_NOINLINE
+#endif
+
+LS_NOINLINE Event Trace::event_blocked(EventId id) const {
+  return blocked_->events.get(static_cast<std::size_t>(id));
 }
 
-std::span<const EventId> Trace::receivers(EventId send) const {
-  const Event& e = event(send);
-  LS_CHECK(e.kind == EventKind::Send);
-  auto lo = static_cast<std::size_t>(dep_begin_[static_cast<std::size_t>(send)]);
-  auto hi =
-      static_cast<std::size_t>(dep_begin_[static_cast<std::size_t>(send) + 1]);
-  return std::span<const EventId>(dep_recv_).subspan(lo, hi - lo);
+LS_NOINLINE SerialBlock Trace::block_blocked(BlockId id) const {
+  return blocked_->blocks.get(static_cast<std::size_t>(id));
+}
+
+LS_NOINLINE storage::PinnedSpan<EventId> Trace::events_of_block_blocked(
+    BlockId b) const {
+  const auto lo = blocked_->block_ev_begin.get(static_cast<std::size_t>(b));
+  const auto hi =
+      blocked_->block_ev_begin.get(static_cast<std::size_t>(b) + 1);
+  return blocked_->block_events.pin(static_cast<std::size_t>(lo),
+                                    static_cast<std::size_t>(hi));
+}
+
+LS_NOINLINE std::int32_t Trace::dep_begin_blocked(std::size_t i) const {
+  return blocked_->dep_begin.get(i);
+}
+
+LS_NOINLINE std::int64_t Trace::block_ev_begin_blocked(std::size_t i) const {
+  return blocked_->block_ev_begin.get(i);
+}
+
+template <typename T>
+LS_NOINLINE storage::PinnedSpan<T> Trace::pin_blocked(
+    const storage::BlockedColumn<T>& col, std::int64_t lo, std::int64_t hi) {
+  return col.pin(static_cast<std::size_t>(lo), static_cast<std::size_t>(hi));
+}
+
+template storage::PinnedSpan<std::int32_t> Trace::pin_blocked(
+    const storage::BlockedColumn<std::int32_t>& col, std::int64_t lo,
+    std::int64_t hi);
+
+storage::PinnedSpan<EventId> Trace::fanout(EventId send) const {
+  const Event e = event(send);
+  auto lo = static_cast<std::size_t>(
+      dep_begin_at(static_cast<std::size_t>(send)));
+  const auto hi = static_cast<std::size_t>(
+      dep_begin_at(static_cast<std::size_t>(send) + 1));
+  if (e.partner != kNone && lo < hi) ++lo;  // skip the partner row
+  if (blocked_) return blocked_->dep_recv.pin(lo, hi);
+  return {{}, dep_recv_.data() + lo, hi - lo};
+}
+
+storage::PinnedSpan<EventId> Trace::receivers(EventId send) const {
+  LS_CHECK(event(send).kind == EventKind::Send);
+  const auto lo = static_cast<std::size_t>(
+      dep_begin_at(static_cast<std::size_t>(send)));
+  const auto hi = static_cast<std::size_t>(
+      dep_begin_at(static_cast<std::size_t>(send) + 1));
+  if (blocked_) return blocked_->dep_recv.pin(lo, hi);
+  return {{}, dep_recv_.data() + lo, hi - lo};
 }
 
 bool Trace::is_runtime_event(EventId id) const {
-  const Event& e = event(id);
+  const Event e = event(id);
   if (chares_[static_cast<std::size_t>(e.chare)].runtime) return true;
   if (e.partner != kNone) {
-    const Event& p = event(e.partner);
+    const Event p = event(e.partner);
     if (chares_[static_cast<std::size_t>(p.chare)].runtime) return true;
   }
   if (e.kind == EventKind::Send) {
@@ -39,38 +89,71 @@ bool Trace::is_runtime_event(EventId id) const {
   return false;
 }
 
-TimeNs Trace::total_idle(ProcId p) const {
-  TimeNs total = 0;
-  for (const IdleSpan& span : idles_) {
-    if (span.proc == p) total += span.end - span.begin;
-  }
-  return total;
-}
-
 std::int32_t Trace::num_degraded_chares() const {
   std::int32_t n = 0;
   for (std::uint8_t d : degraded_chare_) n += d != 0;
   return n;
 }
 
-TimeNs Trace::end_time() const {
-  TimeNs t = 0;
-  for (const SerialBlock& b : blocks_) t = std::max(t, b.end);
-  for (const IdleSpan& s : idles_) t = std::max(t, s.end);
-  return t;
-}
-
 void Trace::freeze(int threads) {
   threads = util::resolve_threads(threads);
-  chare_blocks_.assign(chares_.size(), {});
-  proc_blocks_.assign(static_cast<std::size_t>(num_procs_), {});
-  chare_events_.assign(chares_.size(), {});
 
-  for (BlockId b = 0; b < num_blocks(); ++b) {
-    const SerialBlock& blk = blocks_[static_cast<std::size_t>(b)];
-    chare_blocks_[static_cast<std::size_t>(blk.chare)].push_back(b);
-    if (blk.proc >= 0 && blk.proc < num_procs_)
-      proc_blocks_[static_cast<std::size_t>(blk.proc)].push_back(b);
+  // Caches shared by both backends, computed from the staging vectors.
+  end_time_ = 0;
+  for (const SerialBlock& b : blocks_) end_time_ = std::max(end_time_, b.end);
+  for (const IdleSpan& s : idles_) end_time_ = std::max(end_time_, s.end);
+  idle_total_.clear();
+  for (const IdleSpan& s : idles_) {
+    if (s.proc < 0) continue;
+    if (idle_total_.size() <= static_cast<std::size_t>(s.proc))
+      idle_total_.resize(static_cast<std::size_t>(s.proc) + 1, 0);
+    idle_total_[static_cast<std::size_t>(s.proc)] += s.end - s.begin;
+  }
+
+  if (storage::default_options().kind == storage::BackendKind::Blocked) {
+    storage::freeze_blocked(*this, threads);
+    return;
+  }
+  freeze_mem(threads);
+}
+
+void Trace::freeze_mem(int threads) {
+  const std::size_t num_events = events_.size();
+  const std::size_t num_blocks = blocks_.size();
+  const std::size_t num_chares = chares_.size();
+  const std::size_t num_procs = static_cast<std::size_t>(num_procs_);
+
+  // Per-chare / per-PE block lists as flat CSR groupings: count, prefix
+  // sum, then scatter in block-id order so each group starts id-sorted.
+  chare_blocks_begin_.assign(num_chares + 1, 0);
+  proc_blocks_begin_.assign(num_procs + 1, 0);
+  for (const SerialBlock& b : blocks_) {
+    ++chare_blocks_begin_[static_cast<std::size_t>(b.chare) + 1];
+    if (b.proc >= 0 && b.proc < num_procs_)
+      ++proc_blocks_begin_[static_cast<std::size_t>(b.proc) + 1];
+  }
+  for (std::size_t i = 1; i <= num_chares; ++i)
+    chare_blocks_begin_[i] += chare_blocks_begin_[i - 1];
+  for (std::size_t i = 1; i <= num_procs; ++i)
+    proc_blocks_begin_[i] += proc_blocks_begin_[i - 1];
+  chare_blocks_.assign(static_cast<std::size_t>(chare_blocks_begin_.back()),
+                       0);
+  proc_blocks_.assign(static_cast<std::size_t>(proc_blocks_begin_.back()), 0);
+  {
+    std::vector<std::int64_t> ccur(chare_blocks_begin_.begin(),
+                                   chare_blocks_begin_.end() - 1);
+    std::vector<std::int64_t> pcur(proc_blocks_begin_.begin(),
+                                   proc_blocks_begin_.end() - 1);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const SerialBlock& blk = blocks_[b];
+      chare_blocks_[static_cast<std::size_t>(
+          ccur[static_cast<std::size_t>(blk.chare)]++)] =
+          static_cast<BlockId>(b);
+      if (blk.proc >= 0 && blk.proc < num_procs_)
+        proc_blocks_[static_cast<std::size_t>(
+            pcur[static_cast<std::size_t>(blk.proc)]++)] =
+            static_cast<BlockId>(b);
+    }
   }
   auto by_begin = [this](BlockId a, BlockId b) {
     const SerialBlock& ba = blocks_[static_cast<std::size_t>(a)];
@@ -78,25 +161,52 @@ void Trace::freeze(int threads) {
     if (ba.begin != bb.begin) return ba.begin < bb.begin;
     return a < b;
   };
-  // Each list sorts independently (total-order comparators), so the sort
-  // sweeps fan out per list with bit-identical results.
+  // Each group sorts independently (total-order comparators), so the
+  // sort sweeps fan out per group with bit-identical results.
   util::parallel_for(
-      threads, static_cast<std::int64_t>(chare_blocks_.size()),
-      [&](std::int64_t c) {
-        auto& list = chare_blocks_[static_cast<std::size_t>(c)];
-        std::sort(list.begin(), list.end(), by_begin);
+      threads, static_cast<std::int64_t>(num_chares), [&](std::int64_t c) {
+        std::sort(chare_blocks_.begin() + chare_blocks_begin_[c],
+                  chare_blocks_.begin() + chare_blocks_begin_[c + 1],
+                  by_begin);
       });
   util::parallel_for(
-      threads, static_cast<std::int64_t>(proc_blocks_.size()),
-      [&](std::int64_t p) {
-        auto& list = proc_blocks_[static_cast<std::size_t>(p)];
-        std::sort(list.begin(), list.end(), by_begin);
+      threads, static_cast<std::int64_t>(num_procs), [&](std::int64_t p) {
+        std::sort(proc_blocks_.begin() + proc_blocks_begin_[p],
+                  proc_blocks_.begin() + proc_blocks_begin_[p + 1], by_begin);
       });
 
-  for (EventId e = 0; e < num_events(); ++e)
-    chare_events_[static_cast<std::size_t>(
-                      events_[static_cast<std::size_t>(e)].chare)]
-        .push_back(e);
+  // Per-chare and per-block event lists, same count / scatter / per-group
+  // sort recipe keyed by the event's chare and owning block.
+  chare_events_begin_.assign(num_chares + 1, 0);
+  block_ev_begin_.assign(num_blocks + 1, 0);
+  for (const Event& e : events_) {
+    ++chare_events_begin_[static_cast<std::size_t>(e.chare) + 1];
+    if (e.block != kNone)
+      ++block_ev_begin_[static_cast<std::size_t>(e.block) + 1];
+  }
+  for (std::size_t i = 1; i <= num_chares; ++i)
+    chare_events_begin_[i] += chare_events_begin_[i - 1];
+  for (std::size_t i = 1; i <= num_blocks; ++i)
+    block_ev_begin_[i] += block_ev_begin_[i - 1];
+  chare_events_.assign(static_cast<std::size_t>(chare_events_begin_.back()),
+                       0);
+  block_events_.assign(static_cast<std::size_t>(block_ev_begin_.back()), 0);
+  {
+    std::vector<std::int64_t> ccur(chare_events_begin_.begin(),
+                                   chare_events_begin_.end() - 1);
+    std::vector<std::int64_t> bcur(block_ev_begin_.begin(),
+                                   block_ev_begin_.end() - 1);
+    for (std::size_t e = 0; e < num_events; ++e) {
+      const Event& ev = events_[e];
+      chare_events_[static_cast<std::size_t>(
+          ccur[static_cast<std::size_t>(ev.chare)]++)] =
+          static_cast<EventId>(e);
+      if (ev.block != kNone)
+        block_events_[static_cast<std::size_t>(
+            bcur[static_cast<std::size_t>(ev.block)]++)] =
+            static_cast<EventId>(e);
+    }
+  }
   auto by_time = [this](EventId a, EventId b) {
     const Event& ea = events_[static_cast<std::size_t>(a)];
     const Event& eb = events_[static_cast<std::size_t>(b)];
@@ -104,70 +214,55 @@ void Trace::freeze(int threads) {
     return a < b;
   };
   util::parallel_for(
-      threads, static_cast<std::int64_t>(chare_events_.size()),
-      [&](std::int64_t c) {
-        auto& list = chare_events_[static_cast<std::size_t>(c)];
-        std::sort(list.begin(), list.end(), by_time);
+      threads, static_cast<std::int64_t>(num_chares), [&](std::int64_t c) {
+        std::sort(chare_events_.begin() + chare_events_begin_[c],
+                  chare_events_.begin() + chare_events_begin_[c + 1],
+                  by_time);
+      });
+  util::parallel_for(
+      threads, static_cast<std::int64_t>(num_blocks), [&](std::int64_t b) {
+        std::sort(block_events_.begin() + block_ev_begin_[b],
+                  block_events_.begin() + block_ev_begin_[b + 1], by_time);
       });
 
-  // Events inside each block must be in time order for the pipeline.
-  util::parallel_for(threads, static_cast<std::int64_t>(blocks_.size()),
-                     [&](std::int64_t b) {
-                       auto& blk = blocks_[static_cast<std::size_t>(b)];
-                       std::sort(blk.events.begin(), blk.events.end(),
-                                 by_time);
-                     });
-
-  // Flat dependency table. The p2p prefix is emitted in send-id order
-  // (partner first, then fanout receivers), matching the historical
-  // for_each_dependency enumeration order exactly; dep_begin_ indexes it
-  // CSR-style so receivers() is a span lookup. Collective cross-product
-  // rows follow.
-  // Two-pass build so the p2p prefix fills in parallel: count each send's
-  // rows (parallel, index-owned), prefix-sum into dep_begin_ (serial),
-  // then write every send's rows at its deterministic offset (parallel).
-  // The row order per send — partner first, then fanout receivers —
-  // matches the historical for_each_dependency enumeration exactly.
-  dep_begin_.assign(events_.size() + 1, 0);
-  util::parallel_for(threads, num_events(), [&](std::int64_t id) {
-    const Event& e = events_[static_cast<std::size_t>(id)];
-    if (e.kind != EventKind::Send) return;
-    std::int32_t rows = e.partner != kNone ? 1 : 0;
-    auto it = fanout_.find(static_cast<EventId>(id));
-    if (it != fanout_.end())
-      rows += static_cast<std::int32_t>(it->second.size());
-    dep_begin_[static_cast<std::size_t>(id) + 1] = rows;
-  });
-  for (std::size_t i = 1; i <= events_.size(); ++i)
+  // Flat dependency table, rebuilt entirely from the recv-side partner
+  // fields: every recv naming send s is one row of s, in recv-id order.
+  // The partner recv is always the lowest id (first matched), so the p2p
+  // prefix comes out grouped by send with the Match row first and the
+  // fanout rows after — the historical enumeration order exactly.
+  // dep_begin_ indexes the prefix CSR-style so receivers() is a span
+  // lookup; collective cross-product rows follow.
+  dep_begin_.assign(num_events + 1, 0);
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::Recv && e.partner != kNone)
+      ++dep_begin_[static_cast<std::size_t>(e.partner) + 1];
+  }
+  for (std::size_t i = 1; i <= num_events; ++i)
     dep_begin_[i] += dep_begin_[i - 1];
 
   std::int64_t coll_rows = 0;
   for (const Collective& coll : collectives_)
     coll_rows += static_cast<std::int64_t>(coll.sends.size()) *
                  static_cast<std::int64_t>(coll.recvs.size());
-  const auto p2p_rows =
-      static_cast<std::int64_t>(dep_begin_[events_.size()]);
+  const auto p2p_rows = static_cast<std::int64_t>(dep_begin_[num_events]);
   dep_send_.assign(static_cast<std::size_t>(p2p_rows + coll_rows), 0);
   dep_recv_.assign(static_cast<std::size_t>(p2p_rows + coll_rows), 0);
   dep_kind_.assign(static_cast<std::size_t>(p2p_rows + coll_rows),
                    DepKind::Match);
-  util::parallel_for(threads, num_events(), [&](std::int64_t id) {
-    const Event& e = events_[static_cast<std::size_t>(id)];
-    if (e.kind != EventKind::Send) return;
-    auto at = static_cast<std::size_t>(
-        dep_begin_[static_cast<std::size_t>(id)]);
-    auto put = [&](EventId r, DepKind k) {
-      dep_send_[at] = static_cast<EventId>(id);
-      dep_recv_[at] = r;
-      dep_kind_[at] = k;
-      ++at;
-    };
-    if (e.partner != kNone) put(e.partner, DepKind::Match);
-    auto it = fanout_.find(static_cast<EventId>(id));
-    if (it != fanout_.end()) {
-      for (EventId r : it->second) put(r, DepKind::Fanout);
+  {
+    std::vector<std::int32_t> cur(dep_begin_.begin(), dep_begin_.end() - 1);
+    for (std::size_t r = 0; r < num_events; ++r) {
+      const Event& e = events_[r];
+      if (e.kind != EventKind::Recv || e.partner == kNone) continue;
+      const auto s = static_cast<std::size_t>(e.partner);
+      const auto at = static_cast<std::size_t>(cur[s]++);
+      dep_send_[at] = e.partner;
+      dep_recv_[at] = static_cast<EventId>(r);
+      dep_kind_[at] = events_[s].partner == static_cast<EventId>(r)
+                          ? DepKind::Match
+                          : DepKind::Fanout;
     }
-  });
+  }
   // Collective cross-product rows follow the CSR prefix; serial, they
   // are a small tail.
   auto at = static_cast<std::size_t>(p2p_rows);

@@ -40,8 +40,9 @@ std::vector<std::string> validate(const Trace& trace) {
     if (e.time < blk.begin || e.time > blk.end)
       problem(out, "event ", id, " at t=", e.time, " outside block span [",
               blk.begin, ",", blk.end, "]");
-    if (std::find(blk.events.begin(), blk.events.end(), id) ==
-        blk.events.end())
+    const auto blk_events = trace.events_of_block(e.block);
+    if (std::find(blk_events.begin(), blk_events.end(), id) ==
+        blk_events.end())
       problem(out, "event ", id, " missing from its block's event list");
 
     if (e.partner != kNone) {
@@ -75,9 +76,10 @@ std::vector<std::string> validate(const Trace& trace) {
       if (t.block != b)
         problem(out, "block ", b, " trigger belongs to another block");
     }
-    for (std::size_t i = 1; i < blk.events.size(); ++i) {
-      if (trace.event(blk.events[i - 1]).time >
-          trace.event(blk.events[i]).time)
+    const auto blk_events = trace.events_of_block(b);
+    for (std::size_t i = 1; i < blk_events.size(); ++i) {
+      if (trace.event(blk_events[i - 1]).time >
+          trace.event(blk_events[i]).time)
         problem(out, "block ", b, " events not time-sorted");
     }
   }

@@ -93,6 +93,16 @@ void define_obs_flags(Flags& flags) {
   flags.define_int("eff-bins", 0,
                    "wall-clock bins for the --eff-json report "
                    "(0 = one bin per recovered phase)");
+  flags.define_string("storage", "",
+                      "trace storage backend: mem (in-RAM columns, the "
+                      "default) or blocked (out-of-core .lsblk block "
+                      "store with an LRU block cache; see "
+                      "docs/STORAGE.md). Empty inherits "
+                      "$LOGSTRUCT_STORAGE");
+  flags.define_int("cache-mb", -1,
+                   "block-cache budget in MiB for --storage=blocked "
+                   "(0 = unbounded); -1 inherits $LOGSTRUCT_CACHE_MB "
+                   "or the 256 MiB default");
 }
 
 void apply_obs_flags(const Flags& flags) {
@@ -119,6 +129,24 @@ void apply_obs_flags(const Flags& flags) {
     threads = 1;
   }
   set_default_parallelism(static_cast<int>(threads));
+
+  // Storage flags seed the environment that trace/storage/options.cpp
+  // reads on first use (util cannot link the trace library, so the env
+  // var is the handoff). apply_obs_flags() runs before any trace is
+  // built in every harness, which is early enough.
+  const std::string& storage = flags.get_string("storage");
+  if (!storage.empty()) {
+    if (storage == "mem" || storage == "blocked") {
+      setenv("LOGSTRUCT_STORAGE", storage.c_str(), 1);
+    } else {
+      obs::log(obs::Level::Warn, "obs",
+               "unknown --storage backend, keeping current",
+               {{"requested", storage}});
+    }
+  }
+  const std::int64_t cache_mb = flags.get_int("cache-mb");
+  if (cache_mb >= 0)
+    setenv("LOGSTRUCT_CACHE_MB", std::to_string(cache_mb).c_str(), 1);
 }
 
 std::string obs_sidecar_json(const std::string& program) {

@@ -40,6 +40,13 @@
 ///                metrics::write_efficiency_report(flags, ...), which
 ///                honors this flag and --eff-bins (wall-clock bin
 ///                count, 0 = one bin per recovered phase).
+/// --storage=b    trace storage backend: mem (default) or blocked
+///                (out-of-core .lsblk store, docs/STORAGE.md). Seeds
+///                $LOGSTRUCT_STORAGE, so it must be applied before the
+///                first trace is built (apply_obs_flags at the top of
+///                main() is early enough).
+/// --cache-mb=N   block-cache budget in MiB for --storage=blocked
+///                (0 = unbounded; -1 inherits $LOGSTRUCT_CACHE_MB).
 
 #include <string>
 

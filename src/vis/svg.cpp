@@ -164,14 +164,15 @@ std::string render_physical_svg(const trace::Trace& trace,
 
   // Serial blocks as boxes colored by their first event.
   for (trace::BlockId b = 0; b < trace.num_blocks(); ++b) {
-    const auto& blk = trace.block(b);
-    if (blk.events.empty()) continue;
+    const auto blk = trace.block(b);
+    const auto bev = trace.events_of_block(b);
+    if (bev.empty()) continue;
     double x0 = x_of(blk.begin);
     double x1 = std::max(x_of(blk.end), x0 + 1.0);
     double y = lanes.lane_of[static_cast<std::size_t>(blk.chare)] * lane_h;
     os << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\"" << x1 - x0
        << "\" height=\"" << opts.cell_h << "\" fill=\""
-       << fill_for(trace, ls, opts, blk.events.front(), vmax)
+       << fill_for(trace, ls, opts, bev.front(), vmax)
        << "\" stroke=\"#333\" stroke-width=\"0.3\"/>\n";
   }
   // Recorded idle: thin black bars on the processor's chares' lanes is

@@ -69,8 +69,9 @@ TEST(SubBlocks, TotalMatchesBlockSpans) {
     total += d;
   }
   trace::TimeNs spans = 0;
-  for (const auto& b : t.blocks())
-    if (!b.events.empty()) spans += b.end - b.begin;
+  for (trace::BlockId b = 0; b < t.num_blocks(); ++b)
+    if (!t.events_of_block(b).empty())
+      spans += t.block(b).end - t.block(b).begin;
   EXPECT_EQ(total, spans);
 }
 

@@ -73,8 +73,8 @@ TEST(Profile, PhaseProfileCoversAllBlocksWithEvents) {
   std::int64_t blocks = 0;
   for (const auto& r : rows) blocks += r.blocks;
   std::int64_t with_events = 0;
-  for (const auto& b : t.blocks())
-    if (!b.events.empty()) ++with_events;
+  for (trace::BlockId b = 0; b < t.num_blocks(); ++b)
+    if (!t.events_of_block(b).empty()) ++with_events;
   EXPECT_EQ(blocks, with_events);
 }
 

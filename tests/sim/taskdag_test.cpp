@@ -111,10 +111,11 @@ TEST(TaskDag, PipelineRecoversStencilStructure) {
     auto blocks = t.blocks_of_chare(c);
     ASSERT_EQ(blocks.size(), 6u);
     for (std::int32_t k = 0; k < 6; ++k) {
-      const auto& blk = t.block(blocks[static_cast<std::size_t>(k)]);
-      ASSERT_FALSE(blk.events.empty());
+      const auto bev =
+          t.events_of_block(blocks[static_cast<std::size_t>(k)]);
+      ASSERT_FALSE(bev.empty());
       std::int32_t st =
-          ls.global_step[static_cast<std::size_t>(blk.events.front())];
+          ls.global_step[static_cast<std::size_t>(bev.front())];
       band_min[static_cast<std::size_t>(k)] =
           std::min(band_min[static_cast<std::size_t>(k)], st);
       band_max[static_cast<std::size_t>(k)] =

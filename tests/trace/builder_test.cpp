@@ -119,7 +119,7 @@ TEST(Builder, MultipleRecvsFirstBecomesTrigger) {
   tb.end_block(b, 5);
   Trace t = tb.finish(1);
   EXPECT_EQ(t.block(b).trigger, r1);
-  EXPECT_EQ(t.block(b).events.size(), 2u);
+  EXPECT_EQ(t.events_of_block(b).size(), 2u);
   (void)r2;
 }
 

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Perf/memory regression gate over BENCH_pipeline.json trajectories.
 
-Diffs two pipeline-trajectory runs (schema logstruct-bench-pipeline/v1,
-/v2, or /v3, see docs/OBSERVABILITY.md) pass-by-pass and fails when a
+Diffs two pipeline-trajectory runs (schema logstruct-bench-pipeline/v1
+through /v4, see docs/OBSERVABILITY.md) pass-by-pass and fails when a
 pass got substantially slower or hungrier:
 
     tools/bench_gate.py                       # last two runs in BENCH_pipeline.json
@@ -27,6 +27,11 @@ Comparison rules:
     the base allocated at least --min-alloc-bytes (default 1 MiB).
     Allocation counts are deterministic, so the floor is about
     relevance, not noise.
+  * A workload's `peak_rss_kb` (v4 runs; the harness-measured resident
+    growth of that workload) is compared as a pseudo-pass named
+    `(peak_rss)` under the alloc thresholds — the out-of-core storage
+    workloads rely on this to keep the blocked backend's footprint from
+    regressing toward the mem backend's.
   * A pass FAILs above --fail-wall (default +25%) or --fail-alloc
     (default +30%), WARNs above --warn (default +10%). Improvements
     never fail.
@@ -71,7 +76,7 @@ def load_runs(path):
     if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
         raise TrajectoryError(
             f"{path} is not a pipeline trajectory (no `runs` array); "
-            "expected schema logstruct-bench-pipeline/v1..v3"
+            "expected schema logstruct-bench-pipeline/v1..v4"
         )
     if not doc["runs"]:
         raise TrajectoryError(
@@ -97,6 +102,11 @@ def collect(run):
         total = w.get("total_seconds")
         if total is not None:
             rows[(name, "(total)")] = (float(total), None)
+        rss = w.get("peak_rss_kb")
+        if rss is not None and int(rss) > 0:
+            # Gated through the alloc channel (deterministic-ish bytes);
+            # seconds=0 keeps it below the wall floor.
+            rows[(name, "(peak_rss)")] = (0.0, int(rss) * 1024)
         for p in w.get("passes", []):
             if not p.get("ran", False):
                 continue
@@ -231,7 +241,7 @@ def gate(base_run, fresh_run, opts):
 
 
 def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
-                  extra_threads=None):
+                  scale_rss=1.0, extra_threads=None):
     run = {
         "program": "self-test",
         "workloads": [
@@ -240,6 +250,7 @@ def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
                 "events": 1000,
                 "phases": 4,
                 "total_seconds": 0.010 * scale_wall,
+                "peak_rss_kb": int(50000 * scale_rss),
                 "passes": [
                     {
                         "pass": "initial",
@@ -324,6 +335,13 @@ def self_test(opts):
             )
             return 1
         print()
+        # A 2x per-workload peak-RSS regression (the out-of-core storage
+        # gate) must fail on its own.
+        code = gate(synthetic_run(), synthetic_run(scale_rss=2.0), opts)
+        if code == 0:
+            print("self-test: FAILED — 2x peak-RSS regression not caught")
+            return 1
+        print()
         # A threads=8 rerun of the same workload, 3x slower than the
         # serial baseline, must NOT fail: thread counts are compared
         # like-for-like, never cross-count.
@@ -375,8 +393,9 @@ def self_test(opts):
             pass
     print(
         "self-test: ok (identical passes, 2x wall fails, 2x alloc fails, "
-        "2x efficiency-suite pseudo-pass fails, cross-thread-count rows "
-        "never compared, missing/empty/garbled baselines diagnosed)"
+        "2x efficiency-suite pseudo-pass fails, 2x peak-RSS fails, "
+        "cross-thread-count rows never compared, missing/empty/garbled "
+        "baselines diagnosed)"
     )
     return 0
 
