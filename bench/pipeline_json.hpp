@@ -4,13 +4,18 @@
 /// BENCH_pipeline.json emitter: runs the extraction pipeline through the
 /// pass manager, captures the per-pass wall time and allocation bytes
 /// the PassManager already records, and writes one perf-trajectory
-/// document per harness run. Schema (`logstruct-bench-pipeline/v4`:
-/// per-workload `peak_rss_kb` plus the storage-backend annotation
-/// (`storage`, `cache_hits`, `cache_misses`, `cache_hit_rate`) on top
-/// of v3's per-workload/per-pass `threads`, v2's per-pass
-/// `alloc_bytes`, and the run-level `peak_rss_kb`; older readers that
-/// ignore unknown keys keep working) is documented in
-/// docs/OBSERVABILITY.md. The committed BENCH_pipeline.json at the repo
+/// document per harness run. Schema (`logstruct-bench-pipeline/v5`:
+/// workloads may carry a `live_obs` annotation (true when the workload
+/// ran with the background sampler + HTTP exporter live) and harness
+/// pseudo-passes such as `obs/live_overhead` — the wall-time delta the
+/// live-telemetry layer adds over a dark extraction, which
+/// tools/bench_gate.py gates at the same 1.30x threshold as real
+/// passes. v5 keeps v4's per-workload `peak_rss_kb` plus the
+/// storage-backend annotation (`storage`, `cache_hits`,
+/// `cache_misses`, `cache_hit_rate`), v3's per-workload/per-pass
+/// `threads`, v2's per-pass `alloc_bytes`, and the run-level
+/// `peak_rss_kb`; older readers that ignore unknown keys keep
+/// working) is documented in docs/OBSERVABILITY.md. The committed BENCH_pipeline.json at the repo
 /// root concatenates the `runs` arrays of historical runs so
 /// `tools/bench_gate.py` can diff per-pass timings and allocations
 /// across PRs — like-for-like per thread count, so a threads=8 run is
@@ -49,6 +54,11 @@ struct PipelineWorkload {
   std::string storage;
   std::int64_t cache_hits = -1;
   std::int64_t cache_misses = -1;
+  /// True when the workload ran with the live-telemetry layer on (the
+  /// background obs::Sampler plus the /metrics HTTP exporter); such
+  /// workloads also carry an `obs/live_overhead` pseudo-pass with the
+  /// wall-time delta over a dark run of the same extraction.
+  bool live_obs = false;
   std::vector<order::PassRecord> passes;
 };
 
@@ -106,6 +116,13 @@ class PipelineTrajectory {
     w.cache_misses = cache_misses;
   }
 
+  /// Flag the most recently recorded workload as having run with the
+  /// live-telemetry layer on (sampler + /metrics exporter). No-op
+  /// before the first run().
+  void mark_live_obs() {
+    if (!workloads_.empty()) workloads_.back().live_obs = true;
+  }
+
   /// Record a harness-built workload that did not go through run() —
   /// used for storage-backend sweeps timed outside the pass manager.
   void add_workload(PipelineWorkload w) {
@@ -136,7 +153,7 @@ class PipelineTrajectory {
                    target.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v4\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v5\",\n");
     std::fprintf(f, "  \"runs\": [\n    {\n");
     std::fprintf(f, "      \"program\": \"%s\",\n", program_.c_str());
     if (!label_.empty())
@@ -169,6 +186,7 @@ class PipelineTrajectory {
                               static_cast<double>(lookups)
                         : 0.0);
       }
+      if (w.live_obs) std::fprintf(f, "         \"live_obs\": true,\n");
       std::fprintf(f, "         \"passes\": [\n");
       for (std::size_t p = 0; p < w.passes.size(); ++p) {
         const order::PassRecord& r = w.passes[p];

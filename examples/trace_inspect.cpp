@@ -12,6 +12,7 @@
 /// and the salvage repaired; the recovery report is printed and the
 /// analysis runs on whatever survived.
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -36,48 +37,67 @@
 
 namespace {
 
-logstruct::trace::Trace generate(const std::string& app,
-                                 std::uint64_t seed) {
+/// grid > 0 overrides the app's chare/rank grid (jacobi & lassen:
+/// chares per side; lulesh: nx=ny=nz; nasbt: rank grid); iterations > 0
+/// overrides the iteration/window count. 0 keeps the app default.
+logstruct::trace::Trace generate(const std::string& app, std::uint64_t seed,
+                                 std::int32_t grid,
+                                 std::int32_t iterations) {
   using namespace logstruct::apps;
   if (app == "jacobi") {
     Jacobi2DConfig cfg;
     cfg.seed = seed;
+    if (grid > 0) cfg.chares_x = cfg.chares_y = grid;
+    if (iterations > 0) cfg.iterations = iterations;
     return run_jacobi2d(cfg);
   }
   if (app == "lulesh") {
     LuleshConfig cfg;
     cfg.seed = seed;
+    if (grid > 0) cfg.nx = cfg.ny = cfg.nz = grid;
+    if (iterations > 0) cfg.iterations = iterations;
     return run_lulesh_charm(cfg);
   }
   if (app == "lulesh-mpi") {
     LuleshConfig cfg;
     cfg.seed = seed;
+    if (grid > 0) cfg.nx = cfg.ny = cfg.nz = grid;
+    if (iterations > 0) cfg.iterations = iterations;
     return run_lulesh_mpi(cfg);
   }
   if (app == "lassen") {
     LassenConfig cfg;
     cfg.seed = seed;
+    if (grid > 0) cfg.chares_x = cfg.chares_y = grid;
+    if (iterations > 0) cfg.iterations = iterations;
     return run_lassen_charm(cfg);
   }
   if (app == "lassen-mpi") {
     LassenConfig cfg;
     cfg.seed = seed;
+    if (grid > 0) cfg.chares_x = cfg.chares_y = grid;
+    if (iterations > 0) cfg.iterations = iterations;
     return run_lassen_mpi(cfg);
   }
   if (app == "pdes") {
     PdesConfig cfg;
     cfg.seed = seed;
+    if (grid > 0) cfg.num_chares = grid;
+    if (iterations > 0) cfg.windows = iterations;
     return run_pdes(cfg);
   }
   if (app == "mergetree") {
     MergeTreeConfig cfg;
     cfg.num_ranks = 64;
     cfg.seed = seed;
+    if (grid > 0) cfg.num_ranks = grid;
     return run_mergetree_mpi(cfg);
   }
   if (app == "nasbt") {
     NasBtConfig cfg;
     cfg.seed = seed;
+    if (grid > 0) cfg.grid = grid;
+    if (iterations > 0) cfg.iterations = iterations;
     return run_nasbt_mpi(cfg);
   }
   std::fprintf(stderr,
@@ -102,6 +122,14 @@ int main(int argc, char** argv) {
                       "write the recovery report (JSON) here");
   flags.define_string("out", "", "save the trace here");
   flags.define_int("seed", 1, "simulation seed");
+  flags.define_int("grid", 0,
+                   "override the app's chare/rank grid size (0 = default)");
+  flags.define_int("iterations", 0,
+                   "override the app's iteration count (0 = default)");
+  flags.define_int("repeat", 1,
+                   "run the extraction pipeline this many times — keeps "
+                   "the process alive so a live /metrics scrape "
+                   "(--obs-port) lands mid-run");
   flags.define_bool("mpi", false, "analyze with the MPI-model options");
   flags.define_string("html", "",
                       "write an interactive structure viewer here");
@@ -150,7 +178,9 @@ int main(int argc, char** argv) {
     }
     std::printf("loaded %s\n", in.c_str());
   } else {
-    t = generate(app, static_cast<std::uint64_t>(flags.get_int("seed")));
+    t = generate(app, static_cast<std::uint64_t>(flags.get_int("seed")),
+                 static_cast<std::int32_t>(flags.get_int("grid")),
+                 static_cast<std::int32_t>(flags.get_int("iterations")));
     std::printf("simulated %s\n", app.c_str());
   }
 
@@ -180,7 +210,10 @@ int main(int argc, char** argv) {
     }
     std::printf("loaded structure: %s\n", sin.c_str());
   } else {
-    ls = order::extract_structure(t, opts);
+    const std::int64_t repeat =
+        std::max<std::int64_t>(1, flags.get_int("repeat"));
+    for (std::int64_t r = 0; r < repeat; ++r)
+      ls = order::extract_structure(t, opts);
   }
   order::StructureStats stats = order::compute_stats(t, ls);
 

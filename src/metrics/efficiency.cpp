@@ -8,6 +8,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 
@@ -108,6 +109,8 @@ WindowLoads compute_window_loads(const trace::Trace& trace,
   // the global proc chain cannot be reused directly).
   std::vector<trace::EventId> prev_in_window(num_events, trace::kNone);
 
+  obs::Progress progress("metrics/window_loads",
+                         static_cast<std::int64_t>(num_windows));
   util::parallel_for(
       threads, static_cast<std::int64_t>(num_windows),
       [&](std::int64_t wi) {
@@ -203,6 +206,7 @@ WindowLoads compute_window_loads(const trace::Trace& trace,
         for (trace::EventId e : events)
           loads.ideal_span[wz] = std::max(
               loads.ideal_span[wz], finish[static_cast<std::size_t>(e)]);
+        obs::Progress::tick();
       });
 
   OBS_COUNTER_ADD("metrics/efficiency/windows",

@@ -1,0 +1,158 @@
+#include "obs/openmetrics.hpp"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "obs/progress.hpp"
+
+namespace logstruct::obs {
+
+namespace detail {
+
+std::string openmetrics_family(std::string_view path) {
+  std::string out = "logstruct_";
+  out.reserve(out.size() + path.size());
+  for (char c : path) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string openmetrics_escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::openmetrics_escape_label;
+using detail::openmetrics_family;
+
+/// One `# TYPE` per family: a sanitization collision ("a/b" and "a_b")
+/// or a reserved-suffix clash gets a numeric suffix instead of a
+/// duplicate declaration.
+class FamilyNames {
+ public:
+  std::string claim(std::string_view path) {
+    std::string fam = openmetrics_family(path);
+    if (used_.insert(fam).second) return fam;
+    for (int i = 2;; ++i) {
+      std::string alt = fam + "_" + std::to_string(i);
+      if (used_.insert(alt).second) return alt;
+    }
+  }
+
+ private:
+  std::set<std::string, std::less<>> used_;
+};
+
+void header(std::string& out, const std::string& fam, const char* type,
+            std::string_view path) {
+  out += "# HELP " + fam + " logstruct " + type + " for registry path '" +
+         openmetrics_escape_label(path) + "'.\n";
+  out += "# TYPE " + fam + " " + type + "\n";
+}
+
+std::string path_label(std::string_view path) {
+  return "{path=\"" + openmetrics_escape_label(path) + "\"}";
+}
+
+void append_value(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+  out.push_back('\n');
+}
+
+/// Upper bound of power-of-two bucket b as a decimal string: bucket 0
+/// holds {0}; bucket b holds [2^(b-1), 2^b), so the inclusive `le`
+/// bound is 2^b - 1.
+std::string bucket_le(int b) {
+  if (b <= 0) return "0";
+  return std::to_string((std::uint64_t{1} << b) - 1);
+}
+
+std::string render(const RegistrySnapshot& snap, const Progress::State* prog) {
+  std::string out;
+  FamilyNames names;
+
+  for (const auto& [path, value] : snap.counters) {
+    const std::string fam = names.claim(path);
+    header(out, fam, "counter", path);
+    out += fam + "_total" + path_label(path) + " ";
+    append_value(out, value);
+  }
+
+  for (const auto& [path, value] : snap.gauges) {
+    const std::string fam = names.claim(path);
+    header(out, fam, "gauge", path);
+    out += fam + path_label(path) + " ";
+    append_value(out, value);
+  }
+
+  for (const auto& h : snap.histograms) {
+    const std::string fam = names.claim(h.name);
+    header(out, fam, "histogram", h.name);
+    const std::string label = openmetrics_escape_label(h.name);
+    int last = -1;
+    for (int b = 0; b < static_cast<int>(h.buckets.size()); ++b)
+      if (h.buckets[static_cast<std::size_t>(b)] > 0) last = b;
+    std::int64_t cum = 0;
+    for (int b = 0; b <= last; ++b) {
+      cum += h.buckets[static_cast<std::size_t>(b)];
+      out += fam + "_bucket{path=\"" + label + "\",le=\"" + bucket_le(b) +
+             "\"} ";
+      append_value(out, cum);
+    }
+    out += fam + "_bucket{path=\"" + label + "\",le=\"+Inf\"} ";
+    append_value(out, h.count);
+    out += fam + "_count" + path_label(h.name) + " ";
+    append_value(out, h.count);
+    out += fam + "_sum" + path_label(h.name) + " ";
+    append_value(out, h.sum);
+  }
+
+  if (prog != nullptr && prog->pass[0] != 0) {
+    // The in-flight pass rides along as an info-style gauge so a scrape
+    // can name what the process is doing, not just how far along it is.
+    const std::string fam = names.claim("obs/progress/pass");
+    header(out, fam, "gauge", "obs/progress/pass");
+    out += fam + "{path=\"obs/progress/pass\",pass=\"" +
+           openmetrics_escape_label(prog->pass) + "\"} 1\n";
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace
+
+std::string openmetrics_text(const Registry& reg) {
+  return render(reg.snapshot(), nullptr);
+}
+
+std::string openmetrics_text() {
+  const Progress::State prog = Progress::current();
+  return render(Registry::global().snapshot(), &prog);
+}
+
+}  // namespace logstruct::obs

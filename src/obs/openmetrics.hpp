@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file openmetrics.hpp
+/// OpenMetrics / Prometheus text exposition of the metrics registry.
+///
+/// Every registry metric becomes one exposition family named
+/// `logstruct_<sanitized path>` (the registry's `<layer>/<stage>/<name>`
+/// path with every character outside [a-zA-Z0-9_:] mapped to `_`). The
+/// original path rides along as a `path` label so nothing is lost to
+/// sanitization; label values are escaped per the spec (backslash,
+/// double quote, newline).
+///
+///  - counters  -> `# TYPE f counter` + `f_total{path="..."} v`
+///  - gauges    -> `# TYPE f gauge` + `f{path="..."} v`
+///  - histograms-> `# TYPE f histogram` + cumulative `f_bucket{le=...}`
+///                 lines derived from the power-of-two buckets (upper
+///                 bound of bucket b is 2^b - 1; bucket 0 is `le="0"`),
+///                 then `f_count` and `f_sum`
+///
+/// The document ends with `# EOF`. When two registry paths sanitize to
+/// the same family name, later kinds get a numeric suffix so each
+/// family keeps exactly one `# TYPE`. tools/openmetrics_check.py is the
+/// conformance oracle (run as a ctest entry and against live scrapes
+/// in CI); docs/OBSERVABILITY.md documents the mapping.
+
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+
+/// Render a snapshot of `reg` as one OpenMetrics text document.
+[[nodiscard]] std::string openmetrics_text(const Registry& reg);
+
+/// Render Registry::global() (what /metrics and --obs-prom serve).
+[[nodiscard]] std::string openmetrics_text();
+
+namespace detail {
+/// `logstruct_` + path with non-[a-zA-Z0-9_:] mapped to `_` (exposed
+/// for the conformance tests).
+[[nodiscard]] std::string openmetrics_family(std::string_view path);
+/// Label-value escaping: \ -> \\, " -> \", newline -> \n.
+[[nodiscard]] std::string openmetrics_escape_label(std::string_view v);
+}  // namespace detail
+
+}  // namespace logstruct::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "obs/flightrec.hpp"
 #include "obs/json.hpp"
 #include "obs/memstats.hpp"
 #include "obs/registry.hpp"
@@ -96,8 +97,14 @@ SpanId PipelineTracer::begin(std::string_view name) {
   s.alloc_bytes = allocs.bytes;  // cumulative marker; end() makes a delta
   s.alloc_count = allocs.count;
   const SpanId id = static_cast<SpanId>(spans_.size());
+  const std::int64_t begin_ns = s.begin_ns;
+  const std::int32_t thread = s.thread;
   spans_.push_back(std::move(s));
   ts.open_stack.push_back(id);
+  // Feed the crash flight recorder's ring (lock-free; always on — the
+  // ring is how a post-mortem dump names recent and in-flight stages).
+  if (this == &global())
+    FlightRecorder::global().record(false, name, begin_ns, thread);
   return id;
 }
 
@@ -111,12 +118,16 @@ void PipelineTracer::end(SpanId id) {
   ThreadState& ts = thread_state(this);
   std::string name;
   std::int64_t dur = 0;
+  std::int64_t end_rel = 0;
+  std::int32_t thread = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) return;
     Span& s = spans_[static_cast<std::size_t>(id)];
     if (!s.open) return;
     s.end_ns = t - epoch_ns_;
+    end_rel = s.end_ns;
+    thread = s.thread;
     s.open = false;
     s.alloc_bytes = allocs.bytes - s.alloc_bytes;
     s.alloc_count = allocs.count - s.alloc_count;
@@ -133,6 +144,8 @@ void PipelineTracer::end(SpanId id) {
   }
   // Dogfooding the registry: every span is also a scoped timer.
   Registry::global().histogram(name).record(dur);
+  if (this == &global())
+    FlightRecorder::global().record(true, name, end_rel, thread);
 }
 
 void PipelineTracer::attr(SpanId id, std::string_view key,

@@ -1,0 +1,195 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+
+namespace {
+
+// The innermost scope's state. The name buffer is written under g_mu
+// (scope open/close and ticker reads); the signal handler reads it
+// without the lock — a torn read can mix two pass names but the buffer
+// always holds a NUL inside its bounds, so the handler never overruns.
+std::mutex g_mu;
+char g_pass[64] = {0};
+std::atomic<std::int64_t> g_done{0};
+std::atomic<std::int64_t> g_total{0};
+
+Gauge& done_gauge() {
+  static Gauge& g = Registry::global().gauge("obs/progress/done");
+  return g;
+}
+
+Gauge& total_gauge() {
+  static Gauge& g = Registry::global().gauge("obs/progress/total");
+  return g;
+}
+
+void publish_pass(const char* name) {
+  // Write the terminator first so a mid-copy signal still sees a
+  // bounded string, then the bytes.
+  g_pass[sizeof g_pass - 1] = 0;
+  std::size_t i = 0;
+  for (; i < sizeof g_pass - 1 && name[i] != 0; ++i) g_pass[i] = name[i];
+  g_pass[i] = 0;
+}
+
+// --progress stderr ticker ------------------------------------------------
+
+struct Ticker {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  std::int64_t period_ms = 200;
+  bool on = false;
+  bool painted = false;
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (on) {
+      cv.wait_for(lock, std::chrono::milliseconds(period_ms));
+      if (!on) break;
+      lock.unlock();
+      paint();
+      lock.lock();
+    }
+  }
+
+  void paint() {
+    Progress::State s = Progress::current();
+    if (s.pass[0] == 0) return;
+    if (s.total > 0) {
+      const double pct =
+          100.0 * static_cast<double>(s.done) / static_cast<double>(s.total);
+      std::fprintf(stderr, "\r[progress] %-32s %12lld/%lld (%5.1f%%)  ",
+                   s.pass, static_cast<long long>(s.done),
+                   static_cast<long long>(s.total), pct);
+    } else {
+      std::fprintf(stderr, "\r[progress] %-32s %12lld  ", s.pass,
+                   static_cast<long long>(s.done));
+    }
+    std::fflush(stderr);
+    painted = true;
+  }
+};
+
+Ticker& ticker() {
+  static Ticker* t = new Ticker();  // never destroyed (detached lifetime)
+  return *t;
+}
+
+std::atomic<bool> g_ticker_on{false};
+
+}  // namespace
+
+Progress::Progress(std::string_view pass, std::int64_t total) {
+  char name[sizeof saved_.pass];
+  const std::size_t n = pass.size() < sizeof name - 1 ? pass.size()
+                                                      : sizeof name - 1;
+  std::memcpy(name, pass.data(), n);
+  name[n] = 0;
+
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::memcpy(saved_.pass, g_pass, sizeof saved_.pass);
+  saved_.done = g_done.load(std::memory_order_relaxed);
+  saved_.total = g_total.load(std::memory_order_relaxed);
+  publish_pass(name);
+  g_done.store(0, std::memory_order_relaxed);
+  g_total.store(total, std::memory_order_relaxed);
+  done_gauge().set(0);
+  total_gauge().set(total);
+}
+
+Progress::~Progress() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  publish_pass(saved_.pass);
+  g_done.store(saved_.done, std::memory_order_relaxed);
+  g_total.store(saved_.total, std::memory_order_relaxed);
+  done_gauge().set(saved_.done);
+  total_gauge().set(saved_.total);
+}
+
+void Progress::tick(std::int64_t n) {
+  const std::int64_t done =
+      g_done.fetch_add(n, std::memory_order_relaxed) + n;
+  done_gauge().set(done);
+}
+
+void Progress::set_done(std::int64_t done) {
+  g_done.store(done, std::memory_order_relaxed);
+  done_gauge().set(done);
+}
+
+void Progress::add_total(std::int64_t n) {
+  const std::int64_t total =
+      g_total.fetch_add(n, std::memory_order_relaxed) + n;
+  total_gauge().set(total);
+}
+
+Progress::State Progress::current() {
+  State s;
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::memcpy(s.pass, g_pass, sizeof s.pass);
+  s.done = g_done.load(std::memory_order_relaxed);
+  s.total = g_total.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t Progress::current_pass(char* buf, std::size_t n) {
+  if (n == 0) return 0;
+  // No locks, no allocation: plain byte copy of a buffer that always
+  // contains a terminator (publish_pass writes it first).
+  std::size_t i = 0;
+  for (; i < n - 1 && i < sizeof g_pass && g_pass[i] != 0; ++i)
+    buf[i] = g_pass[i];
+  buf[i] = 0;
+  return i;
+}
+
+std::int64_t Progress::done_now() {
+  return g_done.load(std::memory_order_relaxed);
+}
+
+std::int64_t Progress::total_now() {
+  return g_total.load(std::memory_order_relaxed);
+}
+
+void Progress::enable_ticker(bool on, std::int64_t period_ms) {
+  Ticker& t = ticker();
+  std::unique_lock<std::mutex> lock(t.mu);
+  if (on == t.on) {
+    t.period_ms = period_ms;
+    return;
+  }
+  if (on) {
+    t.on = true;
+    t.period_ms = period_ms;
+    g_ticker_on.store(true, std::memory_order_relaxed);
+    t.thread = std::thread([&t] { t.loop(); });
+  } else {
+    t.on = false;
+    g_ticker_on.store(false, std::memory_order_relaxed);
+    t.cv.notify_all();
+    lock.unlock();
+    if (t.thread.joinable()) t.thread.join();
+    lock.lock();
+    if (t.painted) {
+      std::fputc('\n', stderr);
+      t.painted = false;
+    }
+  }
+}
+
+bool Progress::ticker_enabled() {
+  return g_ticker_on.load(std::memory_order_relaxed);
+}
+
+}  // namespace logstruct::obs

@@ -136,9 +136,30 @@ RegistrySnapshot Registry::snapshot() const {
         s.max = s.count > 0 ? h.max() : 0;
         s.p50 = h.approx_quantile(0.5);
         s.p99 = h.approx_quantile(0.99);
+        s.buckets.resize(Histogram::kBuckets);
+        for (int b = 0; b < Histogram::kBuckets; ++b)
+          s.buckets[static_cast<std::size_t>(b)] = h.bucket(b);
         out.histograms.push_back(std::move(s));
         break;
       }
+    }
+  }
+  return out;
+}
+
+Registry::RawMetrics Registry::raw_metrics() const {
+  RawMetrics out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::Counter:
+        out.counters.emplace_back(name, entry.counter.get());
+        break;
+      case Kind::Gauge:
+        out.gauges.emplace_back(name, entry.gauge.get());
+        break;
+      case Kind::Histogram:
+        break;
     }
   }
   return out;

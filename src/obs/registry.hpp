@@ -105,6 +105,10 @@ struct RegistrySnapshot {
     std::int64_t max = 0;
     std::int64_t p50 = 0;
     std::int64_t p99 = 0;
+    /// Raw per-bucket counts (Histogram::kBuckets entries); bucket b
+    /// counts samples in [2^(b-1), 2^b). The OpenMetrics exposition
+    /// turns these into cumulative `le` buckets.
+    std::vector<std::int64_t> buckets;
   };
   std::vector<std::pair<std::string, std::int64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
@@ -125,6 +129,16 @@ class Registry {
   Histogram& histogram(std::string_view name);
 
   [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// Name + stable pointer for every counter and gauge. Metric objects
+  /// are never destroyed or moved, so the pointers stay valid for the
+  /// registry's lifetime — the crash flight recorder caches them and
+  /// reads values with a single atomic load from a signal handler.
+  struct RawMetrics {
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+  };
+  [[nodiscard]] RawMetrics raw_metrics() const;
 
   /// Zero every metric (objects and cached references stay valid).
   void reset();

@@ -1,0 +1,266 @@
+#include "obs/sampler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "obs/flightrec.hpp"
+#include "obs/json.hpp"
+#include "obs/memstats.hpp"
+#include "obs/pipeline.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+
+namespace {
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct Sampler::Impl {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  bool running = false;
+  std::int64_t period_ms = 0;
+  /// Fallback clock before any span exists (atomic: take() runs off
+  /// the lock on both the sampler thread and sample_now() callers).
+  std::atomic<std::int64_t> own_epoch_ms{-1};
+
+  std::vector<Sample> ring;
+  std::size_t capacity = 4096;
+  std::size_t head = 0;  ///< next write index once ring is full
+  std::int64_t total = 0;
+
+  void push_locked(const Sample& s) {
+    if (capacity == 0) return;
+    if (ring.size() < capacity) {
+      ring.push_back(s);
+    } else {
+      ring[head] = s;
+      head = (head + 1) % capacity;
+    }
+    ++total;
+  }
+
+  Sample take() {
+    Sample s;
+    // Share the span timeline when it exists; otherwise fall back to a
+    // private epoch so pre-pipeline samples still order correctly.
+    const std::int64_t tracer_ns = PipelineTracer::global().now_ns();
+    if (tracer_ns > 0) {
+      s.t_ms = tracer_ns / 1'000'000;
+    } else {
+      std::int64_t epoch = own_epoch_ms.load(std::memory_order_relaxed);
+      if (epoch < 0) {
+        std::int64_t expected = -1;
+        const std::int64_t now = steady_ms();
+        own_epoch_ms.compare_exchange_strong(expected, now,
+                                             std::memory_order_relaxed);
+        epoch = own_epoch_ms.load(std::memory_order_relaxed);
+      }
+      s.t_ms = steady_ms() - epoch;
+    }
+    s.rss_kb = current_rss_kb();
+    const AllocCounters allocs = process_allocs();
+    s.alloc_bytes = allocs.bytes;
+    s.alloc_count = allocs.count;
+    // By-name registry reads: obs cannot link the trace library, so the
+    // block cache's own OBS counters are the handoff (find-or-create
+    // keeps this safe before the cache exists — the values read 0).
+    Registry& reg = Registry::global();
+    s.cache_hits = reg.counter("trace/storage/cache/hits").value();
+    s.cache_misses = reg.counter("trace/storage/cache/misses").value();
+    s.cache_evictions = reg.counter("trace/storage/cache/evictions").value();
+    s.cache_hit_rate_bp = reg.gauge("trace/storage/cache_hit_rate").value();
+    const Progress::State prog = Progress::current();
+    s.progress_done = prog.done;
+    s.progress_total = prog.total;
+    return s;
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (running) {
+      const auto period = std::chrono::milliseconds(period_ms);
+      cv.wait_for(lock, period, [this] { return !running; });
+      if (!running) break;
+      lock.unlock();
+      Sample s = take();
+      // Each tick also re-captures the flight recorder's metric table
+      // so counters created mid-run make it into a later crash dump.
+      FlightRecorder::global().refresh_metrics();
+      lock.lock();
+      // Clamp to non-decreasing in case the epoch source switched from
+      // the private clock to the tracer's between ticks.
+      if (!ring.empty()) {
+        const Sample& prev =
+            ring.size() < capacity ? ring.back()
+                                   : ring[(head + capacity - 1) % capacity];
+        if (s.t_ms < prev.t_ms) s.t_ms = prev.t_ms;
+      }
+      push_locked(s);
+    }
+  }
+};
+
+Sampler::Sampler() : impl_(new Impl()) {}
+
+Sampler& Sampler::global() {
+  static Sampler* instance = new Sampler();  // never destroyed
+  return *instance;
+}
+
+Sampler::~Sampler() {
+  stop();
+  delete impl_;
+}
+
+void Sampler::start(std::int64_t period_ms) {
+  Impl& im = impl();
+  if (period_ms < 1) period_ms = 1;
+  std::unique_lock<std::mutex> lock(im.mu);
+  im.period_ms = period_ms;
+  if (im.running) return;
+  im.running = true;
+  im.thread = std::thread([&im] { im.loop(); });
+}
+
+void Sampler::stop() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (!im.running) return;
+    im.running = false;
+  }
+  im.cv.notify_all();
+  if (im.thread.joinable()) im.thread.join();
+}
+
+bool Sampler::running() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.running;
+}
+
+std::int64_t Sampler::period_ms() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.period_ms;
+}
+
+void Sampler::set_capacity(std::size_t n) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  // Rebuild in chronological order under the new capacity.
+  std::vector<Sample> chron;
+  chron.reserve(im.ring.size());
+  for (std::size_t i = 0; i < im.ring.size(); ++i)
+    chron.push_back(im.ring[(im.head + i) % im.ring.size()]);
+  if (chron.size() > n)
+    chron.erase(chron.begin(),
+                chron.begin() + static_cast<std::ptrdiff_t>(chron.size() - n));
+  im.ring = std::move(chron);
+  im.capacity = n;
+  im.head = 0;
+}
+
+void Sampler::sample_now() {
+  Impl& im = impl();
+  Sample s = im.take();
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (!im.ring.empty()) {
+    const Sample& prev = im.ring.size() < im.capacity
+                             ? im.ring.back()
+                             : im.ring[(im.head + im.capacity - 1) %
+                                       im.capacity];
+    if (s.t_ms < prev.t_ms) s.t_ms = prev.t_ms;
+  }
+  im.push_locked(s);
+}
+
+std::vector<Sample> Sampler::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<Sample> out;
+  out.reserve(im.ring.size());
+  for (std::size_t i = 0; i < im.ring.size(); ++i)
+    out.push_back(im.ring[(im.head + i) % im.ring.size()]);
+  return out;
+}
+
+std::int64_t Sampler::total_samples() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.total;
+}
+
+void Sampler::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.ring.clear();
+  im.head = 0;
+  im.total = 0;
+  im.own_epoch_ms.store(-1, std::memory_order_relaxed);
+}
+
+std::string Sampler::to_json() const {
+  const std::vector<Sample> samples = snapshot();
+  Impl& im = impl();
+  std::int64_t period = 0;
+  std::size_t capacity = 0;
+  std::int64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    period = im.period_ms;
+    capacity = im.capacity;
+    total = im.total;
+  }
+  json::Writer w;
+  w.begin_object();
+  w.key("period_ms");
+  w.value(period);
+  w.key("capacity");
+  w.value(static_cast<std::int64_t>(capacity));
+  w.key("total");
+  w.value(total);
+  w.key("samples");
+  w.begin_array();
+  for (const Sample& s : samples) {
+    w.begin_object();
+    w.key("t_ms");
+    w.value(s.t_ms);
+    w.key("rss_kb");
+    w.value(s.rss_kb);
+    w.key("alloc_bytes");
+    w.value(s.alloc_bytes);
+    w.key("alloc_count");
+    w.value(s.alloc_count);
+    w.key("cache_hits");
+    w.value(s.cache_hits);
+    w.key("cache_misses");
+    w.value(s.cache_misses);
+    w.key("cache_evictions");
+    w.value(s.cache_evictions);
+    w.key("cache_hit_rate_bp");
+    w.value(s.cache_hit_rate_bp);
+    w.key("progress_done");
+    w.value(s.progress_done);
+    w.key("progress_total");
+    w.value(s.progress_total);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace logstruct::obs

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file sampler.hpp
+/// Periodic background sampler: a time series of process vitals in a
+/// bounded ring buffer.
+///
+/// Every period (--obs-period-ms) the sampler thread snapshots:
+///  - current RSS (memstats),
+///  - process-wide cumulative allocation totals (batched, see
+///    memstats.hpp process_allocs()),
+///  - the block-cache hit/miss/eviction counters and derived hit-rate
+///    gauge (read from the registry by name — obs cannot link the
+///    trace library),
+///  - pass progress (obs/progress gauges via Progress::current()).
+///
+/// Samples land in a bounded ring (default 4096; oldest overwritten),
+/// exported as the `sampler` time-series block of the
+/// logstruct-obs-sidecar/v4 schema and as Chrome `ph:"C"` counter
+/// tracks (export_chrome.hpp), so Perfetto renders RSS-over-time under
+/// the span flame chart. Each tick also refreshes the crash flight
+/// recorder's metric table so counters born mid-run appear in a later
+/// crash dump.
+///
+/// Timestamps share the pipeline tracer's epoch (now_ns()), aligning
+/// the time series with span begin/end times in every export.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace logstruct::obs {
+
+/// One periodic snapshot. All fields are cumulative-or-instant gauges;
+/// consumers difference adjacent samples for rates.
+struct Sample {
+  std::int64_t t_ms = 0;  ///< tracer-epoch-relative milliseconds
+  std::int64_t rss_kb = 0;
+  std::int64_t alloc_bytes = 0;
+  std::int64_t alloc_count = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_evictions = 0;
+  std::int64_t cache_hit_rate_bp = 0;  ///< basis points (9980 = 99.8%)
+  std::int64_t progress_done = 0;
+  std::int64_t progress_total = 0;
+};
+
+class Sampler {
+ public:
+  /// The process-wide instance (tests may construct private ones).
+  static Sampler& global();
+
+  Sampler();
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Start (or re-period) the background thread. period_ms is clamped
+  /// to >= 1. Idempotent.
+  void start(std::int64_t period_ms);
+
+  /// Stop and join the thread. The collected series stays readable.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] std::int64_t period_ms() const;
+
+  /// Ring capacity (default 4096). Shrinking drops oldest samples.
+  void set_capacity(std::size_t n);
+
+  /// Take one sample synchronously on the calling thread (tests, and
+  /// the final sample finish_obs takes before export).
+  void sample_now();
+
+  /// Chronological copy (oldest first).
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Total samples ever taken, including overwritten ones.
+  [[nodiscard]] std::int64_t total_samples() const;
+
+  /// Drop the series (keeps the thread running if started).
+  void reset();
+
+  /// {"period_ms":N,"capacity":N,"total":N,"samples":[...]} — the
+  /// sidecar v4 `sampler` block.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Impl;
+  Impl& impl() const { return *impl_; }
+  Impl* impl_;
+};
+
+}  // namespace logstruct::obs

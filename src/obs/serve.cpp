@@ -1,0 +1,213 @@
+#include "obs/serve.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "obs/log.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/pipeline.hpp"
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+
+namespace {
+
+constexpr const char* kOpenMetricsType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing to salvage
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, const char* status, const char* content_type,
+             const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+/// Read up to the end of the request headers (or 4 KiB, or the socket
+/// timeout) and parse the request line into method + path.
+bool read_request(int fd, std::string& method, std::string& path) {
+  char buf[4096];
+  std::size_t len = 0;
+  while (len < sizeof buf - 1) {
+    const ssize_t n = ::recv(fd, buf + len, sizeof buf - 1 - len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    len += static_cast<std::size_t>(n);
+    buf[len] = 0;
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr)
+      break;
+  }
+  if (len == 0) return false;
+  buf[len] = 0;
+  const char* sp1 = std::strchr(buf, ' ');
+  if (sp1 == nullptr) return false;
+  const char* sp2 = std::strchr(sp1 + 1, ' ');
+  const char* eol = std::strpbrk(buf, "\r\n");
+  if (sp2 == nullptr || (eol != nullptr && sp2 > eol)) return false;
+  method.assign(buf, static_cast<std::size_t>(sp1 - buf));
+  path.assign(sp1 + 1, static_cast<std::size_t>(sp2 - sp1 - 1));
+  // Scrapers may append a query string; routing ignores it.
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return true;
+}
+
+}  // namespace
+
+struct MetricsServer::Impl {
+  std::mutex mu;
+  std::thread thread;
+  std::atomic<bool> running{false};
+  int listen_fd = -1;
+  int port = 0;
+
+  void handle(int fd) {
+    struct timeval tv;
+    tv.tv_sec = 2;
+    tv.tv_usec = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    std::string method;
+    std::string path;
+    if (!read_request(fd, method, path)) {
+      ::close(fd);
+      return;
+    }
+    Registry::global().counter("obs/serve/requests").inc();
+    if (method != "GET") {
+      respond(fd, "405 Method Not Allowed", "text/plain; charset=utf-8",
+              "method not allowed\n");
+    } else if (path == "/metrics") {
+      Registry::global().counter("obs/serve/scrapes").inc();
+      respond(fd, "200 OK", kOpenMetricsType, openmetrics_text());
+    } else if (path == "/healthz") {
+      respond(fd, "200 OK", "text/plain; charset=utf-8", "ok\n");
+    } else if (path == "/spans") {
+      respond(fd, "200 OK", "application/json",
+              PipelineTracer::global().to_json());
+    } else {
+      respond(fd, "404 Not Found", "text/plain; charset=utf-8",
+              "not found\n");
+    }
+    ::close(fd);
+  }
+
+  void loop() {
+    while (running.load(std::memory_order_relaxed)) {
+      struct pollfd pfd;
+      pfd.fd = listen_fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int r = ::poll(&pfd, 1, 200);
+      if (!running.load(std::memory_order_relaxed)) break;
+      if (r <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      handle(fd);
+    }
+  }
+};
+
+MetricsServer::MetricsServer() : impl_(new Impl()) {}
+
+MetricsServer::~MetricsServer() {
+  stop();
+  delete impl_;
+}
+
+MetricsServer& MetricsServer::global() {
+  static MetricsServer* instance = new MetricsServer();  // never destroyed
+  return *instance;
+}
+
+bool MetricsServer::start(int port) {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (im.running.load(std::memory_order_relaxed)) return true;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    log(Level::Error, "obs", "metrics server: socket() failed",
+        {{"errno", std::to_string(errno)}});
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(fd, 16) < 0) {
+    log(Level::Error, "obs", "metrics server: bind/listen failed",
+        {{"port", std::to_string(port)},
+         {"errno", std::to_string(errno)}});
+    ::close(fd);
+    return false;
+  }
+  socklen_t alen = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &alen) ==
+      0)
+    im.port = static_cast<int>(ntohs(addr.sin_port));
+  else
+    im.port = port;
+
+  im.listen_fd = fd;
+  im.running.store(true, std::memory_order_relaxed);
+  im.thread = std::thread([&im] { im.loop(); });
+  log(Level::Info, "obs", "metrics server listening",
+      {{"port", std::to_string(im.port)},
+       {"endpoints", "/metrics /healthz /spans"}});
+  return true;
+}
+
+void MetricsServer::stop() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  if (!im.running.load(std::memory_order_relaxed)) return;
+  im.running.store(false, std::memory_order_relaxed);
+  if (im.thread.joinable()) im.thread.join();
+  if (im.listen_fd >= 0) ::close(im.listen_fd);
+  im.listen_fd = -1;
+  im.port = 0;
+}
+
+bool MetricsServer::running() const {
+  return impl_->running.load(std::memory_order_relaxed);
+}
+
+int MetricsServer::port() const {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  return im.port;
+}
+
+}  // namespace logstruct::obs

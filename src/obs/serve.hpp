@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file serve.hpp
+/// Minimal embedded HTTP exporter for live telemetry — the first
+/// networking substrate toward the ROADMAP's `logstructd` daemon.
+///
+/// A single background thread accepts loopback connections and serves:
+///   GET /metrics  -> OpenMetrics text of the registry (openmetrics.hpp)
+///   GET /healthz  -> "ok"
+///   GET /spans    -> the pipeline tracer's span JSON array
+/// Anything else is 404; non-GET methods are 405. Connections are
+/// handled serially (scrapers poll at second granularity; a queue of
+/// one is plenty) with a receive timeout so a stalled client cannot
+/// wedge the loop. Off by default; --obs-port=N starts it (N=0 binds
+/// an ephemeral port, reported by port()). Binds 127.0.0.1 only —
+/// this is an operator scrape surface, not a public service.
+///
+/// Responses are rendered outside any registry/tracer lock (both
+/// snapshot internally), so scraping mid-run never stalls a pass.
+
+#include <string>
+
+namespace logstruct::obs {
+
+class MetricsServer {
+ public:
+  /// The process-wide instance (tests may construct private ones).
+  static MetricsServer& global();
+
+  MetricsServer();
+  ~MetricsServer();
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Bind 127.0.0.1:port (0 = ephemeral) and start the accept loop.
+  /// Returns false (with the error logged) when the bind fails.
+  /// Idempotent while running.
+  bool start(int port);
+
+  /// Stop the accept loop and join the thread.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// The bound port while running (resolves 0 to the kernel's pick).
+  [[nodiscard]] int port() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace logstruct::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/progress.hpp"
 #include "order/block_units.hpp"
 #include "trace/sdag.hpp"
 #include "util/check.hpp"
@@ -55,16 +56,25 @@ PartitionGraph build_initial_partitions(const trace::Trace& trace,
   // dominant per-event cost of this stage; precompute it in parallel
   // (index-owned writes) and let the serial assembly below read the
   // table, so partition ids come out identical for any thread count.
+  // Progress: first half is the parallel is_rt precompute, second half
+  // the serial run-splitting assembly; both tick in event units.
+  const std::int64_t num_events = trace.num_events();
+  obs::Progress progress("order/initial", 2 * num_events);
   std::vector<char> is_rt(static_cast<std::size_t>(trace.num_events()), 0);
-  util::parallel_for(threads, trace.num_events(), [&](std::int64_t e) {
-    is_rt[static_cast<std::size_t>(e)] =
-        trace.is_runtime_event(static_cast<trace::EventId>(e)) ? 1 : 0;
-  });
+  util::parallel_for_chunks(
+      threads, trace.num_events(), 8192,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t e = begin; e < end; ++e)
+          is_rt[static_cast<std::size_t>(e)] =
+              trace.is_runtime_event(static_cast<trace::EventId>(e)) ? 1 : 0;
+        obs::Progress::tick(end - begin);
+      });
 
   // Split each block into runs at application/runtime boundaries and
   // chain the runs (edge type 2).
   std::vector<PartId> first_part(units.events.size(), -1);
   std::vector<PartId> last_part(units.events.size(), -1);
+  std::int64_t ticked = 0;  // batch progress to keep the loop cheap
   for (std::size_t r = 0; r < units.events.size(); ++r) {
     const auto& events = units.events[r];
     if (events.empty()) continue;
@@ -96,7 +106,13 @@ PartitionGraph build_initial_partitions(const trace::Trace& trace,
       i = j;
     }
     last_part[r] = prev;
+    ticked += static_cast<std::int64_t>(events.size());
+    if (ticked >= 65536) {
+      obs::Progress::tick(ticked);
+      ticked = 0;
+    }
   }
+  if (ticked > 0) obs::Progress::tick(ticked);
 
   // Edge type 1: remote method invocations.
   trace.for_each_dependency([&](trace::EventId s, trace::EventId rcv) {

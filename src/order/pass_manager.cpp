@@ -5,6 +5,7 @@
 
 #include "graph/scc.hpp"
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "order/context.hpp"
 #include "order/infer.hpp"
 #include "util/stopwatch.hpp"
@@ -30,6 +31,10 @@ void PassManager::run(OrderContext& ctx) {
   records_.reserve(passes_.size());
   for (const Pass& pass : passes_) {
     obs::AllocScope allocs;  // ordinary API: zero deltas without the hook
+    // Pass-level progress scope (indeterminate): a crash dump or a
+    // /metrics scrape mid-pass always names the running pass even when
+    // the pass body opens no finer-grained Progress of its own.
+    obs::Progress progress("order/" + pass.name, 0);
     util::Stopwatch sw;
     [[maybe_unused]] const std::int64_t merges_before =
         ctx.has_pg() ? ctx.pg().merges_applied() : 0;

@@ -5,6 +5,7 @@
 
 #include "graph/topo.hpp"
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "order/block_units.hpp"
 #include "order/context.hpp"
 #include "order/pass_manager.hpp"
@@ -366,8 +367,10 @@ void stepping_pass(OrderContext& ctx) {
   const int threads = opts.step.threads >= 1 ? opts.step.threads
                                              : opts.effective_threads();
   span.attr("threads", threads);
+  obs::Progress progress("order/stepping", phases.num_phases());
   util::parallel_for(threads, phases.num_phases(), [&](std::int64_t ph) {
     process_phase(static_cast<std::int32_t>(ph));
+    obs::Progress::tick();
   });
   for (std::int32_t c : conflicts) out.order_conflicts += c;
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "trace/storage/extsort.hpp"
 #include "trace/storage/options.hpp"
 #include "util/check.hpp"
@@ -211,6 +212,23 @@ void freeze_blocked(Trace& trace, int threads) {
   // blocked freeze allocates beyond the construction staging itself.
   constexpr std::size_t kRunBytes = 16u << 20;
 
+  // Progress covers both halves of every external sort: the push sweeps
+  // and the k-way merge emit callbacks. Ticks are strided (one shared
+  // atomic bump per 64Ki records) so the hot loops stay untouched. The
+  // total budgets one push tick and one emit tick per candidate record:
+  // three event-keyed sweeps scan num_events each, two block-keyed
+  // sweeps scan num_blocks each. Sweeps that filter at push time
+  // (blockless events, non-recv deps) emit fewer records than budgeted,
+  // so the bar can finish short of 100% — an over-estimate, never a
+  // stall at full.
+  obs::Progress progress(
+      "trace/freeze_blocked",
+      2 * static_cast<std::int64_t>(3 * num_events + 2 * num_blocks));
+  std::int64_t strided = 0;
+  const auto stride_tick = [&strided] {
+    if ((++strided & 0xFFFF) == 0) obs::Progress::tick(0x10000);
+  };
+
   // Primary columns stream straight out in frozen (id) order.
   writer.set_elem_bytes(ColumnId::Events, sizeof(Event));
   writer.append(ColumnId::Events, trace.events_.data(),
@@ -243,6 +261,7 @@ void freeze_blocked(Trace& trace, int threads) {
       const Event& ev = trace.events_[e];
       if (ev.block != kNone)
         sorter.push({ev.block, ev.time, static_cast<EventId>(e)});
+      stride_tick();
     }
     writer.set_elem_bytes(ColumnId::BlockEvents, sizeof(EventId));
     writer.set_elem_bytes(ColumnId::BlockEvBegin, sizeof(std::int64_t));
@@ -255,6 +274,7 @@ void freeze_blocked(Trace& trace, int threads) {
       }
       writer.append(ColumnId::BlockEvents, &rec.id, sizeof(rec.id));
       ++count;
+      stride_tick();
     });
     while (next <= num_blocks) {
       writer.append(ColumnId::BlockEvBegin, &count, sizeof(count));
@@ -281,6 +301,7 @@ void freeze_blocked(Trace& trace, int threads) {
     for (std::size_t e = 0; e < num_events; ++e) {
       const Event& ev = trace.events_[e];
       sorter.push({ev.chare, ev.time, static_cast<EventId>(e)});
+      stride_tick();
     }
     writer.set_elem_bytes(ColumnId::ChareEvents, sizeof(EventId));
     trace.chare_events_begin_.clear();
@@ -294,6 +315,7 @@ void freeze_blocked(Trace& trace, int threads) {
       }
       writer.append(ColumnId::ChareEvents, &rec.id, sizeof(rec.id));
       ++count;
+      stride_tick();
     });
     while (next <= num_chares) {
       trace.chare_events_begin_.push_back(count);
@@ -330,6 +352,7 @@ void freeze_blocked(Trace& trace, int threads) {
         }
         writer.append(col, &rec.id, sizeof(rec.id));
         ++count;
+        stride_tick();
       });
       while (next <= groups) {
         begin.push_back(count);
@@ -341,6 +364,7 @@ void freeze_blocked(Trace& trace, int threads) {
       for (std::size_t b = 0; b < num_blocks; ++b) {
         const SerialBlock& blk = trace.blocks_[b];
         sorter.push({blk.chare, blk.begin, static_cast<BlockId>(b)});
+        stride_tick();
       }
       emit_groups(ColumnId::ChareBlocks, num_chares,
                   trace.chare_blocks_begin_, sorter);
@@ -351,6 +375,7 @@ void freeze_blocked(Trace& trace, int threads) {
         const SerialBlock& blk = trace.blocks_[b];
         if (blk.proc >= 0 && blk.proc < trace.num_procs_)
           sorter.push({blk.proc, blk.begin, static_cast<BlockId>(b)});
+        stride_tick();
       }
       emit_groups(ColumnId::ProcBlocks, num_procs,
                   trace.proc_blocks_begin_, sorter);
@@ -377,6 +402,7 @@ void freeze_blocked(Trace& trace, int threads) {
       const Event& e = trace.events_[r];
       if (e.kind == EventKind::Recv && e.partner != kNone)
         sorter.push({e.partner, static_cast<EventId>(r)});
+      stride_tick();
     }
     writer.set_elem_bytes(ColumnId::DepSend, sizeof(EventId));
     writer.set_elem_bytes(ColumnId::DepRecv, sizeof(EventId));
@@ -398,6 +424,7 @@ void freeze_blocked(Trace& trace, int threads) {
       writer.append(ColumnId::DepRecv, &rec.recv, sizeof(rec.recv));
       writer.append(ColumnId::DepKind, &kind, sizeof(kind));
       ++count;
+      stride_tick();
     });
     while (next <= num_events) {
       writer.append(ColumnId::DepBegin, &count, sizeof(count));

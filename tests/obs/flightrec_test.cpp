@@ -1,0 +1,175 @@
+#include "obs/flightrec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define LS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LS_TSAN 1
+#endif
+#endif
+
+namespace logstruct::obs {
+namespace {
+
+TEST(FlightRecorder, RecordsAndDumpsSpanEvents) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.reset();
+  rec.record(false, "pass/alpha", 1000, 0);
+  rec.record(true, "pass/alpha", 2000, 0);
+  rec.record(false, "pass/beta", 3000, 1);
+
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(rec.to_json(), v, &err)) << err;
+  EXPECT_EQ(v.at("schema").string, "logstruct-flightrec/v1");
+  EXPECT_EQ(v.at("signal").as_int(), 0);
+  ASSERT_TRUE(v.at("events").is_array());
+  ASSERT_EQ(v.at("events").array.size(), 3u);
+  const json::Value& e0 = v.at("events").array[0];
+  EXPECT_EQ(e0.at("name").string, "pass/alpha");
+  EXPECT_EQ(e0.at("kind").string, "open");
+  EXPECT_EQ(e0.at("t_ns").as_int(), 1000);
+  EXPECT_EQ(v.at("events").array[1].at("kind").string, "close");
+  EXPECT_EQ(v.at("events").array[2].at("thread").as_int(), 1);
+  EXPECT_GE(v.at("rss_kb").as_int(), 0);
+  ASSERT_TRUE(v.at("counters").is_object());
+  ASSERT_TRUE(v.at("gauges").is_object());
+}
+
+TEST(FlightRecorder, RingKeepsNewestEvents) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.reset();
+  const std::size_t n = FlightRecorder::kRingSize + 10;
+  for (std::size_t i = 0; i < n; ++i)
+    rec.record(false, "pass/ring", static_cast<std::int64_t>(i), 0);
+
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(rec.to_json(), v, &err)) << err;
+  const auto& events = v.at("events").array;
+  ASSERT_EQ(events.size(), FlightRecorder::kRingSize);
+  // Oldest surviving record is the one 256 back from the end.
+  EXPECT_EQ(events.front().at("t_ns").as_int(),
+            static_cast<std::int64_t>(n - FlightRecorder::kRingSize));
+  EXPECT_EQ(events.back().at("t_ns").as_int(),
+            static_cast<std::int64_t>(n - 1));
+}
+
+TEST(FlightRecorder, LongNamesTruncateInsideSlot) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.reset();
+  const std::string long_name(3 * FlightRecorder::kNameLen, 'z');
+  rec.record(false, long_name, 1, 0);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(rec.to_json(), v, &err)) << err;
+  const std::string& stored = v.at("events").array[0].at("name").string;
+  EXPECT_EQ(stored.size(), FlightRecorder::kNameLen - 1);
+  EXPECT_EQ(stored, std::string(FlightRecorder::kNameLen - 1, 'z'));
+}
+
+TEST(FlightRecorder, DumpCarriesProgressAndMetrics) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.reset();
+  Registry::global().counter("flightrec/test_counter").add(17);
+  rec.refresh_metrics();
+  Progress prog("flightrec/test_pass", 10);
+  Progress::tick(4);
+
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(rec.to_json(), v, &err)) << err;
+  EXPECT_EQ(v.at("pass").string, "flightrec/test_pass");
+  EXPECT_EQ(v.at("progress").at("done").as_int(), 4);
+  EXPECT_EQ(v.at("progress").at("total").as_int(), 10);
+  ASSERT_TRUE(v.at("counters").has("flightrec/test_counter"));
+  EXPECT_EQ(v.at("counters").at("flightrec/test_counter").as_int(), 17);
+  EXPECT_EQ(v.at("metrics_truncated").kind, json::Value::Kind::Bool);
+}
+
+TEST(FlightRecorder, ConcurrentRecordersNeverCorruptTheDump) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.reset();
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < 2000; ++i)
+        rec.record((i & 1) != 0, "pass/contended", i, t);
+    });
+  }
+  // Dump concurrently with the writers: torn slots must be skipped,
+  // never emitted as garbage.
+  for (int i = 0; i < 10; ++i) {
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(rec.to_json(), v, &err)) << err;
+    for (const json::Value& e : v.at("events").array)
+      EXPECT_EQ(e.at("name").string, "pass/contended");
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_GE(rec.dropped(), 0);
+}
+
+#if !defined(LS_TSAN)
+// The acceptance-criterion death test: SIGABRT mid-pass must leave a
+// parseable flight-recorder JSON naming the in-flight pass. Skipped
+// under TSan, whose interceptors are not fork/death-test safe.
+TEST(FlightRecorderDeathTest, SigAbrtDumpsPostMortemJson) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::string path = testing::TempDir() + "flightrec_abrt.json";
+  std::remove(path.c_str());
+
+  EXPECT_EXIT(
+      {
+        FlightRecorder::global().arm(path);
+        Progress prog("order/crashing_pass", 10);
+        Progress::tick(3);
+        OBS_SPAN(span, "order/crashing_pass");
+        std::abort();
+      },
+      testing::KilledBySignal(SIGABRT), "");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler wrote no dump at " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(buf.str(), v, &err)) << err;
+  EXPECT_EQ(v.at("schema").string, "logstruct-flightrec/v1");
+  EXPECT_EQ(v.at("signal").as_int(), SIGABRT);
+  EXPECT_EQ(v.at("pass").string, "order/crashing_pass");
+  EXPECT_EQ(v.at("progress").at("done").as_int(), 3);
+#if defined(__linux__)
+  EXPECT_GT(v.at("rss_kb").as_int(), 0);
+#endif
+#if LOGSTRUCT_OBS
+  // The span open event recorded just before the abort is in the ring.
+  bool saw_span = false;
+  for (const json::Value& e : v.at("events").array)
+    saw_span |= e.at("name").string == "order/crashing_pass";
+  EXPECT_TRUE(saw_span);
+#endif
+  std::remove(path.c_str());
+}
+#endif  // !LS_TSAN
+
+}  // namespace
+}  // namespace logstruct::obs

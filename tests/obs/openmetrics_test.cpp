@@ -1,0 +1,124 @@
+#include "obs/openmetrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+namespace {
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(OpenMetrics, FamilyNameSanitization) {
+  EXPECT_EQ(detail::openmetrics_family("trace/ingest"),
+            "logstruct_trace_ingest");
+  EXPECT_EQ(detail::openmetrics_family("a.b-c d"), "logstruct_a_b_c_d");
+  // [a-zA-Z0-9_:] pass through untouched.
+  EXPECT_EQ(detail::openmetrics_family("Ab9_:x"), "logstruct_Ab9_:x");
+}
+
+TEST(OpenMetrics, LabelEscaping) {
+  EXPECT_EQ(detail::openmetrics_escape_label("plain"), "plain");
+  EXPECT_EQ(detail::openmetrics_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(detail::openmetrics_escape_label("say \"hi\""),
+            "say \\\"hi\\\"");
+  EXPECT_EQ(detail::openmetrics_escape_label("line\nbreak"),
+            "line\\nbreak");
+}
+
+TEST(OpenMetrics, CounterAndGaugeExposition) {
+  Registry reg;
+  reg.counter("trace/ingest/events").add(42);
+  reg.gauge("order/context/arena_hwm_bytes").set(1024);
+  const std::string text = openmetrics_text(reg);
+
+  EXPECT_TRUE(contains(
+      text, "# TYPE logstruct_trace_ingest_events counter"));
+  EXPECT_TRUE(contains(
+      text, "# HELP logstruct_trace_ingest_events"));
+  // Counters get the _total sample suffix and the original path label.
+  EXPECT_TRUE(contains(
+      text,
+      "logstruct_trace_ingest_events_total"
+      "{path=\"trace/ingest/events\"} 42"));
+  EXPECT_TRUE(contains(
+      text, "# TYPE logstruct_order_context_arena_hwm_bytes gauge"));
+  EXPECT_TRUE(contains(
+      text,
+      "logstruct_order_context_arena_hwm_bytes"
+      "{path=\"order/context/arena_hwm_bytes\"} 1024"));
+  // OpenMetrics documents terminate with exactly one EOF line.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  EXPECT_EQ(text.find("# EOF"), text.rfind("# EOF"));
+}
+
+TEST(OpenMetrics, HistogramCumulativeBuckets) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  h.record(0);    // bucket 0  -> le="0"
+  h.record(1);    // bucket 1  -> le="1"
+  h.record(100);  // bucket 7  -> le="127"
+  const std::string text = openmetrics_text(reg);
+
+  EXPECT_TRUE(contains(text, "# TYPE logstruct_lat histogram"));
+  EXPECT_TRUE(contains(text,
+                       "logstruct_lat_bucket{path=\"lat\",le=\"0\"} 1"));
+  EXPECT_TRUE(contains(text,
+                       "logstruct_lat_bucket{path=\"lat\",le=\"1\"} 2"));
+  // Cumulative: every bucket between stays at 2 ...
+  EXPECT_TRUE(contains(
+      text, "logstruct_lat_bucket{path=\"lat\",le=\"63\"} 2"));
+  // ... until the bucket holding 100, after which +Inf closes at 3.
+  EXPECT_TRUE(contains(
+      text, "logstruct_lat_bucket{path=\"lat\",le=\"127\"} 3"));
+  EXPECT_TRUE(contains(
+      text, "logstruct_lat_bucket{path=\"lat\",le=\"+Inf\"} 3"));
+  EXPECT_TRUE(contains(text, "logstruct_lat_count{path=\"lat\"} 3"));
+  EXPECT_TRUE(contains(text, "logstruct_lat_sum{path=\"lat\"} 101"));
+  // Empty buckets past the last occupied one are not emitted.
+  EXPECT_FALSE(contains(text, "le=\"255\""));
+}
+
+TEST(OpenMetrics, PathLabelCarriesEscapedOriginal) {
+  Registry reg;
+  reg.gauge("weird \"name\"\npath").set(7);
+  const std::string text = openmetrics_text(reg);
+  EXPECT_TRUE(contains(
+      text, "{path=\"weird \\\"name\\\"\\npath\"} 7"));
+}
+
+TEST(OpenMetrics, CollidingPathsGetDistinctFamilies) {
+  Registry reg;
+  reg.counter("a/b").add(1);
+  reg.counter("a.b").add(2);  // sanitizes to the same family name
+  const std::string text = openmetrics_text(reg);
+  EXPECT_TRUE(contains(text, "# TYPE logstruct_a_b counter"));
+  EXPECT_TRUE(contains(text, "# TYPE logstruct_a_b_2 counter"));
+  // Each family keeps exactly one TYPE line.
+  const std::size_t first = text.find("# TYPE logstruct_a_b counter");
+  EXPECT_EQ(text.find("# TYPE logstruct_a_b counter", first + 1),
+            std::string::npos);
+}
+
+TEST(OpenMetrics, GlobalOverloadNamesOpenPass) {
+  {
+    Progress prog("openmetrics/test_pass", 4);
+    Progress::tick(2);
+    const std::string text = openmetrics_text();
+    EXPECT_TRUE(contains(text, "pass=\"openmetrics/test_pass\""));
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  }
+  // With no pass open, the info line disappears.
+  const std::string text = openmetrics_text();
+  EXPECT_FALSE(contains(text, "pass=\"openmetrics/test_pass\""));
+}
+
+}  // namespace
+}  // namespace logstruct::obs

@@ -1,0 +1,96 @@
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+namespace {
+
+Gauge& done_gauge() { return Registry::global().gauge("obs/progress/done"); }
+Gauge& total_gauge() {
+  return Registry::global().gauge("obs/progress/total");
+}
+
+TEST(Progress, ScopePublishesAndRestores) {
+  {
+    Progress outer("pass/outer", 100);
+    Progress::tick(10);
+    Progress::State s = Progress::current();
+    EXPECT_STREQ(s.pass, "pass/outer");
+    EXPECT_EQ(s.done, 10);
+    EXPECT_EQ(s.total, 100);
+    EXPECT_EQ(done_gauge().value(), 10);
+    EXPECT_EQ(total_gauge().value(), 100);
+    {
+      // Nested scope: innermost wins, outer state is saved.
+      Progress inner("pass/inner", 7);
+      Progress::tick();
+      s = Progress::current();
+      EXPECT_STREQ(s.pass, "pass/inner");
+      EXPECT_EQ(s.done, 1);
+      EXPECT_EQ(s.total, 7);
+    }
+    // Closing the inner scope restores the outer pass mid-flight.
+    s = Progress::current();
+    EXPECT_STREQ(s.pass, "pass/outer");
+    EXPECT_EQ(s.done, 10);
+    EXPECT_EQ(s.total, 100);
+  }
+  EXPECT_STREQ(Progress::current().pass, "");
+}
+
+TEST(Progress, SetDoneAddTotalAndAtomicReads) {
+  Progress prog("pass/counts", 10);
+  Progress::set_done(4);
+  EXPECT_EQ(Progress::done_now(), 4);
+  Progress::add_total(5);
+  EXPECT_EQ(Progress::total_now(), 15);
+  Progress::tick(2);
+  EXPECT_EQ(Progress::done_now(), 6);
+  EXPECT_EQ(done_gauge().value(), 6);
+  EXPECT_EQ(total_gauge().value(), 15);
+}
+
+TEST(Progress, CurrentPassIsBoundedCopy) {
+  const std::string long_name(200, 'x');
+  Progress prog(long_name, 1);
+  char buf[16];
+  const std::size_t n = Progress::current_pass(buf, sizeof buf);
+  EXPECT_EQ(n, sizeof buf - 1);
+  EXPECT_EQ(buf[sizeof buf - 1], '\0');
+  EXPECT_EQ(std::strlen(buf), sizeof buf - 1);
+  // Zero-length buffer is a no-op, not a write.
+  EXPECT_EQ(Progress::current_pass(buf, 0), 0u);
+}
+
+TEST(Progress, ConcurrentTicksSumExactly) {
+  Progress prog("pass/parallel", 4000);
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) Progress::tick();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(Progress::done_now(), 4000);
+}
+
+TEST(Progress, TickerEnableDisableIsIdempotent) {
+  EXPECT_FALSE(Progress::ticker_enabled());
+  Progress::enable_ticker(true, 5);
+  EXPECT_TRUE(Progress::ticker_enabled());
+  Progress::enable_ticker(true, 5);  // idempotent re-enable
+  Progress::enable_ticker(false);
+  EXPECT_FALSE(Progress::ticker_enabled());
+  Progress::enable_ticker(false);  // idempotent re-disable
+}
+
+}  // namespace
+}  // namespace logstruct::obs

@@ -1,0 +1,106 @@
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/progress.hpp"
+#include "obs/registry.hpp"
+
+namespace logstruct::obs {
+namespace {
+
+TEST(Sampler, SampleNowCapturesVitalsAndProgress) {
+  Sampler s;
+  Registry::global().counter("trace/storage/cache/hits").add(0);
+  {
+    Progress prog("sampler/test_pass", 50);
+    Progress::tick(20);
+    s.sample_now();
+  }
+  const std::vector<Sample> samples = s.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_GE(samples[0].t_ms, 0);
+#if defined(__linux__)
+  EXPECT_GT(samples[0].rss_kb, 0);
+#endif
+  EXPECT_EQ(samples[0].progress_done, 20);
+  EXPECT_EQ(samples[0].progress_total, 50);
+  EXPECT_GE(samples[0].cache_hits, 0);
+  EXPECT_EQ(s.total_samples(), 1);
+}
+
+TEST(Sampler, RingOverwritesOldestAndStaysChronological) {
+  Sampler s;
+  s.set_capacity(4);
+  for (int i = 0; i < 10; ++i) s.sample_now();
+  const std::vector<Sample> samples = s.snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(s.total_samples(), 10);
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_GE(samples[i].t_ms, samples[i - 1].t_ms);
+}
+
+TEST(Sampler, BackgroundThreadCollects) {
+  Sampler s;
+  EXPECT_FALSE(s.running());
+  s.start(1);
+  EXPECT_TRUE(s.running());
+  EXPECT_EQ(s.period_ms(), 1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (s.total_samples() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  s.stop();
+  EXPECT_FALSE(s.running());
+  EXPECT_GE(s.total_samples(), 3);
+  const std::int64_t collected = s.total_samples();
+  // Stopped sampler takes no further samples.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(s.total_samples(), collected);
+}
+
+TEST(Sampler, ToJsonParsesAsSidecarBlock) {
+  Sampler s;
+  s.set_capacity(8);
+  {
+    Progress prog("sampler/json_pass", 9);
+    Progress::tick(3);
+    s.sample_now();
+    s.sample_now();
+  }
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(s.to_json(), v, &err)) << err;
+  EXPECT_EQ(v.at("capacity").as_int(), 8);
+  EXPECT_EQ(v.at("total").as_int(), 2);
+  ASSERT_TRUE(v.at("samples").is_array());
+  ASSERT_EQ(v.at("samples").array.size(), 2u);
+  const json::Value& first = v.at("samples").array[0];
+  for (const char* key :
+       {"t_ms", "rss_kb", "alloc_bytes", "alloc_count", "cache_hits",
+        "cache_misses", "cache_evictions", "cache_hit_rate_bp",
+        "progress_done", "progress_total"}) {
+    ASSERT_TRUE(first.has(key)) << key;
+  }
+  EXPECT_EQ(first.at("progress_done").as_int(), 3);
+  EXPECT_EQ(first.at("progress_total").as_int(), 9);
+}
+
+TEST(Sampler, ResetDropsSeries) {
+  Sampler s;
+  s.sample_now();
+  s.sample_now();
+  s.reset();
+  EXPECT_TRUE(s.snapshot().empty());
+  EXPECT_EQ(s.total_samples(), 0);
+}
+
+}  // namespace
+}  // namespace logstruct::obs

@@ -1,0 +1,173 @@
+#include "obs/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "apps/jacobi2d.hpp"
+#include "obs/json.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/sampler.hpp"
+#include "order/stepping.hpp"
+
+namespace logstruct::obs {
+namespace {
+
+/// Blocking loopback HTTP/1.1 request; returns the raw response (head +
+/// body) or "" on connect/send failure.
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(port, "GET " + path +
+                                " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(MetricsServer, ServesMetricsHealthAndSpans) {
+  MetricsServer server;
+  ASSERT_TRUE(server.start(0));  // ephemeral port
+  ASSERT_TRUE(server.running());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(body_of(health), "ok\n");
+
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("application/openmetrics-text"),
+            std::string::npos);
+  const std::string body = body_of(metrics);
+  ASSERT_GE(body.size(), 6u);
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+  // The exporter's own request counter is registered by the scrape.
+  EXPECT_NE(http_get(port, "/metrics")
+                .find("logstruct_obs_serve_requests_total"),
+            std::string::npos);
+
+  const std::string spans = http_get(port, "/spans");
+  EXPECT_NE(spans.find("HTTP/1.1 200"), std::string::npos);
+  json::Value v;
+  std::string err;
+  EXPECT_TRUE(json::parse(body_of(spans), v, &err)) << err;
+
+  EXPECT_NE(http_get(port, "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_request(port,
+                         "POST /metrics HTTP/1.1\r\n"
+                         "Host: 127.0.0.1\r\nConnection: close\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_NE(http_get(port, "/healthz?x=1").find("HTTP/1.1 200"),
+            std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(MetricsServer, StartIsIdempotentWhileRunning) {
+  MetricsServer server;
+  ASSERT_TRUE(server.start(0));
+  const int port = server.port();
+  EXPECT_TRUE(server.start(0));  // no-op, keeps the first binding
+  EXPECT_EQ(server.port(), port);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+// Live-telemetry race coverage (runs under TSan in CI): the sampler and
+// the HTTP exporter run concurrently with a threads=4 extraction while
+// a scraper thread polls /metrics. Every scrape must be a complete
+// exposition document; nothing may tear or deadlock.
+TEST(MetricsServer, LiveScrapeDuringParallelExtraction) {
+  Sampler& sampler = Sampler::global();
+  MetricsServer server;
+  sampler.start(1);
+  ASSERT_TRUE(server.start(0));
+  const int port = server.port();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes{0};
+  std::atomic<int> bad{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::string body = body_of(http_get(port, "/metrics"));
+      if (body.size() < 6 || body.substr(body.size() - 6) != "# EOF\n") {
+        bad.fetch_add(1, std::memory_order_relaxed);
+      }
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  apps::Jacobi2DConfig cfg;
+  cfg.iterations = 4;
+  order::Options opts = order::Options::charm();
+  opts.threads = 4;
+  for (int i = 0; i < 6; ++i) {
+    trace::Trace t = apps::run_jacobi2d(cfg);
+    order::LogicalStructure ls = order::extract_structure(t, opts);
+    (void)ls;
+  }
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  server.stop();
+  sampler.stop();
+
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(sampler.total_samples(), 0);
+  // The final exposition state carries the progress gauges the passes
+  // updated during extraction.
+  const std::string text = openmetrics_text();
+  EXPECT_NE(text.find("logstruct_obs_progress_done"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logstruct::obs

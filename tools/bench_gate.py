@@ -2,7 +2,7 @@
 """Perf/memory regression gate over BENCH_pipeline.json trajectories.
 
 Diffs two pipeline-trajectory runs (schema logstruct-bench-pipeline/v1
-through /v4, see docs/OBSERVABILITY.md) pass-by-pass and fails when a
+through /v5, see docs/OBSERVABILITY.md) pass-by-pass and fails when a
 pass got substantially slower or hungrier:
 
     tools/bench_gate.py                       # last two runs in BENCH_pipeline.json
@@ -76,7 +76,7 @@ def load_runs(path):
     if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
         raise TrajectoryError(
             f"{path} is not a pipeline trajectory (no `runs` array); "
-            "expected schema logstruct-bench-pipeline/v1..v4"
+            "expected schema logstruct-bench-pipeline/v1..v5"
         )
     if not doc["runs"]:
         raise TrajectoryError(
@@ -241,7 +241,7 @@ def gate(base_run, fresh_run, opts):
 
 
 def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
-                  scale_rss=1.0, extra_threads=None):
+                  scale_rss=1.0, scale_live=1.0, extra_threads=None):
     run = {
         "program": "self-test",
         "workloads": [
@@ -272,6 +272,16 @@ def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
                         "pass": "metrics/efficiency_suite",
                         "seconds": 0.002 * scale_eff,
                         "alloc_bytes": int(2 << 20),
+                        "ran": True,
+                    },
+                    # v5 live-telemetry pseudo-pass: the wall cost of
+                    # running the extraction with the sampler and HTTP
+                    # exporter live (BM_ExtractStructure/live_obs minus
+                    # the dark baseline). Must be gated like any pass so
+                    # telemetry overhead can never creep in silently.
+                    {
+                        "pass": "obs/live_overhead",
+                        "seconds": 0.002 * scale_live,
                         "ran": True,
                     },
                     {"pass": "tiny", "seconds": 1e-05, "ran": True},
@@ -335,6 +345,16 @@ def self_test(opts):
             )
             return 1
         print()
+        # A 2x regression of the obs/live_overhead pseudo-pass (the
+        # sampler + exporter tax on extraction) must fail on its own.
+        code = gate(synthetic_run(), synthetic_run(scale_live=2.0), opts)
+        if code == 0:
+            print(
+                "self-test: FAILED — 2x live-telemetry overhead "
+                "regression not caught"
+            )
+            return 1
+        print()
         # A 2x per-workload peak-RSS regression (the out-of-core storage
         # gate) must fail on its own.
         code = gate(synthetic_run(), synthetic_run(scale_rss=2.0), opts)
@@ -393,9 +413,9 @@ def self_test(opts):
             pass
     print(
         "self-test: ok (identical passes, 2x wall fails, 2x alloc fails, "
-        "2x efficiency-suite pseudo-pass fails, 2x peak-RSS fails, "
-        "cross-thread-count rows never compared, missing/empty/garbled "
-        "baselines diagnosed)"
+        "2x efficiency-suite pseudo-pass fails, 2x live-overhead "
+        "pseudo-pass fails, 2x peak-RSS fails, cross-thread-count rows "
+        "never compared, missing/empty/garbled baselines diagnosed)"
     )
     return 0
 

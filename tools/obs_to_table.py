@@ -32,14 +32,19 @@ command line:
     python3 tools/obs_to_table.py /tmp/eff.json --update EXPERIMENTS.md
 
 With --check it validates each document instead of rendering a table,
-dispatching on the schema string. Sidecars must have the v1/v2/v3 shape
-(program, stages, spans, metrics), a versioned `schema` string must be
-exactly "logstruct-obs-sidecar/v2" or ".../v3" and carry `peak_rss_kb`,
-a v3 sidecar must additionally carry a well-formed `recovery` object
-({"total": N, "counters": {...}} with total equal to the counter sum --
-the fault-tolerant-ingestion repair counters, see docs/ROBUSTNESS.md),
+dispatching on the schema string. Sidecars must have the v1/v2/v3/v4
+shape (program, stages, spans, metrics), a versioned `schema` string
+must be exactly "logstruct-obs-sidecar/v2", ".../v3", or ".../v4" and
+carry `peak_rss_kb`, a v3+ sidecar must additionally carry a well-formed
+`recovery` object ({"total": N, "counters": {...}} with total equal to
+the counter sum -- the fault-tolerant-ingestion repair counters, see
+docs/ROBUSTNESS.md), a v4 sidecar must carry the live-telemetry blocks
+(a `sampler` time series with non-decreasing timestamps and a
+`flight_recorder` reference, docs/OBSERVABILITY.md "Live telemetry"),
 and `dropped_spans` must be 0 (a nonzero count means the tracer's span
 buffer overflowed and the trajectory table would silently undercount).
+When a v4 sidecar's sampler ring holds samples, the trajectory table
+gains a closing row with the peak / mean sampled RSS per harness.
 An effmetrics document must carry program/trace/suites, per-suite
 summaries for all five POP metrics, per-window rows matching
 num_windows, and every efficiency value inside [0, 1]. Exit is nonzero
@@ -96,7 +101,15 @@ def load_sidecar(path):
         name: (entry.get("count", 0), entry.get("total_ns", 0))
         for name, entry in doc.get("stages", {}).items()
     }
-    return program, stages, doc.get("dropped_spans", 0)
+    sampler = doc.get("sampler")
+    rss = []
+    if isinstance(sampler, dict):
+        rss = [
+            s["rss_kb"]
+            for s in sampler.get("samples", [])
+            if isinstance(s, dict) and isinstance(s.get("rss_kb"), int)
+        ]
+    return program, stages, doc.get("dropped_spans", 0), rss
 
 
 def stage_key(name):
@@ -107,9 +120,9 @@ def stage_key(name):
 
 
 def render_table(runs):
-    programs = [program for program, _, _ in runs]
+    programs = [program for program, _, _, _ in runs]
     all_stages = sorted(
-        {s for _, stages, _ in runs for s in stages}, key=stage_key
+        {s for _, stages, _, _ in runs for s in stages}, key=stage_key
     )
     header = "| stage | " + " | ".join(
         f"{p} (ms, calls)" for p in programs
@@ -118,14 +131,28 @@ def render_table(runs):
     lines = [header, sep]
     for stage in all_stages:
         cells = []
-        for _, stages, _ in runs:
+        for _, stages, _, _ in runs:
             if stage in stages:
                 count, total_ns = stages[stage]
                 cells.append(f"{total_ns / 1e6:.2f} ({count})")
             else:
                 cells.append("—")
         lines.append("| `" + stage + "` | " + " | ".join(cells) + " |")
-    dropped = sum(d for _, _, d in runs)
+    # Live-sampler memory row (v4 sidecars run with --obs-period-ms):
+    # peak / mean of the sampled RSS series, in MiB.
+    if any(rss for _, _, _, rss in runs):
+        cells = []
+        for _, _, _, rss in runs:
+            if rss:
+                peak = max(rss) / 1024.0
+                mean = sum(rss) / len(rss) / 1024.0
+                cells.append(f"{peak:.1f} / {mean:.1f}")
+            else:
+                cells.append("—")
+        lines.append(
+            "| _sampled rss (peak/mean MiB)_ | " + " | ".join(cells) + " |"
+        )
+    dropped = sum(d for _, _, d, _ in runs)
     lines.append("")
     lines.append(
         f"_Generated by `tools/obs_to_table.py` from {len(runs)} "
@@ -286,6 +313,85 @@ def check_recovery(recovery):
     return problems
 
 
+SAMPLE_KEYS = (
+    "t_ms",
+    "rss_kb",
+    "alloc_bytes",
+    "alloc_count",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_hit_rate_bp",
+    "progress_done",
+    "progress_total",
+)
+
+
+def check_sampler(sampler):
+    """Validate a v4 sidecar's `sampler` time series; return problems."""
+    if not isinstance(sampler, dict):
+        return ["v4 sidecar missing `sampler` object"]
+    problems = []
+    for key in ("period_ms", "capacity", "total"):
+        v = sampler.get(key)
+        if not isinstance(v, int) or v < 0:
+            problems.append(
+                f"sampler.{key} is not a non-negative integer"
+            )
+    samples = sampler.get("samples")
+    if not isinstance(samples, list):
+        return problems + ["sampler.samples is not an array"]
+    total = sampler.get("total")
+    if isinstance(total, int) and len(samples) > total:
+        problems.append(
+            f"sampler ring holds {len(samples)} samples but total "
+            f"claims only {total}"
+        )
+    prev_t = None
+    for i, s in enumerate(samples):
+        if not isinstance(s, dict):
+            problems.append(f"sampler.samples[{i}] is not an object")
+            continue
+        for key in SAMPLE_KEYS:
+            if not isinstance(s.get(key), int):
+                problems.append(
+                    f"sampler.samples[{i}].{key} is not an integer"
+                )
+        t = s.get("t_ms")
+        if isinstance(t, int):
+            if prev_t is not None and t < prev_t:
+                problems.append(
+                    f"sampler.samples[{i}].t_ms = {t} goes backwards "
+                    f"(previous sample at {prev_t})"
+                )
+            prev_t = t
+    return problems
+
+
+def check_flightrec(rec):
+    """Validate a v4 sidecar's `flight_recorder` reference block."""
+    if not isinstance(rec, dict):
+        return ["v4 sidecar missing `flight_recorder` object"]
+    problems = []
+    if not isinstance(rec.get("armed"), bool):
+        problems.append("flight_recorder.armed is not a boolean")
+    if not isinstance(rec.get("path"), str):
+        problems.append("flight_recorder.path is not a string")
+    if rec.get("armed") is True and not rec.get("path"):
+        problems.append("flight_recorder armed but path is empty")
+    cap = rec.get("ring_capacity")
+    if not isinstance(cap, int) or cap <= 0:
+        problems.append(
+            "flight_recorder.ring_capacity is not a positive integer"
+        )
+    dropped = rec.get("ring_dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        problems.append(
+            "flight_recorder.ring_dropped is not a non-negative integer"
+        )
+    return problems
+
+
 def check_sidecar(path):
     """Validate one sidecar; return a list of problem strings."""
     problems = []
@@ -316,12 +422,19 @@ def check_sidecar(path):
         if schema not in (
             "logstruct-obs-sidecar/v2",
             "logstruct-obs-sidecar/v3",
+            "logstruct-obs-sidecar/v4",
         ):
             problems.append(f"unknown schema: {schema!r}")
         elif not isinstance(doc.get("peak_rss_kb"), int):
             problems.append("v2+ sidecar missing integer peak_rss_kb")
-        if schema == "logstruct-obs-sidecar/v3":
+        if schema in (
+            "logstruct-obs-sidecar/v3",
+            "logstruct-obs-sidecar/v4",
+        ):
             problems.extend(check_recovery(doc.get("recovery")))
+        if schema == "logstruct-obs-sidecar/v4":
+            problems.extend(check_sampler(doc.get("sampler")))
+            problems.extend(check_flightrec(doc.get("flight_recorder")))
 
     for name, entry in (doc.get("stages") or {}).items():
         if not isinstance(entry, dict) or "total_ns" not in entry:
@@ -382,7 +495,7 @@ def main():
     ap.add_argument(
         "--check",
         action="store_true",
-        help="validate sidecar schema (v1, v2, or v3) and fail on "
+        help="validate sidecar schema (v1 through v4) and fail on "
         "dropped spans instead of rendering a table",
     )
     args = ap.parse_args()

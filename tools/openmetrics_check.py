@@ -1,0 +1,530 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition (conformance checker).
+
+The exposition comes from --obs-prom=<path> or a GET /metrics scrape of
+the embedded exporter (docs/OBSERVABILITY.md, "Live telemetry"). The
+checker enforces the subset of the OpenMetrics 1.0 text format the
+logstruct emitter produces, strictly enough to catch real emitter bugs:
+
+  - the document is non-empty and ends with exactly one `# EOF` line;
+  - metric family names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  - `# HELP` / `# TYPE` precede the family's samples, each appears at
+    most once, and every family occupies one contiguous block;
+  - sample names carry the suffix their declared type requires
+    (counter -> `_total`; histogram -> `_bucket`/`_count`/`_sum`);
+  - label sets parse (escapes limited to \\\\, \\", \\n), with no
+    duplicate label names and no duplicate (name, labelset) sample;
+  - counter values are finite and non-negative;
+  - histogram series have increasing `le` thresholds, non-decreasing
+    cumulative counts, and a `+Inf` bucket equal to `_count`.
+
+Usage:
+
+    openmetrics_check.py FILE [--require S]... [--require-positive S]...
+        [--exec CMD ARG...]
+    openmetrics_check.py --self-test
+
+--exec runs CMD (everything after --exec, verbatim) before reading
+FILE, so one ctest entry can produce and validate an exposition:
+
+    python3 tools/openmetrics_check.py /tmp/q.prom \\
+        --require-positive logstruct_trace_ingest \\
+        --exec ./build/examples/quickstart --obs-prom=/tmp/q.prom
+
+--require fails unless the raw document contains the substring;
+--require-positive fails unless some sample whose name contains the
+substring has a value > 0. --self-test runs the embedded good/bad
+corpus and ignores FILE. Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import math
+import re
+import subprocess
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+SUFFIXES = {
+    "counter": ("_total",),
+    "histogram": ("_bucket", "_count", "_sum"),
+    "gauge": ("",),
+    "unknown": ("",),
+    "info": ("_info", ""),
+}
+
+
+class Sample:
+    def __init__(self, name, labels, value, line_no):
+        self.name = name
+        self.labels = labels  # dict, insertion order preserved
+        self.value = value
+        self.line_no = line_no
+
+    def label_key(self, drop=()):
+        return tuple(
+            (k, v) for k, v in sorted(self.labels.items()) if k not in drop
+        )
+
+
+def parse_labels(text, problems, line_no):
+    """Parse `a="b",c="d"` (no braces); return dict or None."""
+    labels = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        eq = text.find("=", i)
+        if eq < 0:
+            problems.append(f"line {line_no}: label without '='")
+            return None
+        name = text[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            problems.append(f"line {line_no}: bad label name {name!r}")
+            return None
+        if name in labels:
+            problems.append(f"line {line_no}: duplicate label {name!r}")
+            return None
+        if eq + 1 >= n or text[eq + 1] != '"':
+            problems.append(f"line {line_no}: label value not quoted")
+            return None
+        i = eq + 2
+        out = []
+        while i < n and text[i] != '"':
+            c = text[i]
+            if c == "\\":
+                if i + 1 >= n:
+                    problems.append(
+                        f"line {line_no}: dangling escape in label value"
+                    )
+                    return None
+                esc = text[i + 1]
+                if esc == "\\":
+                    out.append("\\")
+                elif esc == '"':
+                    out.append('"')
+                elif esc == "n":
+                    out.append("\n")
+                else:
+                    problems.append(
+                        f"line {line_no}: invalid escape \\{esc} in "
+                        "label value"
+                    )
+                    return None
+                i += 2
+            else:
+                out.append(c)
+                i += 1
+        if i >= n:
+            problems.append(f"line {line_no}: unterminated label value")
+            return None
+        labels[name] = "".join(out)
+        i += 1  # closing quote
+        if i < n:
+            if text[i] != ",":
+                problems.append(
+                    f"line {line_no}: expected ',' between labels"
+                )
+                return None
+            i += 1
+    return labels
+
+
+def parse_value(text):
+    """Float value; OpenMetrics spells infinities +Inf/-Inf."""
+    t = text.strip()
+    low = t.lower()
+    if low in ("+inf", "inf"):
+        return math.inf
+    if low == "-inf":
+        return -math.inf
+    if low == "nan":
+        return math.nan
+    return float(t)
+
+
+def parse_sample(line, problems, line_no):
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        if close < brace:
+            problems.append(f"line {line_no}: unbalanced braces")
+            return None
+        name = line[:brace]
+        labels = parse_labels(line[brace + 1 : close], problems, line_no)
+        if labels is None:
+            return None
+        rest = line[close + 1 :].strip()
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            problems.append(f"line {line_no}: sample without value")
+            return None
+        name, rest = parts[0], parts[1]
+        labels = {}
+    if not NAME_RE.match(name):
+        problems.append(f"line {line_no}: bad sample name {name!r}")
+        return None
+    fields = rest.split()
+    if not fields or len(fields) > 2:  # value [timestamp]
+        problems.append(f"line {line_no}: expected `value [timestamp]`")
+        return None
+    try:
+        value = parse_value(fields[0])
+    except ValueError:
+        problems.append(f"line {line_no}: bad value {fields[0]!r}")
+        return None
+    if len(fields) == 2:
+        try:
+            float(fields[1])
+        except ValueError:
+            problems.append(
+                f"line {line_no}: bad timestamp {fields[1]!r}"
+            )
+            return None
+    return Sample(name, labels, value, line_no)
+
+
+def family_of(sample_name, families):
+    """Longest declared family this sample name belongs to, or None."""
+    best = None
+    for fam, info in families.items():
+        for suffix in SUFFIXES.get(info["type"], ("",)):
+            if sample_name == fam + suffix:
+                if best is None or len(fam) > len(best):
+                    best = fam
+    return best
+
+
+def check_histogram(fam, samples, problems):
+    """Bucket monotonicity and +Inf/_count agreement per label set."""
+    series = {}
+    counts = {}
+    for s in samples:
+        if s.name == fam + "_bucket":
+            if "le" not in s.labels:
+                problems.append(
+                    f"line {s.line_no}: histogram bucket without le"
+                )
+                continue
+            series.setdefault(s.label_key(drop=("le",)), []).append(s)
+        elif s.name == fam + "_count":
+            counts[s.label_key()] = s
+    for key, buckets in series.items():
+        prev_le = -math.inf
+        prev_count = -math.inf
+        saw_inf = False
+        for s in buckets:  # document order == emission order
+            le_text = s.labels["le"]
+            try:
+                le = parse_value(le_text)
+            except ValueError:
+                problems.append(
+                    f"line {s.line_no}: bad le value {le_text!r}"
+                )
+                continue
+            if le <= prev_le:
+                problems.append(
+                    f"line {s.line_no}: le {le_text!r} not increasing "
+                    f"in {fam}"
+                )
+            if s.value < prev_count:
+                problems.append(
+                    f"line {s.line_no}: bucket count decreases in {fam}"
+                )
+            prev_le, prev_count = le, s.value
+            saw_inf = saw_inf or math.isinf(le)
+        if not saw_inf:
+            problems.append(f"histogram {fam} has no +Inf bucket")
+        elif key in counts and buckets[-1].value != counts[key].value:
+            problems.append(
+                f"histogram {fam}: +Inf bucket {buckets[-1].value:g} "
+                f"!= _count {counts[key].value:g}"
+            )
+        if key not in counts:
+            problems.append(f"histogram {fam} missing _count series")
+
+
+def check_text(text):
+    """Validate a full exposition; return (problems, samples)."""
+    problems = []
+    samples = []
+    if not text:
+        return ["document is empty"], samples
+    if not text.endswith("# EOF\n"):
+        problems.append("document does not end with `# EOF`")
+
+    families = {}  # name -> {"type","help","samples","closed"}
+    current = None
+    saw_eof = False
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if saw_eof:
+            problems.append(f"line {line_no}: content after `# EOF`")
+            break
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line:
+            problems.append(f"line {line_no}: blank line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE", "UNIT"):
+                problems.append(
+                    f"line {line_no}: malformed comment {line!r}"
+                )
+                continue
+            kind, fam = parts[1], parts[2]
+            if not NAME_RE.match(fam):
+                problems.append(
+                    f"line {line_no}: bad family name {fam!r}"
+                )
+                continue
+            info = families.get(fam)
+            if info is None:
+                if current is not None:
+                    families[current]["closed"] = True
+                info = families[fam] = {
+                    "type": "unknown",
+                    "help": None,
+                    "samples": [],
+                    "closed": False,
+                }
+                current = fam
+            elif info["closed"] or fam != current:
+                problems.append(
+                    f"line {line_no}: family {fam} is not contiguous"
+                )
+                continue
+            if kind == "HELP":
+                if info["help"] is not None:
+                    problems.append(
+                        f"line {line_no}: duplicate HELP for {fam}"
+                    )
+                if info["samples"]:
+                    problems.append(
+                        f"line {line_no}: HELP after samples of {fam}"
+                    )
+                info["help"] = parts[3] if len(parts) > 3 else ""
+            elif kind == "TYPE":
+                if info["type"] != "unknown" or info["samples"]:
+                    problems.append(
+                        f"line {line_no}: duplicate or late TYPE for "
+                        f"{fam}"
+                    )
+                declared = parts[3] if len(parts) > 3 else ""
+                if declared not in SUFFIXES:
+                    problems.append(
+                        f"line {line_no}: unknown type {declared!r}"
+                    )
+                else:
+                    info["type"] = declared
+            continue
+
+        sample = parse_sample(line, problems, line_no)
+        if sample is None:
+            continue
+        samples.append(sample)
+        fam = family_of(sample.name, families)
+        if fam is None:
+            # Untyped families need no comments; open a block for them.
+            if current is not None:
+                families[current]["closed"] = True
+            fam = sample.name
+            families[fam] = {
+                "type": "unknown",
+                "help": None,
+                "samples": [],
+                "closed": False,
+            }
+            current = fam
+        elif fam != current:
+            problems.append(
+                f"line {line_no}: sample {sample.name} outside its "
+                f"family block ({fam})"
+            )
+            continue
+        info = families[fam]
+        if info["type"] == "counter" and (
+            math.isnan(sample.value) or sample.value < 0
+        ):
+            problems.append(
+                f"line {line_no}: counter {sample.name} has negative "
+                "or NaN value"
+            )
+        key = (sample.name, sample.label_key())
+        for other in info["samples"]:
+            if (other.name, other.label_key()) == key:
+                problems.append(
+                    f"line {line_no}: duplicate sample {sample.name} "
+                    f"{dict(sample.labels)}"
+                )
+                break
+        info["samples"].append(sample)
+
+    if not saw_eof:
+        problems.append("missing `# EOF` line")
+    for fam, info in families.items():
+        if info["type"] == "histogram":
+            check_histogram(fam, info["samples"], problems)
+    return problems, samples
+
+
+# --------------------------------------------------------------- self-test
+
+GOOD = """\
+# HELP logstruct_demo_total logstruct counter for registry path 'demo'.
+# TYPE logstruct_demo_total counter
+logstruct_demo_total{path="demo"} 3
+# HELP logstruct_rss_kb logstruct gauge for registry path 'rss kb'.
+# TYPE logstruct_rss_kb gauge
+logstruct_rss_kb{path="rss \\"kb\\"\\n"} 4096
+# HELP logstruct_lat logstruct histogram for registry path 'lat'.
+# TYPE logstruct_lat histogram
+logstruct_lat_bucket{path="lat",le="0"} 1
+logstruct_lat_bucket{path="lat",le="1"} 3
+logstruct_lat_bucket{path="lat",le="+Inf"} 4
+logstruct_lat_count{path="lat"} 4
+logstruct_lat_sum{path="lat"} 17
+# EOF
+"""
+
+BAD = [
+    # (description, document)
+    ("missing EOF", 'a_total{x="y"} 1\n'),
+    (
+        "non-monotone buckets",
+        "# TYPE h histogram\n"
+        'h_bucket{le="0"} 5\n'
+        'h_bucket{le="1"} 3\n'
+        'h_bucket{le="+Inf"} 5\n'
+        "h_count 5\n"
+        "h_sum 1\n"
+        "# EOF\n",
+    ),
+    (
+        "+Inf disagrees with _count",
+        "# TYPE h histogram\n"
+        'h_bucket{le="+Inf"} 4\n'
+        "h_count 5\n"
+        "h_sum 1\n"
+        "# EOF\n",
+    ),
+    ("bad escape", 'g{x="\\q"} 1\n# EOF\n'),
+    (
+        "duplicate TYPE",
+        "# TYPE g gauge\n# TYPE g gauge\ng 1\n# EOF\n",
+    ),
+    (
+        "interleaved families",
+        "# TYPE a gauge\na 1\n# TYPE b gauge\nb 2\na 3\n# EOF\n",
+    ),
+    (
+        "negative counter",
+        "# TYPE c counter\nc_total -1\n# EOF\n",
+    ),
+    (
+        "duplicate sample",
+        '# TYPE g gauge\ng{x="1"} 1\ng{x="1"} 2\n# EOF\n',
+    ),
+    ("content after EOF", "# EOF\ng 1\n"),
+]
+
+
+def self_test():
+    failures = []
+    problems, samples = check_text(GOOD)
+    if problems:
+        failures.append(f"good document rejected: {problems}")
+    if len(samples) != 7:
+        failures.append(f"good document: expected 7 samples, got "
+                        f"{len(samples)}")
+    for desc, doc in BAD:
+        problems, _ = check_text(doc)
+        if not problems:
+            failures.append(f"bad document accepted: {desc}")
+    for f in failures:
+        print(f"self-test: {f}")
+    print(
+        "self-test: %s (%d bad cases)"
+        % ("FAIL" if failures else "ok", len(BAD))
+    )
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    ap.add_argument("file", nargs="?", help="exposition file to check")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded conformance corpus and exit",
+    )
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="fail unless the document contains this substring",
+    )
+    ap.add_argument(
+        "--require-positive",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="fail unless a sample whose name contains this substring "
+        "has a value > 0",
+    )
+    ap.add_argument(
+        "--exec",
+        dest="exec_cmd",
+        nargs=argparse.REMAINDER,
+        metavar="CMD",
+        help="run this command (everything after --exec) before "
+        "reading FILE",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.file:
+        ap.error("FILE is required unless --self-test")
+
+    if args.exec_cmd:
+        proc = subprocess.run(args.exec_cmd)
+        if proc.returncode != 0:
+            sys.exit(
+                f"error: --exec command failed "
+                f"(exit {proc.returncode}): {' '.join(args.exec_cmd)}"
+            )
+
+    try:
+        with open(args.file) as f:
+            text = f.read()
+    except OSError as e:
+        sys.exit(f"error: {e}")
+
+    problems, samples = check_text(text)
+    for substr in args.require:
+        if substr not in text:
+            problems.append(f"required substring not found: {substr!r}")
+    for substr in args.require_positive:
+        if not any(
+            substr in s.name and s.value > 0 for s in samples
+        ):
+            problems.append(
+                f"no sample matching {substr!r} with value > 0"
+            )
+
+    if problems:
+        print(f"{args.file}: FAIL")
+        for p in problems:
+            print(f"  - {p}")
+        sys.exit(1)
+    print(f"{args.file}: ok ({len(samples)} samples)")
+
+
+if __name__ == "__main__":
+    main()
