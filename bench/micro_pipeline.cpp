@@ -28,6 +28,7 @@
 #include "trace/storage/block_cache.hpp"
 #include "trace/storage/blocked_trace.hpp"
 #include "trace/storage/options.hpp"
+#include "order/causality.hpp"
 #include "order/merges.hpp"
 #include "order/phases.hpp"
 #include "order/stepping.hpp"
@@ -281,7 +282,7 @@ BENCHMARK(BM_JacobiSimulation)->Arg(2)->Arg(8);
 
 /// Per-pass wall-time + allocation trajectory over the LULESH grids the
 /// BM_* suite uses (grid g => g^3 chares), written as
-/// BENCH_pipeline.json (schema logstruct-bench-pipeline/v3; override
+/// BENCH_pipeline.json (schema logstruct-bench-pipeline/v6; override
 /// the path with the BENCH_PIPELINE_JSON environment variable).
 /// tools/bench_gate.py diffs these documents across PRs, like-for-like
 /// per thread count. The largest grid is re-run at threads=hardware
@@ -290,7 +291,12 @@ BENCHMARK(BM_JacobiSimulation)->Arg(2)->Arg(8);
 /// baseline. Each workload also records a `metrics/efficiency_suite`
 /// pseudo-pass — phase windows + the four POP kernels over the
 /// extracted structure — timed here because the metrics layer runs
-/// after the pass manager (docs/METRICS.md).
+/// after the pass manager (docs/METRICS.md) — and an
+/// `order/check_causality` pseudo-pass: vector-clock oracle build plus
+/// the happened-before check over the recovered structure, at the
+/// workload's thread count (docs/CAUSALITY.md). The checker is opt-in
+/// in production, so its cost is gated here instead of inside the
+/// pass-manager run.
 void emit_pipeline_trajectory() {
 #if defined(__GLIBC__)
   // Pin glibc's mmap threshold at its dynamic cap. By default the
@@ -316,6 +322,25 @@ void emit_pipeline_trajectory() {
     benchmark::DoNotOptimize(suite.parallel.summary.mean);
     traj.add_pass("metrics/efficiency_suite", sw.seconds(),
                   allocs.delta().bytes, opts.effective_threads());
+    // The causality checker as a bench-gated pseudo-pass: oracle build
+    // plus the full happened-before check over the recovered structure.
+    // It is opt-in in production, so its cost lives here (not inside
+    // traj.run) — but a regression in the oracle's topological sweep or
+    // the fallback walk must trip the gate like any real pass.
+    obs::AllocScope check_allocs;
+    util::Stopwatch check_sw;
+    order::CausalityOptions copts;
+    copts.threads = opts.threads;
+    order::CausalityOracle oracle(t, copts);
+    order::CausalityReport report = order::check_causality(t, ls, oracle);
+    benchmark::DoNotOptimize(report.edges_checked);
+    if (!report.clean()) {
+      std::fprintf(stderr, "micro_pipeline: %lld causality violations!\n",
+                   static_cast<long long>(report.total_violations));
+      std::abort();
+    }
+    traj.add_pass("order/check_causality", check_sw.seconds(),
+                  check_allocs.delta().bytes, opts.effective_threads());
   };
   for (std::int32_t grid : {2, 4, 6}) {
     trace::Trace t = lulesh_trace(grid);

@@ -4,13 +4,16 @@
 /// BENCH_pipeline.json emitter: runs the extraction pipeline through the
 /// pass manager, captures the per-pass wall time and allocation bytes
 /// the PassManager already records, and writes one perf-trajectory
-/// document per harness run. Schema (`logstruct-bench-pipeline/v5`:
+/// document per harness run. Schema (`logstruct-bench-pipeline/v6`:
 /// workloads may carry a `live_obs` annotation (true when the workload
 /// ran with the background sampler + HTTP exporter live) and harness
 /// pseudo-passes such as `obs/live_overhead` — the wall-time delta the
 /// live-telemetry layer adds over a dark extraction, which
 /// tools/bench_gate.py gates at the same 1.30x threshold as real
-/// passes. v5 keeps v4's per-workload `peak_rss_kb` plus the
+/// passes. v6 adds the bench-gated `order/check_causality` pseudo-pass
+/// (vector-clock oracle build + happened-before check over the
+/// recovered structure, timed by the micro_pipeline harness so checker
+/// cost regressions are caught like any pass). v5 kept v4's per-workload `peak_rss_kb` plus the
 /// storage-backend annotation (`storage`, `cache_hits`,
 /// `cache_misses`, `cache_hit_rate`), v3's per-workload/per-pass
 /// `threads`, v2's per-pass `alloc_bytes`, and the run-level
@@ -153,7 +156,7 @@ class PipelineTrajectory {
                    target.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v5\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"logstruct-bench-pipeline/v6\",\n");
     std::fprintf(f, "  \"runs\": [\n    {\n");
     std::fprintf(f, "      \"program\": \"%s\",\n", program_.c_str());
     if (!label_.empty())

@@ -15,6 +15,7 @@
 #include "apps/jacobi2d.hpp"
 #include "metrics/critical_path.hpp"
 #include "metrics/duration.hpp"
+#include "metrics/concurrency.hpp"
 #include "metrics/efficiency.hpp"
 #include "metrics/idle.hpp"
 #include "metrics/imbalance.hpp"
@@ -184,6 +185,7 @@ int main(int argc, char** argv) {
   }
   util_table.print();
   if (!metrics::write_efficiency_report(flags, t, ls, argv[0])) return 3;
+  if (!metrics::write_concurrency_report(flags, t, ls, argv[0])) return 3;
   util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -23,6 +23,7 @@
 #include "apps/mergetree.hpp"
 #include "apps/nasbt.hpp"
 #include "apps/pdes.hpp"
+#include "metrics/concurrency.hpp"
 #include "metrics/efficiency.hpp"
 #include "order/io.hpp"
 #include "order/validate.hpp"
@@ -258,6 +259,7 @@ int main(int argc, char** argv) {
     std::printf("saved %s\n", out.c_str());
   }
   if (!metrics::write_efficiency_report(flags, t, ls, argv[0])) return 3;
+  if (!metrics::write_concurrency_report(flags, t, ls, argv[0])) return 3;
   util::finish_obs(flags, argv[0]);
   return 0;
 }

@@ -1,0 +1,251 @@
+#include "metrics/concurrency.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/obs.hpp"
+#include "order/causality.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
+
+namespace logstruct::metrics {
+
+namespace {
+
+/// Per-phase chare occupancy bitsets: commuting(p, q) needs "do p and q
+/// touch disjoint chare sets", and a bitset intersection answers it in
+/// O(chares / 64) words.
+class PhaseChares {
+ public:
+  PhaseChares(const trace::Trace& trace, const order::LogicalStructure& ls) {
+    num_phases_ = ls.phases.num_phases();
+    words_ = (static_cast<std::size_t>(trace.num_chares()) + 63) / 64;
+    bits_.assign(static_cast<std::size_t>(num_phases_) * words_, 0);
+    const std::int32_t n = trace.num_events();
+    for (std::int32_t e = 0; e < n; ++e) {
+      const std::int32_t p =
+          ls.phases.phase_of_event[static_cast<std::size_t>(e)];
+      if (p < 0) continue;
+      const trace::ChareId c = trace.event(e).chare;
+      if (c < 0) continue;
+      bits_[static_cast<std::size_t>(p) * words_ +
+            static_cast<std::size_t>(c) / 64] |=
+          std::uint64_t{1} << (c % 64);
+    }
+  }
+
+  [[nodiscard]] bool disjoint(std::int32_t p, std::int32_t q) const {
+    const std::uint64_t* a = bits_.data() +
+                             static_cast<std::size_t>(p) * words_;
+    const std::uint64_t* b = bits_.data() +
+                             static_cast<std::size_t>(q) * words_;
+    for (std::size_t w = 0; w < words_; ++w)
+      if (a[w] & b[w]) return false;
+    return true;
+  }
+
+ private:
+  std::int32_t num_phases_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+ConcurrencyReport concurrency_report(const trace::Trace& trace,
+                                     const order::LogicalStructure& ls,
+                                     const WindowSet& windows, int threads) {
+  OBS_SPAN_ANON("metrics/concurrency_report");
+  ConcurrencyReport out;
+  out.kind = windows.kind();
+  out.bin_width_ns = windows.bin_width();
+  out.windows.assign(windows.windows().begin(), windows.windows().end());
+  out.per_window.assign(static_cast<std::size_t>(windows.size()), {});
+  out.degraded_windows = windows.degraded_windows();
+  out.num_phases = ls.phases.num_phases();
+
+  const order::PhaseReachability reach(ls.phases.dag);
+  const PhaseChares chares(trace, ls);
+
+  // Whole-trace census in fixed (p, q) order — deterministic reduction.
+  const std::int32_t np = out.num_phases;
+  out.phase_pairs_total =
+      static_cast<std::int64_t>(np) * (np - 1) / 2;
+  for (std::int32_t p = 0; p < np; ++p) {
+    for (std::int32_t q = p + 1; q < np; ++q) {
+      if (!reach.concurrent(p, q)) continue;
+      ++out.phase_pairs_unordered;
+      if (chares.disjoint(p, q)) ++out.phase_pairs_commuting;
+    }
+  }
+
+  // Per-window: each index owned by exactly one worker, so the parallel
+  // fan-out is race-free and bit-identical for any thread count.
+  const auto phase_of_event =
+      std::span<const std::int32_t>(ls.phases.phase_of_event);
+  util::parallel_for(
+      threads, windows.size(), [&](std::int64_t wi) {
+        const auto w = static_cast<std::int32_t>(wi);
+        WindowConcurrency& wc =
+            out.per_window[static_cast<std::size_t>(wi)];
+        if (windows.kind() == WindowKind::Phase) {
+          // One phase per window: report its concurrency degree.
+          const std::int32_t p = windows.window(w).phase;
+          wc.phases_active = 1;
+          if (p < 0) return;
+          for (std::int32_t q = 0; q < np; ++q) {
+            if (!reach.concurrent(p, q)) continue;
+            ++wc.unordered_pairs;
+            if (chares.disjoint(p, q)) ++wc.commuting_pairs;
+          }
+          return;
+        }
+        // Time bin: census over the distinct phases active in the bin.
+        std::vector<std::int32_t> active;
+        for (const trace::EventId e : windows.events_of(w)) {
+          const std::int32_t p = phase_of_event[static_cast<std::size_t>(e)];
+          if (p >= 0) active.push_back(p);
+        }
+        std::sort(active.begin(), active.end());
+        active.erase(std::unique(active.begin(), active.end()),
+                     active.end());
+        wc.phases_active = static_cast<std::int32_t>(active.size());
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          for (std::size_t j = i + 1; j < active.size(); ++j) {
+            if (!reach.concurrent(active[i], active[j])) continue;
+            ++wc.unordered_pairs;
+            if (chares.disjoint(active[i], active[j]))
+              ++wc.commuting_pairs;
+          }
+        }
+      });
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("metrics/concurrency/windows").add(windows.size());
+  reg.counter("metrics/concurrency/unordered_pairs")
+      .add(out.phase_pairs_unordered);
+  reg.counter("metrics/concurrency/commuting_pairs")
+      .add(out.phase_pairs_commuting);
+  return out;
+}
+
+std::string concurrency_report_json(
+    const trace::Trace& trace, const std::string& program,
+    std::span<const ConcurrencyReport> reports) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("logstruct-concurrency/v1");
+  w.key("program");
+  w.value(program);
+  w.key("trace");
+  w.begin_object();
+  w.key("events");
+  w.value(trace.num_events());
+  w.key("procs");
+  w.value(trace.num_procs());
+  w.key("end_ns");
+  w.value(static_cast<std::int64_t>(trace.end_time()));
+  w.key("degraded_chares");
+  w.value(trace.num_degraded_chares());
+  w.end_object();
+  if (!reports.empty()) {
+    // The census is window-slicing independent; emit it once.
+    const ConcurrencyReport& first = reports.front();
+    w.key("phases");
+    w.begin_object();
+    w.key("count");
+    w.value(first.num_phases);
+    w.key("pairs_total");
+    w.value(first.phase_pairs_total);
+    w.key("pairs_unordered");
+    w.value(first.phase_pairs_unordered);
+    w.key("pairs_commuting");
+    w.value(first.phase_pairs_commuting);
+    w.end_object();
+  }
+  w.key("suites");
+  w.begin_array();
+  for (const ConcurrencyReport& rep : reports) {
+    w.begin_object();
+    w.key("mode");
+    w.value(rep.kind == WindowKind::TimeBin ? "time_bins" : "phases");
+    if (rep.kind == WindowKind::TimeBin) {
+      w.key("bin_width_ns");
+      w.value(static_cast<std::int64_t>(rep.bin_width_ns));
+    }
+    w.key("num_windows");
+    w.value(rep.num_windows());
+    w.key("degraded_windows");
+    w.value(rep.degraded_windows);
+    w.key("windows");
+    w.begin_array();
+    for (std::int32_t i = 0; i < rep.num_windows(); ++i) {
+      const auto iz = static_cast<std::size_t>(i);
+      const Window& win = rep.windows[iz];
+      const WindowConcurrency& wc = rep.per_window[iz];
+      w.begin_object();
+      w.key("index");
+      w.value(i);
+      w.key("begin_ns");
+      w.value(static_cast<std::int64_t>(win.begin));
+      w.key("end_ns");
+      w.value(static_cast<std::int64_t>(win.end));
+      if (win.phase >= 0) {
+        w.key("phase");
+        w.value(win.phase);
+      }
+      w.key("degraded");
+      w.value(win.degraded);
+      w.key("phases_active");
+      w.value(wc.phases_active);
+      w.key("unordered_pairs");
+      w.value(wc.unordered_pairs);
+      w.key("commuting_pairs");
+      w.value(wc.commuting_pairs);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool write_concurrency_report(const util::Flags& flags,
+                              const trace::Trace& trace,
+                              const order::LogicalStructure& ls,
+                              const std::string& program) {
+  if (!flags.defined("concurrency-json")) return true;
+  const std::string& path = flags.get_string("concurrency-json");
+  if (path.empty()) return true;
+
+  const WindowSet phase_windows = WindowSet::phases(trace, ls.phases);
+  std::int64_t bins = flags.get_int("concurrency-bins");
+  if (bins <= 0) bins = std::max<std::int64_t>(1, phase_windows.size());
+  const WindowSet bin_windows =
+      WindowSet::time_bins(trace, static_cast<std::int32_t>(bins));
+
+  const ConcurrencyReport reports[] = {
+      concurrency_report(trace, ls, bin_windows),
+      concurrency_report(trace, ls, phase_windows),
+  };
+  const std::string doc = concurrency_report_json(trace, program, reports);
+
+  std::ofstream out(path, std::ios::binary);
+  if (out) out << doc << '\n';
+  if (!out || !out.good()) {
+    obs::log(obs::Level::Error, "metrics",
+             "cannot write concurrency report", {{"path", path}});
+    return false;
+  }
+  obs::log(obs::Level::Info, "metrics", "wrote concurrency report",
+           {{"path", path}});
+  return true;
+}
+
+}  // namespace logstruct::metrics

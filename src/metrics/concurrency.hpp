@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file concurrency.hpp
+/// Concurrency report: the causality engine as a user-facing metric.
+///
+/// The vector-clock oracle (order/causality.hpp) does not just police the
+/// pipeline — it answers a question profilers cannot: which recovered
+/// phases are *causally unordered*, i.e. could have executed in either
+/// order (or simultaneously) without changing the computation? Per window
+/// of a WindowSet this kernel counts:
+///
+///   phases_active     recovered phases with >= 1 event in the window
+///   unordered_pairs   pairs of those phases with no phase-DAG path in
+///                     either direction (candidates for overlap)
+///   commuting_pairs   unordered pairs that also touch disjoint chare
+///                     sets — commutativity candidates: reordering them
+///                     cannot even race on a chare's state
+///
+/// For phase-sliced windows the pair counts degenerate (one phase per
+/// window), so those windows instead report the phase's *concurrency
+/// degree*: how many other phases are unordered with (resp. commute
+/// with) it. The exporter writes `logstruct-concurrency/v1` (see
+/// docs/CAUSALITY.md) via the shared `--concurrency-json` /
+/// `--concurrency-bins` harness flags.
+///
+/// Determinism: per-window results are index-owned parallel_for writes
+/// and the global pair counts reduce in fixed phase order — bit-identical
+/// for any thread count on either storage backend.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/windows.hpp"
+#include "order/stepping.hpp"
+#include "trace/trace.hpp"
+
+namespace logstruct::util {
+class Flags;
+}
+
+namespace logstruct::metrics {
+
+struct WindowConcurrency {
+  std::int32_t phases_active = 0;
+  /// TimeBin windows: causally-unordered pairs among the active phases.
+  /// Phase windows: this phase's concurrency degree (unordered others).
+  std::int64_t unordered_pairs = 0;
+  /// The subset of unordered pairs whose chare sets are disjoint.
+  std::int64_t commuting_pairs = 0;
+};
+
+struct ConcurrencyReport {
+  WindowKind kind = WindowKind::TimeBin;
+  trace::TimeNs bin_width_ns = 0;  ///< 0 for phase windows
+  std::vector<Window> windows;
+  std::vector<WindowConcurrency> per_window;
+
+  /// Whole-trace pair census over all recovered phases.
+  std::int32_t num_phases = 0;
+  std::int64_t phase_pairs_total = 0;
+  std::int64_t phase_pairs_unordered = 0;
+  std::int64_t phase_pairs_commuting = 0;
+  std::int32_t degraded_windows = 0;
+
+  [[nodiscard]] std::int32_t num_windows() const {
+    return static_cast<std::int32_t>(windows.size());
+  }
+};
+
+/// Compute the report over one WindowSet. `threads` fans the per-window
+/// loop out over the shared pool (0 = util::default_parallelism()).
+ConcurrencyReport concurrency_report(const trace::Trace& trace,
+                                     const order::LogicalStructure& ls,
+                                     const WindowSet& windows,
+                                     int threads = 0);
+
+/// Serialize reports as a `logstruct-concurrency/v1` artifact
+/// (docs/CAUSALITY.md; validated by `tools/obs_to_table.py --check`).
+std::string concurrency_report_json(const trace::Trace& trace,
+                                    const std::string& program,
+                                    std::span<const ConcurrencyReport> reports);
+
+/// Honor the shared `--concurrency-json` / `--concurrency-bins` harness
+/// flags (util::define_obs_flags): when `--concurrency-json=<path>` was
+/// given, compute the report under both slicings — recovered phases and
+/// `--concurrency-bins` wall-clock bins (0 = one bin per phase) — and
+/// write the artifact. No-op (returning true) when the flag is unset;
+/// false on write failure, like metrics::write_efficiency_report.
+bool write_concurrency_report(const util::Flags& flags,
+                              const trace::Trace& trace,
+                              const order::LogicalStructure& ls,
+                              const std::string& program);
+
+}  // namespace logstruct::metrics

@@ -92,6 +92,16 @@ struct Options {
   /// pipelines that must never silently analyze repaired input.
   bool allow_degraded = true;
 
+  /// Debug: run the vector-clock causality oracle after stepping (the
+  /// "check_causality" pass, order/causality.hpp) and abort with exact
+  /// event/edge provenance if any dependency row, intra-block pair, or
+  /// phase-DAG edge of the recovered structure contradicts
+  /// happened-before. O(V + E) plus the clock sweep. Also forced on by
+  /// the LOGSTRUCT_CHECK_CAUSALITY environment variable (the ASan/TSan
+  /// CI jobs set it). Edges touching degraded phases are quarantined,
+  /// not judged. See docs/CAUSALITY.md.
+  bool check_causality = false;
+
   /// Resolve the pipeline thread count to a concrete value >= 1; the
   /// implementation is in options.cpp (needs util/thread_pool.hpp,
   /// which this header deliberately does not pull in).

@@ -7,6 +7,7 @@
 #include "obs/obs.hpp"
 #include "obs/progress.hpp"
 #include "order/block_units.hpp"
+#include "order/causality.hpp"
 #include "order/context.hpp"
 #include "order/pass_manager.hpp"
 #include "order/wclock.hpp"
@@ -444,6 +445,14 @@ void run_stepping_pipeline(OrderContext& ctx,
   pm.add({.name = "stepping",
           .run = stepping_pass,
           .own_span = true,
+          .parallelism = Parallelism::kPhaseParallel});
+  // Opt-in second oracle (order/causality.hpp): after stepping, verify
+  // the finished structure against the vector-clock happened-before
+  // relation; abort with event/edge provenance on the first lie.
+  pm.add({.name = "check_causality",
+          .run = check_causality_pass,
+          .enabled =
+              ctx.options().check_causality || causality_check_forced(),
           .parallelism = Parallelism::kPhaseParallel});
   pm.run(ctx);
   if (records)

@@ -21,6 +21,7 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::DanglingReference: return "dangling_reference";
     case DiagCode::UnmatchedScope: return "unmatched_scope";
     case DiagCode::IoError: return "io_error";
+    case DiagCode::CausalityViolation: return "causality_violation";
     case DiagCode::SynthesizedBlockEnd: return "synthesized_block_end";
     case DiagCode::DroppedDanglingPartner:
       return "dropped_dangling_partner";

@@ -36,6 +36,13 @@ enum class DiagCode : std::uint8_t {
   DanglingReference,  ///< record points at an id that never materialized
   UnmatchedScope,     ///< BEGIN without END (or vice versa); scope dropped
   IoError,            ///< file could not be opened / written
+  /// A recovered structure claim contradicted the vector-clock
+  /// happened-before oracle (order::check_causality): a dependency edge
+  /// stepped backwards, a phase placed outside its DAG order, or a leap
+  /// that fails to ascend. Reported by the analysis layer, not the
+  /// readers, but carried here so the structured Diagnostic machinery
+  /// (counters, JSON reports, sidecars) covers it uniformly.
+  CausalityViolation,
   // --- repair fixes ----------------------------------------------------
   SynthesizedBlockEnd,   ///< open/invalid block span closed artificially
   DroppedDanglingPartner,///< send/recv partner repaired away to kNone

@@ -98,6 +98,14 @@ void define_obs_flags(Flags& flags) {
   flags.define_int("eff-bins", 0,
                    "wall-clock bins for the --eff-json report "
                    "(0 = one bin per recovered phase)");
+  flags.define_string("concurrency-json", "",
+                      "write the logstruct-concurrency/v1 report here "
+                      "(causally-unordered and commuting phase pairs per "
+                      "window, from the vector-clock oracle; see "
+                      "docs/CAUSALITY.md)");
+  flags.define_int("concurrency-bins", 0,
+                   "wall-clock bins for the --concurrency-json report "
+                   "(0 = one bin per recovered phase)");
   flags.define_string("storage", "",
                       "trace storage backend: mem (in-RAM columns, the "
                       "default) or blocked (out-of-core .lsblk block "

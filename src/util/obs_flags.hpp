@@ -40,6 +40,14 @@
 ///                metrics::write_efficiency_report(flags, ...), which
 ///                honors this flag and --eff-bins (wall-clock bin
 ///                count, 0 = one bin per recovered phase).
+/// --concurrency-json=p writes the concurrency report (schema
+///                logstruct-concurrency/v1, docs/CAUSALITY.md) to p:
+///                causally-unordered and commuting phase pairs per
+///                window, from the vector-clock oracle's phase
+///                reachability. Harnesses with a recovered structure
+///                call metrics::write_concurrency_report(flags, ...),
+///                which honors this flag and --concurrency-bins
+///                (wall-clock bin count, 0 = one bin per phase).
 /// --storage=b    trace storage backend: mem (default) or blocked
 ///                (out-of-core .lsblk store, docs/STORAGE.md). Seeds
 ///                $LOGSTRUCT_STORAGE, so it must be applied before the

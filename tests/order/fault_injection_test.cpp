@@ -17,6 +17,7 @@
 #include <string>
 
 #include "golden_fixtures.hpp"
+#include "order/causality.hpp"
 #include "order/stepping.hpp"
 #include "trace/corruptor.hpp"
 #include "trace/diagnostics.hpp"
@@ -173,6 +174,47 @@ TEST(FaultInjection, DegradedCharesQuarantinePhases) {
   for (std::int32_t p = 0; p < ls.num_phases(); ++p)
     if (ls.phases.is_degraded(p)) ++flagged;
   EXPECT_EQ(flagged, ls.phases.degraded_phases);
+}
+
+/// Causality x fault injection: a repaired trace must still extract to
+/// a causality-clean structure with the checker pass armed (no abort),
+/// and the standalone report must show degraded edges quarantined
+/// rather than judged. Every fault class x 4 seeds.
+TEST(FaultInjection, RepairedTracesAreCausalityCleanOrQuarantined) {
+  const Golden& g = workload(0);  // jacobi2d/charm
+  const std::string clean = serialize(g.make());
+  for (int k = 0; k < trace::kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      SCOPED_TRACE(std::string(trace::fault_kind_name(kind)) + " / seed " +
+                   std::to_string(seed));
+      TraceCorruptor corruptor(seed);
+      const std::string damaged = corruptor.corrupt(clean, kind);
+      std::istringstream in(damaged);
+      RecoveryReport report;
+      trace::Trace t =
+          trace::read_trace(in, ReadOptions::recovering(), report);
+      if (report.fatal() || t.num_events() == 0) continue;
+
+      // In-pipeline: the pass aborts on any violation, so surviving
+      // extraction IS the assertion.
+      Options opts = g.opts();
+      opts.check_causality = true;
+      LogicalStructure ls = extract_structure(t, opts);
+
+      // Standalone: zero violations, and any edge touching a degraded
+      // phase shows up as quarantined, never as a judgment.
+      CausalityReport creport = check_causality(t, ls);
+      EXPECT_TRUE(creport.clean())
+          << creport.total_violations << " violations, first: "
+          << (creport.violations.empty()
+                  ? "<none stored>"
+                  : creport.violations.front().detail);
+      if (ls.phases.degraded_phases > 0) {
+        EXPECT_GT(creport.skipped_degraded, 0);
+      }
+    }
+  }
 }
 
 using FaultInjectionDeathTest = ::testing::Test;

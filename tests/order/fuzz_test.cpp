@@ -9,6 +9,7 @@
 #include "order/stats.hpp"
 #include "order/stepping.hpp"
 #include "order_fixtures.hpp"
+#include "random_trace.hpp"
 #include "trace/builder.hpp"
 #include "trace/validate.hpp"
 #include "util/rng.hpp"
@@ -16,130 +17,10 @@
 namespace logstruct::order {
 namespace {
 
-/// Build a random trace: a set of chares on a few PEs exchanging messages
-/// through randomly scheduled serial blocks. Per-PE time is kept
-/// monotonic so blocks never overlap; receives always follow their send.
-trace::Trace random_trace(std::uint64_t seed) {
-  util::Rng rng(seed);
-  const std::int32_t num_procs = 2 + static_cast<std::int32_t>(rng.uniform(4));
-  const std::int32_t num_chares =
-      num_procs + static_cast<std::int32_t>(rng.uniform(12));
-  const std::int32_t num_runtime = static_cast<std::int32_t>(rng.uniform(3));
-  const std::int32_t rounds = 2 + static_cast<std::int32_t>(rng.uniform(6));
-
-  trace::TraceBuilder tb;
-  trace::ArrayId arr = tb.add_array("fuzz");
-  std::vector<trace::ChareId> chares;
-  std::vector<trace::ProcId> home;
-  for (std::int32_t i = 0; i < num_chares; ++i) {
-    trace::ProcId p = static_cast<trace::ProcId>(rng.uniform(
-        static_cast<std::uint64_t>(num_procs)));
-    chares.push_back(tb.add_chare("c" + std::to_string(i), arr, i, p));
-    home.push_back(p);
-  }
-  for (std::int32_t i = 0; i < num_runtime; ++i) {
-    trace::ProcId p = static_cast<trace::ProcId>(rng.uniform(
-        static_cast<std::uint64_t>(num_procs)));
-    chares.push_back(tb.add_chare("rt" + std::to_string(i), trace::kNone,
-                                  -1, p, /*runtime=*/true));
-    home.push_back(p);
-  }
-  std::vector<trace::EntryId> entries;
-  for (int i = 0; i < 4; ++i)
-    entries.push_back(
-        tb.add_entry("e" + std::to_string(i), /*runtime=*/i == 3));
-
-  std::vector<trace::TimeNs> proc_clock(
-      static_cast<std::size_t>(num_procs), 0);
-  // Sends whose receive is still owed: (send event, destination chare,
-  // send time) — the receive must not precede the send.
-  struct InFlight {
-    trace::EventId send;
-    std::size_t dst;
-    trace::TimeNs sent_at;
-  };
-  std::vector<InFlight> in_flight;
-
-  // Open a block on c's processor no earlier than `after`.
-  auto open_block = [&](std::size_t c, trace::TimeNs after) {
-    trace::ProcId p = home[c];
-    trace::TimeNs t =
-        std::max(proc_clock[static_cast<std::size_t>(p)], after) + 1 +
-        static_cast<trace::TimeNs>(rng.uniform(500));
-    trace::EntryId e = entries[rng.uniform(entries.size())];
-    trace::BlockId b = tb.begin_block(chares[c], p, e, t);
-    return std::pair{b, t};
-  };
-
-  for (std::int32_t round = 0; round < rounds; ++round) {
-    // Deliver some owed receives.
-    std::size_t deliver = in_flight.size() / 2 + rng.uniform(2);
-    for (std::size_t k = 0; k < deliver && !in_flight.empty(); ++k) {
-      std::size_t pick = rng.uniform(in_flight.size());
-      auto [send_ev, dst, sent_at] = in_flight[pick];
-      in_flight.erase(in_flight.begin() +
-                      static_cast<std::ptrdiff_t>(pick));
-      auto [b, t0] = open_block(dst, sent_at);
-      tb.add_recv(b, t0, send_ev);
-      trace::TimeNs end = t0 + 1 + static_cast<trace::TimeNs>(
-                                       rng.uniform(300));
-      // Maybe respond with sends from this block.
-      std::size_t extra = rng.uniform(3);
-      trace::TimeNs et = t0;
-      for (std::size_t s = 0; s < extra; ++s) {
-        et += 1 + static_cast<trace::TimeNs>(rng.uniform(100));
-        trace::EventId ev = tb.add_send(b, et);
-        std::size_t target = rng.uniform(chares.size());
-        in_flight.push_back({ev, target, et});
-      }
-      end = std::max(end, et + 1);
-      tb.end_block(b, end);
-      proc_clock[static_cast<std::size_t>(home[dst])] = end;
-    }
-    // Spawn some fresh source blocks.
-    std::size_t fresh = 1 + rng.uniform(3);
-    for (std::size_t k = 0; k < fresh; ++k) {
-      std::size_t src = rng.uniform(chares.size());
-      auto [b, t0] = open_block(src, 0);
-      trace::TimeNs et = t0;
-      // Occasionally an untraced trigger (missing-dependency shape).
-      if (rng.uniform(4) == 0) tb.add_recv(b, t0, trace::kNone);
-      std::size_t sends = 1 + rng.uniform(3);
-      for (std::size_t s = 0; s < sends; ++s) {
-        et += 1 + static_cast<trace::TimeNs>(rng.uniform(100));
-        trace::EventId ev = tb.add_send(b, et);
-        std::size_t target = rng.uniform(chares.size());
-        in_flight.push_back({ev, target, et});
-      }
-      tb.end_block(b, et + 1);
-      proc_clock[static_cast<std::size_t>(home[src])] = et + 1;
-    }
-    // Occasional idle records.
-    if (rng.uniform(2)) {
-      trace::ProcId p = static_cast<trace::ProcId>(
-          rng.uniform(static_cast<std::uint64_t>(num_procs)));
-      trace::TimeNs t0 = proc_clock[static_cast<std::size_t>(p)];
-      trace::TimeNs len = 1 + static_cast<trace::TimeNs>(rng.uniform(400));
-      tb.add_idle(p, t0, t0 + len);
-      proc_clock[static_cast<std::size_t>(p)] = t0 + len;
-    }
-  }
-  // Drain every in-flight message so all sends are matched.
-  while (!in_flight.empty()) {
-    auto [send_ev, dst, sent_at] = in_flight.back();
-    in_flight.pop_back();
-    auto [b, t0] = open_block(dst, sent_at);
-    tb.add_recv(b, t0, send_ev);
-    tb.end_block(b, t0 + 1);
-    proc_clock[static_cast<std::size_t>(home[dst])] = t0 + 1;
-  }
-  return tb.finish(num_procs);
-}
-
 class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzSeeds, PipelineInvariantsHold) {
-  trace::Trace t = random_trace(GetParam());
+  trace::Trace t = testing::random_trace(GetParam());
   ASSERT_TRUE(trace::validate(t).empty());
   for (const Options& opts :
        {Options::charm(), Options::charm_no_reorder(),
@@ -160,13 +41,13 @@ INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzSeeds,
 /// through here — the shapes the proxy apps never produce.
 TEST_P(FuzzSeeds, ThreadedMatchesSerial) {
   const std::uint64_t seed = GetParam();
-  trace::Trace serial_trace = random_trace(seed);
+  trace::Trace serial_trace = testing::random_trace(seed);
   LogicalStructure serial =
       extract_structure(serial_trace, Options::charm());
   const int threads =
       seed % 8 == 0 ? 16 : 2 + static_cast<int>(seed % 8);
   testing::ScopedDefaultParallelism scope(threads);
-  trace::Trace t = random_trace(seed);
+  trace::Trace t = testing::random_trace(seed);
   Options opts = Options::charm();
   opts.threads = threads;
   LogicalStructure ls = extract_structure(t, opts);

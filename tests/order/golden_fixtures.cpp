@@ -1,0 +1,108 @@
+/// Out-of-line bodies for the golden workload table: the app makers and
+/// the structure fingerprint, compiled once into ls_test_fixtures
+/// instead of once per including test translation unit.
+
+#include "golden_fixtures.hpp"
+
+#include "apps/jacobi2d.hpp"
+#include "apps/lassen.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/mergetree.hpp"
+#include "apps/nasbt.hpp"
+#include "apps/pdes.hpp"
+
+namespace logstruct::order::golden {
+
+std::uint64_t structure_hash(const trace::Trace& trace,
+                             const LogicalStructure& ls) {
+  Fnv f;
+  f.mix(trace.num_events());
+  f.mix(ls.num_phases());
+  for (std::int32_t p = 0; p < ls.num_phases(); ++p) {
+    f.mix(ls.phases.runtime[static_cast<std::size_t>(p)] ? 1 : 0);
+    f.mix(ls.phases.leap[static_cast<std::size_t>(p)]);
+    f.mix(ls.phase_offset[static_cast<std::size_t>(p)]);
+    f.mix(ls.phase_height[static_cast<std::size_t>(p)]);
+    f.mix(static_cast<std::int64_t>(
+        ls.phases.events[static_cast<std::size_t>(p)].size()));
+  }
+  for (auto [u, v] : ls.phases.dag.edges()) {
+    f.mix(u);
+    f.mix(v);
+  }
+  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
+    f.mix(ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
+    f.mix(ls.global_step[static_cast<std::size_t>(e)]);
+  }
+  for (const auto& seq : ls.chare_sequence) {
+    f.mix(static_cast<std::int64_t>(seq.size()));
+    for (trace::EventId e : seq) f.mix(e);
+  }
+  return f.value();
+}
+
+trace::Trace jacobi_small() {
+  apps::Jacobi2DConfig cfg;
+  cfg.chares_x = 4;
+  cfg.chares_y = 4;
+  cfg.num_pes = 4;
+  cfg.iterations = 2;
+  return apps::run_jacobi2d(cfg);
+}
+
+trace::Trace lulesh_charm_small() {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 2;
+  return apps::run_lulesh_charm(cfg);
+}
+
+trace::Trace lulesh_mpi_small() {
+  apps::LuleshConfig cfg;
+  cfg.iterations = 2;
+  return apps::run_lulesh_mpi(cfg);
+}
+
+trace::Trace lassen_charm_small() {
+  apps::LassenConfig cfg;
+  cfg.iterations = 4;
+  return apps::run_lassen_charm(cfg);
+}
+
+trace::Trace lassen_mpi_small() {
+  apps::LassenConfig cfg;
+  cfg.iterations = 4;
+  return apps::run_lassen_mpi(cfg);
+}
+
+trace::Trace mergetree_small() {
+  apps::MergeTreeConfig cfg;
+  cfg.num_ranks = 32;
+  return apps::run_mergetree_mpi(cfg);
+}
+
+trace::Trace nasbt_small() { return apps::run_nasbt_mpi({}); }
+
+trace::Trace pdes_small() { return apps::run_pdes({}); }
+
+const Golden kGoldens[12] = {
+    {"jacobi2d/charm", jacobi_small, Options::charm, 0x923529b3b2bf2faaULL},
+    {"jacobi2d/charm_no_reorder", jacobi_small, Options::charm_no_reorder,
+     0x720980251dc78002ULL},
+    {"lulesh/charm", lulesh_charm_small, Options::charm,
+     0x50890b04041fb3d3ULL},
+    {"lulesh/charm_no_inference(fig17)", lulesh_charm_small,
+     Options::charm_no_inference, 0x402c6f88d8281526ULL},
+    {"lulesh/mpi", lulesh_mpi_small, Options::mpi, 0x32ef90bfc07e662aULL},
+    {"lulesh/mpi_baseline13", lulesh_mpi_small, Options::mpi_baseline13,
+     0xf2aec2e63c903506ULL},
+    {"lassen/charm", lassen_charm_small, Options::charm,
+     0x9005e32ef50621a1ULL},
+    {"lassen/mpi", lassen_mpi_small, Options::mpi, 0xccaf57915f2316d4ULL},
+    {"mergetree/mpi", mergetree_small, Options::mpi, 0x096fc78620e84c5fULL},
+    {"mergetree/mpi_baseline13", mergetree_small, Options::mpi_baseline13,
+     0x0bb3997dfb0e7528ULL},
+    {"nasbt/mpi", nasbt_small, Options::mpi, 0x76cd78df757d3f85ULL},
+    {"pdes/charm", pdes_small, Options::charm, 0x960925480050563cULL},
+};
+
+}  // namespace logstruct::order::golden

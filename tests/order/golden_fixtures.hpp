@@ -2,19 +2,16 @@
 
 /// \file golden_fixtures.hpp
 /// The 12 golden workloads and the structure fingerprint shared by the
-/// golden-structure regression test and the fault-injection property
-/// tests: both must agree on what "bit-identical extraction" means, so
-/// the hash, the workload table, and the recorded expected values live
-/// here once.
+/// golden-structure regression test, the storage and causality golden
+/// matrices, and the fault-injection property tests: all must agree on
+/// what "bit-identical extraction" means, so the hash, the workload
+/// table, and the recorded expected values live here once. The app
+/// makers and the hash are *compiled* once too — into the
+/// ls_test_fixtures support library (golden_fixtures.cpp) — so the ten
+/// including test translation units stop rebuilding the app headers.
 
 #include <cstdint>
 
-#include "apps/jacobi2d.hpp"
-#include "apps/lassen.hpp"
-#include "apps/lulesh.hpp"
-#include "apps/mergetree.hpp"
-#include "apps/nasbt.hpp"
-#include "apps/pdes.hpp"
 #include "order/stepping.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -40,33 +37,8 @@ class Fnv {
 /// Fingerprint of everything the paper's end product promises: the phase
 /// DAG (nodes, runtime flags, leaps, edges), the per-event phase and step
 /// assignment, and the final per-chare sequences.
-inline std::uint64_t structure_hash(const trace::Trace& trace,
-                                    const LogicalStructure& ls) {
-  Fnv f;
-  f.mix(trace.num_events());
-  f.mix(ls.num_phases());
-  for (std::int32_t p = 0; p < ls.num_phases(); ++p) {
-    f.mix(ls.phases.runtime[static_cast<std::size_t>(p)] ? 1 : 0);
-    f.mix(ls.phases.leap[static_cast<std::size_t>(p)]);
-    f.mix(ls.phase_offset[static_cast<std::size_t>(p)]);
-    f.mix(ls.phase_height[static_cast<std::size_t>(p)]);
-    f.mix(static_cast<std::int64_t>(
-        ls.phases.events[static_cast<std::size_t>(p)].size()));
-  }
-  for (auto [u, v] : ls.phases.dag.edges()) {
-    f.mix(u);
-    f.mix(v);
-  }
-  for (trace::EventId e = 0; e < trace.num_events(); ++e) {
-    f.mix(ls.phases.phase_of_event[static_cast<std::size_t>(e)]);
-    f.mix(ls.global_step[static_cast<std::size_t>(e)]);
-  }
-  for (const auto& seq : ls.chare_sequence) {
-    f.mix(static_cast<std::int64_t>(seq.size()));
-    for (trace::EventId e : seq) f.mix(e);
-  }
-  return f.value();
-}
+std::uint64_t structure_hash(const trace::Trace& trace,
+                             const LogicalStructure& ls);
 
 struct Golden {
   const char* name;
@@ -75,71 +47,18 @@ struct Golden {
   std::uint64_t expected;
 };
 
-inline trace::Trace jacobi_small() {
-  apps::Jacobi2DConfig cfg;
-  cfg.chares_x = 4;
-  cfg.chares_y = 4;
-  cfg.num_pes = 4;
-  cfg.iterations = 2;
-  return apps::run_jacobi2d(cfg);
-}
-
-inline trace::Trace lulesh_charm_small() {
-  apps::LuleshConfig cfg;
-  cfg.iterations = 2;
-  return apps::run_lulesh_charm(cfg);
-}
-
-inline trace::Trace lulesh_mpi_small() {
-  apps::LuleshConfig cfg;
-  cfg.iterations = 2;
-  return apps::run_lulesh_mpi(cfg);
-}
-
-inline trace::Trace lassen_charm_small() {
-  apps::LassenConfig cfg;
-  cfg.iterations = 4;
-  return apps::run_lassen_charm(cfg);
-}
-
-inline trace::Trace lassen_mpi_small() {
-  apps::LassenConfig cfg;
-  cfg.iterations = 4;
-  return apps::run_lassen_mpi(cfg);
-}
-
-inline trace::Trace mergetree_small() {
-  apps::MergeTreeConfig cfg;
-  cfg.num_ranks = 32;
-  return apps::run_mergetree_mpi(cfg);
-}
-
-inline trace::Trace nasbt_small() { return apps::run_nasbt_mpi({}); }
-
-inline trace::Trace pdes_small() { return apps::run_pdes({}); }
+trace::Trace jacobi_small();
+trace::Trace lulesh_charm_small();
+trace::Trace lulesh_mpi_small();
+trace::Trace lassen_charm_small();
+trace::Trace lassen_mpi_small();
+trace::Trace mergetree_small();
+trace::Trace nasbt_small();
+trace::Trace pdes_small();
 
 /// Recorded on the pre-pass-manager pipeline; every refactor since must
 /// reproduce them bit-identically (see golden_structure_test.cpp).
-inline constexpr Golden kGoldens[] = {
-    {"jacobi2d/charm", jacobi_small, Options::charm, 0x923529b3b2bf2faaULL},
-    {"jacobi2d/charm_no_reorder", jacobi_small, Options::charm_no_reorder,
-     0x720980251dc78002ULL},
-    {"lulesh/charm", lulesh_charm_small, Options::charm,
-     0x50890b04041fb3d3ULL},
-    {"lulesh/charm_no_inference(fig17)", lulesh_charm_small,
-     Options::charm_no_inference, 0x402c6f88d8281526ULL},
-    {"lulesh/mpi", lulesh_mpi_small, Options::mpi, 0x32ef90bfc07e662aULL},
-    {"lulesh/mpi_baseline13", lulesh_mpi_small, Options::mpi_baseline13,
-     0xf2aec2e63c903506ULL},
-    {"lassen/charm", lassen_charm_small, Options::charm,
-     0x9005e32ef50621a1ULL},
-    {"lassen/mpi", lassen_mpi_small, Options::mpi, 0xccaf57915f2316d4ULL},
-    {"mergetree/mpi", mergetree_small, Options::mpi, 0x096fc78620e84c5fULL},
-    {"mergetree/mpi_baseline13", mergetree_small, Options::mpi_baseline13,
-     0x0bb3997dfb0e7528ULL},
-    {"nasbt/mpi", nasbt_small, Options::mpi, 0x76cd78df757d3f85ULL},
-    {"pdes/charm", pdes_small, Options::charm, 0x960925480050563cULL},
-};
+extern const Golden kGoldens[12];
 
 /// RAII process-default parallelism override, restored on scope exit so
 /// one test cannot leak its thread count into another.

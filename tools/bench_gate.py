@@ -2,7 +2,7 @@
 """Perf/memory regression gate over BENCH_pipeline.json trajectories.
 
 Diffs two pipeline-trajectory runs (schema logstruct-bench-pipeline/v1
-through /v5, see docs/OBSERVABILITY.md) pass-by-pass and fails when a
+through /v6, see docs/OBSERVABILITY.md) pass-by-pass and fails when a
 pass got substantially slower or hungrier:
 
     tools/bench_gate.py                       # last two runs in BENCH_pipeline.json
@@ -76,7 +76,7 @@ def load_runs(path):
     if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
         raise TrajectoryError(
             f"{path} is not a pipeline trajectory (no `runs` array); "
-            "expected schema logstruct-bench-pipeline/v1..v5"
+            "expected schema logstruct-bench-pipeline/v1..v6"
         )
     if not doc["runs"]:
         raise TrajectoryError(
@@ -241,7 +241,8 @@ def gate(base_run, fresh_run, opts):
 
 
 def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
-                  scale_rss=1.0, scale_live=1.0, extra_threads=None):
+                  scale_rss=1.0, scale_live=1.0, scale_causality=1.0,
+                  extra_threads=None):
     run = {
         "program": "self-test",
         "workloads": [
@@ -282,6 +283,18 @@ def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
                     {
                         "pass": "obs/live_overhead",
                         "seconds": 0.002 * scale_live,
+                        "ran": True,
+                    },
+                    # v6 causality-checker pseudo-pass: vector-clock
+                    # oracle build + the happened-before check over the
+                    # recovered structure. The checker is opt-in in
+                    # production, so this row is where a slowdown in
+                    # the oracle's topological sweep or fallback walk
+                    # gets caught.
+                    {
+                        "pass": "order/check_causality",
+                        "seconds": 0.002 * scale_causality,
+                        "alloc_bytes": int(1 << 20),
                         "ran": True,
                     },
                     {"pass": "tiny", "seconds": 1e-05, "ran": True},
@@ -355,6 +368,18 @@ def self_test(opts):
             )
             return 1
         print()
+        # A 2x wall regression confined to the order/check_causality
+        # pseudo-pass (vector-clock oracle build + HB check) must fail
+        # on its own.
+        code = gate(synthetic_run(), synthetic_run(scale_causality=2.0),
+                    opts)
+        if code == 0:
+            print(
+                "self-test: FAILED — 2x causality-checker regression "
+                "not caught"
+            )
+            return 1
+        print()
         # A 2x per-workload peak-RSS regression (the out-of-core storage
         # gate) must fail on its own.
         code = gate(synthetic_run(), synthetic_run(scale_rss=2.0), opts)
@@ -414,8 +439,9 @@ def self_test(opts):
     print(
         "self-test: ok (identical passes, 2x wall fails, 2x alloc fails, "
         "2x efficiency-suite pseudo-pass fails, 2x live-overhead "
-        "pseudo-pass fails, 2x peak-RSS fails, cross-thread-count rows "
-        "never compared, missing/empty/garbled baselines diagnosed)"
+        "pseudo-pass fails, 2x causality-checker pseudo-pass fails, "
+        "2x peak-RSS fails, cross-thread-count rows never compared, "
+        "missing/empty/garbled baselines diagnosed)"
     )
     return 0
 

@@ -25,11 +25,20 @@ separate per-suite efficiency table, spliced between the
     <!-- eff-metrics:begin -->
     <!-- eff-metrics:end -->
 
-markers. Sidecars and efficiency artifacts can be mixed freely on one
-command line:
+markers. Concurrency artifacts (--concurrency-json, schema
+"logstruct-concurrency/v1", docs/CAUSALITY.md) are likewise recognized
+by schema and folded into a per-suite concurrency table between the
+
+    <!-- concurrency:begin -->
+    <!-- concurrency:end -->
+
+markers. Sidecars, efficiency, and concurrency artifacts can be mixed
+freely on one command line:
 
     ./build/examples/efficiency_compare --eff-json=/tmp/eff.json
-    python3 tools/obs_to_table.py /tmp/eff.json --update EXPERIMENTS.md
+    ./build/examples/trace_inspect --concurrency-json=/tmp/conc.json
+    python3 tools/obs_to_table.py /tmp/eff.json /tmp/conc.json \
+        --update EXPERIMENTS.md
 
 With --check it validates each document instead of rendering a table,
 dispatching on the schema string. Sidecars must have the v1/v2/v3/v4
@@ -47,8 +56,15 @@ When a v4 sidecar's sampler ring holds samples, the trajectory table
 gains a closing row with the peak / mean sampled RSS per harness.
 An effmetrics document must carry program/trace/suites, per-suite
 summaries for all five POP metrics, per-window rows matching
-num_windows, and every efficiency value inside [0, 1]. Exit is nonzero
-on any violation -- CI runs this on every uploaded artifact.
+num_windows, and every efficiency value inside [0, 1]. A concurrency
+document must carry program/trace/phases/suites, a self-consistent
+whole-trace pair census (pairs_total == count*(count-1)/2,
+commuting <= unordered <= total), per-window rows matching num_windows
+with commuting_pairs <= unordered_pairs, and -- for the phases-sliced
+suite, whose rows are per-phase concurrency degrees -- a degree sum
+equal to exactly twice the census (every unordered pair contributes one
+degree at each endpoint). Exit is nonzero on any violation -- CI runs
+this on every uploaded artifact.
 
 Stdlib only; no third-party dependencies.
 """
@@ -62,8 +78,11 @@ BEGIN = "<!-- obs-trajectory:begin -->"
 END = "<!-- obs-trajectory:end -->"
 EFF_BEGIN = "<!-- eff-metrics:begin -->"
 EFF_END = "<!-- eff-metrics:end -->"
+CONC_BEGIN = "<!-- concurrency:begin -->"
+CONC_END = "<!-- concurrency:end -->"
 
 EFF_SCHEMA = "logstruct-effmetrics/v1"
+CONC_SCHEMA = "logstruct-concurrency/v1"
 EFF_METRICS = (
     "parallel",
     "load_balance",
@@ -213,6 +232,167 @@ def render_eff_table(paths):
         f"efficiency artifact(s) (schema `{EFF_SCHEMA}`)._"
     )
     return "\n".join(lines)
+
+
+def render_conc_table(paths):
+    """Markdown concurrency table, one row per (program, suite mode)."""
+    lines = [
+        "| program | phases | unordered / total pairs | commuting | "
+        "mode | windows | peak active | peak unordered |",
+        "|---" * 8 + "|",
+    ]
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        program = os.path.basename(doc.get("program", path))
+        census = doc.get("phases", {})
+        for suite in doc.get("suites", []):
+            windows = suite.get("windows", [])
+            peak_active = max(
+                (w.get("phases_active", 0) for w in windows), default=0
+            )
+            peak_unordered = max(
+                (w.get("unordered_pairs", 0) for w in windows), default=0
+            )
+            lines.append(
+                "| `{}` | {} | {} / {} | {} | {} | {} | {} | {} |".format(
+                    program,
+                    census.get("count", 0),
+                    census.get("pairs_unordered", 0),
+                    census.get("pairs_total", 0),
+                    census.get("pairs_commuting", 0),
+                    suite.get("mode", "?"),
+                    suite.get("num_windows", 0),
+                    peak_active,
+                    peak_unordered,
+                )
+            )
+    lines.append("")
+    lines.append(
+        f"_Generated by `tools/obs_to_table.py` from {len(paths)} "
+        f"concurrency artifact(s) (schema `{CONC_SCHEMA}`; phases-mode "
+        "window counts are per-phase concurrency degrees)._"
+    )
+    return "\n".join(lines)
+
+
+def check_concurrency(doc):
+    """Validate a logstruct-concurrency/v1 document; return problems."""
+    problems = []
+    if not isinstance(doc.get("program"), str):
+        problems.append("missing string key: program")
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        problems.append("missing `trace` object")
+    else:
+        for key in ("events", "procs", "end_ns", "degraded_chares"):
+            if not isinstance(trace.get(key), int):
+                problems.append(f"trace.{key} is not an integer")
+    census = doc.get("phases")
+    count = total = unordered = commuting = None
+    if not isinstance(census, dict):
+        problems.append("missing `phases` census object")
+    else:
+        for key in (
+            "count",
+            "pairs_total",
+            "pairs_unordered",
+            "pairs_commuting",
+        ):
+            if not isinstance(census.get(key), int) or census[key] < 0:
+                problems.append(
+                    f"phases.{key} is not a non-negative integer"
+                )
+        count = census.get("count")
+        total = census.get("pairs_total")
+        unordered = census.get("pairs_unordered")
+        commuting = census.get("pairs_commuting")
+        if isinstance(count, int) and isinstance(total, int):
+            if total != count * (count - 1) // 2:
+                problems.append(
+                    f"phases.pairs_total = {total} but count = {count} "
+                    f"implies {count * (count - 1) // 2}"
+                )
+        if (
+            isinstance(total, int)
+            and isinstance(unordered, int)
+            and isinstance(commuting, int)
+            and not (commuting <= unordered <= total)
+        ):
+            problems.append(
+                "census not nested: expected pairs_commuting <= "
+                f"pairs_unordered <= pairs_total, got {commuting} / "
+                f"{unordered} / {total}"
+            )
+    suites = doc.get("suites")
+    if not isinstance(suites, list) or not suites:
+        return problems + ["missing non-empty `suites` array"]
+    for i, suite in enumerate(suites):
+        where = f"suites[{i}]"
+        mode = suite.get("mode")
+        if mode not in ("time_bins", "phases"):
+            problems.append(f"{where}.mode is not time_bins|phases")
+        if mode == "time_bins" and not isinstance(
+            suite.get("bin_width_ns"), int
+        ):
+            problems.append(f"{where} (time_bins) missing bin_width_ns")
+        windows = suite.get("windows")
+        if not isinstance(windows, list):
+            problems.append(f"{where}.windows is not an array")
+            continue
+        if suite.get("num_windows") != len(windows):
+            problems.append(
+                f"{where}.num_windows != len(windows) "
+                f"({suite.get('num_windows')} vs {len(windows)})"
+            )
+        degraded = suite.get("degraded_windows")
+        if not isinstance(degraded, int) or not (
+            0 <= degraded <= len(windows)
+        ):
+            problems.append(f"{where}.degraded_windows out of range")
+        degree_sum = 0
+        for j, win in enumerate(windows):
+            if not isinstance(win, dict):
+                problems.append(f"{where}.windows[{j}] is not an object")
+                continue
+            for key in (
+                "begin_ns",
+                "end_ns",
+                "phases_active",
+                "unordered_pairs",
+                "commuting_pairs",
+            ):
+                if not isinstance(win.get(key), int) or win[key] < 0:
+                    problems.append(
+                        f"{where}.windows[{j}].{key} is not a "
+                        "non-negative integer"
+                    )
+            u = win.get("unordered_pairs")
+            c = win.get("commuting_pairs")
+            if isinstance(u, int) and isinstance(c, int) and c > u:
+                problems.append(
+                    f"{where}.windows[{j}]: commuting_pairs = {c} "
+                    f"exceeds unordered_pairs = {u}"
+                )
+            if isinstance(u, int):
+                degree_sum += u
+        # Phase-sliced windows report per-phase concurrency degrees;
+        # every unordered pair contributes one degree at each endpoint,
+        # so over a full one-window-per-phase suite the sum is exactly
+        # twice the census.
+        if (
+            mode == "phases"
+            and isinstance(count, int)
+            and isinstance(unordered, int)
+            and len(windows) == count
+            and degree_sum != 2 * unordered
+        ):
+            problems.append(
+                f"{where}: phase degree sum = {degree_sum} but census "
+                f"has {unordered} unordered pairs (expected "
+                f"{2 * unordered})"
+            )
+    return problems
 
 
 def check_effmetrics(doc):
@@ -405,6 +585,8 @@ def check_sidecar(path):
 
     if doc.get("schema") == EFF_SCHEMA:
         return check_effmetrics(doc)
+    if doc.get("schema") == CONC_SCHEMA:
+        return check_concurrency(doc)
 
     for key, typ in (
         ("program", str),
@@ -504,7 +686,14 @@ def main():
         sys.exit(check_all(args.sidecars))
 
     eff_paths = [p for p in args.sidecars if read_schema(p) == EFF_SCHEMA]
-    obs_paths = [p for p in args.sidecars if p not in eff_paths]
+    conc_paths = [
+        p for p in args.sidecars if read_schema(p) == CONC_SCHEMA
+    ]
+    obs_paths = [
+        p
+        for p in args.sidecars
+        if p not in eff_paths and p not in conc_paths
+    ]
 
     if obs_paths:
         table = render_table([load_sidecar(p) for p in obs_paths])
@@ -518,6 +707,12 @@ def main():
             splice(args.update, eff_table, EFF_BEGIN, EFF_END)
         else:
             print(eff_table)
+    if conc_paths:
+        conc_table = render_conc_table(conc_paths)
+        if args.update:
+            splice(args.update, conc_table, CONC_BEGIN, CONC_END)
+        else:
+            print(conc_table)
 
 
 if __name__ == "__main__":
