@@ -32,6 +32,7 @@
 #include "order/merges.hpp"
 #include "order/phases.hpp"
 #include "order/stepping.hpp"
+#include "util/crc32c.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -442,6 +443,41 @@ void emit_pipeline_trajectory() {
       w.passes.push_back(std::move(alloc_rec));
       traj.add_workload(std::move(w));
     }
+  }
+  // Checksum kernel probe: CRC32C over a 32 MiB buffer, recorded as the
+  // `trace/storage/checksum` pseudo-pass. Every v2 `.lsblk` block write
+  // and verified read pays this kernel, so a regression here — say the
+  // hardware dispatch silently falling back to the table path — taxes
+  // the entire blocked backend; the gate diffs it like any manager
+  // pass (tools/bench_gate.py --self-test proves a 2x slip fails).
+  {
+    std::vector<char> buf(32u << 20);
+    std::uint64_t x = 0x9E3779B97F4A7C15ull;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      buf[i] = static_cast<char>(x);
+    }
+    std::uint32_t sum = util::crc32c(buf.data(), buf.size());  // warm
+    double best = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+      util::Stopwatch sw;
+      sum ^= util::crc32c(buf.data(), buf.size());
+      const double s = sw.seconds();
+      if (rep == 0 || s < best) best = s;
+    }
+    benchmark::DoNotOptimize(sum);
+    bench::PipelineWorkload w;
+    w.name = "crc32c/32mb";
+    w.total_seconds = best;
+    order::PassRecord rec;
+    rec.name = "trace/storage/checksum";
+    rec.seconds = best;
+    rec.threads = 1;
+    rec.ran = true;
+    w.passes.push_back(std::move(rec));
+    traj.add_workload(std::move(w));
   }
   // Live-telemetry overhead probe: the large LULESH extraction dark vs
   // with the background sampler + /metrics exporter live. Dark and

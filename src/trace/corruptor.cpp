@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <sstream>
 
+#include "trace/storage/format.hpp"
 #include "util/rng.hpp"
 
 namespace logstruct::trace {
@@ -48,6 +50,49 @@ Body body_of(const std::vector<std::string>& lines) {
   return {1, lines.size() - 2};
 }
 
+/// What the Lsblk* faults need to know about a container image: where the
+/// data blocks end and the tail (tables + directory + metadata) begins.
+struct LsblkShape {
+  bool valid = false;
+  std::uint32_t version = 0;
+  std::uint64_t directory_offset = 0;
+  std::uint64_t data_end = 0;  ///< first byte past the last data block
+};
+
+LsblkShape lsblk_shape(const std::string& bytes) {
+  using storage::ColumnDesc;
+  using storage::ColumnDescV2;
+  using storage::FileHeader;
+  LsblkShape shape;
+  if (bytes.size() < sizeof(FileHeader)) return shape;
+  FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != storage::kMagic || header.directory_offset == 0 ||
+      header.directory_offset > bytes.size())
+    return shape;
+  const std::size_t desc_bytes = header.version >= 2
+                                     ? sizeof(ColumnDescV2)
+                                     : sizeof(ColumnDesc);
+  if (header.directory_offset + header.num_columns * desc_bytes >
+      bytes.size())
+    return shape;
+  // The data region ends at the lowest table offset any column records.
+  std::uint64_t data_end = header.directory_offset;
+  for (std::uint32_t i = 0; i < header.num_columns; ++i) {
+    std::uint64_t offsets_offset = 0;  // field at +16 in both desc layouts
+    std::memcpy(&offsets_offset,
+                bytes.data() + header.directory_offset + i * desc_bytes + 16,
+                sizeof(offsets_offset));
+    if (offsets_offset >= sizeof(FileHeader) && offsets_offset < data_end)
+      data_end = offsets_offset;
+  }
+  shape.version = header.version;
+  shape.directory_offset = header.directory_offset;
+  shape.data_end = data_end;
+  shape.valid = data_end > sizeof(FileHeader);
+  return shape;
+}
+
 }  // namespace
 
 const char* fault_kind_name(FaultKind kind) {
@@ -57,6 +102,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::DuplicateLines: return "duplicate_lines";
     case FaultKind::PerturbTimestamps: return "perturb_timestamps";
     case FaultKind::FlipBytes: return "flip_bytes";
+    case FaultKind::LsblkFlipBlock: return "lsblk_flip_block";
+    case FaultKind::LsblkTruncateDir: return "lsblk_truncate_dir";
+    case FaultKind::LsblkZeroFooter: return "lsblk_zero_footer";
   }
   return "?";
 }
@@ -80,6 +128,7 @@ std::string CorruptionSummary::to_string() const {
   if (bytes_truncated) os << " truncated_bytes=" << bytes_truncated;
   if (timestamps_perturbed) os << " perturbed=" << timestamps_perturbed;
   if (bytes_flipped) os << " flipped=" << bytes_flipped;
+  if (footer_zeroed) os << " footer_zeroed=" << footer_zeroed;
   return os.str();
 }
 
@@ -105,6 +154,12 @@ std::string TraceCorruptor::corrupt(const std::string& text, FaultKind kind,
       return perturb_timestamps(split_lines(text), s);
     case FaultKind::FlipBytes:
       return flip_bytes(text, s);
+    case FaultKind::LsblkFlipBlock:
+      return lsblk_flip_block(text, s);
+    case FaultKind::LsblkTruncateDir:
+      return lsblk_truncate_dir(text, s);
+    case FaultKind::LsblkZeroFooter:
+      return lsblk_zero_footer(text, s);
   }
   return text;
 }
@@ -250,6 +305,55 @@ std::string TraceCorruptor::flip_bytes(std::string text,
     ++s.bytes_flipped;
   }
   return text;
+}
+
+std::string TraceCorruptor::lsblk_flip_block(std::string bytes,
+                                             CorruptionSummary& s) {
+  const LsblkShape shape = lsblk_shape(bytes);
+  if (!shape.valid) return bytes;
+  util::Rng rng = util::Rng(seed_).fork(stream_);
+  const std::uint64_t span =
+      shape.data_end - sizeof(storage::FileHeader);
+  const std::int64_t want = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(intensity_ * static_cast<double>(span) /
+                                   4096.0));
+  for (std::int64_t i = 0; i < want; ++i) {
+    const std::size_t pos =
+        sizeof(storage::FileHeader) + static_cast<std::size_t>(
+                                          rng.uniform(span));
+    const unsigned bit = static_cast<unsigned>(rng.uniform(8));
+    bytes[pos] = static_cast<char>(
+        static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+    ++s.bytes_flipped;
+  }
+  return bytes;
+}
+
+std::string TraceCorruptor::lsblk_truncate_dir(const std::string& bytes,
+                                               CorruptionSummary& s) {
+  const LsblkShape shape = lsblk_shape(bytes);
+  if (!shape.valid) return bytes;
+  util::Rng rng = util::Rng(seed_).fork(stream_);
+  // Cut anywhere from the start of the directory to the last byte: the
+  // footer is always lost, the directory usually mid-entry.
+  const std::uint64_t span = bytes.size() - shape.directory_offset;
+  const std::size_t cut =
+      static_cast<std::size_t>(shape.directory_offset +
+                               rng.uniform(span));
+  s.bytes_truncated = static_cast<std::int64_t>(bytes.size() - cut);
+  return bytes.substr(0, cut);
+}
+
+std::string TraceCorruptor::lsblk_zero_footer(std::string bytes,
+                                              CorruptionSummary& s) {
+  const LsblkShape shape = lsblk_shape(bytes);
+  if (!shape.valid || shape.version < 2 ||
+      bytes.size() < sizeof(storage::CommitFooter))
+    return bytes;
+  std::memset(bytes.data() + bytes.size() - sizeof(storage::CommitFooter),
+              0, sizeof(storage::CommitFooter));
+  s.footer_zeroed = 1;
+  return bytes;
 }
 
 }  // namespace logstruct::trace

@@ -24,17 +24,31 @@
 namespace logstruct::trace {
 
 /// One class of injected fault. Matches the corruption matrix in
-/// docs/ROBUSTNESS.md and the CI fuzz smoke job.
+/// docs/ROBUSTNESS.md and the CI fuzz smoke job. The first five mutate
+/// trace *text* (.lstrace / Projections logs); the Lsblk* kinds mutate a
+/// binary `.lsblk` container image (storage/format.hpp) and are no-ops
+/// on bytes that do not parse as one.
 enum class FaultKind : std::uint8_t {
   DropLines,          ///< remove interior lines wholesale
   TruncateTail,       ///< cut the file mid-stream (always loses "end")
   DuplicateLines,     ///< repeat interior lines immediately
   PerturbTimestamps,  ///< add large deltas to numeric time fields
   FlipBytes,          ///< flip random bits in random bytes
+  LsblkFlipBlock,     ///< flip bits inside .lsblk data blocks (bit rot)
+  LsblkTruncateDir,   ///< cut the .lsblk tail mid-directory (torn commit)
+  LsblkZeroFooter,    ///< zero the .lsblk commit footer (lost last write)
 };
 
-inline constexpr int kNumFaultKinds =
+/// Count of the text-oriented kinds (the classic fuzz matrix).
+inline constexpr int kNumTextFaultKinds =
     static_cast<int>(FaultKind::FlipBytes) + 1;
+inline constexpr int kNumFaultKinds =
+    static_cast<int>(FaultKind::LsblkZeroFooter) + 1;
+
+/// True for the kinds that operate on a binary `.lsblk` image.
+[[nodiscard]] constexpr bool is_lsblk_fault(FaultKind kind) {
+  return static_cast<int>(kind) >= kNumTextFaultKinds;
+}
 
 /// Stable lower_snake_case name (CLI values, report keys).
 const char* fault_kind_name(FaultKind kind);
@@ -51,11 +65,12 @@ struct CorruptionSummary {
   std::int64_t bytes_truncated = 0;
   std::int64_t timestamps_perturbed = 0;
   std::int64_t bytes_flipped = 0;
+  std::int64_t footer_zeroed = 0;  ///< 1 when a commit footer was wiped
 
   /// Total individual mutations applied.
   [[nodiscard]] std::int64_t total() const {
     return lines_dropped + lines_duplicated + (bytes_truncated > 0 ? 1 : 0) +
-           timestamps_perturbed + bytes_flipped;
+           timestamps_perturbed + bytes_flipped + footer_zeroed;
   }
   [[nodiscard]] std::string to_string() const;
 };
@@ -84,6 +99,10 @@ class TraceCorruptor {
   std::string perturb_timestamps(std::vector<std::string> lines,
                                  CorruptionSummary& s);
   std::string flip_bytes(std::string text, CorruptionSummary& s);
+  std::string lsblk_flip_block(std::string bytes, CorruptionSummary& s);
+  std::string lsblk_truncate_dir(const std::string& bytes,
+                                 CorruptionSummary& s);
+  std::string lsblk_zero_footer(std::string bytes, CorruptionSummary& s);
 
   std::uint64_t seed_;
   double intensity_;

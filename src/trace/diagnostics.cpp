@@ -22,6 +22,9 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::UnmatchedScope: return "unmatched_scope";
     case DiagCode::IoError: return "io_error";
     case DiagCode::CausalityViolation: return "causality_violation";
+    case DiagCode::BlockChecksumMismatch: return "block_checksum_mismatch";
+    case DiagCode::BlockUnreadable: return "block_unreadable";
+    case DiagCode::ContainerTruncated: return "container_truncated";
     case DiagCode::SynthesizedBlockEnd: return "synthesized_block_end";
     case DiagCode::DroppedDanglingPartner:
       return "dropped_dangling_partner";

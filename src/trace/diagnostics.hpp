@@ -43,6 +43,11 @@ enum class DiagCode : std::uint8_t {
   /// readers, but carried here so the structured Diagnostic machinery
   /// (counters, JSON reports, sidecars) covers it uniformly.
   CausalityViolation,
+  // Blocked-storage (.lsblk) reader diagnostics: produced by recovering
+  // opens of a torn or bit-rotted container (docs/STORAGE.md).
+  BlockChecksumMismatch,  ///< a stored block failed its CRC32C; quarantined
+  BlockUnreadable,        ///< a block read kept failing after retries
+  ContainerTruncated,     ///< footer/directory missing — torn mid-freeze
   // --- repair fixes ----------------------------------------------------
   SynthesizedBlockEnd,   ///< open/invalid block span closed artificially
   DroppedDanglingPartner,///< send/recv partner repaired away to kNone

@@ -5,30 +5,51 @@
 ///
 /// BlockStoreWriter streams any number of columns concurrently with
 /// bounded RAM: one block_bytes buffer per column; a full buffer is
-/// appended to the file immediately and only its u64 offset is retained.
-/// finish() flushes partial blocks and writes offset tables + directory
-/// + metadata blob, then patches the header.
+/// CRC32C-summed, appended to the file immediately, and only its u64
+/// offset + u32 checksum are retained. finish() makes the container
+/// crash-safe: fsync the data blocks, write offset tables + CRC tables +
+/// directory + metadata blob and patch the header, fsync again, then
+/// write + fsync the commit footer and fsync the parent directory — a
+/// valid footer proves a complete commit across power loss.
 ///
 /// BlockStore mmap-free reads: read_block() pread()s one block into a
-/// caller buffer. Opening is cheap — header, directory, offset tables,
-/// and the metadata blob only. Each open store gets a process-unique
-/// generation id, which keys the global block cache and the thread-local
-/// cursors (storage/column.hpp), so a recycled address can never alias a
-/// dead store's cached blocks.
+/// caller buffer and verifies its checksum (v2) before returning, so
+/// corrupt bytes can never reach the block cache or a pinned span.
+/// Opening is cheap — header, footer, directory, offset + CRC tables,
+/// and the metadata blob only. All I/O goes through the process
+/// IoEngine (storage/io_engine.hpp): transient faults retry with
+/// backoff; terminal failures throw StorageError with full context.
+///
+/// Recovering opens (OpenOptions::recover) never throw on corrupt
+/// *content*: problems become RecoveryReport diagnostics, unreadable or
+/// checksum-failing blocks are quarantined by scan_blocks(), and
+/// salvageable() says whether enough survived (header + directory +
+/// metadata) to rebuild a trace from the surviving blocks.
+///
+/// Each open store gets a process-unique generation id, which keys the
+/// global block cache and the thread-local cursors (storage/column.hpp),
+/// so a recycled address can never alias a dead store's cached blocks.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "trace/diagnostics.hpp"
 #include "trace/storage/format.hpp"
+#include "trace/storage/io_engine.hpp"
 
 namespace logstruct::trace::storage {
 
 class BlockStoreWriter {
  public:
-  /// Opens `path` for writing (truncates). Throws std::runtime_error on
-  /// I/O failure, here and in append/finish.
-  BlockStoreWriter(const std::string& path, std::uint32_t block_bytes);
+  /// Opens `path` for writing (truncates). Throws StorageError on I/O
+  /// failure, here and in append/finish. `version` selects the on-disk
+  /// format; v1 (no checksums, no footer) exists for compatibility
+  /// tests only.
+  BlockStoreWriter(const std::string& path, std::uint32_t block_bytes,
+                   std::uint32_t version = kFormatVersion);
   ~BlockStoreWriter();
 
   BlockStoreWriter(const BlockStoreWriter&) = delete;
@@ -43,8 +64,9 @@ class BlockStoreWriter {
   /// no element ever straddles a block boundary.
   void set_elem_bytes(ColumnId col, std::uint32_t elem_bytes);
 
-  /// Flush partials, write tables + directory + `metadata`, patch the
-  /// header, fsync-free close. No append() after finish().
+  /// Commit: flush partials, fsync data, write tables + directory +
+  /// `metadata`, patch the header, fsync, write + fsync the footer,
+  /// fsync the parent directory. No append() after finish().
   void finish(const std::string& metadata);
 
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -53,6 +75,7 @@ class BlockStoreWriter {
   struct ColState {
     std::vector<char> buffer;
     std::vector<std::uint64_t> block_offsets;
+    std::vector<std::uint32_t> block_crcs;
     std::uint64_t byte_size = 0;
     std::uint32_t elem_bytes = 0;
     std::uint32_t payload = 0;  ///< bytes per full block, elem-aligned
@@ -60,20 +83,53 @@ class BlockStoreWriter {
 
   void flush_block(ColState& col);
   void write_raw(const void* data, std::size_t bytes);
+  /// write_raw that also folds the bytes into the running tail CRC.
+  void write_tail(const void* data, std::size_t bytes);
 
+  IoEngine* io_ = nullptr;
   std::string path_;
   int fd_ = -1;
   std::uint32_t block_bytes_ = 0;
+  std::uint32_t version_ = kFormatVersion;
   std::uint64_t file_pos_ = 0;
+  std::uint32_t tail_crc_ = 0;
   bool finished_ = false;
   ColState cols_[kNumColumns];
 };
 
+/// How BlockStore treats a damaged container.
+struct OpenOptions {
+  /// false (default): strict — throw StorageError at the first problem.
+  /// true: recover — collect diagnostics into `report`, keep whatever
+  /// parses; the caller checks salvageable() before reading.
+  bool recover = false;
+  /// Required in recover mode: where structural diagnostics land.
+  RecoveryReport* report = nullptr;
+
+  [[nodiscard]] static OpenOptions strict() { return {}; }
+  [[nodiscard]] static OpenOptions recovering(RecoveryReport* report) {
+    OpenOptions o;
+    o.recover = true;
+    o.report = report;
+    return o;
+  }
+};
+
+/// Verification status of one block (fsck surface).
+enum class BlockStatus : std::uint8_t {
+  Ok = 0,              ///< readable; checksum matched (or v1: no checksum)
+  ChecksumAbsent = 1,  ///< readable; v1 container carries no checksums
+  ChecksumMismatch = 2,
+  Unreadable = 3,
+};
+
 class BlockStore {
  public:
-  /// Opens an existing container. Throws std::runtime_error on a missing
-  /// file, bad magic, or unsupported version.
-  explicit BlockStore(const std::string& path);
+  /// Opens an existing container. Strict mode throws StorageError on a
+  /// missing file, bad magic/version, torn tail, or invalid footer;
+  /// recover mode records diagnostics instead (see OpenOptions).
+  explicit BlockStore(const std::string& path,
+                      const OpenOptions& options = {});
   ~BlockStore();
 
   BlockStore(const BlockStore&) = delete;
@@ -86,6 +142,19 @@ class BlockStore {
   [[nodiscard]] std::uint32_t block_bytes() const { return block_bytes_; }
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
   [[nodiscard]] const std::string& metadata() const { return metadata_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// On-disk format version (1 or 2).
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  /// True when the container carries per-block CRC32C tables (v2).
+  [[nodiscard]] bool checksums_present() const { return version_ >= 2; }
+  /// True when a valid commit footer proved a complete commit (v2 only;
+  /// always false for v1 files).
+  [[nodiscard]] bool footer_valid() const { return footer_valid_; }
+  /// Recover mode: true when header + directory + metadata parsed well
+  /// enough to serve reads. Strict opens are always salvageable (they
+  /// would have thrown otherwise).
+  [[nodiscard]] bool salvageable() const { return salvageable_; }
 
   [[nodiscard]] std::uint64_t column_bytes(ColumnId col) const {
     return cols_[static_cast<std::uint32_t>(col)].byte_size;
@@ -106,22 +175,67 @@ class BlockStore {
         cols_[static_cast<std::uint32_t>(col)].block_offsets.size());
   }
 
-  /// pread one whole block into `out` (must hold block_size()). Throws
-  /// on short reads. Thread-safe (stateless pread).
+  /// pread one whole block into `out` (must hold block_size()) and
+  /// verify its checksum (v2; a mismatch is re-read once before it
+  /// counts). Throws StorageError — BlockChecksumMismatch,
+  /// BlockUnreadable, or ContainerTruncated — instead of ever returning
+  /// corrupt bytes. Thread-safe (stateless pread).
   void read_block(ColumnId col, std::uint32_t block, void* out) const;
+
+  /// Verify one block without keeping the bytes (fsck / scan surface).
+  [[nodiscard]] BlockStatus verify_block(ColumnId col,
+                                         std::uint32_t block) const;
+
+  /// Verify every block of every column; quarantine the bad ones (their
+  /// read_block() then fails fast without I/O) and record one Error
+  /// diagnostic each into `report` (when non-null). Returns the number
+  /// of quarantined blocks. Idempotent.
+  std::int64_t scan_blocks(RecoveryReport* report);
+
+  /// True when scan_blocks() quarantined this block.
+  [[nodiscard]] bool is_quarantined(ColumnId col,
+                                    std::uint32_t block) const {
+    const auto& q = cols_[static_cast<std::uint32_t>(col)].quarantined;
+    return block < q.size() && q[block] != 0;
+  }
+  [[nodiscard]] std::int64_t num_quarantined() const {
+    return quarantined_count_;
+  }
 
  private:
   struct ColState {
     std::vector<std::uint64_t> block_offsets;
+    std::vector<std::uint32_t> block_crcs;    ///< empty for v1
+    std::vector<std::uint8_t> quarantined;    ///< filled by scan_blocks
+    /// Verify-once-per-open memo (v2): set after a block's checksum
+    /// first verifies. The file is immutable while open, so a cache
+    /// re-fault of an already-verified block serves the same committed
+    /// bytes and skips the CRC — otherwise a starved cache would pay
+    /// the full checksum rate on every eviction cycle. The audit
+    /// surfaces (verify_block / scan_blocks) always re-check.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> verified;
     std::uint64_t byte_size = 0;
     std::uint32_t elem_bytes = 0;
     std::uint32_t payload = 0;
   };
 
+  void open_impl(const OpenOptions& options);
+  /// Core of read_block without the quarantine fast-fail (scan uses
+  /// it). `audit` forces the checksum even when the verify-once memo
+  /// says this block already passed.
+  void read_block_checked(ColumnId col, std::uint32_t block, void* out,
+                          bool audit = false) const;
+
+  IoEngine* io_ = nullptr;
   int fd_ = -1;
   std::string path_;
   std::uint32_t block_bytes_ = 0;
+  std::uint32_t version_ = 0;
   std::uint64_t generation_ = 0;
+  std::uint64_t data_limit_ = 0;  ///< every data block ends at/before this
+  bool footer_valid_ = false;
+  bool salvageable_ = false;
+  std::int64_t quarantined_count_ = 0;
   std::string metadata_;
   ColState cols_[kNumColumns];
 };

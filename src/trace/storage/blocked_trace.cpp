@@ -8,6 +8,7 @@
 
 #include "obs/obs.hpp"
 #include "obs/progress.hpp"
+#include "trace/repair.hpp"
 #include "trace/storage/extsort.hpp"
 #include "trace/storage/options.hpp"
 #include "util/check.hpp"
@@ -477,10 +478,127 @@ Trace open_blocked_trace(const std::string& path) {
   return trace;
 }
 
+namespace {
+
+/// Visit every element of `col` that lives in a non-quarantined block,
+/// as (global element index, element). Blocks lost to quarantine leave
+/// index gaps — exactly the shape trace::repair() was built to close.
+template <typename T, typename Fn>
+void for_each_surviving(const BlockStore& store, ColumnId col,
+                        RecoveryReport& report, Fn&& fn) {
+  const std::uint32_t elem = store.column_elem_bytes(col);
+  if (elem == 0 || store.column_bytes(col) == 0) return;
+  if (elem != sizeof(T)) {
+    report.add(DiagCode::BadHeader, Severity::Error,
+               "lsblk: column " +
+                   std::to_string(static_cast<std::uint32_t>(col)) +
+                   " element size mismatch; column dropped");
+    return;
+  }
+  const std::size_t elems_per_block = store.column_payload(col) / elem;
+  std::vector<char> scratch(store.block_bytes());
+  const std::uint32_t blocks = store.num_blocks(col);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    if (store.is_quarantined(col, b)) continue;
+    const std::uint32_t size = store.block_size(col, b);
+    try {
+      store.read_block(col, b, scratch.data());
+    } catch (const StorageError&) {
+      continue;  // rot the scan missed; already the scan's diagnostic
+    }
+    const std::size_t base = std::size_t{b} * elems_per_block;
+    const T* p = reinterpret_cast<const T*>(scratch.data());
+    for (std::uint32_t i = 0; i * elem < size; ++i) fn(base + i, p[i]);
+  }
+}
+
+}  // namespace
+
+Trace open_blocked_trace(const std::string& path,
+                         const StorageOptions& options,
+                         RecoveryReport& report, int threads) {
+  if (!options.recover) return open_blocked_trace(path);
+  OBS_SPAN(span, "trace/open_blocked_recovering");
+
+  auto store =
+      std::make_unique<BlockStore>(path, OpenOptions::recovering(&report));
+  if (!store->salvageable()) return Trace{};  // Fatal already recorded
+  store->scan_blocks(&report);
+
+  // The metadata blob holds the chare / entry / collective tables; a
+  // trace cannot be rebuilt without them. (Under a valid footer the blob
+  // is checksummed, so this only fires on v1 rot or a torn tail.)
+  Trace meta;
+  try {
+    deserialize_trace_metadata(store->metadata(), meta);
+  } catch (const std::exception& e) {
+    report.add({DiagCode::ContainerTruncated, Severity::Fatal, -1, -1,
+                std::string("trace metadata unusable: ") + e.what()});
+    return Trace{};
+  }
+
+  if (report.ok() && store->num_quarantined() == 0) {
+    // Fully intact: serve straight from the container, strict-style.
+    try {
+      store.reset();
+      return open_blocked_trace(path);
+    } catch (const std::exception& e) {
+      report.add({DiagCode::BadHeader, Severity::Error, -1, -1,
+                  std::string("strict re-open failed: ") + e.what()});
+      store = std::make_unique<BlockStore>(
+          path, OpenOptions::recovering(&report));
+      if (!store->salvageable()) return Trace{};
+      store->scan_blocks(&report);
+    }
+  }
+
+  // Salvage: primary columns only. Derived columns (dependency table,
+  // CSR groupings) are recomputed by the freeze inside build_trace(), so
+  // damage there costs nothing; damage to the primaries surfaces as id
+  // gaps that repair() closes with full provenance.
+  RawTrace raw;
+  raw.num_procs = meta.num_procs();
+  std::int64_t next_id = 0;
+  for (const ChareInfo& c : meta.chares()) raw.chares.push_back({next_id++, c});
+  next_id = 0;
+  for (const ArrayInfo& a : meta.arrays()) raw.arrays.push_back({next_id++, a});
+  next_id = 0;
+  for (const EntryInfo& e : meta.entries())
+    raw.entries.push_back({next_id++, e});
+  for (const Collective& c : meta.collectives()) {
+    RawCollective rc;
+    rc.sends.assign(c.sends.begin(), c.sends.end());
+    rc.recvs.assign(c.recvs.begin(), c.recvs.end());
+    raw.collectives.push_back(std::move(rc));
+  }
+  for (ChareId c = 0; c < meta.num_chares(); ++c)
+    if (meta.is_degraded_chare(c)) raw.degraded_chares.push_back(c);
+
+  for_each_surviving<Event>(
+      *store, ColumnId::Events, report,
+      [&](std::size_t id, const Event& e) {
+        raw.events.push_back({static_cast<std::int64_t>(id), e.kind, e.time,
+                              e.block, e.partner});
+      });
+  for_each_surviving<SerialBlock>(
+      *store, ColumnId::Blocks, report,
+      [&](std::size_t id, const SerialBlock& b) {
+        raw.blocks.push_back({static_cast<std::int64_t>(id), b.chare, b.proc,
+                              b.entry, b.begin, b.end, true});
+      });
+  for_each_surviving<IdleSpan>(
+      *store, ColumnId::Idles, report,
+      [&](std::size_t, const IdleSpan& s) { raw.idles.push_back(s); });
+  store.reset();
+
+  repair(raw, report);
+  return build_trace(std::move(raw), threads);
+}
+
 void write_blocked_file(const Trace& trace, const std::string& path,
-                        std::uint32_t block_bytes) {
+                        std::uint32_t block_bytes, std::uint32_t version) {
   OBS_SPAN(span, "trace/write_blocked_file");
-  BlockStoreWriter writer(path, block_bytes);
+  BlockStoreWriter writer(path, block_bytes, version);
   append_column<Event>(writer, ColumnId::Events, trace.events());
   append_column<SerialBlock>(writer, ColumnId::Blocks, trace.blocks());
   append_column<IdleSpan>(writer, ColumnId::Idles, trace.idles());

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "trace/diagnostics.hpp"
 #include "trace/trace.hpp"
 
 namespace logstruct::trace::storage {
@@ -25,8 +26,22 @@ namespace logstruct::trace::storage {
 // void freeze_blocked(Trace& trace, int threads);
 // Trace open_blocked_trace(const std::string& path);
 // void write_blocked_file(const Trace& trace, const std::string& path,
-//                         std::uint32_t block_bytes);
+//                         std::uint32_t block_bytes,
+//                         std::uint32_t version);
 // std::string serialize_trace_metadata(const Trace& trace);
 // std::uint64_t trace_structure_hash(const Trace& trace);
+
+/// Recovering open (StorageOptions::recovering()): never throws on a
+/// damaged container. An intact file is served exactly like the strict
+/// open; a damaged one is salvaged — unreadable / checksum-failing
+/// blocks quarantined, the surviving events / blocks / idles rebuilt
+/// through trace::repair() + build_trace() with every loss recorded in
+/// `report` (chares that lost data carry degraded provenance). Worst
+/// case is a Fatal diagnostic and an empty Trace: a clean refusal.
+/// `options.recover == false` degrades to the strict open.
+[[nodiscard]] Trace open_blocked_trace(const std::string& path,
+                                       const StorageOptions& options,
+                                       RecoveryReport& report,
+                                       int threads = 0);
 
 }  // namespace logstruct::trace::storage

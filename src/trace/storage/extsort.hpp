@@ -25,11 +25,18 @@
 #include <utility>
 #include <vector>
 
+#include "trace/storage/io_engine.hpp"
 #include "util/thread_pool.hpp"
 
 #include <unistd.h>
 
 namespace logstruct::trace::storage {
+
+/// Display name used in I/O diagnostics for the unlinked spill file.
+inline const std::string& spill_path_name() {
+  static const std::string name = "<extsort-spill>";
+  return name;
+}
 
 template <typename Rec, typename Less>
 class ExternalSorter {
@@ -73,7 +80,6 @@ class ExternalSorter {
       return;
     }
     spill();
-    std::fflush(file_);
     merge_runs(emit);
   }
 
@@ -84,23 +90,18 @@ class ExternalSorter {
     std::vector<Rec> buffer;
     std::size_t pos = 0;
 
-    bool refill(int fd, std::size_t buf_records) {
+    bool refill(IoEngine& io, int fd, std::size_t buf_records) {
       if (remaining == 0) return false;
       const std::size_t take =
           remaining < buf_records ? static_cast<std::size_t>(remaining)
                                   : buf_records;
       buffer.resize(take);
-      std::size_t bytes = take * sizeof(Rec);
-      char* p = reinterpret_cast<char*>(buffer.data());
-      std::uint64_t off = file_offset;
-      while (bytes > 0) {
-        const ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(off));
-        if (n <= 0) throw std::runtime_error("extsort: run read failed");
-        p += n;
-        bytes -= static_cast<std::size_t>(n);
-        off += static_cast<std::uint64_t>(n);
-      }
-      file_offset = off;
+      IoContext ctx;
+      ctx.op = "extsort run read";
+      ctx.path = &spill_path_name();
+      pread_all(io, fd, buffer.data(), take * sizeof(Rec), file_offset,
+                ctx);
+      file_offset += take * sizeof(Rec);
       remaining -= take;
       pos = 0;
       return true;
@@ -141,9 +142,12 @@ class ExternalSorter {
         throw std::runtime_error("extsort: tmpfile failed");
     }
     sort_buf();
-    if (std::fwrite(buf_.data(), sizeof(Rec), buf_.size(), file_) !=
-        buf_.size())
-      throw std::runtime_error("extsort: run write failed");
+    IoContext ctx;
+    ctx.op = "extsort run write";
+    ctx.path = &spill_path_name();
+    pwrite_all(*io_, ::fileno(file_), buf_.data(),
+               buf_.size() * sizeof(Rec), write_offset_, ctx);
+    write_offset_ += buf_.size() * sizeof(Rec);
     run_records_per_run_.push_back(buf_.size());
     total_ += buf_.size();
     buf_.clear();
@@ -163,7 +167,7 @@ class ExternalSorter {
       cursors[r].file_offset = offset;
       cursors[r].remaining = run_records_per_run_[r];
       offset += run_records_per_run_[r] * sizeof(Rec);
-      cursors[r].refill(fd, buf_records);
+      cursors[r].refill(*io_, fd, buf_records);
     }
 
     // Binary min-heap of run indices, keyed by each run's head record.
@@ -196,7 +200,8 @@ class ExternalSorter {
       RunCursor& cur = cursors[r];
       emit(cur.buffer[cur.pos]);
       ++cur.pos;
-      if (cur.pos == cur.buffer.size() && !cur.refill(fd, buf_records)) {
+      if (cur.pos == cur.buffer.size() &&
+          !cur.refill(*io_, fd, buf_records)) {
         heap[0] = heap.back();
         heap.pop_back();
       }
@@ -208,7 +213,9 @@ class ExternalSorter {
   std::size_t run_records_;
   int threads_;
   Less less_;
+  IoEngine* io_ = &IoEngine::current();
   std::FILE* file_ = nullptr;
+  std::uint64_t write_offset_ = 0;
   std::vector<std::uint64_t> run_records_per_run_;
   std::size_t total_ = 0;
 };

@@ -1,0 +1,364 @@
+#include "trace/storage/io_engine.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace logstruct::trace::storage {
+
+namespace {
+
+// --------------------------------------------------------- system engine
+
+class SystemIoEngine final : public IoEngine {
+ public:
+  int open(const char* path, int flags, int mode) override {
+    return ::open(path, flags, mode);
+  }
+  int close(int fd) override { return ::close(fd); }
+  long pread(int fd, void* buf, std::size_t bytes,
+             std::uint64_t offset) override {
+    return ::pread(fd, buf, bytes, static_cast<off_t>(offset));
+  }
+  long pwrite(int fd, const void* buf, std::size_t bytes,
+              std::uint64_t offset) override {
+    return ::pwrite(fd, buf, bytes, static_cast<off_t>(offset));
+  }
+  int fsync(int fd) override { return ::fsync(fd); }
+  std::int64_t file_size(int fd) override {
+    struct stat st;
+    if (::fstat(fd, &st) != 0) return -1;
+    return static_cast<std::int64_t>(st.st_size);
+  }
+};
+
+std::atomic<IoEngine*> g_override{nullptr};
+
+// ----------------------------------------------------- deterministic rng
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double unit(std::uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+// ----------------------------------------------------------- retry knobs
+
+constexpr int kMaxTransientRetries = 6;
+constexpr int kMaxEintrResumes = 65536;
+
+bool transient_errno(int err) { return err == EIO || err == EAGAIN; }
+
+void backoff(int attempt) {
+  // 32us, 64us, ... ~2ms total over kMaxTransientRetries attempts: long
+  // enough to outlive a controller hiccup, short enough for fault-matrix
+  // tests to hammer thousands of injected failures.
+  std::this_thread::sleep_for(std::chrono::microseconds(32ll << attempt));
+}
+
+std::string io_msg(const IoContext& ctx, const char* what,
+                   std::uint64_t offset, std::size_t remaining,
+                   std::size_t total) {
+  std::ostringstream os;
+  os << "lsblk: " << ctx.op << " '" << (ctx.path ? *ctx.path : "?") << '\'';
+  if (ctx.column >= 0) os << " col=" << ctx.column;
+  if (ctx.block >= 0) os << " block=" << ctx.block;
+  os << " offset=" << offset << ": " << what;
+  if (remaining > 0 && total > 0)
+    os << " (" << remaining << " of " << total << " bytes missing)";
+  return os.str();
+}
+
+}  // namespace
+
+IoEngine& IoEngine::system() {
+  static SystemIoEngine engine;
+  return engine;
+}
+
+IoEngine& IoEngine::current() {
+  if (IoEngine* e = g_override.load(std::memory_order_acquire)) return *e;
+  static IoEngine* def = [] {
+    if (const char* spec = std::getenv("LOGSTRUCT_IO_FAULTS")) {
+      if (*spec != '\0') {
+        static FaultyIoEngine faulty{FaultSpec::parse(spec)};
+        return static_cast<IoEngine*>(&faulty);
+      }
+    }
+    return &system();
+  }();
+  return *def;
+}
+
+void IoEngine::set_current(IoEngine* engine) {
+  g_override.store(engine, std::memory_order_release);
+}
+
+// ------------------------------------------------------------ fault spec
+
+FaultSpec FaultSpec::parse(const std::string& spec) {
+  FaultSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("LOGSTRUCT_IO_FAULTS: expected key=value, "
+                                  "got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    char* endp = nullptr;
+    const auto as_u64 = [&]() -> std::uint64_t {
+      const unsigned long long v = std::strtoull(val.c_str(), &endp, 10);
+      if (endp == val.c_str() || *endp != '\0')
+        throw std::invalid_argument("LOGSTRUCT_IO_FAULTS: bad integer for '" +
+                                    key + "'");
+      return v;
+    };
+    const auto as_prob = [&]() -> double {
+      const double v = std::strtod(val.c_str(), &endp);
+      if (endp == val.c_str() || *endp != '\0' || v < 0.0 || v > 1.0)
+        throw std::invalid_argument(
+            "LOGSTRUCT_IO_FAULTS: bad probability for '" + key + "'");
+      return v;
+    };
+    if (key == "seed") out.seed = as_u64();
+    else if (key == "eintr") out.eintr = as_prob();
+    else if (key == "eio") out.eio = as_prob();
+    else if (key == "short_read") out.short_read = as_prob();
+    else if (key == "short_write") out.short_write = as_prob();
+    else if (key == "bitflip") out.bitflip = as_prob();
+    else if (key == "enospc_at") out.enospc_at = as_u64();
+    else if (key == "truncate_at") out.truncate_at = as_u64();
+    else
+      throw std::invalid_argument("LOGSTRUCT_IO_FAULTS: unknown key '" + key +
+                                  "'");
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- fault engine
+
+FaultyIoEngine::FaultyIoEngine(const FaultSpec& spec, IoEngine* inner)
+    : spec_(spec), inner_(inner != nullptr ? inner : &IoEngine::system()) {}
+
+bool FaultyIoEngine::roll(double p, std::uint64_t key) {
+  if (p <= 0.0) return false;
+  const bool hit = unit(splitmix64(spec_.seed ^ splitmix64(key))) < p;
+  if (hit) faults_.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+int FaultyIoEngine::open(const char* path, int flags, int mode) {
+  return inner_->open(path, flags, mode);
+}
+
+int FaultyIoEngine::close(int fd) { return inner_->close(fd); }
+
+long FaultyIoEngine::pread(int fd, void* buf, std::size_t bytes,
+                           std::uint64_t offset) {
+  const std::uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+  if (roll(spec_.eintr, call * 8 + 0)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (roll(spec_.eio, call * 8 + 1)) {
+    errno = EIO;
+    return -1;
+  }
+  std::size_t want = bytes;
+  if (spec_.truncate_at > 0) {
+    if (offset >= spec_.truncate_at) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      return 0;  // past the torn tail: EOF
+    }
+    if (offset + want > spec_.truncate_at)
+      want = static_cast<std::size_t>(spec_.truncate_at - offset);
+  }
+  if (want > 1 && roll(spec_.short_read, call * 8 + 2)) want /= 2;
+  const long n = inner_->pread(fd, buf, want, offset);
+  if (n > 0 && spec_.bitflip > 0.0) {
+    // Persistent per-offset corruption: the flip is a pure function of
+    // the 64-byte cell's file offset, so every re-read of the same
+    // range sees identical damage (what checksums must catch — a retry
+    // must NOT make it go away).
+    auto* p = static_cast<unsigned char*>(buf);
+    const std::uint64_t lo_cell = offset / 64;
+    const std::uint64_t hi_cell = (offset + static_cast<std::uint64_t>(n) + 63) / 64;
+    for (std::uint64_t cell = lo_cell; cell < hi_cell; ++cell) {
+      const std::uint64_t h =
+          splitmix64(spec_.seed ^ splitmix64(cell * 8 + 0xB17Fu));
+      if (unit(h) >= spec_.bitflip) continue;
+      const std::uint64_t byte = cell * 64 + ((h >> 8) & 63);
+      if (byte < offset || byte >= offset + static_cast<std::uint64_t>(n))
+        continue;
+      p[byte - offset] ^= static_cast<unsigned char>(1u << ((h >> 16) & 7));
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return n;
+}
+
+long FaultyIoEngine::pwrite(int fd, const void* buf, std::size_t bytes,
+                            std::uint64_t offset) {
+  const std::uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+  if (roll(spec_.eintr, call * 8 + 4)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (roll(spec_.eio, call * 8 + 5)) {
+    errno = EIO;
+    return -1;
+  }
+  std::size_t want = bytes;
+  if (spec_.enospc_at > 0) {
+    const std::uint64_t used = written_.load(std::memory_order_relaxed);
+    if (used >= spec_.enospc_at) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      errno = ENOSPC;
+      return -1;
+    }
+    if (used + want > spec_.enospc_at)
+      want = static_cast<std::size_t>(spec_.enospc_at - used);
+  }
+  if (want > 1 && roll(spec_.short_write, call * 8 + 6)) want /= 2;
+  const long n = inner_->pwrite(fd, buf, want, offset);
+  if (n > 0) written_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+  return n;
+}
+
+int FaultyIoEngine::fsync(int fd) { return inner_->fsync(fd); }
+
+std::int64_t FaultyIoEngine::file_size(int fd) {
+  const std::int64_t n = inner_->file_size(fd);
+  if (n < 0) return n;
+  if (spec_.truncate_at > 0 &&
+      n > static_cast<std::int64_t>(spec_.truncate_at))
+    return static_cast<std::int64_t>(spec_.truncate_at);
+  return n;
+}
+
+// ---------------------------------------------------------- retry policy
+
+void pread_all(IoEngine& io, int fd, void* data, std::size_t bytes,
+               std::uint64_t offset, const IoContext& ctx) {
+  char* p = static_cast<char*>(data);
+  std::size_t left = bytes;
+  int retries = 0;
+  int eintr = 0;
+  while (left > 0) {
+    const long n = io.pread(fd, p, left, offset);
+    if (n < 0) {
+      const int err = errno;
+      if (err == EINTR) {
+        if (++eintr > kMaxEintrResumes)
+          throw StorageError(
+              DiagCode::BlockUnreadable,
+              io_msg(ctx, "EINTR storm exceeded resume cap", offset, left,
+                     bytes));
+        continue;
+      }
+      if (transient_errno(err) && retries < kMaxTransientRetries) {
+        OBS_COUNTER_INC("trace/storage/io/retries");
+        backoff(retries++);
+        continue;
+      }
+      if (transient_errno(err)) OBS_COUNTER_INC("trace/storage/io/gave_up");
+      throw StorageError(DiagCode::BlockUnreadable,
+                         io_msg(ctx, std::strerror(err), offset, left,
+                                bytes));
+    }
+    if (n == 0)
+      throw StorageError(
+          DiagCode::ContainerTruncated,
+          io_msg(ctx, "unexpected end of file", offset, left, bytes));
+    p += n;
+    left -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+void pwrite_all(IoEngine& io, int fd, const void* data, std::size_t bytes,
+                std::uint64_t offset, const IoContext& ctx) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t left = bytes;
+  int retries = 0;
+  int eintr = 0;
+  while (left > 0) {
+    const long n = io.pwrite(fd, p, left, offset);
+    if (n < 0) {
+      const int err = errno;
+      if (err == EINTR) {
+        if (++eintr > kMaxEintrResumes)
+          throw StorageError(
+              DiagCode::IoError,
+              io_msg(ctx, "EINTR storm exceeded resume cap", offset, left,
+                     bytes));
+        continue;
+      }
+      if (transient_errno(err) && retries < kMaxTransientRetries) {
+        OBS_COUNTER_INC("trace/storage/io/retries");
+        backoff(retries++);
+        continue;
+      }
+      if (transient_errno(err)) OBS_COUNTER_INC("trace/storage/io/gave_up");
+      throw StorageError(DiagCode::IoError,
+                         io_msg(ctx, std::strerror(err), offset, left,
+                                bytes));
+    }
+    if (n == 0)
+      throw StorageError(DiagCode::IoError,
+                         io_msg(ctx, "write made no progress", offset, left,
+                                bytes));
+    p += n;
+    left -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+void fsync_all(IoEngine& io, int fd, const IoContext& ctx) {
+  int retries = 0;
+  for (;;) {
+    if (io.fsync(fd) == 0) return;
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (transient_errno(err) && retries < kMaxTransientRetries) {
+      OBS_COUNTER_INC("trace/storage/io/retries");
+      backoff(retries++);
+      continue;
+    }
+    if (transient_errno(err)) OBS_COUNTER_INC("trace/storage/io/gave_up");
+    throw StorageError(DiagCode::IoError,
+                       io_msg(ctx, std::strerror(err), 0, 0, 0));
+  }
+}
+
+void fsync_parent_dir(IoEngine& io, const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = io.open(dir.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  (void)io.fsync(fd);  // EINVAL on exotic filesystems: also best effort
+  (void)io.close(fd);
+}
+
+}  // namespace logstruct::trace::storage

@@ -30,6 +30,18 @@ struct StorageOptions {
   std::uint32_t block_bytes = 256u << 10;
   /// Directory for freeze-time spill files; empty = $TMPDIR or /tmp.
   std::string dir;
+  /// Open mode for named `.lsblk` files (mirrors ReadOptions::recover):
+  /// false = strict, throw StorageError at the first sign of damage;
+  /// true = salvage — quarantine unreadable / checksum-failing blocks,
+  /// rebuild from the survivors via trace::repair(), and report every
+  /// loss through a RecoveryReport (docs/ROBUSTNESS.md).
+  bool recover = false;
+
+  [[nodiscard]] static StorageOptions recovering() {
+    StorageOptions o;
+    o.recover = true;
+    return o;
+  }
 };
 
 /// The process defaults. First call reads the LOGSTRUCT_STORAGE* /

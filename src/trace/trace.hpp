@@ -46,7 +46,8 @@ namespace storage {
 void freeze_blocked(Trace& trace, int threads);
 Trace open_blocked_trace(const std::string& path);
 void write_blocked_file(const Trace& trace, const std::string& path,
-                        std::uint32_t block_bytes);
+                        std::uint32_t block_bytes,
+                        std::uint32_t version = kFormatVersion);
 std::string serialize_trace_metadata(const Trace& trace);
 void deserialize_trace_metadata(const std::string& blob, Trace& trace);
 std::uint64_t trace_structure_hash(const Trace& trace);
@@ -251,7 +252,8 @@ class Trace {
   friend Trace storage::open_blocked_trace(const std::string& path);
   friend void storage::write_blocked_file(const Trace& trace,
                                           const std::string& path,
-                                          std::uint32_t block_bytes);
+                                          std::uint32_t block_bytes,
+                                          std::uint32_t version);
   friend std::string storage::serialize_trace_metadata(const Trace& trace);
   friend void storage::deserialize_trace_metadata(const std::string& blob,
                                                   Trace& trace);

@@ -1,0 +1,130 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define LOGSTRUCT_CRC32C_ARM 1
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <nmmintrin.h>
+#define LOGSTRUCT_CRC32C_X86 1
+#endif
+
+namespace logstruct::util {
+
+namespace {
+
+// ------------------------------------------------- portable slice-by-8
+
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+Tables make_tables() {
+  Tables tb{};
+  constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    tb.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tb.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      crc = tb.t[0][crc & 0xFF] ^ (crc >> 8);
+      tb.t[s][i] = crc;
+    }
+  }
+  return tb;
+}
+
+const Tables& tables() {
+  static const Tables tb = make_tables();
+  return tb;
+}
+
+std::uint32_t crc_sw(std::uint32_t crc, const unsigned char* p,
+                     std::size_t n) {
+  const Tables& tb = tables();
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ (std::uint32_t{p[0]} |
+                                    (std::uint32_t{p[1]} << 8) |
+                                    (std::uint32_t{p[2]} << 16) |
+                                    (std::uint32_t{p[3]} << 24));
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return crc;
+}
+
+// ------------------------------------------------- hardware fast paths
+
+#if defined(LOGSTRUCT_CRC32C_X86)
+__attribute__((target("sse4.2"))) std::uint32_t crc_hw(
+    std::uint32_t crc, const unsigned char* p, std::size_t n) {
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    c = _mm_crc32_u64(c, v);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (n-- > 0) c32 = _mm_crc32_u8(c32, *p++);
+  return c32;
+}
+
+bool have_hw() { return __builtin_cpu_supports("sse4.2") != 0; }
+#elif defined(LOGSTRUCT_CRC32C_ARM)
+std::uint32_t crc_hw(std::uint32_t crc, const unsigned char* p,
+                     std::size_t n) {
+  while (n >= 8) {
+    std::uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    crc = __crc32cd(crc, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = __crc32cb(crc, *p++);
+  return crc;
+}
+
+bool have_hw() { return true; }  // __ARM_FEATURE_CRC32 implies support
+#else
+std::uint32_t crc_hw(std::uint32_t crc, const unsigned char* p,
+                     std::size_t n) {
+  return crc_sw(crc, p, n);
+}
+
+bool have_hw() { return false; }
+#endif
+
+bool hw_enabled() {
+  static const bool enabled = have_hw();
+  return enabled;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t seed, const void* data,
+                            std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint32_t crc = ~seed;
+  return ~(hw_enabled() ? crc_hw(crc, p, bytes) : crc_sw(crc, p, bytes));
+}
+
+std::uint32_t crc32c(const void* data, std::size_t bytes) {
+  return crc32c_extend(0, data, bytes);
+}
+
+bool crc32c_hardware_accelerated() { return hw_enabled(); }
+
+}  // namespace logstruct::util

@@ -242,7 +242,7 @@ def gate(base_run, fresh_run, opts):
 
 def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
                   scale_rss=1.0, scale_live=1.0, scale_causality=1.0,
-                  extra_threads=None):
+                  scale_checksum=1.0, extra_threads=None):
     run = {
         "program": "self-test",
         "workloads": [
@@ -295,6 +295,16 @@ def synthetic_run(scale_wall=1.0, scale_alloc=1.0, scale_eff=1.0,
                         "pass": "order/check_causality",
                         "seconds": 0.002 * scale_causality,
                         "alloc_bytes": int(1 << 20),
+                        "ran": True,
+                    },
+                    # Storage-checksum pseudo-pass: CRC32C kernel
+                    # throughput over a fixed buffer (every v2 .lsblk
+                    # block write and verified read pays it). A broken
+                    # hardware dispatch shows up as a 2x+ wall slip on
+                    # exactly this row.
+                    {
+                        "pass": "trace/storage/checksum",
+                        "seconds": 0.002 * scale_checksum,
                         "ran": True,
                     },
                     {"pass": "tiny", "seconds": 1e-05, "ran": True},
@@ -380,6 +390,18 @@ def self_test(opts):
             )
             return 1
         print()
+        # A 2x wall regression confined to the trace/storage/checksum
+        # pseudo-pass (the CRC32C kernel behind every v2 block write and
+        # verified read) must fail on its own.
+        code = gate(synthetic_run(), synthetic_run(scale_checksum=2.0),
+                    opts)
+        if code == 0:
+            print(
+                "self-test: FAILED — 2x storage-checksum regression "
+                "not caught"
+            )
+            return 1
+        print()
         # A 2x per-workload peak-RSS regression (the out-of-core storage
         # gate) must fail on its own.
         code = gate(synthetic_run(), synthetic_run(scale_rss=2.0), opts)
@@ -440,7 +462,8 @@ def self_test(opts):
         "self-test: ok (identical passes, 2x wall fails, 2x alloc fails, "
         "2x efficiency-suite pseudo-pass fails, 2x live-overhead "
         "pseudo-pass fails, 2x causality-checker pseudo-pass fails, "
-        "2x peak-RSS fails, cross-thread-count rows never compared, "
+        "2x storage-checksum pseudo-pass fails, 2x peak-RSS fails, "
+        "cross-thread-count rows never compared, "
         "missing/empty/garbled baselines diagnosed)"
     )
     return 0

@@ -54,6 +54,12 @@ and `dropped_spans` must be 0 (a nonzero count means the tracer's span
 buffer overflowed and the trajectory table would silently undercount).
 When a v4 sidecar's sampler ring holds samples, the trajectory table
 gains a closing row with the peak / mean sampled RSS per harness.
+A trace_fsck container-health report ("logstruct-fsck-report/v1",
+docs/ROBUSTNESS.md) must carry a clean/degraded/unusable verdict, a
+per-column block census whose rows sum to their block counts and to
+the top-level blocks_total/blocks_bad, and a well-formed
+RecoveryReport under `recovery` -- and a "clean" verdict must not
+coexist with bad blocks or recovery diagnostics.
 An effmetrics document must carry program/trace/suites, per-suite
 summaries for all five POP metrics, per-window rows matching
 num_windows, and every efficiency value inside [0, 1]. A concurrency
@@ -83,6 +89,7 @@ CONC_END = "<!-- concurrency:end -->"
 
 EFF_SCHEMA = "logstruct-effmetrics/v1"
 CONC_SCHEMA = "logstruct-concurrency/v1"
+FSCK_SCHEMA = "logstruct-fsck-report/v1"
 EFF_METRICS = (
     "parallel",
     "load_balance",
@@ -572,6 +579,94 @@ def check_flightrec(rec):
     return problems
 
 
+def check_fsck(doc):
+    """Validate a trace_fsck container-health report (FSCK_SCHEMA)."""
+    problems = []
+    if not isinstance(doc.get("path"), str):
+        problems.append("fsck report missing string `path`")
+    verdict = doc.get("verdict")
+    if verdict not in ("clean", "degraded", "unusable"):
+        problems.append(f"fsck verdict {verdict!r} is not clean/degraded/unusable")
+    for key in ("checksums", "footer_valid"):
+        if not isinstance(doc.get(key), bool):
+            problems.append(f"fsck report `{key}` is not a boolean")
+    for key in ("version", "blocks_total", "blocks_bad"):
+        v = doc.get(key)
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"fsck report `{key}` is not a non-negative integer")
+    columns = doc.get("columns")
+    if not isinstance(columns, list):
+        problems.append("fsck report `columns` is not a list")
+        columns = []
+    total = bad = 0
+    for i, col in enumerate(columns):
+        if not isinstance(col, dict):
+            problems.append(f"columns[{i}] is not an object")
+            continue
+        counts = {}
+        for key in ("id", "blocks", "ok", "checksum_absent",
+                    "checksum_mismatch", "unreadable"):
+            v = col.get(key)
+            if not isinstance(v, int) or v < 0:
+                problems.append(
+                    f"columns[{i}].{key} is not a non-negative integer"
+                )
+                v = 0
+            counts[key] = v
+        census = (counts["ok"] + counts["checksum_absent"]
+                  + counts["checksum_mismatch"] + counts["unreadable"])
+        if census != counts["blocks"]:
+            problems.append(
+                f"columns[{i}] census sums to {census}, "
+                f"not blocks = {counts['blocks']}"
+            )
+        total += counts["blocks"]
+        bad += counts["checksum_mismatch"] + counts["unreadable"]
+    if isinstance(doc.get("blocks_total"), int) and total != doc["blocks_total"]:
+        problems.append(
+            f"blocks_total = {doc['blocks_total']} but columns sum to {total}"
+        )
+    if isinstance(doc.get("blocks_bad"), int) and bad != doc["blocks_bad"]:
+        problems.append(
+            f"blocks_bad = {doc['blocks_bad']} but columns sum to {bad}"
+        )
+    if verdict == "clean" and bad:
+        problems.append(f"verdict clean but {bad} bad block(s) in the census")
+    # `recovery` is a full RecoveryReport (counts keyed by diag code,
+    # plus the capped diagnostic list) -- a different shape from the
+    # sidecar's {"total", "counters"} summary that check_recovery sees.
+    recovery = doc.get("recovery")
+    if not isinstance(recovery, dict):
+        problems.append("fsck report missing `recovery` object")
+        return problems
+    rtotal = recovery.get("total")
+    if not isinstance(rtotal, int) or rtotal < 0:
+        problems.append("recovery.total is not a non-negative integer")
+    if recovery.get("worst") not in ("note", "warning", "error", "fatal"):
+        problems.append(
+            f"recovery.worst {recovery.get('worst')!r} is not a severity"
+        )
+    counts = recovery.get("counts")
+    if not isinstance(counts, dict):
+        problems.append("recovery.counts is not an object")
+    else:
+        csum = sum(v for v in counts.values() if isinstance(v, int))
+        for name, v in counts.items():
+            if not isinstance(v, int) or v < 0:
+                problems.append(
+                    f"recovery count {name} is not a non-negative integer"
+                )
+        if isinstance(rtotal, int) and csum != rtotal:
+            problems.append(
+                f"recovery.total = {rtotal} but counts sum to {csum}"
+            )
+    if not isinstance(recovery.get("diagnostics"), list):
+        problems.append("recovery.diagnostics is not a list")
+    if verdict == "clean" and isinstance(rtotal, int) and rtotal > 0:
+        problems.append("verdict clean but recovery diagnostics are present")
+    return problems
+
+
 def check_sidecar(path):
     """Validate one sidecar; return a list of problem strings."""
     problems = []
@@ -587,6 +682,8 @@ def check_sidecar(path):
         return check_effmetrics(doc)
     if doc.get("schema") == CONC_SCHEMA:
         return check_concurrency(doc)
+    if doc.get("schema") == FSCK_SCHEMA:
+        return check_fsck(doc)
 
     for key, typ in (
         ("program", str),
@@ -677,8 +774,9 @@ def main():
     ap.add_argument(
         "--check",
         action="store_true",
-        help="validate sidecar schema (v1 through v4) and fail on "
-        "dropped spans instead of rendering a table",
+        help="validate document schemas (sidecar v1-v4, effmetrics, "
+        "concurrency, fsck reports) and fail on dropped spans instead "
+        "of rendering a table",
     )
     args = ap.parse_args()
 

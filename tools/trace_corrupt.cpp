@@ -14,6 +14,9 @@
 /// report and the recovery report is non-empty whenever the corruptor
 /// actually changed the text; 1 on any accounting violation.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,6 +31,8 @@
 #include "trace/corruptor.hpp"
 #include "trace/diagnostics.hpp"
 #include "trace/io.hpp"
+#include "trace/storage/blocked_trace.hpp"
+#include "trace/storage/options.hpp"
 #include "trace/validate.hpp"
 #include "util/flags.hpp"
 #include "util/obs_flags.hpp"
@@ -106,6 +111,57 @@ RunResult run_one(const std::string& clean_text,
   return r;
 }
 
+/// One binary round trip: corrupt a `.lsblk` image, recovering-open it,
+/// and check the tentpole contract — every mutation is either noticed in
+/// the report or provably harmless (identical structure hash).
+RunResult run_one_lsblk(const std::string& clean_image,
+                        std::uint64_t clean_hash,
+                        logstruct::trace::FaultKind kind,
+                        std::uint64_t seed, double intensity,
+                        const std::string& scratch_dir) {
+  using namespace logstruct;
+  RunResult r;
+  r.fault = trace::fault_kind_name(kind);
+  r.seed = seed;
+
+  trace::TraceCorruptor corruptor(seed, intensity);
+  const std::string damaged =
+      corruptor.corrupt(clean_image, kind, &r.corruption);
+  const std::string path = scratch_dir + "/corrupt-" + r.fault + "-" +
+                           std::to_string(seed) + ".lsblk";
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(damaged.data(),
+            static_cast<std::streamsize>(damaged.size()));
+  }
+
+  trace::Trace t = trace::storage::open_blocked_trace(
+      path, trace::storage::StorageOptions::recovering(), r.report);
+  ::unlink(path.c_str());
+  r.salvaged_events = t.num_events();
+
+  if (damaged != clean_image) {
+    const bool noticed = !r.report.empty();
+    const bool identical =
+        !r.report.fatal() && t.num_events() > 0 &&
+        trace::storage::trace_structure_hash(t) == clean_hash;
+    // Wrong answers are the one forbidden outcome: a changed structure
+    // hash with a clean report means corruption slipped through unseen.
+    if (!noticed && !identical) r.accounted = false;
+    if (!r.report.fatal() && t.num_events() > 0 && !identical &&
+        r.report.ok())
+      r.accounted = false;
+  }
+
+  if (!r.report.fatal() && t.num_events() > 0) {
+    order::LogicalStructure ls =
+        order::extract_structure(t, order::Options::charm());
+    r.phases = ls.num_phases();
+    r.degraded_phases = ls.phases.degraded_phases;
+  }
+  return r;
+}
+
 void append_json(std::ostringstream& os, const RunResult& r, bool first) {
   if (!first) os << ",\n";
   os << "    {\"fault\": \"" << r.fault << "\", \"seed\": " << r.seed
@@ -130,7 +186,8 @@ int main(int argc, char** argv) {
   flags.define_string("fault", "all",
                       "fault class: drop_lines, truncate_tail, "
                       "duplicate_lines, perturb_timestamps, flip_bytes, "
-                      "or 'all'");
+                      "lsblk_flip_block, lsblk_truncate_dir, "
+                      "lsblk_zero_footer, 'text', 'lsblk', or 'all'");
   flags.define_int("fault-seed", 1, "first corruption seed");
   flags.define_int("seeds", 1, "corruption seeds per fault class");
   flags.define_int("intensity-pct", 5,
@@ -156,6 +213,12 @@ int main(int argc, char** argv) {
   if (fault == "all") {
     for (int k = 0; k < trace::kNumFaultKinds; ++k)
       kinds.push_back(static_cast<trace::FaultKind>(k));
+  } else if (fault == "text") {
+    for (int k = 0; k < trace::kNumTextFaultKinds; ++k)
+      kinds.push_back(static_cast<trace::FaultKind>(k));
+  } else if (fault == "lsblk") {
+    for (int k = trace::kNumTextFaultKinds; k < trace::kNumFaultKinds; ++k)
+      kinds.push_back(static_cast<trace::FaultKind>(k));
   } else {
     trace::FaultKind kind;
     if (!trace::parse_fault_kind(fault, &kind)) {
@@ -171,6 +234,26 @@ int main(int argc, char** argv) {
   const double intensity =
       static_cast<double>(flags.get_int("intensity-pct")) / 100.0;
 
+  // The binary matrix needs a clean container image on disk once.
+  std::string clean_image;
+  std::uint64_t clean_hash = 0;
+  const std::string scratch_dir = trace::storage::resolve_spill_dir(
+      trace::storage::default_options());
+  const bool any_lsblk =
+      std::any_of(kinds.begin(), kinds.end(), trace::is_lsblk_fault);
+  if (any_lsblk) {
+    const std::string path =
+        scratch_dir + "/corrupt-golden-" + std::to_string(::getpid()) +
+        ".lsblk";
+    trace::storage::write_blocked_file(golden, path, 4096);
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    clean_image = buf.str();
+    ::unlink(path.c_str());
+    clean_hash = trace::storage::trace_structure_hash(golden);
+  }
+
   std::ostringstream json;
   json << "{\n  \"schema\": \"logstruct-fuzz-report/v1\",\n  \"app\": \""
        << app << "\",\n  \"runs\": [\n";
@@ -178,7 +261,11 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (trace::FaultKind kind : kinds) {
     for (std::uint64_t s = 0; s < num_seeds; ++s) {
-      RunResult r = run_one(clean_text, kind, first_seed + s, intensity);
+      RunResult r =
+          trace::is_lsblk_fault(kind)
+              ? run_one_lsblk(clean_image, clean_hash, kind,
+                              first_seed + s, intensity, scratch_dir)
+              : run_one(clean_text, kind, first_seed + s, intensity);
       r.report.export_counters();
       std::printf(
           "%-18s seed=%llu  mutations=%lld  diags=%lld  salvaged=%lld "
